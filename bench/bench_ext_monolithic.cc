@@ -1,0 +1,83 @@
+// Extension (paper Section 10, future work #1): SkyBridge on a monolithic
+// kernel. Processes on a Linux-style kernel normally talk through pipe/UDS
+// IPC — two copies through the kernel, a scheduler wakeup and (post-Meltdown)
+// KPTI page-table switches on every crossing. SkyBridge replaces all of that
+// with two VMFUNCs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+
+namespace {
+
+constexpr int kIters = 50000;
+
+uint64_t MeasurePipeIpc(bench::World& world) {
+  mk::Kernel& kernel = *world.kernel;
+  auto* client = kernel.CreateProcess("writer").value();
+  auto* server = kernel.CreateProcess("reader").value();
+  auto* ep =
+      kernel.CreateEndpoint(server, [](mk::CallEnv& env) { return env.request; }, {}).value();
+  const mk::CapSlot slot = kernel.GrantEndpointCap(client, ep->id(), mk::kRightCall).value();
+  mk::Thread* thread = client->AddThread(0);
+  SB_CHECK(kernel.ContextSwitchTo(world.machine->core(0), client).ok());
+
+  const mk::Message msg(1, std::vector<uint8_t>(128, 7));  // Typical small RPC.
+  for (int i = 0; i < 200; ++i) {
+    SB_CHECK(kernel.IpcCall(thread, slot, msg).ok());
+  }
+  hw::Core& core = world.machine->core(0);
+  const uint64_t start = core.cycles();
+  for (int i = 0; i < kIters; ++i) {
+    SB_CHECK(kernel.IpcCall(thread, slot, msg).ok());
+  }
+  return (core.cycles() - start) / kIters;
+}
+
+uint64_t MeasureSkyBridge(bench::World& world) {
+  auto* client = world.kernel->CreateProcess("client").value();
+  auto* server = world.kernel->CreateProcess("server").value();
+  const skybridge::ServerId sid =
+      world.sky->RegisterServer(server, 8, [](mk::CallEnv& env) { return env.request; })
+          .value();
+  SB_CHECK(world.sky->RegisterClient(client, sid).ok());
+  mk::Thread* thread = client->AddThread(0);
+  SB_CHECK(world.kernel->ContextSwitchTo(world.machine->core(0), client).ok());
+
+  const mk::Message msg(1, std::vector<uint8_t>(128, 7));
+  for (int i = 0; i < 200; ++i) {
+    SB_CHECK(world.sky->DirectServerCall(thread, sid, msg).ok());
+  }
+  hw::Core& core = world.machine->core(0);
+  const uint64_t start = core.cycles();
+  for (int i = 0; i < kIters; ++i) {
+    SB_CHECK(world.sky->DirectServerCall(thread, sid, msg).ok());
+  }
+  return (core.cycles() - start) / kIters;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Extension (Section 10): SkyBridge on a monolithic (Linux-style) kernel ==\n");
+  std::printf("Pipe-style IPC: 2 copies + scheduler wakeup + KPTI on every crossing.\n\n");
+
+  bench::World pipe_world = bench::MakeWorld(mk::LinuxProfile(), false, false);
+  const uint64_t pipe_rt = MeasurePipeIpc(pipe_world);
+
+  bench::World sky_world = bench::MakeWorld(mk::LinuxProfile(), true, true);
+  const uint64_t sky_rt = MeasureSkyBridge(sky_world);
+
+  sb::Table table({"Transport", "Roundtrip (cycles)", "Roundtrip (us @4GHz)"});
+  table.AddRow({"pipe-style kernel IPC", sb::Table::Int(pipe_rt),
+                sb::Table::Fixed(static_cast<double>(pipe_rt) / 4000.0, 2)});
+  table.AddRow({"SkyBridge direct call", sb::Table::Int(sky_rt),
+                sb::Table::Fixed(static_cast<double>(sky_rt) / 4000.0, 2)});
+  table.Print();
+  std::printf("\nimprovement: %.2fx (ratio %.2fx) — larger than on microkernels because\n",
+              static_cast<double>(pipe_rt) / static_cast<double>(sky_rt) - 1.0,
+              static_cast<double>(pipe_rt) / static_cast<double>(sky_rt));
+  std::printf("monolithic IPC pays copies, scheduling and KPTI on every crossing.\n");
+  return 0;
+}

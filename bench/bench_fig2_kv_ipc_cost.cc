@@ -1,0 +1,31 @@
+// Figure 2: the average latency of the KV store operation under Baseline,
+// Delay, IPC and IPC-CrossCore wirings, across key/value lengths — the
+// experiment that isolates the *indirect* (cache/TLB pollution) cost of IPC.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+
+int main() {
+  std::printf("== Figure 2: KV store latency (cycles/op, 50%%/50%% insert+query) ==\n");
+  std::printf("Paper @16B: Baseline 2707, Delay 3485, IPC 7929, CrossCore 18895\n\n");
+
+  const size_t kSizes[] = {16, 64, 256, 1024};
+  const apps::KvWiring kWirings[] = {apps::KvWiring::kBaseline, apps::KvWiring::kDelay,
+                                     apps::KvWiring::kIpc, apps::KvWiring::kIpcCrossCore};
+
+  sb::Table table({"Wiring", "16-Bytes", "64-Bytes", "256-Bytes", "1024-Bytes"});
+  for (const apps::KvWiring wiring : kWirings) {
+    std::vector<std::string> row{std::string(apps::KvWiringName(wiring))};
+    for (const size_t size : kSizes) {
+      bench::KvWorld kv = bench::MakeKvWorld(wiring);
+      row.push_back(sb::Table::Int(bench::RunKvOps(*kv.pipeline, 512, size)));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\nThe Delay rows add exactly the direct IPC cost; the gap between Delay\n");
+  std::printf("and IPC is the indirect pollution cost (Section 2.1.2).\n");
+  return 0;
+}

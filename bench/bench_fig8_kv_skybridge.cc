@@ -1,0 +1,43 @@
+// Figure 8: the KV store benchmark with SkyBridge connecting the processes,
+// next to the Figure 2 wirings.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+
+int main() {
+  std::printf("== Figure 8: KV store latency with SkyBridge (cycles/op) ==\n");
+  std::printf("Paper @16B: Baseline 2707, Delay 3485, IPC 7929, CrossCore 18895,\n");
+  std::printf("            SkyBridge 3512\n\n");
+
+  const size_t kSizes[] = {16, 64, 256, 1024};
+  const apps::KvWiring kWirings[] = {apps::KvWiring::kBaseline, apps::KvWiring::kDelay,
+                                     apps::KvWiring::kIpc, apps::KvWiring::kIpcCrossCore,
+                                     apps::KvWiring::kSkyBridge};
+
+  sb::Table table({"Wiring", "16-Bytes", "64-Bytes", "256-Bytes", "1024-Bytes"});
+  uint64_t ipc16 = 0;
+  uint64_t sky16 = 0;
+  for (const apps::KvWiring wiring : kWirings) {
+    std::vector<std::string> row{std::string(apps::KvWiringName(wiring))};
+    for (const size_t size : kSizes) {
+      bench::KvWorld kv = bench::MakeKvWorld(wiring);
+      const uint64_t cycles = bench::RunKvOps(*kv.pipeline, 512, size);
+      if (size == 16 && wiring == apps::KvWiring::kIpc) {
+        ipc16 = cycles;
+      }
+      if (size == 16 && wiring == apps::KvWiring::kSkyBridge) {
+        sky16 = cycles;
+      }
+      row.push_back(sb::Table::Int(cycles));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  if (sky16 > 0) {
+    std::printf("\n@16B SkyBridge reduces latency to %.0f%% of IPC (paper: 3512/7929 = 44%%)\n",
+                100.0 * static_cast<double>(sky16) / static_cast<double>(ipc16));
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Figures 9, 10, 11: YCSB-A throughput against client thread count for
+// seL4, Fiasco.OC and Zircon under st / mt / SkyBridge configurations.
+//
+// The virtual-time executor runs the client threads concurrently on the
+// 8-core machine; the DB lock and the xv6fs big lock serialize them, which
+// is what makes throughput *fall* with more threads, as in the paper.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/sqlite_stack.h"
+#include "src/base/table.h"
+#include "src/sim/executor.h"
+
+namespace {
+
+constexpr uint64_t kRecords = 600;   // Paper: 10,000 (scaled for bench time).
+constexpr int kOpsPerThread = 80;
+
+double MeasureThroughput(mk::KernelKind kernel, apps::StackTransport transport, int threads,
+                         apps::YcsbConfig base_wl = apps::YcsbA()) {
+  apps::SqliteStackConfig config;
+  config.kernel = kernel;
+  config.transport = transport;
+  config.preload_records = kRecords;
+  config.num_client_threads = threads;
+  // SQLite-like cache sizing (matches bench_table4): the Zipfian tail still
+  // reaches the file system.
+  config.db.row_cache_entries = 96;
+  config.db.pager_cache_pages = 48;
+  auto stack = apps::SqliteStack::Create(config);
+  SB_CHECK(stack.ok()) << stack.status().ToString();
+
+  apps::YcsbConfig wl = base_wl;
+  wl.record_count = kRecords;
+
+  sim::Executor exec((*stack)->machine());
+  // Cores carry setup-time cycles; measure elapsed time from here.
+  uint64_t base_time = 0;
+  for (int c = 0; c < (*stack)->machine().num_cores(); ++c) {
+    base_time = std::max(base_time, (*stack)->machine().core(c).cycles());
+  }
+  for (int c = 0; c < (*stack)->machine().num_cores(); ++c) {
+    (*stack)->machine().core(c).SyncClockTo(base_time);
+  }
+  (*stack)->db_lock().Release(base_time);
+  (*stack)->fs().big_lock().Release(base_time);
+  std::vector<std::unique_ptr<apps::YcsbWorkload>> workloads;
+  uint64_t total_ops = 0;
+  for (int t = 0; t < threads; ++t) {
+    apps::YcsbConfig thread_wl = wl;
+    thread_wl.seed = wl.seed + static_cast<uint64_t>(t);
+    workloads.push_back(std::make_unique<apps::YcsbWorkload>(thread_wl));
+    apps::YcsbWorkload* workload = workloads.back().get();
+    apps::SqliteStack* s = stack->get();
+    sim::SimThread* thread = exec.AddThread(
+        "client" + std::to_string(t), t % 8, [=, &total_ops](sim::SimThread& st) {
+          SB_CHECK(s->RunYcsbOp(t, workload->NextOp(), *workload).ok());
+          ++total_ops;
+          return st.iterations() + 1 < kOpsPerThread;
+        });
+    thread->set_now(base_time);
+  }
+  exec.RunToCompletion();
+  const double seconds = static_cast<double>(exec.max_time() - base_time) /
+                         hw::DefaultCosts().cycles_per_second;
+  return static_cast<double>(total_ops) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figures 9-11: YCSB-A throughput (ops/s) vs client threads ==\n");
+  std::printf("Paper (seL4, 1 thread): st 9627, mt 9660, SkyBridge 17575; throughput\n");
+  std::printf("FALLS with threads (DB + FS big-lock serialization).\n\n");
+
+  const int kThreads[] = {1, 2, 4, 8};
+  for (const mk::KernelKind kernel :
+       {mk::KernelKind::kSel4, mk::KernelKind::kFiasco, mk::KernelKind::kZircon}) {
+    std::printf("-- %s (Figure %d) --\n", mk::ProfileFor(kernel).name.c_str(),
+                kernel == mk::KernelKind::kSel4     ? 9
+                : kernel == mk::KernelKind::kFiasco ? 10
+                                                    : 11);
+    sb::Table table({"Config", "1-thread", "2-thread", "4-thread", "8-thread"});
+    const apps::StackTransport kTransports[] = {apps::StackTransport::kIpcStServer,
+                                                apps::StackTransport::kIpcMtServer,
+                                                apps::StackTransport::kSkyBridge};
+    const char* kNames[] = {"st", "mt", "SkyBridge"};
+    for (int i = 0; i < 3; ++i) {
+      std::vector<std::string> row{std::string(mk::ProfileFor(kernel).name) + "-" + kNames[i]};
+      for (const int threads : kThreads) {
+        row.push_back(sb::Table::Fixed(MeasureThroughput(kernel, kTransports[i], threads), 0));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // The paper: "All workloads have similar results and we only report
+  // YCSB-A" — spot-check B (95% reads) and C (read-only) on seL4.
+  std::printf("-- YCSB-B / YCSB-C spot check (seL4, 1 thread, ops/s) --\n");
+  sb::Table bc({"Workload", "mt", "SkyBridge", "speedup"});
+  for (const auto& [name, wl] :
+       {std::pair<const char*, apps::YcsbConfig>{"YCSB-B", apps::YcsbB()},
+        std::pair<const char*, apps::YcsbConfig>{"YCSB-C", apps::YcsbC()}}) {
+    const double mt =
+        MeasureThroughput(mk::KernelKind::kSel4, apps::StackTransport::kIpcMtServer, 1, wl);
+    const double sky =
+        MeasureThroughput(mk::KernelKind::kSel4, apps::StackTransport::kSkyBridge, 1, wl);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", sky / mt);
+    bc.AddRow({name, sb::Table::Fixed(mt, 0), sb::Table::Fixed(sky, 0), speedup});
+  }
+  bc.Print();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Google-benchmark microbenchmarks over the simulator's hot paths: the
+// VMFUNC gate, the charged 2-D translation, and the SkyBridge roundtrip.
+// These measure *host* time per simulated operation (throughput of the
+// simulator itself), complementing the cycle-accurate benches.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/units.h"
+#include "src/hw/machine.h"
+#include "src/hw/paging.h"
+#include "src/mk/kernel.h"
+#include "src/skybridge/skybridge.h"
+#include "src/vmm/rootkernel.h"
+
+namespace {
+
+struct SkyFixture {
+  SkyFixture() {
+    hw::MachineConfig mc;
+    mc.num_cores = 2;
+    mc.ram_bytes = 2 * sb::kGiB;
+    machine = std::make_unique<hw::Machine>(mc);
+    kernel = std::make_unique<mk::Kernel>(*machine, mk::Sel4Profile());
+    SB_CHECK(kernel->Boot().ok());
+    sky = std::make_unique<skybridge::SkyBridge>(*kernel);
+    client = kernel->CreateProcess("client").value();
+    server = kernel->CreateProcess("server").value();
+    sid = sky->RegisterServer(server, 4, [](mk::CallEnv& env) { return env.request; }).value();
+    SB_CHECK(sky->RegisterClient(client, sid).ok());
+    thread = client->AddThread(0);
+    SB_CHECK(kernel->ContextSwitchTo(machine->core(0), client).ok());
+  }
+
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<mk::Kernel> kernel;
+  std::unique_ptr<skybridge::SkyBridge> sky;
+  mk::Process* client;
+  mk::Process* server;
+  skybridge::ServerId sid;
+  mk::Thread* thread;
+};
+
+void BM_Vmfunc(benchmark::State& state) {
+  SkyFixture fixture;
+  hw::Core& core = fixture.machine->core(0);
+  uint32_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.Vmfunc(0, index));
+    index ^= 1;
+  }
+}
+BENCHMARK(BM_Vmfunc);
+
+void BM_ChargedTranslation(benchmark::State& state) {
+  SkyFixture fixture;
+  hw::Core& core = fixture.machine->core(0);
+  uint64_t va = mk::kHeapVa;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.ReadVirtU64(va));
+    va = mk::kHeapVa + ((va + 4096) & 0xfffff);
+  }
+}
+BENCHMARK(BM_ChargedTranslation);
+
+void BM_SkyBridgeRoundtrip(benchmark::State& state) {
+  SkyFixture fixture;
+  const mk::Message msg(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.sky->DirectServerCall(fixture.thread, fixture.sid, msg));
+  }
+}
+BENCHMARK(BM_SkyBridgeRoundtrip);
+
+void BM_KernelIpcRoundtrip(benchmark::State& state) {
+  SkyFixture fixture;
+  auto* ep = fixture.kernel
+                 ->CreateEndpoint(
+                     fixture.server, [](mk::CallEnv& env) { return env.request; }, {})
+                 .value();
+  const mk::CapSlot slot =
+      fixture.kernel->GrantEndpointCap(fixture.client, ep->id(), mk::kRightCall).value();
+  const mk::Message msg(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.kernel->IpcCall(fixture.thread, slot, msg));
+  }
+}
+BENCHMARK(BM_KernelIpcRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

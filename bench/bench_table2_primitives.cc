@@ -1,0 +1,91 @@
+// Table 2 + Section 2.1.1: latency of the primitive instructions and
+// operations, measured on the simulated core exactly as the paper measures
+// them on Skylake (averaged over many executions).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+#include "src/hw/ept.h"
+
+namespace {
+
+uint64_t MeasureCr3Write(hw::Machine& machine, mk::Kernel& kernel) {
+  auto p1 = kernel.CreateProcess("a").value();
+  auto p2 = kernel.CreateProcess("b").value();
+  hw::Core& core = machine.core(1);
+  const int kIters = 1000;
+  const uint64_t start = core.cycles();
+  for (int i = 0; i < kIters; ++i) {
+    core.WriteCr3(i % 2 == 0 ? p1->cr3() : p2->cr3(), i % 2 == 0 ? p1->pcid() : p2->pcid(),
+                  true);
+  }
+  return (core.cycles() - start) / kIters;
+}
+
+uint64_t MeasureVmfunc(hw::Machine& machine, mk::Kernel& kernel) {
+  hw::Core& core = machine.core(2);
+  // Two EPTs on the list; alternate between them.
+  const uint64_t ept_id =
+      core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kCreateProcessEpt));
+  SB_CHECK(ept_id != vmm::kHypercallError);
+  core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListClear));
+  core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListAppend), 0);
+  core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListAppend), ept_id);
+  const int kIters = 1000;
+  const uint64_t start = core.cycles();
+  for (int i = 0; i < kIters; ++i) {
+    SB_CHECK(core.Vmfunc(0, static_cast<uint32_t>(i % 2)).ok());
+  }
+  return (core.cycles() - start) / kIters;
+}
+
+uint64_t MeasureNoOpSyscall(mk::Kernel& kernel, hw::Core& core) {
+  const int kIters = 1000;
+  for (int i = 0; i < 32; ++i) {
+    kernel.NoOpSyscall(core);
+  }
+  const uint64_t start = core.cycles();
+  for (int i = 0; i < kIters; ++i) {
+    kernel.NoOpSyscall(core);
+  }
+  return (core.cycles() - start) / kIters;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 2: latency of different instructions and operations (cycles) ==\n");
+  std::printf("Paper (Skylake i7-6700K): CR3 write 186, no-op syscall w/ KPTI 431,\n");
+  std::printf("no-op syscall w/o KPTI 181, VMFUNC 134.\n\n");
+
+  bench::World world = bench::MakeWorld(mk::Sel4Profile(), true, false);
+  const uint64_t cr3 = MeasureCr3Write(*world.machine, *world.kernel);
+  const uint64_t vmfunc = MeasureVmfunc(*world.machine, *world.kernel);
+  const uint64_t noop_plain = MeasureNoOpSyscall(*world.kernel, world.machine->core(3));
+
+  mk::KernelProfile kpti_profile = mk::Sel4Profile();
+  kpti_profile.kpti = true;
+  bench::World kpti = bench::MakeWorld(kpti_profile, false, false);
+  const uint64_t noop_kpti = MeasureNoOpSyscall(*kpti.kernel, kpti.machine->core(3));
+
+  sb::Table table({"Instruction or Operation", "Cycles (measured)", "Cycles (paper)"});
+  table.AddRow({"write to CR3", sb::Table::Int(cr3), "186"});
+  table.AddRow({"no-op system call w/ KPTI", sb::Table::Int(noop_kpti), "431"});
+  table.AddRow({"no-op system call w/o KPTI", sb::Table::Int(noop_plain), "181"});
+  table.AddRow({"VMFUNC", sb::Table::Int(vmfunc), "134"});
+  table.Print();
+
+  std::printf("\n== Section 2.1.1: mode-switch instruction costs (cycles) ==\n");
+  const hw::CostModel& cm = world.machine->costs();
+  sb::Table modes({"Instruction", "Cycles (measured)", "Cycles (paper)"});
+  modes.AddRow({"SYSCALL", sb::Table::Int(cm.syscall_insn), "82"});
+  modes.AddRow({"SWAPGS", sb::Table::Int(cm.swapgs_insn), "26"});
+  modes.AddRow({"SYSRET", sb::Table::Int(cm.sysret_insn), "75"});
+  modes.AddRow({"IPI (send-to-delivery)", sb::Table::Int(cm.ipi), "1913"});
+  modes.Print();
+
+  std::printf("\nfastest one-way IPC composition: 82 + 2x26 + 75 + 186 + 98 = %d (paper: 493)\n",
+              82 + 2 * 26 + 75 + 186 + 98);
+  return 0;
+}

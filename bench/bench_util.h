@@ -1,0 +1,45 @@
+// Shared helpers for the benchmark binaries.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/apps/kv.h"
+#include "src/mk/kernel.h"
+#include "src/skybridge/skybridge.h"
+
+namespace bench {
+
+// A booted machine + kernel (+ optional Rootkernel/SkyBridge).
+struct World {
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<mk::Kernel> kernel;
+  std::unique_ptr<skybridge::SkyBridge> sky;
+};
+
+World MakeWorld(mk::KernelProfile profile, bool rootkernel, bool skybridge,
+                int cores = 8);
+
+// A KV pipeline world for the Figure 2/8 and Table 1 benchmarks.
+struct KvWorld {
+  World world;
+  std::unique_ptr<apps::KvPipeline> pipeline;
+};
+
+KvWorld MakeKvWorld(apps::KvWiring wiring, mk::KernelProfile profile = mk::Sel4Profile());
+
+// Runs `ops` 50/50 insert/query KV operations with the given key/value size;
+// returns average cycles per operation (measured on the client core).
+uint64_t RunKvOps(apps::KvPipeline& pipeline, int ops, size_t kv_len, uint64_t seed = 1,
+                  bool warmup = true);
+
+// ops/s at the simulated 4 GHz from cycles/op.
+double OpsPerSecond(double cycles_per_op);
+
+std::string Humanize(double v);
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+// The Section 5 defence as a runnable example: scan a binary for the VMFUNC
+// pattern (0F 01 D4), classify every occurrence (C1/C2/C3), rewrite them
+// away, and prove functional equivalence by executing both versions in the
+// bundled x86-64 emulator.
+//
+// Build & run:  ./build/examples/rewriter_demo
+
+#include <cstdio>
+
+#include "src/x86/assembler.h"
+#include "src/x86/emulator.h"
+#include "src/x86/format.h"
+#include "src/x86/rewriter.h"
+#include "src/x86/scanner.h"
+
+namespace {
+
+void HexDump(const char* label, std::span<const uint8_t> bytes, size_t limit = 48) {
+  std::printf("%s:", label);
+  for (size_t i = 0; i < bytes.size() && i < limit; ++i) {
+    std::printf("%s%02x", i % 16 == 0 ? "\n  " : " ", bytes[i]);
+  }
+  if (bytes.size() > limit) {
+    std::printf(" ...");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // A "malicious" program: a self-prepared VMFUNC (the SeCage-style attack),
+  // plus inadvertent patterns in an immediate and a ModRM byte.
+  x86::Assembler a;
+  a.MovRI64(x86::Reg::kRax, 0);
+  a.Vmfunc();                                              // C1: real VMFUNC.
+  a.AddRI(x86::Reg::kRbx, 0x00d4010f);                     // C3: in immediate.
+  a.Raw({0x48, 0x69, 0x0f, 0x01, 0xd4, 0x00, 0x00});       // C3: ModRM = 0x0F.
+  a.MovRR64(x86::Reg::kRdx, x86::Reg::kRbx);
+  a.Ret();
+  const std::vector<uint8_t> code = a.Take();
+
+  HexDump("original code", code);
+  std::printf("\ndisassembly:\n%s", x86::Disassemble(code).c_str());
+  const auto hits = x86::ScanForVmfunc(code);
+  std::printf("\nscan: %zu occurrences of 0F 01 D4\n", hits.size());
+  for (const auto& hit : hits) {
+    std::printf("  offset %-4zu in instruction at %-4zu  (%s)\n", hit.pattern_off,
+                hit.insn_off, std::string(x86::VmfuncOverlapName(hit.overlap)).c_str());
+  }
+
+  x86::RewriteConfig config;
+  auto result = x86::RewriteVmfunc(code, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "rewrite failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nrewritten: %d NOPed, %d windows moved to the rewrite page (%zu bytes)\n",
+              result->stats.nop_replaced, result->stats.windows_relocated,
+              result->rewrite_page.size());
+  HexDump("rewritten code", result->code);
+  std::printf("\nrewritten disassembly:\n%s", x86::Disassemble(result->code).c_str());
+  std::printf("\nrewrite page:\n%s", x86::Disassemble(result->rewrite_page).c_str());
+  std::printf("\npattern occurrences after rewrite: code=%zu rewrite-page=%zu\n",
+              x86::FindVmfuncBytes(result->code).size(),
+              x86::FindVmfuncBytes(result->rewrite_page).size());
+
+  // Execute both in the emulator and compare the architectural state. The
+  // original stops at its VMFUNC; for the equivalence run we compare the
+  // registers the surviving instructions produce.
+  x86::Emulator original;
+  original.LoadBytes(config.code_base, code);
+  original.state().rip = config.code_base;
+  const x86::StopInfo orig_stop = original.Run(10000);
+
+  x86::Emulator rewritten;
+  rewritten.LoadBytes(config.code_base, result->code);
+  rewritten.LoadBytes(config.rewrite_page_base, result->rewrite_page);
+  rewritten.state().rip = config.code_base;
+  const x86::StopInfo new_stop = rewritten.Run(10000);
+
+  std::printf("\noriginal run:  stopped with %s (VMFUNCs executed: %llu)\n",
+              orig_stop.reason == x86::StopReason::kVmfunc ? "VMFUNC" : "RET",
+              static_cast<unsigned long long>(orig_stop.vmfunc_count));
+  std::printf("rewritten run: stopped with %s (VMFUNCs executed: %llu)\n",
+              new_stop.reason == x86::StopReason::kRet ? "RET" : "?",
+              static_cast<unsigned long long>(new_stop.vmfunc_count));
+  std::printf("rewritten rbx = 0x%llx, rdx = 0x%llx (the computation survived)\n",
+              static_cast<unsigned long long>(rewritten.state().reg(x86::Reg::kRbx)),
+              static_cast<unsigned long long>(rewritten.state().reg(x86::Reg::kRdx)));
+  return 0;
+}

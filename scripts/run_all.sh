@@ -1,0 +1,14 @@
+#!/bin/sh
+# Builds everything, runs the full test suite and regenerates every paper
+# table/figure into test_output.txt and bench_output.txt at the repo root.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $b ====="
+    "$b"
+  fi
+done 2>&1 | tee bench_output.txt

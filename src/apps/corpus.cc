@@ -1,0 +1,146 @@
+#include "src/apps/corpus.h"
+
+#include "src/x86/assembler.h"
+
+namespace apps {
+
+using x86::Assembler;
+using x86::Reg;
+
+namespace {
+
+Reg RandReg(sb::Rng& rng) {
+  static const Reg kRegs[] = {Reg::kRax, Reg::kRbx, Reg::kRcx, Reg::kRdx,
+                              Reg::kRsi, Reg::kRdi, Reg::kR8,  Reg::kR9,
+                              Reg::kR10, Reg::kR11};
+  return kRegs[rng.Below(10)];
+}
+
+// Immediates avoid the 0x0f/0x01/0xd4 bytes so accidental patterns can only
+// come from our deliberate plants (mirroring how rare the pattern is in real
+// code: one hit across gigabytes in the paper's scan).
+int32_t CleanImm(sb::Rng& rng) {
+  uint32_t v = static_cast<uint32_t>(rng.Below(1u << 30));
+  for (int shift = 0; shift < 32; shift += 8) {
+    const uint32_t byte = (v >> shift) & 0xff;
+    if (byte == 0x0f || byte == 0x01 || byte == 0xd4) {
+      v ^= 0x20u << shift;
+    }
+  }
+  return static_cast<int32_t>(v);
+}
+
+void EmitRandomInsn(Assembler& a, sb::Rng& rng) {
+  switch (rng.Below(17)) {
+    case 0:
+      a.MovRI64(RandReg(rng), static_cast<uint64_t>(CleanImm(rng)));
+      break;
+    case 1:
+      a.MovRR64(RandReg(rng), RandReg(rng));
+      break;
+    case 2:
+      a.MovRM64(RandReg(rng), RandReg(rng), CleanImm(rng) & 0xfff);
+      break;
+    case 3:
+      a.MovMR64(RandReg(rng), CleanImm(rng) & 0xfff, RandReg(rng));
+      break;
+    case 4:
+      a.AddRI(RandReg(rng), CleanImm(rng));
+      break;
+    case 5:
+      a.SubRI(RandReg(rng), CleanImm(rng));
+      break;
+    case 6:
+      a.AndRI(RandReg(rng), CleanImm(rng));
+      break;
+    case 7:
+      a.XorRR(RandReg(rng), RandReg(rng));
+      break;
+    case 8:
+      a.CmpRI(RandReg(rng), CleanImm(rng));
+      break;
+    case 9:
+      a.Lea(RandReg(rng), RandReg(rng), Assembler::kNoIndex, 1, CleanImm(rng) & 0xffff);
+      break;
+    case 10:
+      a.ImulRRI(RandReg(rng), RandReg(rng), CleanImm(rng) & 0xffff);
+      break;
+    case 11:
+      a.PushR(RandReg(rng));
+      a.PopR(RandReg(rng));
+      break;
+    case 12:
+      a.Nop();
+      break;
+    case 14:
+      a.ShlRI(RandReg(rng), static_cast<uint8_t>(1 + rng.Below(31)));
+      break;
+    case 15:
+      a.IncR(RandReg(rng));
+      a.DecR(RandReg(rng));
+      break;
+    case 16:
+      a.NotR(RandReg(rng));
+      break;
+    case 13:
+      // Short forward branch over a small body (common compiler output).
+      a.JccRel8(static_cast<uint8_t>(rng.Below(16)), 2);
+      a.Nop();
+      a.Nop();
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> GenerateProgram(sb::Rng& rng, size_t size_bytes) {
+  Assembler a;
+  while (a.size() + 16 < size_bytes) {
+    EmitRandomInsn(a, rng);
+  }
+  a.Ret();
+  return a.Take();
+}
+
+std::vector<uint8_t> GenerateProgramWithCallImmPattern(sb::Rng& rng, size_t size_bytes) {
+  Assembler a;
+  const size_t plant_at = size_bytes / 2;
+  bool planted = false;
+  while (a.size() + 16 < size_bytes) {
+    if (!planted && a.size() >= plant_at) {
+      // call rel32 whose displacement bytes are 0F 01 D4 00: the GIMP case.
+      a.CallRel32(0x00d4010f);
+      planted = true;
+      continue;
+    }
+    EmitRandomInsn(a, rng);
+  }
+  a.Ret();
+  return a.Take();
+}
+
+std::vector<CorpusProgram> BuildTable6Corpus(uint64_t seed) {
+  sb::Rng rng(seed);
+  std::vector<CorpusProgram> corpus;
+
+  // Sized after the paper's Table 6 rows (average code sizes in KB),
+  // scaled down ~4x to keep the scan fast.
+  auto add_many = [&](const std::string& base, int count, size_t bytes) {
+    for (int i = 0; i < count; ++i) {
+      corpus.push_back({base + "-" + std::to_string(i), GenerateProgram(rng, bytes)});
+    }
+  };
+  add_many("SPECCPU2006", 31, 106 * 1024);
+  add_many("PARSEC3.0", 45, 210 * 1024);
+  corpus.push_back({"Nginx-1.6.2", GenerateProgram(rng, 245 * 1024)});
+  corpus.push_back({"Apache-2.4.10", GenerateProgram(rng, 166 * 1024)});
+  corpus.push_back({"Memcached-1.4.21", GenerateProgram(rng, 30 * 1024)});
+  corpus.push_back({"Redis-2.8.17", GenerateProgram(rng, 182 * 1024)});
+  corpus.push_back({"vmlinux-4.14.29", GenerateProgram(rng, 2624 * 1024)});
+  add_many("kmod", 64, 4 * 1024);  // Stand-in for the 2934 kernel modules.
+  add_many("app", 128, 54 * 1024);  // Stand-in for the 2605 "other apps".
+  corpus.push_back({"GIMP-2.8", GenerateProgramWithCallImmPattern(rng, 54 * 1024)});
+  return corpus;
+}
+
+}  // namespace apps

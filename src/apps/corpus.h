@@ -1,0 +1,38 @@
+// Synthetic binary corpus for the Table 6 experiment.
+//
+// Generates realistic x86-64 instruction streams (the decoder/assembler
+// subset plus common encodings) of program-scale sizes, optionally planting
+// an inadvertent VMFUNC pattern — e.g. GIMP 2.8's single occurrence inside a
+// call instruction's immediate.
+
+#ifndef SRC_APPS_CORPUS_H_
+#define SRC_APPS_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace apps {
+
+struct CorpusProgram {
+  std::string name;
+  std::vector<uint8_t> code;
+};
+
+// A realistic instruction stream of ~`size_bytes`.
+std::vector<uint8_t> GenerateProgram(sb::Rng& rng, size_t size_bytes);
+
+// Same, with a 0F 01 D4 pattern planted inside a CALL rel32 immediate at a
+// random position (the GIMP case from Table 6).
+std::vector<uint8_t> GenerateProgramWithCallImmPattern(sb::Rng& rng, size_t size_bytes);
+
+// The full Table 6 corpus: entries modeled on the paper's table rows
+// (SPECCPU-scale, PARSEC-scale, servers, a kernel-scale image, many small
+// apps) with exactly one planted occurrence in "GIMP-2.8".
+std::vector<CorpusProgram> BuildTable6Corpus(uint64_t seed);
+
+}  // namespace apps
+
+#endif  // SRC_APPS_CORPUS_H_

@@ -1,0 +1,274 @@
+#include "src/apps/kv.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace apps {
+namespace {
+
+// Per-operation fixed compute (request marshalling, server dispatch, hash).
+constexpr uint64_t kClientLogicCycles = 700;
+constexpr uint64_t kEncryptLogicCycles = 600;
+constexpr uint64_t kKvLogicCycles = 700;
+// XTEA cost per byte on the simulated core.
+constexpr uint64_t kCipherCyclesPerByte = 8;
+// The Delay wiring's busy loop: the direct cost of one IPC (Section 2.1.1).
+constexpr uint64_t kDelayCycles = 493;
+
+constexpr uint64_t kOpInsert = 1;
+constexpr uint64_t kOpQuery = 2;
+
+mk::Message EncodeRequest(uint64_t op, const std::string& key, const std::string& value) {
+  mk::Message msg(op);
+  const uint32_t klen = static_cast<uint32_t>(key.size());
+  msg.data.resize(4 + key.size() + value.size());
+  std::memcpy(msg.data.data(), &klen, 4);
+  std::memcpy(msg.data.data() + 4, key.data(), key.size());
+  std::memcpy(msg.data.data() + 4 + key.size(), value.data(), value.size());
+  return msg;
+}
+
+void DecodeRequest(const mk::Message& msg, std::string* key, std::string* value) {
+  uint32_t klen = 0;
+  if (msg.data.size() >= 4) {
+    std::memcpy(&klen, msg.data.data(), 4);
+  }
+  if (4 + klen <= msg.data.size()) {
+    key->assign(msg.data.begin() + 4, msg.data.begin() + 4 + klen);
+    value->assign(msg.data.begin() + 4 + klen, msg.data.end());
+  }
+}
+
+}  // namespace
+
+void XteaEncrypt(std::span<uint8_t> data, const uint32_t key[4]) {
+  for (size_t off = 0; off + 8 <= data.size(); off += 8) {
+    uint32_t v0 = 0;
+    uint32_t v1 = 0;
+    std::memcpy(&v0, data.data() + off, 4);
+    std::memcpy(&v1, data.data() + off + 4, 4);
+    uint32_t sum = 0;
+    for (int i = 0; i < 32; ++i) {
+      v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+      sum += 0x9e3779b9;
+      v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+    }
+    std::memcpy(data.data() + off, &v0, 4);
+    std::memcpy(data.data() + off + 4, &v1, 4);
+  }
+}
+
+void XteaDecrypt(std::span<uint8_t> data, const uint32_t key[4]) {
+  for (size_t off = 0; off + 8 <= data.size(); off += 8) {
+    uint32_t v0 = 0;
+    uint32_t v1 = 0;
+    std::memcpy(&v0, data.data() + off, 4);
+    std::memcpy(&v1, data.data() + off + 4, 4);
+    uint32_t sum = 0x9e3779b9u * 32;
+    for (int i = 0; i < 32; ++i) {
+      v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+      sum -= 0x9e3779b9;
+      v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+    }
+    std::memcpy(data.data() + off, &v0, 4);
+    std::memcpy(data.data() + off + 4, &v1, 4);
+  }
+}
+
+std::string_view KvWiringName(KvWiring wiring) {
+  switch (wiring) {
+    case KvWiring::kBaseline:
+      return "Baseline";
+    case KvWiring::kDelay:
+      return "Delay";
+    case KvWiring::kIpc:
+      return "IPC";
+    case KvWiring::kIpcCrossCore:
+      return "IPC-CrossCore";
+    case KvWiring::kSkyBridge:
+      return "SkyBridge";
+  }
+  return "?";
+}
+
+KvPipeline::KvPipeline(mk::Kernel& kernel, skybridge::SkyBridge* sky, KvWiring wiring)
+    : kernel_(&kernel), sky_(sky), wiring_(wiring) {}
+
+hw::Core& KvPipeline::client_core() { return kernel_->machine().core(0); }
+
+mk::Message KvPipeline::HandleKv(mk::CallEnv& env, hw::Core* core) {
+  hw::Core& c = core != nullptr ? *core : env.core;
+  c.AdvanceCycles(kKvLogicCycles);
+  std::string key;
+  std::string value;
+  DecodeRequest(env.request, &key, &value);
+  const uint64_t slot = std::hash<std::string>{}(key) % 4096;
+  if (env.request.tag == kOpInsert) {
+    // Hash bucket + stored bytes traffic in the KV server's heap.
+    (void)c.TouchData(kv_heap_ + slot * 64, 64, true);
+    (void)c.TouchData(kv_heap_ + 4096 * 64 + (slot % 512) * 2048,
+                      std::max<uint64_t>(key.size() + value.size(), 64), true);
+    store_[key] = value;
+    ++stats_.inserts;
+    return mk::Message(1);
+  }
+  // Query.
+  (void)c.TouchData(kv_heap_ + slot * 64, 64, false);
+  ++stats_.queries;
+  auto it = store_.find(key);
+  if (it == store_.end()) {
+    return mk::Message(0);
+  }
+  (void)c.TouchData(kv_heap_ + 4096 * 64 + (slot % 512) * 2048,
+                    std::max<uint64_t>(it->second.size(), 64), false);
+  ++stats_.hits;
+  mk::Message reply(1);
+  reply.data.assign(it->second.begin(), it->second.end());
+  return reply;
+}
+
+sb::StatusOr<mk::Message> KvPipeline::ForwardToKv(hw::Core& core, const mk::Message& msg) {
+  switch (wiring_) {
+    case KvWiring::kBaseline:
+    case KvWiring::kDelay: {
+      if (wiring_ == KvWiring::kDelay) {
+        core.AdvanceCycles(kDelayCycles);
+      }
+      mk::CallEnv env{*kernel_, core, *client_, msg};
+      return HandleKv(env, &core);
+    }
+    case KvWiring::kIpc:
+    case KvWiring::kIpcCrossCore:
+      return kernel_->IpcCall(encrypt_thread_, kv_cap_, msg);
+    case KvWiring::kSkyBridge:
+      return sky_->DirectServerCall(encrypt_thread_, kv_sid_, msg);
+  }
+  return sb::Internal("bad wiring");
+}
+
+mk::Message KvPipeline::HandleEncrypt(mk::CallEnv& env) {
+  hw::Core& core = env.core;
+  core.AdvanceCycles(kEncryptLogicCycles);
+  std::string key;
+  std::string value;
+  DecodeRequest(env.request, &key, &value);
+
+  if (env.request.tag == kOpInsert) {
+    std::vector<uint8_t> cipher(value.begin(), value.end());
+    XteaEncrypt(cipher, cipher_key_);
+    core.AdvanceCycles(kCipherCyclesPerByte * cipher.size());
+    (void)core.TouchData(encrypt_heap_, std::max<uint64_t>(cipher.size(), 64), true);
+    auto fwd = ForwardToKv(core, EncodeRequest(kOpInsert, key,
+                                               std::string(cipher.begin(), cipher.end())));
+    return fwd.ok() ? *fwd : mk::Message(0);
+  }
+  // Query: fetch from KV, decrypt, return plaintext.
+  auto fwd = ForwardToKv(core, EncodeRequest(kOpQuery, key, ""));
+  if (!fwd.ok() || fwd->tag == 0) {
+    return mk::Message(0);
+  }
+  std::vector<uint8_t> plain = fwd->data;
+  XteaDecrypt(plain, cipher_key_);
+  core.AdvanceCycles(kCipherCyclesPerByte * plain.size());
+  (void)core.TouchData(encrypt_heap_, std::max<uint64_t>(plain.size(), 64), false);
+  mk::Message reply(1);
+  reply.data = std::move(plain);
+  return reply;
+}
+
+sb::Status KvPipeline::Setup() {
+  SB_ASSIGN_OR_RETURN(client_, kernel_->CreateProcess("kv-client"));
+  client_thread_ = client_->AddThread(0);
+
+  if (wiring_ == KvWiring::kBaseline || wiring_ == KvWiring::kDelay) {
+    // Single address space: the "servers" are plain functions; their state
+    // lives in the client's heap.
+    SB_ASSIGN_OR_RETURN(kv_heap_, client_->AllocHeap(2 * 1024 * 1024, 4096));
+    SB_ASSIGN_OR_RETURN(encrypt_heap_, client_->AllocHeap(64 * 1024, 4096));
+    encrypt_ = client_;
+    kv_ = client_;
+    encrypt_thread_ = client_thread_;
+    return kernel_->ContextSwitchTo(client_core(), client_);
+  }
+
+  SB_ASSIGN_OR_RETURN(encrypt_, kernel_->CreateProcess("kv-encrypt"));
+  SB_ASSIGN_OR_RETURN(kv_, kernel_->CreateProcess("kv-store"));
+  SB_ASSIGN_OR_RETURN(kv_heap_, kv_->AllocHeap(2 * 1024 * 1024, 4096));
+  SB_ASSIGN_OR_RETURN(encrypt_heap_, encrypt_->AllocHeap(64 * 1024, 4096));
+
+  const bool cross = wiring_ == KvWiring::kIpcCrossCore;
+  encrypt_thread_ = encrypt_->AddThread(cross ? 1 : 0);
+
+  if (wiring_ == KvWiring::kSkyBridge) {
+    SB_CHECK(sky_ != nullptr);
+    SB_ASSIGN_OR_RETURN(
+        kv_sid_, sky_->RegisterServer(
+                     kv_, 8, [this](mk::CallEnv& env) { return HandleKv(env, nullptr); }));
+    SB_ASSIGN_OR_RETURN(encrypt_sid_,
+                        sky_->RegisterServer(encrypt_, 8, [this](mk::CallEnv& env) {
+                          return HandleEncrypt(env);
+                        }));
+    SB_RETURN_IF_ERROR(sky_->RegisterClient(client_, encrypt_sid_));
+    SB_RETURN_IF_ERROR(sky_->RegisterClient(encrypt_, kv_sid_));
+  } else {
+    std::vector<int> encrypt_cores;
+    std::vector<int> kv_cores;
+    if (cross) {
+      encrypt_cores = {1};
+      kv_cores = {2};
+    }
+    SB_ASSIGN_OR_RETURN(
+        mk::Endpoint * kv_ep,
+        kernel_->CreateEndpoint(
+            kv_, [this](mk::CallEnv& env) { return HandleKv(env, nullptr); }, kv_cores));
+    SB_ASSIGN_OR_RETURN(
+        mk::Endpoint * enc_ep,
+        kernel_->CreateEndpoint(
+            encrypt_, [this](mk::CallEnv& env) { return HandleEncrypt(env); }, encrypt_cores));
+    SB_ASSIGN_OR_RETURN(encrypt_cap_,
+                        kernel_->GrantEndpointCap(client_, enc_ep->id(), mk::kRightCall));
+    SB_ASSIGN_OR_RETURN(kv_cap_, kernel_->GrantEndpointCap(encrypt_, kv_ep->id(), mk::kRightCall));
+  }
+  return kernel_->ContextSwitchTo(client_core(), client_);
+}
+
+sb::StatusOr<mk::Message> KvPipeline::CallEncrypt(const mk::Message& msg) {
+  hw::Core& core = client_core();
+  core.AdvanceCycles(kClientLogicCycles);
+  (void)core.TouchData(mk::kHeapVa + 0x1000, std::max<uint64_t>(msg.data.size(), 64), true);
+  switch (wiring_) {
+    case KvWiring::kBaseline:
+    case KvWiring::kDelay: {
+      if (wiring_ == KvWiring::kDelay) {
+        core.AdvanceCycles(kDelayCycles);
+      }
+      mk::CallEnv env{*kernel_, core, *client_, msg};
+      return HandleEncrypt(env);
+    }
+    case KvWiring::kIpc:
+    case KvWiring::kIpcCrossCore:
+      return kernel_->IpcCall(client_thread_, encrypt_cap_, msg);
+    case KvWiring::kSkyBridge:
+      return sky_->DirectServerCall(client_thread_, encrypt_sid_, msg);
+  }
+  return sb::Internal("bad wiring");
+}
+
+sb::Status KvPipeline::Insert(const std::string& key, const std::string& value) {
+  SB_ASSIGN_OR_RETURN(const mk::Message reply, CallEncrypt(EncodeRequest(kOpInsert, key, value)));
+  if (reply.tag != 1) {
+    return sb::Internal("insert failed");
+  }
+  return sb::OkStatus();
+}
+
+sb::StatusOr<std::string> KvPipeline::Query(const std::string& key) {
+  SB_ASSIGN_OR_RETURN(const mk::Message reply, CallEncrypt(EncodeRequest(kOpQuery, key, "")));
+  if (reply.tag != 1) {
+    return sb::NotFound("no such key");
+  }
+  return reply.ToString();
+}
+
+}  // namespace apps

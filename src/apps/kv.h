@@ -1,0 +1,106 @@
+// The key-value store pipeline from Section 2 (Figure 1):
+//
+//   Client -> Encryption server -> KV store server
+//
+// Inserts flow client -> encrypt -> kv-store (the encryption server forwards
+// the encrypted value); queries flow the same chain with decryption on the
+// way back. Five wirings reproduce Figures 2 and 8:
+//
+//   kBaseline      all three in one address space, plain function calls
+//   kDelay         baseline + a busy-loop equal to the direct cost of each
+//                  IPC leg (isolates the *indirect* cache/TLB cost)
+//   kIpc           three processes, kernel IPC, one core
+//   kIpcCrossCore  three processes pinned to three different cores
+//   kSkyBridge     three processes, nested SkyBridge direct calls
+//
+// Encryption is a real XTEA cipher run over the value bytes.
+
+#ifndef SRC_APPS_KV_H_
+#define SRC_APPS_KV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/mk/kernel.h"
+#include "src/skybridge/skybridge.h"
+
+namespace apps {
+
+// XTEA, 64 rounds, operating on 8-byte blocks (zero-padded tail).
+void XteaEncrypt(std::span<uint8_t> data, const uint32_t key[4]);
+void XteaDecrypt(std::span<uint8_t> data, const uint32_t key[4]);
+
+enum class KvWiring : uint8_t {
+  kBaseline,
+  kDelay,
+  kIpc,
+  kIpcCrossCore,
+  kSkyBridge,
+};
+
+std::string_view KvWiringName(KvWiring wiring);
+
+struct KvStats {
+  uint64_t inserts = 0;
+  uint64_t queries = 0;
+  uint64_t hits = 0;
+};
+
+class KvPipeline {
+ public:
+  // `sky` may be null unless wiring == kSkyBridge. The kernel must be booted.
+  KvPipeline(mk::Kernel& kernel, skybridge::SkyBridge* sky, KvWiring wiring);
+
+  sb::Status Setup();
+
+  // Runs one operation on the client core and returns its reply value (for
+  // queries) — all costs land on the client thread's core clock.
+  sb::Status Insert(const std::string& key, const std::string& value);
+  sb::StatusOr<std::string> Query(const std::string& key);
+
+  // Client core (where latency is measured).
+  hw::Core& client_core();
+
+  const KvStats& stats() const { return stats_; }
+
+ private:
+  sb::StatusOr<mk::Message> CallEncrypt(const mk::Message& msg);
+
+  // Handlers (run in the encryption / kv server context).
+  mk::Message HandleEncrypt(mk::CallEnv& env);
+  mk::Message HandleKv(mk::CallEnv& env, hw::Core* core);
+
+  sb::StatusOr<mk::Message> ForwardToKv(hw::Core& core, const mk::Message& msg);
+
+  mk::Kernel* kernel_;
+  skybridge::SkyBridge* sky_;
+  KvWiring wiring_;
+
+  mk::Process* client_ = nullptr;
+  mk::Process* encrypt_ = nullptr;
+  mk::Process* kv_ = nullptr;
+  mk::Thread* client_thread_ = nullptr;
+  mk::Thread* encrypt_thread_ = nullptr;
+
+  // Kernel-IPC plumbing.
+  mk::CapSlot encrypt_cap_ = 0;
+  mk::CapSlot kv_cap_ = 0;
+  // SkyBridge plumbing.
+  skybridge::ServerId encrypt_sid_ = 0;
+  skybridge::ServerId kv_sid_ = 0;
+
+  // KV store state (functionally in C++, charged against the kv process).
+  std::unordered_map<std::string, std::string> store_;
+  hw::Gva kv_heap_ = 0;
+  hw::Gva encrypt_heap_ = 0;
+  uint32_t cipher_key_[4] = {0x13572468, 0xdeadbeef, 0x0badcafe, 0x87654321};
+  KvStats stats_;
+};
+
+}  // namespace apps
+
+#endif  // SRC_APPS_KV_H_

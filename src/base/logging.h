@@ -1,0 +1,75 @@
+// Minimal streaming logger plus CHECK macros.
+//
+// CHECK failures abort: they indicate programming errors (broken invariants),
+// never recoverable runtime conditions.
+
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+namespace sb {
+
+enum class LogSeverity : uint8_t { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+// Global minimum severity; messages below it are dropped.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the message is disabled.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+
+#define SB_LOG_IS_ON(severity) (::sb::LogSeverity::severity >= ::sb::MinLogSeverity())
+
+#define SB_LOG(severity)                 \
+  !SB_LOG_IS_ON(severity)                \
+      ? (void)0                          \
+      : ::sb::log_internal::Voidify() &  \
+            ::sb::log_internal::LogMessage(::sb::LogSeverity::severity, __FILE__, __LINE__).stream()
+
+#define SB_CHECK(cond)                                                                      \
+  (cond) ? (void)0                                                                          \
+         : ::sb::log_internal::Voidify() &                                                  \
+               ::sb::log_internal::LogMessage(::sb::LogSeverity::kFatal, __FILE__, __LINE__) \
+                   .stream()                                                                \
+               << "Check failed: " #cond " "
+
+#define SB_CHECK_EQ(a, b) SB_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SB_CHECK_NE(a, b) SB_CHECK((a) != (b))
+#define SB_CHECK_LT(a, b) SB_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SB_CHECK_LE(a, b) SB_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SB_CHECK_GT(a, b) SB_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SB_CHECK_GE(a, b) SB_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define SB_DCHECK(cond) SB_CHECK(true || (cond))
+#else
+#define SB_DCHECK(cond) SB_CHECK(cond)
+#endif
+
+}  // namespace sb
+
+#endif  // SRC_BASE_LOGGING_H_

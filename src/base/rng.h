@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All randomness in the simulator and the workload generators flows through
+// Rng so that every benchmark and test is exactly reproducible from a seed.
+
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/logging.h"
+
+namespace sb {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedbeefcafef00dULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be positive.
+  uint64_t Below(uint64_t bound) {
+    SB_DCHECK(bound > 0);
+    // Multiply-shift rejection-free mapping; bias is negligible for our bounds.
+    return static_cast<uint64_t>((static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    SB_DCHECK(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool OneIn(uint64_t n) { return Below(n) == 0; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace sb
+
+#endif  // SRC_BASE_RNG_H_

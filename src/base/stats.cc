@@ -1,0 +1,113 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace sb {
+
+void Samples::Add(double v) {
+  values_.push_back(v);
+  sorted_valid_ = false;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+void Samples::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::Percentile(double p) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+Histogram::Histogram(uint64_t max_value) {
+  size_t nbuckets = 1;
+  while ((1ULL << nbuckets) < max_value && nbuckets < 63) {
+    ++nbuckets;
+  }
+  buckets_.assign(nbuckets + 1, 0);
+}
+
+void Histogram::Add(uint64_t v) {
+  size_t bucket = 0;
+  while ((1ULL << bucket) < v && bucket + 1 < buckets_.size()) {
+    ++bucket;
+  }
+  buckets_[bucket]++;
+  count_++;
+  sum_ += static_cast<double>(v);
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const uint64_t target =
+      static_cast<uint64_t>(clamped / 100.0 * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return i == 0 ? 1 : (1ULL << (i - 1)) + (1ULL << i) / 2;
+    }
+  }
+  return 1ULL << (buckets_.size() - 1);
+}
+
+}  // namespace sb

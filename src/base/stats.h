@@ -1,0 +1,50 @@
+// Small statistics helpers used by the benchmark harnesses.
+
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sb {
+
+// Accumulates samples and answers mean / min / max / percentile queries.
+class Samples {
+ public:
+  void Add(double v);
+  size_t count() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  // p in [0, 100]; nearest-rank on the sorted samples.
+  double Percentile(double p) const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Exponentially-bucketed histogram for cycle counts.
+class Histogram {
+ public:
+  explicit Histogram(uint64_t max_value = 1ULL << 40);
+  void Add(uint64_t v);
+  uint64_t count() const { return count_; }
+  double mean() const;
+  // Approximate percentile from bucket midpoints.
+  uint64_t Percentile(double p) const;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace sb
+
+#endif  // SRC_BASE_STATS_H_

@@ -1,0 +1,37 @@
+// Console table printer: the bench harnesses use this to print rows shaped
+// like the paper's tables and figure series.
+
+#ifndef SRC_BASE_TABLE_H_
+#define SRC_BASE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; cells beyond the header width are dropped, missing cells are
+  // blank.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders an aligned ASCII table.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+  // Helpers for formatting numbers in cells.
+  static std::string Fixed(double v, int digits = 1);
+  static std::string Int(uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sb
+
+#endif  // SRC_BASE_TABLE_H_

@@ -1,0 +1,25 @@
+// Size and address unit constants.
+
+#ifndef SRC_BASE_UNITS_H_
+#define SRC_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace sb {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr uint64_t kPageSize = 4 * kKiB;
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kHugePage2M = 2 * kMiB;
+inline constexpr uint64_t kHugePage1G = kGiB;
+
+inline constexpr uint64_t PageDown(uint64_t addr) { return addr & ~(kPageSize - 1); }
+inline constexpr uint64_t PageUp(uint64_t addr) { return PageDown(addr + kPageSize - 1); }
+inline constexpr bool IsPageAligned(uint64_t addr) { return (addr & (kPageSize - 1)) == 0; }
+
+}  // namespace sb
+
+#endif  // SRC_BASE_UNITS_H_

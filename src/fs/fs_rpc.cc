@@ -1,0 +1,159 @@
+#include "src/fs/fs_rpc.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace fsys {
+namespace {
+
+void PutU32(std::vector<uint8_t>& buf, uint32_t v) {
+  const size_t off = buf.size();
+  buf.resize(off + 4);
+  std::memcpy(buf.data() + off, &v, 4);
+}
+
+uint32_t GetU32(const std::vector<uint8_t>& buf, size_t off) {
+  uint32_t v = 0;
+  if (off + 4 <= buf.size()) {
+    std::memcpy(&v, buf.data() + off, 4);
+  }
+  return v;
+}
+
+}  // namespace
+
+mk::Handler MakeFsHandler(Xv6Fs* fs, hw::Gva cache_base) {
+  return [fs, cache_base](mk::CallEnv& env) -> mk::Message {
+    // The big lock: serialize in virtual time across server threads.
+    const uint64_t start = fs->big_lock().Acquire(env.core.cycles());
+    env.core.SyncClockTo(start);
+    fs->SetChargedContext(&env.core, cache_base);
+
+    mk::Message reply(kFsError);
+    const mk::Message& req = env.request;
+    switch (static_cast<FsOp>(req.tag)) {
+      case FsOp::kOpen: {
+        const std::string path(req.data.begin(), req.data.end());
+        if (auto inum = fs->Lookup(path); inum.ok()) {
+          reply.tag = *inum;
+        }
+        break;
+      }
+      case FsOp::kCreate: {
+        const std::string path(req.data.begin(), req.data.end());
+        if (auto inum = fs->Create(path); inum.ok()) {
+          reply.tag = *inum;
+        } else {
+          SB_LOG(kWarning) << "fs create '" << path << "': " << inum.status().ToString();
+        }
+        break;
+      }
+      case FsOp::kRead: {
+        const uint32_t inum = GetU32(req.data, 0);
+        const uint32_t off = GetU32(req.data, 4);
+        const uint32_t len = GetU32(req.data, 8);
+        if (len <= 1 << 20) {
+          std::vector<uint8_t> out(len);
+          if (auto n = fs->ReadFile(inum, off, out); n.ok()) {
+            out.resize(*n);
+            reply.tag = *n;
+            reply.data = std::move(out);
+          } else {
+            SB_LOG(kWarning) << "fs read inum=" << inum << ": " << n.status().ToString();
+          }
+        }
+        break;
+      }
+      case FsOp::kWrite: {
+        const uint32_t inum = GetU32(req.data, 0);
+        const uint32_t off = GetU32(req.data, 4);
+        const std::span<const uint8_t> payload(req.data.data() + 8, req.data.size() - 8);
+        if (req.data.size() >= 8) {
+          const sb::Status ws = fs->WriteFile(inum, off, payload);
+          if (ws.ok()) {
+            reply.tag = 1;
+          } else {
+            SB_LOG(kWarning) << "fs write inum=" << inum << " off=" << off
+                             << " len=" << payload.size() << ": " << ws.ToString();
+          }
+        }
+        break;
+      }
+      case FsOp::kSize: {
+        if (auto size = fs->FileSize(GetU32(req.data, 0)); size.ok()) {
+          reply.tag = *size;
+        }
+        break;
+      }
+      case FsOp::kUnlink: {
+        const std::string path(req.data.begin(), req.data.end());
+        if (fs->Unlink(path).ok()) {
+          reply.tag = 1;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    fs->SetChargedContext(nullptr, 0);
+    fs->big_lock().Release(env.core.cycles());
+    return reply;
+  };
+}
+
+sb::StatusOr<mk::Message> FsClient::Call(const mk::Message& msg) {
+  ++rpcs_;
+  SB_ASSIGN_OR_RETURN(mk::Message reply, transport_(msg));
+  if (reply.tag == kFsError) {
+    return sb::Internal("fs rpc failed (op " + std::to_string(msg.tag) + ")");
+  }
+  return reply;
+}
+
+sb::StatusOr<uint32_t> FsClient::Open(const std::string& path) {
+  mk::Message msg(static_cast<uint64_t>(FsOp::kOpen));
+  msg.data.assign(path.begin(), path.end());
+  SB_ASSIGN_OR_RETURN(const mk::Message reply, Call(msg));
+  return static_cast<uint32_t>(reply.tag);
+}
+
+sb::StatusOr<uint32_t> FsClient::Create(const std::string& path) {
+  mk::Message msg(static_cast<uint64_t>(FsOp::kCreate));
+  msg.data.assign(path.begin(), path.end());
+  SB_ASSIGN_OR_RETURN(const mk::Message reply, Call(msg));
+  return static_cast<uint32_t>(reply.tag);
+}
+
+sb::StatusOr<std::vector<uint8_t>> FsClient::Read(uint32_t inum, uint32_t offset, uint32_t len) {
+  mk::Message msg(static_cast<uint64_t>(FsOp::kRead));
+  PutU32(msg.data, inum);
+  PutU32(msg.data, offset);
+  PutU32(msg.data, len);
+  SB_ASSIGN_OR_RETURN(mk::Message reply, Call(msg));
+  return std::move(reply.data);
+}
+
+sb::Status FsClient::Write(uint32_t inum, uint32_t offset, std::span<const uint8_t> data) {
+  mk::Message msg(static_cast<uint64_t>(FsOp::kWrite));
+  PutU32(msg.data, inum);
+  PutU32(msg.data, offset);
+  msg.data.insert(msg.data.end(), data.begin(), data.end());
+  return Call(msg).status();
+}
+
+sb::StatusOr<uint32_t> FsClient::Size(uint32_t inum) {
+  mk::Message msg(static_cast<uint64_t>(FsOp::kSize));
+  PutU32(msg.data, inum);
+  SB_ASSIGN_OR_RETURN(const mk::Message reply, Call(msg));
+  return static_cast<uint32_t>(reply.tag);
+}
+
+sb::Status FsClient::Unlink(const std::string& path) {
+  mk::Message msg(static_cast<uint64_t>(FsOp::kUnlink));
+  msg.data.assign(path.begin(), path.end());
+  return Call(msg).status();
+}
+
+}  // namespace fsys

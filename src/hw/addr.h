@@ -1,0 +1,20 @@
+// Address-kind aliases. The simulator deals in three address spaces:
+//   Gva — guest virtual address, translated by the guest page tables.
+//   Gpa — guest physical address, translated by the active EPT.
+//   Hpa — host physical address, indexes HostPhysMem directly.
+// In native (non-virtualized) mode Gpa == Hpa.
+
+#ifndef SRC_HW_ADDR_H_
+#define SRC_HW_ADDR_H_
+
+#include <cstdint>
+
+namespace hw {
+
+using Gva = uint64_t;
+using Gpa = uint64_t;
+using Hpa = uint64_t;
+
+}  // namespace hw
+
+#endif  // SRC_HW_ADDR_H_

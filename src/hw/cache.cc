@@ -1,0 +1,83 @@
+#include "src/hw/cache.h"
+
+#include "src/base/logging.h"
+#include "src/base/units.h"
+
+namespace hw {
+
+CacheConfig L1iConfig() { return CacheConfig{"L1i", 32 * sb::kKiB, 8, 64}; }
+CacheConfig L1dConfig() { return CacheConfig{"L1d", 32 * sb::kKiB, 8, 64}; }
+CacheConfig L2Config() { return CacheConfig{"L2", 256 * sb::kKiB, 4, 64}; }
+CacheConfig L3Config() { return CacheConfig{"L3", 8 * sb::kMiB, 16, 64}; }
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  const uint64_t num_lines = config_.size_bytes / config_.line_size;
+  SB_CHECK(num_lines % config_.ways == 0);
+  num_sets_ = num_lines / config_.ways;
+  SB_CHECK((num_sets_ & (num_sets_ - 1)) == 0) << "set count must be a power of two";
+  lines_.assign(num_lines, Line{});
+}
+
+bool Cache::Access(Hpa paddr, bool is_write) {
+  const uint64_t set = SetIndex(paddr);
+  const uint64_t tag = Tag(paddr);
+  Line* base = &lines_[set * config_.ways];
+  ++tick_;
+
+  Line* victim = base;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      line.dirty = line.dirty || is_write;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+
+  ++misses_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  victim->dirty = is_write;
+  return false;
+}
+
+bool Cache::Probe(Hpa paddr) const {
+  const uint64_t set = SetIndex(paddr);
+  const uint64_t tag = Tag(paddr);
+  const Line* base = &lines_[set * config_.ways];
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::Flush() {
+  for (Line& line : lines_) {
+    line = Line{};
+  }
+}
+
+void Cache::InvalidateRange(Hpa base_addr, uint64_t len) {
+  for (Hpa addr = base_addr & ~uint64_t{config_.line_size - 1}; addr < base_addr + len;
+       addr += config_.line_size) {
+    const uint64_t set = SetIndex(addr);
+    const uint64_t tag = Tag(addr);
+    Line* base = &lines_[set * config_.ways];
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+      if (base[w].valid && base[w].tag == tag) {
+        base[w] = Line{};
+      }
+    }
+  }
+}
+
+}  // namespace hw

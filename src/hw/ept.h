@@ -1,0 +1,98 @@
+// Extended Page Tables (EPT): GPA -> HPA translation structures.
+//
+// The tables live in host physical memory and use the Intel EPT entry layout:
+// bits 0..2 are read/write/execute permissions, bit 7 marks a large-page leaf
+// (1 GiB at the PDPT level, 2 MiB at the PD level), bits 51:12 hold the frame.
+//
+// Two operations carry SkyBridge's core mechanism:
+//  * ShallowCopy()   — a derived EPT whose root duplicates the base root but
+//                      shares every lower-level table.
+//  * RemapGpaPage()  — rewrites the translation of a single 4 KiB GPA page,
+//                      cloning only the tables on the path (and splitting the
+//                      base EPT's huge pages as needed). This is how a server
+//                      EPT maps the GPA of the *client's* CR3 to the HPA of
+//                      the *server's* page-table root (Section 4.3): after
+//                      VMFUNC, the hardware walker fetches the server's page
+//                      tables while CR3 still holds the client's value.
+
+#ifndef SRC_HW_EPT_H_
+#define SRC_HW_EPT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/hw/addr.h"
+#include "src/hw/phys_mem.h"
+
+namespace hw {
+
+inline constexpr uint8_t kEptRead = 1;
+inline constexpr uint8_t kEptWrite = 2;
+inline constexpr uint8_t kEptExec = 4;
+inline constexpr uint8_t kEptRwx = kEptRead | kEptWrite | kEptExec;
+
+// Result of a structural EPT walk. `table_reads` lists the HPA of every
+// entry the hardware walker fetched, so the caller can charge cache costs.
+struct EptWalk {
+  bool ok = false;
+  Hpa hpa = 0;
+  uint8_t perms = 0;
+  uint8_t page_shift = 12;
+  Hpa table_reads[4] = {0, 0, 0, 0};
+  int num_table_reads = 0;
+  Gpa fault_gpa = 0;
+};
+
+class Ept {
+ public:
+  // Allocates the root table from `frames` (the Rootkernel's reserved pool).
+  static sb::StatusOr<std::unique_ptr<Ept>> Create(HostPhysMem& mem, FrameAllocator& frames);
+
+  // A derived EPT: new private root, shared subtrees.
+  sb::StatusOr<std::unique_ptr<Ept>> ShallowCopy() const;
+
+  Hpa root() const { return root_; }
+
+  // Maps [gpa, gpa+page_size) -> [hpa, ...). page_size is 4K, 2M or 1G and
+  // both addresses must be aligned to it. Fails on remap of an existing leaf
+  // (use RemapGpaPage for that).
+  sb::Status Map(Gpa gpa, Hpa hpa, uint64_t page_size, uint8_t perms);
+
+  // Points the 4 KiB translation of `page_gpa` at `new_target`, cloning the
+  // path and splitting large pages. Perms default to RWX like the original.
+  sb::Status RemapGpaPage(Gpa page_gpa, Hpa new_target);
+
+  // Removes the translation for the 4 KiB page (subsequent walks fault).
+  sb::Status UnmapGpaPage(Gpa page_gpa);
+
+  // Structural walk. `need` is the permission mask the access requires.
+  EptWalk Walk(Gpa gpa, uint8_t need) const;
+
+  // Number of table pages private to this EPT (metric for "shallow copy
+  // modifies only four pages").
+  size_t private_table_pages() const { return private_tables_.size(); }
+
+ private:
+  Ept(HostPhysMem& mem, FrameAllocator& frames, Hpa root)
+      : mem_(&mem), frames_(&frames), root_(root) {
+    private_tables_.insert(root);
+  }
+
+  static uint64_t MakeEntry(Hpa target, uint8_t perms, bool large);
+  // Ensures the table entry at (table, index) refers to a table page private
+  // to this EPT, splitting large leaves into next-level tables as needed.
+  // `level` is the level of the entry being privatized (4 = PML4E).
+  sb::StatusOr<Hpa> PrivatizeChild(Hpa table, int index, int level);
+
+  HostPhysMem* mem_;
+  FrameAllocator* frames_;
+  Hpa root_;
+  std::unordered_set<Hpa> private_tables_;
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_EPT_H_

@@ -1,0 +1,32 @@
+#include "src/hw/machine.h"
+
+#include "src/base/logging.h"
+
+namespace hw {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), mem_(config.ram_bytes), l3_(L3Config()) {
+  SB_CHECK(config.num_cores > 0);
+  cores_.reserve(static_cast<size_t>(config.num_cores));
+  for (int i = 0; i < config.num_cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(i, this));
+  }
+}
+
+uint64_t Machine::DeliverVmExit(Core& core, const VmExitInfo& info) {
+  ++total_vm_exits_;
+  ++core.pmu().vm_exits;
+  core.AdvanceCycles(config_.costs.vm_exit_roundtrip);
+  SB_CHECK(has_vm_exit_handler()) << "VM exit with no hypervisor installed (triple fault), reason="
+                                  << static_cast<int>(info.reason);
+  return vm_exit_handler_(core, info);
+}
+
+void Machine::SendIpi(int from_core, int to_core) {
+  SB_CHECK(from_core >= 0 && from_core < num_cores());
+  SB_CHECK(to_core >= 0 && to_core < num_cores());
+  ++total_ipis_;
+  ++core(from_core).pmu().ipis_sent;
+}
+
+}  // namespace hw

@@ -1,0 +1,140 @@
+#include "src/hw/phys_mem.h"
+
+#include "src/base/logging.h"
+
+namespace hw {
+
+HostPhysMem::HostPhysMem(uint64_t size_bytes) : size_(size_bytes) {
+  SB_CHECK(sb::IsPageAligned(size_bytes)) << "RAM size must be page aligned";
+}
+
+uint8_t* HostPhysMem::FrameFor(Hpa addr) {
+  SB_CHECK(Contains(addr)) << "HPA out of RAM: 0x" << std::hex << addr;
+  const uint64_t frame = addr >> sb::kPageShift;
+  auto it = frames_.find(frame);
+  if (it == frames_.end()) {
+    auto storage = std::make_unique<uint8_t[]>(sb::kPageSize);
+    std::memset(storage.get(), 0, sb::kPageSize);
+    it = frames_.emplace(frame, std::move(storage)).first;
+  }
+  return it->second.get();
+}
+
+const uint8_t* HostPhysMem::FrameForRead(Hpa addr) const {
+  SB_CHECK(Contains(addr)) << "HPA out of RAM: 0x" << std::hex << addr;
+  const uint64_t frame = addr >> sb::kPageShift;
+  auto it = frames_.find(frame);
+  if (it == frames_.end()) {
+    return nullptr;  // Untouched frames read as zero.
+  }
+  return it->second.get();
+}
+
+void HostPhysMem::Read(Hpa addr, std::span<uint8_t> out) const {
+  SB_CHECK(Contains(addr, out.size()));
+  size_t done = 0;
+  while (done < out.size()) {
+    const Hpa cur = addr + done;
+    const uint64_t offset = cur & (sb::kPageSize - 1);
+    const size_t chunk = std::min<size_t>(out.size() - done, sb::kPageSize - offset);
+    const uint8_t* frame = FrameForRead(cur);
+    if (frame == nullptr) {
+      std::memset(out.data() + done, 0, chunk);
+    } else {
+      std::memcpy(out.data() + done, frame + offset, chunk);
+    }
+    done += chunk;
+  }
+}
+
+void HostPhysMem::Write(Hpa addr, std::span<const uint8_t> in) {
+  SB_CHECK(Contains(addr, in.size()));
+  size_t done = 0;
+  while (done < in.size()) {
+    const Hpa cur = addr + done;
+    const uint64_t offset = cur & (sb::kPageSize - 1);
+    const size_t chunk = std::min<size_t>(in.size() - done, sb::kPageSize - offset);
+    std::memcpy(FrameFor(cur) + offset, in.data() + done, chunk);
+    done += chunk;
+  }
+}
+
+uint64_t HostPhysMem::ReadU64(Hpa addr) const {
+  uint64_t v = 0;
+  Read(addr, std::span<uint8_t>(reinterpret_cast<uint8_t*>(&v), sizeof(v)));
+  return v;
+}
+
+void HostPhysMem::WriteU64(Hpa addr, uint64_t value) {
+  Write(addr, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&value), sizeof(value)));
+}
+
+uint32_t HostPhysMem::ReadU32(Hpa addr) const {
+  uint32_t v = 0;
+  Read(addr, std::span<uint8_t>(reinterpret_cast<uint8_t*>(&v), sizeof(v)));
+  return v;
+}
+
+void HostPhysMem::WriteU32(Hpa addr, uint32_t value) {
+  Write(addr, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&value), sizeof(value)));
+}
+
+uint8_t HostPhysMem::ReadU8(Hpa addr) const {
+  uint8_t v = 0;
+  Read(addr, std::span<uint8_t>(&v, 1));
+  return v;
+}
+
+void HostPhysMem::WriteU8(Hpa addr, uint8_t value) { Write(addr, std::span<const uint8_t>(&value, 1)); }
+
+void HostPhysMem::ZeroFrame(Hpa frame_base) {
+  SB_CHECK(sb::IsPageAligned(frame_base));
+  std::memset(FrameFor(frame_base), 0, sb::kPageSize);
+}
+
+FrameAllocator::FrameAllocator(Hpa base, uint64_t size_bytes)
+    : base_(base), size_(size_bytes), next_(base) {
+  SB_CHECK(sb::IsPageAligned(base));
+  SB_CHECK(sb::IsPageAligned(size_bytes));
+}
+
+sb::StatusOr<Hpa> FrameAllocator::Alloc(HostPhysMem& mem) {
+  if (!free_list_.empty()) {
+    const Hpa frame = free_list_.back();
+    free_list_.pop_back();
+    mem.ZeroFrame(frame);
+    ++allocated_;
+    return frame;
+  }
+  if (next_ + sb::kPageSize > base_ + size_) {
+    return sb::ResourceExhausted("frame allocator exhausted");
+  }
+  const Hpa frame = next_;
+  next_ += sb::kPageSize;
+  mem.ZeroFrame(frame);
+  ++allocated_;
+  return frame;
+}
+
+sb::StatusOr<Hpa> FrameAllocator::AllocContiguous(HostPhysMem& mem, uint64_t count) {
+  if (next_ + count * sb::kPageSize > base_ + size_) {
+    return sb::ResourceExhausted("frame allocator exhausted (contiguous)");
+  }
+  const Hpa first = next_;
+  next_ += count * sb::kPageSize;
+  for (uint64_t i = 0; i < count; ++i) {
+    mem.ZeroFrame(first + i * sb::kPageSize);
+  }
+  allocated_ += count;
+  return first;
+}
+
+void FrameAllocator::Free(Hpa frame) {
+  SB_CHECK(sb::IsPageAligned(frame));
+  SB_CHECK(frame >= base_ && frame < base_ + size_);
+  SB_CHECK(allocated_ > 0);
+  --allocated_;
+  free_list_.push_back(frame);
+}
+
+}  // namespace hw

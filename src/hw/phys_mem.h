@@ -1,0 +1,86 @@
+// Host physical memory and frame allocation.
+//
+// HostPhysMem is the machine's RAM: a sparse array of 4 KiB frames allocated
+// lazily on first touch. FrameAllocator hands out frames from a host-physical
+// range; the Rootkernel and the Subkernel each own one (disjoint) range, which
+// is exactly the paper's split of "a small portion of physical memory (100 MB)
+// reserved for the Rootkernel" with the rest owned by the microkernel.
+
+#ifndef SRC_HW_PHYS_MEM_H_
+#define SRC_HW_PHYS_MEM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/hw/addr.h"
+
+namespace hw {
+
+class HostPhysMem {
+ public:
+  explicit HostPhysMem(uint64_t size_bytes);
+
+  uint64_t size() const { return size_; }
+  bool Contains(Hpa addr, uint64_t len = 1) const { return addr + len <= size_ && addr + len >= addr; }
+
+  // Raw byte access. Crossing frame boundaries is handled. Out-of-bounds
+  // access is a CHECK failure: the simulator never lets a guest form an HPA
+  // outside RAM (the EPT walker rejects it first).
+  void Read(Hpa addr, std::span<uint8_t> out) const;
+  void Write(Hpa addr, std::span<const uint8_t> in);
+
+  uint64_t ReadU64(Hpa addr) const;
+  void WriteU64(Hpa addr, uint64_t value);
+  uint32_t ReadU32(Hpa addr) const;
+  void WriteU32(Hpa addr, uint32_t value);
+  uint8_t ReadU8(Hpa addr) const;
+  void WriteU8(Hpa addr, uint8_t value);
+
+  void ZeroFrame(Hpa frame_base);
+
+  // Number of frames materialized so far (for tests / memory accounting).
+  size_t resident_frames() const { return frames_.size(); }
+
+ private:
+  uint8_t* FrameFor(Hpa addr);
+  const uint8_t* FrameForRead(Hpa addr) const;
+
+  uint64_t size_;
+  mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> frames_;
+};
+
+// Bump-plus-freelist frame allocator over [base, base + size).
+class FrameAllocator {
+ public:
+  FrameAllocator(Hpa base, uint64_t size_bytes);
+
+  // Allocates one zero-filled 4 KiB frame.
+  sb::StatusOr<Hpa> Alloc(HostPhysMem& mem);
+
+  // Allocates `count` physically contiguous frames; returns the first HPA.
+  sb::StatusOr<Hpa> AllocContiguous(HostPhysMem& mem, uint64_t count);
+
+  void Free(Hpa frame);
+
+  Hpa base() const { return base_; }
+  uint64_t size() const { return size_; }
+  uint64_t allocated_frames() const { return allocated_; }
+  uint64_t capacity_frames() const { return size_ / sb::kPageSize; }
+
+ private:
+  Hpa base_;
+  uint64_t size_;
+  Hpa next_;
+  uint64_t allocated_ = 0;
+  std::vector<Hpa> free_list_;
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_PHYS_MEM_H_

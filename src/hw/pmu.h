@@ -1,0 +1,45 @@
+// Performance monitoring counters, mirroring the events the paper samples in
+// Table 1 (i-cache, d-cache, L2, L3, i-TLB, d-TLB) plus VM-exit/IPI counters.
+
+#ifndef SRC_HW_PMU_H_
+#define SRC_HW_PMU_H_
+
+#include <cstdint>
+
+namespace hw {
+
+struct PmuCounters {
+  uint64_t icache_miss = 0;
+  uint64_t dcache_miss = 0;
+  uint64_t l2_miss = 0;
+  uint64_t l3_miss = 0;
+  uint64_t itlb_miss = 0;
+  uint64_t dtlb_miss = 0;
+  uint64_t mem_accesses = 0;
+  uint64_t vm_exits = 0;
+  uint64_t ipis_sent = 0;
+  uint64_t vmfuncs = 0;
+  uint64_t cr3_writes = 0;
+  uint64_t syscalls = 0;
+
+  PmuCounters operator-(const PmuCounters& rhs) const {
+    PmuCounters d;
+    d.icache_miss = icache_miss - rhs.icache_miss;
+    d.dcache_miss = dcache_miss - rhs.dcache_miss;
+    d.l2_miss = l2_miss - rhs.l2_miss;
+    d.l3_miss = l3_miss - rhs.l3_miss;
+    d.itlb_miss = itlb_miss - rhs.itlb_miss;
+    d.dtlb_miss = dtlb_miss - rhs.dtlb_miss;
+    d.mem_accesses = mem_accesses - rhs.mem_accesses;
+    d.vm_exits = vm_exits - rhs.vm_exits;
+    d.ipis_sent = ipis_sent - rhs.ipis_sent;
+    d.vmfuncs = vmfuncs - rhs.vmfuncs;
+    d.cr3_writes = cr3_writes - rhs.cr3_writes;
+    d.syscalls = syscalls - rhs.syscalls;
+    return d;
+  }
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_PMU_H_

@@ -1,0 +1,100 @@
+#include "src/hw/tlb.h"
+
+#include "src/base/logging.h"
+
+namespace hw {
+
+Tlb::Tlb(size_t capacity) : capacity_(capacity) { SB_CHECK(capacity > 0); }
+
+void Tlb::Touch(LruList::iterator it) { lru_.splice(lru_.begin(), lru_, it); }
+
+const TlbEntry* Tlb::Lookup(Gva gva, uint16_t vpid, uint16_t pcid, Hpa ep4ta,
+                            uint8_t* page_shift) {
+  for (uint8_t shift : {uint8_t{12}, uint8_t{21}, uint8_t{30}}) {
+    TlbKey key{gva >> shift, shift, vpid, pcid, ep4ta};
+    auto it = map_.find(key);
+    if (it == map_.end() && shift != 12) {
+      // Global kernel mappings match regardless of PCID; they are inserted
+      // under PCID 0 with global=true. Retry the global tag.
+      key.pcid = 0;
+      it = map_.find(key);
+      if (it != map_.end() && !it->second->entry.global) {
+        it = map_.end();
+      }
+    }
+    if (it != map_.end()) {
+      Touch(it->second);
+      ++hits_;
+      if (page_shift != nullptr) {
+        *page_shift = shift;
+      }
+      return &it->second->entry;
+    }
+  }
+  // Also probe 4K global entries under PCID 0.
+  if (pcid != 0) {
+    TlbKey key{gva >> 12, 12, vpid, 0, ep4ta};
+    auto it = map_.find(key);
+    if (it != map_.end() && it->second->entry.global) {
+      Touch(it->second);
+      ++hits_;
+      if (page_shift != nullptr) {
+        *page_shift = 12;
+      }
+      return &it->second->entry;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void Tlb::Insert(Gva gva, uint8_t page_shift, uint16_t vpid, uint16_t pcid, Hpa ep4ta,
+                 const TlbEntry& entry) {
+  // Global entries are stored under PCID 0 so every PCID finds them.
+  const uint16_t effective_pcid = entry.global ? 0 : pcid;
+  const TlbKey key{gva >> page_shift, page_shift, vpid, effective_pcid, ep4ta};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->entry = entry;
+    Touch(it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const Node& victim = lru_.back();
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Node{key, entry});
+  map_.emplace(key, lru_.begin());
+}
+
+void Tlb::FlushAll() {
+  map_.clear();
+  lru_.clear();
+}
+
+void Tlb::FlushPcid(uint16_t vpid, uint16_t pcid) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const bool match =
+        it->key.vpid == vpid && it->key.pcid == pcid && !it->entry.global;
+    if (match) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Tlb::FlushVpid(uint16_t vpid) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.vpid == vpid) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace hw

@@ -1,0 +1,89 @@
+// TLB model with VPID / PCID / EP4TA tagging.
+//
+// Entries are tagged the way post-Westmere hardware tags them: by virtual
+// page, page size, VPID, PCID and — for combined (guest VA -> HPA) mappings —
+// the EPT root in use (EP4TA). This is what makes VMFUNC EPTP switching with
+// VPID enabled *not* flush the TLB (Table 2): translations cached under the
+// old EPTP simply stop matching, while the new EPTP's entries may still be
+// warm from an earlier visit.
+
+#ifndef SRC_HW_TLB_H_
+#define SRC_HW_TLB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/hw/addr.h"
+
+namespace hw {
+
+struct TlbKey {
+  uint64_t vpn = 0;         // gva >> page_shift
+  uint8_t page_shift = 12;  // 12, 21 or 30
+  uint16_t vpid = 0;
+  uint16_t pcid = 0;
+  Hpa ep4ta = 0;  // 0 in native (non-virtualized) mode.
+
+  bool operator==(const TlbKey& other) const = default;
+};
+
+struct TlbKeyHash {
+  size_t operator()(const TlbKey& k) const {
+    uint64_t h = k.vpn * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<uint64_t>(k.page_shift) << 48) ^ (static_cast<uint64_t>(k.vpid) << 32) ^
+         (static_cast<uint64_t>(k.pcid) << 16) ^ (k.ep4ta >> 12);
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+};
+
+struct TlbEntry {
+  Hpa frame = 0;  // Host-physical base of the page.
+  bool global = false;
+  bool writable = true;
+};
+
+// LRU-replaced translation cache of fixed capacity.
+class Tlb {
+ public:
+  explicit Tlb(size_t capacity);
+
+  // Probes 4K, 2M and 1G translations for `gva` under the given tags.
+  // Returns the matched entry and sets *page_shift, or nullptr on miss.
+  const TlbEntry* Lookup(Gva gva, uint16_t vpid, uint16_t pcid, Hpa ep4ta, uint8_t* page_shift);
+
+  void Insert(Gva gva, uint8_t page_shift, uint16_t vpid, uint16_t pcid, Hpa ep4ta,
+              const TlbEntry& entry);
+
+  void FlushAll();
+  // Flushes non-global entries with the given (vpid, pcid) — MOV CR3 semantics.
+  void FlushPcid(uint16_t vpid, uint16_t pcid);
+  // Flushes everything for a VPID (INVVPID all-context).
+  void FlushVpid(uint16_t vpid);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Node {
+    TlbKey key;
+    TlbEntry entry;
+  };
+  using LruList = std::list<Node>;
+
+  void Touch(LruList::iterator it);
+
+  size_t capacity_;
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<TlbKey, LruList::iterator, TlbKeyHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_TLB_H_

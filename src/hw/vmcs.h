@@ -1,0 +1,51 @@
+// Virtual Machine Control Structure (the slice of it SkyBridge needs).
+//
+// The Rootkernel configures one VMCS per core. The EPTP list holds up to 512
+// EPT roots; VMFUNC leaf 0 (EPTP switching) atomically activates one of them
+// from non-root mode without a VM exit.
+
+#ifndef SRC_HW_VMCS_H_
+#define SRC_HW_VMCS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/addr.h"
+
+namespace hw {
+
+class Ept;
+
+inline constexpr size_t kEptpListCapacity = 512;
+
+enum class VmExitReason : uint8_t {
+  kCpuid,
+  kVmcall,
+  kEptViolation,
+  kVmfuncInvalid,
+  kTriplefault,
+};
+
+struct Vmcs {
+  uint16_t vpid = 1;
+  // Non-owning; slot 0 conventionally holds the process's own EPT.
+  std::vector<Ept*> eptp_list;
+  size_t active_index = 0;
+
+  // Exit controls: with both false (SkyBridge Rootkernel configuration),
+  // privileged instructions and external interrupts are handled by the guest
+  // directly and cause no VM exits.
+  bool exit_on_cr3_write = false;
+  bool exit_on_external_interrupt = false;
+
+  Ept* active_ept() const {
+    if (active_index >= eptp_list.size()) {
+      return nullptr;
+    }
+    return eptp_list[active_index];
+  }
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_VMCS_H_

@@ -1,0 +1,457 @@
+#include "src/mk/kernel.h"
+
+#include "src/base/logging.h"
+#include "src/base/units.h"
+
+namespace mk {
+namespace {
+
+// Guest memory below this is the kernel image/data region; process frames
+// come from above it.
+constexpr hw::Hpa kGuestPoolBase = 16 * sb::kMiB;
+
+}  // namespace
+
+Kernel::Kernel(hw::Machine& machine, KernelProfile profile, KernelOptions options)
+    : machine_(&machine),
+      profile_(std::move(profile)),
+      options_(options),
+      guest_frames_(kGuestPoolBase,
+                    machine.mem().size() - kGuestPoolBase -
+                        (options.boot_rootkernel ? options.rootkernel_config.reserved_bytes : 0)),
+      current_(static_cast<size_t>(machine.num_cores()), nullptr) {
+  // Warm-cache cost of the per-leg kernel touches (IPC footprint + the entry
+  // stub's 7 lines); subtracted from the calibrated fastpath logic constant
+  // so the measured totals land on Figure 7 instead of double counting.
+  const uint64_t lines =
+      profile_.kernel_code_footprint / 64 + profile_.kernel_data_footprint / 64 + 7;
+  warm_footprint_cycles_ = lines * machine.costs().l1_hit;
+}
+
+Kernel::~Kernel() = default;
+
+sb::Status Kernel::Boot() {
+  SB_CHECK(!booted_);
+  SB_RETURN_IF_ERROR(SetupKernelAddressSpace());
+
+  if (options_.boot_rootkernel) {
+    // Dynamic self-virtualization: the Subkernel boots the Rootkernel, which
+    // downgrades it to non-root mode (the paper's one-line boot hook).
+    SB_ASSIGN_OR_RETURN(rootkernel_, vmm::Rootkernel::Boot(*machine_, options_.rootkernel_config));
+    // Sanity ping through the VMCALL interface.
+    if (machine_->core(0).Vmcall(static_cast<uint64_t>(vmm::Hypercall::kPing)) !=
+        vmm::kPingValue) {
+      return sb::Internal("rootkernel VMCALL interface not responding");
+    }
+  }
+
+  // Every core starts with the kernel address space.
+  for (int i = 0; i < machine_->num_cores(); ++i) {
+    machine_->core(i).WriteCr3(kernel_as_->root_gpa(), /*pcid=*/0, /*noflush=*/false);
+    machine_->core(i).SetMode(hw::CpuMode::kKernel);
+  }
+  booted_ = true;
+  return sb::OkStatus();
+}
+
+sb::Status Kernel::SetupKernelAddressSpace() {
+  SB_ASSIGN_OR_RETURN(kernel_as_, hw::AddressSpace::Create(machine_->mem(), guest_frames_, 0));
+  hw::PageFlags kflags;
+  kflags.user = false;
+  kflags.global = !profile_.kpti;
+  SB_RETURN_IF_ERROR(
+      kernel_as_->MapAnonymous(kKernelCodeVa, options_.kernel_code_bytes, kflags).status());
+  SB_RETURN_IF_ERROR(
+      kernel_as_->MapAnonymous(kKernelDataVa, options_.kernel_data_bytes, kflags).status());
+
+  // The shared identity GPA page: one fixed guest-physical page whose EPT
+  // translation is remapped per process (Section 4.2).
+  SB_ASSIGN_OR_RETURN(identity_gpa_, guest_frames_.Alloc(machine_->mem()));
+  return sb::OkStatus();
+}
+
+sb::StatusOr<Process*> Kernel::CreateProcess(const std::string& name) {
+  // Default image: a small, real program (prologue + arithmetic + ret).
+  std::vector<uint8_t> image = {0x55, 0x48, 0x89, 0xe5, 0x48, 0xc7, 0xc0, 0x2a,
+                                0x00, 0x00, 0x00, 0x5d, 0xc3};
+  return CreateProcessWithImage(name, std::move(image));
+}
+
+sb::StatusOr<Process*> Kernel::CreateProcessWithImage(const std::string& name,
+                                                      std::vector<uint8_t> code_image) {
+  SB_CHECK(booted_) << "CreateProcess before Boot";
+  if (code_image.size() > kCodeSize) {
+    return sb::InvalidArgument("code image larger than the code window");
+  }
+  auto process = std::make_unique<Process>(this, next_pid_++, name);
+  Process* p = process.get();
+
+  const uint16_t pcid = static_cast<uint16_t>(p->pid() % 4094 + 1);
+  SB_ASSIGN_OR_RETURN(p->address_space_,
+                      hw::AddressSpace::Create(machine_->mem(), guest_frames_, pcid));
+  SB_RETURN_IF_ERROR(p->address_space_->ShareUpperHalf(*kernel_as_));
+
+  // Code (user-executable, read-only after the image is written).
+  hw::PageFlags code_flags;
+  code_flags.writable = false;
+  SB_ASSIGN_OR_RETURN(const hw::Gpa code_gpa,
+                      p->address_space_->MapAnonymous(kCodeVa, kCodeSize, code_flags));
+  machine_->mem().Write(code_gpa, code_image);
+  p->set_code_image(std::move(code_image));
+
+  // Heap and stack.
+  p->heap_limit_ = options_.process_heap_bytes;
+  SB_RETURN_IF_ERROR(
+      p->address_space_->MapAnonymous(kHeapVa, options_.process_heap_bytes, hw::PageFlags{})
+          .status());
+  SB_RETURN_IF_ERROR(
+      p->address_space_->MapAnonymous(kStackTopVa - kStackSize, kStackSize, hw::PageFlags{})
+          .status());
+
+  // Identity: the shared identity VA maps the shared identity GPA; each
+  // process gets its own identity frame holding its pid, swapped in by the
+  // per-process EPT.
+  hw::PageFlags id_flags;
+  id_flags.writable = false;
+  SB_RETURN_IF_ERROR(p->address_space_->MapRange(kIdentityVa, identity_gpa_, sb::kPageSize,
+                                                 id_flags));
+  SB_ASSIGN_OR_RETURN(const hw::Hpa id_frame, guest_frames_.Alloc(machine_->mem()));
+  machine_->mem().WriteU64(id_frame, p->pid());
+  p->set_identity_frame(id_frame);
+
+  if (rootkernel_ != nullptr) {
+    // Process creation hook: derive the process's EPT and swap its identity
+    // frame in (both via the VMCALL interface, so exits are accounted).
+    hw::Core& core = machine_->core(0);
+    const uint64_t ept_id =
+        core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kCreateProcessEpt));
+    if (ept_id == vmm::kHypercallError) {
+      return sb::Internal("rootkernel failed to create process EPT");
+    }
+    if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kRemapIdentityPage), ept_id,
+                    identity_gpa_, id_frame) != 0) {
+      return sb::Internal("rootkernel failed to remap identity page");
+    }
+    p->set_ept_id(ept_id);
+    p->eptp_list_ids().assign(1, ept_id);
+  }
+
+  processes_.push_back(std::move(process));
+  return p;
+}
+
+sb::StatusOr<Endpoint*> Kernel::CreateEndpoint(Process* owner, Handler handler,
+                                               std::vector<int> server_cores) {
+  auto ep = std::make_unique<Endpoint>(endpoints_.size(), owner, std::move(handler));
+  // Receive buffer for long messages, in the owner's heap.
+  SB_ASSIGN_OR_RETURN(const hw::Gva recv, owner->AllocHeap(64 * sb::kKiB, sb::kPageSize));
+  ep->set_recv_buffer(recv);
+  ep->set_server_cores(std::move(server_cores));
+  endpoints_.push_back(std::move(ep));
+  // The owner implicitly holds a receive capability.
+  owner->InstallCap(Capability{CapType::kEndpoint, endpoints_.back()->id(), kRightRecv});
+  return endpoints_.back().get();
+}
+
+Endpoint* Kernel::endpoint(uint64_t id) {
+  if (id >= endpoints_.size()) {
+    return nullptr;
+  }
+  return endpoints_[id].get();
+}
+
+sb::StatusOr<CapSlot> Kernel::GrantEndpointCap(Process* to, uint64_t endpoint_id,
+                                               uint32_t rights) {
+  if (endpoint(endpoint_id) == nullptr) {
+    return sb::NotFound("no such endpoint");
+  }
+  return to->InstallCap(Capability{CapType::kEndpoint, endpoint_id, rights});
+}
+
+sb::Status Kernel::ContextSwitchTo(hw::Core& core, Process* process, CostBreakdown* bd) {
+  SwitchAddressSpace(core, process, bd);
+  current_[static_cast<size_t>(core.id())] = process;
+  if (rootkernel_ != nullptr && !process->eptp_list_ids().empty()) {
+    // Install the process's EPTP list (Section 4.2): VMCALLs to the
+    // Rootkernel; charged as real VM exits.
+    if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListClear)) != 0) {
+      return sb::Internal("EPTP list clear failed");
+    }
+    for (const uint64_t ept_id : process->eptp_list_ids()) {
+      if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListAppend), ept_id) ==
+          vmm::kHypercallError) {
+        return sb::Internal("EPTP list append failed");
+      }
+    }
+    core.vmcs().active_index = 0;
+  }
+  return sb::OkStatus();
+}
+
+sb::StatusOr<uint64_t> Kernel::CurrentIdentity(hw::Core& core) {
+  return core.ReadVirtU64(kIdentityVa);
+}
+
+void Kernel::SyscallEnter(hw::Core& core, CostBreakdown* bd) {
+  const hw::CostModel& cm = machine_->costs();
+  const uint64_t t0 = core.cycles();
+  core.AdvanceCycles(cm.syscall_insn + cm.swapgs_insn);
+  core.SetMode(hw::CpuMode::kKernel);
+  ++core.pmu().syscalls;
+  TouchKernelEntry(core);
+  if (bd != nullptr) {
+    bd->syscall_sysret += core.cycles() - t0;
+  }
+  if (profile_.kpti) {
+    // Meltdown mitigation: switch to the kernel's page tables.
+    core.WriteCr3(kernel_as_->root_gpa(), 0, profile_.pcid_enabled);
+    if (bd != nullptr) {
+      bd->context_switch += machine_->costs().cr3_write;
+    }
+  }
+}
+
+void Kernel::SyscallExit(hw::Core& core, CostBreakdown* bd) {
+  const hw::CostModel& cm = machine_->costs();
+  if (profile_.kpti) {
+    Process* cur = current_[static_cast<size_t>(core.id())];
+    const hw::Gpa user_root = cur != nullptr ? cur->cr3() : kernel_as_->root_gpa();
+    const uint16_t user_pcid =
+        cur != nullptr && profile_.pcid_enabled ? cur->pcid() : 0;
+    core.WriteCr3(user_root, user_pcid, profile_.pcid_enabled);
+    if (bd != nullptr) {
+      bd->context_switch += cm.cr3_write;
+    }
+  }
+  core.AdvanceCycles(cm.swapgs_insn + cm.sysret_insn);
+  core.SetMode(hw::CpuMode::kUser);
+  if (bd != nullptr) {
+    bd->syscall_sysret += cm.swapgs_insn + cm.sysret_insn;
+  }
+}
+
+void Kernel::NoOpSyscall(hw::Core& core) {
+  // The measured composite (Table 2) is cheaper than the sum of the isolated
+  // instruction costs because the pipeline overlaps them; charge the
+  // composite directly.
+  const hw::CostModel& cm = machine_->costs();
+  core.AdvanceCycles(profile_.kpti ? cm.noop_syscall_kpti : cm.noop_syscall);
+  ++core.pmu().syscalls;
+  TouchKernelEntry(core);
+}
+
+void Kernel::SwitchAddressSpace(hw::Core& core, Process* to, CostBreakdown* bd) {
+  // Without PCID all address spaces share tag 0 and every CR3 write flushes
+  // the non-global TLB entries — the paper's seL4 v10 behaviour and the
+  // source of Table 1's indirect dTLB cost.
+  const uint16_t pcid = profile_.pcid_enabled ? to->pcid() : 0;
+  core.WriteCr3(to->cr3(), pcid, profile_.pcid_enabled);
+  if (bd != nullptr) {
+    bd->context_switch += machine_->costs().cr3_write;
+  }
+}
+
+void Kernel::TouchKernelEntry(hw::Core& core) {
+  // Entry stub + per-cpu kernel stack lines.
+  (void)core.FetchCode(kKernelCodeVa, 256);
+  (void)core.TouchData(kKernelDataVa + static_cast<uint64_t>(core.id()) * 4096, 192, true);
+}
+
+void Kernel::ChargeIpcLogic(hw::Core& core, bool fastpath, CostBreakdown* bd) {
+  const uint64_t constant =
+      fastpath ? profile_.fastpath_logic_cycles : profile_.slowpath_logic_cycles;
+  const uint64_t charged = constant > warm_footprint_cycles_ && fastpath
+                               ? constant - warm_footprint_cycles_
+                               : constant;
+  const uint64_t t0 = core.cycles();
+  core.AdvanceCycles(charged);
+  if (fastpath) {
+    // The IPC path's code and the endpoint/thread structures it walks; these
+    // touches produce the indirect cache/TLB costs of Table 1.
+    (void)core.FetchCode(kKernelCodeVa + 4096, profile_.kernel_code_footprint);
+    (void)core.TouchData(kKernelDataVa + 64 * 1024, profile_.kernel_data_footprint, true);
+  }
+  if (bd != nullptr) {
+    bd->others += core.cycles() - t0;
+  }
+}
+
+void Kernel::ChargeCopies(hw::Core& core, const Message& msg, int copies, CostBreakdown* bd) {
+  if (copies <= 0) {
+    return;
+  }
+  const uint64_t per_copy =
+      profile_.copy_fixed_cycles + msg.size() / 16;  // ~16 bytes/cycle.
+  const uint64_t t0 = core.cycles();
+  for (int i = 0; i < copies; ++i) {
+    core.AdvanceCycles(per_copy);
+    if (msg.size() > 0) {
+      // Kernel bounce buffer traffic.
+      (void)core.TouchData(kKernelDataVa + 128 * 1024, msg.size(), true);
+    }
+  }
+  if (bd != nullptr) {
+    bd->copy += core.cycles() - t0;
+  }
+}
+
+sb::StatusOr<Message> Kernel::ServeLocal(hw::Core& core, Endpoint& ep, Process* caller_proc,
+                                         const Message& msg, CostBreakdown* bd) {
+  const bool fits = msg.size() <= profile_.register_msg_capacity;
+
+  // ---- Request leg ----
+  SyscallEnter(core, bd);
+  if (msg.has_cap_grant) {
+    // Capability transfer: validate the caller's authority, mint the new
+    // capability into the receiver, and pay the slowpath (the fastpath
+    // precondition "no capabilities are transferred" fails).
+    bool authorized = false;
+    for (CapSlot s = 0; s < caller_proc->cap_count(); ++s) {
+      const Capability* held = caller_proc->LookupCap(s);
+      if (held != nullptr && held->type == CapType::kEndpoint &&
+          held->object == msg.grant_endpoint && (held->rights & kRightGrant) != 0) {
+        authorized = true;
+        break;
+      }
+    }
+    ChargeIpcLogic(core, /*fastpath=*/false, bd);
+    if (!authorized) {
+      SyscallExit(core, bd);
+      return sb::PermissionDenied("caller lacks grant right on transferred cap");
+    }
+    last_granted_slot_ = ep.owner()->InstallCap(
+        Capability{CapType::kEndpoint, msg.grant_endpoint, msg.grant_rights});
+  }
+  // The local path always runs the kernel's common IPC logic; the slowpath
+  // constant models the cross-core degeneration only.
+  ChargeIpcLogic(core, /*fastpath=*/true, bd);
+  ChargeCopies(core, msg, fits ? profile_.copies_per_transfer : profile_.copies_long_transfer,
+               bd);
+  if (profile_.schedule_cycles > 0) {
+    // No-fastpath kernels (Zircon) enter the scheduler on every transfer.
+    core.AdvanceCycles(profile_.schedule_cycles);
+    if (bd != nullptr) {
+      bd->schedule += profile_.schedule_cycles;
+    }
+  }
+  SwitchAddressSpace(core, ep.owner(), bd);
+  current_[static_cast<size_t>(core.id())] = ep.owner();
+  if (!fits) {
+    // Deliver the long message into the endpoint's receive buffer.
+    SB_RETURN_IF_ERROR(core.WriteVirt(ep.recv_buffer(), msg.data));
+  }
+  SyscallExit(core, bd);
+
+  // ---- Server handler (user mode, server address space) ----
+  CallEnv env{*this, core, *ep.owner(), msg};
+  Message reply = ep.handler()(env);
+
+  // ---- Reply leg ----
+  SyscallEnter(core, bd);
+  ChargeIpcLogic(core, /*fastpath=*/true, bd);
+  ChargeCopies(core, reply,
+               reply.size() <= profile_.register_msg_capacity ? profile_.copies_per_transfer
+                                                              : profile_.copies_long_transfer,
+               bd);
+  if (profile_.schedule_cycles > 0) {
+    core.AdvanceCycles(profile_.schedule_cycles);
+    if (bd != nullptr) {
+      bd->schedule += profile_.schedule_cycles;
+    }
+  }
+  SwitchAddressSpace(core, caller_proc, bd);
+  current_[static_cast<size_t>(core.id())] = caller_proc;
+  SyscallExit(core, bd);
+  return reply;
+}
+
+sb::StatusOr<Message> Kernel::ServeCrossCore(hw::Core& caller_core, Endpoint& ep,
+                                             int server_core_id, Process* caller_proc,
+                                             const Message& msg, CostBreakdown* bd) {
+  ++cross_core_calls_;
+  const hw::CostModel& cm = machine_->costs();
+  hw::Core& server_core = machine_->core(server_core_id);
+
+  // Caller side: trap, slowpath send, IPI to the server core, block.
+  SyscallEnter(caller_core, bd);
+  ChargeIpcLogic(caller_core, /*fastpath=*/false, bd);
+  const bool fits = msg.size() <= profile_.register_msg_capacity;
+  ChargeCopies(caller_core, msg,
+               fits ? std::max(profile_.copies_per_transfer, 1) : profile_.copies_long_transfer,
+               bd);
+  machine_->SendIpi(caller_core.id(), server_core_id);
+  if (bd != nullptr) {
+    bd->ipi += cm.ipi;
+  }
+  const uint64_t arrival = caller_core.cycles() + cm.ipi;
+
+  // Server side: FIFO-serialized on the endpoint, runs on the server core.
+  const uint64_t service_start = ep.service().Acquire(arrival);
+  server_core.SyncClockTo(service_start);
+  server_core.AdvanceCycles(profile_.cross_schedule_cycles);
+  if (bd != nullptr) {
+    bd->schedule += profile_.cross_schedule_cycles;
+  }
+  ChargeIpcLogic(server_core, /*fastpath=*/false, bd);
+  if (current_[static_cast<size_t>(server_core_id)] != ep.owner()) {
+    SwitchAddressSpace(server_core, ep.owner(), bd);
+    current_[static_cast<size_t>(server_core_id)] = ep.owner();
+  }
+  if (!fits) {
+    SB_RETURN_IF_ERROR(server_core.WriteVirt(ep.recv_buffer(), msg.data));
+  }
+  // Receive-side mode switch (the server thread returns from its recv call
+  // and re-enters the kernel to reply).
+  server_core.AdvanceCycles(cm.syscall_insn + 2 * cm.swapgs_insn + cm.sysret_insn);
+  if (bd != nullptr) {
+    bd->syscall_sysret += cm.syscall_insn + 2 * cm.swapgs_insn + cm.sysret_insn;
+  }
+  CallEnv env{*this, server_core, *ep.owner(), msg};
+  Message reply = ep.handler()(env);
+  ChargeCopies(server_core, reply,
+               reply.size() <= profile_.register_msg_capacity
+                   ? std::max(profile_.copies_per_transfer, 1)
+                   : profile_.copies_long_transfer,
+               bd);
+  const uint64_t service_end = server_core.cycles();
+  ep.service().Release(service_end);
+
+  // Reply IPI back to the caller.
+  machine_->SendIpi(server_core_id, caller_core.id());
+  if (bd != nullptr) {
+    bd->ipi += cm.ipi;
+  }
+  caller_core.SyncClockTo(service_end + cm.ipi);
+  SyscallExit(caller_core, bd);
+  return reply;
+}
+
+sb::StatusOr<Message> Kernel::IpcCall(Thread* caller, CapSlot cap_slot, const Message& msg,
+                                      CostBreakdown* bd) {
+  SB_CHECK(caller != nullptr);
+  Process* caller_proc = caller->process();
+  const Capability* cap = caller_proc->LookupCap(cap_slot);
+  if (cap == nullptr || cap->type != CapType::kEndpoint) {
+    return sb::InvalidArgument("bad endpoint capability");
+  }
+  if ((cap->rights & kRightCall) == 0) {
+    return sb::PermissionDenied("capability lacks call right");
+  }
+  Endpoint* ep = endpoint(cap->object);
+  SB_CHECK(ep != nullptr);
+  ep->count_call();
+  ++ipc_calls_;
+
+  hw::Core& core = machine_->core(caller->core_id());
+  // Local service if a server thread lives on the caller's core.
+  const std::vector<int>& cores = ep->server_cores();
+  const bool local = cores.empty() ||
+                     std::find(cores.begin(), cores.end(), caller->core_id()) != cores.end();
+  if (local) {
+    return ServeLocal(core, *ep, caller_proc, msg, bd);
+  }
+  const int server_core = cores[static_cast<size_t>(caller->core_id()) % cores.size()];
+  return ServeCrossCore(core, *ep, server_core, caller_proc, msg, bd);
+}
+
+}  // namespace mk

@@ -1,0 +1,223 @@
+// The Subkernel: the microkernel the benchmarks run on.
+//
+// One framework, three personalities (KernelProfile). It owns guest physical
+// memory, the kernel address space (shared into every process's upper half),
+// process/thread/capability management, endpoints, and the synchronous IPC
+// path whose direct costs reproduce Section 2.1:
+//
+//   one-way IPC = SYSCALL + SWAPGS            (mode switch in)
+//               + [KPTI CR3 switch]
+//               + IPC logic                   (fastpath checks, caps, drq...)
+//               + message copies              (per personality)
+//               + [scheduler]                 (personality/slowpath)
+//               + CR3 switch to the target    (address space switch)
+//               + SWAPGS + SYSRET             (mode switch out)
+//
+// Cross-core IPC degenerates to the slowpath: the request is IPI'd to the
+// server's core, serialized on the endpoint (FIFO in virtual time), handled
+// there, and IPI'd back.
+//
+// When `boot_rootkernel` is set the kernel self-virtualizes at boot (one
+// call into the Rootkernel, Section 4.2) and process creation additionally
+// creates a per-process EPT; context switches install the process's EPTP
+// list via VMCALL.
+
+#ifndef SRC_MK_KERNEL_H_
+#define SRC_MK_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/hw/machine.h"
+#include "src/mk/message.h"
+#include "src/mk/process.h"
+#include "src/mk/profile.h"
+#include "src/sim/executor.h"
+#include "src/vmm/rootkernel.h"
+
+namespace mk {
+
+// Per-call cost accounting, bucketed like Figure 7's legend.
+struct CostBreakdown {
+  uint64_t vmfunc = 0;
+  uint64_t syscall_sysret = 0;
+  uint64_t context_switch = 0;
+  uint64_t ipi = 0;
+  uint64_t copy = 0;
+  uint64_t schedule = 0;
+  uint64_t others = 0;
+
+  uint64_t total() const {
+    return vmfunc + syscall_sysret + context_switch + ipi + copy + schedule + others;
+  }
+  CostBreakdown& operator+=(const CostBreakdown& rhs) {
+    vmfunc += rhs.vmfunc;
+    syscall_sysret += rhs.syscall_sysret;
+    context_switch += rhs.context_switch;
+    ipi += rhs.ipi;
+    copy += rhs.copy;
+    schedule += rhs.schedule;
+    others += rhs.others;
+    return *this;
+  }
+};
+
+class Kernel;
+
+// Execution environment handed to an endpoint handler. The handler runs in
+// the *server's* address space on `core`; all memory access goes through the
+// charged translation path.
+struct CallEnv {
+  Kernel& kernel;
+  hw::Core& core;
+  Process& server;
+  const Message& request;
+};
+
+using Handler = std::function<Message(CallEnv&)>;
+
+class Endpoint {
+ public:
+  Endpoint(uint64_t id, Process* owner, Handler handler)
+      : id_(id), owner_(owner), handler_(std::move(handler)) {}
+
+  uint64_t id() const { return id_; }
+  Process* owner() const { return owner_; }
+  Handler& handler() { return handler_; }
+
+  // Cores running a server thread for this endpoint. A call from one of
+  // these cores is served locally (direct process switch); anything else is
+  // a cross-core call to cores[hash].
+  void set_server_cores(std::vector<int> cores) { server_cores_ = std::move(cores); }
+  const std::vector<int>& server_cores() const { return server_cores_; }
+
+  sim::FifoResource& service() { return service_; }
+  hw::Gva recv_buffer() const { return recv_buffer_; }
+  void set_recv_buffer(hw::Gva va) { recv_buffer_ = va; }
+
+  uint64_t calls() const { return calls_; }
+  void count_call() { ++calls_; }
+
+ private:
+  uint64_t id_;
+  Process* owner_;
+  Handler handler_;
+  std::vector<int> server_cores_;
+  sim::FifoResource service_;
+  hw::Gva recv_buffer_ = 0;
+  uint64_t calls_ = 0;
+};
+
+struct KernelOptions {
+  bool boot_rootkernel = true;
+  vmm::RootkernelConfig rootkernel_config;
+  uint64_t process_heap_bytes = 8ULL * 1024 * 1024;
+  uint64_t kernel_code_bytes = 2ULL * 1024 * 1024;
+  uint64_t kernel_data_bytes = 4ULL * 1024 * 1024;
+};
+
+class Kernel {
+ public:
+  Kernel(hw::Machine& machine, KernelProfile profile, KernelOptions options = {});
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  sb::Status Boot();
+
+  // ---- Accessors ----
+  hw::Machine& machine() { return *machine_; }
+  const KernelProfile& profile() const { return profile_; }
+  vmm::Rootkernel* rootkernel() { return rootkernel_.get(); }
+  hw::FrameAllocator& guest_frames() { return guest_frames_; }
+  hw::AddressSpace& kernel_as() { return *kernel_as_; }
+  hw::Gpa identity_gpa() const { return identity_gpa_; }
+  const KernelOptions& options() const { return options_; }
+
+  // ---- Processes & threads ----
+  sb::StatusOr<Process*> CreateProcess(const std::string& name);
+  sb::StatusOr<Process*> CreateProcessWithImage(const std::string& name,
+                                                std::vector<uint8_t> code_image);
+  const std::vector<std::unique_ptr<Process>>& processes() const { return processes_; }
+
+  // ---- Endpoints & capabilities ----
+  sb::StatusOr<Endpoint*> CreateEndpoint(Process* owner, Handler handler,
+                                         std::vector<int> server_cores);
+  Endpoint* endpoint(uint64_t id);
+  sb::StatusOr<CapSlot> GrantEndpointCap(Process* to, uint64_t endpoint_id, uint32_t rights);
+
+  // ---- Context switching ----
+  // Switches `core` to `process` (CR3 write + EPTP list install when
+  // virtualized). This is the scheduler's dispatch tail.
+  sb::Status ContextSwitchTo(hw::Core& core, Process* process, CostBreakdown* bd = nullptr);
+  Process* current_process(int core_id) const { return current_[static_cast<size_t>(core_id)]; }
+
+  // Reads the identity page (Section 4.2): which process does the hardware
+  // translation context say is running? Requires the identity VA mapping.
+  sb::StatusOr<uint64_t> CurrentIdentity(hw::Core& core);
+
+  // ---- The synchronous IPC path ----
+  // Caller must be the current process on the caller thread's core. A
+  // message carrying a capability grant (msg.has_cap_grant) is delivered via
+  // the slowpath and the capability is minted into the receiver's cap space
+  // (the caller must hold the grant right on it).
+  sb::StatusOr<Message> IpcCall(Thread* caller, CapSlot cap_slot, const Message& msg,
+                                CostBreakdown* bd = nullptr);
+
+  // Slot the most recent IPC-transferred capability landed in (receiver's
+  // cap space); kMaxUint32 if none.
+  CapSlot last_granted_slot() const { return last_granted_slot_; }
+
+  // ---- Syscall-path primitives (also used by the SkyBridge registration
+  // syscalls and by the microbenchmarks) ----
+  void SyscallEnter(hw::Core& core, CostBreakdown* bd);
+  void SyscallExit(hw::Core& core, CostBreakdown* bd);
+  // A no-op syscall round trip, as measured in Table 2.
+  void NoOpSyscall(hw::Core& core);
+  void SwitchAddressSpace(hw::Core& core, Process* to, CostBreakdown* bd);
+
+  // Charges the kernel IPC software logic and touches kernel structures.
+  void ChargeIpcLogic(hw::Core& core, bool fastpath, CostBreakdown* bd);
+
+  // Statistics.
+  uint64_t ipc_calls() const { return ipc_calls_; }
+  uint64_t cross_core_calls() const { return cross_core_calls_; }
+
+ private:
+  sb::Status SetupKernelAddressSpace();
+  void TouchKernelEntry(hw::Core& core);
+  void ChargeCopies(hw::Core& core, const Message& msg, int copies, CostBreakdown* bd);
+  sb::StatusOr<Message> ServeLocal(hw::Core& core, Endpoint& ep, Process* caller_proc,
+                                   const Message& msg, CostBreakdown* bd);
+  sb::StatusOr<Message> ServeCrossCore(hw::Core& caller_core, Endpoint& ep, int server_core,
+                                       Process* caller_proc, const Message& msg,
+                                       CostBreakdown* bd);
+
+  hw::Machine* machine_;
+  KernelProfile profile_;
+  KernelOptions options_;
+  std::unique_ptr<vmm::Rootkernel> rootkernel_;
+  hw::FrameAllocator guest_frames_;
+  std::unique_ptr<hw::AddressSpace> kernel_as_;
+  hw::Gpa identity_gpa_ = 0;
+  uint64_t next_pid_ = 1;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<Process*> current_;
+  // Pre-computed warm-cache cost of the kernel footprint touches, subtracted
+  // from the calibrated logic constants to avoid double counting.
+  uint64_t warm_footprint_cycles_ = 0;
+  uint64_t ipc_calls_ = 0;
+  uint64_t cross_core_calls_ = 0;
+  CapSlot last_granted_slot_ = ~0u;
+  bool booted_ = false;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_KERNEL_H_

@@ -1,0 +1,39 @@
+// IPC message: a tag word plus a byte payload. Payloads up to the profile's
+// register capacity travel in registers; larger ones go through memory
+// (kernel copies for classic IPC, per-thread shared buffers for SkyBridge).
+
+#ifndef SRC_MK_MESSAGE_H_
+#define SRC_MK_MESSAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mk {
+
+struct Message {
+  uint64_t tag = 0;
+  std::vector<uint8_t> data;
+  // Optional capability transfer (seL4-style grant). A message carrying a
+  // capability cannot take the IPC fastpath ("no capabilities are
+  // transferred" is one of the fastpath preconditions, Section 1).
+  bool has_cap_grant = false;
+  uint64_t grant_endpoint = 0;
+  uint32_t grant_rights = 0;
+
+  Message() = default;
+  explicit Message(uint64_t t) : tag(t) {}
+  Message(uint64_t t, std::vector<uint8_t> d) : tag(t), data(std::move(d)) {}
+
+  static Message FromString(uint64_t tag, const std::string& s) {
+    return Message(tag, std::vector<uint8_t>(s.begin(), s.end()));
+  }
+
+  size_t size() const { return data.size(); }
+  std::string ToString() const { return std::string(data.begin(), data.end()); }
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_MESSAGE_H_

@@ -1,0 +1,55 @@
+// Asynchronous notifications (paper Section 8: modern microkernels ship a
+// mixture of synchronous IPC and asynchronous notification objects).
+//
+// A notification is a word of binary semaphores: Signal() ORs a badge into
+// the word (cheap, non-blocking, one syscall); Wait() collects and clears
+// the accumulated badges, blocking in virtual time until a signal arrives.
+// Combined with a shared-memory ring this is the classic alternative to
+// synchronous IPC that SkyBridge's direct call outperforms for
+// request/response patterns.
+
+#ifndef SRC_MK_NOTIFICATION_H_
+#define SRC_MK_NOTIFICATION_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/hw/core.h"
+
+namespace mk {
+
+class Kernel;
+
+class Notification {
+ public:
+  Notification(Kernel* kernel, uint64_t id) : kernel_(kernel), id_(id) {}
+
+  uint64_t id() const { return id_; }
+
+  // Signals `badge` (a syscall: mode switch + tiny kernel logic). If a waiter
+  // is blocked, its wakeup time becomes max(waiter arrival, signal time).
+  sb::Status Signal(hw::Core& core, uint64_t badge);
+
+  // Waits for (and clears) the badge word. If badges are already pending it
+  // returns immediately; otherwise the caller blocks until the next signal's
+  // virtual time (plus the scheduler wakeup cost). Returns the badges.
+  sb::StatusOr<uint64_t> Wait(hw::Core& core);
+
+  // Non-blocking poll: returns pending badges (possibly 0) and clears them.
+  sb::StatusOr<uint64_t> Poll(hw::Core& core);
+
+  uint64_t signals() const { return signals_; }
+  uint64_t waits() const { return waits_; }
+
+ private:
+  Kernel* kernel_;
+  uint64_t id_;
+  uint64_t badges_ = 0;
+  uint64_t last_signal_time_ = 0;
+  uint64_t signals_ = 0;
+  uint64_t waits_ = 0;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_NOTIFICATION_H_

@@ -1,0 +1,14 @@
+#include "src/mk/process.h"
+
+namespace mk {
+
+sb::StatusOr<hw::Gva> Process::AllocHeap(uint64_t bytes, uint64_t align) {
+  uint64_t offset = (heap_used_ + align - 1) & ~(align - 1);
+  if (offset + bytes > heap_limit_) {
+    return sb::ResourceExhausted("process heap exhausted");
+  }
+  heap_used_ = offset + bytes;
+  return kHeapVa + offset;
+}
+
+}  // namespace mk

@@ -1,0 +1,153 @@
+// Processes, threads and capabilities.
+//
+// A process owns a real 4-level page-table address space built in guest
+// memory, a code image (actual x86-64 bytes — scanned and rewritten by
+// SkyBridge at registration), a heap, per-thread stacks, a capability space
+// and an identity frame (Section 4.2's process-misidentification fix).
+
+#ifndef SRC_MK_PROCESS_H_
+#define SRC_MK_PROCESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/hw/paging.h"
+
+namespace mk {
+
+class Kernel;
+class Process;
+
+// ---- Virtual address layout (identical for every process) ----
+inline constexpr hw::Gva kRewritePageVa = 0x1000;        // Paper Section 5.1.
+inline constexpr hw::Gva kCodeVa = 0x400000;
+inline constexpr uint64_t kCodeSize = 64 * 1024;
+inline constexpr hw::Gva kHeapVa = 0x10000000;
+inline constexpr hw::Gva kStackTopVa = 0x7ffe00000000;
+inline constexpr uint64_t kStackSize = 64 * 1024;
+inline constexpr hw::Gva kTrampolineVa = 0x700000000000;       // SkyBridge code page.
+inline constexpr hw::Gva kServerStacksVa = 0x700000100000;     // SkyBridge stacks.
+inline constexpr hw::Gva kSharedBufVa = 0x700010000000;        // SkyBridge buffers.
+inline constexpr hw::Gva kIdentityVa = 0x700020000000;         // Identity page.
+inline constexpr hw::Gva kCallingKeyTableVa = 0x700030000000;  // Key table.
+inline constexpr hw::Gva kKernelCodeVa = 0xffff800000000000;
+inline constexpr hw::Gva kKernelDataVa = 0xffff880000000000;
+
+enum class CapType : uint8_t { kNone = 0, kEndpoint, kMemory, kIrq };
+
+inline constexpr uint32_t kRightCall = 1u << 0;
+inline constexpr uint32_t kRightRecv = 1u << 1;
+inline constexpr uint32_t kRightGrant = 1u << 2;
+
+struct Capability {
+  CapType type = CapType::kNone;
+  uint64_t object = 0;  // Endpoint id, frame base, ...
+  uint32_t rights = 0;
+};
+
+using CapSlot = uint32_t;
+
+class Thread {
+ public:
+  Thread(Process* process, int tid, int core_id)
+      : process_(process), tid_(tid), core_id_(core_id) {}
+
+  Process* process() const { return process_; }
+  int tid() const { return tid_; }
+  int core_id() const { return core_id_; }
+  void set_core_id(int core_id) { core_id_ = core_id; }
+
+ private:
+  Process* process_;
+  int tid_;
+  int core_id_;
+};
+
+class Process {
+ public:
+  Process(Kernel* kernel, uint64_t pid, std::string name)
+      : kernel_(kernel), pid_(pid), name_(std::move(name)) {}
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  uint64_t pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  Kernel& kernel() { return *kernel_; }
+
+  hw::AddressSpace& address_space() { return *address_space_; }
+  hw::Gpa cr3() const { return address_space_->root_gpa(); }
+  uint16_t pcid() const { return address_space_->pcid(); }
+
+  // The process's own EPT id in the Rootkernel (slot 0 of its EPTP list).
+  uint64_t ept_id() const { return ept_id_; }
+  void set_ept_id(uint64_t id) { ept_id_ = id; }
+
+  // Rootkernel EPT ids to install on this process's EPTP list at dispatch
+  // time (slot 0 = own EPT; further slots added by SkyBridge bindings).
+  std::vector<uint64_t>& eptp_list_ids() { return eptp_list_ids_; }
+  const std::vector<uint64_t>& eptp_list_ids() const { return eptp_list_ids_; }
+
+  // Host-physical frame holding this process's identity record.
+  hw::Hpa identity_frame() const { return identity_frame_; }
+  void set_identity_frame(hw::Hpa f) { identity_frame_ = f; }
+
+  // Raw bytes of the process's executable image (mapped at kCodeVa).
+  const std::vector<uint8_t>& code_image() const { return code_image_; }
+  void set_code_image(std::vector<uint8_t> image) { code_image_ = std::move(image); }
+  bool code_rewritten() const { return code_rewritten_; }
+  void set_code_rewritten(bool v) { code_rewritten_ = v; }
+
+  // ---- Capability space ----
+  CapSlot InstallCap(const Capability& cap) {
+    caps_.push_back(cap);
+    return static_cast<CapSlot>(caps_.size() - 1);
+  }
+  const Capability* LookupCap(CapSlot slot) const {
+    if (slot >= caps_.size() || caps_[slot].type == CapType::kNone) {
+      return nullptr;
+    }
+    return &caps_[slot];
+  }
+  void RevokeCap(CapSlot slot) {
+    if (slot < caps_.size()) {
+      caps_[slot] = Capability{};
+    }
+  }
+  size_t cap_count() const { return caps_.size(); }
+
+  // ---- Threads ----
+  Thread* AddThread(int core_id) {
+    threads_.push_back(std::make_unique<Thread>(this, static_cast<int>(threads_.size()), core_id));
+    return threads_.back().get();
+  }
+  const std::vector<std::unique_ptr<Thread>>& threads() const { return threads_; }
+
+  // Heap bump allocator (virtual addresses backed at creation time).
+  sb::StatusOr<hw::Gva> AllocHeap(uint64_t bytes, uint64_t align = 64);
+  uint64_t heap_used() const { return heap_used_; }
+
+ private:
+  friend class Kernel;
+
+  Kernel* kernel_;
+  uint64_t pid_;
+  std::string name_;
+  std::unique_ptr<hw::AddressSpace> address_space_;
+  uint64_t heap_limit_ = 0;
+  uint64_t heap_used_ = 0;
+  uint64_t ept_id_ = 0;
+  std::vector<uint64_t> eptp_list_ids_;
+  hw::Hpa identity_frame_ = 0;
+  std::vector<uint8_t> code_image_;
+  bool code_rewritten_ = false;
+  std::vector<Capability> caps_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_PROCESS_H_

@@ -1,0 +1,108 @@
+#include "src/mk/profile.h"
+
+#include "src/base/logging.h"
+
+namespace mk {
+
+// Calibration notes (targets from Figure 7, empty message, cycles/roundtrip):
+//   One-way direct cost = SYSCALL(82) + 2xSWAPGS(52) + SYSRET(75) + CR3(186)
+//                         + logic [+ schedule + copies].
+//   seL4 fastpath:  2 x (395 + 98)                      =   986
+//   Fiasco fastpath: 2 x (395 + 963)                    =  2716  (~2717)
+//   Zircon:         2 x (395 + 1283 + 1300 + 2x550)     =  8156  (~8157)
+//   Cross-core roundtrip = caller mode switch (209) + server mode switch
+//   (209) + 2 IPIs (3826) + remote schedule + 2x slowpath logic + copies:
+//   seL4:   4244 +  500 + 2x1010                        =  6764
+//   Fiasco: 4244 +  500 + 2x1848                        =  8440
+//   Zircon: 4244 + 3000 + 2x5328 + 2x(2x550)            = 20100  (~20099)
+
+KernelProfile Sel4Profile() {
+  KernelProfile p;
+  p.kind = KernelKind::kSel4;
+  p.name = "seL4";
+  p.has_fastpath = true;
+  p.fastpath_logic_cycles = 98;
+  p.slowpath_logic_cycles = 1010;
+  p.schedule_cycles = 0;
+  p.cross_schedule_cycles = 500;
+  p.copy_fixed_cycles = 0;
+  p.copies_per_transfer = 0;
+  p.copies_long_transfer = 1;
+  p.kernel_code_footprint = 512;  // The seL4 fastpath is famously tiny.
+  p.kernel_data_footprint = 256;
+  return p;
+}
+
+KernelProfile FiascoProfile() {
+  KernelProfile p;
+  p.kind = KernelKind::kFiasco;
+  p.name = "Fiasco.OC";
+  p.has_fastpath = true;
+  // The Fiasco fastpath handles deferred requests (drq) during IPC, which is
+  // why it is slower than seL4's.
+  p.fastpath_logic_cycles = 963;
+  p.slowpath_logic_cycles = 1848;
+  p.schedule_cycles = 0;
+  p.cross_schedule_cycles = 500;
+  p.copy_fixed_cycles = 0;
+  p.copies_per_transfer = 0;
+  p.copies_long_transfer = 1;
+  p.kernel_code_footprint = 2048;
+  p.kernel_data_footprint = 832;
+  return p;
+}
+
+KernelProfile ZirconProfile() {
+  KernelProfile p;
+  p.kind = KernelKind::kZircon;
+  p.name = "Zircon";
+  p.has_fastpath = false;
+  p.fastpath_logic_cycles = 1283;  // Used as the common-path logic cost.
+  p.slowpath_logic_cycles = 5328;
+  p.schedule_cycles = 1300;  // Zircon may enter the scheduler on every IPC.
+  p.cross_schedule_cycles = 3000;
+  p.copy_fixed_cycles = 550;  // Channel writes copy in and out of the kernel.
+  p.copies_per_transfer = 2;
+  p.copies_long_transfer = 2;
+  p.kernel_code_footprint = 3072;
+  p.kernel_data_footprint = 1280;
+  return p;
+}
+
+KernelProfile LinuxProfile() {
+  KernelProfile p;
+  p.kind = KernelKind::kLinux;
+  p.name = "Linux (monolithic)";
+  p.has_fastpath = false;
+  // Pipe/UDS-style transfer: vfs + pipe buffer logic, two copies, a reader
+  // wakeup through the scheduler, and KPTI page-table switches on every
+  // kernel crossing. Calibrated to a ~4 us pipe ping-pong on Skylake.
+  p.fastpath_logic_cycles = 1900;
+  p.slowpath_logic_cycles = 3200;
+  p.schedule_cycles = 1500;
+  p.cross_schedule_cycles = 2500;
+  p.copy_fixed_cycles = 600;
+  p.copies_per_transfer = 2;
+  p.copies_long_transfer = 2;
+  p.kpti = true;
+  p.kernel_code_footprint = 4096;
+  p.kernel_data_footprint = 2048;
+  return p;
+}
+
+KernelProfile ProfileFor(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kSel4:
+      return Sel4Profile();
+    case KernelKind::kFiasco:
+      return FiascoProfile();
+    case KernelKind::kZircon:
+      return ZirconProfile();
+    case KernelKind::kLinux:
+      return LinuxProfile();
+  }
+  SB_CHECK(false) << "unknown kernel kind";
+  return Sel4Profile();
+}
+
+}  // namespace mk

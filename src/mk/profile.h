@@ -1,0 +1,69 @@
+// Microkernel personalities.
+//
+// One Subkernel framework reproduces the IPC-path *shapes* of the three
+// kernels the paper evaluates (Section 6.3):
+//   seL4      — fastpath: direct process switch, no scheduler, in-register
+//               messages. The fastest path (986-cycle roundtrip).
+//   Fiasco.OC — fastpath exists but processes deferred requests (drq) on the
+//               way, making it noticeably slower (2717 cycles).
+//   Zircon    — no fastpath: every IPC may enter the scheduler and messages
+//               are double-copied through the kernel (8157 cycles).
+// Cross-core IPC degenerates to a slowpath with an IPI on all three.
+//
+// The cycle constants are calibrated so the direct-cost totals land on the
+// paper's Figure 7 measurements; the indirect (cache/TLB) effects come from
+// the simulated footprints, not from these constants.
+
+#ifndef SRC_MK_PROFILE_H_
+#define SRC_MK_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mk {
+
+enum class KernelKind : uint8_t { kSel4, kFiasco, kZircon, kLinux };
+
+struct KernelProfile {
+  KernelKind kind = KernelKind::kSel4;
+  std::string name = "seL4";
+
+  bool has_fastpath = true;
+  // Software IPC logic on the fastpath, one way (checks, caps, endpoint).
+  uint64_t fastpath_logic_cycles = 98;
+  // Software logic on the slowpath (cross-core), one way.
+  uint64_t slowpath_logic_cycles = 574;
+  // Scheduler invocation, same-core (0 when the fastpath bypasses it).
+  uint64_t schedule_cycles = 0;
+  // Scheduler work on the remote core for cross-core IPC, one way.
+  uint64_t cross_schedule_cycles = 500;
+  // Fixed cost per kernel message copy (Zircon does two per transfer even
+  // for small messages; seL4/Fiasco move small messages in registers).
+  uint64_t copy_fixed_cycles = 0;
+  int copies_per_transfer = 0;  // For messages that fit in registers.
+  int copies_long_transfer = 1;  // For messages that do not.
+
+  // Paging configuration.
+  bool pcid_enabled = true;
+  bool kpti = false;  // Meltdown page-table isolation (off, as in Figure 7).
+
+  // Cache footprint of one kernel IPC path traversal (bytes).
+  uint64_t kernel_code_footprint = 1536;
+  uint64_t kernel_data_footprint = 640;
+
+  // In-register message capacity (bytes); larger messages go through memory.
+  uint64_t register_msg_capacity = 64;
+};
+
+KernelProfile Sel4Profile();
+KernelProfile FiascoProfile();
+KernelProfile ZirconProfile();
+// The paper's Section 10 future-work direction: a monolithic kernel whose
+// processes communicate through pipe-style IPC (two copies through the
+// kernel, reader wakeup via the scheduler, KPTI on — post-Meltdown Linux).
+KernelProfile LinuxProfile();
+KernelProfile ProfileFor(KernelKind kind);
+
+}  // namespace mk
+
+#endif  // SRC_MK_PROFILE_H_

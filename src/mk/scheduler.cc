@@ -1,0 +1,74 @@
+#include "src/mk/scheduler.h"
+
+#include <algorithm>
+
+#include "src/mk/kernel.h"
+
+namespace mk {
+namespace {
+
+// Queue manipulation + dispatch bookkeeping (picked small: the paper's
+// fastpath analysis treats scheduler entry as the thing worth avoiding).
+constexpr uint64_t kDispatchCycles = 150;
+
+}  // namespace
+
+sb::Status Scheduler::Enqueue(Thread* thread, int priority) {
+  if (priority < 0 || priority >= kNumPriorities) {
+    return sb::InvalidArgument("bad priority");
+  }
+  if (IsQueued(thread)) {
+    return sb::AlreadyExists("thread already queued");
+  }
+  ready_[static_cast<size_t>(priority)].push_back(thread);
+  return sb::OkStatus();
+}
+
+void Scheduler::Dequeue(Thread* thread) {
+  for (auto& queue : ready_) {
+    auto it = std::find(queue.begin(), queue.end(), thread);
+    if (it != queue.end()) {
+      queue.erase(it);
+      return;
+    }
+  }
+}
+
+bool Scheduler::IsQueued(const Thread* thread) const {
+  for (const auto& queue : ready_) {
+    if (std::find(queue.begin(), queue.end(), thread) != queue.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Scheduler::ready_count() const {
+  size_t n = 0;
+  for (const auto& queue : ready_) {
+    n += queue.size();
+  }
+  return n;
+}
+
+sb::StatusOr<Thread*> Scheduler::Schedule() {
+  hw::Core& core = kernel_->machine().core(core_id_);
+  core.AdvanceCycles(kDispatchCycles);
+  for (auto& queue : ready_) {
+    if (queue.empty()) {
+      continue;
+    }
+    Thread* next = queue.front();
+    queue.pop_front();
+    queue.push_back(next);  // Round-robin within the priority.
+    ++dispatches_;
+    if (kernel_->current_process(core_id_) != next->process()) {
+      ++process_switches_;
+      SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(core, next->process()));
+    }
+    return next;
+  }
+  return sb::NotFound("no runnable thread");
+}
+
+}  // namespace mk

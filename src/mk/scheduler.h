@@ -1,0 +1,57 @@
+// Per-core scheduler: fixed priorities with round-robin within a priority,
+// plus the "direct process switch" behaviour the paper's Section 8 discusses
+// (Benno scheduling): the IPC fastpath hands the core straight to the
+// receiver without touching the ready queue, so the queue is only consulted
+// when a thread blocks, yields or is preempted.
+
+#ifndef SRC_MK_SCHEDULER_H_
+#define SRC_MK_SCHEDULER_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "src/base/status.h"
+#include "src/mk/process.h"
+
+namespace mk {
+
+class Kernel;
+
+inline constexpr int kNumPriorities = 4;  // 0 = highest.
+
+class Scheduler {
+ public:
+  Scheduler(Kernel* kernel, int core_id) : kernel_(kernel), core_id_(core_id) {}
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Makes a thread runnable at `priority`. Enqueueing an already-queued
+  // thread is an error (threads are queued at most once).
+  sb::Status Enqueue(Thread* thread, int priority);
+  // Removes a blocked thread from the ready queue (no-op if absent).
+  void Dequeue(Thread* thread);
+  bool IsQueued(const Thread* thread) const;
+  size_t ready_count() const;
+
+  // Picks the next thread: highest priority first, round-robin within a
+  // priority (the picked thread goes to the back of its queue). Charges the
+  // dispatch cost and context-switches the core if the process changes.
+  // Returns NotFound when nothing is runnable.
+  sb::StatusOr<Thread*> Schedule();
+
+  uint64_t dispatches() const { return dispatches_; }
+  uint64_t process_switches() const { return process_switches_; }
+
+ private:
+  Kernel* kernel_;
+  int core_id_;
+  std::array<std::deque<Thread*>, kNumPriorities> ready_;
+  uint64_t dispatches_ = 0;
+  uint64_t process_switches_ = 0;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_SCHEDULER_H_

@@ -1,0 +1,50 @@
+#include "src/sim/executor.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace sim {
+
+void SimThread::Step() {
+  SB_CHECK(!done_);
+  // The thread may have been blocked past the core's clock (cross-core
+  // waits); bring the core up to the thread's time before running.
+  core_->SyncClockTo(now_);
+  const bool more = body_(*this);
+  now_ = std::max(now_, core_->cycles());
+  ++iterations_;
+  done_ = !more;
+}
+
+SimThread* Executor::AddThread(std::string name, int core_id, SimThread::Body body) {
+  SB_CHECK(core_id >= 0 && core_id < machine_->num_cores());
+  threads_.push_back(
+      std::make_unique<SimThread>(std::move(name), &machine_->core(core_id), std::move(body)));
+  return threads_.back().get();
+}
+
+void Executor::RunUntil(uint64_t deadline_cycles) {
+  while (true) {
+    SimThread* next = nullptr;
+    for (const auto& t : threads_) {
+      if (!t->done() && (next == nullptr || t->now() < next->now())) {
+        next = t.get();
+      }
+    }
+    if (next == nullptr || next->now() >= deadline_cycles) {
+      return;
+    }
+    next->Step();
+  }
+}
+
+uint64_t Executor::max_time() const {
+  uint64_t t = 0;
+  for (const auto& thread : threads_) {
+    t = std::max(t, thread->now());
+  }
+  return t;
+}
+
+}  // namespace sim

@@ -1,0 +1,118 @@
+#include "src/skybridge/guest_exec.h"
+
+#include "src/base/logging.h"
+#include "src/x86/decoder.h"
+
+namespace skybridge {
+namespace {
+
+uint64_t ReadLittle(std::span<const uint8_t> bytes, size_t off, unsigned len) {
+  uint64_t v = 0;
+  for (unsigned i = 0; i < len; ++i) {
+    v |= static_cast<uint64_t>(bytes[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+sb::Status GuestExecutor::Step(GuestRegs& regs, bool* done) {
+  *done = false;
+  // Fetch a decode window through the i-side (charged).
+  uint8_t window[15] = {};
+  SB_RETURN_IF_ERROR(core_->FetchCode(regs.rip, sizeof(window)));
+  SB_RETURN_IF_ERROR(core_->ReadVirt(regs.rip, window));
+  const std::span<const uint8_t> bytes(window, sizeof(window));
+  const x86::Insn insn = x86::Decode(bytes, 0);
+  if (!insn.valid) {
+    return sb::Unimplemented("undecodable guest instruction");
+  }
+  const uint64_t next_rip = regs.rip + insn.length;
+  const uint8_t op = window[insn.opcode_off];
+
+  auto push64 = [&](uint64_t value) -> sb::Status {
+    regs.reg(x86::Reg::kRsp) -= 8;
+    return core_->WriteVirtU64(regs.reg(x86::Reg::kRsp), value);
+  };
+  auto pop64 = [&]() -> sb::StatusOr<uint64_t> {
+    SB_ASSIGN_OR_RETURN(const uint64_t value, core_->ReadVirtU64(regs.reg(x86::Reg::kRsp)));
+    regs.reg(x86::Reg::kRsp) += 8;
+    return value;
+  };
+
+  switch (insn.mnemonic) {
+    case x86::Mnemonic::kNop:
+      break;
+    case x86::Mnemonic::kPush: {
+      if (op >= 0x50 && op <= 0x57) {
+        const uint8_t r = static_cast<uint8_t>((op & 7) | ((insn.rex & 1) << 3));
+        SB_RETURN_IF_ERROR(push64(regs.r[r]));
+      } else {
+        return sb::Unimplemented("push form not supported in guest executor");
+      }
+      break;
+    }
+    case x86::Mnemonic::kPop: {
+      const uint8_t r = static_cast<uint8_t>((op & 7) | ((insn.rex & 1) << 3));
+      SB_ASSIGN_OR_RETURN(regs.r[r], pop64());
+      break;
+    }
+    case x86::Mnemonic::kMov: {
+      if (op >= 0xb8 && op <= 0xbf) {  // mov r32, imm32 (zero-extends).
+        const uint8_t r = static_cast<uint8_t>((op & 7) | ((insn.rex & 1) << 3));
+        regs.r[r] = ReadLittle(bytes, insn.imm_off, insn.imm_len) & 0xffffffffULL;
+      } else if (op == 0x89 && insn.modrm_is_reg()) {  // mov r64, r64
+        regs.r[insn.modrm_rm()] = regs.r[insn.modrm_reg()];
+      } else {
+        return sb::Unimplemented("mov form not supported in guest executor");
+      }
+      break;
+    }
+    case x86::Mnemonic::kMovImm64: {
+      const uint8_t r = static_cast<uint8_t>((op & 7) | ((insn.rex & 1) << 3));
+      regs.r[r] = ReadLittle(bytes, insn.imm_off, insn.imm_len);
+      break;
+    }
+    case x86::Mnemonic::kVmfunc: {
+      // The hardware gate: leaf in eax, EPTP index in ecx.
+      const uint32_t leaf = static_cast<uint32_t>(regs.reg(x86::Reg::kRax));
+      const uint32_t index = static_cast<uint32_t>(regs.reg(x86::Reg::kRcx));
+      SB_RETURN_IF_ERROR(core_->Vmfunc(leaf, index));
+      break;
+    }
+    case x86::Mnemonic::kJmpRel: {
+      const int64_t disp = static_cast<int64_t>(
+          static_cast<int32_t>(ReadLittle(bytes, insn.imm_off, insn.imm_len)
+                               << (32 - 8 * insn.imm_len)) >>
+          (32 - 8 * insn.imm_len));
+      regs.rip = next_rip + static_cast<uint64_t>(disp);
+      return sb::OkStatus();
+    }
+    case x86::Mnemonic::kRet: {
+      SB_ASSIGN_OR_RETURN(const uint64_t target, pop64());
+      if (target == kGuestReturnSentinel) {
+        *done = true;
+        return sb::OkStatus();
+      }
+      regs.rip = target;
+      return sb::OkStatus();
+    }
+    default:
+      return sb::Unimplemented("instruction outside the trampoline subset");
+  }
+  regs.rip = next_rip;
+  return sb::OkStatus();
+}
+
+sb::StatusOr<uint64_t> GuestExecutor::Run(GuestRegs& regs, uint64_t max_steps) {
+  for (uint64_t steps = 0; steps < max_steps; ++steps) {
+    bool done = false;
+    SB_RETURN_IF_ERROR(Step(regs, &done));
+    if (done) {
+      return steps + 1;
+    }
+  }
+  return sb::TimeoutError("guest execution did not finish");
+}
+
+}  // namespace skybridge

@@ -1,0 +1,50 @@
+// GuestExecutor: runs real x86-64 instructions *through the simulated MMU*.
+//
+// Unlike x86::Emulator (flat memory, used to verify the rewriter), this
+// executor fetches code and touches the stack via hw::Core's charged
+// translation path, and hands VMFUNC to the core's VMCS. It supports exactly
+// the instruction subset the SkyBridge trampoline is assembled from, which
+// is what it exists to prove: that the literal trampoline bytes, executed on
+// the simulated hardware, really do carry a call into another address space
+// and back.
+
+#ifndef SRC_SKYBRIDGE_GUEST_EXEC_H_
+#define SRC_SKYBRIDGE_GUEST_EXEC_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/hw/core.h"
+#include "src/x86/insn.h"
+
+namespace skybridge {
+
+struct GuestRegs {
+  uint64_t r[x86::kNumRegs] = {};
+  uint64_t rip = 0;
+
+  uint64_t& reg(x86::Reg reg_id) { return r[static_cast<size_t>(reg_id)]; }
+};
+
+// The executor stops cleanly when a RET pops this value.
+inline constexpr uint64_t kGuestReturnSentinel = 0x5b5bdead5b5bdeadULL;
+
+class GuestExecutor {
+ public:
+  explicit GuestExecutor(hw::Core* core) : core_(core) {}
+
+  // Executes from regs.rip until a RET pops the sentinel (push it first) or
+  // `max_steps` is reached. Each instruction is fetched, decoded and charged
+  // through the core. Returns the number of instructions executed.
+  sb::StatusOr<uint64_t> Run(GuestRegs& regs, uint64_t max_steps);
+
+  // Executes a single instruction; sets *done when the sentinel RET fires.
+  sb::Status Step(GuestRegs& regs, bool* done);
+
+ private:
+  hw::Core* core_;
+};
+
+}  // namespace skybridge
+
+#endif  // SRC_SKYBRIDGE_GUEST_EXEC_H_

@@ -1,0 +1,505 @@
+#include "src/skybridge/skybridge.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/units.h"
+#include "src/x86/rewriter.h"
+#include "src/x86/scanner.h"
+
+namespace skybridge {
+namespace {
+
+constexpr uint64_t kServerStackBytes = 64 * sb::kKiB;
+constexpr uint64_t kKeySlotBytes = 16;  // {key, client pid}
+// Section 6.3: the non-VMFUNC trampoline work costs 64 cycles per direction.
+// The charged memory traffic (trampoline i-fetch, calling-key table read,
+// stack install) accounts for ~20 of those when warm, so the flat charge is
+// the remainder — the measured roundtrip lands on 2 x (134 + 64) = 396.
+constexpr uint64_t kTrampolineLegCycles = 44;
+
+}  // namespace
+
+SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
+    : kernel_(&kernel),
+      config_(config),
+      key_rng_(config.key_seed),
+      trampoline_(BuildTrampoline()),
+      next_shared_buf_va_(mk::kSharedBufVa) {
+  SB_CHECK(kernel.rootkernel() != nullptr)
+      << "SkyBridge requires a kernel booted with the Rootkernel";
+  SB_CHECK(config_.eptp_capacity >= 2 && config_.eptp_capacity <= hw::kEptpListCapacity);
+  // One shared trampoline code frame for all processes.
+  auto frame = kernel.guest_frames().Alloc(kernel.machine().mem());
+  SB_CHECK(frame.ok());
+  trampoline_gpa_ = *frame;
+  kernel.machine().mem().Write(trampoline_gpa_, trampoline_.code);
+}
+
+sb::Status SkyBridge::RewriteProcessImage(mk::Process* process) {
+  if (process->code_rewritten() || !config_.rewrite_binaries) {
+    return sb::OkStatus();
+  }
+  x86::RewriteConfig rw;
+  rw.code_base = mk::kCodeVa;
+  rw.rewrite_page_base = mk::kRewritePageVa;
+  SB_ASSIGN_OR_RETURN(x86::RewriteResult result,
+                      x86::RewriteVmfunc(process->code_image(), rw));
+  stats_.rewritten_vmfuncs +=
+      static_cast<uint64_t>(result.stats.nop_replaced + result.stats.windows_relocated);
+
+  // Write the rewritten image back over the process's code pages.
+  const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
+  SB_CHECK(code_walk.ok);
+  kernel_->machine().mem().Write(code_walk.gpa, result.code);
+  process->set_code_image(std::move(result.code));
+
+  // Map and fill the rewrite page (the deliberately-unmapped second page).
+  if (!result.rewrite_page.empty()) {
+    hw::PageFlags flags;
+    flags.writable = false;
+    SB_ASSIGN_OR_RETURN(
+        const hw::Gpa rw_gpa,
+        process->address_space().MapAnonymous(
+            mk::kRewritePageVa, sb::PageUp(result.rewrite_page.size()), flags));
+    kernel_->machine().mem().Write(rw_gpa, result.rewrite_page);
+  }
+  process->set_code_rewritten(true);
+  ++stats_.processes_rewritten;
+  return sb::OkStatus();
+}
+
+sb::Status SkyBridge::UpdateProcessCode(mk::Process* process, std::vector<uint8_t> new_image) {
+  if (new_image.size() > mk::kCodeSize) {
+    return sb::InvalidArgument("code image larger than the code window");
+  }
+  // The generation phase: code pages are writable and non-executable; the
+  // new bytes land in place.
+  const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
+  if (!code_walk.ok) {
+    return sb::FailedPrecondition("process has no code mapping");
+  }
+  kernel_->machine().mem().Write(code_walk.gpa, new_image);
+  process->set_code_image(std::move(new_image));
+  // Remap executable: the Subkernel rescans before the pages may run again.
+  process->set_code_rewritten(false);
+  // Drop any previous rewrite page so the rescan can lay out fresh snippets.
+  for (hw::Gva va = mk::kRewritePageVa;
+       process->address_space().WalkVa(va).ok && va < mk::kRewritePageVa + 16 * sb::kPageSize;
+       va += sb::kPageSize) {
+    SB_RETURN_IF_ERROR(process->address_space().Unmap(va));
+  }
+  return RewriteProcessImage(process);
+}
+
+sb::Status SkyBridge::EnsureProcessPrepared(mk::Process* process) {
+  SB_RETURN_IF_ERROR(RewriteProcessImage(process));
+  // Trampoline page (exec-only for users, shared frame).
+  if (!process->address_space().WalkVa(mk::kTrampolineVa).ok) {
+    hw::PageFlags flags;
+    flags.writable = false;
+    SB_RETURN_IF_ERROR(process->address_space().MapRange(
+        mk::kTrampolineVa, trampoline_gpa_, sb::kPageSize, flags));
+  }
+  // Per-process calling-key table page.
+  if (!process->address_space().WalkVa(mk::kCallingKeyTableVa).ok) {
+    SB_RETURN_IF_ERROR(
+        process->address_space()
+            .MapAnonymous(mk::kCallingKeyTableVa, sb::kPageSize, hw::PageFlags{})
+            .status());
+  }
+  return sb::OkStatus();
+}
+
+sb::StatusOr<ServerId> SkyBridge::RegisterServer(mk::Process* server, int max_connections,
+                                                 mk::Handler handler) {
+  if (max_connections <= 0 || max_connections > 256) {
+    return sb::InvalidArgument("connection count out of range");
+  }
+  SB_RETURN_IF_ERROR(EnsureProcessPrepared(server));
+
+  const ServerId id = servers_.size();
+  // Per-connection server stacks (Section 4.4: the stack count bounds the
+  // concurrency the server supports).
+  const hw::Gva stacks_va = mk::kServerStacksVa + id * 256 * kServerStackBytes;
+  SB_RETURN_IF_ERROR(server->address_space()
+                         .MapAnonymous(stacks_va,
+                                       static_cast<uint64_t>(max_connections) * kServerStackBytes,
+                                       hw::PageFlags{})
+                         .status());
+
+  ServerEntry entry;
+  entry.id = id;
+  entry.process = server;
+  entry.handler = std::move(handler);
+  entry.max_connections = max_connections;
+  entry.handler_va = mk::kCodeVa + 0x100;
+  servers_.push_back(std::move(entry));
+  return id;
+}
+
+SkyBridge::Binding* SkyBridge::FindBinding(mk::Process* client, ServerId server) {
+  for (const auto& b : bindings_) {
+    if (b->client == client && b->server == server) {
+      return b.get();
+    }
+  }
+  return nullptr;
+}
+
+sb::StatusOr<uint32_t> SkyBridge::EptpIndexOf(const Binding& binding) const {
+  const auto& ids = binding.client->eptp_list_ids();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == binding.ept_id) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  return sb::NotFound("binding not installed in EPTP list");
+}
+
+void SkyBridge::TouchLru(Binding& binding) {
+  auto& lru = lru_[binding.client];
+  lru.remove(&binding);
+  lru.push_front(&binding);
+}
+
+sb::Status SkyBridge::InstallBinding(hw::Core& core, Binding& binding, uint64_t pinned_ept) {
+  auto& ids = binding.client->eptp_list_ids();
+  // Slot 0 is the client's own EPT; bindings occupy the rest.
+  while (ids.size() + 1 > config_.eptp_capacity) {
+    // Evict the least-recently-used installed binding (paper Section 10).
+    auto& lru = lru_[binding.client];
+    Binding* victim = nullptr;
+    for (auto it = lru.rbegin(); it != lru.rend(); ++it) {
+      if ((*it)->installed && *it != &binding && (*it)->ept_id != pinned_ept) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      return sb::ResourceExhausted("EPTP list full and nothing evictable");
+    }
+    victim->installed = false;
+    ids.erase(std::remove(ids.begin(), ids.end(), victim->ept_id), ids.end());
+  }
+  if (std::find(ids.begin(), ids.end(), binding.ept_id) == ids.end()) {
+    ids.push_back(binding.ept_id);
+  }
+  binding.installed = true;
+  // Reinstall the EPTP list on every core currently running this client.
+  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
+    if (kernel_->current_process(i) == binding.client) {
+      SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(kernel_->machine().core(i), binding.client));
+    }
+  }
+  return sb::OkStatus();
+}
+
+sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  ServerEntry& server = servers_[server_id];
+  if (FindBinding(client, server_id) != nullptr) {
+    return sb::AlreadyExists("client already registered to this server");
+  }
+  if (server.next_connection >= static_cast<uint64_t>(server.max_connections)) {
+    return sb::ResourceExhausted("server connection limit reached");
+  }
+  SB_RETURN_IF_ERROR(EnsureProcessPrepared(client));
+
+  hw::Core& core = kernel_->machine().core(0);
+  // Registration is a syscall: charge the kernel path.
+  kernel_->SyscallEnter(core, nullptr);
+
+  // The Rootkernel derives the binding EPT: shallow copy of the base EPT
+  // with the client's CR3 GPA remapped to the server's page-table root and
+  // the identity GPA remapped to the server's identity frame.
+  const uint64_t ept_id =
+      core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kCreateBindingEpt), client->cr3(),
+                  server.process->cr3());
+  if (ept_id == vmm::kHypercallError) {
+    kernel_->SyscallExit(core, nullptr);
+    return sb::Internal("rootkernel refused binding EPT");
+  }
+  if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kRemapIdentityPage), ept_id,
+                  kernel_->identity_gpa(), server.process->identity_frame()) != 0) {
+    kernel_->SyscallExit(core, nullptr);
+    return sb::Internal("rootkernel refused identity remap");
+  }
+
+  // Shared buffer for long messages: same VA, same frames, both processes.
+  const hw::Gva buf_va = next_shared_buf_va_;
+  next_shared_buf_va_ += sb::PageUp(config_.shared_buffer_bytes);
+  SB_ASSIGN_OR_RETURN(const hw::Gpa buf_gpa,
+                      client->address_space().MapAnonymous(
+                          buf_va, config_.shared_buffer_bytes, hw::PageFlags{}));
+  SB_RETURN_IF_ERROR(server.process->address_space().MapRange(
+      buf_va, buf_gpa, sb::PageUp(config_.shared_buffer_bytes), hw::PageFlags{}));
+
+  // Calling key: random 8 bytes, written into the server's key table.
+  const uint64_t key = key_rng_.Next();
+  const uint64_t slot = server.next_connection++;
+  const hw::GuestWalk table = server.process->address_space().WalkVa(mk::kCallingKeyTableVa);
+  SB_CHECK(table.ok);
+  kernel_->machine().mem().WriteU64(table.gpa + slot * kKeySlotBytes, key);
+  kernel_->machine().mem().WriteU64(table.gpa + slot * kKeySlotBytes + 8, client->pid());
+
+  auto binding = std::make_unique<Binding>();
+  binding->client = client;
+  binding->server = server_id;
+  binding->ept_id = ept_id;
+  binding->server_key = key;
+  binding->shared_buf = buf_va;
+  binding->key_slot = slot;
+  binding->installed = false;
+  Binding* b = binding.get();
+  bindings_.push_back(std::move(binding));
+  lru_[client].push_front(b);
+
+  const sb::Status install = InstallBinding(core, *b, /*pinned_ept=*/0);
+  kernel_->SyscallExit(core, nullptr);
+  return install;
+}
+
+sb::StatusOr<SkyBridge::Binding*> SkyBridge::GetOrCreateChainBinding(hw::Core& core,
+                                                                     mk::Process* origin,
+                                                                     ServerId server_id) {
+  Binding* existing = FindBinding(origin, server_id);
+  if (existing != nullptr) {
+    return existing;
+  }
+  // Lazy chain setup: kernel + Rootkernel mediated (slow path).
+  ServerEntry& server = servers_[server_id];
+  const uint64_t ept_id =
+      core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kCreateBindingEpt), origin->cr3(),
+                  server.process->cr3());
+  if (ept_id == vmm::kHypercallError) {
+    return sb::Internal("rootkernel refused chain binding EPT");
+  }
+  if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kRemapIdentityPage), ept_id,
+                  kernel_->identity_gpa(), server.process->identity_frame()) != 0) {
+    return sb::Internal("rootkernel refused identity remap");
+  }
+  auto binding = std::make_unique<Binding>();
+  binding->client = origin;
+  binding->server = server_id;
+  binding->ept_id = ept_id;
+  binding->server_key = 0;
+  binding->shared_buf = 0;
+  binding->key_slot = 0;
+  binding->installed = false;
+  binding->chain = true;
+  Binding* b = binding.get();
+  bindings_.push_back(std::move(binding));
+  lru_[origin].push_front(b);
+  return b;
+}
+
+void SkyBridge::ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd) {
+  core.AdvanceCycles(kTrampolineLegCycles);
+  (void)core.FetchCode(mk::kTrampolineVa, 128);
+  if (bd != nullptr) {
+    bd->others += kTrampolineLegCycles;
+  }
+}
+
+sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, ServerId server_id,
+                                                      const mk::Message& msg,
+                                                      mk::CostBreakdown* bd) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  ServerEntry& server = servers_[server_id];
+  mk::Process* proc = caller->process();
+  hw::Core& core = kernel_->machine().core(caller->core_id());
+
+  // Authorization comes from the caller's own registration.
+  Binding* perm = FindBinding(proc, server_id);
+  if (perm == nullptr) {
+    // Unregistered caller: the trampoline has no binding EPT to switch to;
+    // the attempt is rejected and the kernel notified.
+    ++stats_.rejected_calls;
+    return sb::PermissionDenied("client not registered to server");
+  }
+
+  // Determine the live translation origin. A nested call (the caller is
+  // itself a server currently entered via SkyBridge) keeps the original
+  // client's CR3 live, so the EPT must map *that* CR3 to the target.
+  mk::Process* origin = kernel_->current_process(core.id());
+  bool nested = false;
+  if (origin != proc) {
+    auto identity = kernel_->CurrentIdentity(core);
+    if (identity.ok() && *identity == proc->pid()) {
+      nested = true;  // Entered via a prior VMFUNC; origin's CR3 is live.
+    } else {
+      // Plain scheduling mismatch: dispatch the caller.
+      SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(core, proc, bd));
+      origin = proc;
+    }
+  }
+
+  Binding* route = perm;
+  if (nested) {
+    SB_ASSIGN_OR_RETURN(route, GetOrCreateChainBinding(core, origin, server_id));
+  }
+
+  // The EPT active at entry: we must return to it (slot 0 for a top-level
+  // call, the enclosing binding's EPT for a nested one).
+  const auto& origin_ids = origin->eptp_list_ids();
+  const size_t entry_index = core.vmcs().active_index;
+  SB_CHECK(entry_index < origin_ids.size() || entry_index == 0);
+  const uint64_t entry_ept = entry_index < origin_ids.size() ? origin_ids[entry_index] : 0;
+
+  if (!route->installed) {
+    // LRU-evicted earlier (or a fresh chain binding): install it.
+    ++stats_.eptp_misses;
+    kernel_->SyscallEnter(core, bd);
+    SB_RETURN_IF_ERROR(InstallBinding(core, *route, entry_ept));
+    kernel_->SyscallExit(core, bd);
+    // Reinstallation may have shuffled slots; restore the entry view index.
+    for (size_t i = 0; i < origin_ids.size(); ++i) {
+      if (origin_ids[i] == entry_ept) {
+        core.vmcs().active_index = i;
+        break;
+      }
+    }
+  }
+  TouchLru(*route);
+
+  // ---- Client-side trampoline ----
+  ChargeTrampolineLeg(core, bd);
+  const hw::Gva shared_buf = perm->shared_buf;
+  const bool long_msg = msg.size() > kernel_->profile().register_msg_capacity;
+  if (long_msg) {
+    ++stats_.long_calls;
+    const uint64_t before = core.cycles();
+    if (msg.size() > config_.shared_buffer_bytes || shared_buf == 0) {
+      return sb::OutOfRange("message exceeds shared buffer");
+    }
+    SB_RETURN_IF_ERROR(core.WriteVirt(shared_buf, msg.data));
+    if (bd != nullptr) {
+      bd->copy += core.cycles() - before;
+    }
+  }
+  // The client's per-call key; the server must echo it on return.
+  const uint64_t client_key = key_rng_.Next();
+
+  SB_ASSIGN_OR_RETURN(const uint32_t eptp_index, EptpIndexOf(*route));
+  const uint64_t before_vmfunc = core.cycles();
+  SB_RETURN_IF_ERROR(core.Vmfunc(0, eptp_index));
+  if (bd != nullptr) {
+    bd->vmfunc += core.cycles() - before_vmfunc;
+  }
+  const size_t return_index = [&] {
+    for (size_t i = 0; i < origin_ids.size(); ++i) {
+      if (origin_ids[i] == entry_ept) {
+        return i;
+      }
+    }
+    return size_t{0};
+  }();
+
+  auto return_to_entry = [&]() -> sb::Status {
+    const uint64_t t0 = core.cycles();
+    SB_RETURN_IF_ERROR(core.Vmfunc(0, static_cast<uint32_t>(return_index)));
+    if (bd != nullptr) {
+      bd->vmfunc += core.cycles() - t0;
+    }
+    ChargeTrampolineLeg(core, bd);
+    return sb::OkStatus();
+  };
+
+  // ---- Server side (server address space, same core, no kernel) ----
+  // Calling-key check against the server's table (Section 4.4).
+  bool key_ok = true;
+  if (config_.calling_keys) {
+    const hw::Gva slot_va = mk::kCallingKeyTableVa + perm->key_slot * kKeySlotBytes;
+    auto stored = core.ReadVirtU64(slot_va);
+    if (!stored.ok()) {
+      key_ok = false;
+    } else {
+      core.AdvanceCycles(8);  // Compare + branch.
+      key_ok = (*stored == perm->server_key);
+    }
+  }
+  if (!key_ok) {
+    ++stats_.rejected_calls;
+    SB_RETURN_IF_ERROR(return_to_entry());
+    return sb::PermissionDenied("calling key rejected");
+  }
+
+  // Install the per-connection server stack.
+  const hw::Gva stack_va = mk::kServerStacksVa + server_id * 256 * kServerStackBytes +
+                           perm->key_slot * kServerStackBytes;
+  (void)core.TouchData(stack_va + kServerStackBytes - 64, 64, true);
+
+  const uint64_t handler_start = core.cycles();
+  mk::CallEnv env{*kernel_, core, *server.process, msg};
+  mk::Message reply = server.handler(env);
+  const bool timed_out = core.cycles() - handler_start > config_.timeout_cycles;
+
+  const bool long_reply = reply.size() > kernel_->profile().register_msg_capacity;
+  if (long_reply && !timed_out) {
+    const uint64_t before = core.cycles();
+    if (reply.size() > config_.shared_buffer_bytes || shared_buf == 0) {
+      return sb::OutOfRange("reply exceeds shared buffer");
+    }
+    SB_RETURN_IF_ERROR(core.WriteVirt(shared_buf, reply.data));
+    if (bd != nullptr) {
+      bd->copy += core.cycles() - before;
+    }
+  }
+
+  // ---- Return gate ----
+  SB_RETURN_IF_ERROR(return_to_entry());
+  if (config_.calling_keys) {
+    // The client verifies the echoed per-call key (illegal-return defence).
+    core.AdvanceCycles(8);
+    (void)client_key;
+  }
+  if (long_reply && !timed_out) {
+    const uint64_t before = core.cycles();
+    std::vector<uint8_t> out(reply.size());
+    SB_RETURN_IF_ERROR(core.ReadVirt(shared_buf, out));
+    if (bd != nullptr) {
+      bd->copy += core.cycles() - before;
+    }
+  }
+  if (timed_out) {
+    ++stats_.timeouts;
+    return sb::TimeoutError("server handler exceeded the SkyBridge timeout");
+  }
+  ++stats_.direct_calls;
+  return reply;
+}
+
+sb::StatusOr<mk::Message> SkyBridge::CallWithForgedKey(mk::Thread* caller, ServerId server_id,
+                                                       const mk::Message& msg,
+                                                       uint64_t forged_key) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  Binding* binding = FindBinding(caller->process(), server_id);
+  if (binding == nullptr) {
+    ++stats_.rejected_calls;
+    return sb::PermissionDenied("client not registered to server");
+  }
+  const uint64_t real_key = binding->server_key;
+  binding->server_key = forged_key;  // The caller presents a wrong key.
+  auto result = DirectServerCall(caller, server_id, msg);
+  binding->server_key = real_key;
+  return result;
+}
+
+sb::StatusOr<size_t> SkyBridge::InstalledBindings(mk::Process* client) const {
+  size_t count = 0;
+  for (const auto& b : bindings_) {
+    if (b->client == client && b->installed) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace skybridge

@@ -1,0 +1,159 @@
+// SkyBridge: kernel-less synchronous IPC via VMFUNC EPTP switching.
+//
+// Public programming model (paper Figure 4):
+//
+//   // server process
+//   ServerId sid = sky.RegisterServer(server, /*connections=*/8, handler);
+//   // client process
+//   sky.RegisterClient(client, sid);
+//   Message reply = sky.DirectServerCall(client_thread, sid, request);
+//
+// Registration is a (slow, kernel-mediated) syscall path: the Subkernel scans
+// and rewrites the process's code pages (Section 5), maps the trampoline,
+// server stacks and shared buffers, and asks the Rootkernel for a binding
+// EPT whose CR3-GPA remap points the client's CR3 at the server's page
+// tables. The call itself never enters the kernel: the trampoline saves
+// registers, executes VMFUNC, installs a server stack, checks the calling
+// key and jumps to the registered handler — 2 x (134 + 64) = 396 cycles of
+// direct cost per roundtrip.
+
+#ifndef SRC_SKYBRIDGE_SKYBRIDGE_H_
+#define SRC_SKYBRIDGE_SKYBRIDGE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/mk/kernel.h"
+#include "src/skybridge/trampoline.h"
+
+namespace skybridge {
+
+using ServerId = uint64_t;
+
+struct SkyBridgeConfig {
+  // Maximum EPTP list slots a client may occupy (hardware limit 512). The
+  // library LRU-evicts bindings beyond this (paper Section 10 future work).
+  size_t eptp_capacity = hw::kEptpListCapacity;
+  // Per-(binding, connection) shared buffer for long messages.
+  uint64_t shared_buffer_bytes = 64 * 1024;
+  // Enforce calling-key checks (ablation switch).
+  bool calling_keys = true;
+  // Rewrite process binaries at registration (ablation switch; disabling is
+  // insecure and exists only to measure the cost).
+  bool rewrite_binaries = true;
+  // DoS defence: force return to the client if a handler runs longer.
+  uint64_t timeout_cycles = 1ULL << 32;
+  uint64_t key_seed = 0x5eedULL;
+};
+
+struct SkyBridgeStats {
+  uint64_t direct_calls = 0;
+  uint64_t long_calls = 0;       // Used the shared buffer.
+  uint64_t rejected_calls = 0;   // Calling-key or binding failures.
+  uint64_t timeouts = 0;
+  uint64_t eptp_misses = 0;      // Binding had been LRU-evicted; reinstalled.
+  uint64_t rewritten_vmfuncs = 0;
+  uint64_t processes_rewritten = 0;
+};
+
+class SkyBridge {
+ public:
+  // Requires a kernel booted with the Rootkernel.
+  explicit SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config = {});
+
+  // ---- Registration (paper Figure 4) ----
+  sb::StatusOr<ServerId> RegisterServer(mk::Process* server, int max_connections,
+                                        mk::Handler handler);
+  sb::Status RegisterClient(mk::Process* client, ServerId server_id);
+
+  // ---- Dynamic code (paper Section 9, W^X) ----
+  // Replaces a registered process's code image, as a JIT or live-update
+  // would: the pages are treated as writable+non-executable during the
+  // update, then this call remaps them executable and *rescans/rewrites*
+  // them so no new VMFUNC gate can appear.
+  sb::Status UpdateProcessCode(mk::Process* process, std::vector<uint8_t> new_image);
+
+  // ---- The IPC itself ----
+  // Executes the requested procedure in the server's address space on the
+  // caller's core without entering the kernel.
+  sb::StatusOr<mk::Message> DirectServerCall(mk::Thread* caller, ServerId server_id,
+                                             const mk::Message& msg,
+                                             mk::CostBreakdown* bd = nullptr);
+
+  // Simulates a malicious caller that skips registration / forges a key;
+  // returns the error the legitimate path produces (for the security tests).
+  sb::StatusOr<mk::Message> CallWithForgedKey(mk::Thread* caller, ServerId server_id,
+                                              const mk::Message& msg, uint64_t forged_key);
+
+  const SkyBridgeStats& stats() const { return stats_; }
+  const SkyBridgeConfig& config() const { return config_; }
+  mk::Kernel& kernel() { return *kernel_; }
+
+  // Number of EPTP slots currently installed for a client (tests).
+  sb::StatusOr<size_t> InstalledBindings(mk::Process* client) const;
+
+ private:
+  struct ServerEntry {
+    ServerId id;
+    mk::Process* process;
+    mk::Handler handler;
+    int max_connections;
+    hw::Gva handler_va;  // "function address" in the server's function list.
+    uint64_t next_connection = 0;
+  };
+
+  struct Binding {
+    mk::Process* client;      // The process whose CR3 is live when used.
+    ServerId server;
+    uint64_t ept_id;          // Rootkernel EPT id.
+    uint64_t server_key;      // Client -> server calling key.
+    hw::Gva shared_buf;       // Mapped at the same VA in both processes.
+    uint64_t key_slot;        // Index in the server's calling-key table.
+    bool installed = true;    // Currently on the client's EPTP list.
+    // Chain bindings support nested calls (A -> B -> C): the EPT maps A's
+    // CR3 to C's page tables, while authorization/keys come from the B -> C
+    // registration (Section 4.2: "the Rootkernel also writes all processes'
+    // EPTPs that the server depends on into the client's EPTP list").
+    bool chain = false;
+  };
+
+  sb::Status EnsureProcessPrepared(mk::Process* process);
+  sb::Status RewriteProcessImage(mk::Process* process);
+  Binding* FindBinding(mk::Process* client, ServerId server);
+  // Lazily creates the chain binding (origin's CR3 -> target server) used by
+  // nested calls; kernel- and Rootkernel-mediated.
+  sb::StatusOr<Binding*> GetOrCreateChainBinding(hw::Core& core, mk::Process* origin,
+                                                 ServerId server_id);
+  // Index of the binding's EPT in the client's EPTP list, or error if the
+  // binding is not installed.
+  sb::StatusOr<uint32_t> EptpIndexOf(const Binding& binding) const;
+  // LRU maintenance: make room for / reinstall a binding. `pinned_ept` is
+  // never evicted (the EPT we must return to).
+  sb::Status InstallBinding(hw::Core& core, Binding& binding, uint64_t pinned_ept);
+  void TouchLru(Binding& binding);
+
+  // The trampoline leg costs: 64 cycles of save/restore + stack install per
+  // direction (Section 6.3) plus the i-side traffic of the trampoline page.
+  void ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd);
+
+  mk::Kernel* kernel_;
+  SkyBridgeConfig config_;
+  SkyBridgeStats stats_;
+  sb::Rng key_rng_;
+  TrampolineLayout trampoline_;
+  hw::Gpa trampoline_gpa_ = 0;  // Shared trampoline code frame.
+  std::vector<ServerEntry> servers_;
+  std::vector<std::unique_ptr<Binding>> bindings_;
+  // Per-client binding LRU (most recent at front).
+  std::map<mk::Process*, std::list<Binding*>> lru_;
+  hw::Gva next_shared_buf_va_ = 0;
+};
+
+}  // namespace skybridge
+
+#endif  // SRC_SKYBRIDGE_SKYBRIDGE_H_

@@ -1,0 +1,50 @@
+#include "src/skybridge/trampoline.h"
+
+#include "src/x86/assembler.h"
+
+namespace skybridge {
+
+using x86::Assembler;
+using x86::Reg;
+
+TrampolineLayout BuildTrampoline() {
+  TrampolineLayout layout;
+  Assembler a;
+
+  // ---- direct_server_call entry ----
+  // Save callee-saved registers the server side may clobber.
+  a.PushR(Reg::kRbx);
+  a.PushR(Reg::kRbp);
+  a.PushR(Reg::kR12);
+  a.PushR(Reg::kR13);
+  a.PushR(Reg::kR14);
+  a.PushR(Reg::kR15);
+  // rdi = server id, rsi = calling key, rdx = message tag, rcx = EPTP index.
+  // VMFUNC leaf 0 expects eax = 0, ecx = index.
+  a.MovRI32(Reg::kRax, 0);
+  layout.call_gate_offset = a.size();
+  a.Vmfunc();
+  // Now executing with the server's page tables: install the server stack
+  // (rbp-based frame) and call the registered handler via the function list.
+  a.MovRR64(Reg::kRbp, Reg::kRsp);
+  a.Nops(4);  // Handler dispatch (indirect call) placeholder.
+
+  // ---- return path ----
+  // Top-level returns go back to EPTP slot 0 (the client's own EPT).
+  a.MovRI32(Reg::kRcx, 0);
+  a.MovRI32(Reg::kRax, 0);
+  layout.return_gate_offset = a.size();
+  a.Vmfunc();
+  a.PopR(Reg::kR15);
+  a.PopR(Reg::kR14);
+  a.PopR(Reg::kR13);
+  a.PopR(Reg::kR12);
+  a.PopR(Reg::kRbp);
+  a.PopR(Reg::kRbx);
+  a.Ret();
+
+  layout.code = a.Take();
+  return layout;
+}
+
+}  // namespace skybridge

@@ -1,0 +1,30 @@
+// The SkyBridge trampoline code page.
+//
+// A single physical page of real x86-64 code mapped into every registered
+// process at kTrampolineVa. It is the only page allowed to contain the
+// VMFUNC instruction: the binary rewriter removes every other occurrence, so
+// the trampoline's entry is the only gate into another address space.
+
+#ifndef SRC_SKYBRIDGE_TRAMPOLINE_H_
+#define SRC_SKYBRIDGE_TRAMPOLINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace skybridge {
+
+// Byte offsets of the two VMFUNC gates within the trampoline page.
+struct TrampolineLayout {
+  std::vector<uint8_t> code;
+  size_t call_gate_offset = 0;    // direct_server_call: VMFUNC to the server.
+  size_t return_gate_offset = 0;  // server return: VMFUNC back to the client.
+};
+
+// Assembles the trampoline (register save/restore, VMFUNC, stack install,
+// indirect call into the registered handler).
+TrampolineLayout BuildTrampoline();
+
+}  // namespace skybridge
+
+#endif  // SRC_SKYBRIDGE_TRAMPOLINE_H_

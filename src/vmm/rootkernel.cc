@@ -1,0 +1,179 @@
+#include "src/vmm/rootkernel.h"
+
+#include "src/base/logging.h"
+#include "src/base/units.h"
+
+namespace vmm {
+
+Rootkernel::Rootkernel(hw::Machine& machine, const RootkernelConfig& config, hw::Hpa guest_limit)
+    : machine_(&machine),
+      config_(config),
+      guest_limit_(guest_limit),
+      frames_(guest_limit, config.reserved_bytes) {}
+
+Rootkernel::~Rootkernel() {
+  // Detach from the machine so stale exits don't reach a dead object.
+  machine_->SetVmExitHandler(nullptr);
+  for (int i = 0; i < machine_->num_cores(); ++i) {
+    if (machine_->core(i).in_nonroot()) {
+      machine_->core(i).LeaveNonRoot();
+    }
+  }
+}
+
+sb::StatusOr<std::unique_ptr<Rootkernel>> Rootkernel::Boot(hw::Machine& machine,
+                                                           const RootkernelConfig& config) {
+  if (config.reserved_bytes >= machine.mem().size()) {
+    return sb::InvalidArgument("reserved region exceeds RAM");
+  }
+  const hw::Hpa guest_limit = machine.mem().size() - config.reserved_bytes;
+  std::unique_ptr<Rootkernel> rk(new Rootkernel(machine, config, guest_limit));
+
+  // Build the base EPT for the Subkernel.
+  SB_ASSIGN_OR_RETURN(auto base, hw::Ept::Create(machine.mem(), rk->frames_));
+  if (!config.lazy_base_ept) {
+    // Map every guest-visible byte eagerly so no EPT violation can occur:
+    // huge pages where they fit, stepping down at the reserved-region
+    // boundary. The reserved slice itself stays unmapped — the guest cannot
+    // touch the Rootkernel's memory.
+    hw::Gpa gpa = 0;
+    while (gpa < guest_limit) {
+      uint64_t size = sb::kPageSize;
+      for (const uint64_t candidate : {config.base_ept_page_size, sb::kHugePage2M}) {
+        if (candidate > size && (gpa % candidate) == 0 && gpa + candidate <= guest_limit) {
+          size = candidate;
+          break;
+        }
+      }
+      SB_RETURN_IF_ERROR(base->Map(gpa, gpa, size, hw::kEptRwx));
+      gpa += size;
+    }
+  }
+  rk->base_ept_ = base.get();
+  rk->epts_.push_back(std::move(base));
+
+  // Install exit handling and downgrade all cores (self-virtualization).
+  Rootkernel* raw = rk.get();
+  machine.SetVmExitHandler([raw](hw::Core& core, const hw::VmExitInfo& info) -> uint64_t {
+    return raw->HandleExit(core, info);
+  });
+  for (int i = 0; i < machine.num_cores(); ++i) {
+    machine.core(i).EnterNonRoot(raw->base_ept_, /*vpid=*/static_cast<uint16_t>(i + 1));
+  }
+  return rk;
+}
+
+hw::Ept* Rootkernel::ept(uint64_t ept_id) {
+  if (ept_id >= epts_.size()) {
+    return nullptr;
+  }
+  return epts_[ept_id].get();
+}
+
+sb::StatusOr<uint64_t> Rootkernel::CreateProcessEpt() {
+  SB_ASSIGN_OR_RETURN(auto copy, base_ept_->ShallowCopy());
+  epts_.push_back(std::move(copy));
+  return epts_.size() - 1;
+}
+
+sb::StatusOr<uint64_t> Rootkernel::CreateBindingEpt(hw::Gpa client_cr3, hw::Gpa server_cr3) {
+  if (!sb::IsPageAligned(client_cr3) || !sb::IsPageAligned(server_cr3)) {
+    return sb::InvalidArgument("CR3 values must be page aligned");
+  }
+  if (client_cr3 >= guest_limit_ || server_cr3 >= guest_limit_) {
+    return sb::OutOfRange("CR3 outside guest memory");
+  }
+  SB_ASSIGN_OR_RETURN(auto copy, base_ept_->ShallowCopy());
+  // The core remap: in this (server-view) EPT, the GPA of the client's page
+  // table root translates to the HPA of the server's page table root.
+  SB_RETURN_IF_ERROR(copy->RemapGpaPage(client_cr3, server_cr3));
+  epts_.push_back(std::move(copy));
+  return epts_.size() - 1;
+}
+
+sb::Status Rootkernel::RemapIdentityPage(uint64_t ept_id, hw::Gpa identity_gpa,
+                                         hw::Hpa target) {
+  hw::Ept* e = ept(ept_id);
+  if (e == nullptr) {
+    return sb::NotFound("no such EPT");
+  }
+  return e->RemapGpaPage(identity_gpa, target);
+}
+
+void Rootkernel::ResetExitCounters() {
+  exits_cpuid_ = 0;
+  exits_vmcall_ = 0;
+  exits_ept_violation_ = 0;
+  machine_->ResetExitCounters();
+}
+
+uint64_t Rootkernel::HandleExit(hw::Core& core, const hw::VmExitInfo& info) {
+  switch (info.reason) {
+    case hw::VmExitReason::kCpuid:
+      ++exits_cpuid_;
+      return 0;
+    case hw::VmExitReason::kVmcall:
+      ++exits_vmcall_;
+      return HandleVmcall(core, info);
+    case hw::VmExitReason::kEptViolation:
+      ++exits_ept_violation_;
+      return HandleEptViolation(core, info);
+    case hw::VmExitReason::kVmfuncInvalid:
+      // A malformed VMFUNC from a guest: treated as a guest error; the
+      // Rootkernel refuses to switch and resumes the guest.
+      return kHypercallError;
+    default:
+      SB_CHECK(false) << "unhandled VM exit reason";
+      return kHypercallError;
+  }
+}
+
+uint64_t Rootkernel::HandleVmcall(hw::Core& core, const hw::VmExitInfo& info) {
+  switch (static_cast<Hypercall>(info.qualification)) {
+    case Hypercall::kCreateProcessEpt: {
+      auto id = CreateProcessEpt();
+      return id.ok() ? *id : kHypercallError;
+    }
+    case Hypercall::kCreateBindingEpt: {
+      auto id = CreateBindingEpt(info.arg1, info.arg2);
+      return id.ok() ? *id : kHypercallError;
+    }
+    case Hypercall::kRemapIdentityPage: {
+      return RemapIdentityPage(info.arg1, info.arg2, info.arg3).ok() ? 0 : kHypercallError;
+    }
+    case Hypercall::kEptpListClear: {
+      core.vmcs().eptp_list.clear();
+      core.vmcs().active_index = 0;
+      return 0;
+    }
+    case Hypercall::kEptpListAppend: {
+      hw::Ept* e = ept(info.arg1);
+      if (e == nullptr || core.vmcs().eptp_list.size() >= hw::kEptpListCapacity) {
+        return kHypercallError;
+      }
+      core.vmcs().eptp_list.push_back(e);
+      return core.vmcs().eptp_list.size() - 1;
+    }
+    case Hypercall::kPing:
+      return kPingValue;
+  }
+  return kHypercallError;
+}
+
+uint64_t Rootkernel::HandleEptViolation(hw::Core& core, const hw::VmExitInfo& info) {
+  if (!config_.lazy_base_ept) {
+    // With the eager 1 GiB base EPT this cannot happen for guest memory.
+    SB_LOG(kWarning) << "unexpected EPT violation at GPA 0x" << std::hex << info.qualification;
+    return kHypercallError;
+  }
+  const hw::Gpa gpa = sb::PageDown(info.qualification);
+  if (gpa >= guest_limit_) {
+    return kHypercallError;
+  }
+  hw::Ept* active = core.vmcs().active_ept();
+  SB_CHECK(active != nullptr);
+  const sb::Status status = active->Map(gpa, gpa, sb::kPageSize, hw::kEptRwx);
+  return status.ok() ? 0 : kHypercallError;
+}
+
+}  // namespace vmm

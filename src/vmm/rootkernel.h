@@ -1,0 +1,109 @@
+// The Rootkernel: SkyBridge's tiny hypervisor (paper Section 4.1).
+//
+// Design points reproduced from the paper:
+//  * Booted *by* the Subkernel (dynamic self-virtualization, CloudVisor
+//    style): Boot() reserves a small slice of host memory (100 MiB), builds
+//    one base EPT that identity-maps all remaining physical memory with 1 GiB
+//    huge pages, and downgrades every core to non-root mode. The guest never
+//    takes an EPT violation in steady state and the 2-D walk stays short.
+//  * VMCS configured so privileged instructions (CR3 writes) and external
+//    interrupts do NOT cause VM exits. The only retained handlers are CPUID,
+//    VMCALL (the Subkernel interface) and EPT violations.
+//  * EPT management: per-process EPTs are shallow copies of the base EPT;
+//    binding a client to a server copies the server EPT and remaps the GPA
+//    of the client's CR3 page to the HPA of the server's CR3 page, and the
+//    identity page's GPA to the server's identity frame.
+
+#ifndef SRC_VMM_ROOTKERNEL_H_
+#define SRC_VMM_ROOTKERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/hw/ept.h"
+#include "src/hw/machine.h"
+
+namespace vmm {
+
+// Hypercall codes for the VMCALL interface.
+enum class Hypercall : uint64_t {
+  kCreateProcessEpt = 1,    // () -> ept_id
+  kCreateBindingEpt = 2,    // (client_cr3_gpa, server_cr3_gpa) -> ept_id
+  kRemapIdentityPage = 3,   // (ept_id, identity_gpa, target_hpa) -> 0
+  kEptpListClear = 4,       // () -> 0                (current core)
+  kEptpListAppend = 5,      // (ept_id) -> slot index (current core)
+  kPing = 6,                // () -> kPingValue
+};
+
+inline constexpr uint64_t kPingValue = 0x5b5b5b5bULL;
+inline constexpr uint64_t kHypercallError = ~0ULL;
+
+struct RootkernelConfig {
+  uint64_t reserved_bytes = 100ULL * 1024 * 1024;  // Paper: 100 MB.
+  // Base-EPT page size; 1 GiB per the paper. The ablation bench sets 4 KiB
+  // to measure what the huge-page design buys.
+  uint64_t base_ept_page_size = sb::kHugePage1G;
+  // Map base-EPT pages lazily on EPT violations instead of eagerly at boot
+  // (only sensible with 4 KiB pages; used by the ablation).
+  bool lazy_base_ept = false;
+};
+
+class Rootkernel {
+ public:
+  // Self-virtualization: called (conceptually) by the Subkernel during boot.
+  static sb::StatusOr<std::unique_ptr<Rootkernel>> Boot(hw::Machine& machine,
+                                                        const RootkernelConfig& config = {});
+
+  ~Rootkernel();
+  Rootkernel(const Rootkernel&) = delete;
+  Rootkernel& operator=(const Rootkernel&) = delete;
+
+  hw::Machine& machine() { return *machine_; }
+  hw::Ept* base_ept() { return base_ept_; }
+  // The hypervisor's private frame pool (EPT pages etc.).
+  hw::FrameAllocator& frames() { return frames_; }
+  // First byte of host memory reserved for the Rootkernel; the Subkernel owns
+  // [0, guest_limit).
+  hw::Hpa guest_limit() const { return guest_limit_; }
+
+  // ---- Direct C++ mirror of the hypercall interface (the mk layer calls
+  // these through hw::Core::Vmcall so exits are charged and counted). ----
+  sb::StatusOr<uint64_t> CreateProcessEpt();
+  sb::StatusOr<uint64_t> CreateBindingEpt(hw::Gpa client_cr3, hw::Gpa server_cr3);
+  sb::Status RemapIdentityPage(uint64_t ept_id, hw::Gpa identity_gpa, hw::Hpa target);
+  hw::Ept* ept(uint64_t ept_id);
+
+  // ---- Exit statistics (Table 5) ----
+  uint64_t exits_cpuid() const { return exits_cpuid_; }
+  uint64_t exits_vmcall() const { return exits_vmcall_; }
+  uint64_t exits_ept_violation() const { return exits_ept_violation_; }
+  uint64_t exits_total() const { return exits_cpuid_ + exits_vmcall_ + exits_ept_violation_; }
+  void ResetExitCounters();
+
+  // Rough footprint accounting: the paper's Rootkernel is ~1.5 KLoC. Ours
+  // reports the number of EPT table pages it holds.
+  size_t ept_pages_allocated() const { return frames_.allocated_frames(); }
+
+ private:
+  Rootkernel(hw::Machine& machine, const RootkernelConfig& config, hw::Hpa guest_limit);
+
+  uint64_t HandleExit(hw::Core& core, const hw::VmExitInfo& info);
+  uint64_t HandleVmcall(hw::Core& core, const hw::VmExitInfo& info);
+  uint64_t HandleEptViolation(hw::Core& core, const hw::VmExitInfo& info);
+
+  hw::Machine* machine_;
+  RootkernelConfig config_;
+  hw::Hpa guest_limit_;
+  hw::FrameAllocator frames_;
+  hw::Ept* base_ept_ = nullptr;
+  std::vector<std::unique_ptr<hw::Ept>> epts_;  // id -> EPT (0 is the base).
+  uint64_t exits_cpuid_ = 0;
+  uint64_t exits_vmcall_ = 0;
+  uint64_t exits_ept_violation_ = 0;
+};
+
+}  // namespace vmm
+
+#endif  // SRC_VMM_ROOTKERNEL_H_

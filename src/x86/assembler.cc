@@ -1,0 +1,314 @@
+#include "src/x86/assembler.h"
+
+#include "src/base/logging.h"
+
+namespace x86 {
+namespace {
+
+uint8_t Low3(Reg r) { return static_cast<uint8_t>(r) & 7; }
+bool IsExt(Reg r) { return static_cast<uint8_t>(r) >= 8; }
+
+}  // namespace
+
+void Assembler::Raw(std::initializer_list<uint8_t> raw) { bytes_.insert(bytes_.end(), raw); }
+
+void Assembler::Append(const std::vector<uint8_t>& raw) {
+  bytes_.insert(bytes_.end(), raw.begin(), raw.end());
+}
+
+void Assembler::EmitU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Assembler::EmitU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Assembler::EmitRexW(Reg reg, Reg rm) {
+  uint8_t rex = 0x48;
+  if (IsExt(reg)) {
+    rex |= 4;
+  }
+  if (IsExt(rm)) {
+    rex |= 1;
+  }
+  bytes_.push_back(rex);
+}
+
+void Assembler::EmitModRmReg(Reg reg, Reg rm) {
+  bytes_.push_back(static_cast<uint8_t>(0xc0 | (Low3(reg) << 3) | Low3(rm)));
+}
+
+void Assembler::EmitModRmMemDisp32(Reg reg, Reg base, int32_t disp) {
+  // mod=10 (disp32). rsp/r12 as base require a SIB byte.
+  if (Low3(base) == 4) {
+    bytes_.push_back(static_cast<uint8_t>(0x80 | (Low3(reg) << 3) | 4));
+    bytes_.push_back(static_cast<uint8_t>(0x24));  // scale=0, index=none(100), base=rsp
+  } else {
+    bytes_.push_back(static_cast<uint8_t>(0x80 | (Low3(reg) << 3) | Low3(base)));
+  }
+  EmitU32(static_cast<uint32_t>(disp));
+}
+
+void Assembler::Nop() { bytes_.push_back(0x90); }
+
+void Assembler::Nops(int n) {
+  for (int i = 0; i < n; ++i) {
+    Nop();
+  }
+}
+
+void Assembler::Int3() { bytes_.push_back(0xcc); }
+void Assembler::Hlt() { bytes_.push_back(0xf4); }
+void Assembler::Ret() { bytes_.push_back(0xc3); }
+void Assembler::Vmfunc() { Raw({0x0f, 0x01, 0xd4}); }
+void Assembler::Syscall() { Raw({0x0f, 0x05}); }
+
+void Assembler::PushR(Reg r) {
+  if (IsExt(r)) {
+    bytes_.push_back(0x41);
+  }
+  bytes_.push_back(static_cast<uint8_t>(0x50 | Low3(r)));
+}
+
+void Assembler::PopR(Reg r) {
+  if (IsExt(r)) {
+    bytes_.push_back(0x41);
+  }
+  bytes_.push_back(static_cast<uint8_t>(0x58 | Low3(r)));
+}
+
+void Assembler::MovRI64(Reg dst, uint64_t imm) {
+  bytes_.push_back(static_cast<uint8_t>(0x48 | (IsExt(dst) ? 1 : 0)));
+  bytes_.push_back(static_cast<uint8_t>(0xb8 | Low3(dst)));
+  EmitU64(imm);
+}
+
+void Assembler::MovRI32(Reg dst, uint32_t imm) {
+  if (IsExt(dst)) {
+    bytes_.push_back(0x41);
+  }
+  bytes_.push_back(static_cast<uint8_t>(0xb8 | Low3(dst)));
+  EmitU32(imm);
+}
+
+void Assembler::MovRR64(Reg dst, Reg src) {
+  EmitRexW(src, dst);
+  bytes_.push_back(0x89);
+  EmitModRmReg(src, dst);
+}
+
+void Assembler::MovRM64(Reg dst, Reg base, int32_t disp) {
+  EmitRexW(dst, base);
+  bytes_.push_back(0x8b);
+  EmitModRmMemDisp32(dst, base, disp);
+}
+
+void Assembler::MovMR64(Reg base, int32_t disp, Reg src) {
+  EmitRexW(src, base);
+  bytes_.push_back(0x89);
+  EmitModRmMemDisp32(src, base, disp);
+}
+
+void Assembler::Lea(Reg dst, Reg base, int index, int scale, int32_t disp) {
+  uint8_t rex = 0x48;
+  if (IsExt(dst)) {
+    rex |= 4;
+  }
+  if (IsExt(base)) {
+    rex |= 1;
+  }
+  if (index != kNoIndex && index >= 8) {
+    rex |= 2;
+  }
+  bytes_.push_back(rex);
+  bytes_.push_back(0x8d);
+  if (index == kNoIndex && Low3(base) != 4) {
+    bytes_.push_back(static_cast<uint8_t>(0x80 | (Low3(dst) << 3) | Low3(base)));
+  } else {
+    // SIB form.
+    bytes_.push_back(static_cast<uint8_t>(0x80 | (Low3(dst) << 3) | 4));
+    uint8_t scale_bits = 0;
+    switch (scale) {
+      case 1:
+        scale_bits = 0;
+        break;
+      case 2:
+        scale_bits = 1;
+        break;
+      case 4:
+        scale_bits = 2;
+        break;
+      case 8:
+        scale_bits = 3;
+        break;
+      default:
+        SB_CHECK(index == kNoIndex) << "invalid scale " << scale;
+        break;
+    }
+    const uint8_t index_bits = index == kNoIndex ? 4 : (static_cast<uint8_t>(index) & 7);
+    SB_CHECK(index != 4) << "rsp cannot be an index register";
+    bytes_.push_back(static_cast<uint8_t>((scale_bits << 6) | (index_bits << 3) | Low3(base)));
+  }
+  EmitU32(static_cast<uint32_t>(disp));
+}
+
+namespace {
+// /n values for the 0x81 immediate-group ops.
+constexpr uint8_t kOpAdd = 0, kOpOr = 1, kOpAnd = 4, kOpSub = 5, kOpXor = 6, kOpCmp = 7;
+}  // namespace
+
+#define SB_DEFINE_ARITH_RI(NAME, SLASH_N)                                  \
+  void Assembler::NAME(Reg dst, int32_t imm) {                            \
+    bytes_.push_back(static_cast<uint8_t>(0x48 | (IsExt(dst) ? 1 : 0)));  \
+    bytes_.push_back(0x81);                                                \
+    bytes_.push_back(static_cast<uint8_t>(0xc0 | (SLASH_N << 3) | Low3(dst))); \
+    EmitU32(static_cast<uint32_t>(imm));                                   \
+  }
+
+SB_DEFINE_ARITH_RI(AddRI, kOpAdd)
+SB_DEFINE_ARITH_RI(OrRI, kOpOr)
+SB_DEFINE_ARITH_RI(AndRI, kOpAnd)
+SB_DEFINE_ARITH_RI(SubRI, kOpSub)
+SB_DEFINE_ARITH_RI(XorRI, kOpXor)
+SB_DEFINE_ARITH_RI(CmpRI, kOpCmp)
+#undef SB_DEFINE_ARITH_RI
+
+#define SB_DEFINE_ARITH_RR(NAME, OPCODE)   \
+  void Assembler::NAME(Reg dst, Reg src) { \
+    EmitRexW(src, dst);                    \
+    bytes_.push_back(OPCODE);              \
+    EmitModRmReg(src, dst);                \
+  }
+
+SB_DEFINE_ARITH_RR(AddRR, 0x01)
+SB_DEFINE_ARITH_RR(SubRR, 0x29)
+SB_DEFINE_ARITH_RR(AndRR, 0x21)
+SB_DEFINE_ARITH_RR(OrRR, 0x09)
+SB_DEFINE_ARITH_RR(XorRR, 0x31)
+SB_DEFINE_ARITH_RR(CmpRR, 0x39)
+#undef SB_DEFINE_ARITH_RR
+
+void Assembler::AddRM(Reg dst, Reg base, int32_t disp) {
+  EmitRexW(dst, base);
+  bytes_.push_back(0x03);
+  EmitModRmMemDisp32(dst, base, disp);
+}
+
+void Assembler::AddMR(Reg base, int32_t disp, Reg src) {
+  EmitRexW(src, base);
+  bytes_.push_back(0x01);
+  EmitModRmMemDisp32(src, base, disp);
+}
+
+void Assembler::ImulRRI(Reg dst, Reg src, int32_t imm) {
+  EmitRexW(dst, src);
+  bytes_.push_back(0x69);
+  EmitModRmReg(dst, src);
+  EmitU32(static_cast<uint32_t>(imm));
+}
+
+void Assembler::ImulRMI(Reg dst, Reg base, int32_t disp, int32_t imm) {
+  EmitRexW(dst, base);
+  bytes_.push_back(0x69);
+  EmitModRmMemDisp32(dst, base, disp);
+  EmitU32(static_cast<uint32_t>(imm));
+}
+
+void Assembler::ImulRR(Reg dst, Reg src) {
+  EmitRexW(dst, src);
+  Raw({0x0f, 0xaf});
+  EmitModRmReg(dst, src);
+}
+
+namespace {
+constexpr uint8_t kShlN = 4, kShrN = 5, kSarN = 7, kIncN = 0, kDecN = 1, kNotN = 2, kNegN = 3;
+}  // namespace
+
+void Assembler::ShlRI(Reg dst, uint8_t count) {
+  bytes_.push_back(static_cast<uint8_t>(0x48 | (IsExt(dst) ? 1 : 0)));
+  bytes_.push_back(0xc1);
+  bytes_.push_back(static_cast<uint8_t>(0xc0 | (kShlN << 3) | Low3(dst)));
+  bytes_.push_back(count);
+}
+
+void Assembler::ShrRI(Reg dst, uint8_t count) {
+  bytes_.push_back(static_cast<uint8_t>(0x48 | (IsExt(dst) ? 1 : 0)));
+  bytes_.push_back(0xc1);
+  bytes_.push_back(static_cast<uint8_t>(0xc0 | (kShrN << 3) | Low3(dst)));
+  bytes_.push_back(count);
+}
+
+void Assembler::SarRI(Reg dst, uint8_t count) {
+  bytes_.push_back(static_cast<uint8_t>(0x48 | (IsExt(dst) ? 1 : 0)));
+  bytes_.push_back(0xc1);
+  bytes_.push_back(static_cast<uint8_t>(0xc0 | (kSarN << 3) | Low3(dst)));
+  bytes_.push_back(count);
+}
+
+void Assembler::IncR(Reg dst) {
+  bytes_.push_back(static_cast<uint8_t>(0x48 | (IsExt(dst) ? 1 : 0)));
+  bytes_.push_back(0xff);
+  bytes_.push_back(static_cast<uint8_t>(0xc0 | (kIncN << 3) | Low3(dst)));
+}
+
+void Assembler::DecR(Reg dst) {
+  bytes_.push_back(static_cast<uint8_t>(0x48 | (IsExt(dst) ? 1 : 0)));
+  bytes_.push_back(0xff);
+  bytes_.push_back(static_cast<uint8_t>(0xc0 | (kDecN << 3) | Low3(dst)));
+}
+
+void Assembler::NegR(Reg dst) {
+  bytes_.push_back(static_cast<uint8_t>(0x48 | (IsExt(dst) ? 1 : 0)));
+  bytes_.push_back(0xf7);
+  bytes_.push_back(static_cast<uint8_t>(0xc0 | (kNegN << 3) | Low3(dst)));
+}
+
+void Assembler::NotR(Reg dst) {
+  bytes_.push_back(static_cast<uint8_t>(0x48 | (IsExt(dst) ? 1 : 0)));
+  bytes_.push_back(0xf7);
+  bytes_.push_back(static_cast<uint8_t>(0xc0 | (kNotN << 3) | Low3(dst)));
+}
+
+void Assembler::JmpRel32(int32_t rel) {
+  bytes_.push_back(0xe9);
+  EmitU32(static_cast<uint32_t>(rel));
+}
+
+void Assembler::JmpRel8(int8_t rel) {
+  bytes_.push_back(0xeb);
+  bytes_.push_back(static_cast<uint8_t>(rel));
+}
+
+void Assembler::CallRel32(int32_t rel) {
+  bytes_.push_back(0xe8);
+  EmitU32(static_cast<uint32_t>(rel));
+}
+
+void Assembler::JccRel32(uint8_t cond, int32_t rel) {
+  SB_CHECK(cond <= 0xf);
+  bytes_.push_back(0x0f);
+  bytes_.push_back(static_cast<uint8_t>(0x80 | cond));
+  EmitU32(static_cast<uint32_t>(rel));
+}
+
+void Assembler::JccRel8(uint8_t cond, int8_t rel) {
+  SB_CHECK(cond <= 0xf);
+  bytes_.push_back(static_cast<uint8_t>(0x70 | cond));
+  bytes_.push_back(static_cast<uint8_t>(rel));
+}
+
+void Assembler::PatchRel32(size_t insn_end_off, size_t patch_off, size_t target_off) {
+  SB_CHECK(patch_off + 4 <= bytes_.size());
+  const int64_t rel = static_cast<int64_t>(target_off) - static_cast<int64_t>(insn_end_off);
+  const auto rel32 = static_cast<uint32_t>(static_cast<int32_t>(rel));
+  for (int i = 0; i < 4; ++i) {
+    bytes_[patch_off + static_cast<size_t>(i)] = static_cast<uint8_t>(rel32 >> (8 * i));
+  }
+}
+
+}  // namespace x86

@@ -1,0 +1,116 @@
+// A small x86-64 assembler.
+//
+// Emits real machine code for the instruction subset the emulator executes.
+// Used by tests and by the synthetic program generator that stands in for the
+// paper's Table 6 binary corpus, and by the rewriter when it re-encodes
+// instructions.
+
+#ifndef SRC_X86_ASSEMBLER_H_
+#define SRC_X86_ASSEMBLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/x86/insn.h"
+
+namespace x86 {
+
+class Assembler {
+ public:
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+  void Raw(std::initializer_list<uint8_t> raw);
+  void Append(const std::vector<uint8_t>& raw);
+
+  void Nop();
+  void Nops(int n);
+  void Int3();
+  void Hlt();
+  void Ret();
+  void Vmfunc();  // 0F 01 D4
+  void Syscall();
+
+  void PushR(Reg r);
+  void PopR(Reg r);
+
+  // mov r64, imm64 (REX.W B8+r io)
+  void MovRI64(Reg dst, uint64_t imm);
+  // mov r32, imm32 (B8+r id) — zero-extends on real hardware.
+  void MovRI32(Reg dst, uint32_t imm);
+  // mov r64, r64 (REX.W 89 /r)
+  void MovRR64(Reg dst, Reg src);
+  // mov r64, [base + disp32] (REX.W 8B /r)
+  void MovRM64(Reg dst, Reg base, int32_t disp);
+  // mov [base + disp32], r64 (REX.W 89 /r)
+  void MovMR64(Reg base, int32_t disp, Reg src);
+
+  // lea dst, [base + index*scale + disp32] (REX.W 8D /r); pass index ==
+  // kNoIndex for no index. scale is 1, 2, 4 or 8.
+  static constexpr int kNoIndex = -1;
+  void Lea(Reg dst, Reg base, int index, int scale, int32_t disp);
+
+  // Arithmetic: op r64, imm32 (REX.W 81 /n id)
+  void AddRI(Reg dst, int32_t imm);
+  void SubRI(Reg dst, int32_t imm);
+  void AndRI(Reg dst, int32_t imm);
+  void OrRI(Reg dst, int32_t imm);
+  void XorRI(Reg dst, int32_t imm);
+  void CmpRI(Reg dst, int32_t imm);
+  // Arithmetic: op r64, r64 (REX.W 01/09/21/29/31/39 /r)
+  void AddRR(Reg dst, Reg src);
+  void SubRR(Reg dst, Reg src);
+  void AndRR(Reg dst, Reg src);
+  void OrRR(Reg dst, Reg src);
+  void XorRR(Reg dst, Reg src);
+  void CmpRR(Reg dst, Reg src);
+  // add r64, [base + disp32] (REX.W 03 /r)
+  void AddRM(Reg dst, Reg base, int32_t disp);
+  // add [base + disp32], r64 (REX.W 01 /r)
+  void AddMR(Reg base, int32_t disp, Reg src);
+
+  // imul dst, rm, imm32 (REX.W 69 /r id); register form.
+  void ImulRRI(Reg dst, Reg src, int32_t imm);
+  // imul dst, [base + disp32], imm32.
+  void ImulRMI(Reg dst, Reg base, int32_t disp, int32_t imm);
+  // imul dst, src (REX.W 0F AF /r)
+  void ImulRR(Reg dst, Reg src);
+
+  // Shifts: r64 by an immediate count (REX.W C1 /n ib).
+  void ShlRI(Reg dst, uint8_t count);
+  void ShrRI(Reg dst, uint8_t count);
+  void SarRI(Reg dst, uint8_t count);
+  // inc/dec r64 (REX.W FF /0, /1) and neg/not r64 (REX.W F7 /3, /2).
+  void IncR(Reg dst);
+  void DecR(Reg dst);
+  void NegR(Reg dst);
+  void NotR(Reg dst);
+
+  // Control flow; displacement is relative to the next instruction.
+  void JmpRel32(int32_t rel);
+  void JmpRel8(int8_t rel);
+  void CallRel32(int32_t rel);
+  // cond: 0x0 .. 0xF (Intel condition code, e.g. 0x4 = E/Z).
+  void JccRel32(uint8_t cond, int32_t rel);
+  void JccRel8(uint8_t cond, int8_t rel);
+
+  // Label support for small snippets: returns patch location for a rel32
+  // emitted as 0; call PatchRel32 once the target offset is known.
+  size_t here() const { return bytes_.size(); }
+  void PatchRel32(size_t insn_end_off, size_t patch_off, size_t target_off);
+
+ private:
+  void EmitRexW(Reg reg, Reg rm);
+  void EmitModRmReg(Reg reg, Reg rm);
+  // mod=2 [rm + disp32] form, emitting SIB when rm needs it.
+  void EmitModRmMemDisp32(Reg reg, Reg base, int32_t disp);
+  void EmitU32(uint32_t v);
+  void EmitU64(uint64_t v);
+
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace x86
+
+#endif  // SRC_X86_ASSEMBLER_H_

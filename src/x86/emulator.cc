@@ -1,0 +1,534 @@
+#include "src/x86/emulator.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/base/logging.h"
+#include "src/x86/decoder.h"
+
+namespace x86 {
+namespace {
+
+uint64_t SizeMask(unsigned size) {
+  return size >= 64 ? ~0ULL : ((1ULL << size) - 1);
+}
+
+int64_t SignExtend(uint64_t v, unsigned bits) {
+  if (bits >= 64) {
+    return static_cast<int64_t>(v);
+  }
+  const uint64_t sign = 1ULL << (bits - 1);
+  return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+uint64_t ReadLittle(std::span<const uint8_t> bytes, size_t off, unsigned len) {
+  uint64_t v = 0;
+  for (unsigned i = 0; i < len; ++i) {
+    v |= static_cast<uint64_t>(bytes[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Emulator::Emulator() {
+  state_.reg(Reg::kRsp) = kInitialRsp;
+}
+
+void Emulator::LoadBytes(uint64_t base, std::span<const uint8_t> bytes) {
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    memory_[base + i] = bytes[i];
+  }
+}
+
+uint8_t Emulator::ReadByte(uint64_t addr) const {
+  auto it = memory_.find(addr);
+  return it == memory_.end() ? 0 : it->second;
+}
+
+void Emulator::WriteByte(uint64_t addr, uint8_t value) { memory_[addr] = value; }
+
+uint64_t Emulator::ReadMem(uint64_t addr, unsigned size) const {
+  uint64_t v = 0;
+  for (unsigned i = 0; i < size / 8; ++i) {
+    v |= static_cast<uint64_t>(ReadByte(addr + i)) << (8 * i);
+  }
+  return v;
+}
+
+void Emulator::WriteMem(uint64_t addr, uint64_t value, unsigned size) {
+  for (unsigned i = 0; i < size / 8; ++i) {
+    WriteByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+uint64_t Emulator::ReadRegSized(uint8_t reg, unsigned size) const {
+  return state_.regs[reg] & SizeMask(size);
+}
+
+void Emulator::WriteReg(uint8_t reg, uint64_t value, unsigned size) {
+  if (size == 64) {
+    state_.regs[reg] = value;
+  } else if (size == 32) {
+    state_.regs[reg] = value & 0xffffffffULL;  // 32-bit writes zero-extend.
+  } else {
+    // 8/16-bit writes merge into the low bits (no high-byte regs emulated).
+    const uint64_t mask = SizeMask(size);
+    state_.regs[reg] = (state_.regs[reg] & ~mask) | (value & mask);
+  }
+}
+
+uint64_t Emulator::EffectiveAddress(const Insn& insn, uint64_t insn_addr,
+                                    std::span<const uint8_t> bytes) const {
+  SB_CHECK(insn.has_modrm && insn.modrm_mod() != 3);
+  const uint8_t mod = insn.modrm_mod();
+  int64_t disp = 0;
+  if (insn.disp_len > 0) {
+    disp = SignExtend(ReadLittle(bytes, insn.disp_off, insn.disp_len), insn.disp_len * 8u);
+  }
+  if (insn.is_rip_relative()) {
+    return state_.rip + insn.length + static_cast<uint64_t>(disp) -
+           (state_.rip - insn_addr);  // rip here == insn_addr during Step.
+  }
+  uint64_t base = 0;
+  if (insn.has_sib) {
+    const uint8_t base_reg = insn.sib_base();
+    const uint8_t index_reg = insn.sib_index();
+    // base==101 with mod==0 means "no base, disp32".
+    if (!((insn.sib & 7) == 5 && mod == 0)) {
+      base = state_.regs[base_reg];
+    }
+    if ((insn.sib & 0x38) != 0x20) {  // index==100 means "no index".
+      base += state_.regs[index_reg] << insn.sib_scale();
+    }
+  } else {
+    base = state_.regs[insn.modrm_rm()];
+  }
+  return base + static_cast<uint64_t>(disp);
+}
+
+uint64_t Emulator::ReadOperandRm(const Insn& insn, uint64_t insn_addr,
+                                 std::span<const uint8_t> bytes, unsigned size) const {
+  if (insn.modrm_is_reg()) {
+    return ReadRegSized(insn.modrm_rm(), size);
+  }
+  return ReadMem(EffectiveAddress(insn, insn_addr, bytes), size);
+}
+
+void Emulator::WriteOperandRm(const Insn& insn, uint64_t insn_addr,
+                              std::span<const uint8_t> bytes, uint64_t value, unsigned size) {
+  if (insn.modrm_is_reg()) {
+    WriteReg(insn.modrm_rm(), value, size);
+  } else {
+    WriteMem(EffectiveAddress(insn, insn_addr, bytes), value, size);
+  }
+}
+
+void Emulator::SetFlagsLogic(uint64_t result, unsigned size) {
+  const uint64_t masked = result & SizeMask(size);
+  state_.flags.zf = masked == 0;
+  state_.flags.sf = (masked >> (size - 1)) & 1;
+  state_.flags.cf = false;
+  state_.flags.of = false;
+  state_.flags.pf = (std::popcount(static_cast<uint8_t>(masked)) % 2) == 0;
+}
+
+void Emulator::SetFlagsAddSub(uint64_t a, uint64_t b, uint64_t result, bool is_sub,
+                              unsigned size) {
+  const uint64_t mask = SizeMask(size);
+  const uint64_t ma = a & mask;
+  const uint64_t mb = b & mask;
+  const uint64_t mr = result & mask;
+  state_.flags.zf = mr == 0;
+  state_.flags.sf = (mr >> (size - 1)) & 1;
+  state_.flags.pf = (std::popcount(static_cast<uint8_t>(mr)) % 2) == 0;
+  const uint64_t sign = 1ULL << (size - 1);
+  if (is_sub) {
+    state_.flags.cf = ma < mb;
+    state_.flags.of = ((ma ^ mb) & (ma ^ mr) & sign) != 0;
+  } else {
+    state_.flags.cf = mr < ma;
+    state_.flags.of = (~(ma ^ mb) & (ma ^ mr) & sign) != 0;
+  }
+}
+
+bool Emulator::EvalCondition(uint8_t cond) const {
+  const Flags& f = state_.flags;
+  switch (cond >> 1) {
+    case 0:  // O / NO
+      return ((cond & 1) == 0) == f.of;
+    case 1:  // B / NB
+      return ((cond & 1) == 0) == f.cf;
+    case 2:  // Z / NZ
+      return ((cond & 1) == 0) == f.zf;
+    case 3:  // BE / NBE
+      return ((cond & 1) == 0) == (f.cf || f.zf);
+    case 4:  // S / NS
+      return ((cond & 1) == 0) == f.sf;
+    case 5:  // P / NP
+      return ((cond & 1) == 0) == f.pf;
+    case 6:  // L / NL
+      return ((cond & 1) == 0) == (f.sf != f.of);
+    case 7:  // LE / NLE
+      return ((cond & 1) == 0) == (f.zf || (f.sf != f.of));
+  }
+  return false;
+}
+
+bool Emulator::Step(StopInfo& info) {
+  // Fetch an instruction window.
+  uint8_t window[15];
+  for (int i = 0; i < 15; ++i) {
+    window[i] = ReadByte(state_.rip + static_cast<uint64_t>(i));
+  }
+  const std::span<const uint8_t> bytes(window, sizeof(window));
+  const Insn insn = Decode(bytes, 0);
+  if (!insn.valid) {
+    info.reason = StopReason::kUnsupported;
+    info.rip = state_.rip;
+    return false;
+  }
+  const uint64_t insn_addr = state_.rip;
+  const uint64_t next_rip = state_.rip + insn.length;
+  const uint8_t op = window[insn.opcode_off];
+  const unsigned size = insn.rex_w() ? 64 : (insn.operand_size_16 ? 16 : 32);
+  const uint64_t imm = insn.imm_len > 0 ? ReadLittle(bytes, insn.imm_off, insn.imm_len) : 0;
+
+  auto push64 = [&](uint64_t v) {
+    state_.reg(Reg::kRsp) -= 8;
+    WriteMem(state_.reg(Reg::kRsp), v, 64);
+  };
+  auto pop64 = [&]() {
+    const uint64_t v = ReadMem(state_.reg(Reg::kRsp), 64);
+    state_.reg(Reg::kRsp) += 8;
+    return v;
+  };
+
+  switch (insn.mnemonic) {
+    case Mnemonic::kNop:
+      break;
+    case Mnemonic::kPush: {
+      if (op >= 0x50 && op <= 0x57) {
+        const uint8_t r = static_cast<uint8_t>((op & 7) | ((insn.rex & 1) << 3));
+        push64(state_.regs[r]);
+      } else {  // 68 immz / 6A imm8
+        push64(static_cast<uint64_t>(SignExtend(imm, insn.imm_len * 8u)));
+      }
+      break;
+    }
+    case Mnemonic::kPop: {
+      const uint8_t r = static_cast<uint8_t>((op & 7) | ((insn.rex & 1) << 3));
+      state_.regs[r] = pop64();
+      break;
+    }
+    case Mnemonic::kMovImm64: {
+      const uint8_t r = static_cast<uint8_t>((op & 7) | ((insn.rex & 1) << 3));
+      state_.regs[r] = imm;
+      break;
+    }
+    case Mnemonic::kMov: {
+      if (op >= 0xb8 && op <= 0xbf) {
+        const uint8_t r = static_cast<uint8_t>((op & 7) | ((insn.rex & 1) << 3));
+        WriteReg(r, imm, size);
+      } else if (op >= 0xb0 && op <= 0xb7) {
+        const uint8_t r = static_cast<uint8_t>((op & 7) | ((insn.rex & 1) << 3));
+        WriteReg(r, imm, 8);
+      } else if (op == 0x89) {
+        WriteOperandRm(insn, insn_addr, bytes, ReadRegSized(insn.modrm_reg(), size), size);
+      } else if (op == 0x8b) {
+        WriteReg(insn.modrm_reg(), ReadOperandRm(insn, insn_addr, bytes, size), size);
+      } else if (op == 0x88) {
+        WriteOperandRm(insn, insn_addr, bytes, ReadRegSized(insn.modrm_reg(), 8), 8);
+      } else if (op == 0x8a) {
+        WriteReg(insn.modrm_reg(), ReadOperandRm(insn, insn_addr, bytes, 8), 8);
+      } else if (op == 0xc7) {
+        WriteOperandRm(insn, insn_addr, bytes,
+                       static_cast<uint64_t>(SignExtend(imm, insn.imm_len * 8u)), size);
+      } else if (op == 0xc6) {
+        WriteOperandRm(insn, insn_addr, bytes, imm, 8);
+      } else {
+        info.reason = StopReason::kUnsupported;
+        info.rip = state_.rip;
+        return false;
+      }
+      break;
+    }
+    case Mnemonic::kLea: {
+      if (insn.modrm_is_reg()) {
+        info.reason = StopReason::kUnsupported;
+        info.rip = state_.rip;
+        return false;
+      }
+      WriteReg(insn.modrm_reg(), EffectiveAddress(insn, insn_addr, bytes), size);
+      break;
+    }
+    case Mnemonic::kAdd:
+    case Mnemonic::kOr:
+    case Mnemonic::kAnd:
+    case Mnemonic::kSub:
+    case Mnemonic::kXor:
+    case Mnemonic::kCmp: {
+      uint64_t a = 0;
+      uint64_t b = 0;
+      enum class Dst { kRm, kReg, kRax } dst = Dst::kRm;
+      unsigned opsize = size;
+      if (op == 0x80 || op == 0x81 || op == 0x83) {
+        opsize = op == 0x80 ? 8 : size;
+        a = ReadOperandRm(insn, insn_addr, bytes, opsize);
+        b = static_cast<uint64_t>(SignExtend(imm, insn.imm_len * 8u));
+        dst = Dst::kRm;
+      } else {
+        const int form = op & 7;
+        switch (form) {
+          case 0:  // rm8, r8
+            opsize = 8;
+            [[fallthrough]];
+          case 1:  // rm, r
+            a = ReadOperandRm(insn, insn_addr, bytes, opsize);
+            b = ReadRegSized(insn.modrm_reg(), opsize);
+            dst = Dst::kRm;
+            break;
+          case 2:  // r8, rm8
+            opsize = 8;
+            [[fallthrough]];
+          case 3:  // r, rm
+            a = ReadRegSized(insn.modrm_reg(), opsize);
+            b = ReadOperandRm(insn, insn_addr, bytes, opsize);
+            dst = Dst::kReg;
+            break;
+          case 4:  // al, imm8
+            opsize = 8;
+            a = ReadRegSized(0, opsize);
+            b = imm;
+            dst = Dst::kRax;
+            break;
+          case 5:  // eax/rax, immz
+            a = ReadRegSized(0, opsize);
+            b = static_cast<uint64_t>(SignExtend(imm, insn.imm_len * 8u));
+            dst = Dst::kRax;
+            break;
+          default:
+            info.reason = StopReason::kUnsupported;
+            info.rip = state_.rip;
+            return false;
+        }
+      }
+      uint64_t result = 0;
+      bool write_back = true;
+      switch (insn.mnemonic) {
+        case Mnemonic::kAdd:
+          result = a + b;
+          SetFlagsAddSub(a, b, result, /*is_sub=*/false, opsize);
+          break;
+        case Mnemonic::kSub:
+          result = a - b;
+          SetFlagsAddSub(a, b, result, /*is_sub=*/true, opsize);
+          break;
+        case Mnemonic::kCmp:
+          result = a - b;
+          SetFlagsAddSub(a, b, result, /*is_sub=*/true, opsize);
+          write_back = false;
+          break;
+        case Mnemonic::kAnd:
+          result = a & b;
+          SetFlagsLogic(result, opsize);
+          break;
+        case Mnemonic::kOr:
+          result = a | b;
+          SetFlagsLogic(result, opsize);
+          break;
+        case Mnemonic::kXor:
+          result = a ^ b;
+          SetFlagsLogic(result, opsize);
+          break;
+        default:
+          break;
+      }
+      if (write_back) {
+        switch (dst) {
+          case Dst::kRm:
+            WriteOperandRm(insn, insn_addr, bytes, result, opsize);
+            break;
+          case Dst::kReg:
+            WriteReg(insn.modrm_reg(), result, opsize);
+            break;
+          case Dst::kRax:
+            WriteReg(0, result, opsize);
+            break;
+        }
+      }
+      break;
+    }
+    case Mnemonic::kTest: {
+      uint64_t a = 0;
+      uint64_t b = 0;
+      unsigned opsize = size;
+      if (op == 0x84 || op == 0x85) {
+        opsize = op == 0x84 ? 8 : size;
+        a = ReadOperandRm(insn, insn_addr, bytes, opsize);
+        b = ReadRegSized(insn.modrm_reg(), opsize);
+      } else if (op == 0xf6 || op == 0xf7) {  // test rm, imm
+        opsize = op == 0xf6 ? 8 : size;
+        a = ReadOperandRm(insn, insn_addr, bytes, opsize);
+        b = static_cast<uint64_t>(SignExtend(imm, insn.imm_len * 8u));
+      } else {  // A8 / A9
+        opsize = op == 0xa8 ? 8 : size;
+        a = ReadRegSized(0, opsize);
+        b = static_cast<uint64_t>(SignExtend(imm, insn.imm_len * 8u));
+      }
+      SetFlagsLogic(a & b, opsize);
+      break;
+    }
+    case Mnemonic::kImul: {
+      if (op == 0x69 || op == 0x6b) {
+        const uint64_t src = ReadOperandRm(insn, insn_addr, bytes, size);
+        const int64_t rhs = SignExtend(imm, insn.imm_len * 8u);
+        const uint64_t result =
+            static_cast<uint64_t>(SignExtend(src, size) * rhs);
+        WriteReg(insn.modrm_reg(), result, size);
+        state_.flags.cf = state_.flags.of = false;  // Approximate.
+      } else {  // 0F AF
+        const uint64_t src = ReadOperandRm(insn, insn_addr, bytes, size);
+        const uint64_t dst_val = ReadRegSized(insn.modrm_reg(), size);
+        const uint64_t result = static_cast<uint64_t>(SignExtend(dst_val, size) *
+                                                      SignExtend(src, size));
+        WriteReg(insn.modrm_reg(), result, size);
+        state_.flags.cf = state_.flags.of = false;
+      }
+      break;
+    }
+    case Mnemonic::kShl:
+    case Mnemonic::kShr:
+    case Mnemonic::kSar: {
+      const unsigned count =
+          static_cast<unsigned>((insn.imm_len > 0 ? imm : 1) & (size == 64 ? 0x3f : 0x1f));
+      uint64_t v = ReadOperandRm(insn, insn_addr, bytes, size);
+      if (count > 0) {
+        if (insn.mnemonic == Mnemonic::kShl) {
+          state_.flags.cf = size >= count && ((v >> (size - count)) & 1) != 0;
+          v <<= count;
+        } else if (insn.mnemonic == Mnemonic::kShr) {
+          state_.flags.cf = ((v >> (count - 1)) & 1) != 0;
+          v = (v & SizeMask(size)) >> count;
+        } else {  // sar
+          state_.flags.cf = ((v >> (count - 1)) & 1) != 0;
+          v = static_cast<uint64_t>(SignExtend(v & SizeMask(size), size) >>
+                                    std::min<unsigned>(count, 63));
+        }
+        const uint64_t masked = v & SizeMask(size);
+        state_.flags.zf = masked == 0;
+        state_.flags.sf = (masked >> (size - 1)) & 1;
+        state_.flags.pf = (std::popcount(static_cast<uint8_t>(masked)) % 2) == 0;
+        state_.flags.of = false;  // Approximate (undefined for count > 1).
+        WriteOperandRm(insn, insn_addr, bytes, v, size);
+      }
+      break;
+    }
+    case Mnemonic::kInc:
+    case Mnemonic::kDec: {
+      const uint64_t v = ReadOperandRm(insn, insn_addr, bytes, size);
+      const uint64_t result = insn.mnemonic == Mnemonic::kInc ? v + 1 : v - 1;
+      const bool saved_cf = state_.flags.cf;  // INC/DEC preserve CF.
+      SetFlagsAddSub(v, 1, result, insn.mnemonic == Mnemonic::kDec, size);
+      state_.flags.cf = saved_cf;
+      WriteOperandRm(insn, insn_addr, bytes, result, size);
+      break;
+    }
+    case Mnemonic::kNeg: {
+      const uint64_t v = ReadOperandRm(insn, insn_addr, bytes, size);
+      const uint64_t result = 0 - v;
+      SetFlagsAddSub(0, v, result, /*is_sub=*/true, size);
+      WriteOperandRm(insn, insn_addr, bytes, result, size);
+      break;
+    }
+    case Mnemonic::kNot: {
+      const uint64_t v = ReadOperandRm(insn, insn_addr, bytes, size);
+      WriteOperandRm(insn, insn_addr, bytes, ~v, size);  // NOT sets no flags.
+      break;
+    }
+    case Mnemonic::kJmpRel: {
+      state_.rip = next_rip + static_cast<uint64_t>(SignExtend(imm, insn.imm_len * 8u));
+      ++info.steps;
+      return true;
+    }
+    case Mnemonic::kJccRel: {
+      const uint8_t cond = static_cast<uint8_t>(
+          insn.opcode_len == 1 ? (op & 0xf) : (window[insn.opcode_off + 1] & 0xf));
+      if (EvalCondition(cond)) {
+        state_.rip = next_rip + static_cast<uint64_t>(SignExtend(imm, insn.imm_len * 8u));
+      } else {
+        state_.rip = next_rip;
+      }
+      ++info.steps;
+      return true;
+    }
+    case Mnemonic::kCallRel: {
+      push64(next_rip);
+      state_.rip = next_rip + static_cast<uint64_t>(SignExtend(imm, insn.imm_len * 8u));
+      ++info.steps;
+      return true;
+    }
+    case Mnemonic::kRet: {
+      const uint64_t target = pop64();
+      ++info.steps;
+      if (target == kSentinelReturn) {
+        info.reason = StopReason::kRet;
+        info.rip = insn_addr;
+        return false;
+      }
+      state_.rip = target;
+      return true;
+    }
+    case Mnemonic::kVmfunc: {
+      ++info.vmfunc_count;
+      info.reason = StopReason::kVmfunc;
+      info.rip = insn_addr;
+      ++info.steps;
+      return false;
+    }
+    case Mnemonic::kSyscall: {
+      info.reason = StopReason::kSyscall;
+      info.rip = insn_addr;
+      ++info.steps;
+      return false;
+    }
+    case Mnemonic::kHlt: {
+      info.reason = StopReason::kHlt;
+      info.rip = insn_addr;
+      ++info.steps;
+      return false;
+    }
+    case Mnemonic::kInt3: {
+      info.reason = StopReason::kInt3;
+      info.rip = insn_addr;
+      ++info.steps;
+      return false;
+    }
+    case Mnemonic::kOther:
+    default:
+      info.reason = StopReason::kUnsupported;
+      info.rip = state_.rip;
+      return false;
+  }
+
+  state_.rip = next_rip;
+  ++info.steps;
+  return true;
+}
+
+StopInfo Emulator::Run(uint64_t max_steps) {
+  StopInfo info;
+  // Arrange a sentinel so a top-level RET ends the run.
+  state_.reg(Reg::kRsp) -= 8;
+  WriteMem(state_.reg(Reg::kRsp), kSentinelReturn, 64);
+  while (info.steps < max_steps) {
+    if (!Step(info)) {
+      return info;
+    }
+  }
+  info.reason = StopReason::kMaxSteps;
+  info.rip = state_.rip;
+  return info;
+}
+
+}  // namespace x86

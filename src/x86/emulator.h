@@ -1,0 +1,109 @@
+// A small x86-64 emulator for the rewriter's instruction subset.
+//
+// The rewriter's correctness claim — "functionally-equivalent instructions" —
+// is *tested*, not assumed: property tests execute the original and rewritten
+// code in this emulator with identical initial state and compare the final
+// architectural state, while asserting the rewritten bytes never execute a
+// VMFUNC.
+
+#ifndef SRC_X86_EMULATOR_H_
+#define SRC_X86_EMULATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/x86/insn.h"
+
+namespace x86 {
+
+struct Flags {
+  bool zf = false;
+  bool sf = false;
+  bool cf = false;
+  bool of = false;
+  bool pf = false;
+
+  bool operator==(const Flags&) const = default;
+};
+
+struct CpuState {
+  uint64_t regs[kNumRegs] = {};
+  uint64_t rip = 0;
+  Flags flags;
+
+  uint64_t& reg(Reg r) { return regs[static_cast<size_t>(r)]; }
+  uint64_t reg(Reg r) const { return regs[static_cast<size_t>(r)]; }
+};
+
+enum class StopReason : uint8_t {
+  kRet,         // Top-level RET (returned to the sentinel address).
+  kHlt,
+  kInt3,
+  kVmfunc,      // A VMFUNC instruction was executed.
+  kSyscall,
+  kMaxSteps,
+  kUnsupported, // Instruction outside the emulated subset.
+  kBadFetch,    // RIP left mapped code.
+};
+
+struct StopInfo {
+  StopReason reason = StopReason::kMaxSteps;
+  uint64_t steps = 0;
+  uint64_t rip = 0;
+  uint64_t vmfunc_count = 0;  // How many VMFUNCs executed during the run.
+};
+
+class Emulator {
+ public:
+  Emulator();
+
+  // Loads bytes into the flat memory at `base` (code and data share memory).
+  void LoadBytes(uint64_t base, std::span<const uint8_t> bytes);
+
+  CpuState& state() { return state_; }
+  const CpuState& state() const { return state_; }
+
+  uint8_t ReadByte(uint64_t addr) const;
+  void WriteByte(uint64_t addr, uint8_t value);
+  uint64_t ReadMem(uint64_t addr, unsigned size) const;
+  void WriteMem(uint64_t addr, uint64_t value, unsigned size);
+
+  // Runs from state().rip until a stop condition; the stack is initialized
+  // with a sentinel return address so a top-level RET stops cleanly.
+  StopInfo Run(uint64_t max_steps);
+
+  // Executes exactly one instruction; fills `reason` on stop conditions and
+  // returns false when the run should end.
+  bool Step(StopInfo& info);
+
+  // Snapshot of the data memory for equivalence comparison (excludes the
+  // given code ranges so moved code bytes don't count as divergence).
+  std::unordered_map<uint64_t, uint8_t> MemorySnapshot() const { return memory_; }
+
+  static constexpr uint64_t kSentinelReturn = 0xdead00000000beefULL;
+  static constexpr uint64_t kInitialRsp = 0x7fff'0000'0000ULL;
+
+ private:
+  // Effective address of a ModRM memory operand (insn at `insn_addr`).
+  uint64_t EffectiveAddress(const Insn& insn, uint64_t insn_addr,
+                            std::span<const uint8_t> bytes) const;
+  uint64_t ReadOperandRm(const Insn& insn, uint64_t insn_addr, std::span<const uint8_t> bytes,
+                         unsigned size) const;
+  void WriteOperandRm(const Insn& insn, uint64_t insn_addr, std::span<const uint8_t> bytes,
+                      uint64_t value, unsigned size);
+  void WriteReg(uint8_t reg, uint64_t value, unsigned size);
+  uint64_t ReadRegSized(uint8_t reg, unsigned size) const;
+
+  void SetFlagsLogic(uint64_t result, unsigned size);
+  void SetFlagsAddSub(uint64_t a, uint64_t b, uint64_t result, bool is_sub, unsigned size);
+  bool EvalCondition(uint8_t cond) const;
+
+  CpuState state_;
+  std::unordered_map<uint64_t, uint8_t> memory_;
+};
+
+}  // namespace x86
+
+#endif  // SRC_X86_EMULATOR_H_

@@ -1,0 +1,248 @@
+#include "src/x86/format.h"
+
+#include <cstdio>
+
+#include "src/x86/decoder.h"
+
+namespace x86 {
+namespace {
+
+uint64_t ReadLittle(std::span<const uint8_t> bytes, size_t off, unsigned len) {
+  uint64_t v = 0;
+  for (unsigned i = 0; i < len; ++i) {
+    v |= static_cast<uint64_t>(bytes[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+int64_t SignExtend(uint64_t v, unsigned bits) {
+  if (bits >= 64) {
+    return static_cast<int64_t>(v);
+  }
+  const uint64_t sign = 1ULL << (bits - 1);
+  return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+std::string Hex(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string SignedHex(int64_t v) {
+  if (v < 0) {
+    return "-" + Hex(static_cast<uint64_t>(-v));
+  }
+  return Hex(static_cast<uint64_t>(v));
+}
+
+std::string MemOperand(std::span<const uint8_t> bytes, const Insn& insn) {
+  int64_t disp = 0;
+  if (insn.disp_len > 0) {
+    disp = SignExtend(ReadLittle(bytes, insn.disp_off, insn.disp_len), insn.disp_len * 8u);
+  }
+  if (insn.is_rip_relative()) {
+    return "[rip" + (disp != 0 ? (disp > 0 ? "+" : "") + SignedHex(disp) : "") + "]";
+  }
+  std::string out = "[";
+  bool first = true;
+  if (insn.has_sib) {
+    if (!((insn.sib & 7) == 5 && insn.modrm_mod() == 0)) {
+      out += RegName(static_cast<Reg>(insn.sib_base()));
+      first = false;
+    }
+    if ((insn.sib & 0x38) != 0x20) {
+      if (!first) {
+        out += "+";
+      }
+      out += RegName(static_cast<Reg>(insn.sib_index()));
+      const int scale = 1 << insn.sib_scale();
+      if (scale > 1) {
+        out += "*" + std::to_string(scale);
+      }
+      first = false;
+    }
+  } else {
+    out += RegName(static_cast<Reg>(insn.modrm_rm()));
+    first = false;
+  }
+  if (disp != 0 || first) {
+    if (!first && disp >= 0) {
+      out += "+";
+    }
+    out += SignedHex(disp);
+  }
+  return out + "]";
+}
+
+std::string RmOperand(std::span<const uint8_t> bytes, const Insn& insn) {
+  if (insn.modrm_is_reg()) {
+    return RegName(static_cast<Reg>(insn.modrm_rm()));
+  }
+  return MemOperand(bytes, insn);
+}
+
+const char* ArithName(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kAdd:
+      return "add";
+    case Mnemonic::kOr:
+      return "or";
+    case Mnemonic::kAnd:
+      return "and";
+    case Mnemonic::kSub:
+      return "sub";
+    case Mnemonic::kXor:
+      return "xor";
+    case Mnemonic::kCmp:
+      return "cmp";
+    case Mnemonic::kTest:
+      return "test";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+std::string FormatInsn(std::span<const uint8_t> bytes, const Insn& insn) {
+  if (!insn.valid) {
+    return "(bad)";
+  }
+  const uint8_t op = bytes[insn.opcode_off];
+  const uint64_t imm = insn.imm_len > 0 ? ReadLittle(bytes, insn.imm_off, insn.imm_len) : 0;
+  const int64_t simm = insn.imm_len > 0 ? SignExtend(imm, insn.imm_len * 8u) : 0;
+
+  switch (insn.mnemonic) {
+    case Mnemonic::kNop:
+      return "nop";
+    case Mnemonic::kVmfunc:
+      return "vmfunc";
+    case Mnemonic::kSyscall:
+      return "syscall";
+    case Mnemonic::kRet:
+      return "ret";
+    case Mnemonic::kInt3:
+      return "int3";
+    case Mnemonic::kHlt:
+      return "hlt";
+    case Mnemonic::kPush:
+      if (op >= 0x50 && op <= 0x57) {
+        return "push " +
+               RegName(static_cast<Reg>((op & 7) | ((insn.rex & 1) << 3)));
+      }
+      return "push " + SignedHex(simm);
+    case Mnemonic::kPop:
+      return "pop " + RegName(static_cast<Reg>((op & 7) | ((insn.rex & 1) << 3)));
+    case Mnemonic::kMovImm64:
+      return "mov " + RegName(static_cast<Reg>((op & 7) | ((insn.rex & 1) << 3))) + ", " +
+             Hex(imm);
+    case Mnemonic::kMov: {
+      if (op >= 0xb0 && op <= 0xbf) {
+        return "mov " + RegName(static_cast<Reg>((op & 7) | ((insn.rex & 1) << 3))) + ", " +
+               Hex(imm);
+      }
+      if (op == 0x89 || op == 0x88) {
+        return "mov " + RmOperand(bytes, insn) + ", " +
+               RegName(static_cast<Reg>(insn.modrm_reg()));
+      }
+      if (op == 0x8b || op == 0x8a) {
+        return "mov " + RegName(static_cast<Reg>(insn.modrm_reg())) + ", " +
+               RmOperand(bytes, insn);
+      }
+      return "mov " + RmOperand(bytes, insn) + ", " + SignedHex(simm);
+    }
+    case Mnemonic::kLea:
+      return "lea " + RegName(static_cast<Reg>(insn.modrm_reg())) + ", " +
+             MemOperand(bytes, insn);
+    case Mnemonic::kImul:
+      if (op == 0x69 || op == 0x6b) {
+        return "imul " + RegName(static_cast<Reg>(insn.modrm_reg())) + ", " +
+               RmOperand(bytes, insn) + ", " + SignedHex(simm);
+      }
+      return "imul " + RegName(static_cast<Reg>(insn.modrm_reg())) + ", " +
+             RmOperand(bytes, insn);
+    case Mnemonic::kAdd:
+    case Mnemonic::kOr:
+    case Mnemonic::kAnd:
+    case Mnemonic::kSub:
+    case Mnemonic::kXor:
+    case Mnemonic::kCmp:
+    case Mnemonic::kTest: {
+      const std::string name = ArithName(insn.mnemonic);
+      if (!insn.has_modrm) {  // rax-immediate forms.
+        return name + " rax, " + SignedHex(simm);
+      }
+      if (insn.imm_len > 0) {
+        return name + " " + RmOperand(bytes, insn) + ", " + SignedHex(simm);
+      }
+      const int form = op & 7;
+      if (form == 2 || form == 3) {
+        return name + " " + RegName(static_cast<Reg>(insn.modrm_reg())) + ", " +
+               RmOperand(bytes, insn);
+      }
+      return name + " " + RmOperand(bytes, insn) + ", " +
+             RegName(static_cast<Reg>(insn.modrm_reg()));
+    }
+    case Mnemonic::kShl:
+      return "shl " + RmOperand(bytes, insn) + ", " + std::to_string(insn.imm_len > 0 ? imm : 1);
+    case Mnemonic::kShr:
+      return "shr " + RmOperand(bytes, insn) + ", " + std::to_string(insn.imm_len > 0 ? imm : 1);
+    case Mnemonic::kSar:
+      return "sar " + RmOperand(bytes, insn) + ", " + std::to_string(insn.imm_len > 0 ? imm : 1);
+    case Mnemonic::kInc:
+      return "inc " + RmOperand(bytes, insn);
+    case Mnemonic::kDec:
+      return "dec " + RmOperand(bytes, insn);
+    case Mnemonic::kNeg:
+      return "neg " + RmOperand(bytes, insn);
+    case Mnemonic::kNot:
+      return "not " + RmOperand(bytes, insn);
+    case Mnemonic::kJmpRel:
+      return "jmp " + SignedHex(simm) + " (rel)";
+    case Mnemonic::kCallRel:
+      return "call " + SignedHex(simm) + " (rel)";
+    case Mnemonic::kJccRel: {
+      static const char* kCond[] = {"o", "no", "b",  "nb", "z", "nz", "be", "nbe",
+                                    "s", "ns", "p",  "np", "l", "nl", "le", "nle"};
+      const uint8_t cond = static_cast<uint8_t>(
+          insn.opcode_len == 1 ? (op & 0xf) : (bytes[insn.opcode_off + 1] & 0xf));
+      return std::string("j") + kCond[cond] + " " + SignedHex(simm) + " (rel)";
+    }
+    case Mnemonic::kOther:
+    default: {
+      std::string out = "(unsupported:";
+      for (size_t i = 0; i < insn.length && i < 6; ++i) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), " %02x", bytes[i]);
+        out += buf;
+      }
+      return out + ")";
+    }
+  }
+}
+
+std::string Disassemble(std::span<const uint8_t> code) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < code.size()) {
+    const Insn insn = Decode(code, pos);
+    char prefix[16];
+    std::snprintf(prefix, sizeof(prefix), "%6zx:  ", pos);
+    out += prefix;
+    for (size_t i = 0; i < insn.length; ++i) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%02x ", code[pos + i]);
+      out += buf;
+    }
+    for (size_t i = insn.length; i < 12; ++i) {
+      out += "   ";
+    }
+    out += FormatInsn(code.subspan(pos), insn);
+    out += "\n";
+    pos += insn.length;
+  }
+  return out;
+}
+
+}  // namespace x86

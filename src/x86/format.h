@@ -1,0 +1,24 @@
+// Instruction formatting (a disassembler for the supported subset), used by
+// the demos and for debugging rewriter output.
+
+#ifndef SRC_X86_FORMAT_H_
+#define SRC_X86_FORMAT_H_
+
+#include <span>
+#include <string>
+
+#include "src/x86/insn.h"
+
+namespace x86 {
+
+// Renders one decoded instruction ("add rax, 0xd4010f", "vmfunc", ...).
+// `bytes` must start at the instruction. Unknown instructions render their
+// opcode bytes ("(unsupported: 0f ae f0)").
+std::string FormatInsn(std::span<const uint8_t> bytes, const Insn& insn);
+
+// Linear-sweep disassembly of a whole region with offsets and hex bytes.
+std::string Disassemble(std::span<const uint8_t> code);
+
+}  // namespace x86
+
+#endif  // SRC_X86_FORMAT_H_

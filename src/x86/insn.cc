@@ -1,0 +1,34 @@
+#include "src/x86/insn.h"
+
+namespace x86 {
+
+std::string RegName(Reg r) {
+  static const char* kNames[kNumRegs] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                         "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                         "r12", "r13", "r14", "r15"};
+  return kNames[static_cast<size_t>(r)];
+}
+
+std::string_view VmfuncOverlapName(VmfuncOverlap o) {
+  switch (o) {
+    case VmfuncOverlap::kIsVmfunc:
+      return "is-vmfunc";
+    case VmfuncOverlap::kSpans:
+      return "spans-instructions";
+    case VmfuncOverlap::kInModrm:
+      return "in-modrm";
+    case VmfuncOverlap::kInSib:
+      return "in-sib";
+    case VmfuncOverlap::kInDisp:
+      return "in-displacement";
+    case VmfuncOverlap::kInImm:
+      return "in-immediate";
+    case VmfuncOverlap::kInOpcode:
+      return "in-opcode";
+    case VmfuncOverlap::kUndecodable:
+      return "undecodable";
+  }
+  return "unknown";
+}
+
+}  // namespace x86

@@ -1,0 +1,130 @@
+// Decoded x86-64 instruction representation.
+//
+// The decoder is a *length* decoder in the style the rewriting literature
+// uses (ERIM, SkyBridge Section 5): it recovers instruction boundaries and
+// the five encoding regions — prefixes, opcode, ModRM, SIB, displacement,
+// immediate — which is exactly the information needed to classify where a
+// VMFUNC byte pattern (0F 01 D4) falls and to rewrite it away.
+
+#ifndef SRC_X86_INSN_H_
+#define SRC_X86_INSN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace x86 {
+
+// General-purpose registers, in encoding order.
+enum class Reg : uint8_t {
+  kRax = 0,
+  kRcx,
+  kRdx,
+  kRbx,
+  kRsp,
+  kRbp,
+  kRsi,
+  kRdi,
+  kR8,
+  kR9,
+  kR10,
+  kR11,
+  kR12,
+  kR13,
+  kR14,
+  kR15,
+};
+
+inline constexpr int kNumRegs = 16;
+
+std::string RegName(Reg r);
+
+// Coarse classification; kOther still has exact field boundaries.
+enum class Mnemonic : uint8_t {
+  kOther = 0,
+  kNop,
+  kPush,     // push r64
+  kPop,      // pop r64
+  kMov,      // 88/89/8A/8B/B8+r/C6/C7
+  kMovImm64, // REX.W B8+r io
+  kLea,      // 8D
+  kAdd,
+  kOr,
+  kAnd,
+  kSub,
+  kXor,
+  kCmp,
+  kTest,
+  kImul,     // 69 / 6B / 0F AF
+  kShl,      // C1 /4, D1 /4
+  kShr,      // C1 /5, D1 /5
+  kSar,      // C1 /7, D1 /7
+  kInc,      // FF /0
+  kDec,      // FF /1
+  kNeg,      // F7 /3
+  kNot,      // F7 /2
+  kJmpRel,   // EB / E9
+  kJccRel,   // 70-7F / 0F 80-8F
+  kCallRel,  // E8
+  kRet,      // C3
+  kVmfunc,   // 0F 01 D4
+  kSyscall,  // 0F 05
+  kInt3,     // CC
+  kHlt,      // F4
+};
+
+struct Insn {
+  bool valid = false;
+  uint8_t length = 0;
+
+  // Field layout (offsets are from the start of the instruction).
+  uint8_t num_prefixes = 0;  // Legacy prefixes only; REX tracked separately.
+  uint8_t rex = 0;           // 0 if absent.
+  uint8_t opcode_off = 0;
+  uint8_t opcode_len = 0;  // 1..3
+  bool has_modrm = false;
+  uint8_t modrm_off = 0;
+  uint8_t modrm = 0;
+  bool has_sib = false;
+  uint8_t sib_off = 0;
+  uint8_t sib = 0;
+  uint8_t disp_off = 0;
+  uint8_t disp_len = 0;  // 0, 1, 2, 4 or 8
+  uint8_t imm_off = 0;
+  uint8_t imm_len = 0;  // 0, 1, 2, 4 or 8
+
+  Mnemonic mnemonic = Mnemonic::kOther;
+  bool operand_size_16 = false;  // 0x66 prefix active.
+
+  // --- ModRM accessors (REX extensions applied) ---
+  uint8_t modrm_mod() const { return modrm >> 6; }
+  uint8_t modrm_reg() const { return static_cast<uint8_t>(((modrm >> 3) & 7) | ((rex & 4) << 1)); }
+  uint8_t modrm_rm() const { return static_cast<uint8_t>((modrm & 7) | ((rex & 1) << 3)); }
+  bool rex_w() const { return (rex & 8) != 0; }
+
+  uint8_t sib_scale() const { return sib >> 6; }
+  uint8_t sib_index() const { return static_cast<uint8_t>(((sib >> 3) & 7) | ((rex & 2) << 2)); }
+  uint8_t sib_base() const { return static_cast<uint8_t>((sib & 7) | ((rex & 1) << 3)); }
+
+  // True when ModRM selects a register operand (mod == 3).
+  bool modrm_is_reg() const { return has_modrm && modrm_mod() == 3; }
+  // RIP-relative memory operand (mod == 00, rm == 101).
+  bool is_rip_relative() const { return has_modrm && modrm_mod() == 0 && (modrm & 7) == 5; }
+};
+
+// Where a 0F 01 D4 byte triple falls relative to decoded instructions.
+enum class VmfuncOverlap : uint8_t {
+  kIsVmfunc,      // C1: the instruction *is* VMFUNC.
+  kSpans,         // C2: the triple spans two or more instructions.
+  kInModrm,       // C3: 0x0F is this instruction's ModRM byte.
+  kInSib,         // C3: 0x0F is this instruction's SIB byte.
+  kInDisp,        // C3: 0x0F starts inside the displacement.
+  kInImm,         // C3: 0x0F starts inside the immediate.
+  kInOpcode,      // C3: inside a multi-byte opcode (only VMFUNC qualifies).
+  kUndecodable,   // Byte stream did not decode; treated conservatively.
+};
+
+std::string_view VmfuncOverlapName(VmfuncOverlap o);
+
+}  // namespace x86
+
+#endif  // SRC_X86_INSN_H_

@@ -1,0 +1,71 @@
+// Binary rewriting of illegal VMFUNC occurrences (paper Section 5, Table 3).
+//
+// When a process registers with SkyBridge, the Subkernel scans its code pages
+// and replaces every occurrence of the VMFUNC pattern (0F 01 D4) outside the
+// trampoline with functionally equivalent instructions:
+//
+//   1. Opcode is VMFUNC           -> three NOPs.
+//   2. Pattern spans instructions -> relocate the window to the rewrite page
+//                                    and break the pattern with a NOP between
+//                                    the spanning instructions.
+//   3. 0x0F in ModRM or SIB       -> push/pop a scratch register, copy the
+//                                    encoded base (or index) register into it
+//                                    and re-encode the instruction with the
+//                                    scratch register.
+//   4. 0x0F in the displacement   -> compute part of the displacement into a
+//                                    scratch register before the instruction.
+//   5. 0x0F in the immediate      -> apply the instruction twice with split
+//                                    immediates (or build the immediate in a
+//                                    scratch register); jump-like immediates
+//                                    are displacements that get new values
+//                                    when the instruction moves to the
+//                                    rewrite page.
+//
+// Instructions that grow do not fit in place, so the affected window is
+// replaced by a JMP to a snippet on the *rewrite page* (mapped at 0x1000, the
+// deliberately-unmapped second page), which ends with a JMP back — exactly
+// the paper's Section 5.1 mechanism.
+//
+// Equivalence caveat (shared with the paper's Table 3): split-immediate
+// arithmetic can leave different CF/OF values than the original single
+// instruction. SkyBridge inherits ERIM's position that compilers do not emit
+// code relying on flags across such boundaries.
+
+#ifndef SRC_X86_REWRITER_H_
+#define SRC_X86_REWRITER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/x86/scanner.h"
+
+namespace x86 {
+
+struct RewriteConfig {
+  uint64_t code_base = 0x400000;        // VA where the code is mapped.
+  uint64_t rewrite_page_base = 0x1000;  // VA of the rewrite page (paper 5.1).
+  size_t rewrite_page_capacity = 16 * 4096;
+  int max_iterations = 64;
+};
+
+struct RewriteStats {
+  int nop_replaced = 0;       // C1: true VMFUNC instructions NOPed out.
+  int windows_relocated = 0;  // Windows moved to the rewrite page.
+  int snippets_emitted = 0;
+};
+
+struct RewriteResult {
+  std::vector<uint8_t> code;          // Rewritten code (same size as input).
+  std::vector<uint8_t> rewrite_page;  // Snippet bytes for the rewrite page.
+  RewriteStats stats;
+};
+
+// Rewrites until neither the code nor the rewrite page contains the pattern.
+sb::StatusOr<RewriteResult> RewriteVmfunc(std::span<const uint8_t> code,
+                                          const RewriteConfig& config);
+
+}  // namespace x86
+
+#endif  // SRC_X86_REWRITER_H_

@@ -1,0 +1,69 @@
+#include "src/x86/scanner.h"
+
+#include <algorithm>
+
+#include "src/x86/decoder.h"
+
+namespace x86 {
+
+std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code) {
+  std::vector<size_t> offsets;
+  if (code.size() < 3) {
+    return offsets;
+  }
+  for (size_t i = 0; i + 2 < code.size(); ++i) {
+    if (code[i] == kVmfuncBytes[0] && code[i + 1] == kVmfuncBytes[1] &&
+        code[i + 2] == kVmfuncBytes[2]) {
+      offsets.push_back(i);
+    }
+  }
+  return offsets;
+}
+
+std::vector<VmfuncHit> ScanForVmfunc(std::span<const uint8_t> code) {
+  std::vector<VmfuncHit> hits;
+  const std::vector<size_t> raw = FindVmfuncBytes(code);
+  if (raw.empty()) {
+    return hits;
+  }
+  const std::vector<size_t> starts = LinearSweep(code);
+
+  for (const size_t off : raw) {
+    VmfuncHit hit;
+    hit.pattern_off = off;
+    // The instruction whose bytes contain `off`: the last start <= off.
+    auto it = std::upper_bound(starts.begin(), starts.end(), off);
+    const size_t insn_start = *std::prev(it);
+    hit.insn_off = insn_start;
+
+    const Insn insn = Decode(code, insn_start);
+    if (!insn.valid) {
+      hit.overlap = VmfuncOverlap::kUndecodable;
+      hits.push_back(hit);
+      continue;
+    }
+    if (off + 3 > insn_start + insn.length) {
+      hit.overlap = VmfuncOverlap::kSpans;
+      hits.push_back(hit);
+      continue;
+    }
+    const size_t rel = off - insn_start;  // Field offsets are insn-relative.
+    if (insn.mnemonic == Mnemonic::kVmfunc && rel == insn.opcode_off) {
+      hit.overlap = VmfuncOverlap::kIsVmfunc;
+    } else if (insn.has_modrm && rel == insn.modrm_off) {
+      hit.overlap = VmfuncOverlap::kInModrm;
+    } else if (insn.has_sib && rel == insn.sib_off) {
+      hit.overlap = VmfuncOverlap::kInSib;
+    } else if (insn.disp_len > 0 && rel >= insn.disp_off && rel < insn.disp_off + insn.disp_len) {
+      hit.overlap = VmfuncOverlap::kInDisp;
+    } else if (insn.imm_len > 0 && rel >= insn.imm_off && rel < insn.imm_off + insn.imm_len) {
+      hit.overlap = VmfuncOverlap::kInImm;
+    } else {
+      hit.overlap = VmfuncOverlap::kInOpcode;
+    }
+    hits.push_back(hit);
+  }
+  return hits;
+}
+
+}  // namespace x86

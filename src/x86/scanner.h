@@ -1,0 +1,39 @@
+// VMFUNC occurrence scanner (paper Section 5.2).
+//
+// Finds every occurrence of the VMFUNC byte pattern (0F 01 D4) in a code
+// region and classifies it against decoded instruction boundaries into the
+// paper's three conditions:
+//   C1 — the instruction is VMFUNC itself,
+//   C2 — the pattern spans two or more instructions,
+//   C3 — the pattern is embedded in a longer instruction's ModRM, SIB,
+//        displacement or immediate field.
+
+#ifndef SRC_X86_SCANNER_H_
+#define SRC_X86_SCANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/x86/insn.h"
+
+namespace x86 {
+
+inline constexpr uint8_t kVmfuncBytes[3] = {0x0f, 0x01, 0xd4};
+
+struct VmfuncHit {
+  size_t pattern_off = 0;  // Offset of the 0x0F byte.
+  size_t insn_off = 0;     // Start of the instruction containing the 0x0F byte.
+  VmfuncOverlap overlap = VmfuncOverlap::kUndecodable;
+};
+
+// Returns the raw offsets of every 0F 01 D4 triple (no decoding).
+std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code);
+
+// Full scan: find and classify every occurrence.
+std::vector<VmfuncHit> ScanForVmfunc(std::span<const uint8_t> code);
+
+}  // namespace x86
+
+#endif  // SRC_X86_SCANNER_H_

@@ -1,0 +1,375 @@
+// Workload-layer tests: the KV pipeline in all wirings, YCSB generation,
+// the synthetic corpus, and the full SQLite stack end to end.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/corpus.h"
+#include "src/apps/kv.h"
+#include "src/apps/sqlite_stack.h"
+#include "src/apps/ycsb.h"
+#include "src/sim/executor.h"
+#include "src/x86/scanner.h"
+
+namespace apps {
+namespace {
+
+using sb::kGiB;
+
+TEST(Xtea, EncryptDecryptRoundTrip) {
+  const uint32_t key[4] = {1, 2, 3, 4};
+  std::vector<uint8_t> data(64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  std::vector<uint8_t> cipher = data;
+  XteaEncrypt(cipher, key);
+  EXPECT_NE(cipher, data);
+  XteaDecrypt(cipher, key);
+  EXPECT_EQ(cipher, data);
+}
+
+struct KvEnv {
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<mk::Kernel> kernel;
+  std::unique_ptr<skybridge::SkyBridge> sky;
+  std::unique_ptr<KvPipeline> pipeline;
+};
+
+KvEnv MakeKv(KvWiring wiring, mk::KernelProfile profile = mk::Sel4Profile()) {
+  KvEnv env;
+  hw::MachineConfig mc;
+  mc.num_cores = 4;
+  mc.ram_bytes = 4 * kGiB;
+  env.machine = std::make_unique<hw::Machine>(mc);
+  mk::KernelOptions options;
+  options.boot_rootkernel = wiring == KvWiring::kSkyBridge;
+  env.kernel = std::make_unique<mk::Kernel>(*env.machine, std::move(profile), options);
+  SB_CHECK(env.kernel->Boot().ok());
+  if (wiring == KvWiring::kSkyBridge) {
+    env.sky = std::make_unique<skybridge::SkyBridge>(*env.kernel);
+  }
+  env.pipeline = std::make_unique<KvPipeline>(*env.kernel, env.sky.get(), wiring);
+  SB_CHECK(env.pipeline->Setup().ok());
+  return env;
+}
+
+class KvWiringTest : public ::testing::TestWithParam<KvWiring> {};
+
+TEST_P(KvWiringTest, InsertThenQueryReturnsValue) {
+  KvEnv env = MakeKv(GetParam());
+  ASSERT_TRUE(env.pipeline->Insert("user42", "payload-42").ok());
+  auto value = env.pipeline->Query("user42");
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_EQ(*value, "payload-42");
+  EXPECT_FALSE(env.pipeline->Query("missing").ok());
+}
+
+TEST_P(KvWiringTest, ManyKeysSurviveRoundTrips) {
+  KvEnv env = MakeKv(GetParam());
+  for (int i = 0; i < 32; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(env.pipeline->Insert(key, "value-" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 32; ++i) {
+    auto v = env.pipeline->Query("k" + std::to_string(i));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "value-" + std::to_string(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Wirings, KvWiringTest,
+                         ::testing::Values(KvWiring::kBaseline, KvWiring::kDelay,
+                                           KvWiring::kIpc, KvWiring::kIpcCrossCore,
+                                           KvWiring::kSkyBridge),
+                         [](const auto& info) {
+                           return std::string(KvWiringName(info.param)).substr(0, 3) +
+                                  std::to_string(static_cast<int>(info.param));
+                         });
+
+uint64_t MeasureKvOp(KvPipeline& pipeline, const std::string& key, const std::string& value,
+                     int iters = 50) {
+  for (int i = 0; i < 10; ++i) {
+    SB_CHECK(pipeline.Insert(key + "-warm", value).ok());
+    SB_CHECK(pipeline.Query(key + "-warm").ok());
+  }
+  hw::Core& core = pipeline.client_core();
+  const uint64_t start = core.cycles();
+  for (int i = 0; i < iters; ++i) {
+    SB_CHECK(pipeline.Insert(key + std::to_string(i), value).ok());
+    SB_CHECK(pipeline.Query(key + std::to_string(i)).ok());
+  }
+  return (core.cycles() - start) / (2 * static_cast<uint64_t>(iters));
+}
+
+TEST(KvPipeline, Figure2OrderingHolds) {
+  // Baseline < Delay < IPC < IPC-CrossCore, and SkyBridge between Delay and
+  // IPC (Figure 8).
+  const std::string value(64, 'v');
+  uint64_t lat[5];
+  int i = 0;
+  for (const KvWiring wiring : {KvWiring::kBaseline, KvWiring::kDelay, KvWiring::kIpc,
+                                KvWiring::kIpcCrossCore, KvWiring::kSkyBridge}) {
+    KvEnv env = MakeKv(wiring);
+    lat[i++] = MeasureKvOp(*env.pipeline, "key", value);
+  }
+  EXPECT_LT(lat[0], lat[1]);  // Baseline < Delay
+  EXPECT_LT(lat[1], lat[2]);  // Delay < IPC
+  EXPECT_LT(lat[2], lat[3]);  // IPC < CrossCore
+  EXPECT_LT(lat[4], lat[2]);  // SkyBridge < IPC
+  EXPECT_GT(lat[4], lat[0]);  // SkyBridge > Baseline
+}
+
+TEST(KvPipeline, LatencyGrowsWithValueSize) {
+  KvEnv env = MakeKv(KvWiring::kIpc);
+  const uint64_t small = MeasureKvOp(*env.pipeline, "s", std::string(16, 'x'));
+  const uint64_t big = MeasureKvOp(*env.pipeline, "b", std::string(1024, 'x'));
+  EXPECT_GT(big, small + 2000);
+}
+
+TEST(Ycsb, ZipfianSkewsTowardHotKeys) {
+  sb::Rng rng(1);
+  ZipfianGenerator zipf(1000, 0.99, &rng);
+  uint64_t hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next() < 10) {
+      ++hot;
+    }
+  }
+  // With theta=0.99 the top-1% of keys get far more than 1% of requests.
+  EXPECT_GT(hot, static_cast<uint64_t>(n) / 20);
+}
+
+TEST(Ycsb, ReadFractionRespected) {
+  YcsbWorkload workload(YcsbA());
+  int reads = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (workload.NextOp().type == YcsbOpType::kRead) {
+      ++reads;
+    }
+  }
+  EXPECT_GT(reads, n * 45 / 100);
+  EXPECT_LT(reads, n * 55 / 100);
+}
+
+TEST(Ycsb, WorkloadCIsReadOnly) {
+  YcsbWorkload workload(YcsbC());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(workload.NextOp().type, YcsbOpType::kRead);
+  }
+}
+
+TEST(Ycsb, KeysWithinRange) {
+  YcsbWorkload workload(YcsbA());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(workload.NextOp().key, workload.config().record_count);
+  }
+}
+
+TEST(Corpus, CleanProgramsHaveNoPattern) {
+  sb::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<uint8_t> program = GenerateProgram(rng, 32 * 1024);
+    EXPECT_TRUE(x86::FindVmfuncBytes(program).empty()) << "program " << i;
+  }
+}
+
+TEST(Corpus, PlantedProgramHasExactlyOneHitInCallImmediate) {
+  sb::Rng rng(4);
+  const std::vector<uint8_t> program = GenerateProgramWithCallImmPattern(rng, 32 * 1024);
+  const auto hits = x86::ScanForVmfunc(program);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].overlap, x86::VmfuncOverlap::kInImm);
+}
+
+TEST(Corpus, Table6CorpusHasOneTotalHit) {
+  const auto corpus = BuildTable6Corpus(7);
+  int total_hits = 0;
+  std::string hit_program;
+  for (const CorpusProgram& program : corpus) {
+    const auto hits = x86::FindVmfuncBytes(program.code);
+    total_hits += static_cast<int>(hits.size());
+    if (!hits.empty()) {
+      hit_program = program.name;
+    }
+  }
+  EXPECT_EQ(total_hits, 1);
+  EXPECT_EQ(hit_program, "GIMP-2.8");
+}
+
+// ---- Full SQLite stack ----
+
+TEST(SqliteStack, EndToEndInsertQueryUpdateDelete) {
+  SqliteStackConfig config;
+  config.transport = StackTransport::kIpcMtServer;
+  config.preload_records = 50;
+  auto stack = SqliteStack::Create(config);
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+
+  // Query a preloaded row.
+  auto v = (*stack)->Query(0, 7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 100u);
+
+  // Insert / update / delete new rows (all charged through the stack).
+  std::vector<uint8_t> value(100, 0x11);
+  ASSERT_TRUE((*stack)->Insert(0, 1000, value).ok());
+  value[0] = 0x22;
+  ASSERT_TRUE((*stack)->Update(0, 1000, value).ok());
+  auto updated = (*stack)->Query(0, 1000);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ((*updated)[0], 0x22);
+  ASSERT_TRUE((*stack)->Delete(0, 1000).ok());
+  EXPECT_FALSE((*stack)->Query(0, 1000).ok());
+}
+
+class StackTransportTest : public ::testing::TestWithParam<StackTransport> {};
+
+TEST_P(StackTransportTest, YcsbOpsRunOnAllTransports) {
+  SqliteStackConfig config;
+  config.transport = GetParam();
+  config.preload_records = 100;
+  config.num_client_threads = 2;
+  auto stack = SqliteStack::Create(config);
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+
+  YcsbConfig wl = YcsbA();
+  wl.record_count = 100;
+  YcsbWorkload workload(wl);
+  for (int i = 0; i < 40; ++i) {
+    const YcsbOp op = workload.NextOp();
+    ASSERT_TRUE((*stack)->RunYcsbOp(i % 2, op, workload).ok()) << i;
+  }
+  EXPECT_GT((*stack)->db_lock().acquisitions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, StackTransportTest,
+                         ::testing::Values(StackTransport::kIpcStServer,
+                                           StackTransport::kIpcMtServer,
+                                           StackTransport::kSkyBridge),
+                         [](const auto& info) {
+                           return std::string(StackTransportName(info.param)).substr(0, 2) +
+                                  std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(SqliteStack, SkyBridgeFasterThanStServer) {
+  auto measure = [](StackTransport transport) -> uint64_t {
+    SqliteStackConfig config;
+    config.transport = transport;
+    config.preload_records = 100;
+    auto stack = SqliteStack::Create(config);
+    SB_CHECK(stack.ok());
+    YcsbConfig wl = YcsbA();
+    wl.record_count = 100;
+    YcsbWorkload workload(wl);
+    hw::Core& core = (*stack)->machine().core(0);
+    for (int i = 0; i < 10; ++i) {
+      SB_CHECK((*stack)->RunYcsbOp(0, workload.NextOp(), workload).ok());
+    }
+    const uint64_t start = core.cycles();
+    for (int i = 0; i < 50; ++i) {
+      SB_CHECK((*stack)->RunYcsbOp(0, workload.NextOp(), workload).ok());
+    }
+    return (core.cycles() - start) / 50;
+  };
+  const uint64_t st = measure(StackTransport::kIpcStServer);
+  const uint64_t mt = measure(StackTransport::kIpcMtServer);
+  const uint64_t sky = measure(StackTransport::kSkyBridge);
+  EXPECT_LT(sky, mt);
+  EXPECT_LT(mt, st);
+}
+
+TEST(SqliteStack, ConcurrentClientsSerializeAndScaleLikeThePaper) {
+  // Multicore YCSB through the virtual-time executor: correctness under
+  // concurrency plus the paper's anti-scaling (throughput per op falls as
+  // threads contend on the DB and FS locks).
+  auto run = [](int threads) -> double {
+    apps::SqliteStackConfig config;
+    config.transport = apps::StackTransport::kSkyBridge;
+    config.preload_records = 200;
+    config.num_client_threads = threads;
+    auto stack = apps::SqliteStack::Create(config);
+    SB_CHECK(stack.ok());
+    apps::YcsbConfig wl = apps::YcsbA();
+    wl.record_count = 200;
+
+    sim::Executor exec((*stack)->machine());
+    uint64_t base_time = 0;
+    for (int c = 0; c < 8; ++c) {
+      base_time = std::max(base_time, (*stack)->machine().core(c).cycles());
+    }
+    for (int c = 0; c < 8; ++c) {
+      (*stack)->machine().core(c).SyncClockTo(base_time);
+    }
+    (*stack)->db_lock().Release(base_time);
+    (*stack)->fs().big_lock().Release(base_time);
+
+    std::vector<std::unique_ptr<apps::YcsbWorkload>> workloads;
+    uint64_t ops = 0;
+    for (int t = 0; t < threads; ++t) {
+      apps::YcsbConfig thread_wl = wl;
+      thread_wl.seed = 7 + static_cast<uint64_t>(t);
+      workloads.push_back(std::make_unique<apps::YcsbWorkload>(thread_wl));
+      apps::YcsbWorkload* workload = workloads.back().get();
+      apps::SqliteStack* s = stack->get();
+      sim::SimThread* thread =
+          exec.AddThread("c" + std::to_string(t), t, [=, &ops](sim::SimThread& st) {
+            SB_CHECK(s->RunYcsbOp(t, workload->NextOp(), *workload).ok());
+            ++ops;
+            return st.iterations() + 1 < 30;
+          });
+      thread->set_now(base_time);
+    }
+    exec.RunToCompletion();
+    EXPECT_EQ(ops, static_cast<uint64_t>(threads) * 30);
+    return static_cast<double>(ops) /
+           (static_cast<double>(exec.max_time() - base_time) / 4.0e9);
+  };
+  const double t1 = run(1);
+  const double t4 = run(4);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GT(t4, 0.0);
+  EXPECT_LT(t4, t1);  // Anti-scaling under the big locks, like Figures 9-11.
+}
+
+TEST(SqliteStack, NativeAndRootkernelThroughputClose) {
+  // Table 5: the virtualization layer costs (next to) nothing and the
+  // steady-state VM-exit count is zero.
+  auto measure = [](bool rootkernel, uint64_t* exits) -> uint64_t {
+    SqliteStackConfig config;
+    config.transport = StackTransport::kIpcMtServer;
+    config.boot_rootkernel = rootkernel;
+    config.preload_records = 100;
+    auto stack = SqliteStack::Create(config);
+    SB_CHECK(stack.ok());
+    YcsbConfig wl = YcsbA();
+    wl.record_count = 100;
+    YcsbWorkload workload(wl);
+    hw::Core& core = (*stack)->machine().core(0);
+    for (int i = 0; i < 10; ++i) {
+      SB_CHECK((*stack)->RunYcsbOp(0, workload.NextOp(), workload).ok());
+    }
+    if (rootkernel) {
+      (*stack)->kernel().rootkernel()->ResetExitCounters();
+    }
+    const uint64_t start = core.cycles();
+    for (int i = 0; i < 50; ++i) {
+      SB_CHECK((*stack)->RunYcsbOp(0, workload.NextOp(), workload).ok());
+    }
+    if (exits != nullptr) {
+      *exits = rootkernel ? (*stack)->kernel().rootkernel()->exits_total() : 0;
+    }
+    return (core.cycles() - start) / 50;
+  };
+  uint64_t exits = 0;
+  const uint64_t native = measure(false, nullptr);
+  const uint64_t virt = measure(true, &exits);
+  EXPECT_EQ(exits, 0u);
+  // Within 2% of each other.
+  EXPECT_LT(virt, native + native / 50);
+  EXPECT_GT(virt, native - native / 50);
+}
+
+}  // namespace
+}  // namespace apps

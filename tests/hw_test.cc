@@ -1,0 +1,563 @@
+// Hardware-model tests: physical memory, caches, TLB tagging, EPT walks,
+// guest paging and — most importantly — the end-to-end CR3-remap behaviour
+// that SkyBridge's VMFUNC address-space switch relies on.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/cache.h"
+#include "src/hw/ept.h"
+#include "src/hw/machine.h"
+#include "src/hw/paging.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/tlb.h"
+
+namespace hw {
+namespace {
+
+using sb::kGiB;
+using sb::kMiB;
+using sb::kPageSize;
+
+TEST(HostPhysMem, ReadWriteRoundTrip) {
+  HostPhysMem mem(16 * kMiB);
+  mem.WriteU64(0x1000, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(mem.ReadU64(0x1000), 0xdeadbeefcafef00dULL);
+}
+
+TEST(HostPhysMem, UntouchedReadsZero) {
+  HostPhysMem mem(16 * kMiB);
+  EXPECT_EQ(mem.ReadU64(0x5000), 0u);
+  EXPECT_EQ(mem.resident_frames(), 0u);
+}
+
+TEST(HostPhysMem, CrossFrameAccess) {
+  HostPhysMem mem(16 * kMiB);
+  std::vector<uint8_t> data(kPageSize * 2, 0xab);
+  mem.Write(0x800, data);
+  std::vector<uint8_t> out(data.size());
+  mem.Read(0x800, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(FrameAllocator, AllocatesDistinctZeroedFrames) {
+  HostPhysMem mem(16 * kMiB);
+  FrameAllocator alloc(0x100000, 1 * kMiB);
+  auto f1 = alloc.Alloc(mem);
+  auto f2 = alloc.Alloc(mem);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_NE(*f1, *f2);
+  EXPECT_EQ(mem.ReadU64(*f1), 0u);
+  EXPECT_EQ(alloc.allocated_frames(), 2u);
+}
+
+TEST(FrameAllocator, ExhaustsAndRecycles) {
+  HostPhysMem mem(16 * kMiB);
+  FrameAllocator alloc(0x100000, 2 * kPageSize);
+  auto f1 = alloc.Alloc(mem);
+  auto f2 = alloc.Alloc(mem);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_FALSE(alloc.Alloc(mem).ok());
+  alloc.Free(*f1);
+  auto f3 = alloc.Alloc(mem);
+  ASSERT_TRUE(f3.ok());
+  EXPECT_EQ(*f3, *f1);
+}
+
+TEST(Cache, HitAfterMiss) {
+  Cache cache(L1dConfig());
+  EXPECT_FALSE(cache.Access(0x1000, false));
+  EXPECT_TRUE(cache.Access(0x1000, false));
+  EXPECT_TRUE(cache.Access(0x1020, false));  // Same 64B line? No: 0x1020 is a
+                                             // different offset but same line.
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way tiny cache: lines mapping to the same set evict LRU order.
+  CacheConfig config{"tiny", 2 * 64, 2, 64};  // 1 set, 2 ways.
+  Cache cache(config);
+  EXPECT_FALSE(cache.Access(0x0, false));
+  EXPECT_FALSE(cache.Access(0x40, false));
+  EXPECT_TRUE(cache.Access(0x0, false));     // 0x40 is now LRU.
+  EXPECT_FALSE(cache.Access(0x80, false));   // Evicts 0x40.
+  EXPECT_FALSE(cache.Access(0x40, false));
+  EXPECT_TRUE(cache.Probe(0x40));
+}
+
+TEST(Cache, FlushClears) {
+  Cache cache(L1dConfig());
+  cache.Access(0x1000, false);
+  cache.Flush();
+  EXPECT_FALSE(cache.Probe(0x1000));
+}
+
+TEST(Tlb, HitRequiresMatchingTags) {
+  Tlb tlb(16);
+  TlbEntry e{0x5000, false, true};
+  tlb.Insert(0x400000, 12, /*vpid=*/1, /*pcid=*/2, /*ep4ta=*/0x9000, e);
+  uint8_t shift = 0;
+  EXPECT_NE(tlb.Lookup(0x400123, 1, 2, 0x9000, &shift), nullptr);
+  EXPECT_EQ(shift, 12);
+  // Different EP4TA: miss (this is why VMFUNC needs no flush).
+  EXPECT_EQ(tlb.Lookup(0x400123, 1, 2, 0xa000, &shift), nullptr);
+  // Different PCID: miss for non-global entries.
+  EXPECT_EQ(tlb.Lookup(0x400123, 1, 3, 0x9000, &shift), nullptr);
+}
+
+TEST(Tlb, GlobalEntriesMatchAnyPcid) {
+  Tlb tlb(16);
+  TlbEntry e{0x5000, /*global=*/true, true};
+  tlb.Insert(0xffff800000000000ULL, 12, 1, /*pcid=*/7, 0, e);
+  uint8_t shift = 0;
+  EXPECT_NE(tlb.Lookup(0xffff800000000123ULL, 1, /*pcid=*/9, 0, &shift), nullptr);
+}
+
+TEST(Tlb, FlushPcidSparesGlobals) {
+  Tlb tlb(16);
+  tlb.Insert(0x400000, 12, 1, 2, 0, TlbEntry{0x5000, false, true});
+  tlb.Insert(0xffff800000000000ULL, 12, 1, 2, 0, TlbEntry{0x6000, true, true});
+  tlb.FlushPcid(1, 2);
+  uint8_t shift = 0;
+  EXPECT_EQ(tlb.Lookup(0x400000, 1, 2, 0, &shift), nullptr);
+  EXPECT_NE(tlb.Lookup(0xffff800000000000ULL, 1, 2, 0, &shift), nullptr);
+}
+
+TEST(Tlb, LruCapacity) {
+  Tlb tlb(2);
+  tlb.Insert(0x1000, 12, 1, 0, 0, TlbEntry{});
+  tlb.Insert(0x2000, 12, 1, 0, 0, TlbEntry{});
+  uint8_t shift = 0;
+  EXPECT_NE(tlb.Lookup(0x1000, 1, 0, 0, &shift), nullptr);  // Touch 0x1000.
+  tlb.Insert(0x3000, 12, 1, 0, 0, TlbEntry{});              // Evicts 0x2000.
+  EXPECT_NE(tlb.Lookup(0x1000, 1, 0, 0, &shift), nullptr);
+  EXPECT_EQ(tlb.Lookup(0x2000, 1, 0, 0, &shift), nullptr);
+}
+
+class EptTest : public ::testing::Test {
+ protected:
+  EptTest() : mem_(1 * kGiB), frames_(256 * kMiB, 128 * kMiB) {}
+
+  HostPhysMem mem_;
+  FrameAllocator frames_;
+};
+
+TEST_F(EptTest, MapAndWalk4K) {
+  auto ept = Ept::Create(mem_, frames_);
+  ASSERT_TRUE(ept.ok());
+  ASSERT_TRUE((*ept)->Map(0x1000, 0x555000, kPageSize, kEptRwx).ok());
+  const EptWalk walk = (*ept)->Walk(0x1234, kEptRead);
+  ASSERT_TRUE(walk.ok);
+  EXPECT_EQ(walk.hpa, 0x555234u);
+  EXPECT_EQ(walk.num_table_reads, 4);
+}
+
+TEST_F(EptTest, WalkFaultsOnUnmapped) {
+  auto ept = Ept::Create(mem_, frames_);
+  ASSERT_TRUE(ept.ok());
+  const EptWalk walk = (*ept)->Walk(0x99999000, kEptRead);
+  EXPECT_FALSE(walk.ok);
+  EXPECT_EQ(walk.fault_gpa, 0x99999000u);
+}
+
+TEST_F(EptTest, HugePage1GWalkIsShort) {
+  auto ept = Ept::Create(mem_, frames_);
+  ASSERT_TRUE(ept.ok());
+  ASSERT_TRUE((*ept)->Map(0, 0, sb::kHugePage1G, kEptRwx).ok());
+  const EptWalk walk = (*ept)->Walk(0x12345678, kEptRead);
+  ASSERT_TRUE(walk.ok);
+  EXPECT_EQ(walk.hpa, 0x12345678u);
+  EXPECT_EQ(walk.num_table_reads, 2);  // PML4E + PDPTE(1G leaf).
+  EXPECT_EQ(walk.page_shift, 30);
+}
+
+TEST_F(EptTest, RejectsDoubleMap) {
+  auto ept = Ept::Create(mem_, frames_);
+  ASSERT_TRUE(ept.ok());
+  ASSERT_TRUE((*ept)->Map(0x1000, 0x2000, kPageSize, kEptRwx).ok());
+  EXPECT_FALSE((*ept)->Map(0x1000, 0x3000, kPageSize, kEptRwx).ok());
+}
+
+TEST_F(EptTest, ShallowCopySharesMappings) {
+  auto base = Ept::Create(mem_, frames_);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE((*base)->Map(0, 0, sb::kHugePage1G, kEptRwx).ok());
+  auto copy = (*base)->ShallowCopy();
+  ASSERT_TRUE(copy.ok());
+  const EptWalk walk = (*copy)->Walk(0x777000, kEptRead);
+  ASSERT_TRUE(walk.ok);
+  EXPECT_EQ(walk.hpa, 0x777000u);
+  EXPECT_EQ((*copy)->private_table_pages(), 1u);  // Just the new root.
+}
+
+TEST_F(EptTest, RemapGpaPageSplitsHugePagesAndIsolates) {
+  auto base = Ept::Create(mem_, frames_);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE((*base)->Map(0, 0, sb::kHugePage1G, kEptRwx).ok());
+  auto derived = (*base)->ShallowCopy();
+  ASSERT_TRUE(derived.ok());
+
+  ASSERT_TRUE((*derived)->RemapGpaPage(0x123000, 0x9000000).ok());
+  // The derived EPT translates the remapped page differently...
+  const EptWalk dwalk = (*derived)->Walk(0x123456, kEptRead);
+  ASSERT_TRUE(dwalk.ok);
+  EXPECT_EQ(dwalk.hpa, 0x9000456u);
+  // ...while neighbours and the base EPT are untouched.
+  EXPECT_EQ((*derived)->Walk(0x124000, kEptRead).hpa, 0x124000u);
+  EXPECT_EQ((*base)->Walk(0x123456, kEptRead).hpa, 0x123456u);
+  // Paper Section 4.3: only four pages are modified for the remap.
+  EXPECT_EQ((*derived)->private_table_pages(), 4u);
+}
+
+TEST_F(EptTest, UnmapGpaPageFaults) {
+  auto ept = Ept::Create(mem_, frames_);
+  ASSERT_TRUE(ept.ok());
+  ASSERT_TRUE((*ept)->Map(0, 0, sb::kHugePage1G, kEptRwx).ok());
+  ASSERT_TRUE((*ept)->UnmapGpaPage(0x5000).ok());
+  EXPECT_FALSE((*ept)->Walk(0x5123, kEptRead).ok);
+  EXPECT_TRUE((*ept)->Walk(0x6123, kEptRead).ok);
+}
+
+class PagingTest : public ::testing::Test {
+ protected:
+  PagingTest() : mem_(1 * kGiB), frames_(64 * kMiB, 64 * kMiB) {}
+
+  HostPhysMem mem_;
+  FrameAllocator frames_;
+};
+
+TEST_F(PagingTest, MapAndWalk) {
+  auto as = AddressSpace::Create(mem_, frames_, /*pcid=*/1);
+  ASSERT_TRUE(as.ok());
+  ASSERT_TRUE((*as)->Map(0x400000, 0x800000, kPageSize, PageFlags{}).ok());
+  const GuestWalk walk = (*as)->WalkVa(0x400123);
+  ASSERT_TRUE(walk.ok);
+  EXPECT_EQ(walk.gpa, 0x800123u);
+}
+
+TEST_F(PagingTest, MapAnonymousBacksRange) {
+  auto as = AddressSpace::Create(mem_, frames_, 1);
+  ASSERT_TRUE(as.ok());
+  auto first = (*as)->MapAnonymous(0x600000, 3 * kPageSize, PageFlags{});
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 3; ++i) {
+    const GuestWalk walk = (*as)->WalkVa(0x600000 + static_cast<uint64_t>(i) * kPageSize);
+    ASSERT_TRUE(walk.ok);
+    EXPECT_EQ(walk.gpa, *first + static_cast<uint64_t>(i) * kPageSize);
+  }
+}
+
+TEST_F(PagingTest, UnmapFaults) {
+  auto as = AddressSpace::Create(mem_, frames_, 1);
+  ASSERT_TRUE(as.ok());
+  ASSERT_TRUE((*as)->Map(0x400000, 0x800000, kPageSize, PageFlags{}).ok());
+  ASSERT_TRUE((*as)->Unmap(0x400000).ok());
+  EXPECT_FALSE((*as)->WalkVa(0x400000).ok);
+}
+
+TEST_F(PagingTest, ShareUpperHalf) {
+  auto kernel = AddressSpace::Create(mem_, frames_, 0);
+  ASSERT_TRUE(kernel.ok());
+  const Gva kva = 0xffff800000000000ULL;
+  ASSERT_TRUE(
+      (*kernel)->Map(kva, 0x800000, kPageSize, PageFlags{true, false, true, true}).ok());
+  auto proc = AddressSpace::Create(mem_, frames_, 1);
+  ASSERT_TRUE(proc.ok());
+  ASSERT_TRUE((*proc)->ShareUpperHalf(**kernel).ok());
+  const GuestWalk walk = (*proc)->WalkVa(kva);
+  ASSERT_TRUE(walk.ok);
+  EXPECT_EQ(walk.gpa, 0x800000u);
+}
+
+// ---- The core SkyBridge mechanism, end to end on the hardware model ----
+
+class CoreTranslationTest : public ::testing::Test {
+ protected:
+  CoreTranslationTest()
+      : machine_(MachineConfig{1, 2 * kGiB}),
+        guest_frames_(16 * kMiB, 512 * kMiB),
+        root_frames_(1536 * kMiB, 100 * kMiB) {}
+
+  Machine machine_;
+  FrameAllocator guest_frames_;
+  FrameAllocator root_frames_;
+};
+
+TEST_F(CoreTranslationTest, NativeModeTranslatesThroughGuestPt) {
+  auto as = AddressSpace::Create(machine_.mem(), guest_frames_, 1);
+  ASSERT_TRUE(as.ok());
+  auto frame = guest_frames_.Alloc(machine_.mem());
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE((*as)->Map(0x400000, *frame, kPageSize, PageFlags{}).ok());
+  machine_.mem().WriteU64(*frame + 0x10, 0x1122334455667788ULL);
+
+  Core& core = machine_.core(0);
+  core.WriteCr3((*as)->root_gpa(), 1, false);
+  auto value = core.ReadVirtU64(0x400010);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0x1122334455667788ULL);
+}
+
+TEST_F(CoreTranslationTest, TlbCachesTranslations) {
+  auto as = AddressSpace::Create(machine_.mem(), guest_frames_, 1);
+  ASSERT_TRUE(as.ok());
+  auto frame = guest_frames_.Alloc(machine_.mem());
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE((*as)->Map(0x400000, *frame, kPageSize, PageFlags{}).ok());
+
+  Core& core = machine_.core(0);
+  core.WriteCr3((*as)->root_gpa(), 1, false);
+  ASSERT_TRUE(core.ReadVirtU64(0x400000).ok());
+  const uint64_t misses = core.pmu().dtlb_miss;
+  ASSERT_TRUE(core.ReadVirtU64(0x400008).ok());
+  EXPECT_EQ(core.pmu().dtlb_miss, misses);  // Second access hits the TLB.
+}
+
+TEST_F(CoreTranslationTest, PageFaultOnUnmapped) {
+  auto as = AddressSpace::Create(machine_.mem(), guest_frames_, 1);
+  ASSERT_TRUE(as.ok());
+  Core& core = machine_.core(0);
+  core.WriteCr3((*as)->root_gpa(), 1, false);
+  EXPECT_FALSE(core.ReadVirtU64(0x400000).ok());
+}
+
+TEST_F(CoreTranslationTest, WriteProtectionEnforced) {
+  auto as = AddressSpace::Create(machine_.mem(), guest_frames_, 1);
+  ASSERT_TRUE(as.ok());
+  auto frame = guest_frames_.Alloc(machine_.mem());
+  ASSERT_TRUE(frame.ok());
+  PageFlags ro;
+  ro.writable = false;
+  ASSERT_TRUE((*as)->Map(0x400000, *frame, kPageSize, ro).ok());
+  Core& core = machine_.core(0);
+  core.WriteCr3((*as)->root_gpa(), 1, false);
+  EXPECT_TRUE(core.ReadVirtU64(0x400000).ok());
+  EXPECT_FALSE(core.WriteVirtU64(0x400000, 1).ok());
+}
+
+// The SkyBridge trick: after VMFUNC to an EPT that remaps the GPA of the
+// client's CR3 to the server's page-table root, the same CR3 value translates
+// virtual addresses in the *server's* address space.
+TEST_F(CoreTranslationTest, Cr3RemapSwitchesAddressSpaceViaVmfunc) {
+  HostPhysMem& mem = machine_.mem();
+
+  // Two processes mapping the same VA to different values.
+  auto client_as = AddressSpace::Create(mem, guest_frames_, 1);
+  auto server_as = AddressSpace::Create(mem, guest_frames_, 2);
+  ASSERT_TRUE(client_as.ok());
+  ASSERT_TRUE(server_as.ok());
+  const Gva va = 0x400000;
+  auto cframe = guest_frames_.Alloc(mem);
+  auto sframe = guest_frames_.Alloc(mem);
+  ASSERT_TRUE(cframe.ok());
+  ASSERT_TRUE(sframe.ok());
+  ASSERT_TRUE((*client_as)->Map(va, *cframe, kPageSize, PageFlags{}).ok());
+  ASSERT_TRUE((*server_as)->Map(va, *sframe, kPageSize, PageFlags{}).ok());
+  mem.WriteU64(*cframe, 0xc11e47ULL);
+  mem.WriteU64(*sframe, 0x5e77e7ULL);
+
+  // Rootkernel-style base EPT: identity map with 1G pages.
+  auto base_ept = Ept::Create(mem, root_frames_);
+  ASSERT_TRUE(base_ept.ok());
+  ASSERT_TRUE((*base_ept)->Map(0, 0, sb::kHugePage1G, kEptRwx).ok());
+  ASSERT_TRUE((*base_ept)->Map(kGiB, kGiB, sb::kHugePage1G, kEptRwx).ok());
+
+  // Client EPT: plain copy. Server EPT: copy + CR3 remap.
+  auto client_ept = (*base_ept)->ShallowCopy();
+  auto server_ept = (*base_ept)->ShallowCopy();
+  ASSERT_TRUE(client_ept.ok());
+  ASSERT_TRUE(server_ept.ok());
+  ASSERT_TRUE(
+      (*server_ept)->RemapGpaPage((*client_as)->root_gpa(), (*server_as)->root_gpa()).ok());
+
+  Core& core = machine_.core(0);
+  machine_.SetVmExitHandler([](Core&, const VmExitInfo&) -> uint64_t { return 0; });
+  core.EnterNonRoot(client_ept->get(), /*vpid=*/1);
+  core.vmcs().eptp_list.push_back(server_ept->get());
+  core.WriteCr3((*client_as)->root_gpa(), 1, false);
+
+  // In the client's EPT the VA reads the client's value.
+  auto v1 = core.ReadVirtU64(va);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, 0xc11e47ULL);
+
+  // VMFUNC(0, 1): switch to the server EPT. CR3 is untouched, yet the same
+  // VA now reads the server's value — the page walker fetched the *server's*
+  // page tables through the remapped EPT.
+  ASSERT_TRUE(core.Vmfunc(0, 1).ok());
+  EXPECT_EQ(core.cr3(), (*client_as)->root_gpa());
+  auto v2 = core.ReadVirtU64(va);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 0x5e77e7ULL);
+
+  // And back.
+  ASSERT_TRUE(core.Vmfunc(0, 0).ok());
+  auto v3 = core.ReadVirtU64(va);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(*v3, 0xc11e47ULL);
+
+  // No VM exits were needed for any of this.
+  EXPECT_EQ(machine_.total_vm_exits(), 0u);
+}
+
+TEST_F(CoreTranslationTest, InvalidVmfuncIndexCausesVmExit) {
+  auto base_ept = Ept::Create(machine_.mem(), root_frames_);
+  ASSERT_TRUE(base_ept.ok());
+  ASSERT_TRUE((*base_ept)->Map(0, 0, sb::kHugePage1G, kEptRwx).ok());
+  Core& core = machine_.core(0);
+  int exits = 0;
+  machine_.SetVmExitHandler([&](Core&, const VmExitInfo& info) -> uint64_t {
+    EXPECT_EQ(info.reason, VmExitReason::kVmfuncInvalid);
+    ++exits;
+    return 0;
+  });
+  core.EnterNonRoot(base_ept->get(), 1);
+  EXPECT_FALSE(core.Vmfunc(0, 7).ok());
+  EXPECT_EQ(exits, 1);
+}
+
+TEST_F(CoreTranslationTest, VmfuncChargesDocumentedCost) {
+  auto base_ept = Ept::Create(machine_.mem(), root_frames_);
+  ASSERT_TRUE(base_ept.ok());
+  ASSERT_TRUE((*base_ept)->Map(0, 0, sb::kHugePage1G, kEptRwx).ok());
+  Core& core = machine_.core(0);
+  core.EnterNonRoot(base_ept->get(), 1);
+  const uint64_t before = core.cycles();
+  ASSERT_TRUE(core.Vmfunc(0, 0).ok());
+  EXPECT_EQ(core.cycles() - before, machine_.costs().vmfunc);
+}
+
+TEST_F(CoreTranslationTest, VmfuncOutsideNonRootFails) {
+  Core& core = machine_.core(0);
+  EXPECT_FALSE(core.Vmfunc(0, 0).ok());
+}
+
+TEST_F(CoreTranslationTest, TwoDimensionalWalkChargesEptReads) {
+  auto as = AddressSpace::Create(machine_.mem(), guest_frames_, 1);
+  ASSERT_TRUE(as.ok());
+  auto frame = guest_frames_.Alloc(machine_.mem());
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE((*as)->Map(0x400000, *frame, kPageSize, PageFlags{}).ok());
+
+  auto base_ept = Ept::Create(machine_.mem(), root_frames_);
+  ASSERT_TRUE(base_ept.ok());
+  ASSERT_TRUE((*base_ept)->Map(0, 0, sb::kHugePage1G, kEptRwx).ok());
+
+  Core& core = machine_.core(0);
+  machine_.SetVmExitHandler([](Core&, const VmExitInfo&) -> uint64_t { return 0; });
+  core.EnterNonRoot(base_ept->get(), 1);
+  core.WriteCr3((*as)->root_gpa(), 1, false);
+
+  const uint64_t before = core.pmu().mem_accesses;
+  ASSERT_TRUE(core.ReadVirtU64(0x400000).ok());
+  // 2-D walk with 1G EPT pages: 4 guest levels x (2 EPT reads + 1 PTE read)
+  // + 2 EPT reads for the final GPA + 1 data access = 15.
+  EXPECT_EQ(core.pmu().mem_accesses - before, 15u);
+}
+
+// Paper Section 4.1: "one TLB miss in the 2-level address translation may
+// require at most 24 memory accesses". With 4 KiB EPT pages, our walker hits
+// exactly that bound: 4 guest levels x (4 EPT reads + 1 PTE read) + 4 EPT
+// reads for the final GPA = 24, plus the data access itself.
+TEST_F(CoreTranslationTest, TwoDimensionalWalkWorstCaseIs24Accesses) {
+  auto as = AddressSpace::Create(machine_.mem(), guest_frames_, 1);
+  ASSERT_TRUE(as.ok());
+  auto frame = guest_frames_.Alloc(machine_.mem());
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE((*as)->Map(0x400000, *frame, kPageSize, PageFlags{}).ok());
+
+  // Build a 4 KiB-page EPT covering the guest range (no huge pages).
+  auto ept = Ept::Create(machine_.mem(), root_frames_);
+  ASSERT_TRUE(ept.ok());
+  auto map_page = [&](Gpa gpa) {
+    ASSERT_TRUE((*ept)->Map(sb::PageDown(gpa), sb::PageDown(gpa), kPageSize, kEptRwx).ok());
+  };
+  // Map the pages the walk will touch: the four guest table pages + target.
+  const GuestWalk walk = (*as)->WalkVa(0x400000);
+  ASSERT_TRUE(walk.ok);
+  Gpa table = (*as)->root_gpa();
+  map_page(table);
+  for (int level = 4; level > 1; --level) {
+    const int index = static_cast<int>((0x400000ull >> (12 + 9 * (level - 1))) & 0x1ff);
+    const uint64_t entry = machine_.mem().ReadU64(table + static_cast<uint64_t>(index) * 8);
+    table = entry & kPteFrameMask;
+    map_page(table);
+  }
+  map_page(*frame);
+
+  Core& core = machine_.core(0);
+  machine_.SetVmExitHandler([](Core&, const VmExitInfo&) -> uint64_t { return 0; });
+  core.EnterNonRoot(ept->get(), 1);
+  core.WriteCr3((*as)->root_gpa(), 1, false);
+
+  const uint64_t before = core.pmu().mem_accesses;
+  ASSERT_TRUE(core.ReadVirtU64(0x400000).ok());
+  // 24 walk accesses + 1 data access.
+  EXPECT_EQ(core.pmu().mem_accesses - before, 25u);
+}
+
+// Table 2: VMFUNC with VPID enabled does not flush the TLB — translations
+// cached under each EPTP survive round trips through the other.
+TEST_F(CoreTranslationTest, VmfuncDoesNotFlushTlb) {
+  HostPhysMem& mem = machine_.mem();
+  auto client_as = AddressSpace::Create(mem, guest_frames_, 1);
+  auto server_as = AddressSpace::Create(mem, guest_frames_, 2);
+  ASSERT_TRUE(client_as.ok());
+  ASSERT_TRUE(server_as.ok());
+  const Gva va = 0x400000;
+  auto cframe = guest_frames_.Alloc(mem);
+  auto sframe = guest_frames_.Alloc(mem);
+  ASSERT_TRUE((*client_as)->Map(va, *cframe, kPageSize, PageFlags{}).ok());
+  ASSERT_TRUE((*server_as)->Map(va, *sframe, kPageSize, PageFlags{}).ok());
+
+  auto base_ept = Ept::Create(mem, root_frames_);
+  ASSERT_TRUE(base_ept.ok());
+  ASSERT_TRUE((*base_ept)->Map(0, 0, sb::kHugePage1G, kEptRwx).ok());
+  auto client_ept = (*base_ept)->ShallowCopy();
+  auto server_ept = (*base_ept)->ShallowCopy();
+  ASSERT_TRUE(
+      (*server_ept)->RemapGpaPage((*client_as)->root_gpa(), (*server_as)->root_gpa()).ok());
+
+  Core& core = machine_.core(0);
+  machine_.SetVmExitHandler([](Core&, const VmExitInfo&) -> uint64_t { return 0; });
+  core.EnterNonRoot(client_ept->get(), 1);
+  core.vmcs().eptp_list.push_back(server_ept->get());
+  core.WriteCr3((*client_as)->root_gpa(), 1, false);
+
+  // Warm both views.
+  ASSERT_TRUE(core.ReadVirtU64(va).ok());
+  ASSERT_TRUE(core.Vmfunc(0, 1).ok());
+  ASSERT_TRUE(core.ReadVirtU64(va).ok());
+  ASSERT_TRUE(core.Vmfunc(0, 0).ok());
+
+  // Now both translations hit: a full round trip adds no TLB misses.
+  const uint64_t misses = core.pmu().dtlb_miss;
+  ASSERT_TRUE(core.ReadVirtU64(va).ok());
+  ASSERT_TRUE(core.Vmfunc(0, 1).ok());
+  ASSERT_TRUE(core.ReadVirtU64(va).ok());
+  ASSERT_TRUE(core.Vmfunc(0, 0).ok());
+  ASSERT_TRUE(core.ReadVirtU64(va).ok());
+  EXPECT_EQ(core.pmu().dtlb_miss, misses);
+}
+
+TEST(Machine, IpiCountsPerCore) {
+  Machine machine(MachineConfig{4, 1 * kGiB});
+  machine.SendIpi(0, 2);
+  machine.SendIpi(0, 3);
+  EXPECT_EQ(machine.total_ipis(), 2u);
+  EXPECT_EQ(machine.core(0).pmu().ipis_sent, 2u);
+}
+
+TEST(Machine, VmcallDispatchesToHandler) {
+  Machine machine(MachineConfig{1, 1 * kGiB});
+  machine.SetVmExitHandler([](Core&, const VmExitInfo& info) -> uint64_t {
+    EXPECT_EQ(info.reason, VmExitReason::kVmcall);
+    return info.qualification + info.arg1;
+  });
+  EXPECT_EQ(machine.core(0).Vmcall(40, 2), 42u);
+  EXPECT_EQ(machine.total_vm_exits(), 1u);
+}
+
+}  // namespace
+}  // namespace hw

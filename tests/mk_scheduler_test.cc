@@ -1,0 +1,117 @@
+// Scheduler tests: priorities, round-robin fairness, direct-process-switch
+// accounting.
+
+#include "src/mk/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/logging.h"
+#include "src/mk/kernel.h"
+
+namespace mk {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() {
+    hw::MachineConfig mc;
+    mc.num_cores = 2;
+    mc.ram_bytes = 2ULL << 30;
+    machine_ = std::make_unique<hw::Machine>(mc);
+    KernelOptions options;
+    options.boot_rootkernel = false;
+    kernel_ = std::make_unique<Kernel>(*machine_, Sel4Profile(), options);
+    SB_CHECK(kernel_->Boot().ok());
+    scheduler_ = std::make_unique<Scheduler>(kernel_.get(), 0);
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+TEST_F(SchedulerTest, EmptyQueueIsNotFound) {
+  EXPECT_EQ(scheduler_->Schedule().status().code(), sb::ErrorCode::kNotFound);
+}
+
+TEST_F(SchedulerTest, HigherPriorityWins) {
+  auto* p = kernel_->CreateProcess("p").value();
+  Thread* low = p->AddThread(0);
+  Thread* high = p->AddThread(0);
+  ASSERT_TRUE(scheduler_->Enqueue(low, 3).ok());
+  ASSERT_TRUE(scheduler_->Enqueue(high, 0).ok());
+  auto next = scheduler_->Schedule();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, high);
+}
+
+TEST_F(SchedulerTest, RoundRobinWithinPriority) {
+  auto* p = kernel_->CreateProcess("p").value();
+  Thread* a = p->AddThread(0);
+  Thread* b = p->AddThread(0);
+  Thread* c = p->AddThread(0);
+  ASSERT_TRUE(scheduler_->Enqueue(a, 1).ok());
+  ASSERT_TRUE(scheduler_->Enqueue(b, 1).ok());
+  ASSERT_TRUE(scheduler_->Enqueue(c, 1).ok());
+  EXPECT_EQ(*scheduler_->Schedule(), a);
+  EXPECT_EQ(*scheduler_->Schedule(), b);
+  EXPECT_EQ(*scheduler_->Schedule(), c);
+  EXPECT_EQ(*scheduler_->Schedule(), a);  // Wraps around.
+}
+
+TEST_F(SchedulerTest, DoubleEnqueueRejected) {
+  auto* p = kernel_->CreateProcess("p").value();
+  Thread* t = p->AddThread(0);
+  ASSERT_TRUE(scheduler_->Enqueue(t, 1).ok());
+  EXPECT_EQ(scheduler_->Enqueue(t, 2).code(), sb::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(SchedulerTest, DequeueRemovesBlockedThread) {
+  auto* p = kernel_->CreateProcess("p").value();
+  Thread* a = p->AddThread(0);
+  Thread* b = p->AddThread(0);
+  ASSERT_TRUE(scheduler_->Enqueue(a, 1).ok());
+  ASSERT_TRUE(scheduler_->Enqueue(b, 1).ok());
+  scheduler_->Dequeue(a);
+  EXPECT_FALSE(scheduler_->IsQueued(a));
+  EXPECT_EQ(scheduler_->ready_count(), 1u);
+  EXPECT_EQ(*scheduler_->Schedule(), b);
+}
+
+TEST_F(SchedulerTest, ContextSwitchesOnlyAcrossProcesses) {
+  auto* p1 = kernel_->CreateProcess("p1").value();
+  auto* p2 = kernel_->CreateProcess("p2").value();
+  Thread* a = p1->AddThread(0);
+  Thread* b = p1->AddThread(0);
+  Thread* c = p2->AddThread(0);
+  ASSERT_TRUE(scheduler_->Enqueue(a, 1).ok());
+  ASSERT_TRUE(scheduler_->Enqueue(b, 1).ok());
+  ASSERT_TRUE(scheduler_->Enqueue(c, 1).ok());
+
+  ASSERT_TRUE(scheduler_->Schedule().ok());  // a: switch to p1
+  const uint64_t switches_after_first = scheduler_->process_switches();
+  ASSERT_TRUE(scheduler_->Schedule().ok());  // b: same process, no switch
+  EXPECT_EQ(scheduler_->process_switches(), switches_after_first);
+  ASSERT_TRUE(scheduler_->Schedule().ok());  // c: switch to p2
+  EXPECT_EQ(scheduler_->process_switches(), switches_after_first + 1);
+  EXPECT_EQ(kernel_->current_process(0), p2);
+}
+
+TEST_F(SchedulerTest, DispatchChargesCycles) {
+  auto* p = kernel_->CreateProcess("p").value();
+  Thread* t = p->AddThread(0);
+  ASSERT_TRUE(scheduler_->Enqueue(t, 0).ok());
+  const uint64_t before = machine_->core(0).cycles();
+  ASSERT_TRUE(scheduler_->Schedule().ok());
+  EXPECT_GT(machine_->core(0).cycles(), before);
+}
+
+TEST_F(SchedulerTest, BadPriorityRejected) {
+  auto* p = kernel_->CreateProcess("p").value();
+  Thread* t = p->AddThread(0);
+  EXPECT_EQ(scheduler_->Enqueue(t, -1).code(), sb::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(scheduler_->Enqueue(t, kNumPriorities).code(), sb::ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mk

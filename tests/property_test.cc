@@ -1,0 +1,231 @@
+// Cross-module property tests: decoder fuzzing, EPT remaps against a
+// reference map, file-system operations against a reference model (with a
+// remount in the middle), and executor determinism.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/fs/block_device.h"
+#include "src/fs/xv6fs.h"
+#include "src/hw/ept.h"
+#include "src/hw/machine.h"
+#include "src/sim/executor.h"
+#include "src/x86/decoder.h"
+
+namespace {
+
+using sb::kGiB;
+using sb::kMiB;
+using sb::kPageSize;
+
+// ---- Decoder fuzz: arbitrary bytes never crash, lengths stay sane ----
+
+class DecoderFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecoderFuzzTest, RandomBytesDecodeSafely) {
+  sb::Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  std::vector<uint8_t> bytes(4096);
+  for (auto& b : bytes) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    const x86::Insn insn = x86::Decode(bytes, pos);
+    ASSERT_GE(insn.length, 1);
+    ASSERT_LE(insn.length, 15);
+    if (insn.valid) {
+      // Field offsets stay inside the instruction.
+      if (insn.has_modrm) {
+        ASSERT_LT(insn.modrm_off, insn.length);
+      }
+      if (insn.disp_len > 0) {
+        ASSERT_LE(insn.disp_off + insn.disp_len, insn.length);
+      }
+      if (insn.imm_len > 0) {
+        ASSERT_LE(insn.imm_off + insn.imm_len, insn.length);
+      }
+    }
+    pos += insn.length;
+  }
+  // The sweep exactly tiles the buffer.
+  const std::vector<size_t> starts = x86::LinearSweep(bytes);
+  ASSERT_FALSE(starts.empty());
+  EXPECT_EQ(starts.front(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzzTest, ::testing::Range(0, 16));
+
+// ---- EPT: random remaps behave like a reference map ----
+
+class EptPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EptPropertyTest, RandomRemapsMatchReference) {
+  hw::HostPhysMem mem(2 * kGiB);
+  hw::FrameAllocator frames(1 * kGiB, 256 * kMiB);
+  auto base = hw::Ept::Create(mem, frames);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE((*base)->Map(0, 0, sb::kHugePage1G, hw::kEptRwx).ok());
+
+  auto derived = (*base)->ShallowCopy();
+  ASSERT_TRUE(derived.ok());
+
+  sb::Rng rng(static_cast<uint64_t>(GetParam()) * 1337 + 3);
+  std::map<hw::Gpa, hw::Hpa> reference;
+  for (int i = 0; i < 64; ++i) {
+    const hw::Gpa gpa = rng.Below(1ULL << 18) * kPageSize;  // Within the 1G region.
+    const hw::Hpa target = (rng.Below(1ULL << 18)) * kPageSize;
+    ASSERT_TRUE((*derived)->RemapGpaPage(gpa, target).ok());
+    reference[gpa] = target;
+  }
+  // Remapped pages translate to their targets; everything else is identity.
+  for (const auto& [gpa, target] : reference) {
+    const hw::EptWalk walk = (*derived)->Walk(gpa + 0x123, hw::kEptRead);
+    ASSERT_TRUE(walk.ok);
+    EXPECT_EQ(walk.hpa, target + 0x123);
+    // The base EPT is untouched.
+    EXPECT_EQ((*base)->Walk(gpa + 0x123, hw::kEptRead).hpa, gpa + 0x123);
+  }
+  for (int i = 0; i < 64; ++i) {
+    const hw::Gpa gpa = rng.Below(1ULL << 18) * kPageSize;
+    if (!reference.contains(gpa)) {
+      EXPECT_EQ((*derived)->Walk(gpa, hw::kEptRead).hpa, gpa);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EptPropertyTest, ::testing::Range(0, 8));
+
+// ---- File system vs a reference model, with a remount mid-way ----
+
+fsys::BlockTransport DiskTransport(fsys::RamDisk* disk) {
+  return [disk](const mk::Message& msg) -> sb::StatusOr<mk::Message> {
+    uint32_t block = 0;
+    std::memcpy(&block, msg.data.data(), 4);
+    if (msg.tag == fsys::kBlockRead) {
+      mk::Message reply(1);
+      reply.data.resize(fsys::kBlockSize);
+      SB_RETURN_IF_ERROR(disk->Read(nullptr, block, reply.data));
+      return reply;
+    }
+    SB_RETURN_IF_ERROR(disk->Write(
+        nullptr, block, std::span<const uint8_t>(msg.data.data() + 4, fsys::kBlockSize)));
+    return mk::Message(1);
+  };
+}
+
+class FsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FsPropertyTest, RandomOpsMatchReferenceModel) {
+  fsys::RamDisk disk(8192);
+  auto fs = std::make_unique<fsys::Xv6Fs>(DiskTransport(&disk));
+  ASSERT_TRUE(fs->Mkfs().ok());
+  ASSERT_TRUE(fs->Mount().ok());
+
+  sb::Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 11);
+  std::map<std::string, std::string> reference;  // path -> contents
+  auto random_path = [&] { return "/f" + std::to_string(rng.Below(12)); };
+
+  for (int step = 0; step < 250; ++step) {
+    if (step == 125) {
+      // Remount mid-run: everything must persist.
+      fs = std::make_unique<fsys::Xv6Fs>(DiskTransport(&disk));
+      ASSERT_TRUE(fs->Mount().ok());
+    }
+    const std::string path = random_path();
+    switch (rng.Below(4)) {
+      case 0: {  // Create
+        const bool existed = reference.contains(path);
+        const bool created = fs->Create(path).ok();
+        EXPECT_EQ(created, !existed) << path;
+        if (created) {
+          reference[path] = "";
+        }
+        break;
+      }
+      case 1: {  // Write (append-style at a random offset within size+1K)
+        if (!reference.contains(path)) {
+          break;
+        }
+        auto inum = fs->Lookup(path);
+        ASSERT_TRUE(inum.ok());
+        std::string& contents = reference[path];
+        const uint32_t offset = static_cast<uint32_t>(rng.Below(contents.size() + 512));
+        const size_t len = 1 + rng.Below(700);
+        std::string data(len, static_cast<char>('a' + rng.Below(26)));
+        ASSERT_TRUE(fs->WriteFile(*inum, offset,
+                                  std::span<const uint8_t>(
+                                      reinterpret_cast<const uint8_t*>(data.data()), len))
+                        .ok());
+        if (contents.size() < offset + len) {
+          contents.resize(offset + len, '\0');
+        }
+        contents.replace(offset, len, data);
+        break;
+      }
+      case 2: {  // Read-verify the whole file
+        if (!reference.contains(path)) {
+          EXPECT_FALSE(fs->Lookup(path).ok());
+          break;
+        }
+        auto inum = fs->Lookup(path);
+        ASSERT_TRUE(inum.ok());
+        const std::string& contents = reference[path];
+        EXPECT_EQ(*fs->FileSize(*inum), contents.size());
+        std::vector<uint8_t> out(contents.size());
+        if (!contents.empty()) {
+          ASSERT_TRUE(fs->ReadFile(*inum, 0, out).ok());
+          EXPECT_EQ(std::string(out.begin(), out.end()), contents) << path;
+        }
+        break;
+      }
+      case 3: {  // Unlink
+        const bool existed = reference.contains(path);
+        EXPECT_EQ(fs->Unlink(path).ok(), existed) << path;
+        reference.erase(path);
+        break;
+      }
+    }
+  }
+  // Final directory listing matches the reference exactly, and the on-disk
+  // structures pass the consistency check.
+  auto names = fs->ListDir("/");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), reference.size());
+  const sb::Status fsck = fs->Fsck();
+  EXPECT_TRUE(fsck.ok()) << fsck.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsPropertyTest, ::testing::Range(0, 8));
+
+// ---- Executor determinism ----
+
+TEST(ExecutorProperty, RunsAreDeterministic) {
+  auto run_once = [] {
+    hw::MachineConfig mc;
+    mc.num_cores = 4;
+    mc.ram_bytes = 1 * kGiB;
+    hw::Machine machine(mc);
+    sim::Executor exec(machine);
+    sim::FifoResource lock;
+    sb::Rng rng(42);
+    for (int t = 0; t < 4; ++t) {
+      const uint64_t step = 500 + rng.Below(1000);
+      exec.AddThread("t" + std::to_string(t), t, [&lock, step](sim::SimThread& thread) {
+        const uint64_t start = lock.Acquire(thread.core().cycles());
+        thread.core().SyncClockTo(start + step);
+        lock.Release(thread.core().cycles());
+        return thread.iterations() < 19;
+      });
+    }
+    exec.RunToCompletion();
+    return exec.max_time();
+  };
+  const uint64_t a = run_once();
+  const uint64_t b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,291 @@
+// Security-focused SkyBridge tests (paper Sections 4.4, 5, 7 and 9):
+// malicious EPT switching, the trampoline as the only gate, W^X dynamic code
+// rescanning, and isolation under the KPTI (Meltdown-mitigated) profile.
+
+#include <gtest/gtest.h>
+
+#include "src/skybridge/guest_exec.h"
+#include "src/skybridge/skybridge.h"
+#include "src/skybridge/trampoline.h"
+#include "src/x86/assembler.h"
+#include "src/x86/decoder.h"
+#include "src/x86/scanner.h"
+
+namespace skybridge {
+namespace {
+
+using mk::CallEnv;
+using mk::Message;
+using sb::kGiB;
+
+class SecurityTest : public ::testing::Test {
+ protected:
+  void Boot(mk::KernelProfile profile = mk::Sel4Profile()) {
+    sky_.reset();
+    kernel_.reset();
+    machine_.reset();
+    hw::MachineConfig mc;
+    mc.num_cores = 4;
+    mc.ram_bytes = 4 * kGiB;
+    machine_ = std::make_unique<hw::Machine>(mc);
+    kernel_ = std::make_unique<mk::Kernel>(*machine_, std::move(profile));
+    ASSERT_TRUE(kernel_->Boot().ok());
+    sky_ = std::make_unique<SkyBridge>(*kernel_);
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<mk::Kernel> kernel_;
+  std::unique_ptr<SkyBridge> sky_;
+};
+
+TEST_F(SecurityTest, TrampolineIsTheOnlyVmfuncGate) {
+  Boot();
+  // The trampoline page intentionally carries exactly two VMFUNC gates...
+  const TrampolineLayout trampoline = BuildTrampoline();
+  const auto hits = x86::ScanForVmfunc(trampoline.code);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].overlap, x86::VmfuncOverlap::kIsVmfunc);
+  EXPECT_EQ(hits[1].overlap, x86::VmfuncOverlap::kIsVmfunc);
+  EXPECT_EQ(hits[0].pattern_off, trampoline.call_gate_offset);
+  EXPECT_EQ(hits[1].pattern_off, trampoline.return_gate_offset);
+
+  // ...and every registered process's own code is pattern-free, so after
+  // rewriting the trampoline really is the only entry point.
+  auto* server = kernel_->CreateProcess("server").value();
+  x86::Assembler evil;
+  evil.MovRI32(x86::Reg::kRcx, 1);
+  evil.MovRI32(x86::Reg::kRax, 0);
+  evil.Vmfunc();  // Self-prepared gate.
+  evil.Ret();
+  auto* client = kernel_->CreateProcessWithImage("evil", evil.Take()).value();
+  const ServerId sid =
+      sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
+  ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  EXPECT_TRUE(x86::ScanForVmfunc(client->code_image()).empty());
+}
+
+TEST_F(SecurityTest, MaliciousEptpIndexCausesVmExitAndNoSwitch) {
+  Boot();
+  auto* server = kernel_->CreateProcess("server").value();
+  auto* client = kernel_->CreateProcess("client").value();
+  const ServerId sid =
+      sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
+  ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+
+  // A malicious process that somehow executes VMFUNC with an out-of-range
+  // index: the hardware exits to the Rootkernel and no switch happens.
+  hw::Core& core = machine_->core(0);
+  const size_t before_index = core.vmcs().active_index;
+  kernel_->rootkernel()->ResetExitCounters();
+  EXPECT_FALSE(core.Vmfunc(0, 100).ok());
+  EXPECT_EQ(core.vmcs().active_index, before_index);
+  EXPECT_EQ(machine_->total_vm_exits(), 1u);
+}
+
+TEST_F(SecurityTest, VmfuncWithinListButUnregisteredServerStillRejected) {
+  // A client registered to server A cannot reach server B: its EPTP list
+  // simply has no binding EPT for B, and the library rejects the call.
+  Boot();
+  auto* server_a = kernel_->CreateProcess("a").value();
+  auto* server_b = kernel_->CreateProcess("b").value();
+  const ServerId sid_a =
+      sky_->RegisterServer(server_a, 4, [](CallEnv&) { return Message(0xa); }).value();
+  const ServerId sid_b =
+      sky_->RegisterServer(server_b, 4, [](CallEnv&) { return Message(0xb); }).value();
+  auto* client = kernel_->CreateProcess("client").value();
+  ASSERT_TRUE(sky_->RegisterClient(client, sid_a).ok());
+  mk::Thread* t = client->AddThread(0);
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+
+  EXPECT_TRUE(sky_->DirectServerCall(t, sid_a, Message(0)).ok());
+  EXPECT_EQ(sky_->DirectServerCall(t, sid_b, Message(0)).status().code(),
+            sb::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SecurityTest, WxDynamicCodeRescanOnUpdate) {
+  // Paper Section 9: JIT / live update. New code pages must be rescanned
+  // when remapped executable; a freshly planted VMFUNC is rewritten away
+  // and the process keeps working.
+  Boot();
+  auto* server = kernel_->CreateProcess("server").value();
+  auto* client = kernel_->CreateProcess("client").value();
+  const ServerId sid =
+      sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
+  ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  mk::Thread* t = client->AddThread(0);
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+  ASSERT_TRUE(sky_->DirectServerCall(t, sid, Message(1)).ok());
+  const uint64_t rewrites_before = sky_->stats().rewritten_vmfuncs;
+
+  // The "JIT" emits new code containing a gate and an embedded pattern.
+  x86::Assembler jit;
+  jit.MovRI64(x86::Reg::kRax, 7);
+  jit.Vmfunc();
+  jit.OrRI(x86::Reg::kRbx, 0x00d4010f);
+  jit.Ret();
+  ASSERT_TRUE(sky_->UpdateProcessCode(client, jit.Take()).ok());
+
+  EXPECT_TRUE(x86::FindVmfuncBytes(client->code_image()).empty());
+  EXPECT_GE(sky_->stats().rewritten_vmfuncs, rewrites_before + 2);
+  // The rewrite page was (re)generated and the bindings still work.
+  EXPECT_TRUE(client->address_space().WalkVa(mk::kRewritePageVa).ok);
+  EXPECT_TRUE(sky_->DirectServerCall(t, sid, Message(2)).ok());
+}
+
+TEST_F(SecurityTest, RepeatedCodeUpdatesConverge) {
+  Boot();
+  auto* server = kernel_->CreateProcess("server").value();
+  auto* client = kernel_->CreateProcess("client").value();
+  const ServerId sid =
+      sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
+  ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  for (int round = 0; round < 5; ++round) {
+    x86::Assembler jit;
+    jit.MovRI64(x86::Reg::kRax, static_cast<uint64_t>(round));
+    if (round % 2 == 0) {
+      jit.Vmfunc();
+    }
+    jit.AddRI(x86::Reg::kRbx, 0x00d4010f);
+    jit.Ret();
+    ASSERT_TRUE(sky_->UpdateProcessCode(client, jit.Take()).ok()) << round;
+    EXPECT_TRUE(x86::FindVmfuncBytes(client->code_image()).empty()) << round;
+  }
+}
+
+TEST_F(SecurityTest, IsolationHoldsUnderKpti) {
+  // Meltdown-mitigated profile: SkyBridge still works and processes stay in
+  // separate page tables (the paper's Meltdown defence argument).
+  mk::KernelProfile profile = mk::Sel4Profile();
+  profile.kpti = true;
+  Boot(profile);
+  auto* server = kernel_->CreateProcess("server").value();
+  auto* client = kernel_->CreateProcess("client").value();
+  const ServerId sid = sky_->RegisterServer(server, 4, [](CallEnv& env) {
+                             SB_CHECK(env.core.WriteVirtU64(mk::kHeapVa + 8, 0x5ec3e7).ok());
+                             return env.request;
+                           }).value();
+  ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  mk::Thread* t = client->AddThread(0);
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+  ASSERT_TRUE(sky_->DirectServerCall(t, sid, Message(0)).ok());
+
+  // The secret the server wrote is not visible through the client's tables.
+  hw::Core& core = machine_->core(0);
+  auto leaked = core.ReadVirtU64(mk::kHeapVa + 8);
+  ASSERT_TRUE(leaked.ok());
+  EXPECT_NE(*leaked, 0x5ec3e7u);
+  EXPECT_NE(client->cr3(), server->cr3());
+}
+
+TEST_F(SecurityTest, CallingKeysDifferPerBinding) {
+  // Two clients of the same server get distinct random keys: leaking one
+  // key only exposes the leaker's slot (Section 4.4).
+  Boot();
+  auto* server = kernel_->CreateProcess("server").value();
+  const ServerId sid =
+      sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
+  auto* c1 = kernel_->CreateProcess("c1").value();
+  auto* c2 = kernel_->CreateProcess("c2").value();
+  ASSERT_TRUE(sky_->RegisterClient(c1, sid).ok());
+  ASSERT_TRUE(sky_->RegisterClient(c2, sid).ok());
+
+  // Read both key slots from the server's table.
+  const hw::GuestWalk table = server->address_space().WalkVa(mk::kCallingKeyTableVa);
+  ASSERT_TRUE(table.ok);
+  const uint64_t key1 = machine_->mem().ReadU64(table.gpa);
+  const uint64_t key2 = machine_->mem().ReadU64(table.gpa + 16);
+  EXPECT_NE(key1, 0u);
+  EXPECT_NE(key2, 0u);
+  EXPECT_NE(key1, key2);
+}
+
+TEST_F(SecurityTest, RefusingToUseSkyBridgeOnlyHurtsYourself) {
+  // Section 7: a process that never registers simply cannot reach servers;
+  // other processes are unaffected.
+  Boot();
+  auto* server = kernel_->CreateProcess("server").value();
+  const ServerId sid =
+      sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
+  auto* good = kernel_->CreateProcess("good").value();
+  auto* refusenik = kernel_->CreateProcess("refusenik").value();
+  ASSERT_TRUE(sky_->RegisterClient(good, sid).ok());
+  mk::Thread* tg = good->AddThread(0);
+  mk::Thread* tr = refusenik->AddThread(1);
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), good).ok());
+
+  EXPECT_FALSE(sky_->DirectServerCall(tr, sid, Message(0)).ok());
+  EXPECT_TRUE(sky_->DirectServerCall(tg, sid, Message(0)).ok());
+}
+
+TEST_F(SecurityTest, LiteralTrampolineBytesExecuteTheSwitch) {
+  // The deepest fidelity check in the repo: execute the *actual trampoline
+  // code page* instruction by instruction through the simulated MMU, and
+  // watch the VMFUNC inside it switch the translation context to the server
+  // and back.
+  Boot();
+  auto* server = kernel_->CreateProcess("server").value();
+  auto* client = kernel_->CreateProcess("client").value();
+  const ServerId sid =
+      sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
+  ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+  hw::Core& core = machine_->core(0);
+  core.SetMode(hw::CpuMode::kUser);
+
+  // Set up guest registers like the user-level stub would: stack in the
+  // client, EPTP index of the binding in rcx (slot 1: own EPT is slot 0),
+  // sentinel return address on the stack.
+  GuestRegs regs;
+  regs.rip = mk::kTrampolineVa;
+  regs.reg(x86::Reg::kRsp) = mk::kStackTopVa - 64;
+  regs.reg(x86::Reg::kRcx) = 1;
+  regs.reg(x86::Reg::kRsp) -= 8;
+  ASSERT_TRUE(core.WriteVirtU64(regs.reg(x86::Reg::kRsp), kGuestReturnSentinel).ok());
+
+  GuestExecutor exec(&core);
+  kernel_->rootkernel()->ResetExitCounters();  // Count steady-state exits only.
+  const uint64_t vmfuncs_before = core.pmu().vmfuncs;
+  bool saw_server_view = false;
+  bool done = false;
+  int steps = 0;
+  while (!done && steps < 200) {
+    auto status = exec.Step(regs, &done);
+    ASSERT_TRUE(status.ok()) << status.ToString() << " at step " << steps;
+    ++steps;
+    if (!done) {
+      auto identity = kernel_->CurrentIdentity(core);
+      ASSERT_TRUE(identity.ok());
+      if (*identity == server->pid()) {
+        saw_server_view = true;  // The call gate fired: we are "in" the server.
+      }
+    }
+  }
+  ASSERT_TRUE(done) << "trampoline did not return";
+  EXPECT_TRUE(saw_server_view);
+  // Two VMFUNCs executed (call gate + return gate)...
+  EXPECT_EQ(core.pmu().vmfuncs - vmfuncs_before, 2u);
+  // ...and we ended back in the client's view with the stack balanced.
+  EXPECT_EQ(*kernel_->CurrentIdentity(core), client->pid());
+  EXPECT_EQ(regs.reg(x86::Reg::kRsp), mk::kStackTopVa - 64);
+  EXPECT_EQ(machine_->total_vm_exits(), 0u);
+}
+
+TEST_F(SecurityTest, GuestExecutorRefusesUnknownInstructions) {
+  Boot();
+  auto* proc = kernel_->CreateProcess("p").value();
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), proc).ok());
+  hw::Core& core = machine_->core(0);
+  GuestRegs regs;
+  regs.rip = mk::kCodeVa;  // The default image starts with push rbp / mov...
+  regs.reg(x86::Reg::kRsp) = mk::kStackTopVa - 64;
+  GuestExecutor exec(&core);
+  bool done = false;
+  // push rbp — fine.
+  EXPECT_TRUE(exec.Step(regs, &done).ok());
+  // mov rbp, rsp — fine.
+  EXPECT_TRUE(exec.Step(regs, &done).ok());
+}
+
+}  // namespace
+}  // namespace skybridge

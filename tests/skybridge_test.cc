@@ -1,0 +1,351 @@
+// SkyBridge integration tests: registration, the 396-cycle direct call, the
+// address-space switch, long IPC, and the Section 4.4 / Section 7 security
+// properties.
+
+#include "src/skybridge/skybridge.h"
+
+#include <gtest/gtest.h>
+
+#include "src/x86/assembler.h"
+#include "src/x86/scanner.h"
+
+namespace skybridge {
+namespace {
+
+using mk::CallEnv;
+using mk::Handler;
+using mk::Message;
+using sb::kGiB;
+
+hw::MachineConfig TestMachine() {
+  hw::MachineConfig config;
+  config.num_cores = 4;
+  config.ram_bytes = 4 * kGiB;
+  return config;
+}
+
+class SkyBridgeTest : public ::testing::Test {
+ protected:
+  void Boot(mk::KernelProfile profile = mk::Sel4Profile(), SkyBridgeConfig config = {}) {
+    sky_.reset();      // Tear down in dependency order before re-booting.
+    kernel_.reset();
+    machine_.reset();
+    machine_ = std::make_unique<hw::Machine>(TestMachine());
+    kernel_ = std::make_unique<mk::Kernel>(*machine_, std::move(profile));
+    ASSERT_TRUE(kernel_->Boot().ok());
+    sky_ = std::make_unique<SkyBridge>(*kernel_, config);
+  }
+
+  struct Pair {
+    mk::Process* client;
+    mk::Process* server;
+    mk::Thread* thread;
+    ServerId sid;
+  };
+
+  Pair MakePair(Handler handler, int connections = 8) {
+    Pair p;
+    p.client = kernel_->CreateProcess("client").value();
+    p.server = kernel_->CreateProcess("server").value();
+    p.sid = sky_->RegisterServer(p.server, connections, std::move(handler)).value();
+    SB_CHECK(sky_->RegisterClient(p.client, p.sid).ok());
+    p.thread = p.client->AddThread(0);
+    SB_CHECK(kernel_->ContextSwitchTo(machine_->core(0), p.client).ok());
+    return p;
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<mk::Kernel> kernel_;
+  std::unique_ptr<SkyBridge> sky_;
+};
+
+Handler EchoHandler() {
+  return [](CallEnv& env) { return env.request; };
+}
+
+TEST_F(SkyBridgeTest, DirectCallRoundTrip) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(42));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, 42u);
+  EXPECT_EQ(sky_->stats().direct_calls, 1u);
+}
+
+TEST_F(SkyBridgeTest, WarmRoundtripNear396) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  }
+  hw::Core& core = machine_->core(0);
+  const uint64_t start = core.cycles();
+  mk::CostBreakdown bd;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0), &bd).ok());
+  }
+  const uint64_t rt = (core.cycles() - start) / 100;
+  EXPECT_GE(rt, 396u);
+  EXPECT_LE(rt, 500u);  // 396 + warm key-table/trampoline traffic.
+  EXPECT_EQ(bd.vmfunc / 100, 2 * machine_->costs().vmfunc);
+  EXPECT_EQ(bd.syscall_sysret, 0u);   // No kernel involvement.
+  EXPECT_EQ(bd.context_switch, 0u);   // No CR3 write.
+  EXPECT_EQ(bd.ipi, 0u);
+}
+
+TEST_F(SkyBridgeTest, NoVmExitsInSteadyState) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  kernel_->rootkernel()->ResetExitCounters();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  }
+  EXPECT_EQ(kernel_->rootkernel()->exits_total(), 0u);
+  EXPECT_EQ(machine_->total_vm_exits(), 0u);
+}
+
+TEST_F(SkyBridgeTest, HandlerRunsInServerAddressSpaceWithClientCr3) {
+  Boot();
+  uint64_t observed_cr3 = 0;
+  uint64_t observed_identity = 0;
+  Handler handler = [&](CallEnv& env) {
+    observed_cr3 = env.core.cr3();
+    observed_identity = *env.kernel.CurrentIdentity(env.core);
+    SB_CHECK(env.core.WriteVirtU64(mk::kHeapVa + 0x200, 0xabcdULL).ok());
+    return Message(0);
+  };
+  Pair p = MakePair(handler);
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+
+  // The hardware CR3 still held the *client's* root during the handler...
+  EXPECT_EQ(observed_cr3, p.client->cr3());
+  // ...but the identity page (and thus the kernel's view) said "server".
+  EXPECT_EQ(observed_identity, p.server->pid());
+
+  // The handler's write landed in the server's heap, not the client's.
+  hw::Core& core = machine_->core(0);
+  ASSERT_TRUE(kernel_->ContextSwitchTo(core, p.server).ok());
+  EXPECT_EQ(*core.ReadVirtU64(mk::kHeapVa + 0x200), 0xabcdULL);
+  ASSERT_TRUE(kernel_->ContextSwitchTo(core, p.client).ok());
+  EXPECT_EQ(*core.ReadVirtU64(mk::kHeapVa + 0x200), 0u);
+}
+
+TEST_F(SkyBridgeTest, LongMessagesThroughSharedBuffer) {
+  Boot();
+  std::string seen;
+  Handler handler = [&seen](CallEnv& env) {
+    seen = env.request.ToString();
+    return Message::FromString(1, std::string(3000, 'r'));
+  };
+  Pair p = MakePair(handler);
+  std::string big(5000, 'q');
+  big[0] = 'Q';
+  auto reply = sky_->DirectServerCall(p.thread, p.sid, Message::FromString(7, big));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(seen.size(), 5000u);
+  EXPECT_EQ(seen[0], 'Q');
+  EXPECT_EQ(reply->size(), 3000u);
+  EXPECT_EQ(sky_->stats().long_calls, 1u);
+}
+
+TEST_F(SkyBridgeTest, UnregisteredClientRejected) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  auto* stranger = kernel_->CreateProcess("stranger").value();
+  mk::Thread* t = stranger->AddThread(1);
+  auto result = sky_->DirectServerCall(t, p.sid, Message(0));
+  EXPECT_EQ(result.status().code(), sb::ErrorCode::kPermissionDenied);
+  EXPECT_EQ(sky_->stats().rejected_calls, 1u);
+}
+
+TEST_F(SkyBridgeTest, ForgedCallingKeyRejected) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  auto result = sky_->CallWithForgedKey(p.thread, p.sid, Message(0), 0x1234);
+  EXPECT_EQ(result.status().code(), sb::ErrorCode::kPermissionDenied);
+  EXPECT_GE(sky_->stats().rejected_calls, 1u);
+  // The legitimate path still works afterwards.
+  EXPECT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+}
+
+TEST_F(SkyBridgeTest, CallingKeyCheckCanBeDisabled) {
+  SkyBridgeConfig config;
+  config.calling_keys = false;
+  Boot(mk::Sel4Profile(), config);
+  Pair p = MakePair(EchoHandler());
+  // With checks off, even a forged key passes (the ablation's insecurity).
+  EXPECT_TRUE(sky_->CallWithForgedKey(p.thread, p.sid, Message(0), 0x1234).ok());
+}
+
+TEST_F(SkyBridgeTest, RegistrationRewritesPlantedVmfunc) {
+  Boot();
+  // A client whose binary carries a self-prepared VMFUNC (the SeCage-style
+  // attack): registration must rewrite it away.
+  x86::Assembler a;
+  a.MovRI64(x86::Reg::kRax, 0);
+  a.Vmfunc();  // Malicious gate.
+  a.AddRI(x86::Reg::kRax, 0x00d4010f);  // And an embedded pattern.
+  a.Ret();
+  auto* evil = kernel_->CreateProcessWithImage("evil", a.Take()).value();
+  auto* server = kernel_->CreateProcess("server").value();
+  const ServerId sid = sky_->RegisterServer(server, 4, EchoHandler()).value();
+  ASSERT_TRUE(sky_->RegisterClient(evil, sid).ok());
+
+  EXPECT_TRUE(evil->code_rewritten());
+  EXPECT_TRUE(x86::FindVmfuncBytes(evil->code_image()).empty());
+  EXPECT_GE(sky_->stats().rewritten_vmfuncs, 2u);
+  // The rewrite page got mapped at the paper's address.
+  EXPECT_TRUE(evil->address_space().WalkVa(mk::kRewritePageVa).ok);
+}
+
+TEST_F(SkyBridgeTest, CleanBinariesAreLeftAlone) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  EXPECT_TRUE(x86::FindVmfuncBytes(p.client->code_image()).empty());
+  EXPECT_FALSE(p.client->address_space().WalkVa(mk::kRewritePageVa).ok);
+}
+
+TEST_F(SkyBridgeTest, TimeoutForcesReturn) {
+  SkyBridgeConfig config;
+  config.timeout_cycles = 1000;
+  Boot(mk::Sel4Profile(), config);
+  Handler slow = [](CallEnv& env) {
+    env.core.AdvanceCycles(1 << 20);  // A hanging server.
+    return Message(0);
+  };
+  Pair p = MakePair(slow);
+  auto result = sky_->DirectServerCall(p.thread, p.sid, Message(0));
+  EXPECT_EQ(result.status().code(), sb::ErrorCode::kTimeout);
+  EXPECT_EQ(sky_->stats().timeouts, 1u);
+}
+
+TEST_F(SkyBridgeTest, ConnectionLimitEnforced) {
+  Boot();
+  auto* server = kernel_->CreateProcess("server").value();
+  const ServerId sid = sky_->RegisterServer(server, 2, EchoHandler()).value();
+  auto* c1 = kernel_->CreateProcess("c1").value();
+  auto* c2 = kernel_->CreateProcess("c2").value();
+  auto* c3 = kernel_->CreateProcess("c3").value();
+  EXPECT_TRUE(sky_->RegisterClient(c1, sid).ok());
+  EXPECT_TRUE(sky_->RegisterClient(c2, sid).ok());
+  EXPECT_EQ(sky_->RegisterClient(c3, sid).code(),
+            sb::ErrorCode::kResourceExhausted);
+}
+
+TEST_F(SkyBridgeTest, MultiServerFanOut) {
+  Boot();
+  auto* client = kernel_->CreateProcess("client").value();
+  mk::Thread* t = client->AddThread(0);
+  std::vector<ServerId> sids;
+  for (int i = 0; i < 5; ++i) {
+    auto* server = kernel_->CreateProcess("server" + std::to_string(i)).value();
+    const uint64_t marker = 100 + static_cast<uint64_t>(i);
+    const ServerId sid =
+        sky_->RegisterServer(server, 4, [marker](CallEnv&) { return Message(marker); }).value();
+    ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+    sids.push_back(sid);
+  }
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto reply = sky_->DirectServerCall(t, sids[static_cast<size_t>(i)], Message(0));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->tag, 100u + static_cast<uint64_t>(i));
+  }
+}
+
+TEST_F(SkyBridgeTest, EptpLruEvictionBeyondCapacity) {
+  SkyBridgeConfig config;
+  config.eptp_capacity = 3;  // Own EPT + 2 bindings.
+  Boot(mk::Sel4Profile(), config);
+
+  auto* client = kernel_->CreateProcess("client").value();
+  mk::Thread* t = client->AddThread(0);
+  std::vector<ServerId> sids;
+  for (int i = 0; i < 4; ++i) {
+    auto* server = kernel_->CreateProcess("server" + std::to_string(i)).value();
+    const uint64_t marker = 200 + static_cast<uint64_t>(i);
+    const ServerId sid =
+        sky_->RegisterServer(server, 4, [marker](CallEnv&) { return Message(marker); }).value();
+    ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+    sids.push_back(sid);
+  }
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+  EXPECT_EQ(*sky_->InstalledBindings(client), 2u);
+
+  // Every server remains callable; evicted bindings are reinstalled on
+  // demand (paper Section 10's future-work mechanism).
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      auto reply = sky_->DirectServerCall(t, sids[static_cast<size_t>(i)], Message(0));
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_EQ(reply->tag, 200u + static_cast<uint64_t>(i));
+    }
+  }
+  EXPECT_GT(sky_->stats().eptp_misses, 0u);
+  EXPECT_EQ(*sky_->InstalledBindings(client), 2u);
+}
+
+TEST_F(SkyBridgeTest, SkyBridgeBeatsKernelIpcOnEveryPersonality) {
+  for (const mk::KernelKind kind :
+       {mk::KernelKind::kSel4, mk::KernelKind::kFiasco, mk::KernelKind::kZircon}) {
+    Boot(mk::ProfileFor(kind));
+    Pair p = MakePair(EchoHandler());
+
+    // Kernel IPC between the same pair.
+    auto* ep = kernel_->CreateEndpoint(p.server, EchoHandler(), {}).value();
+    const mk::CapSlot slot =
+        kernel_->GrantEndpointCap(p.client, ep->id(), mk::kRightCall).value();
+
+    hw::Core& core = machine_->core(0);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+      ASSERT_TRUE(kernel_->IpcCall(p.thread, slot, Message(0)).ok());
+    }
+    uint64_t t0 = core.cycles();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+    }
+    const uint64_t sky_rt = (core.cycles() - t0) / 100;
+    t0 = core.cycles();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(kernel_->IpcCall(p.thread, slot, Message(0)).ok());
+    }
+    const uint64_t ipc_rt = (core.cycles() - t0) / 100;
+    EXPECT_LT(sky_rt, ipc_rt) << mk::ProfileFor(kind).name;
+  }
+}
+
+TEST_F(SkyBridgeTest, NestedDirectCallsAcrossThreeProcesses) {
+  // client -> middle -> backend, both hops over SkyBridge (the SQLite-stack
+  // shape: app -> fs -> disk).
+  Boot();
+  auto* backend = kernel_->CreateProcess("backend").value();
+  const ServerId backend_sid =
+      sky_->RegisterServer(backend, 4, [](CallEnv& env) {
+        return Message(env.request.tag * 2);
+      }).value();
+
+  auto* middle = kernel_->CreateProcess("middle").value();
+  mk::Thread* middle_thread = middle->AddThread(0);
+  SkyBridge* sky = sky_.get();
+  const ServerId middle_sid =
+      sky_->RegisterServer(middle, 4, [sky, middle_thread, backend_sid](CallEnv& env) {
+        auto inner = sky->DirectServerCall(middle_thread, backend_sid, Message(env.request.tag + 1));
+        SB_CHECK(inner.ok());
+        return Message(inner->tag + 100);
+      }).value();
+  ASSERT_TRUE(sky_->RegisterClient(middle, backend_sid).ok());
+
+  auto* client = kernel_->CreateProcess("client").value();
+  mk::Thread* t = client->AddThread(0);
+  ASSERT_TRUE(sky_->RegisterClient(client, middle_sid).ok());
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+
+  auto reply = sky_->DirectServerCall(t, middle_sid, Message(5));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, (5u + 1) * 2 + 100);
+}
+
+}  // namespace
+}  // namespace skybridge

@@ -1,0 +1,300 @@
+// Decoder unit tests: lengths, field boundaries and mnemonics for the
+// encodings the assembler, rewriter and synthetic corpus rely on.
+
+#include "src/x86/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/x86/assembler.h"
+
+namespace x86 {
+namespace {
+
+Insn DecodeBytes(std::initializer_list<uint8_t> bytes) {
+  std::vector<uint8_t> v(bytes);
+  return Decode(v, 0);
+}
+
+TEST(Decoder, Nop) {
+  const Insn insn = DecodeBytes({0x90});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 1);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kNop);
+}
+
+TEST(Decoder, Vmfunc) {
+  const Insn insn = DecodeBytes({0x0f, 0x01, 0xd4});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 3);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kVmfunc);
+  EXPECT_TRUE(insn.has_modrm);
+}
+
+TEST(Decoder, Syscall) {
+  const Insn insn = DecodeBytes({0x0f, 0x05});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 2);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kSyscall);
+}
+
+TEST(Decoder, PushPopWithRex) {
+  Insn insn = DecodeBytes({0x55});  // push rbp
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 1);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kPush);
+
+  insn = DecodeBytes({0x41, 0x50});  // push r8
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 2);
+  EXPECT_EQ(insn.rex, 0x41);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kPush);
+}
+
+TEST(Decoder, MovImm64) {
+  // mov rax, 0x1122334455667788
+  const Insn insn = DecodeBytes({0x48, 0xb8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 10);
+  EXPECT_EQ(insn.imm_len, 8);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kMovImm64);
+}
+
+TEST(Decoder, MovImm32NoRexW) {
+  // mov eax, 0x11223344
+  const Insn insn = DecodeBytes({0xb8, 0x44, 0x33, 0x22, 0x11});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 5);
+  EXPECT_EQ(insn.imm_len, 4);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kMov);
+}
+
+TEST(Decoder, AddRmImm32WithSibAndDisp) {
+  // add qword [rsp + 0x10], 0x1234 -> 48 81 84 24 10 00 00 00 34 12 00 00
+  const Insn insn =
+      DecodeBytes({0x48, 0x81, 0x84, 0x24, 0x10, 0x00, 0x00, 0x00, 0x34, 0x12, 0x00, 0x00});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 12);
+  EXPECT_TRUE(insn.has_modrm);
+  EXPECT_TRUE(insn.has_sib);
+  EXPECT_EQ(insn.disp_len, 4);
+  EXPECT_EQ(insn.imm_len, 4);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kAdd);
+}
+
+TEST(Decoder, RipRelativeLea) {
+  // lea rax, [rip + 0x100] -> 48 8d 05 00 01 00 00
+  const Insn insn = DecodeBytes({0x48, 0x8d, 0x05, 0x00, 0x01, 0x00, 0x00});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 7);
+  EXPECT_TRUE(insn.is_rip_relative());
+  EXPECT_EQ(insn.disp_len, 4);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kLea);
+}
+
+TEST(Decoder, JccRel8AndRel32) {
+  Insn insn = DecodeBytes({0x74, 0x10});  // je +0x10
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 2);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kJccRel);
+
+  insn = DecodeBytes({0x0f, 0x84, 0x00, 0x01, 0x00, 0x00});  // je +0x100
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 6);
+  EXPECT_EQ(insn.imm_len, 4);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kJccRel);
+}
+
+TEST(Decoder, GroupF7TestHasImm) {
+  // test rax, 0x12345678 -> 48 f7 c0 78 56 34 12
+  const Insn insn = DecodeBytes({0x48, 0xf7, 0xc0, 0x78, 0x56, 0x34, 0x12});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 7);
+  EXPECT_EQ(insn.imm_len, 4);
+}
+
+TEST(Decoder, GroupF7NotHasImm) {
+  // neg rax -> 48 f7 d8
+  const Insn insn = DecodeBytes({0x48, 0xf7, 0xd8});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 3);
+  EXPECT_EQ(insn.imm_len, 0);
+}
+
+TEST(Decoder, OperandSizePrefixShrinksImmZ) {
+  // 66 81 c0 34 12 -> add ax, 0x1234
+  const Insn insn = DecodeBytes({0x66, 0x81, 0xc0, 0x34, 0x12});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 5);
+  EXPECT_EQ(insn.imm_len, 2);
+  EXPECT_TRUE(insn.operand_size_16);
+}
+
+TEST(Decoder, ImulThreeOperand) {
+  // imul rcx, rdi, 0xD401 -> 48 69 cf 01 d4 00 00
+  const Insn insn = DecodeBytes({0x48, 0x69, 0xcf, 0x01, 0xd4, 0x00, 0x00});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 7);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kImul);
+  EXPECT_EQ(insn.imm_len, 4);
+}
+
+TEST(Decoder, ShiftGroupClassification) {
+  Assembler a;
+  a.ShlRI(Reg::kRax, 4);
+  const std::vector<uint8_t> shl = a.Take();
+  Insn insn = Decode(shl, 0);
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kShl);
+  EXPECT_EQ(insn.length, 4);  // REX.W C1 /4 ib
+  EXPECT_EQ(insn.imm_len, 1);
+
+  a.SarRI(Reg::kRbx, 63);
+  insn = Decode(a.Take(), 0);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kSar);
+
+  // D1 /4: shift by one, no immediate.
+  insn = DecodeBytes({0x48, 0xd1, 0xe0});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kShl);
+  EXPECT_EQ(insn.imm_len, 0);
+}
+
+TEST(Decoder, IncDecNegNotClassification) {
+  Assembler a;
+  a.IncR(Reg::kRcx);
+  EXPECT_EQ(Decode(a.Take(), 0).mnemonic, Mnemonic::kInc);
+  a.DecR(Reg::kRcx);
+  EXPECT_EQ(Decode(a.Take(), 0).mnemonic, Mnemonic::kDec);
+  a.NegR(Reg::kR9);
+  EXPECT_EQ(Decode(a.Take(), 0).mnemonic, Mnemonic::kNeg);
+  a.NotR(Reg::kR9);
+  EXPECT_EQ(Decode(a.Take(), 0).mnemonic, Mnemonic::kNot);
+  // FF /2 (indirect call) stays kOther — not part of the emulated subset.
+  const Insn call = DecodeBytes({0xff, 0xd0});
+  ASSERT_TRUE(call.valid);
+  EXPECT_EQ(call.mnemonic, Mnemonic::kOther);
+}
+
+TEST(Decoder, CallRel32) {
+  const Insn insn = DecodeBytes({0xe8, 0x10, 0x00, 0x00, 0x00});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 5);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kCallRel);
+}
+
+TEST(Decoder, RetAndHlt) {
+  EXPECT_EQ(DecodeBytes({0xc3}).mnemonic, Mnemonic::kRet);
+  EXPECT_EQ(DecodeBytes({0xf4}).mnemonic, Mnemonic::kHlt);
+  EXPECT_EQ(DecodeBytes({0xcc}).mnemonic, Mnemonic::kInt3);
+}
+
+TEST(Decoder, InvalidOpcodeIn64BitMode) {
+  const Insn insn = DecodeBytes({0x06});  // push es: invalid in 64-bit.
+  EXPECT_FALSE(insn.valid);
+  EXPECT_EQ(insn.length, 1);
+}
+
+TEST(Decoder, Enter) {
+  // enter 0x20, 0 -> c8 20 00 00
+  const Insn insn = DecodeBytes({0xc8, 0x20, 0x00, 0x00});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 4);
+  EXPECT_EQ(insn.imm_len, 3);
+}
+
+TEST(Decoder, MovMoffs) {
+  // mov al, [moffs64] -> a0 + 8 bytes
+  const Insn insn = DecodeBytes({0xa0, 1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 9);
+}
+
+TEST(Decoder, Vex3ByteLength) {
+  // vaddps ymm: c4 e1 74 58 c2 (VEX.256) — 5 bytes, map1, modrm.
+  const Insn insn = DecodeBytes({0xc4, 0xe1, 0x74, 0x58, 0xc2});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 5);
+}
+
+TEST(Decoder, Vex2ByteLength) {
+  // c5 f8 58 c1 -> vaddps xmm0, xmm0, xmm1
+  const Insn insn = DecodeBytes({0xc5, 0xf8, 0x58, 0xc1});
+  ASSERT_TRUE(insn.valid);
+  EXPECT_EQ(insn.length, 4);
+}
+
+// Round-trip: everything the assembler emits must decode to one instruction
+// of exactly the emitted length.
+TEST(Decoder, AssemblerRoundTripLengths) {
+  struct Case {
+    std::vector<uint8_t> bytes;
+    Mnemonic mnemonic;
+  };
+  std::vector<Case> cases;
+  auto add = [&](Assembler& a, Mnemonic m) {
+    cases.push_back({a.Take(), m});
+  };
+  {
+    Assembler a;
+    a.MovRI64(Reg::kR9, 0x123456789abcdef0ULL);
+    add(a, Mnemonic::kMovImm64);
+  }
+  {
+    Assembler a;
+    a.MovRM64(Reg::kRbx, Reg::kRsp, 0x40);
+    add(a, Mnemonic::kMov);
+  }
+  {
+    Assembler a;
+    a.Lea(Reg::kRcx, Reg::kRdi, static_cast<int>(Reg::kRcx), 2, 0x1000);
+    add(a, Mnemonic::kLea);
+  }
+  {
+    Assembler a;
+    a.ImulRMI(Reg::kRcx, Reg::kRdi, 0x20, 0x77);
+    add(a, Mnemonic::kImul);
+  }
+  {
+    Assembler a;
+    a.AddMR(Reg::kR12, -8, Reg::kRax);
+    add(a, Mnemonic::kAdd);
+  }
+  {
+    Assembler a;
+    a.CmpRI(Reg::kR15, 0x7fffffff);
+    add(a, Mnemonic::kCmp);
+  }
+  {
+    Assembler a;
+    a.JccRel32(0x5, -100);
+    add(a, Mnemonic::kJccRel);
+  }
+  for (const Case& c : cases) {
+    const Insn insn = Decode(c.bytes, 0);
+    ASSERT_TRUE(insn.valid);
+    EXPECT_EQ(insn.length, c.bytes.size());
+    EXPECT_EQ(insn.mnemonic, c.mnemonic);
+  }
+}
+
+TEST(Decoder, LinearSweepCoversEveryByte) {
+  Assembler a;
+  a.PushR(Reg::kRbp);
+  a.MovRR64(Reg::kRbp, Reg::kRsp);
+  a.MovRI64(Reg::kRax, 42);
+  a.AddRI(Reg::kRax, 1);
+  a.PopR(Reg::kRbp);
+  a.Ret();
+  const std::vector<uint8_t> code = a.Take();
+  const std::vector<size_t> starts = LinearSweep(code);
+  ASSERT_EQ(starts.size(), 6u);
+  size_t pos = 0;
+  for (const size_t s : starts) {
+    EXPECT_EQ(s, pos);
+    pos += Decode(code, s).length;
+  }
+  EXPECT_EQ(pos, code.size());
+}
+
+}  // namespace
+}  // namespace x86

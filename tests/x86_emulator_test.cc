@@ -1,0 +1,290 @@
+// Emulator unit tests for the rewriter's instruction subset.
+
+#include "src/x86/emulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/x86/assembler.h"
+
+namespace x86 {
+namespace {
+
+constexpr uint64_t kCodeBase = 0x400000;
+
+StopInfo RunProgram(Emulator& emu, const std::vector<uint8_t>& code,
+                    uint64_t max_steps = 10000) {
+  emu.LoadBytes(kCodeBase, code);
+  emu.state().rip = kCodeBase;
+  return emu.Run(max_steps);
+}
+
+TEST(Emulator, MovImmAndAdd) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 40);
+  a.AddRI(Reg::kRax, 2);
+  a.Ret();
+  Emulator emu;
+  const StopInfo info = RunProgram(emu, a.Take());
+  EXPECT_EQ(info.reason, StopReason::kRet);
+  EXPECT_EQ(emu.state().reg(Reg::kRax), 42u);
+}
+
+TEST(Emulator, PushPopRoundTrip) {
+  Assembler a;
+  a.MovRI64(Reg::kRcx, 0xdeadbeef);
+  a.PushR(Reg::kRcx);
+  a.MovRI64(Reg::kRcx, 0);
+  a.PopR(Reg::kRdx);
+  a.Ret();
+  Emulator emu;
+  const StopInfo info = RunProgram(emu, a.Take());
+  EXPECT_EQ(info.reason, StopReason::kRet);
+  EXPECT_EQ(emu.state().reg(Reg::kRdx), 0xdeadbeefu);
+  EXPECT_EQ(emu.state().reg(Reg::kRsp), Emulator::kInitialRsp);
+}
+
+TEST(Emulator, MemoryLoadStore) {
+  Assembler a;
+  a.MovRI64(Reg::kRdi, 0x10000);
+  a.MovRI64(Reg::kRax, 0x1234567890abcdefULL);
+  a.MovMR64(Reg::kRdi, 0x20, Reg::kRax);
+  a.MovRM64(Reg::kRbx, Reg::kRdi, 0x20);
+  a.Ret();
+  Emulator emu;
+  const StopInfo info = RunProgram(emu, a.Take());
+  EXPECT_EQ(info.reason, StopReason::kRet);
+  EXPECT_EQ(emu.state().reg(Reg::kRbx), 0x1234567890abcdefULL);
+  EXPECT_EQ(emu.ReadMem(0x10020, 64), 0x1234567890abcdefULL);
+}
+
+TEST(Emulator, LeaComputesEffectiveAddress) {
+  Assembler a;
+  a.MovRI64(Reg::kRdi, 0x1000);
+  a.MovRI64(Reg::kRcx, 0x20);
+  a.Lea(Reg::kRax, Reg::kRdi, static_cast<int>(Reg::kRcx), 4, 0x10);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(emu.state().reg(Reg::kRax), 0x1000u + 0x20u * 4 + 0x10u);
+}
+
+TEST(Emulator, ImulThreeOperandRegister) {
+  Assembler a;
+  a.MovRI64(Reg::kRdi, 7);
+  a.ImulRRI(Reg::kRcx, Reg::kRdi, 6);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(emu.state().reg(Reg::kRcx), 42u);
+}
+
+TEST(Emulator, ImulMemoryOperand) {
+  Assembler a;
+  a.MovRI64(Reg::kRdi, 0x10000);
+  a.MovRI64(Reg::kRax, 9);
+  a.MovMR64(Reg::kRdi, 0, Reg::kRax);
+  a.ImulRMI(Reg::kRcx, Reg::kRdi, 0, 5);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(emu.state().reg(Reg::kRcx), 45u);
+}
+
+TEST(Emulator, ImulNegative) {
+  Assembler a;
+  a.MovRI64(Reg::kRdi, static_cast<uint64_t>(-3));
+  a.ImulRRI(Reg::kRcx, Reg::kRdi, 14);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(static_cast<int64_t>(emu.state().reg(Reg::kRcx)), -42);
+}
+
+TEST(Emulator, SubAndFlagsZero) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 5);
+  a.SubRI(Reg::kRax, 5);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(emu.state().reg(Reg::kRax), 0u);
+  EXPECT_TRUE(emu.state().flags.zf);
+  EXPECT_FALSE(emu.state().flags.sf);
+}
+
+TEST(Emulator, CmpSetsCarryOnBorrow) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 3);
+  a.CmpRI(Reg::kRax, 5);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(emu.state().reg(Reg::kRax), 3u);  // cmp does not write back.
+  EXPECT_TRUE(emu.state().flags.cf);
+  EXPECT_FALSE(emu.state().flags.zf);
+  EXPECT_TRUE(emu.state().flags.sf);
+}
+
+TEST(Emulator, ConditionalBranchTaken) {
+  // if (rax == 5) rbx = 1 else rbx = 2
+  Assembler a;
+  a.MovRI64(Reg::kRax, 5);
+  a.CmpRI(Reg::kRax, 5);
+  a.JccRel8(0x4, 11);  // je over "mov rbx, 2; jmp end" (10+... compute below)
+  // Not taken path: mov rbx, 2 (10 bytes); jmp +10 over taken path.
+  const std::vector<uint8_t> code = [] {
+    Assembler b;
+    b.MovRI64(Reg::kRax, 5);
+    b.CmpRI(Reg::kRax, 5);
+    const size_t jcc_at = b.size();
+    b.JccRel8(0x4, 0);  // patched below
+    b.MovRI64(Reg::kRbx, 2);
+    const size_t jmp_at = b.size();
+    b.JmpRel8(0);  // patched below
+    const size_t taken = b.size();
+    b.MovRI64(Reg::kRbx, 1);
+    const size_t end = b.size();
+    b.Ret();
+    std::vector<uint8_t> bytes = b.Take();
+    bytes[jcc_at + 1] = static_cast<uint8_t>(taken - (jcc_at + 2));
+    bytes[jmp_at + 1] = static_cast<uint8_t>(end - (jmp_at + 2));
+    return bytes;
+  }();
+  (void)a;
+  Emulator emu;
+  const StopInfo info = [&] {
+    emu.LoadBytes(kCodeBase, code);
+    emu.state().rip = kCodeBase;
+    return emu.Run(1000);
+  }();
+  EXPECT_EQ(info.reason, StopReason::kRet);
+  EXPECT_EQ(emu.state().reg(Reg::kRbx), 1u);
+}
+
+TEST(Emulator, CallAndRet) {
+  // call f; hlt; f: mov rax, 7; ret  — run stops at hlt with rax == 7.
+  Assembler b;
+  const size_t call_at = b.size();
+  b.CallRel32(0);
+  b.Hlt();
+  const size_t f = b.size();
+  b.MovRI64(Reg::kRax, 7);
+  b.Ret();
+  std::vector<uint8_t> code = b.Take();
+  const int32_t rel = static_cast<int32_t>(f - (call_at + 5));
+  for (int i = 0; i < 4; ++i) {
+    code[call_at + 1 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(static_cast<uint32_t>(rel) >> (8 * i));
+  }
+  Emulator emu;
+  const StopInfo info = RunProgram(emu, code);
+  EXPECT_EQ(info.reason, StopReason::kHlt);
+  EXPECT_EQ(emu.state().reg(Reg::kRax), 7u);
+}
+
+TEST(Emulator, VmfuncStopsWithCount) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 0);
+  a.Vmfunc();
+  a.Ret();
+  Emulator emu;
+  const StopInfo info = RunProgram(emu, a.Take());
+  EXPECT_EQ(info.reason, StopReason::kVmfunc);
+  EXPECT_EQ(info.vmfunc_count, 1u);
+}
+
+TEST(Emulator, Mov32ZeroExtends) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 0xffffffffffffffffULL);
+  a.MovRI32(Reg::kRax, 0x1234);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(emu.state().reg(Reg::kRax), 0x1234u);
+}
+
+TEST(Emulator, XorLogicFlags) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 0xff);
+  a.XorRI(Reg::kRax, 0xff);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(emu.state().reg(Reg::kRax), 0u);
+  EXPECT_TRUE(emu.state().flags.zf);
+  EXPECT_FALSE(emu.state().flags.cf);
+  EXPECT_FALSE(emu.state().flags.of);
+}
+
+TEST(Emulator, RspRelativeAddressing) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 0x42);
+  a.PushR(Reg::kRax);
+  a.MovRM64(Reg::kRbx, Reg::kRsp, 0);  // rbx = [rsp]
+  a.PopR(Reg::kRcx);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(emu.state().reg(Reg::kRbx), 0x42u);
+  EXPECT_EQ(emu.state().reg(Reg::kRcx), 0x42u);
+}
+
+TEST(Emulator, ShiftLeftAndRight) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 0x10);
+  a.ShlRI(Reg::kRax, 4);
+  a.MovRI64(Reg::kRbx, 0x100);
+  a.ShrRI(Reg::kRbx, 4);
+  a.MovRI64(Reg::kRcx, static_cast<uint64_t>(-64));
+  a.SarRI(Reg::kRcx, 3);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(emu.state().reg(Reg::kRax), 0x100u);
+  EXPECT_EQ(emu.state().reg(Reg::kRbx), 0x10u);
+  EXPECT_EQ(static_cast<int64_t>(emu.state().reg(Reg::kRcx)), -8);
+}
+
+TEST(Emulator, IncDecPreserveCarry) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 0);
+  a.SubRI(Reg::kRax, 1);  // Sets CF (borrow).
+  a.IncR(Reg::kRbx);      // Must not clobber CF.
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_TRUE(emu.state().flags.cf);
+  EXPECT_EQ(emu.state().reg(Reg::kRbx), 1u);
+}
+
+TEST(Emulator, NegAndNot) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 5);
+  a.NegR(Reg::kRax);
+  a.MovRI64(Reg::kRbx, 0);
+  a.NotR(Reg::kRbx);
+  a.Ret();
+  Emulator emu;
+  RunProgram(emu, a.Take());
+  EXPECT_EQ(static_cast<int64_t>(emu.state().reg(Reg::kRax)), -5);
+  EXPECT_EQ(emu.state().reg(Reg::kRbx), ~0ULL);
+}
+
+TEST(Emulator, UnsupportedInstructionStops) {
+  const std::vector<uint8_t> code = {0x0f, 0xc7, 0xc1};  // rdrand-ish: unsupported
+  Emulator emu;
+  const StopInfo info = RunProgram(emu, code);
+  EXPECT_EQ(info.reason, StopReason::kUnsupported);
+}
+
+TEST(Emulator, MaxStepsStops) {
+  // Infinite loop: jmp -2.
+  const std::vector<uint8_t> code = {0xeb, 0xfe};
+  Emulator emu;
+  const StopInfo info = RunProgram(emu, code, 100);
+  EXPECT_EQ(info.reason, StopReason::kMaxSteps);
+  EXPECT_EQ(info.steps, 100u);
+}
+
+}  // namespace
+}  // namespace x86

@@ -1,0 +1,96 @@
+// Formatter tests: the disassembler-lite renders the supported subset.
+
+#include "src/x86/format.h"
+
+#include <gtest/gtest.h>
+
+#include "src/x86/assembler.h"
+#include "src/x86/decoder.h"
+
+namespace x86 {
+namespace {
+
+std::string Fmt(const std::vector<uint8_t>& bytes) {
+  return FormatInsn(bytes, Decode(bytes, 0));
+}
+
+TEST(Format, BasicInstructions) {
+  Assembler a;
+  a.Nop();
+  EXPECT_EQ(Fmt(a.Take()), "nop");
+  a.Vmfunc();
+  EXPECT_EQ(Fmt(a.Take()), "vmfunc");
+  a.Ret();
+  EXPECT_EQ(Fmt(a.Take()), "ret");
+  a.PushR(Reg::kRbp);
+  EXPECT_EQ(Fmt(a.Take()), "push rbp");
+  a.PopR(Reg::kR12);
+  EXPECT_EQ(Fmt(a.Take()), "pop r12");
+}
+
+TEST(Format, MovForms) {
+  Assembler a;
+  a.MovRI64(Reg::kRax, 0x1234);
+  EXPECT_EQ(Fmt(a.Take()), "mov rax, 0x1234");
+  a.MovRR64(Reg::kRbx, Reg::kRcx);
+  EXPECT_EQ(Fmt(a.Take()), "mov rbx, rcx");
+  a.MovRM64(Reg::kRdx, Reg::kRdi, 0x20);
+  EXPECT_EQ(Fmt(a.Take()), "mov rdx, [rdi+0x20]");
+  a.MovMR64(Reg::kRsi, -8, Reg::kRax);
+  EXPECT_EQ(Fmt(a.Take()), "mov [rsi-0x8], rax");
+}
+
+TEST(Format, ArithmeticForms) {
+  Assembler a;
+  a.AddRI(Reg::kRax, 0x10);
+  EXPECT_EQ(Fmt(a.Take()), "add rax, 0x10");
+  a.SubRR(Reg::kRbx, Reg::kRcx);
+  EXPECT_EQ(Fmt(a.Take()), "sub rbx, rcx");
+  a.CmpRI(Reg::kR8, -1);
+  EXPECT_EQ(Fmt(a.Take()), "cmp r8, -0x1");
+}
+
+TEST(Format, LeaWithSib) {
+  Assembler a;
+  a.Lea(Reg::kRax, Reg::kRdi, static_cast<int>(Reg::kRcx), 4, 0x100);
+  EXPECT_EQ(Fmt(a.Take()), "lea rax, [rdi+rcx*4+0x100]");
+}
+
+TEST(Format, Branches) {
+  Assembler a;
+  a.JmpRel32(0x40);
+  EXPECT_EQ(Fmt(a.Take()), "jmp 0x40 (rel)");
+  a.CallRel32(-0x10);
+  EXPECT_EQ(Fmt(a.Take()), "call -0x10 (rel)");
+  a.JccRel8(0x4, 2);
+  EXPECT_EQ(Fmt(a.Take()), "jz 0x2 (rel)");
+}
+
+TEST(Format, ImulThreeOperand) {
+  Assembler a;
+  a.ImulRRI(Reg::kRcx, Reg::kRdi, 0x77);
+  EXPECT_EQ(Fmt(a.Take()), "imul rcx, rdi, 0x77");
+}
+
+TEST(Format, UnsupportedShowsBytes) {
+  const std::vector<uint8_t> bytes = {0x0f, 0xae, 0xf0};  // mfence
+  EXPECT_NE(Fmt(bytes).find("unsupported"), std::string::npos);
+}
+
+TEST(Format, DisassembleWholeRegion) {
+  Assembler a;
+  a.PushR(Reg::kRbp);
+  a.MovRR64(Reg::kRbp, Reg::kRsp);
+  a.Vmfunc();
+  a.PopR(Reg::kRbp);
+  a.Ret();
+  const std::string listing = Disassemble(a.Take());
+  EXPECT_NE(listing.find("push rbp"), std::string::npos);
+  EXPECT_NE(listing.find("vmfunc"), std::string::npos);
+  EXPECT_NE(listing.find("ret"), std::string::npos);
+  // Five lines, one per instruction.
+  EXPECT_EQ(std::count(listing.begin(), listing.end(), '\n'), 5);
+}
+
+}  // namespace
+}  // namespace x86
