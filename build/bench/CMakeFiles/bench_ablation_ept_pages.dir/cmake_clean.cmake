@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ept_pages.dir/bench_ablation_ept_pages.cc.o"
+  "CMakeFiles/bench_ablation_ept_pages.dir/bench_ablation_ept_pages.cc.o.d"
+  "CMakeFiles/bench_ablation_ept_pages.dir/bench_util.cc.o"
+  "CMakeFiles/bench_ablation_ept_pages.dir/bench_util.cc.o.d"
+  "bench_ablation_ept_pages"
+  "bench_ablation_ept_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ept_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

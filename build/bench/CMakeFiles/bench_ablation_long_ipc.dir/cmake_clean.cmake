@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_long_ipc.dir/bench_ablation_long_ipc.cc.o"
+  "CMakeFiles/bench_ablation_long_ipc.dir/bench_ablation_long_ipc.cc.o.d"
+  "CMakeFiles/bench_ablation_long_ipc.dir/bench_util.cc.o"
+  "CMakeFiles/bench_ablation_long_ipc.dir/bench_util.cc.o.d"
+  "bench_ablation_long_ipc"
+  "bench_ablation_long_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_long_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_security_tax.dir/bench_ablation_security_tax.cc.o"
+  "CMakeFiles/bench_ablation_security_tax.dir/bench_ablation_security_tax.cc.o.d"
+  "CMakeFiles/bench_ablation_security_tax.dir/bench_util.cc.o"
+  "CMakeFiles/bench_ablation_security_tax.dir/bench_util.cc.o.d"
+  "bench_ablation_security_tax"
+  "bench_ablation_security_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_security_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_monolithic.cc" "bench/CMakeFiles/bench_ext_monolithic.dir/bench_ext_monolithic.cc.o" "gcc" "bench/CMakeFiles/bench_ext_monolithic.dir/bench_ext_monolithic.cc.o.d"
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/bench_ext_monolithic.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/bench_ext_monolithic.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/skybridge/CMakeFiles/sb_skybridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/mk/CMakeFiles/sb_mk.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/sb_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sb_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/sb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/sb_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_monolithic.dir/bench_ext_monolithic.cc.o"
+  "CMakeFiles/bench_ext_monolithic.dir/bench_ext_monolithic.cc.o.d"
+  "CMakeFiles/bench_ext_monolithic.dir/bench_util.cc.o"
+  "CMakeFiles/bench_ext_monolithic.dir/bench_util.cc.o.d"
+  "bench_ext_monolithic"
+  "bench_ext_monolithic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_monolithic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_kv_ipc_cost.dir/bench_fig2_kv_ipc_cost.cc.o"
+  "CMakeFiles/bench_fig2_kv_ipc_cost.dir/bench_fig2_kv_ipc_cost.cc.o.d"
+  "CMakeFiles/bench_fig2_kv_ipc_cost.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig2_kv_ipc_cost.dir/bench_util.cc.o.d"
+  "bench_fig2_kv_ipc_cost"
+  "bench_fig2_kv_ipc_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_kv_ipc_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_kv_skybridge.dir/bench_fig8_kv_skybridge.cc.o"
+  "CMakeFiles/bench_fig8_kv_skybridge.dir/bench_fig8_kv_skybridge.cc.o.d"
+  "CMakeFiles/bench_fig8_kv_skybridge.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig8_kv_skybridge.dir/bench_util.cc.o.d"
+  "bench_fig8_kv_skybridge"
+  "bench_fig8_kv_skybridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_kv_skybridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_11_ycsb.dir/bench_fig9_11_ycsb.cc.o"
+  "CMakeFiles/bench_fig9_11_ycsb.dir/bench_fig9_11_ycsb.cc.o.d"
+  "CMakeFiles/bench_fig9_11_ycsb.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig9_11_ycsb.dir/bench_util.cc.o.d"
+  "bench_fig9_11_ycsb"
+  "bench_fig9_11_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_11_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_pollution.dir/bench_table1_pollution.cc.o"
+  "CMakeFiles/bench_table1_pollution.dir/bench_table1_pollution.cc.o.d"
+  "CMakeFiles/bench_table1_pollution.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table1_pollution.dir/bench_util.cc.o.d"
+  "bench_table1_pollution"
+  "bench_table1_pollution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

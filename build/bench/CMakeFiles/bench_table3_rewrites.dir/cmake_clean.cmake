@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_rewrites.dir/bench_table3_rewrites.cc.o"
+  "CMakeFiles/bench_table3_rewrites.dir/bench_table3_rewrites.cc.o.d"
+  "CMakeFiles/bench_table3_rewrites.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table3_rewrites.dir/bench_util.cc.o.d"
+  "bench_table3_rewrites"
+  "bench_table3_rewrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rewrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sqlite_ops.dir/bench_table4_sqlite_ops.cc.o"
+  "CMakeFiles/bench_table4_sqlite_ops.dir/bench_table4_sqlite_ops.cc.o.d"
+  "CMakeFiles/bench_table4_sqlite_ops.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table4_sqlite_ops.dir/bench_util.cc.o.d"
+  "bench_table4_sqlite_ops"
+  "bench_table4_sqlite_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sqlite_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_virt_overhead.dir/bench_table5_virt_overhead.cc.o"
+  "CMakeFiles/bench_table5_virt_overhead.dir/bench_table5_virt_overhead.cc.o.d"
+  "CMakeFiles/bench_table5_virt_overhead.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table5_virt_overhead.dir/bench_util.cc.o.d"
+  "bench_table5_virt_overhead"
+  "bench_table5_virt_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_virt_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_vmfunc_scan.dir/bench_table6_vmfunc_scan.cc.o"
+  "CMakeFiles/bench_table6_vmfunc_scan.dir/bench_table6_vmfunc_scan.cc.o.d"
+  "CMakeFiles/bench_table6_vmfunc_scan.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table6_vmfunc_scan.dir/bench_util.cc.o.d"
+  "bench_table6_vmfunc_scan"
+  "bench_table6_vmfunc_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_vmfunc_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

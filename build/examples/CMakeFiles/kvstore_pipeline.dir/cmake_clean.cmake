@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_pipeline.dir/kvstore_pipeline.cc.o"
+  "CMakeFiles/kvstore_pipeline.dir/kvstore_pipeline.cc.o.d"
+  "kvstore_pipeline"
+  "kvstore_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriter_demo.dir/rewriter_demo.cc.o"
+  "CMakeFiles/rewriter_demo.dir/rewriter_demo.cc.o.d"
+  "rewriter_demo"
+  "rewriter_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriter_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

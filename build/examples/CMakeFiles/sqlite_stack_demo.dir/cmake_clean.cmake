@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlite_stack_demo.dir/sqlite_stack_demo.cc.o"
+  "CMakeFiles/sqlite_stack_demo.dir/sqlite_stack_demo.cc.o.d"
+  "sqlite_stack_demo"
+  "sqlite_stack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlite_stack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

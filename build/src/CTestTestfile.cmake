@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("hw")
+subdirs("x86")
+subdirs("sim")
+subdirs("vmm")
+subdirs("mk")
+subdirs("skybridge")
+subdirs("fs")
+subdirs("db")
+subdirs("apps")

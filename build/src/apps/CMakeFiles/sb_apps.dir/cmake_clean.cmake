@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_apps.dir/corpus.cc.o"
+  "CMakeFiles/sb_apps.dir/corpus.cc.o.d"
+  "CMakeFiles/sb_apps.dir/kv.cc.o"
+  "CMakeFiles/sb_apps.dir/kv.cc.o.d"
+  "CMakeFiles/sb_apps.dir/sqlite_stack.cc.o"
+  "CMakeFiles/sb_apps.dir/sqlite_stack.cc.o.d"
+  "CMakeFiles/sb_apps.dir/ycsb.cc.o"
+  "CMakeFiles/sb_apps.dir/ycsb.cc.o.d"
+  "libsb_apps.a"
+  "libsb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_base.dir/logging.cc.o"
+  "CMakeFiles/sb_base.dir/logging.cc.o.d"
+  "CMakeFiles/sb_base.dir/stats.cc.o"
+  "CMakeFiles/sb_base.dir/stats.cc.o.d"
+  "CMakeFiles/sb_base.dir/status.cc.o"
+  "CMakeFiles/sb_base.dir/status.cc.o.d"
+  "CMakeFiles/sb_base.dir/table.cc.o"
+  "CMakeFiles/sb_base.dir/table.cc.o.d"
+  "libsb_base.a"
+  "libsb_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

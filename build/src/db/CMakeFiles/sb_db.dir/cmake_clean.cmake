@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_db.dir/btree.cc.o"
+  "CMakeFiles/sb_db.dir/btree.cc.o.d"
+  "CMakeFiles/sb_db.dir/minisql.cc.o"
+  "CMakeFiles/sb_db.dir/minisql.cc.o.d"
+  "CMakeFiles/sb_db.dir/pager.cc.o"
+  "CMakeFiles/sb_db.dir/pager.cc.o.d"
+  "libsb_db.a"
+  "libsb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

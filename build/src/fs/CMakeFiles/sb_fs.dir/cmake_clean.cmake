@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_fs.dir/block_device.cc.o"
+  "CMakeFiles/sb_fs.dir/block_device.cc.o.d"
+  "CMakeFiles/sb_fs.dir/fs_rpc.cc.o"
+  "CMakeFiles/sb_fs.dir/fs_rpc.cc.o.d"
+  "CMakeFiles/sb_fs.dir/xv6fs.cc.o"
+  "CMakeFiles/sb_fs.dir/xv6fs.cc.o.d"
+  "libsb_fs.a"
+  "libsb_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cache.cc" "src/hw/CMakeFiles/sb_hw.dir/cache.cc.o" "gcc" "src/hw/CMakeFiles/sb_hw.dir/cache.cc.o.d"
+  "/root/repo/src/hw/core.cc" "src/hw/CMakeFiles/sb_hw.dir/core.cc.o" "gcc" "src/hw/CMakeFiles/sb_hw.dir/core.cc.o.d"
+  "/root/repo/src/hw/ept.cc" "src/hw/CMakeFiles/sb_hw.dir/ept.cc.o" "gcc" "src/hw/CMakeFiles/sb_hw.dir/ept.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/sb_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/sb_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/paging.cc" "src/hw/CMakeFiles/sb_hw.dir/paging.cc.o" "gcc" "src/hw/CMakeFiles/sb_hw.dir/paging.cc.o.d"
+  "/root/repo/src/hw/phys_mem.cc" "src/hw/CMakeFiles/sb_hw.dir/phys_mem.cc.o" "gcc" "src/hw/CMakeFiles/sb_hw.dir/phys_mem.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/sb_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/sb_hw.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

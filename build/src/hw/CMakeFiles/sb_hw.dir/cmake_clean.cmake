@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_hw.dir/cache.cc.o"
+  "CMakeFiles/sb_hw.dir/cache.cc.o.d"
+  "CMakeFiles/sb_hw.dir/core.cc.o"
+  "CMakeFiles/sb_hw.dir/core.cc.o.d"
+  "CMakeFiles/sb_hw.dir/ept.cc.o"
+  "CMakeFiles/sb_hw.dir/ept.cc.o.d"
+  "CMakeFiles/sb_hw.dir/machine.cc.o"
+  "CMakeFiles/sb_hw.dir/machine.cc.o.d"
+  "CMakeFiles/sb_hw.dir/paging.cc.o"
+  "CMakeFiles/sb_hw.dir/paging.cc.o.d"
+  "CMakeFiles/sb_hw.dir/phys_mem.cc.o"
+  "CMakeFiles/sb_hw.dir/phys_mem.cc.o.d"
+  "CMakeFiles/sb_hw.dir/tlb.cc.o"
+  "CMakeFiles/sb_hw.dir/tlb.cc.o.d"
+  "libsb_hw.a"
+  "libsb_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_mk.dir/kernel.cc.o"
+  "CMakeFiles/sb_mk.dir/kernel.cc.o.d"
+  "CMakeFiles/sb_mk.dir/notification.cc.o"
+  "CMakeFiles/sb_mk.dir/notification.cc.o.d"
+  "CMakeFiles/sb_mk.dir/process.cc.o"
+  "CMakeFiles/sb_mk.dir/process.cc.o.d"
+  "CMakeFiles/sb_mk.dir/profile.cc.o"
+  "CMakeFiles/sb_mk.dir/profile.cc.o.d"
+  "CMakeFiles/sb_mk.dir/scheduler.cc.o"
+  "CMakeFiles/sb_mk.dir/scheduler.cc.o.d"
+  "libsb_mk.a"
+  "libsb_mk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_mk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_skybridge.dir/guest_exec.cc.o"
+  "CMakeFiles/sb_skybridge.dir/guest_exec.cc.o.d"
+  "CMakeFiles/sb_skybridge.dir/skybridge.cc.o"
+  "CMakeFiles/sb_skybridge.dir/skybridge.cc.o.d"
+  "CMakeFiles/sb_skybridge.dir/trampoline.cc.o"
+  "CMakeFiles/sb_skybridge.dir/trampoline.cc.o.d"
+  "libsb_skybridge.a"
+  "libsb_skybridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_skybridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

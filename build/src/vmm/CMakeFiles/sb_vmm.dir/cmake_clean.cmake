@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_vmm.dir/rootkernel.cc.o"
+  "CMakeFiles/sb_vmm.dir/rootkernel.cc.o.d"
+  "libsb_vmm.a"
+  "libsb_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

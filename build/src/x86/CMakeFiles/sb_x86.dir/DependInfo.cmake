@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/assembler.cc" "src/x86/CMakeFiles/sb_x86.dir/assembler.cc.o" "gcc" "src/x86/CMakeFiles/sb_x86.dir/assembler.cc.o.d"
+  "/root/repo/src/x86/decoder.cc" "src/x86/CMakeFiles/sb_x86.dir/decoder.cc.o" "gcc" "src/x86/CMakeFiles/sb_x86.dir/decoder.cc.o.d"
+  "/root/repo/src/x86/emulator.cc" "src/x86/CMakeFiles/sb_x86.dir/emulator.cc.o" "gcc" "src/x86/CMakeFiles/sb_x86.dir/emulator.cc.o.d"
+  "/root/repo/src/x86/format.cc" "src/x86/CMakeFiles/sb_x86.dir/format.cc.o" "gcc" "src/x86/CMakeFiles/sb_x86.dir/format.cc.o.d"
+  "/root/repo/src/x86/insn.cc" "src/x86/CMakeFiles/sb_x86.dir/insn.cc.o" "gcc" "src/x86/CMakeFiles/sb_x86.dir/insn.cc.o.d"
+  "/root/repo/src/x86/rewriter.cc" "src/x86/CMakeFiles/sb_x86.dir/rewriter.cc.o" "gcc" "src/x86/CMakeFiles/sb_x86.dir/rewriter.cc.o.d"
+  "/root/repo/src/x86/scanner.cc" "src/x86/CMakeFiles/sb_x86.dir/scanner.cc.o" "gcc" "src/x86/CMakeFiles/sb_x86.dir/scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_x86.dir/assembler.cc.o"
+  "CMakeFiles/sb_x86.dir/assembler.cc.o.d"
+  "CMakeFiles/sb_x86.dir/decoder.cc.o"
+  "CMakeFiles/sb_x86.dir/decoder.cc.o.d"
+  "CMakeFiles/sb_x86.dir/emulator.cc.o"
+  "CMakeFiles/sb_x86.dir/emulator.cc.o.d"
+  "CMakeFiles/sb_x86.dir/format.cc.o"
+  "CMakeFiles/sb_x86.dir/format.cc.o.d"
+  "CMakeFiles/sb_x86.dir/insn.cc.o"
+  "CMakeFiles/sb_x86.dir/insn.cc.o.d"
+  "CMakeFiles/sb_x86.dir/rewriter.cc.o"
+  "CMakeFiles/sb_x86.dir/rewriter.cc.o.d"
+  "CMakeFiles/sb_x86.dir/scanner.cc.o"
+  "CMakeFiles/sb_x86.dir/scanner.cc.o.d"
+  "libsb_x86.a"
+  "libsb_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_notification_test.dir/mk_notification_test.cc.o"
+  "CMakeFiles/mk_notification_test.dir/mk_notification_test.cc.o.d"
+  "mk_notification_test"
+  "mk_notification_test.pdb"
+  "mk_notification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_notification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_scheduler_test.dir/mk_scheduler_test.cc.o"
+  "CMakeFiles/mk_scheduler_test.dir/mk_scheduler_test.cc.o.d"
+  "mk_scheduler_test"
+  "mk_scheduler_test.pdb"
+  "mk_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

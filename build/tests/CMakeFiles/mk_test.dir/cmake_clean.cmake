@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_test.dir/mk_test.cc.o"
+  "CMakeFiles/mk_test.dir/mk_test.cc.o.d"
+  "mk_test"
+  "mk_test.pdb"
+  "mk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

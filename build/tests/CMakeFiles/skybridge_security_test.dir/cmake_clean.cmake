@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skybridge_security_test.dir/skybridge_security_test.cc.o"
+  "CMakeFiles/skybridge_security_test.dir/skybridge_security_test.cc.o.d"
+  "skybridge_security_test"
+  "skybridge_security_test.pdb"
+  "skybridge_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skybridge_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

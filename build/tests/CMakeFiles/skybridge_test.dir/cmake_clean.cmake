@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skybridge_test.dir/skybridge_test.cc.o"
+  "CMakeFiles/skybridge_test.dir/skybridge_test.cc.o.d"
+  "skybridge_test"
+  "skybridge_test.pdb"
+  "skybridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skybridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x86_emulator_test.dir/x86_emulator_test.cc.o"
+  "CMakeFiles/x86_emulator_test.dir/x86_emulator_test.cc.o.d"
+  "x86_emulator_test"
+  "x86_emulator_test.pdb"
+  "x86_emulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x86_emulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x86_rewriter_test.dir/x86_rewriter_test.cc.o"
+  "CMakeFiles/x86_rewriter_test.dir/x86_rewriter_test.cc.o.d"
+  "x86_rewriter_test"
+  "x86_rewriter_test.pdb"
+  "x86_rewriter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x86_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

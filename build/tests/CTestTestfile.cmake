@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/x86_decoder_test[1]_include.cmake")
+include("/root/repo/build/tests/x86_emulator_test[1]_include.cmake")
+include("/root/repo/build/tests/x86_rewriter_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/vmm_test[1]_include.cmake")
+include("/root/repo/build/tests/mk_test[1]_include.cmake")
+include("/root/repo/build/tests/skybridge_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/skybridge_security_test[1]_include.cmake")
+include("/root/repo/build/tests/mk_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/x86_format_test[1]_include.cmake")
+include("/root/repo/build/tests/mk_notification_test[1]_include.cmake")
