@@ -5,12 +5,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "src/apps/corpus.h"
+#include "src/base/rng.h"
+#include "src/base/thread_pool.h"
 #include "src/base/units.h"
 #include "src/hw/machine.h"
 #include "src/hw/paging.h"
 #include "src/mk/kernel.h"
 #include "src/skybridge/skybridge.h"
 #include "src/vmm/rootkernel.h"
+#include "src/x86/scanner.h"
 
 namespace {
 
@@ -85,6 +92,109 @@ void BM_KernelIpcRoundtrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KernelIpcRoundtrip);
+
+// One client registered against N servers. Exercises the binding lookup
+// path as the binding count grows: per-call cost must stay flat 1 -> 512
+// (the lookup is a per-thread cache probe or one hash-index probe, never a
+// scan over the binding table).
+struct FanoutFixture {
+  explicit FanoutFixture(int num_servers) {
+    hw::MachineConfig mc;
+    mc.num_cores = 2;
+    // Each process eagerly reserves its heap/stack frame addresses; host
+    // memory is only committed for touched pages, so a large configured RAM
+    // is cheap and lets 512 server processes coexist.
+    mc.ram_bytes = 12 * sb::kGiB;
+    machine = std::make_unique<hw::Machine>(mc);
+    kernel = std::make_unique<mk::Kernel>(*machine, mk::Sel4Profile());
+    SB_CHECK(kernel->Boot().ok());
+    sky = std::make_unique<skybridge::SkyBridge>(*kernel);
+    client = kernel->CreateProcess("client").value();
+    for (int i = 0; i < num_servers; ++i) {
+      mk::Process* server = kernel->CreateProcess("server" + std::to_string(i)).value();
+      skybridge::ServerId sid =
+          sky->RegisterServer(server, 4, [](mk::CallEnv& env) { return env.request; }).value();
+      SB_CHECK(sky->RegisterClient(client, sid).ok());
+      sids.push_back(sid);
+    }
+    thread = client->AddThread(0);
+    SB_CHECK(kernel->ContextSwitchTo(machine->core(0), client).ok());
+  }
+
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<mk::Kernel> kernel;
+  std::unique_ptr<skybridge::SkyBridge> sky;
+  mk::Process* client;
+  std::vector<skybridge::ServerId> sids;
+  mk::Thread* thread;
+};
+
+// Round-robins calls over a small working set of servers while N total
+// bindings are registered. The rotation defeats the per-thread last-route
+// cache, so every call takes the hash-index path; the working set stays
+// under the EPTP capacity so no evictions mix in. Flat across Args ==
+// O(1) lookup.
+void BM_BindingLookup(benchmark::State& state) {
+  const int num_servers = static_cast<int>(state.range(0));
+  FanoutFixture fixture(num_servers);
+  const size_t working_set = std::min<size_t>(fixture.sids.size(), 8);
+  const mk::Message msg(7);
+  // Warm up: install the working set's bindings outside the timed loop.
+  for (size_t i = 0; i < working_set; ++i) {
+    SB_CHECK(fixture.sky->DirectServerCall(fixture.thread, fixture.sids[i], msg).ok());
+  }
+  size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.sky->DirectServerCall(fixture.thread, fixture.sids[next], msg));
+    next = (next + 1) % working_set;
+  }
+  state.counters["bindings"] = static_cast<double>(num_servers);
+}
+BENCHMARK(BM_BindingLookup)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+// Same fixture, but hammering one server: every call after the first is a
+// per-thread route-cache hit.
+void BM_BindingLookupHot(benchmark::State& state) {
+  const int num_servers = static_cast<int>(state.range(0));
+  FanoutFixture fixture(num_servers);
+  const mk::Message msg(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.sky->DirectServerCall(fixture.thread, fixture.sids[0], msg));
+  }
+  state.counters["bindings"] = static_cast<double>(num_servers);
+}
+BENCHMARK(BM_BindingLookupHot)->Arg(1)->Arg(512);
+
+// Registration-time code scanning: serial vs. thread-pool fan-out over a
+// multi-MiB image (the paper's Table 6 workload shape).
+std::vector<uint8_t> ScanImage() {
+  sb::Rng rng(0x5eedULL);
+  return apps::GenerateProgram(rng, 4 * sb::kMiB);
+}
+
+void BM_VmfuncScanSerial(benchmark::State& state) {
+  const std::vector<uint8_t> image = ScanImage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x86::FindVmfuncBytes(image));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * image.size()));
+}
+BENCHMARK(BM_VmfuncScanSerial);
+
+void BM_VmfuncScanParallel(benchmark::State& state) {
+  const std::vector<uint8_t> image = ScanImage();
+  sb::ThreadPool pool;
+  x86::ScanOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x86::FindVmfuncBytes(image, options));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * image.size()));
+  state.counters["threads"] = static_cast<double>(pool.num_threads() + 1);
+}
+BENCHMARK(BM_VmfuncScanParallel);
 
 }  // namespace
 

@@ -29,10 +29,14 @@ inline constexpr hw::Gva kHeapVa = 0x10000000;
 inline constexpr hw::Gva kStackTopVa = 0x7ffe00000000;
 inline constexpr uint64_t kStackSize = 64 * 1024;
 inline constexpr hw::Gva kTrampolineVa = 0x700000000000;       // SkyBridge code page.
+// Each server id owns a 16 MiB stack stride (256 connections x 64 KiB), so
+// the regions below are spaced far enough apart that hundreds of servers /
+// bindings never collide (stacks get 32 GiB of VA; buffers grow upward from
+// their own base).
 inline constexpr hw::Gva kServerStacksVa = 0x700000100000;     // SkyBridge stacks.
-inline constexpr hw::Gva kSharedBufVa = 0x700010000000;        // SkyBridge buffers.
-inline constexpr hw::Gva kIdentityVa = 0x700020000000;         // Identity page.
-inline constexpr hw::Gva kCallingKeyTableVa = 0x700030000000;  // Key table.
+inline constexpr hw::Gva kSharedBufVa = 0x700800000000;        // SkyBridge buffers.
+inline constexpr hw::Gva kIdentityVa = 0x700900000000;         // Identity page.
+inline constexpr hw::Gva kCallingKeyTableVa = 0x700a00000000;  // Key table.
 inline constexpr hw::Gva kKernelCodeVa = 0xffff800000000000;
 inline constexpr hw::Gva kKernelDataVa = 0xffff880000000000;
 
@@ -60,10 +64,23 @@ class Thread {
   int core_id() const { return core_id_; }
   void set_core_id(int core_id) { core_id_ = core_id; }
 
+  // Opaque per-thread last-route cache. SkyBridge stores the binding it
+  // resolved for this thread's most recent server lookup, so the common
+  // mono-binding call pattern never consults the binding index. `generation`
+  // is the owner's invalidation epoch: a mismatch means the entry is stale
+  // and must be re-resolved. The kernel itself never reads these fields.
+  struct RouteCache {
+    uint64_t key = ~0ULL;       // Owner-defined lookup key (server id).
+    uint64_t generation = 0;    // Owner's invalidation epoch.
+    void* route = nullptr;      // Owner-defined route object.
+  };
+  RouteCache& route_cache() { return route_cache_; }
+
  private:
   Process* process_;
   int tid_;
   int core_id_;
+  RouteCache route_cache_;
 };
 
 class Process {

@@ -43,10 +43,13 @@ sb::Status SkyBridge::RewriteProcessImage(mk::Process* process) {
   x86::RewriteConfig rw;
   rw.code_base = mk::kCodeVa;
   rw.rewrite_page_base = mk::kRewritePageVa;
+  rw.scan_pool = &scan_pool_;
   SB_ASSIGN_OR_RETURN(x86::RewriteResult result,
                       x86::RewriteVmfunc(process->code_image(), rw));
   stats_.rewritten_vmfuncs +=
       static_cast<uint64_t>(result.stats.nop_replaced + result.stats.windows_relocated);
+  stats_.scan_pages += result.stats.scan_pages;
+  stats_.scan_threads = std::max(stats_.scan_threads, result.stats.scan_threads);
 
   // Write the rewritten image back over the process's code pages.
   const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
@@ -138,41 +141,164 @@ sb::StatusOr<ServerId> SkyBridge::RegisterServer(mk::Process* server, int max_co
   return id;
 }
 
-SkyBridge::Binding* SkyBridge::FindBinding(mk::Process* client, ServerId server) {
-  for (const auto& b : bindings_) {
-    if (b->client == client && b->server == server) {
-      return b.get();
-    }
-  }
-  return nullptr;
+size_t SkyBridge::BindingIndex::Hash(const mk::Process* client, ServerId server) {
+  // splitmix64 finalizer over the pointer/id mix: cheap and well spread for
+  // linear probing.
+  uint64_t x = reinterpret_cast<uintptr_t>(client) ^ (server * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x);
 }
 
-sb::StatusOr<uint32_t> SkyBridge::EptpIndexOf(const Binding& binding) const {
-  const auto& ids = binding.client->eptp_list_ids();
-  for (size_t i = 0; i < ids.size(); ++i) {
-    if (ids[i] == binding.ept_id) {
-      return static_cast<uint32_t>(i);
+SkyBridge::Binding* SkyBridge::BindingIndex::Find(const mk::Process* client,
+                                                 ServerId server) const {
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = Hash(client, server) & mask;; i = (i + 1) & mask) {
+    Binding* b = slots_[i];
+    if (b == nullptr) {
+      return nullptr;
+    }
+    if (b->client == client && b->server == server) {
+      return b;
     }
   }
-  return sb::NotFound("binding not installed in EPTP list");
+}
+
+void SkyBridge::BindingIndex::Insert(Binding* binding) {
+  if ((size_ + 1) * 4 > slots_.size() * 3) {  // Keep load factor under 3/4.
+    Grow();
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t i = Hash(binding->client, binding->server) & mask;
+  while (slots_[i] != nullptr) {
+    i = (i + 1) & mask;
+  }
+  slots_[i] = binding;
+  ++size_;
+}
+
+void SkyBridge::BindingIndex::Grow() {
+  std::vector<Binding*> old = std::move(slots_);
+  slots_.assign(old.size() * 2, nullptr);
+  const size_t mask = slots_.size() - 1;
+  for (Binding* b : old) {
+    if (b == nullptr) {
+      continue;
+    }
+    size_t i = Hash(b->client, b->server) & mask;
+    while (slots_[i] != nullptr) {
+      i = (i + 1) & mask;
+    }
+    slots_[i] = b;
+  }
+}
+
+SkyBridge::Binding* SkyBridge::FindBinding(mk::Process* client, ServerId server) {
+  return binding_index_.Find(client, server);
+}
+
+SkyBridge::Binding* SkyBridge::LookupRoute(mk::Thread* caller, ServerId server) {
+  mk::Thread::RouteCache& cache = caller->route_cache();
+  if (cache.generation == route_generation_ && cache.key == server && cache.route != nullptr) {
+    Binding* cached = static_cast<Binding*>(cache.route);
+    if (cached->client == caller->process()) {
+      ++stats_.binding_lookup_hits;
+      return cached;
+    }
+  }
+  ++stats_.binding_lookup_misses;
+  Binding* binding = binding_index_.Find(caller->process(), server);
+  if (binding != nullptr) {
+    cache.key = server;
+    cache.route = binding;
+    cache.generation = route_generation_;
+  }
+  return binding;
+}
+
+SkyBridge::Binding* SkyBridge::AdoptBinding(std::unique_ptr<Binding> binding) {
+  Binding* b = binding.get();
+  ClientState& state = clients_[b->client];  // Node pointers are stable.
+  b->lru_owner = &state;
+  b->lru_next = state.lru_head;
+  if (state.lru_head != nullptr) {
+    state.lru_head->lru_prev = b;
+  }
+  state.lru_head = b;
+  if (state.lru_tail == nullptr) {
+    state.lru_tail = b;
+  }
+  binding_index_.Insert(b);
+  bindings_.push_back(std::move(binding));
+  return b;
 }
 
 void SkyBridge::TouchLru(Binding& binding) {
-  auto& lru = lru_[binding.client];
-  lru.remove(&binding);
-  lru.push_front(&binding);
+  ClientState& state = *binding.lru_owner;
+  if (state.lru_head == &binding) {
+    return;
+  }
+  // Unlink, then relink at the head — pure pointer surgery, no traversal.
+  if (binding.lru_prev != nullptr) {
+    binding.lru_prev->lru_next = binding.lru_next;
+  }
+  if (binding.lru_next != nullptr) {
+    binding.lru_next->lru_prev = binding.lru_prev;
+  }
+  if (state.lru_tail == &binding) {
+    state.lru_tail = binding.lru_prev;
+  }
+  binding.lru_prev = nullptr;
+  binding.lru_next = state.lru_head;
+  state.lru_head->lru_prev = &binding;
+  state.lru_head = &binding;
+}
+
+size_t SkyBridge::EptpSlotOfId(const std::vector<uint64_t>& ids, uint64_t ept_id) {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == ept_id) {
+      return i;
+    }
+  }
+  return kSlotNotFound;
+}
+
+void SkyBridge::RefreshEptpSlots(mk::Process* client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return;
+  }
+  const auto& ids = client->eptp_list_ids();
+  std::unordered_map<uint64_t, uint32_t> slot_of;
+  slot_of.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    slot_of.emplace(ids[i], static_cast<uint32_t>(i));
+  }
+  for (Binding* b = it->second.lru_head; b != nullptr; b = b->lru_next) {
+    if (!b->installed) {
+      b->eptp_slot = kNoEptpSlot;
+      continue;
+    }
+    auto found = slot_of.find(b->ept_id);
+    SB_CHECK(found != slot_of.end()) << "installed binding missing from the EPTP list";
+    b->eptp_slot = found->second;
+  }
 }
 
 sb::Status SkyBridge::InstallBinding(hw::Core& core, Binding& binding, uint64_t pinned_ept) {
   auto& ids = binding.client->eptp_list_ids();
+  bool reshuffled = false;
   // Slot 0 is the client's own EPT; bindings occupy the rest.
   while (ids.size() + 1 > config_.eptp_capacity) {
-    // Evict the least-recently-used installed binding (paper Section 10).
-    auto& lru = lru_[binding.client];
+    // Evict the least-recently-used installed binding (paper Section 10),
+    // walking the intrusive list from its cold end.
     Binding* victim = nullptr;
-    for (auto it = lru.rbegin(); it != lru.rend(); ++it) {
-      if ((*it)->installed && *it != &binding && (*it)->ept_id != pinned_ept) {
-        victim = *it;
+    for (Binding* b = binding.lru_owner->lru_tail; b != nullptr; b = b->lru_prev) {
+      if (b->installed && b != &binding && b->ept_id != pinned_ept) {
+        victim = b;
         break;
       }
     }
@@ -180,12 +306,23 @@ sb::Status SkyBridge::InstallBinding(hw::Core& core, Binding& binding, uint64_t 
       return sb::ResourceExhausted("EPTP list full and nothing evictable");
     }
     victim->installed = false;
+    victim->eptp_slot = kNoEptpSlot;
     ids.erase(std::remove(ids.begin(), ids.end(), victim->ept_id), ids.end());
+    reshuffled = true;  // Later slots shifted down; caches are now stale.
   }
-  if (std::find(ids.begin(), ids.end(), binding.ept_id) == ids.end()) {
+  const size_t existing = EptpSlotOfId(ids, binding.ept_id);
+  if (existing == kSlotNotFound) {
     ids.push_back(binding.ept_id);
+    binding.eptp_slot = static_cast<uint32_t>(ids.size() - 1);
+  } else {
+    binding.eptp_slot = static_cast<uint32_t>(existing);
   }
   binding.installed = true;
+  if (reshuffled) {
+    // Central invalidation point: recompute every cached slot for this
+    // client so no binding carries a stale index.
+    RefreshEptpSlots(binding.client);
+  }
   // Reinstall the EPTP list on every core currently running this client.
   for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
     if (kernel_->current_process(i) == binding.client) {
@@ -253,9 +390,7 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
   binding->shared_buf = buf_va;
   binding->key_slot = slot;
   binding->installed = false;
-  Binding* b = binding.get();
-  bindings_.push_back(std::move(binding));
-  lru_[client].push_front(b);
+  Binding* b = AdoptBinding(std::move(binding));
 
   const sb::Status install = InstallBinding(core, *b, /*pinned_ept=*/0);
   kernel_->SyscallExit(core, nullptr);
@@ -290,10 +425,7 @@ sb::StatusOr<SkyBridge::Binding*> SkyBridge::GetOrCreateChainBinding(hw::Core& c
   binding->key_slot = 0;
   binding->installed = false;
   binding->chain = true;
-  Binding* b = binding.get();
-  bindings_.push_back(std::move(binding));
-  lru_[origin].push_front(b);
-  return b;
+  return AdoptBinding(std::move(binding));
 }
 
 void SkyBridge::ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd) {
@@ -314,8 +446,9 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
   mk::Process* proc = caller->process();
   hw::Core& core = kernel_->machine().core(caller->core_id());
 
-  // Authorization comes from the caller's own registration.
-  Binding* perm = FindBinding(proc, server_id);
+  // Authorization comes from the caller's own registration. The lookup is
+  // O(1): per-thread last-route cache, then the (client, server) hash index.
+  Binding* perm = LookupRoute(caller, server_id);
   if (perm == nullptr) {
     // Unregistered caller: the trampoline has no binding EPT to switch to;
     // the attempt is rejected and the kernel notified.
@@ -351,18 +484,23 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
   SB_CHECK(entry_index < origin_ids.size() || entry_index == 0);
   const uint64_t entry_ept = entry_index < origin_ids.size() ? origin_ids[entry_index] : 0;
 
+  // On the hit path the EPTP list is untouched, so the return slot is simply
+  // the slot we entered on — no scan.
+  size_t return_index = entry_ept != 0 ? entry_index : 0;
   if (!route->installed) {
     // LRU-evicted earlier (or a fresh chain binding): install it.
     ++stats_.eptp_misses;
     kernel_->SyscallEnter(core, bd);
     SB_RETURN_IF_ERROR(InstallBinding(core, *route, entry_ept));
     kernel_->SyscallExit(core, bd);
-    // Reinstallation may have shuffled slots; restore the entry view index.
-    for (size_t i = 0; i < origin_ids.size(); ++i) {
-      if (origin_ids[i] == entry_ept) {
-        core.vmcs().active_index = i;
-        break;
-      }
+    // Reinstallation may have shuffled slots; restore the entry view index
+    // (one scan, on the sanctioned slow path only).
+    const size_t entry_slot = EptpSlotOfId(origin_ids, entry_ept);
+    if (entry_slot != kSlotNotFound) {
+      core.vmcs().active_index = entry_slot;
+      return_index = entry_slot;
+    } else {
+      return_index = 0;
     }
   }
   TouchLru(*route);
@@ -385,20 +523,13 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
   // The client's per-call key; the server must echo it on return.
   const uint64_t client_key = key_rng_.Next();
 
-  SB_ASSIGN_OR_RETURN(const uint32_t eptp_index, EptpIndexOf(*route));
+  // The binding's slot is cached and centrally maintained; no EPTP scan.
+  SB_CHECK(route->eptp_slot != kNoEptpSlot) << "installed binding without a cached slot";
   const uint64_t before_vmfunc = core.cycles();
-  SB_RETURN_IF_ERROR(core.Vmfunc(0, eptp_index));
+  SB_RETURN_IF_ERROR(core.Vmfunc(0, route->eptp_slot));
   if (bd != nullptr) {
     bd->vmfunc += core.cycles() - before_vmfunc;
   }
-  const size_t return_index = [&] {
-    for (size_t i = 0; i < origin_ids.size(); ++i) {
-      if (origin_ids[i] == entry_ept) {
-        return i;
-      }
-    }
-    return size_t{0};
-  }();
 
   auto return_to_entry = [&]() -> sb::Status {
     const uint64_t t0 = core.cycles();
@@ -494,8 +625,12 @@ sb::StatusOr<mk::Message> SkyBridge::CallWithForgedKey(mk::Thread* caller, Serve
 
 sb::StatusOr<size_t> SkyBridge::InstalledBindings(mk::Process* client) const {
   size_t count = 0;
-  for (const auto& b : bindings_) {
-    if (b->client == client && b->installed) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return count;
+  }
+  for (const Binding* b = it->second.lru_head; b != nullptr; b = b->lru_next) {
+    if (b->installed) {
       ++count;
     }
   }

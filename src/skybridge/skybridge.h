@@ -16,18 +16,26 @@
 // registers, executes VMFUNC, installs a server stack, checks the calling
 // key and jumps to the registered handler — 2 x (134 + 64) = 396 cycles of
 // direct cost per roundtrip.
+//
+// The call path is O(1) in the number of registered bindings: lookups go
+// through a per-thread last-route cache backed by an open-addressed hash
+// index keyed on (client, server); LRU maintenance uses intrusive prev/next
+// links embedded in the Binding; and each installed binding caches its EPTP
+// list slot, invalidated centrally whenever InstallBinding reshuffles the
+// list. Registration — the sanctioned slow path — fans its code-page scans
+// out over a thread pool instead.
 
 #ifndef SRC_SKYBRIDGE_SKYBRIDGE_H_
 #define SRC_SKYBRIDGE_SKYBRIDGE_H_
 
 #include <cstdint>
-#include <list>
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/rng.h"
 #include "src/base/status.h"
+#include "src/base/thread_pool.h"
 #include "src/mk/kernel.h"
 #include "src/skybridge/trampoline.h"
 
@@ -59,6 +67,13 @@ struct SkyBridgeStats {
   uint64_t eptp_misses = 0;      // Binding had been LRU-evicted; reinstalled.
   uint64_t rewritten_vmfuncs = 0;
   uint64_t processes_rewritten = 0;
+  // Fast-path lookup accounting: hits were served by the per-thread
+  // last-route cache; misses fell through to the binding hash index.
+  uint64_t binding_lookup_hits = 0;
+  uint64_t binding_lookup_misses = 0;
+  // Registration-scan accounting (the parallel slow path).
+  uint64_t scan_pages = 0;    // Code-page chunks scanned across rewrites.
+  uint64_t scan_threads = 0;  // Widest fan-out any scan used.
 };
 
 class SkyBridge {
@@ -107,6 +122,12 @@ class SkyBridge {
     uint64_t next_connection = 0;
   };
 
+  // Sentinel for "binding not on the client's EPTP list".
+  static constexpr uint32_t kNoEptpSlot = 0xffffffffu;
+  static constexpr size_t kSlotNotFound = static_cast<size_t>(-1);
+
+  struct ClientState;
+
   struct Binding {
     mk::Process* client;      // The process whose CR3 is live when used.
     ServerId server;
@@ -120,21 +141,63 @@ class SkyBridge {
     // registration (Section 4.2: "the Rootkernel also writes all processes'
     // EPTPs that the server depends on into the client's EPTP list").
     bool chain = false;
+    // ---- Fast-path state ----
+    // Cached index of `ept_id` on the client's EPTP list; kNoEptpSlot while
+    // evicted. Maintained centrally by InstallBinding/RefreshEptpSlots so
+    // DirectServerCall never scans the list.
+    uint32_t eptp_slot = kNoEptpSlot;
+    // Intrusive per-client LRU links (head = most recently used).
+    Binding* lru_prev = nullptr;
+    Binding* lru_next = nullptr;
+    ClientState* lru_owner = nullptr;
+  };
+
+  // Per-client fast-path state: the intrusive LRU list heads.
+  struct ClientState {
+    Binding* lru_head = nullptr;  // Most recently used.
+    Binding* lru_tail = nullptr;  // Eviction candidate end.
+  };
+
+  // Open-addressed hash index over (client, server) -> Binding*: linear
+  // probing, power-of-two capacity. Bindings are never destroyed, so there
+  // are no tombstones and lookups stop at the first empty slot.
+  class BindingIndex {
+   public:
+    BindingIndex() : slots_(kInitialSlots, nullptr) {}
+    Binding* Find(const mk::Process* client, ServerId server) const;
+    void Insert(Binding* binding);
+
+   private:
+    static constexpr size_t kInitialSlots = 64;
+    static size_t Hash(const mk::Process* client, ServerId server);
+    void Grow();
+    std::vector<Binding*> slots_;
+    size_t size_ = 0;
   };
 
   sb::Status EnsureProcessPrepared(mk::Process* process);
   sb::Status RewriteProcessImage(mk::Process* process);
+  // O(1) index lookup (slow path of the lookup; no linear scans).
   Binding* FindBinding(mk::Process* client, ServerId server);
+  // Per-thread last-route cache in front of FindBinding; maintains the
+  // binding_lookup_hits/misses counters.
+  Binding* LookupRoute(mk::Thread* caller, ServerId server);
+  // Registers a freshly created binding: index insert + LRU front.
+  Binding* AdoptBinding(std::unique_ptr<Binding> binding);
   // Lazily creates the chain binding (origin's CR3 -> target server) used by
   // nested calls; kernel- and Rootkernel-mediated.
   sb::StatusOr<Binding*> GetOrCreateChainBinding(hw::Core& core, mk::Process* origin,
                                                  ServerId server_id);
-  // Index of the binding's EPT in the client's EPTP list, or error if the
-  // binding is not installed.
-  sb::StatusOr<uint32_t> EptpIndexOf(const Binding& binding) const;
+  // Index of `ept_id` on an EPTP list, or kSlotNotFound. Only used on the
+  // slow path (entry-slot restore after a reinstall reshuffles the list).
+  static size_t EptpSlotOfId(const std::vector<uint64_t>& ids, uint64_t ept_id);
+  // Recomputes every cached eptp_slot for `client` after the EPTP list
+  // changed shape — the central invalidation point for the slot caches.
+  void RefreshEptpSlots(mk::Process* client);
   // LRU maintenance: make room for / reinstall a binding. `pinned_ept` is
   // never evicted (the EPT we must return to).
   sb::Status InstallBinding(hw::Core& core, Binding& binding, uint64_t pinned_ept);
+  // O(1) move-to-front on the client's intrusive LRU list.
   void TouchLru(Binding& binding);
 
   // The trampoline leg costs: 64 cycles of save/restore + stack install per
@@ -148,9 +211,15 @@ class SkyBridge {
   TrampolineLayout trampoline_;
   hw::Gpa trampoline_gpa_ = 0;  // Shared trampoline code frame.
   std::vector<ServerEntry> servers_;
-  std::vector<std::unique_ptr<Binding>> bindings_;
-  // Per-client binding LRU (most recent at front).
-  std::map<mk::Process*, std::list<Binding*>> lru_;
+  std::vector<std::unique_ptr<Binding>> bindings_;  // Ownership only.
+  BindingIndex binding_index_;                      // (client, server) -> binding.
+  std::unordered_map<mk::Process*, ClientState> clients_;  // Stable nodes.
+  // Epoch for the per-thread route caches. Bindings are never destroyed
+  // today, so this only moves if a future path removes one; bump it there to
+  // invalidate every thread's cached Binding* at once.
+  uint64_t route_generation_ = 1;
+  // Fans out the registration-time code-page scans (slow path only).
+  sb::ThreadPool scan_pool_;
   hw::Gva next_shared_buf_va_ = 0;
 };
 

@@ -849,8 +849,15 @@ sb::StatusOr<RewriteResult> RewriteVmfunc(std::span<const uint8_t> code,
   RewriteResult result;
   result.code.assign(code.begin(), code.end());
 
+  ScanStats scan_stats;
+  ScanOptions scan_options;
+  scan_options.pool = config.scan_pool;
+  scan_options.stats = &scan_stats;
+
   for (int iter = 0; iter < config.max_iterations; ++iter) {
-    const std::vector<VmfuncHit> hits = ScanForVmfunc(result.code);
+    const std::vector<VmfuncHit> hits = ScanForVmfunc(result.code, scan_options);
+    result.stats.scan_pages = scan_stats.pages;
+    result.stats.scan_threads = scan_stats.threads;
     if (hits.empty()) {
       if (ContainsPattern(result.rewrite_page)) {
         return sb::Internal("rewrite page contains the pattern after rewriting");

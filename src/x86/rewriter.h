@@ -41,6 +41,10 @@
 #include "src/base/status.h"
 #include "src/x86/scanner.h"
 
+namespace sb {
+class ThreadPool;
+}  // namespace sb
+
 namespace x86 {
 
 struct RewriteConfig {
@@ -48,12 +52,17 @@ struct RewriteConfig {
   uint64_t rewrite_page_base = 0x1000;  // VA of the rewrite page (paper 5.1).
   size_t rewrite_page_capacity = 16 * 4096;
   int max_iterations = 64;
+  // Optional pool for the per-code-page chunked pattern scans. The rewrite
+  // output is byte-identical with or without it (deterministic merge order).
+  sb::ThreadPool* scan_pool = nullptr;
 };
 
 struct RewriteStats {
   int nop_replaced = 0;       // C1: true VMFUNC instructions NOPed out.
   int windows_relocated = 0;  // Windows moved to the rewrite page.
   int snippets_emitted = 0;
+  uint64_t scan_pages = 0;    // Code-page chunks scanned across all passes.
+  uint64_t scan_threads = 0;  // Widest fan-out any scan pass used.
 };
 
 struct RewriteResult {

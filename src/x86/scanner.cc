@@ -1,28 +1,85 @@
 #include "src/x86/scanner.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "src/base/thread_pool.h"
 #include "src/x86/decoder.h"
 
 namespace x86 {
+namespace {
+
+// Appends every pattern start in [begin, limit) to `out`, memchr-hopping
+// between 0x0F candidates. The caller guarantees limit + 2 <= code.size(),
+// so reading the two trailing bytes of a straddling candidate is safe.
+void ScanRange(std::span<const uint8_t> code, size_t begin, size_t limit,
+               std::vector<size_t>& out) {
+  const uint8_t* base = code.data();
+  size_t i = begin;
+  while (i < limit) {
+    const void* p = std::memchr(base + i, kVmfuncBytes[0], limit - i);
+    if (p == nullptr) {
+      return;
+    }
+    const size_t off = static_cast<size_t>(static_cast<const uint8_t*>(p) - base);
+    if (base[off + 1] == kVmfuncBytes[1] && base[off + 2] == kVmfuncBytes[2]) {
+      out.push_back(off);
+    }
+    i = off + 1;
+  }
+}
+
+}  // namespace
 
 std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code) {
+  return FindVmfuncBytes(code, ScanOptions{});
+}
+
+std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code, const ScanOptions& options) {
   std::vector<size_t> offsets;
   if (code.size() < 3) {
     return offsets;
   }
-  for (size_t i = 0; i + 2 < code.size(); ++i) {
-    if (code[i] == kVmfuncBytes[0] && code[i + 1] == kVmfuncBytes[1] &&
-        code[i + 2] == kVmfuncBytes[2]) {
-      offsets.push_back(i);
+  const size_t search_end = code.size() - 2;  // Valid pattern starts: [0, search_end).
+  const size_t chunk = options.chunk_bytes == 0 ? 4096 : options.chunk_bytes;
+  const size_t num_chunks = (code.size() + chunk - 1) / chunk;
+  if (options.stats != nullptr) {
+    options.stats->pages += num_chunks;
+  }
+  if (options.pool == nullptr || num_chunks < 2) {
+    ScanRange(code, 0, search_end, offsets);
+    if (options.stats != nullptr) {
+      options.stats->threads = std::max<uint64_t>(options.stats->threads, 1);
     }
+    return offsets;
+  }
+  // One bucket per code page; chunk c owns the starts in [c*chunk,
+  // (c+1)*chunk). Buckets are disjoint and internally ascending, so the
+  // in-order merge reproduces the serial scan byte for byte.
+  std::vector<std::vector<size_t>> buckets(num_chunks);
+  const size_t used = options.pool->ParallelFor(num_chunks, [&](size_t c) {
+    const size_t begin = c * chunk;
+    const size_t limit = std::min((c + 1) * chunk, search_end);
+    if (begin < limit) {
+      ScanRange(code, begin, limit, buckets[c]);
+    }
+  });
+  if (options.stats != nullptr) {
+    options.stats->threads = std::max<uint64_t>(options.stats->threads, used);
+  }
+  for (const std::vector<size_t>& bucket : buckets) {
+    offsets.insert(offsets.end(), bucket.begin(), bucket.end());
   }
   return offsets;
 }
 
 std::vector<VmfuncHit> ScanForVmfunc(std::span<const uint8_t> code) {
+  return ScanForVmfunc(code, ScanOptions{});
+}
+
+std::vector<VmfuncHit> ScanForVmfunc(std::span<const uint8_t> code, const ScanOptions& options) {
   std::vector<VmfuncHit> hits;
-  const std::vector<size_t> raw = FindVmfuncBytes(code);
+  const std::vector<size_t> raw = FindVmfuncBytes(code, options);
   if (raw.empty()) {
     return hits;
   }

@@ -7,6 +7,12 @@
 //   C2 — the pattern spans two or more instructions,
 //   C3 — the pattern is embedded in a longer instruction's ModRM, SIB,
 //        displacement or immediate field.
+//
+// The raw byte scan is memchr-accelerated and can fan out across a
+// sb::ThreadPool, one chunk per code page. Each chunk owns the pattern
+// starts inside its own byte range (reading up to two bytes past it for
+// straddling patterns), so the merged result is byte-identical to the
+// serial scan regardless of thread scheduling.
 
 #ifndef SRC_X86_SCANNER_H_
 #define SRC_X86_SCANNER_H_
@@ -18,6 +24,10 @@
 
 #include "src/x86/insn.h"
 
+namespace sb {
+class ThreadPool;
+}  // namespace sb
+
 namespace x86 {
 
 inline constexpr uint8_t kVmfuncBytes[3] = {0x0f, 0x01, 0xd4};
@@ -28,11 +38,26 @@ struct VmfuncHit {
   VmfuncOverlap overlap = VmfuncOverlap::kUndecodable;
 };
 
-// Returns the raw offsets of every 0F 01 D4 triple (no decoding).
+// Accounting for one or more scans (accumulated across calls).
+struct ScanStats {
+  uint64_t pages = 0;    // Chunks (code pages) scanned.
+  uint64_t threads = 0;  // Widest fan-out: max threads any scan used.
+};
+
+struct ScanOptions {
+  sb::ThreadPool* pool = nullptr;  // nullptr => serial scan.
+  size_t chunk_bytes = 4096;       // Fan-out granularity (one code page).
+  ScanStats* stats = nullptr;      // Optional accounting sink.
+};
+
+// Returns the raw offsets of every 0F 01 D4 triple (no decoding), in
+// ascending offset order.
 std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code);
+std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code, const ScanOptions& options);
 
 // Full scan: find and classify every occurrence.
 std::vector<VmfuncHit> ScanForVmfunc(std::span<const uint8_t> code);
+std::vector<VmfuncHit> ScanForVmfunc(std::span<const uint8_t> code, const ScanOptions& options);
 
 }  // namespace x86
 

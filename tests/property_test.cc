@@ -6,13 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include "src/apps/corpus.h"
 #include "src/base/rng.h"
+#include "src/base/thread_pool.h"
 #include "src/fs/block_device.h"
 #include "src/fs/xv6fs.h"
 #include "src/hw/ept.h"
 #include "src/hw/machine.h"
 #include "src/sim/executor.h"
 #include "src/x86/decoder.h"
+#include "src/x86/rewriter.h"
+#include "src/x86/scanner.h"
 
 namespace {
 
@@ -198,6 +202,72 @@ TEST_P(FsPropertyTest, RandomOpsMatchReferenceModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FsPropertyTest, ::testing::Range(0, 8));
+
+// ---- Parallel VMFUNC scan == serial scan, byte for byte ----
+
+TEST(ScanParityProperty, ParallelScanMatchesSerialOnTable6Corpus) {
+  sb::ThreadPool pool(4);
+  const std::vector<apps::CorpusProgram> corpus = apps::BuildTable6Corpus(0x5eed);
+  ASSERT_FALSE(corpus.empty());
+  for (const apps::CorpusProgram& program : corpus) {
+    const std::vector<size_t> serial = x86::FindVmfuncBytes(program.code);
+    // Exercise several chunk sizes, including ones that do not divide the
+    // image evenly.
+    for (const size_t chunk : {size_t{4096}, size_t{4095}, size_t{1 << 16}, size_t{257}}) {
+      x86::ScanOptions options;
+      options.pool = &pool;
+      options.chunk_bytes = chunk;
+      EXPECT_EQ(x86::FindVmfuncBytes(program.code, options), serial)
+          << program.name << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(ScanParityProperty, PatternsStraddlingChunkBoundariesAreFound) {
+  sb::ThreadPool pool(4);
+  // Place the 3-byte pattern at every offset around each chunk boundary so
+  // the straddle cases (pattern starting 1 or 2 bytes before a boundary) are
+  // all exercised.
+  const size_t chunk = 256;
+  std::vector<uint8_t> code(chunk * 8, 0x90);
+  std::vector<size_t> expected;
+  for (size_t b = 1; b < 8; ++b) {
+    const size_t off = b * chunk - (b % 3);  // Boundary, boundary-1, boundary-2.
+    code[off] = 0x0f;
+    code[off + 1] = 0x01;
+    code[off + 2] = 0xd4;
+    expected.push_back(off);
+  }
+  EXPECT_EQ(x86::FindVmfuncBytes(code), expected);
+  x86::ScanOptions options;
+  options.pool = &pool;
+  options.chunk_bytes = chunk;
+  x86::ScanStats stats;
+  options.stats = &stats;
+  EXPECT_EQ(x86::FindVmfuncBytes(code, options), expected);
+  EXPECT_EQ(stats.pages, 8u);
+}
+
+TEST(ScanParityProperty, ParallelRewriteMatchesSerialOnTable6Corpus) {
+  sb::ThreadPool pool(4);
+  for (const apps::CorpusProgram& program : apps::BuildTable6Corpus(0x5eed)) {
+    x86::RewriteConfig serial_config;
+    auto serial = x86::RewriteVmfunc(program.code, serial_config);
+    ASSERT_TRUE(serial.ok()) << program.name;
+
+    x86::RewriteConfig pooled_config;
+    pooled_config.scan_pool = &pool;
+    auto pooled = x86::RewriteVmfunc(program.code, pooled_config);
+    ASSERT_TRUE(pooled.ok()) << program.name;
+
+    // The rewrite output is byte-identical regardless of scan fan-out.
+    EXPECT_EQ(pooled->code, serial->code) << program.name;
+    EXPECT_EQ(pooled->rewrite_page, serial->rewrite_page) << program.name;
+    EXPECT_EQ(pooled->stats.nop_replaced, serial->stats.nop_replaced) << program.name;
+    EXPECT_EQ(pooled->stats.windows_relocated, serial->stats.windows_relocated) << program.name;
+    EXPECT_EQ(pooled->stats.scan_pages, serial->stats.scan_pages) << program.name;
+  }
+}
 
 // ---- Executor determinism ----
 

@@ -286,6 +286,165 @@ TEST_F(SkyBridgeTest, EptpLruEvictionBeyondCapacity) {
   EXPECT_EQ(*sky_->InstalledBindings(client), 2u);
 }
 
+TEST_F(SkyBridgeTest, RouteCacheServesRepeatCallsWithoutIndexLookups) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  const uint64_t misses0 = sky_->stats().binding_lookup_misses;
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  // First call: cold per-thread cache -> one index lookup.
+  EXPECT_EQ(sky_->stats().binding_lookup_misses, misses0 + 1);
+  const uint64_t hits0 = sky_->stats().binding_lookup_hits;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  }
+  // Every repeat call hits the per-thread last-route cache; nothing falls
+  // through to the index (and, a fortiori, nothing scans the binding table).
+  EXPECT_EQ(sky_->stats().binding_lookup_hits, hits0 + 50);
+  EXPECT_EQ(sky_->stats().binding_lookup_misses, misses0 + 1);
+
+  // A second thread has its own (cold) cache.
+  mk::Thread* t2 = p.client->AddThread(0);
+  ASSERT_TRUE(sky_->DirectServerCall(t2, p.sid, Message(0)).ok());
+  EXPECT_EQ(sky_->stats().binding_lookup_misses, misses0 + 2);
+}
+
+TEST_F(SkyBridgeTest, AlternatingServersFallBackToTheIndex) {
+  Boot();
+  auto* client = kernel_->CreateProcess("client").value();
+  mk::Thread* t = client->AddThread(0);
+  std::vector<ServerId> sids;
+  for (int i = 0; i < 2; ++i) {
+    auto* server = kernel_->CreateProcess("server" + std::to_string(i)).value();
+    const uint64_t marker = 400 + static_cast<uint64_t>(i);
+    const ServerId sid =
+        sky_->RegisterServer(server, 4, [marker](CallEnv&) { return Message(marker); }).value();
+    ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+    sids.push_back(sid);
+  }
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+  const uint64_t hits0 = sky_->stats().binding_lookup_hits;
+  const uint64_t misses0 = sky_->stats().binding_lookup_misses;
+  for (int i = 0; i < 20; ++i) {
+    auto reply = sky_->DirectServerCall(t, sids[static_cast<size_t>(i % 2)], Message(0));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->tag, 400u + static_cast<uint64_t>(i % 2));
+  }
+  // The alternation defeats the single-entry thread cache: every call is an
+  // index lookup, and every one still resolves correctly.
+  EXPECT_EQ(sky_->stats().binding_lookup_hits, hits0);
+  EXPECT_EQ(sky_->stats().binding_lookup_misses, misses0 + 20);
+}
+
+TEST_F(SkyBridgeTest, EvictionReshuffleInvalidatesCachedSlots) {
+  // Regression test: evicting a binding shifts later EPTP slots down. The
+  // surviving bindings' cached slot indices must be refreshed, or the next
+  // call through a stale cache would VMFUNC into the wrong address space.
+  SkyBridgeConfig config;
+  config.eptp_capacity = 3;  // Own EPT + 2 bindings.
+  Boot(mk::Sel4Profile(), config);
+
+  auto* client = kernel_->CreateProcess("client").value();
+  mk::Thread* t = client->AddThread(0);
+  std::vector<ServerId> sids;
+  for (int i = 0; i < 3; ++i) {
+    auto* server = kernel_->CreateProcess("server" + std::to_string(i)).value();
+    const uint64_t marker = 500 + static_cast<uint64_t>(i);
+    const ServerId sid =
+        sky_->RegisterServer(server, 4, [marker](CallEnv&) { return Message(marker); }).value();
+    ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+    sids.push_back(sid);
+  }
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+
+  auto expect_marker = [&](int i) {
+    auto reply = sky_->DirectServerCall(t, sids[static_cast<size_t>(i)], Message(0));
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->tag, 500u + static_cast<uint64_t>(i)) << "server " << i;
+  };
+  // After registration servers 1 and 2 are installed (server 0 was evicted
+  // when 2 registered). Warm both up, then call 0: its reinstall evicts the
+  // LRU binding (1, at slot 1), which shifts 2's slot from 2 to 1.
+  expect_marker(1);
+  expect_marker(2);
+  expect_marker(0);
+  // Server 2's cached slot must have been refreshed by that reshuffle: with
+  // a stale slot this call would land in server 0's address space and fail
+  // the key check (or return the wrong marker).
+  expect_marker(2);
+  // Churn through every rotation for good measure.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      expect_marker(i);
+    }
+  }
+  EXPECT_GT(sky_->stats().eptp_misses, 0u);
+  EXPECT_EQ(sky_->stats().rejected_calls, 0u);
+}
+
+TEST_F(SkyBridgeTest, NestedCallEvictionSparesThePinnedEntryEpt) {
+  // During a nested call the enclosing binding's EPT is the one the inner
+  // call must return through. When installing the inner chain binding forces
+  // an eviction, the pinned entry EPT must be skipped even when it is the
+  // least recently used candidate.
+  SkyBridgeConfig config;
+  config.eptp_capacity = 3;  // Own EPT + 2 bindings.
+  Boot(mk::Sel4Profile(), config);
+
+  auto* backend1 = kernel_->CreateProcess("backend1").value();
+  const ServerId b1_sid =
+      sky_->RegisterServer(backend1, 4, [](CallEnv&) { return Message(71); }).value();
+  auto* backend2 = kernel_->CreateProcess("backend2").value();
+  const ServerId b2_sid =
+      sky_->RegisterServer(backend2, 4, [](CallEnv&) { return Message(72); }).value();
+
+  auto* middle = kernel_->CreateProcess("middle").value();
+  mk::Thread* middle_thread = middle->AddThread(0);
+  SkyBridge* sky = sky_.get();
+  // The middle server fans out to both backends. Its client's EPTP list is
+  // [own, middle, chain1] when the second chain binding installs, so the
+  // eviction scan sees the pinned middle binding at the LRU tail and must
+  // pass over it to evict chain1.
+  const ServerId middle_sid =
+      sky_->RegisterServer(middle, 4, [sky, middle_thread, b1_sid, b2_sid](CallEnv&) {
+        auto r1 = sky->DirectServerCall(middle_thread, b1_sid, Message(0));
+        SB_CHECK(r1.ok());
+        auto r2 = sky->DirectServerCall(middle_thread, b2_sid, Message(0));
+        SB_CHECK(r2.ok());
+        return Message(r1->tag * 100 + r2->tag);
+      }).value();
+  ASSERT_TRUE(sky_->RegisterClient(middle, b1_sid).ok());
+  ASSERT_TRUE(sky_->RegisterClient(middle, b2_sid).ok());
+
+  auto* client = kernel_->CreateProcess("client").value();
+  mk::Thread* t = client->AddThread(0);
+  ASSERT_TRUE(sky_->RegisterClient(client, middle_sid).ok());
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+
+  auto reply = sky_->DirectServerCall(t, middle_sid, Message(0));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, 71u * 100 + 72);
+  EXPECT_EQ(sky_->stats().rejected_calls, 0u);
+
+  // The enclosing client->middle binding survived both inner installs: the
+  // next top-level call needs no reinstall.
+  const uint64_t misses = sky_->stats().eptp_misses;
+  reply = sky_->DirectServerCall(t, middle_sid, Message(0));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, 71u * 100 + 72);
+  EXPECT_GT(sky_->stats().eptp_misses, misses);  // Chain bindings churn...
+  auto installed = sky_->InstalledBindings(client);
+  ASSERT_TRUE(installed.ok());
+  EXPECT_EQ(*installed, 2u);  // ...but the list never exceeds capacity.
+}
+
+TEST_F(SkyBridgeTest, RegistrationScanStatsAreRecorded) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  // Registration scanned both processes' code images chunk by chunk.
+  EXPECT_GT(sky_->stats().scan_pages, 0u);
+  EXPECT_GE(sky_->stats().scan_threads, 1u);
+}
+
 TEST_F(SkyBridgeTest, SkyBridgeBeatsKernelIpcOnEveryPersonality) {
   for (const mk::KernelKind kind :
        {mk::KernelKind::kSel4, mk::KernelKind::kFiasco, mk::KernelKind::kZircon}) {
