@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/base/logging.h"
 #include "src/base/table.h"
 #include "src/base/units.h"
@@ -63,12 +64,17 @@ Result Measure(bool huge_pages) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_ablation_ept_pages", argc, argv);
   std::printf("== Ablation: 1 GiB base-EPT pages vs lazy 4 KiB pages ==\n");
   std::printf("(cold access to 512 fresh pages through the 2-D walk)\n\n");
 
   const Result huge = Measure(true);
   const Result small = Measure(false);
+  reporter.Add("huge_1gib.vm_exits", huge.vm_exits);
+  reporter.Add("huge_1gib.cycles_per_access", huge.cycles);
+  reporter.Add("lazy_4kib.vm_exits", small.vm_exits);
+  reporter.Add("lazy_4kib.cycles_per_access", small.cycles);
 
   sb::Table table({"Base EPT", "VM exits", "mem accesses / cold access", "cycles / access"});
   table.AddRow({"1 GiB eager (SkyBridge)", sb::Table::Int(huge.vm_exits),

@@ -61,7 +61,8 @@ uint64_t MeasureIpc(bench::World& world, size_t bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_ablation_long_ipc", argc, argv);
   std::printf("== Ablation: long IPC — shared buffers vs kernel copies (seL4) ==\n");
   std::printf("Register capacity is 64 B; larger transfers move data.\n\n");
 
@@ -73,10 +74,13 @@ int main() {
                              size_t{16384}}) {
     const uint64_t sky = MeasureSky(sky_world, bytes);
     const uint64_t ipc = MeasureIpc(ipc_world, bytes);
+    reporter.Add("skybridge." + std::to_string(bytes) + "B.cycles_per_op", sky);
+    reporter.Add("sel4_ipc." + std::to_string(bytes) + "B.cycles_per_op", ipc);
     table.AddRow({std::to_string(bytes) + " B", sb::Table::Int(sky), sb::Table::Int(ipc),
                   sb::Table::Fixed(static_cast<double>(ipc) / static_cast<double>(sky), 2)});
   }
   table.Print();
+  reporter.AddRegistry(sky_world.machine->telemetry());
   std::printf("\nControl transfer dominates small messages (max ratio); data movement\n");
   std::printf("dominates large ones, where both sides converge (paper Figure 8 trend).\n");
   return 0;

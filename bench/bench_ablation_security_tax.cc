@@ -64,7 +64,8 @@ uint64_t MeasureRegistration(bool rewrite, size_t image_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_ablation_security_tax", argc, argv);
   std::printf("== Ablation: the cost of SkyBridge's security machinery ==\n\n");
 
   const uint64_t with_keys = MeasureRoundtrip(true);
@@ -78,6 +79,10 @@ int main() {
   std::printf("\n");
   const uint64_t rewrite_us = MeasureRegistration(true, 48 * 1024);
   const uint64_t norewrite_us = MeasureRegistration(false, 48 * 1024);
+  reporter.Add("roundtrip_with_keys.cycles", with_keys);
+  reporter.Add("roundtrip_without_keys.cycles", without_keys);
+  reporter.Add("registration_with_rewrite.host_us", rewrite_us);
+  reporter.Add("registration_without_rewrite.host_us", norewrite_us);
   sb::Table reg({"Registration (48 KB image)", "Host time (us)"});
   reg.AddRow({"with binary rewriting (default)", sb::Table::Int(rewrite_us)});
   reg.AddRow({"without rewriting (insecure)", sb::Table::Int(norewrite_us)});

@@ -59,7 +59,8 @@ uint64_t MeasureSkyBridge(bench::World& world) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_ext_monolithic", argc, argv);
   std::printf("== Extension (Section 10): SkyBridge on a monolithic (Linux-style) kernel ==\n");
   std::printf("Pipe-style IPC: 2 copies + scheduler wakeup + KPTI on every crossing.\n\n");
 
@@ -68,6 +69,9 @@ int main() {
 
   bench::World sky_world = bench::MakeWorld(mk::LinuxProfile(), true, true);
   const uint64_t sky_rt = MeasureSkyBridge(sky_world);
+  reporter.Add("pipe_ipc.cycles_per_op", pipe_rt);
+  reporter.Add("skybridge.cycles_per_op", sky_rt);
+  reporter.AddRegistry(sky_world.machine->telemetry());
 
   sb::Table table({"Transport", "Roundtrip (cycles)", "Roundtrip (us @4GHz)"});
   table.AddRow({"pipe-style kernel IPC", sb::Table::Int(pipe_rt),

@@ -7,7 +7,8 @@
 #include "bench/bench_util.h"
 #include "src/base/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_fig2_kv_ipc_cost", argc, argv);
   std::printf("== Figure 2: KV store latency (cycles/op, 50%%/50%% insert+query) ==\n");
   std::printf("Paper @16B: Baseline 2707, Delay 3485, IPC 7929, CrossCore 18895\n\n");
 
@@ -20,7 +21,11 @@ int main() {
     std::vector<std::string> row{std::string(apps::KvWiringName(wiring))};
     for (const size_t size : kSizes) {
       bench::KvWorld kv = bench::MakeKvWorld(wiring);
-      row.push_back(sb::Table::Int(bench::RunKvOps(*kv.pipeline, 512, size)));
+      const uint64_t cycles = bench::RunKvOps(*kv.pipeline, 512, size);
+      reporter.Add(std::string(apps::KvWiringName(wiring)) + "." + std::to_string(size) +
+                       "B.cycles_per_op",
+                   cycles);
+      row.push_back(sb::Table::Int(cycles));
     }
     table.AddRow(row);
   }

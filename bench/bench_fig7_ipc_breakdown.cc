@@ -19,6 +19,7 @@ struct Result {
   std::string name;
   uint64_t total = 0;
   mk::CostBreakdown bd;
+  std::string registry_json;  // Telemetry snapshot of the run's machine.
 };
 
 Result MeasureKernelIpc(mk::KernelKind kind, bool cross_core) {
@@ -71,12 +72,14 @@ Result MeasureSkyBridge(mk::KernelKind kind) {
     SB_CHECK(world.sky->DirectServerCall(thread, sid, mk::Message(0), &result.bd).ok());
   }
   result.total = (core.cycles() - start) / kIters;
+  result.registry_json = world.machine->telemetry().SnapshotJson();
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_fig7_ipc_breakdown", argc, argv);
   std::printf("== Figure 7: synchronous IPC roundtrip breakdown (cycles, %d runs) ==\n",
               kIters);
   std::printf("Paper: SkyBridge 396 | seL4 986 / 6764 | Fiasco 2717 / 8440 |\n");
@@ -100,8 +103,14 @@ int main() {
     table.AddRow({r.name, sb::Table::Int(r.total), per(r.bd.vmfunc), per(r.bd.syscall_sysret),
                   per(r.bd.context_switch), per(r.bd.ipi), per(r.bd.copy), per(r.bd.schedule),
                   per(r.bd.others)});
+    reporter.Add(r.name + ".cycles_per_op", r.total);
+    reporter.Add(r.name + ".vmfunc_cycles_per_op", r.bd.vmfunc / kIters);
+    reporter.Add(r.name + ".syscall_cycles_per_op", r.bd.syscall_sysret / kIters);
   }
   table.Print();
+  // The registry snapshot of the seL4 SkyBridge run (direct_calls, lookup
+  // hits/misses, eptp_misses, per-phase percentiles).
+  reporter.AddRegistryJson(results[0].registry_json);
 
   std::printf("\nIPC speed improvement of SkyBridge (ratio - 1, the paper's convention): ");
   for (int i = 0; i < 3; ++i) {

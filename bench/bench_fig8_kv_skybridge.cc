@@ -6,7 +6,8 @@
 #include "bench/bench_util.h"
 #include "src/base/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_fig8_kv_skybridge", argc, argv);
   std::printf("== Figure 8: KV store latency with SkyBridge (cycles/op) ==\n");
   std::printf("Paper @16B: Baseline 2707, Delay 3485, IPC 7929, CrossCore 18895,\n");
   std::printf("            SkyBridge 3512\n\n");
@@ -24,6 +25,12 @@ int main() {
     for (const size_t size : kSizes) {
       bench::KvWorld kv = bench::MakeKvWorld(wiring);
       const uint64_t cycles = bench::RunKvOps(*kv.pipeline, 512, size);
+      reporter.Add(std::string(apps::KvWiringName(wiring)) + "." + std::to_string(size) +
+                       "B.cycles_per_op",
+                   cycles);
+      if (size == 16 && wiring == apps::KvWiring::kSkyBridge) {
+        reporter.AddRegistryJson(kv.world.machine->telemetry().SnapshotJson());
+      }
       if (size == 16 && wiring == apps::KvWiring::kIpc) {
         ipc16 = cycles;
       }

@@ -69,7 +69,8 @@ double MeasureThroughput(mk::KernelKind kernel, apps::StackTransport transport, 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_fig9_11_ycsb", argc, argv);
   std::printf("== Figures 9-11: YCSB-A throughput (ops/s) vs client threads ==\n");
   std::printf("Paper (seL4, 1 thread): st 9627, mt 9660, SkyBridge 17575; throughput\n");
   std::printf("FALLS with threads (DB + FS big-lock serialization).\n\n");
@@ -89,7 +90,11 @@ int main() {
     for (int i = 0; i < 3; ++i) {
       std::vector<std::string> row{std::string(mk::ProfileFor(kernel).name) + "-" + kNames[i]};
       for (const int threads : kThreads) {
-        row.push_back(sb::Table::Fixed(MeasureThroughput(kernel, kTransports[i], threads), 0));
+        const double tput = MeasureThroughput(kernel, kTransports[i], threads);
+        reporter.Add(mk::ProfileFor(kernel).name + "." + kNames[i] + "." +
+                         std::to_string(threads) + "t.ops_per_s",
+                     tput);
+        row.push_back(sb::Table::Fixed(tput, 0));
       }
       table.AddRow(row);
     }

@@ -6,7 +6,8 @@
 #include "bench/bench_util.h"
 #include "src/base/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_table1_pollution", argc, argv);
   std::printf("== Table 1: processor-structure pollution over 512 KV ops (64B) ==\n");
   std::printf("Paper: IPC shows ~46x more i-cache misses and ~460x more d-TLB\n");
   std::printf("misses than Baseline/Delay.\n\n");
@@ -30,6 +31,10 @@ int main() {
                   sb::Table::Int(delta.dcache_miss), sb::Table::Int(delta.l2_miss),
                   sb::Table::Int(delta.l3_miss), sb::Table::Int(delta.itlb_miss),
                   sb::Table::Int(delta.dtlb_miss)});
+    const std::string prefix = std::string(apps::KvWiringName(wiring)) + ".";
+    reporter.Add(prefix + "icache_misses", delta.icache_miss);
+    reporter.Add(prefix + "dtlb_misses", delta.dtlb_miss);
+    reporter.Add(prefix + "itlb_misses", delta.itlb_miss);
   }
   table.Print();
   return 0;

@@ -54,7 +54,8 @@ uint64_t MeasureNoOpSyscall(mk::Kernel& kernel, hw::Core& core) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_table2_primitives", argc, argv);
   std::printf("== Table 2: latency of different instructions and operations (cycles) ==\n");
   std::printf("Paper (Skylake i7-6700K): CR3 write 186, no-op syscall w/ KPTI 431,\n");
   std::printf("no-op syscall w/o KPTI 181, VMFUNC 134.\n\n");
@@ -68,6 +69,12 @@ int main() {
   kpti_profile.kpti = true;
   bench::World kpti = bench::MakeWorld(kpti_profile, false, false);
   const uint64_t noop_kpti = MeasureNoOpSyscall(*kpti.kernel, kpti.machine->core(3));
+
+  reporter.Add("cr3_write.cycles", cr3);
+  reporter.Add("noop_syscall_kpti.cycles", noop_kpti);
+  reporter.Add("noop_syscall.cycles", noop_plain);
+  reporter.Add("vmfunc.cycles", vmfunc);
+  reporter.AddRegistry(world.machine->telemetry());
 
   sb::Table table({"Instruction or Operation", "Cycles (measured)", "Cycles (paper)"});
   table.AddRow({"write to CR3", sb::Table::Int(cr3), "186"});

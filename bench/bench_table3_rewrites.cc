@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/base/table.h"
 #include "src/x86/format.h"
 #include "src/x86/rewriter.h"
@@ -25,8 +26,10 @@ std::string FirstLine(const std::string& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_table3_rewrites", argc, argv);
   std::printf("== Table 3: rewrite strategies for illegal VMFUNC encodings ==\n\n");
+  uint64_t cases_clean = 0;
 
   const std::vector<Case> cases = {
       {"1", "Opcode = VMFUNC", {0x0f, 0x01, 0xd4, 0xc3}},
@@ -58,9 +61,15 @@ int main() {
     if (!result->rewrite_page.empty()) {
       std::printf("rewrite page snippet:\n%s", x86::Disassemble(result->rewrite_page).c_str());
     }
-    std::printf("patterns left: %zu\n\n", x86::FindVmfuncBytes(result->code).size() +
-                                              x86::FindVmfuncBytes(result->rewrite_page).size());
+    const size_t left = x86::FindVmfuncBytes(result->code).size() +
+                        x86::FindVmfuncBytes(result->rewrite_page).size();
+    std::printf("patterns left: %zu\n\n", left);
+    if (left == 0) {
+      ++cases_clean;
+    }
+    reporter.Add(std::string("case_") + c.id + ".patterns_left", static_cast<uint64_t>(left));
   }
+  reporter.Add("cases_fully_rewritten", cases_clean);
   std::printf("(equivalence of every strategy is proven by the emulator-based\n");
   std::printf(" property suite in tests/x86_rewriter_test.cc)\n");
   return 0;

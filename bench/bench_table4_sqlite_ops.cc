@@ -76,7 +76,8 @@ OpRates Measure(mk::KernelKind kernel, apps::StackTransport transport) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_table4_sqlite_ops", argc, argv);
   std::printf("== Table 4: SQLite operation throughput (ops/s, simulated 4 GHz) ==\n");
   std::printf("Paper (seL4): insert 4839/6001/11251, query 13246/14025/18610;\n");
   std::printf("SkyBridge speedups 32%%-405%% across kernels and operations.\n\n");
@@ -99,6 +100,11 @@ int main() {
     row("Update", st.update, mt.update, sky.update);
     row("Query", st.query, mt.query, sky.query);
     row("Delete", st.del, mt.del, sky.del);
+    const std::string prefix = mk::ProfileFor(kernel).name + ".";
+    reporter.Add(prefix + "insert.skybridge_ops_per_s", sky.insert);
+    reporter.Add(prefix + "query.skybridge_ops_per_s", sky.query);
+    reporter.Add(prefix + "insert.mt_server_ops_per_s", mt.insert);
+    reporter.Add(prefix + "query.mt_server_ops_per_s", mt.query);
     table.Print();
     std::printf("\n");
   }

@@ -73,7 +73,8 @@ Row Measure(bool rootkernel, int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_table5_virt_overhead", argc, argv);
   std::printf("== Table 5: SQLite/YCSB-A throughput, native vs Rootkernel (no SkyBridge) ==\n");
   std::printf("Paper: 9745 vs 9694 ops/s (1 thread), 1466 vs 1412 (8 threads), 0 VM exits.\n\n");
 
@@ -87,6 +88,10 @@ int main() {
     table.AddRow({"YCSB-A " + std::to_string(threads) + " thread",
                   sb::Table::Fixed(native.throughput, 0), sb::Table::Fixed(virt.throughput, 0),
                   overhead, sb::Table::Int(virt.vm_exits)});
+    const std::string prefix = "ycsb_a_" + std::to_string(threads) + "t.";
+    reporter.Add(prefix + "native_ops_per_s", native.throughput);
+    reporter.Add(prefix + "rootkernel_ops_per_s", virt.throughput);
+    reporter.Add(prefix + "vm_exits", virt.vm_exits);
   }
   table.Print();
   std::printf("\nNo VM exits in the steady state: CR3 writes and interrupts stay in\n");

@@ -6,12 +6,14 @@
 #include <fstream>
 #include <map>
 
+#include "bench/bench_util.h"
 #include "src/apps/corpus.h"
 #include "src/base/table.h"
 #include "src/x86/rewriter.h"
 #include "src/x86/scanner.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_table6_vmfunc_scan", argc, argv);
   std::printf("== Table 6: inadvertent VMFUNC occurrences (0F 01 D4) ==\n");
   std::printf("Paper: zero across SPEC/PARSEC/servers/kernel; exactly one in\n");
   std::printf("GIMP-2.8, inside the immediate of a longer call instruction.\n\n");
@@ -48,6 +50,8 @@ int main() {
     total += hits[family];
   }
   table.Print();
+  reporter.Add("corpus_programs", static_cast<uint64_t>(corpus.size()));
+  reporter.Add("inadvertent_vmfuncs", static_cast<uint64_t>(total));
   std::printf("\ntotal inadvertent occurrences: %d (paper: 1)\n", total);
   if (!hit_detail.empty()) {
     std::printf("the hit: %s\n", hit_detail.c_str());

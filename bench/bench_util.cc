@@ -1,6 +1,10 @@
 #include "bench/bench_util.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "src/base/logging.h"
 #include "src/base/rng.h"
@@ -69,6 +73,64 @@ std::string Humanize(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2f", v);
   return buf;
+}
+
+JsonReporter::JsonReporter(std::string bench_name, int argc, char** argv)
+    : bench_name_(std::move(bench_name)) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      path_ = argv[i + 1];
+      break;
+    }
+  }
+}
+
+JsonReporter::~JsonReporter() { Write(); }
+
+void JsonReporter::Add(const std::string& name, double value) {
+  std::ostringstream v;
+  if (std::isfinite(value)) {
+    v << value;
+  } else {
+    v << 0;
+  }
+  metrics_.emplace_back(name, v.str());
+}
+
+void JsonReporter::Add(const std::string& name, uint64_t value) {
+  metrics_.emplace_back(name, std::to_string(value));
+}
+
+void JsonReporter::AddRegistry(const sb::telemetry::Registry& registry) {
+  registry_json_ = registry.SnapshotJson();
+}
+
+void JsonReporter::AddRegistryJson(std::string registry_json) {
+  registry_json_ = std::move(registry_json);
+}
+
+void JsonReporter::Write() {
+  if (path_.empty() || written_) {
+    return;
+  }
+  written_ = true;
+  std::ofstream out(path_);
+  if (!out) {
+    SB_LOG(kError) << "cannot write bench JSON to " << path_;
+    return;
+  }
+  out << "{\"bench\":\"" << bench_name_ << "\",\"metrics\":{";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\"" << metrics_[i].first << "\":" << metrics_[i].second;
+  }
+  out << "}";
+  if (!registry_json_.empty()) {
+    out << ",\"registry\":" << registry_json_;
+  }
+  out << "}\n";
 }
 
 }  // namespace bench

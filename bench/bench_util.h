@@ -5,8 +5,11 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/apps/kv.h"
+#include "src/base/telemetry/metrics.h"
 #include "src/mk/kernel.h"
 #include "src/skybridge/skybridge.h"
 
@@ -39,6 +42,48 @@ uint64_t RunKvOps(apps::KvPipeline& pipeline, int ops, size_t kv_len, uint64_t s
 double OpsPerSecond(double cycles_per_op);
 
 std::string Humanize(double v);
+
+// Machine-readable bench output. Every bench main constructs one:
+//
+//   int main(int argc, char** argv) {
+//     bench::JsonReporter reporter("bench_fig7_ipc_breakdown", argc, argv);
+//     ...
+//     reporter.Add("skybridge.cycles_per_op", total);
+//     reporter.AddRegistry(world.machine->telemetry());
+//   }
+//
+// If `--json <path>` was passed, the destructor writes one JSON object
+//   {"bench": <name>, "metrics": {...}, "registry": {...}}
+// to <path>; without the flag the reporter is inert. scripts/run_all.sh
+// forwards --json per bench and merges the files into BENCH_results.json.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench_name, int argc, char** argv);
+  ~JsonReporter();
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& name, double value);
+  void Add(const std::string& name, uint64_t value);
+  // Attaches a snapshot of the registry (replaces any previous snapshot).
+  void AddRegistry(const sb::telemetry::Registry& registry);
+  // Same, from a pre-rendered Registry::SnapshotJson() string — for benches
+  // whose world is torn down before the reporter writes.
+  void AddRegistryJson(std::string registry_json);
+
+  // Writes the file now (also called by the destructor; idempotent).
+  void Write();
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> metrics_;  // name -> JSON literal.
+  std::string registry_json_;
+  bool written_ = false;
+};
 
 }  // namespace bench
 

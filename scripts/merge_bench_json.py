@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Merges the per-bench --json files into one BENCH_results.json.
+
+Usage: merge_bench_json.py <input-dir> <output-file>
+
+Each input file is one JSON object {"bench": <name>, "metrics": {...}}
+with an optional "registry" telemetry snapshot (see bench/bench_util.h).
+The merged file maps bench name -> that object; files that fail to parse
+are reported and skipped, but at least one input must survive.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    in_dir = pathlib.Path(sys.argv[1])
+    out_path = pathlib.Path(sys.argv[2])
+
+    merged = {}
+    bad = 0
+    for path in sorted(in_dir.glob("*.json")):
+        try:
+            with path.open() as f:
+                obj = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"merge_bench_json: skipping {path}: {e}", file=sys.stderr)
+            bad += 1
+            continue
+        name = obj.get("bench", path.stem)
+        merged[name] = obj
+
+    if not merged:
+        print(f"merge_bench_json: no valid inputs in {in_dir}", file=sys.stderr)
+        return 1
+
+    with out_path.open("w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"merge_bench_json: merged {len(merged)} benches"
+          + (f" ({bad} skipped)" if bad else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ namespace sb {
 namespace {
 
 std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+std::atomic<CheckFailureHook> g_check_failure_hook{nullptr};
 
 const char* SeverityTag(LogSeverity severity) {
   switch (severity) {
@@ -30,6 +31,10 @@ const char* SeverityTag(LogSeverity severity) {
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity.store(severity); }
 LogSeverity MinLogSeverity() { return g_min_severity.load(); }
 
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
+  return g_check_failure_hook.exchange(hook);
+}
+
 namespace log_internal {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
@@ -46,6 +51,10 @@ LogMessage::~LogMessage() {
   stream_ << "\n";
   std::fputs(stream_.str().c_str(), stderr);
   if (severity_ == LogSeverity::kFatal) {
+    // Run the crash hook exactly once even if it fails a check itself.
+    if (CheckFailureHook hook = g_check_failure_hook.exchange(nullptr)) {
+      hook();
+    }
     std::fflush(stderr);
     std::abort();
   }

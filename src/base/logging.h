@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <sstream>
 #include <string_view>
+#include <type_traits>
 
 namespace sb {
 
@@ -17,6 +18,38 @@ enum class LogSeverity : uint8_t { kDebug = 0, kInfo, kWarning, kError, kFatal }
 // Global minimum severity; messages below it are dropped.
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
+
+// Hook invoked (once, before abort) when an SB_CHECK fails, after the failure
+// message has been written to stderr. Used to dump flight-recorder state.
+// Passing nullptr clears it. Returns the previously installed hook.
+using CheckFailureHook = void (*)();
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook);
+
+// Structured key=value field for grep-able logs. Streams as `key=value`, with
+// string values quoted:
+//   SB_LOG(kDebug) << "binding install " << sb::kv("server", id);
+// Instrumentation uses the same field names as the matching trace events.
+template <typename T>
+struct KvPair {
+  std::string_view key;
+  const T& value;
+};
+
+template <typename T>
+KvPair<T> kv(std::string_view key, const T& value) {
+  return KvPair<T>{key, value};
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const KvPair<T>& p) {
+  os << p.key << '=';
+  if constexpr (std::is_convertible_v<const T&, std::string_view>) {
+    os << '"' << std::string_view(p.value) << '"';
+  } else {
+    os << p.value;
+  }
+  return os;
+}
 
 namespace log_internal {
 

@@ -98,8 +98,10 @@ uint64_t Histogram::Percentile(double p) const {
     return 0;
   }
   const double clamped = std::clamp(p, 0.0, 100.0);
-  const uint64_t target =
-      static_cast<uint64_t>(clamped / 100.0 * static_cast<double>(count_));
+  // Nearest-rank: at least 1 so p=0 selects the smallest populated bucket
+  // instead of reading an empty prefix as "bucket 0".
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(clamped / 100.0 * static_cast<double>(count_))));
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];

@@ -1,0 +1,194 @@
+#include "src/base/telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace sb::telemetry {
+namespace {
+
+// Representative value for a populated bucket: its geometric-ish midpoint.
+// Bucket 0 holds zeros; bucket i (i >= 1) holds [2^(i-1), 2^i).
+uint64_t BucketRepresentative(size_t bucket) {
+  if (bucket == 0) {
+    return 0;
+  }
+  if (bucket >= 64) {
+    return ~uint64_t{0};
+  }
+  const uint64_t lo = uint64_t{1} << (bucket - 1);
+  return lo + lo / 2;
+}
+
+void AppendJsonNumber(std::ostringstream& out, double v) {
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << 0;
+  }
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t v) {
+  Shard& s = shards_[ThreadShardIndex()];
+  const size_t bucket = static_cast<size_t>(std::bit_width(v));
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = s.max.load(std::memory_order_relaxed);
+  while (v > cur && !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Fold(std::array<uint64_t, kBuckets>& buckets, uint64_t& count) const {
+  buckets.fill(0);
+  count = 0;
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      const uint64_t b = s.buckets[i].load(std::memory_order_relaxed);
+      buckets[i] += b;
+      count += b;
+    }
+  }
+}
+
+uint64_t LatencyHistogram::Count() const {
+  std::array<uint64_t, kBuckets> buckets;
+  uint64_t count = 0;
+  Fold(buckets, count);
+  return count;
+}
+
+double LatencyHistogram::Mean() const {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  for (const Shard& s : shards_) {
+    sum += s.sum.load(std::memory_order_relaxed);
+    for (const auto& b : s.buckets) {
+      count += b.load(std::memory_order_relaxed);
+    }
+  }
+  if (count == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+uint64_t LatencyHistogram::Max() const {
+  uint64_t max = 0;
+  for (const Shard& s : shards_) {
+    max = std::max(max, s.max.load(std::memory_order_relaxed));
+  }
+  return max;
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  std::array<uint64_t, kBuckets> buckets;
+  uint64_t count = 0;
+  Fold(buckets, count);
+  if (count == 0) {
+    return 0;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank over the folded buckets; rank is at least 1 so p=0 lands on
+  // the smallest populated bucket instead of reading an empty prefix.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(clamped / 100.0 * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return std::min(BucketRepresentative(i), Max());
+    }
+  }
+  return Max();
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>(std::string(name))).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>(std::string(name))).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricValue> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricValue> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kCounter;
+    v.value = c->Value();
+    out.push_back(std::move(v));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kGauge;
+    v.value = g->Value();
+    out.push_back(std::move(v));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.count = h->Count();
+    v.mean = h->Mean();
+    v.p50 = h->Percentile(50);
+    v.p90 = h->Percentile(90);
+    v.p99 = h->Percentile(99);
+    v.max = h->Max();
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string Registry::SnapshotJson() const {
+  const std::vector<MetricValue> metrics = Snapshot();
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << m.name << "\":";
+    if (m.kind == MetricValue::Kind::kHistogram) {
+      out << "{\"count\":" << m.count << ",\"mean\":";
+      AppendJsonNumber(out, m.mean);
+      out << ",\"p50\":" << m.p50 << ",\"p90\":" << m.p90 << ",\"p99\":" << m.p99
+          << ",\"max\":" << m.max << "}";
+    } else {
+      out << m.value;
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sb::telemetry

@@ -1,0 +1,193 @@
+// Process-wide metrics registry: named counters, gauges and log-bucketed
+// latency histograms.
+//
+// The hot path (Counter::Add, LatencyHistogram::Record) is lock-free: each
+// metric keeps a small array of cache-line-padded shards and a thread writes
+// only the shard its (cached) thread hash selects, with relaxed atomics.
+// Readers fold the shards at snapshot time; a snapshot is therefore a
+// consistent-enough view for reporting, never a linearization point.
+//
+// Naming convention: `layer.subsystem.name`, e.g. `skybridge.ipc.direct_calls`,
+// `mk.sched.context_switches`, `vmm.ept.created`, `hw.tlb.dtlb_misses`.
+//
+// The registry is not a process singleton: each simulated machine owns one
+// (hw::Machine::telemetry()), so two worlds in one test binary never share
+// counters. "Process-wide" refers to the simulated machine's processes, all
+// of which report into the machine's registry.
+
+#ifndef SRC_BASE_TELEMETRY_METRICS_H_
+#define SRC_BASE_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace sb::telemetry {
+
+// Shard count for the per-thread striping. Threads hash onto shards, so two
+// threads may share one — still race-free (atomics), just contended.
+inline constexpr size_t kMetricShards = 16;
+
+// Stable per-thread shard slot (hash of the thread id, cached thread-local).
+inline size_t ThreadShardIndex() {
+  thread_local const size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kMetricShards;
+  return idx;
+}
+
+// Monotonically increasing count.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void Add(uint64_t delta = 1) {
+    shards_[ThreadShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::string name_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Point-in-time value: last write wins, or a provider callback evaluated at
+// snapshot time (used to surface existing tallies, e.g. TLB miss counts).
+class Gauge {
+ public:
+  using Provider = std::function<uint64_t()>;
+
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+  // Monotonic high-water mark.
+  void SetMax(uint64_t v) {
+    uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  // The provider must outlive every snapshot of the owning registry. Only
+  // use it for objects with the same lifetime as the registry (e.g. a
+  // machine's own cores).
+  void SetProvider(Provider provider) { provider_ = std::move(provider); }
+
+  uint64_t Value() const {
+    if (provider_) {
+      return provider_();
+    }
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+  Provider provider_;
+};
+
+// Power-of-two-bucketed histogram for cycle counts: bucket i holds values
+// with bit width i (bucket 0 holds zeros), so the relative error of a
+// percentile is bounded by 2x. Sharded like Counter.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bit_width(v) in [0, 64].
+
+  explicit LatencyHistogram(std::string name) : name_(std::move(name)) {}
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void Record(uint64_t v);
+
+  uint64_t Count() const;
+  double Mean() const;
+  uint64_t Max() const;
+  // Approximate percentile from bucket midpoints, clamped to the observed
+  // max. p <= 0 returns the smallest populated bucket's representative;
+  // p >= 100 the largest. Returns 0 when empty.
+  uint64_t Percentile(double p) const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+  void Fold(std::array<uint64_t, kBuckets>& buckets, uint64_t& count) const;
+
+  std::string name_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// One folded metric in a snapshot.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t value = 0;  // Counter / gauge.
+  // Histogram summary.
+  uint64_t count = 0;
+  double mean = 0.0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+};
+
+// Owns the named metrics. Get* registers on first use and returns the same
+// instance thereafter (pointers are stable for the registry's lifetime);
+// registration takes a lock, the returned handles' hot paths do not.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  LatencyHistogram& GetHistogram(std::string_view name);
+
+  // Folded view of every registered metric, sorted by name within each kind.
+  std::vector<MetricValue> Snapshot() const;
+
+  // JSON object mapping metric name to value (counters/gauges) or to a
+  // {count, mean, p50, p90, p99, max} object (histograms).
+  std::string SnapshotJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
+};
+
+}  // namespace sb::telemetry
+
+#endif  // SRC_BASE_TELEMETRY_METRICS_H_

@@ -1,6 +1,7 @@
 #include "src/hw/machine.h"
 
 #include "src/base/logging.h"
+#include "src/base/telemetry/trace.h"
 
 namespace hw {
 
@@ -11,6 +12,35 @@ Machine::Machine(const MachineConfig& config)
   for (int i = 0; i < config.num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(i, this));
   }
+
+  // Surface the per-core PMU tallies as snapshot-time provider gauges. The
+  // lambdas capture `this`; cores_ are machine members, so the lifetimes
+  // match the registry's by construction.
+  auto sum_pmu = [this](uint64_t hw::PmuCounters::* field) {
+    uint64_t sum = 0;
+    for (const auto& c : cores_) {
+      sum += c->pmu().*field;
+    }
+    return sum;
+  };
+  telemetry_.GetGauge("hw.tlb.itlb_misses")
+      .SetProvider([sum_pmu] { return sum_pmu(&PmuCounters::itlb_miss); });
+  telemetry_.GetGauge("hw.tlb.dtlb_misses")
+      .SetProvider([sum_pmu] { return sum_pmu(&PmuCounters::dtlb_miss); });
+  telemetry_.GetGauge("hw.cache.l1i_misses")
+      .SetProvider([sum_pmu] { return sum_pmu(&PmuCounters::icache_miss); });
+  telemetry_.GetGauge("hw.cache.l1d_misses")
+      .SetProvider([sum_pmu] { return sum_pmu(&PmuCounters::dcache_miss); });
+  telemetry_.GetGauge("hw.cache.l2_misses")
+      .SetProvider([sum_pmu] { return sum_pmu(&PmuCounters::l2_miss); });
+  telemetry_.GetGauge("hw.cache.l3_misses")
+      .SetProvider([sum_pmu] { return sum_pmu(&PmuCounters::l3_miss); });
+  telemetry_.GetGauge("hw.core.vmfuncs")
+      .SetProvider([sum_pmu] { return sum_pmu(&PmuCounters::vmfuncs); });
+  telemetry_.GetGauge("hw.core.syscalls")
+      .SetProvider([sum_pmu] { return sum_pmu(&PmuCounters::syscalls); });
+  telemetry_.GetGauge("hw.ipi.sent").SetProvider([this] { return total_ipis_; });
+  telemetry_.GetGauge("hw.vmexit.total").SetProvider([this] { return total_vm_exits_; });
 }
 
 uint64_t Machine::DeliverVmExit(Core& core, const VmExitInfo& info) {
@@ -27,6 +57,8 @@ void Machine::SendIpi(int from_core, int to_core) {
   SB_CHECK(to_core >= 0 && to_core < num_cores());
   ++total_ipis_;
   ++core(from_core).pmu().ipis_sent;
+  SB_TRACE_EVENT(sb::telemetry::TraceEventType::kIpi, core(from_core).cycles(),
+                 static_cast<uint32_t>(from_core), static_cast<uint64_t>(to_core));
 }
 
 }  // namespace hw

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/telemetry/metrics.h"
 #include "src/base/units.h"
 #include "src/hw/cache.h"
 #include "src/hw/core.h"
@@ -65,7 +66,15 @@ class Machine {
     total_ipis_ = 0;
   }
 
+  // This machine's metrics registry. Every simulated layer (skybridge, mk,
+  // vmm, hw) reports here; provider gauges registered by the constructor
+  // surface the per-core PMU tallies (hw.tlb.*, hw.cache.*, ...).
+  sb::telemetry::Registry& telemetry() { return telemetry_; }
+  const sb::telemetry::Registry& telemetry() const { return telemetry_; }
+
  private:
+  // Declared first so it is destroyed after everything that reports into it.
+  sb::telemetry::Registry telemetry_;
   MachineConfig config_;
   HostPhysMem mem_;
   Cache l3_;

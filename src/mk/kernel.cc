@@ -1,6 +1,7 @@
 #include "src/mk/kernel.h"
 
 #include "src/base/logging.h"
+#include "src/base/telemetry/trace.h"
 #include "src/base/units.h"
 
 namespace mk {
@@ -9,6 +10,8 @@ namespace {
 // Guest memory below this is the kernel image/data region; process frames
 // come from above it.
 constexpr hw::Hpa kGuestPoolBase = 16 * sb::kMiB;
+
+using sb::telemetry::TraceEventType;
 
 }  // namespace
 
@@ -26,6 +29,14 @@ Kernel::Kernel(hw::Machine& machine, KernelProfile profile, KernelOptions option
   const uint64_t lines =
       profile_.kernel_code_footprint / 64 + profile_.kernel_data_footprint / 64 + 7;
   warm_footprint_cycles_ = lines * machine.costs().l1_hit;
+
+  sb::telemetry::Registry& reg = machine.telemetry();
+  metrics_.ipc_calls = &reg.GetCounter("mk.ipc.calls");
+  metrics_.cross_core_calls = &reg.GetCounter("mk.ipc.cross_core_calls");
+  metrics_.fastpath_legs = &reg.GetCounter("mk.ipc.fastpath_legs");
+  metrics_.slowpath_legs = &reg.GetCounter("mk.ipc.slowpath_legs");
+  metrics_.syscall_entries = &reg.GetCounter("mk.syscall.entries");
+  metrics_.context_switches = &reg.GetCounter("mk.sched.context_switches");
 }
 
 Kernel::~Kernel() = default;
@@ -193,6 +204,8 @@ sb::StatusOr<uint64_t> Kernel::CurrentIdentity(hw::Core& core) {
 }
 
 void Kernel::SyscallEnter(hw::Core& core, CostBreakdown* bd) {
+  metrics_.syscall_entries->Add();
+  SB_TRACE_EVENT(TraceEventType::kSyscallEnter, core.cycles(), core.id());
   const hw::CostModel& cm = machine_->costs();
   const uint64_t t0 = core.cycles();
   core.AdvanceCycles(cm.syscall_insn + cm.swapgs_insn);
@@ -228,6 +241,7 @@ void Kernel::SyscallExit(hw::Core& core, CostBreakdown* bd) {
   if (bd != nullptr) {
     bd->syscall_sysret += cm.swapgs_insn + cm.sysret_insn;
   }
+  SB_TRACE_EVENT(TraceEventType::kSyscallExit, core.cycles(), core.id());
 }
 
 void Kernel::NoOpSyscall(hw::Core& core) {
@@ -241,6 +255,8 @@ void Kernel::NoOpSyscall(hw::Core& core) {
 }
 
 void Kernel::SwitchAddressSpace(hw::Core& core, Process* to, CostBreakdown* bd) {
+  metrics_.context_switches->Add();
+  SB_TRACE_EVENT(TraceEventType::kContextSwitch, core.cycles(), core.id(), to->pid());
   // Without PCID all address spaces share tag 0 and every CR3 write flushes
   // the non-global TLB entries — the paper's seL4 v10 behaviour and the
   // source of Table 1's indirect dTLB cost.
@@ -258,6 +274,7 @@ void Kernel::TouchKernelEntry(hw::Core& core) {
 }
 
 void Kernel::ChargeIpcLogic(hw::Core& core, bool fastpath, CostBreakdown* bd) {
+  (fastpath ? metrics_.fastpath_legs : metrics_.slowpath_legs)->Add();
   const uint64_t constant =
       fastpath ? profile_.fastpath_logic_cycles : profile_.slowpath_logic_cycles;
   const uint64_t charged = constant > warm_footprint_cycles_ && fastpath
@@ -369,6 +386,7 @@ sb::StatusOr<Message> Kernel::ServeCrossCore(hw::Core& caller_core, Endpoint& ep
                                              int server_core_id, Process* caller_proc,
                                              const Message& msg, CostBreakdown* bd) {
   ++cross_core_calls_;
+  metrics_.cross_core_calls->Add();
   const hw::CostModel& cm = machine_->costs();
   hw::Core& server_core = machine_->core(server_core_id);
 
@@ -441,6 +459,7 @@ sb::StatusOr<Message> Kernel::IpcCall(Thread* caller, CapSlot cap_slot, const Me
   SB_CHECK(ep != nullptr);
   ep->count_call();
   ++ipc_calls_;
+  metrics_.ipc_calls->Add();
 
   hw::Core& core = machine_->core(caller->core_id());
   // Local service if a server thread lives on the caller's core.

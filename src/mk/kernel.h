@@ -214,6 +214,17 @@ class Kernel {
   uint64_t warm_footprint_cycles_ = 0;
   uint64_t ipc_calls_ = 0;
   uint64_t cross_core_calls_ = 0;
+  // Telemetry handles on the machine's registry (mk.*), bound at
+  // construction; the call paths only do relaxed sharded adds.
+  struct Metrics {
+    sb::telemetry::Counter* ipc_calls;
+    sb::telemetry::Counter* cross_core_calls;
+    sb::telemetry::Counter* fastpath_legs;
+    sb::telemetry::Counter* slowpath_legs;
+    sb::telemetry::Counter* syscall_entries;
+    sb::telemetry::Counter* context_switches;
+  };
+  Metrics metrics_;
   CapSlot last_granted_slot_ = ~0u;
   bool booted_ = false;
 };

@@ -52,6 +52,13 @@ size_t Scheduler::ready_count() const {
 }
 
 sb::StatusOr<Thread*> Scheduler::Schedule() {
+  // Bound lazily: the scheduler is constructed before some test kernels
+  // finish wiring the machine, but always schedules after.
+  if (metric_dispatches_ == nullptr) {
+    sb::telemetry::Registry& reg = kernel_->machine().telemetry();
+    metric_dispatches_ = &reg.GetCounter("mk.sched.dispatches");
+    metric_process_switches_ = &reg.GetCounter("mk.sched.process_switches");
+  }
   hw::Core& core = kernel_->machine().core(core_id_);
   core.AdvanceCycles(kDispatchCycles);
   for (auto& queue : ready_) {
@@ -62,8 +69,10 @@ sb::StatusOr<Thread*> Scheduler::Schedule() {
     queue.pop_front();
     queue.push_back(next);  // Round-robin within the priority.
     ++dispatches_;
+    metric_dispatches_->Add();
     if (kernel_->current_process(core_id_) != next->process()) {
       ++process_switches_;
+      metric_process_switches_->Add();
       SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(core, next->process()));
     }
     return next;

@@ -12,6 +12,7 @@
 #include <deque>
 
 #include "src/base/status.h"
+#include "src/base/telemetry/metrics.h"
 #include "src/mk/process.h"
 
 namespace mk {
@@ -50,6 +51,9 @@ class Scheduler {
   std::array<std::deque<Thread*>, kNumPriorities> ready_;
   uint64_t dispatches_ = 0;
   uint64_t process_switches_ = 0;
+  // Registry mirrors (mk.sched.*), bound on first Schedule().
+  sb::telemetry::Counter* metric_dispatches_ = nullptr;
+  sb::telemetry::Counter* metric_process_switches_ = nullptr;
 };
 
 }  // namespace mk

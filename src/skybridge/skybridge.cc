@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/logging.h"
+#include "src/base/telemetry/trace.h"
 #include "src/base/units.h"
 #include "src/x86/rewriter.h"
 #include "src/x86/scanner.h"
@@ -18,6 +19,8 @@ constexpr uint64_t kKeySlotBytes = 16;  // {key, client pid}
 // the remainder — the measured roundtrip lands on 2 x (134 + 64) = 396.
 constexpr uint64_t kTrampolineLegCycles = 44;
 
+using sb::telemetry::TraceEventType;
+
 }  // namespace
 
 SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
@@ -29,11 +32,44 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
   SB_CHECK(kernel.rootkernel() != nullptr)
       << "SkyBridge requires a kernel booted with the Rootkernel";
   SB_CHECK(config_.eptp_capacity >= 2 && config_.eptp_capacity <= hw::kEptpListCapacity);
+  sb::telemetry::Registry& reg = kernel.machine().telemetry();
+  metrics_.direct_calls = &reg.GetCounter("skybridge.ipc.direct_calls");
+  metrics_.long_calls = &reg.GetCounter("skybridge.ipc.long_calls");
+  metrics_.rejected_calls = &reg.GetCounter("skybridge.ipc.rejected_calls");
+  metrics_.timeouts = &reg.GetCounter("skybridge.ipc.timeouts");
+  metrics_.eptp_misses = &reg.GetCounter("skybridge.ipc.eptp_misses");
+  metrics_.rewritten_vmfuncs = &reg.GetCounter("skybridge.rewrite.vmfuncs");
+  metrics_.processes_rewritten = &reg.GetCounter("skybridge.rewrite.processes");
+  metrics_.lookup_hits = &reg.GetCounter("skybridge.lookup.hits");
+  metrics_.lookup_misses = &reg.GetCounter("skybridge.lookup.misses");
+  metrics_.scan_pages = &reg.GetCounter("skybridge.rewrite.scan_pages");
+  metrics_.scan_threads = &reg.GetGauge("skybridge.rewrite.scan_threads");
+  metrics_.phase_vmfunc = &reg.GetHistogram("skybridge.phase.vmfunc");
+  metrics_.phase_trampoline = &reg.GetHistogram("skybridge.phase.trampoline");
+  metrics_.phase_copy = &reg.GetHistogram("skybridge.phase.copy");
+  metrics_.phase_syscall = &reg.GetHistogram("skybridge.phase.syscall");
+  metrics_.phase_total = &reg.GetHistogram("skybridge.phase.total");
+  sb::telemetry::InstallTraceCrashDump();
   // One shared trampoline code frame for all processes.
   auto frame = kernel.guest_frames().Alloc(kernel.machine().mem());
   SB_CHECK(frame.ok());
   trampoline_gpa_ = *frame;
   kernel.machine().mem().Write(trampoline_gpa_, trampoline_.code);
+}
+
+const SkyBridgeStats& SkyBridge::stats() const {
+  stats_snapshot_.direct_calls = metrics_.direct_calls->Value();
+  stats_snapshot_.long_calls = metrics_.long_calls->Value();
+  stats_snapshot_.rejected_calls = metrics_.rejected_calls->Value();
+  stats_snapshot_.timeouts = metrics_.timeouts->Value();
+  stats_snapshot_.eptp_misses = metrics_.eptp_misses->Value();
+  stats_snapshot_.rewritten_vmfuncs = metrics_.rewritten_vmfuncs->Value();
+  stats_snapshot_.processes_rewritten = metrics_.processes_rewritten->Value();
+  stats_snapshot_.binding_lookup_hits = metrics_.lookup_hits->Value();
+  stats_snapshot_.binding_lookup_misses = metrics_.lookup_misses->Value();
+  stats_snapshot_.scan_pages = metrics_.scan_pages->Value();
+  stats_snapshot_.scan_threads = metrics_.scan_threads->Value();
+  return stats_snapshot_;
 }
 
 sb::Status SkyBridge::RewriteProcessImage(mk::Process* process) {
@@ -46,10 +82,13 @@ sb::Status SkyBridge::RewriteProcessImage(mk::Process* process) {
   rw.scan_pool = &scan_pool_;
   SB_ASSIGN_OR_RETURN(x86::RewriteResult result,
                       x86::RewriteVmfunc(process->code_image(), rw));
-  stats_.rewritten_vmfuncs +=
-      static_cast<uint64_t>(result.stats.nop_replaced + result.stats.windows_relocated);
-  stats_.scan_pages += result.stats.scan_pages;
-  stats_.scan_threads = std::max(stats_.scan_threads, result.stats.scan_threads);
+  metrics_.rewritten_vmfuncs->Add(
+      static_cast<uint64_t>(result.stats.nop_replaced + result.stats.windows_relocated));
+  metrics_.scan_pages->Add(result.stats.scan_pages);
+  metrics_.scan_threads->SetMax(result.stats.scan_threads);
+  SB_LOG(kDebug) << "rewrite " << sb::kv("pid", process->pid())
+                 << " " << sb::kv("scan_pages", result.stats.scan_pages)
+                 << " " << sb::kv("scan_threads", result.stats.scan_threads);
 
   // Write the rewritten image back over the process's code pages.
   const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
@@ -68,7 +107,7 @@ sb::Status SkyBridge::RewriteProcessImage(mk::Process* process) {
     kernel_->machine().mem().Write(rw_gpa, result.rewrite_page);
   }
   process->set_code_rewritten(true);
-  ++stats_.processes_rewritten;
+  metrics_.processes_rewritten->Add();
   return sb::OkStatus();
 }
 
@@ -201,16 +240,21 @@ SkyBridge::Binding* SkyBridge::FindBinding(mk::Process* client, ServerId server)
 }
 
 SkyBridge::Binding* SkyBridge::LookupRoute(mk::Thread* caller, ServerId server) {
+  hw::Core& core = kernel_->machine().core(caller->core_id());
   mk::Thread::RouteCache& cache = caller->route_cache();
   if (cache.generation == route_generation_ && cache.key == server && cache.route != nullptr) {
     Binding* cached = static_cast<Binding*>(cache.route);
     if (cached->client == caller->process()) {
-      ++stats_.binding_lookup_hits;
+      metrics_.lookup_hits->Add();
+      SB_TRACE_EVENT(TraceEventType::kLookupHit, core.cycles(), core.id(),
+                     caller->process()->pid(), server);
       return cached;
     }
   }
-  ++stats_.binding_lookup_misses;
+  metrics_.lookup_misses->Add();
   Binding* binding = binding_index_.Find(caller->process(), server);
+  SB_TRACE_EVENT(binding != nullptr ? TraceEventType::kLookupHit : TraceEventType::kLookupMiss,
+                 core.cycles(), core.id(), caller->process()->pid(), server);
   if (binding != nullptr) {
     cache.key = server;
     cache.route = binding;
@@ -305,6 +349,11 @@ sb::Status SkyBridge::InstallBinding(hw::Core& core, Binding& binding, uint64_t 
     if (victim == nullptr) {
       return sb::ResourceExhausted("EPTP list full and nothing evictable");
     }
+    SB_TRACE_EVENT(TraceEventType::kEptEvict, core.cycles(), core.id(), victim->server,
+                   victim->eptp_slot);
+    SB_LOG(kDebug) << "eptp evict " << sb::kv("client", binding.client->pid())
+                   << " " << sb::kv("server", victim->server)
+                   << " " << sb::kv("slot", victim->eptp_slot);
     victim->installed = false;
     victim->eptp_slot = kNoEptpSlot;
     ids.erase(std::remove(ids.begin(), ids.end(), victim->ept_id), ids.end());
@@ -446,13 +495,28 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
   mk::Process* proc = caller->process();
   hw::Core& core = kernel_->machine().core(caller->core_id());
 
+  // Phase attribution: always measured, even when the caller did not ask for
+  // a breakdown — the per-phase histograms are fed from the deltas. The
+  // local breakdown records only; it charges no cycles.
+  mk::CostBreakdown local_bd;
+  mk::CostBreakdown* pbd = bd != nullptr ? bd : &local_bd;
+  const mk::CostBreakdown bd_before = *pbd;
+  const uint64_t call_start_cycles = core.cycles();
+  SB_TRACE_EVENT(TraceEventType::kCallStart, core.cycles(), core.id(), proc->pid(),
+                 server.process->pid());
+
   // Authorization comes from the caller's own registration. The lookup is
   // O(1): per-thread last-route cache, then the (client, server) hash index.
   Binding* perm = LookupRoute(caller, server_id);
   if (perm == nullptr) {
     // Unregistered caller: the trampoline has no binding EPT to switch to;
     // the attempt is rejected and the kernel notified.
-    ++stats_.rejected_calls;
+    metrics_.rejected_calls->Add();
+    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
+                   server.process->pid());
+    SB_LOG(kDebug) << "call rejected " << sb::kv("client", proc->pid())
+                   << " " << sb::kv("server", server.process->pid())
+                   << " " << sb::kv("reason", "unregistered");
     return sb::PermissionDenied("client not registered to server");
   }
 
@@ -467,7 +531,7 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
       nested = true;  // Entered via a prior VMFUNC; origin's CR3 is live.
     } else {
       // Plain scheduling mismatch: dispatch the caller.
-      SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(core, proc, bd));
+      SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(core, proc, pbd));
       origin = proc;
     }
   }
@@ -489,10 +553,16 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
   size_t return_index = entry_ept != 0 ? entry_index : 0;
   if (!route->installed) {
     // LRU-evicted earlier (or a fresh chain binding): install it.
-    ++stats_.eptp_misses;
-    kernel_->SyscallEnter(core, bd);
+    metrics_.eptp_misses->Add();
+    SB_TRACE_EVENT(TraceEventType::kEptpMiss, core.cycles(), core.id(),
+                   server.process->pid());
+    SB_LOG(kDebug) << "eptp miss " << sb::kv("client", origin->pid())
+                   << " " << sb::kv("server", server.process->pid());
+    kernel_->SyscallEnter(core, pbd);
     SB_RETURN_IF_ERROR(InstallBinding(core, *route, entry_ept));
-    kernel_->SyscallExit(core, bd);
+    kernel_->SyscallExit(core, pbd);
+    SB_TRACE_EVENT(TraceEventType::kEptpReinstall, core.cycles(), core.id(),
+                   server.process->pid(), route->eptp_slot);
     // Reinstallation may have shuffled slots; restore the entry view index
     // (one scan, on the sanctioned slow path only).
     const size_t entry_slot = EptpSlotOfId(origin_ids, entry_ept);
@@ -506,19 +576,17 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
   TouchLru(*route);
 
   // ---- Client-side trampoline ----
-  ChargeTrampolineLeg(core, bd);
+  ChargeTrampolineLeg(core, pbd);
   const hw::Gva shared_buf = perm->shared_buf;
   const bool long_msg = msg.size() > kernel_->profile().register_msg_capacity;
   if (long_msg) {
-    ++stats_.long_calls;
+    metrics_.long_calls->Add();
     const uint64_t before = core.cycles();
     if (msg.size() > config_.shared_buffer_bytes || shared_buf == 0) {
       return sb::OutOfRange("message exceeds shared buffer");
     }
     SB_RETURN_IF_ERROR(core.WriteVirt(shared_buf, msg.data));
-    if (bd != nullptr) {
-      bd->copy += core.cycles() - before;
-    }
+    pbd->copy += core.cycles() - before;
   }
   // The client's per-call key; the server must echo it on return.
   const uint64_t client_key = key_rng_.Next();
@@ -527,18 +595,25 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
   SB_CHECK(route->eptp_slot != kNoEptpSlot) << "installed binding without a cached slot";
   const uint64_t before_vmfunc = core.cycles();
   SB_RETURN_IF_ERROR(core.Vmfunc(0, route->eptp_slot));
-  if (bd != nullptr) {
-    bd->vmfunc += core.cycles() - before_vmfunc;
-  }
+  pbd->vmfunc += core.cycles() - before_vmfunc;
+  SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), route->eptp_slot);
 
   auto return_to_entry = [&]() -> sb::Status {
     const uint64_t t0 = core.cycles();
     SB_RETURN_IF_ERROR(core.Vmfunc(0, static_cast<uint32_t>(return_index)));
-    if (bd != nullptr) {
-      bd->vmfunc += core.cycles() - t0;
-    }
-    ChargeTrampolineLeg(core, bd);
+    pbd->vmfunc += core.cycles() - t0;
+    SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), return_index);
+    ChargeTrampolineLeg(core, pbd);
     return sb::OkStatus();
+  };
+
+  // Fold this call's phase deltas into the per-phase histograms at exit.
+  auto record_phases = [&]() {
+    metrics_.phase_vmfunc->Record(pbd->vmfunc - bd_before.vmfunc);
+    metrics_.phase_trampoline->Record(pbd->others - bd_before.others);
+    metrics_.phase_copy->Record(pbd->copy - bd_before.copy);
+    metrics_.phase_syscall->Record(pbd->syscall_sysret - bd_before.syscall_sysret);
+    metrics_.phase_total->Record(core.cycles() - call_start_cycles);
   };
 
   // ---- Server side (server address space, same core, no kernel) ----
@@ -555,7 +630,12 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
     }
   }
   if (!key_ok) {
-    ++stats_.rejected_calls;
+    metrics_.rejected_calls->Add();
+    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
+                   server.process->pid());
+    SB_LOG(kDebug) << "call rejected " << sb::kv("client", proc->pid())
+                   << " " << sb::kv("server", server.process->pid())
+                   << " " << sb::kv("reason", "calling_key");
     SB_RETURN_IF_ERROR(return_to_entry());
     return sb::PermissionDenied("calling key rejected");
   }
@@ -566,9 +646,13 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
   (void)core.TouchData(stack_va + kServerStackBytes - 64, 64, true);
 
   const uint64_t handler_start = core.cycles();
+  SB_TRACE_EVENT(TraceEventType::kHandlerEnter, core.cycles(), core.id(),
+                 server.process->pid());
   mk::CallEnv env{*kernel_, core, *server.process, msg};
   mk::Message reply = server.handler(env);
   const bool timed_out = core.cycles() - handler_start > config_.timeout_cycles;
+  SB_TRACE_EVENT(TraceEventType::kHandlerExit, core.cycles(), core.id(), server.process->pid(),
+                 timed_out ? 1 : 0);
 
   const bool long_reply = reply.size() > kernel_->profile().register_msg_capacity;
   if (long_reply && !timed_out) {
@@ -577,9 +661,7 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
       return sb::OutOfRange("reply exceeds shared buffer");
     }
     SB_RETURN_IF_ERROR(core.WriteVirt(shared_buf, reply.data));
-    if (bd != nullptr) {
-      bd->copy += core.cycles() - before;
-    }
+    pbd->copy += core.cycles() - before;
   }
 
   // ---- Return gate ----
@@ -593,15 +675,21 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
     const uint64_t before = core.cycles();
     std::vector<uint8_t> out(reply.size());
     SB_RETURN_IF_ERROR(core.ReadVirt(shared_buf, out));
-    if (bd != nullptr) {
-      bd->copy += core.cycles() - before;
-    }
+    pbd->copy += core.cycles() - before;
   }
   if (timed_out) {
-    ++stats_.timeouts;
+    metrics_.timeouts->Add();
+    SB_TRACE_EVENT(TraceEventType::kTimeout, core.cycles(), core.id(),
+                   server.process->pid());
+    SB_LOG(kDebug) << "call timeout " << sb::kv("client", proc->pid())
+                   << " " << sb::kv("server", server.process->pid());
+    record_phases();
     return sb::TimeoutError("server handler exceeded the SkyBridge timeout");
   }
-  ++stats_.direct_calls;
+  metrics_.direct_calls->Add();
+  SB_TRACE_EVENT(TraceEventType::kCallEnd, core.cycles(), core.id(), proc->pid(),
+                 server.process->pid());
+  record_phases();
   return reply;
 }
 
@@ -613,7 +701,7 @@ sb::StatusOr<mk::Message> SkyBridge::CallWithForgedKey(mk::Thread* caller, Serve
   }
   Binding* binding = FindBinding(caller->process(), server_id);
   if (binding == nullptr) {
-    ++stats_.rejected_calls;
+    metrics_.rejected_calls->Add();
     return sb::PermissionDenied("client not registered to server");
   }
   const uint64_t real_key = binding->server_key;

@@ -35,6 +35,7 @@
 
 #include "src/base/rng.h"
 #include "src/base/status.h"
+#include "src/base/telemetry/metrics.h"
 #include "src/base/thread_pool.h"
 #include "src/mk/kernel.h"
 #include "src/skybridge/trampoline.h"
@@ -59,6 +60,9 @@ struct SkyBridgeConfig {
   uint64_t key_seed = 0x5eedULL;
 };
 
+// Point-in-time snapshot of the library's counters. The live values are
+// telemetry registry metrics (skybridge.* on the machine's registry); this
+// struct is folded from them by stats() to keep the historical accessor.
 struct SkyBridgeStats {
   uint64_t direct_calls = 0;
   uint64_t long_calls = 0;       // Used the shared buffer.
@@ -105,7 +109,9 @@ class SkyBridge {
   sb::StatusOr<mk::Message> CallWithForgedKey(mk::Thread* caller, ServerId server_id,
                                               const mk::Message& msg, uint64_t forged_key);
 
-  const SkyBridgeStats& stats() const { return stats_; }
+  // Folds the registry-backed counters into the snapshot struct. The
+  // returned reference stays valid until the next stats() call.
+  const SkyBridgeStats& stats() const;
   const SkyBridgeConfig& config() const { return config_; }
   mk::Kernel& kernel() { return *kernel_; }
 
@@ -204,9 +210,33 @@ class SkyBridge {
   // direction (Section 6.3) plus the i-side traffic of the trampoline page.
   void ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd);
 
+  // Live counters on the machine's telemetry registry (skybridge.*). Handles
+  // are registered once in the constructor; the hot path only does relaxed
+  // sharded adds. `metrics_.scan_threads` is a high-water gauge.
+  struct Metrics {
+    sb::telemetry::Counter* direct_calls;
+    sb::telemetry::Counter* long_calls;
+    sb::telemetry::Counter* rejected_calls;
+    sb::telemetry::Counter* timeouts;
+    sb::telemetry::Counter* eptp_misses;
+    sb::telemetry::Counter* rewritten_vmfuncs;
+    sb::telemetry::Counter* processes_rewritten;
+    sb::telemetry::Counter* lookup_hits;
+    sb::telemetry::Counter* lookup_misses;
+    sb::telemetry::Counter* scan_pages;
+    sb::telemetry::Gauge* scan_threads;
+    // Per-phase latency histograms fed from CostBreakdown deltas.
+    sb::telemetry::LatencyHistogram* phase_vmfunc;
+    sb::telemetry::LatencyHistogram* phase_trampoline;
+    sb::telemetry::LatencyHistogram* phase_copy;
+    sb::telemetry::LatencyHistogram* phase_syscall;
+    sb::telemetry::LatencyHistogram* phase_total;
+  };
+
   mk::Kernel* kernel_;
   SkyBridgeConfig config_;
-  SkyBridgeStats stats_;
+  Metrics metrics_;
+  mutable SkyBridgeStats stats_snapshot_;
   sb::Rng key_rng_;
   TrampolineLayout trampoline_;
   hw::Gpa trampoline_gpa_ = 0;  // Shared trampoline code frame.

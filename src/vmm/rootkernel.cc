@@ -1,6 +1,7 @@
 #include "src/vmm/rootkernel.h"
 
 #include "src/base/logging.h"
+#include "src/base/telemetry/trace.h"
 #include "src/base/units.h"
 
 namespace vmm {
@@ -9,7 +10,15 @@ Rootkernel::Rootkernel(hw::Machine& machine, const RootkernelConfig& config, hw:
     : machine_(&machine),
       config_(config),
       guest_limit_(guest_limit),
-      frames_(guest_limit, config.reserved_bytes) {}
+      frames_(guest_limit, config.reserved_bytes) {
+  sb::telemetry::Registry& reg = machine.telemetry();
+  metrics_.exits_cpuid = &reg.GetCounter("vmm.exits.cpuid");
+  metrics_.exits_vmcall = &reg.GetCounter("vmm.exits.vmcall");
+  metrics_.exits_ept_violation = &reg.GetCounter("vmm.exits.ept_violation");
+  metrics_.epts_created = &reg.GetCounter("vmm.ept.created");
+  metrics_.identity_remaps = &reg.GetCounter("vmm.ept.identity_remaps");
+  metrics_.ept_pages = &reg.GetGauge("vmm.ept.pages");
+}
 
 Rootkernel::~Rootkernel() {
   // Detach from the machine so stale exits don't reach a dead object.
@@ -73,6 +82,8 @@ hw::Ept* Rootkernel::ept(uint64_t ept_id) {
 sb::StatusOr<uint64_t> Rootkernel::CreateProcessEpt() {
   SB_ASSIGN_OR_RETURN(auto copy, base_ept_->ShallowCopy());
   epts_.push_back(std::move(copy));
+  metrics_.epts_created->Add();
+  metrics_.ept_pages->Set(frames_.allocated_frames());
   return epts_.size() - 1;
 }
 
@@ -88,6 +99,10 @@ sb::StatusOr<uint64_t> Rootkernel::CreateBindingEpt(hw::Gpa client_cr3, hw::Gpa 
   // table root translates to the HPA of the server's page table root.
   SB_RETURN_IF_ERROR(copy->RemapGpaPage(client_cr3, server_cr3));
   epts_.push_back(std::move(copy));
+  metrics_.epts_created->Add();
+  metrics_.ept_pages->Set(frames_.allocated_frames());
+  SB_TRACE_EVENT(sb::telemetry::TraceEventType::kEptInstall,
+                 machine_->core(0).cycles(), 0, epts_.size() - 1);
   return epts_.size() - 1;
 }
 
@@ -97,6 +112,7 @@ sb::Status Rootkernel::RemapIdentityPage(uint64_t ept_id, hw::Gpa identity_gpa,
   if (e == nullptr) {
     return sb::NotFound("no such EPT");
   }
+  metrics_.identity_remaps->Add();
   return e->RemapGpaPage(identity_gpa, target);
 }
 
@@ -111,12 +127,17 @@ uint64_t Rootkernel::HandleExit(hw::Core& core, const hw::VmExitInfo& info) {
   switch (info.reason) {
     case hw::VmExitReason::kCpuid:
       ++exits_cpuid_;
+      metrics_.exits_cpuid->Add();
       return 0;
     case hw::VmExitReason::kVmcall:
       ++exits_vmcall_;
+      metrics_.exits_vmcall->Add();
+      SB_TRACE_EVENT(sb::telemetry::TraceEventType::kVmcall, core.cycles(), core.id(),
+                     info.qualification);
       return HandleVmcall(core, info);
     case hw::VmExitReason::kEptViolation:
       ++exits_ept_violation_;
+      metrics_.exits_ept_violation->Add();
       return HandleEptViolation(core, info);
     case hw::VmExitReason::kVmfuncInvalid:
       // A malformed VMFUNC from a guest: treated as a guest error; the

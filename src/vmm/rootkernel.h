@@ -102,6 +102,18 @@ class Rootkernel {
   uint64_t exits_cpuid_ = 0;
   uint64_t exits_vmcall_ = 0;
   uint64_t exits_ept_violation_ = 0;
+  // Registry mirrors (vmm.*) on the machine's telemetry; plain counters and
+  // a Set-at-update gauge, never providers — the Rootkernel can die before
+  // the machine, and a provider lambda would dangle.
+  struct Metrics {
+    sb::telemetry::Counter* exits_cpuid;
+    sb::telemetry::Counter* exits_vmcall;
+    sb::telemetry::Counter* exits_ept_violation;
+    sb::telemetry::Counter* epts_created;
+    sb::telemetry::Counter* identity_remaps;
+    sb::telemetry::Gauge* ept_pages;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace vmm

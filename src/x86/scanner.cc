@@ -44,12 +44,12 @@ std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code, const ScanOpt
   const size_t chunk = options.chunk_bytes == 0 ? 4096 : options.chunk_bytes;
   const size_t num_chunks = (code.size() + chunk - 1) / chunk;
   if (options.stats != nullptr) {
-    options.stats->pages += num_chunks;
+    options.stats->AddPages(num_chunks);
   }
   if (options.pool == nullptr || num_chunks < 2) {
     ScanRange(code, 0, search_end, offsets);
     if (options.stats != nullptr) {
-      options.stats->threads = std::max<uint64_t>(options.stats->threads, 1);
+      options.stats->MaxThreads(1);
     }
     return offsets;
   }
@@ -65,7 +65,7 @@ std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code, const ScanOpt
     }
   });
   if (options.stats != nullptr) {
-    options.stats->threads = std::max<uint64_t>(options.stats->threads, used);
+    options.stats->MaxThreads(used);
   }
   for (const std::vector<size_t>& bucket : buckets) {
     offsets.insert(offsets.end(), bucket.begin(), bucket.end());

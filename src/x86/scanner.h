@@ -17,6 +17,7 @@
 #ifndef SRC_X86_SCANNER_H_
 #define SRC_X86_SCANNER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -38,10 +39,20 @@ struct VmfuncHit {
   VmfuncOverlap overlap = VmfuncOverlap::kUndecodable;
 };
 
-// Accounting for one or more scans (accumulated across calls).
+// Accounting for one or more scans (accumulated across calls). The fields
+// are atomics so one ScanStats can be shared as the sink of scans running
+// concurrently on different threads (relaxed ordering: the totals are read
+// after the scans join).
 struct ScanStats {
-  uint64_t pages = 0;    // Chunks (code pages) scanned.
-  uint64_t threads = 0;  // Widest fan-out: max threads any scan used.
+  std::atomic<uint64_t> pages{0};    // Chunks (code pages) scanned.
+  std::atomic<uint64_t> threads{0};  // Widest fan-out: max threads any scan used.
+
+  void AddPages(uint64_t n) { pages.fetch_add(n, std::memory_order_relaxed); }
+  void MaxThreads(uint64_t n) {
+    uint64_t cur = threads.load(std::memory_order_relaxed);
+    while (n > cur && !threads.compare_exchange_weak(cur, n, std::memory_order_relaxed)) {
+    }
+  }
 };
 
 struct ScanOptions {

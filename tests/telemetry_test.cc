@@ -1,0 +1,384 @@
+// Telemetry subsystem tests: the sharded metrics registry, the per-thread
+// trace ring with its Chrome export, and the end-to-end trace of one
+// SkyBridge DirectServerCall.
+
+#include "src/base/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/base/telemetry/trace.h"
+#include "src/skybridge/skybridge.h"
+
+namespace sb::telemetry {
+namespace {
+
+TEST(Counter, AddAndFold) {
+  Counter c("test.counter");
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(Counter, ConcurrentAddsSumExactly) {
+  Counter c("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        c.Add();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(Gauge, SetAndSetMax) {
+  Gauge g("test.gauge");
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7u);
+  g.SetMax(3);  // Lower: high-water mark keeps 7.
+  EXPECT_EQ(g.Value(), 7u);
+  g.SetMax(11);
+  EXPECT_EQ(g.Value(), 11u);
+}
+
+TEST(Gauge, ProviderWinsOverStoredValue) {
+  Gauge g("test.provider");
+  g.Set(1);
+  uint64_t source = 99;
+  g.SetProvider([&source] { return source; });
+  EXPECT_EQ(g.Value(), 99u);
+  source = 100;
+  EXPECT_EQ(g.Value(), 100u);
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h("test.hist");
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(LatencyHistogram, SingleSample) {
+  LatencyHistogram h("test.hist");
+  h.Record(396);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 396.0);
+  EXPECT_EQ(h.Max(), 396u);
+  // Every percentile of a single sample is that sample (bucket midpoint
+  // clamped to the observed max).
+  EXPECT_EQ(h.Percentile(0), h.Percentile(100));
+  EXPECT_LE(h.Percentile(50), 396u);
+  EXPECT_GE(h.Percentile(50), 256u);  // Within the 2x bucket bound.
+}
+
+TEST(LatencyHistogram, ZeroValuesLandInBucketZero) {
+  LatencyHistogram h("test.hist");
+  h.Record(0);
+  h.Record(0);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+TEST(LatencyHistogram, PercentilesOrderedAndClampedToMax) {
+  LatencyHistogram h("test.hist");
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  const uint64_t p0 = h.Percentile(0);
+  const uint64_t p50 = h.Percentile(50);
+  const uint64_t p99 = h.Percentile(99);
+  const uint64_t p100 = h.Percentile(100);
+  EXPECT_LE(p0, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p100);
+  EXPECT_LE(p100, 1000u);  // Clamped to the observed max, not the bucket top.
+  EXPECT_GE(p50, 250u);    // 2x-error bound around the true 500.
+  EXPECT_LE(p50, 1000u);
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Registry registry;
+  Counter& a = registry.GetCounter("skybridge.ipc.direct_calls");
+  Counter& b = registry.GetCounter("skybridge.ipc.direct_calls");
+  EXPECT_EQ(&a, &b);
+  a.Add(5);
+  EXPECT_EQ(b.Value(), 5u);
+  // Different kinds live in different namespaces.
+  Gauge& g = registry.GetGauge("skybridge.ipc.direct_calls");
+  EXPECT_EQ(g.Value(), 0u);
+}
+
+TEST(Registry, SnapshotCarriesAllKinds) {
+  Registry registry;
+  registry.GetCounter("a.b.counter").Add(3);
+  registry.GetGauge("a.b.gauge").Set(9);
+  registry.GetHistogram("a.b.hist").Record(100);
+  const std::vector<MetricValue> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  for (const MetricValue& m : snap) {
+    if (m.name == "a.b.counter") {
+      EXPECT_EQ(m.kind, MetricValue::Kind::kCounter);
+      EXPECT_EQ(m.value, 3u);
+    } else if (m.name == "a.b.gauge") {
+      EXPECT_EQ(m.kind, MetricValue::Kind::kGauge);
+      EXPECT_EQ(m.value, 9u);
+    } else {
+      EXPECT_EQ(m.kind, MetricValue::Kind::kHistogram);
+      EXPECT_EQ(m.count, 1u);
+      EXPECT_EQ(m.max, 100u);
+    }
+  }
+}
+
+TEST(Registry, SnapshotJsonIsWellFormed) {
+  Registry registry;
+  registry.GetCounter("x.y.calls").Add(2);
+  registry.GetHistogram("x.y.lat").Record(50);
+  const std::string json = registry.SnapshotJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"x.y.calls\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"x.y.lat\":{\"count\":1"), std::string::npos);
+  // Balanced braces (no parser available; the CI job validates with python).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Registry, MachinesDoNotShareMetrics) {
+  hw::MachineConfig mc;
+  mc.num_cores = 1;
+  mc.ram_bytes = 1ULL << 30;
+  hw::Machine a(mc);
+  hw::Machine b(mc);
+  a.telemetry().GetCounter("test.shared.name").Add(7);
+  EXPECT_EQ(b.telemetry().GetCounter("test.shared.name").Value(), 0u);
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEnabled(false);
+    TraceClear();
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    TraceClear();
+  }
+};
+
+TEST_F(TraceTest, DisabledEmitsNothing) {
+  TraceEmit(TraceEventType::kCallStart, 100);
+  SB_TRACE_EVENT(TraceEventType::kCallStart, 200);
+  EXPECT_TRUE(TraceSnapshot().empty());
+}
+
+TEST_F(TraceTest, MacroDoesNotEvaluateArgsWhenDisabled) {
+  int evaluations = 0;
+  auto count = [&evaluations] { return static_cast<uint64_t>(++evaluations); };
+  SB_TRACE_EVENT(TraceEventType::kCallStart, count());
+  EXPECT_EQ(evaluations, 0);
+  SetTraceEnabled(true);
+  SB_TRACE_EVENT(TraceEventType::kCallStart, count());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(TraceTest, SnapshotPreservesEmissionOrder) {
+  SetTraceEnabled(true);
+  TraceEmit(TraceEventType::kCallStart, 10, 0, 1, 2);
+  TraceEmit(TraceEventType::kVmfuncSwitch, 20, 0, 3);
+  TraceEmit(TraceEventType::kCallEnd, 30, 0, 1, 2);
+  const std::vector<TraceRecord> records = TraceSnapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].type, TraceEventType::kCallStart);
+  EXPECT_EQ(records[0].cycles, 10u);
+  EXPECT_EQ(records[0].arg0, 1u);
+  EXPECT_EQ(records[1].type, TraceEventType::kVmfuncSwitch);
+  EXPECT_EQ(records[2].type, TraceEventType::kCallEnd);
+  EXPECT_LT(records[0].seq, records[1].seq);
+  EXPECT_LT(records[1].seq, records[2].seq);
+}
+
+TEST_F(TraceTest, RingWrapKeepsNewestRecords) {
+  SetTraceEnabled(true);
+  const size_t total = kTraceRingCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    TraceEmit(TraceEventType::kVmfuncSwitch, i);
+  }
+  const std::vector<TraceRecord> records = TraceSnapshot();
+  ASSERT_EQ(records.size(), kTraceRingCapacity);
+  EXPECT_EQ(records.front().cycles, 100u);  // Oldest surviving.
+  EXPECT_EQ(records.back().cycles, total - 1);
+}
+
+TEST_F(TraceTest, ChromeJsonPairsSlices) {
+  SetTraceEnabled(true);
+  TraceEmit(TraceEventType::kCallStart, 100, 0, 1, 2);
+  TraceEmit(TraceEventType::kHandlerEnter, 150, 0, 2);
+  TraceEmit(TraceEventType::kHandlerExit, 250, 0, 2);
+  TraceEmit(TraceEventType::kCallEnd, 300, 0, 1, 2);
+  TraceEmit(TraceEventType::kEptpMiss, 310, 0, 2);
+  const std::string json = TraceChromeJson(TraceSnapshot());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("DirectServerCall"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+}
+
+TEST_F(TraceTest, DumpShowsEventNames) {
+  SetTraceEnabled(true);
+  TraceEmit(TraceEventType::kEptEvict, 42, 1, 7, 3);
+  std::ostringstream out;
+  TraceDump(out);
+  EXPECT_NE(out.str().find("ept_evict"), std::string::npos);
+  EXPECT_NE(out.str().find("42"), std::string::npos);
+}
+
+// The acceptance test: trace one warm DirectServerCall and assert the
+// canonical fast-path event sequence with non-decreasing cycle timestamps.
+class SkyBridgeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEnabled(false);
+    TraceClear();
+    hw::MachineConfig mc;
+    mc.num_cores = 2;
+    mc.ram_bytes = 2ULL << 30;
+    machine_ = std::make_unique<hw::Machine>(mc);
+    kernel_ = std::make_unique<mk::Kernel>(*machine_, mk::Sel4Profile());
+    ASSERT_TRUE(kernel_->Boot().ok());
+    sky_ = std::make_unique<skybridge::SkyBridge>(*kernel_);
+    client_ = kernel_->CreateProcess("client").value();
+    server_ = kernel_->CreateProcess("server").value();
+    sid_ = sky_->RegisterServer(server_, 4, [](mk::CallEnv& env) { return env.request; })
+               .value();
+    ASSERT_TRUE(sky_->RegisterClient(client_, sid_).ok());
+    thread_ = client_->AddThread(0);
+    ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client_).ok());
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    TraceClear();
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<mk::Kernel> kernel_;
+  std::unique_ptr<skybridge::SkyBridge> sky_;
+  mk::Process* client_ = nullptr;
+  mk::Process* server_ = nullptr;
+  skybridge::ServerId sid_ = 0;
+  mk::Thread* thread_ = nullptr;
+};
+
+// Index of the first record of `type` at or after `from`; fails if absent.
+size_t IndexOf(const std::vector<TraceRecord>& records, TraceEventType type, size_t from = 0) {
+  for (size_t i = from; i < records.size(); ++i) {
+    if (records[i].type == type) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "event " << TraceEventName(type) << " not found from index " << from;
+  return records.size();
+}
+
+TEST_F(SkyBridgeTraceTest, DirectCallEmitsCanonicalSequence) {
+  // Warm call installs the binding so the traced call is the pure fast path.
+  ASSERT_TRUE(sky_->DirectServerCall(thread_, sid_, mk::Message(1)).ok());
+
+  TraceClear();
+  SetTraceEnabled(true);
+  ASSERT_TRUE(sky_->DirectServerCall(thread_, sid_, mk::Message(2)).ok());
+  SetTraceEnabled(false);
+
+  const std::vector<TraceRecord> records = TraceSnapshot();
+  ASSERT_FALSE(records.empty());
+
+  // lookup -> vmfunc -> handler enter -> handler exit -> vmfunc-return,
+  // bracketed by the call start/end markers.
+  const size_t start = IndexOf(records, TraceEventType::kCallStart);
+  const size_t lookup = IndexOf(records, TraceEventType::kLookupHit, start);
+  const size_t vmfunc_in = IndexOf(records, TraceEventType::kVmfuncSwitch, lookup);
+  const size_t enter = IndexOf(records, TraceEventType::kHandlerEnter, vmfunc_in);
+  const size_t exit = IndexOf(records, TraceEventType::kHandlerExit, enter);
+  const size_t vmfunc_out = IndexOf(records, TraceEventType::kVmfuncSwitch, exit);
+  const size_t end = IndexOf(records, TraceEventType::kCallEnd, vmfunc_out);
+  ASSERT_LT(end, records.size());
+  EXPECT_LT(start, lookup);
+  EXPECT_LT(vmfunc_in, enter);
+  EXPECT_LT(exit, vmfunc_out);
+  EXPECT_LT(vmfunc_out, end);
+
+  // The warm path never misses: no lookup miss, EPTP miss, or rejection.
+  for (const TraceRecord& r : records) {
+    EXPECT_NE(r.type, TraceEventType::kLookupMiss);
+    EXPECT_NE(r.type, TraceEventType::kEptpMiss);
+    EXPECT_NE(r.type, TraceEventType::kRejected);
+  }
+
+  // Timestamps are monotonically non-decreasing in emission order (one
+  // core, one clock) and the call markers span the rest.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].cycles, records[i - 1].cycles)
+        << "at " << TraceEventName(records[i].type);
+  }
+  EXPECT_EQ(records[start].arg0, static_cast<uint64_t>(client_->pid()));
+  EXPECT_EQ(records[start].arg1, static_cast<uint64_t>(server_->pid()));
+}
+
+TEST_F(SkyBridgeTraceTest, TracingChargesNoSimulatedCycles) {
+  // Warm up, then measure one call with tracing off and one with it on: the
+  // simulated cost must be identical (instrumentation is host-side only).
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sky_->DirectServerCall(thread_, sid_, mk::Message(0)).ok());
+  }
+  hw::Core& core = machine_->core(0);
+  uint64_t start = core.cycles();
+  ASSERT_TRUE(sky_->DirectServerCall(thread_, sid_, mk::Message(0)).ok());
+  const uint64_t cycles_off = core.cycles() - start;
+
+  SetTraceEnabled(true);
+  start = core.cycles();
+  ASSERT_TRUE(sky_->DirectServerCall(thread_, sid_, mk::Message(0)).ok());
+  const uint64_t cycles_on = core.cycles() - start;
+  SetTraceEnabled(false);
+  EXPECT_EQ(cycles_on, cycles_off);
+}
+
+TEST_F(SkyBridgeTraceTest, RegistryCountsMatchStatsSnapshot) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sky_->DirectServerCall(thread_, sid_, mk::Message(0)).ok());
+  }
+  const skybridge::SkyBridgeStats stats = sky_->stats();
+  Registry& reg = machine_->telemetry();
+  EXPECT_EQ(stats.direct_calls, 5u);
+  EXPECT_EQ(reg.GetCounter("skybridge.ipc.direct_calls").Value(), 5u);
+  EXPECT_EQ(reg.GetCounter("skybridge.lookup.hits").Value() +
+                reg.GetCounter("skybridge.lookup.misses").Value(),
+            5u);
+  // Phase histograms saw every call; the total per-call cost is near 396.
+  LatencyHistogram& total = reg.GetHistogram("skybridge.phase.total");
+  EXPECT_EQ(total.Count(), 5u);
+  EXPECT_GT(total.Max(), 0u);
+  EXPECT_LE(total.Percentile(99), 2 * total.Max());
+  // The machine-level VMFUNC gauge saw the two switches per call.
+  EXPECT_GE(reg.GetGauge("hw.core.vmfuncs").Value(), 10u);
+}
+
+}  // namespace
+}  // namespace sb::telemetry
