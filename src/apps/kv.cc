@@ -19,24 +19,38 @@ constexpr uint64_t kDelayCycles = 493;
 constexpr uint64_t kOpInsert = 1;
 constexpr uint64_t kOpQuery = 2;
 
+// Serialized request size: u32 key length + key + value.
+size_t EncodedSize(const std::string& key, const std::string& value) {
+  return 4 + key.size() + value.size();
+}
+
+// Serializes straight into `out` (a shared-buffer slice for the in-place
+// path); returns the number of bytes written.
+size_t EncodeRequestInto(std::span<uint8_t> out, const std::string& key,
+                         const std::string& value) {
+  const uint32_t klen = static_cast<uint32_t>(key.size());
+  std::memcpy(out.data(), &klen, 4);
+  std::memcpy(out.data() + 4, key.data(), key.size());
+  std::memcpy(out.data() + 4 + key.size(), value.data(), value.size());
+  return EncodedSize(key, value);
+}
+
 mk::Message EncodeRequest(uint64_t op, const std::string& key, const std::string& value) {
   mk::Message msg(op);
-  const uint32_t klen = static_cast<uint32_t>(key.size());
-  msg.data.resize(4 + key.size() + value.size());
-  std::memcpy(msg.data.data(), &klen, 4);
-  std::memcpy(msg.data.data() + 4, key.data(), key.size());
-  std::memcpy(msg.data.data() + 4 + key.size(), value.data(), value.size());
+  msg.data.resize(EncodedSize(key, value));
+  EncodeRequestInto(msg.data, key, value);
   return msg;
 }
 
 void DecodeRequest(const mk::Message& msg, std::string* key, std::string* value) {
+  const std::span<const uint8_t> p = msg.payload();
   uint32_t klen = 0;
-  if (msg.data.size() >= 4) {
-    std::memcpy(&klen, msg.data.data(), 4);
+  if (p.size() >= 4) {
+    std::memcpy(&klen, p.data(), 4);
   }
-  if (4 + klen <= msg.data.size()) {
-    key->assign(msg.data.begin() + 4, msg.data.begin() + 4 + klen);
-    value->assign(msg.data.begin() + 4 + klen, msg.data.end());
+  if (4 + klen <= p.size()) {
+    key->assign(p.begin() + 4, p.begin() + 4 + klen);
+    value->assign(p.begin() + 4 + klen, p.end());
   }
 }
 
@@ -123,9 +137,35 @@ mk::Message KvPipeline::HandleKv(mk::CallEnv& env, hw::Core* core) {
   (void)c.TouchData(kv_heap_ + 4096 * 64 + (slot % 512) * 2048,
                     std::max<uint64_t>(it->second.size(), 64), false);
   ++stats_.hits;
+  // Large values: build the reply in place in the connection's slice when
+  // the transport offers one — the bridge then skips the reply copy. Small
+  // values still travel in registers.
+  if (!env.reply_buffer.empty() &&
+      it->second.size() > env.kernel.profile().register_msg_capacity &&
+      it->second.size() <= env.reply_buffer.size()) {
+    std::memcpy(env.reply_buffer.data(), it->second.data(), it->second.size());
+    return mk::Message::Borrowed(
+        1, std::span<const uint8_t>(env.reply_buffer.data(), it->second.size()));
+  }
   mk::Message reply(1);
   reply.data.assign(it->second.begin(), it->second.end());
   return reply;
+}
+
+sb::StatusOr<mk::Message> KvPipeline::ForwardToKvOp(hw::Core& core, uint64_t op,
+                                                    const std::string& key,
+                                                    const std::string& value) {
+  // SkyBridge large transfers: serialize straight into the encrypt->kv
+  // connection slice and call in place — no request copy anywhere.
+  if (wiring_ == KvWiring::kSkyBridge &&
+      EncodedSize(key, value) > kernel_->profile().register_msg_capacity) {
+    auto buf = sky_->AcquireSendBuffer(encrypt_thread_, kv_sid_);
+    if (buf.ok() && EncodedSize(key, value) <= buf->size()) {
+      const size_t len = EncodeRequestInto(*buf, key, value);
+      return sky_->DirectServerCallInPlace(encrypt_thread_, kv_sid_, op, len);
+    }
+  }
+  return ForwardToKv(core, EncodeRequest(op, key, value));
 }
 
 sb::StatusOr<mk::Message> KvPipeline::ForwardToKv(hw::Core& core, const mk::Message& msg) {
@@ -159,19 +199,29 @@ mk::Message KvPipeline::HandleEncrypt(mk::CallEnv& env) {
     XteaEncrypt(cipher, cipher_key_);
     core.AdvanceCycles(kCipherCyclesPerByte * cipher.size());
     (void)core.TouchData(encrypt_heap_, std::max<uint64_t>(cipher.size(), 64), true);
-    auto fwd = ForwardToKv(core, EncodeRequest(kOpInsert, key,
-                                               std::string(cipher.begin(), cipher.end())));
-    return fwd.ok() ? *fwd : mk::Message(0);
+    auto fwd = ForwardToKvOp(core, kOpInsert, key,
+                             std::string(cipher.begin(), cipher.end()));
+    return fwd.ok() ? fwd->ToOwned() : mk::Message(0);
   }
   // Query: fetch from KV, decrypt, return plaintext.
-  auto fwd = ForwardToKv(core, EncodeRequest(kOpQuery, key, ""));
+  auto fwd = ForwardToKvOp(core, kOpQuery, key, "");
   if (!fwd.ok() || fwd->tag == 0) {
     return mk::Message(0);
   }
-  std::vector<uint8_t> plain = fwd->data;
+  const std::span<const uint8_t> cipher = fwd->payload();
+  std::vector<uint8_t> plain(cipher.begin(), cipher.end());
   XteaDecrypt(plain, cipher_key_);
   core.AdvanceCycles(kCipherCyclesPerByte * plain.size());
   (void)core.TouchData(encrypt_heap_, std::max<uint64_t>(plain.size(), 64), false);
+  // Large plaintext: drop it straight into the client-facing slice so the
+  // client reads the reply without another copy.
+  if (!env.reply_buffer.empty() &&
+      plain.size() > env.kernel.profile().register_msg_capacity &&
+      plain.size() <= env.reply_buffer.size()) {
+    std::memcpy(env.reply_buffer.data(), plain.data(), plain.size());
+    return mk::Message::Borrowed(
+        1, std::span<const uint8_t>(env.reply_buffer.data(), plain.size()));
+  }
   mk::Message reply(1);
   reply.data = std::move(plain);
   return reply;
@@ -233,10 +283,29 @@ sb::Status KvPipeline::Setup() {
   return kernel_->ContextSwitchTo(client_core(), client_);
 }
 
+sb::StatusOr<mk::Message> KvPipeline::CallEncryptOp(uint64_t op, const std::string& key,
+                                                    const std::string& value) {
+  // SkyBridge large transfers: build the request in place in the caller's
+  // slice of the client->encrypt buffer (zero request copies).
+  if (wiring_ == KvWiring::kSkyBridge &&
+      EncodedSize(key, value) > kernel_->profile().register_msg_capacity) {
+    auto buf = sky_->AcquireSendBuffer(client_thread_, encrypt_sid_);
+    if (buf.ok() && EncodedSize(key, value) <= buf->size()) {
+      hw::Core& core = client_core();
+      core.AdvanceCycles(kClientLogicCycles);
+      (void)core.TouchData(mk::kHeapVa + 0x1000,
+                           std::max<uint64_t>(EncodedSize(key, value), 64), true);
+      const size_t len = EncodeRequestInto(*buf, key, value);
+      return sky_->DirectServerCallInPlace(client_thread_, encrypt_sid_, op, len);
+    }
+  }
+  return CallEncrypt(EncodeRequest(op, key, value));
+}
+
 sb::StatusOr<mk::Message> KvPipeline::CallEncrypt(const mk::Message& msg) {
   hw::Core& core = client_core();
   core.AdvanceCycles(kClientLogicCycles);
-  (void)core.TouchData(mk::kHeapVa + 0x1000, std::max<uint64_t>(msg.data.size(), 64), true);
+  (void)core.TouchData(mk::kHeapVa + 0x1000, std::max<uint64_t>(msg.size(), 64), true);
   switch (wiring_) {
     case KvWiring::kBaseline:
     case KvWiring::kDelay: {
@@ -256,7 +325,7 @@ sb::StatusOr<mk::Message> KvPipeline::CallEncrypt(const mk::Message& msg) {
 }
 
 sb::Status KvPipeline::Insert(const std::string& key, const std::string& value) {
-  SB_ASSIGN_OR_RETURN(const mk::Message reply, CallEncrypt(EncodeRequest(kOpInsert, key, value)));
+  SB_ASSIGN_OR_RETURN(const mk::Message reply, CallEncryptOp(kOpInsert, key, value));
   if (reply.tag != 1) {
     return sb::Internal("insert failed");
   }
@@ -264,7 +333,7 @@ sb::Status KvPipeline::Insert(const std::string& key, const std::string& value) 
 }
 
 sb::StatusOr<std::string> KvPipeline::Query(const std::string& key) {
-  SB_ASSIGN_OR_RETURN(const mk::Message reply, CallEncrypt(EncodeRequest(kOpQuery, key, "")));
+  SB_ASSIGN_OR_RETURN(const mk::Message reply, CallEncryptOp(kOpQuery, key, ""));
   if (reply.tag != 1) {
     return sb::NotFound("no such key");
   }

@@ -69,12 +69,19 @@ class KvPipeline {
 
  private:
   sb::StatusOr<mk::Message> CallEncrypt(const mk::Message& msg);
+  // Op-level entry: routes large SkyBridge transfers through the in-place
+  // shared-buffer API (AcquireSendBuffer + DirectServerCallInPlace), falls
+  // back to the owned-message path everywhere else.
+  sb::StatusOr<mk::Message> CallEncryptOp(uint64_t op, const std::string& key,
+                                          const std::string& value);
 
   // Handlers (run in the encryption / kv server context).
   mk::Message HandleEncrypt(mk::CallEnv& env);
   mk::Message HandleKv(mk::CallEnv& env, hw::Core* core);
 
   sb::StatusOr<mk::Message> ForwardToKv(hw::Core& core, const mk::Message& msg);
+  sb::StatusOr<mk::Message> ForwardToKvOp(hw::Core& core, uint64_t op, const std::string& key,
+                                          const std::string& value);
 
   mk::Kernel* kernel_;
   skybridge::SkyBridge* sky_;

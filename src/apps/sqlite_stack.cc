@@ -25,12 +25,28 @@ sb::StatusOr<std::unique_ptr<SqliteStack>> SqliteStack::Create(const SqliteStack
   return stack;
 }
 
+sb::StatusOr<mk::Message> SqliteStack::CallSky(mk::Thread* thread, skybridge::ServerId sid,
+                                               const mk::Message& msg) {
+  // Large requests: construct the wire message directly in the connection's
+  // shared-buffer slice so the bridge skips the charged request copy.
+  const std::span<const uint8_t> p = msg.payload();
+  if (p.size() > kernel_->profile().register_msg_capacity) {
+    auto buf = sky_->AcquireSendBuffer(thread, sid);
+    if (buf.ok() && p.size() <= buf->size()) {
+      std::memcpy(buf->data(), p.data(), p.size());
+      return sky_->DirectServerCallInPlace(thread, sid, msg.tag, p.size());
+    }
+  }
+  return sky_->DirectServerCall(thread, sid, msg);
+}
+
 sb::StatusOr<mk::Message> SqliteStack::CallBdevFromFs(const mk::Message& msg) {
   if (setup_mode_) {
     // Direct, uncharged device access while formatting/preloading.
+    const std::span<const uint8_t> p = msg.payload();
     uint32_t block = 0;
-    if (msg.data.size() >= 4) {
-      std::memcpy(&block, msg.data.data(), 4);
+    if (p.size() >= 4) {
+      std::memcpy(&block, p.data(), 4);
     }
     if (msg.tag == fsys::kBlockRead) {
       mk::Message reply(1);
@@ -38,16 +54,15 @@ sb::StatusOr<mk::Message> SqliteStack::CallBdevFromFs(const mk::Message& msg) {
       SB_RETURN_IF_ERROR(ramdisk_->Read(nullptr, block, reply.data));
       return reply;
     }
-    if (msg.tag == fsys::kBlockWrite && msg.data.size() >= 4 + fsys::kBlockSize) {
-      SB_RETURN_IF_ERROR(ramdisk_->Write(
-          nullptr, block, std::span<const uint8_t>(msg.data.data() + 4, fsys::kBlockSize)));
+    if (msg.tag == fsys::kBlockWrite && p.size() >= 4 + fsys::kBlockSize) {
+      SB_RETURN_IF_ERROR(ramdisk_->Write(nullptr, block, p.subspan(4, fsys::kBlockSize)));
       return mk::Message(1);
     }
     return sb::InvalidArgument("bad setup block op");
   }
   mk::Thread* fs_thread = fs_threads_[static_cast<size_t>(current_fs_core_)];
   if (config_.transport == StackTransport::kSkyBridge) {
-    return sky_->DirectServerCall(fs_thread, bdev_sid_, msg);
+    return CallSky(fs_thread, bdev_sid_, msg);
   }
   return kernel_->IpcCall(fs_thread, bdev_cap_, msg);
 }
@@ -63,7 +78,7 @@ sb::StatusOr<mk::Message> SqliteStack::CallFs(const mk::Message& msg) {
   }
   mk::Thread* thread = client_threads_[static_cast<size_t>(current_client_thread_)];
   if (config_.transport == StackTransport::kSkyBridge) {
-    return sky_->DirectServerCall(thread, fs_sid_, msg);
+    return CallSky(thread, fs_sid_, msg);
   }
   return kernel_->IpcCall(thread, fs_cap_, msg);
 }

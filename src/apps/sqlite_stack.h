@@ -85,6 +85,10 @@ class SqliteStack {
   sb::Status Setup(const SqliteStackConfig& config);
   sb::StatusOr<mk::Message> CallFs(const mk::Message& msg);
   sb::StatusOr<mk::Message> CallBdevFromFs(const mk::Message& msg);
+  // SkyBridge call that stages large requests directly in the connection's
+  // shared-buffer slice (in-place API) so the bridge skips the request copy.
+  sb::StatusOr<mk::Message> CallSky(mk::Thread* thread, skybridge::ServerId sid,
+                                    const mk::Message& msg);
 
   // Serializes a client thread on the DB lock and charges lock migration.
   uint64_t AcquireDbLock(int t);

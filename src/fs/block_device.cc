@@ -42,13 +42,24 @@ sb::Status RamDisk::Write(hw::Core* core, uint32_t block, std::span<const uint8_
 mk::Handler RamDisk::MakeHandler() {
   return [this](mk::CallEnv& env) -> mk::Message {
     const mk::Message& req = env.request;
+    const std::span<const uint8_t> p = req.payload();
     switch (req.tag) {
       case kBlockRead: {
-        if (req.data.size() < 4) {
+        if (p.size() < 4) {
           return mk::Message(0);
         }
         uint32_t block = 0;
-        std::memcpy(&block, req.data.data(), 4);
+        std::memcpy(&block, p.data(), 4);
+        // In-place reply: read the block straight into the connection's
+        // shared-buffer slice so the bridge skips the reply copy. (The block
+        // number was decoded above; overwriting the request is fine.)
+        if (env.reply_buffer.size() >= kBlockSize) {
+          const std::span<uint8_t> out(env.reply_buffer.data(), kBlockSize);
+          if (!Read(&env.core, block, out).ok()) {
+            return mk::Message(0);
+          }
+          return mk::Message::Borrowed(1, out);
+        }
         mk::Message reply(1);
         reply.data.resize(kBlockSize);
         if (!Read(&env.core, block, reply.data).ok()) {
@@ -57,14 +68,12 @@ mk::Handler RamDisk::MakeHandler() {
         return reply;
       }
       case kBlockWrite: {
-        if (req.data.size() < 4 + kBlockSize) {
+        if (p.size() < 4 + kBlockSize) {
           return mk::Message(0);
         }
         uint32_t block = 0;
-        std::memcpy(&block, req.data.data(), 4);
-        if (!Write(&env.core, block,
-                   std::span<const uint8_t>(req.data.data() + 4, kBlockSize))
-                 .ok()) {
+        std::memcpy(&block, p.data(), 4);
+        if (!Write(&env.core, block, p.subspan(4, kBlockSize)).ok()) {
           return mk::Message(0);
         }
         return mk::Message(1);
@@ -97,10 +106,10 @@ sb::Status TransportReadBlock(const BlockTransport& transport, uint32_t block,
                               std::span<uint8_t> out) {
   SB_CHECK(out.size() == kBlockSize);
   SB_ASSIGN_OR_RETURN(const mk::Message reply, transport(EncodeBlockRead(block)));
-  if (reply.tag != 1 || reply.data.size() != kBlockSize) {
+  if (reply.tag != 1 || reply.size() != kBlockSize) {
     return sb::Internal("block read failed");
   }
-  std::memcpy(out.data(), reply.data.data(), kBlockSize);
+  std::memcpy(out.data(), reply.payload().data(), kBlockSize);
   return sb::OkStatus();
 }
 

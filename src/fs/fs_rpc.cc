@@ -13,7 +13,7 @@ void PutU32(std::vector<uint8_t>& buf, uint32_t v) {
   std::memcpy(buf.data() + off, &v, 4);
 }
 
-uint32_t GetU32(const std::vector<uint8_t>& buf, size_t off) {
+uint32_t GetU32(std::span<const uint8_t> buf, size_t off) {
   uint32_t v = 0;
   if (off + 4 <= buf.size()) {
     std::memcpy(&v, buf.data() + off, 4);
@@ -32,16 +32,17 @@ mk::Handler MakeFsHandler(Xv6Fs* fs, hw::Gva cache_base) {
 
     mk::Message reply(kFsError);
     const mk::Message& req = env.request;
+    const std::span<const uint8_t> p = req.payload();
     switch (static_cast<FsOp>(req.tag)) {
       case FsOp::kOpen: {
-        const std::string path(req.data.begin(), req.data.end());
+        const std::string path(p.begin(), p.end());
         if (auto inum = fs->Lookup(path); inum.ok()) {
           reply.tag = *inum;
         }
         break;
       }
       case FsOp::kCreate: {
-        const std::string path(req.data.begin(), req.data.end());
+        const std::string path(p.begin(), p.end());
         if (auto inum = fs->Create(path); inum.ok()) {
           reply.tag = *inum;
         } else {
@@ -50,15 +51,25 @@ mk::Handler MakeFsHandler(Xv6Fs* fs, hw::Gva cache_base) {
         break;
       }
       case FsOp::kRead: {
-        const uint32_t inum = GetU32(req.data, 0);
-        const uint32_t off = GetU32(req.data, 4);
-        const uint32_t len = GetU32(req.data, 8);
+        const uint32_t inum = GetU32(p, 0);
+        const uint32_t off = GetU32(p, 4);
+        const uint32_t len = GetU32(p, 8);
         if (len <= 1 << 20) {
           std::vector<uint8_t> out(len);
           if (auto n = fs->ReadFile(inum, off, out); n.ok()) {
-            out.resize(*n);
-            reply.tag = *n;
-            reply.data = std::move(out);
+            // Large reads land in the connection's slice when the transport
+            // offers one: the bridge then skips the reply copy.
+            if (!env.reply_buffer.empty() &&
+                *n > env.kernel.profile().register_msg_capacity &&
+                *n <= env.reply_buffer.size()) {
+              std::memcpy(env.reply_buffer.data(), out.data(), *n);
+              reply = mk::Message::Borrowed(
+                  *n, std::span<const uint8_t>(env.reply_buffer.data(), *n));
+            } else {
+              out.resize(*n);
+              reply.tag = *n;
+              reply.data = std::move(out);
+            }
           } else {
             SB_LOG(kWarning) << "fs read inum=" << inum << ": " << n.status().ToString();
           }
@@ -66,10 +77,10 @@ mk::Handler MakeFsHandler(Xv6Fs* fs, hw::Gva cache_base) {
         break;
       }
       case FsOp::kWrite: {
-        const uint32_t inum = GetU32(req.data, 0);
-        const uint32_t off = GetU32(req.data, 4);
-        const std::span<const uint8_t> payload(req.data.data() + 8, req.data.size() - 8);
-        if (req.data.size() >= 8) {
+        if (p.size() >= 8) {
+          const uint32_t inum = GetU32(p, 0);
+          const uint32_t off = GetU32(p, 4);
+          const std::span<const uint8_t> payload = p.subspan(8);
           const sb::Status ws = fs->WriteFile(inum, off, payload);
           if (ws.ok()) {
             reply.tag = 1;
@@ -81,13 +92,13 @@ mk::Handler MakeFsHandler(Xv6Fs* fs, hw::Gva cache_base) {
         break;
       }
       case FsOp::kSize: {
-        if (auto size = fs->FileSize(GetU32(req.data, 0)); size.ok()) {
+        if (auto size = fs->FileSize(GetU32(p, 0)); size.ok()) {
           reply.tag = *size;
         }
         break;
       }
       case FsOp::kUnlink: {
-        const std::string path(req.data.begin(), req.data.end());
+        const std::string path(p.begin(), p.end());
         if (fs->Unlink(path).ok()) {
           reply.tag = 1;
         }
@@ -132,6 +143,10 @@ sb::StatusOr<std::vector<uint8_t>> FsClient::Read(uint32_t inum, uint32_t offset
   PutU32(msg.data, offset);
   PutU32(msg.data, len);
   SB_ASSIGN_OR_RETURN(mk::Message reply, Call(msg));
+  if (reply.borrowed()) {
+    const std::span<const uint8_t> view = reply.payload();
+    return std::vector<uint8_t>(view.begin(), view.end());
+  }
   return std::move(reply.data);
 }
 

@@ -1,5 +1,7 @@
 #include "src/hw/core.h"
 
+#include <algorithm>
+
 #include "src/base/logging.h"
 #include "src/base/units.h"
 #include "src/hw/ept.h"
@@ -87,12 +89,11 @@ void Core::Cpuid() {
   }
 }
 
-uint64_t Core::ChargeAccess(Hpa hpa, bool ifetch, bool write) {
+uint64_t Core::ProbeAccess(Hpa hpa, bool ifetch, bool write) {
   const CostModel& cm = costs();
   ++pmu_.mem_accesses;
   Cache& l1 = ifetch ? l1i_ : l1d_;
   if (l1.Access(hpa, write)) {
-    AdvanceCycles(cm.l1_hit);
     return cm.l1_hit;
   }
   if (ifetch) {
@@ -101,17 +102,40 @@ uint64_t Core::ChargeAccess(Hpa hpa, bool ifetch, bool write) {
     ++pmu_.dcache_miss;
   }
   if (l2_.Access(hpa, write)) {
-    AdvanceCycles(cm.l2_hit);
     return cm.l2_hit;
   }
   ++pmu_.l2_miss;
   if (machine_->l3().Access(hpa, write)) {
-    AdvanceCycles(cm.l3_hit);
     return cm.l3_hit;
   }
   ++pmu_.l3_miss;
-  AdvanceCycles(cm.dram);
   return cm.dram;
+}
+
+uint64_t Core::ChargeAccess(Hpa hpa, bool ifetch, bool write) {
+  const uint64_t latency = ProbeAccess(hpa, ifetch, write);
+  AdvanceCycles(latency);
+  return latency;
+}
+
+void Core::ChargeLines(Hpa hpa, uint64_t len, bool write, bool streaming) {
+  if (!streaming) {
+    for (uint64_t line = hpa & ~63ULL; line < hpa + len; line += 64) {
+      ChargeAccess(line, /*ifetch=*/false, write);
+    }
+    return;
+  }
+  const CostModel& cm = costs();
+  for (uint64_t line = hpa & ~63ULL; line < hpa + len; line += 64) {
+    const uint64_t latency = ProbeAccess(line, /*ifetch=*/false, write);
+    uint64_t charge = cm.bulk_line;
+    if (latency > cm.l1_hit) {
+      // The prefetcher overlaps outstanding fills: only a fraction of the
+      // miss latency is exposed to the streaming copy.
+      charge += (latency - cm.l1_hit) / cm.bulk_miss_overlap;
+    }
+    AdvanceCycles(charge);
+  }
 }
 
 sb::StatusOr<Hpa> Core::EptTranslateCharged(Gpa gpa, uint8_t need) {
@@ -199,15 +223,17 @@ sb::StatusOr<Hpa> Core::Translate(Gva va, bool ifetch, bool write) {
 }
 
 sb::Status Core::ReadVirt(Gva va, std::span<uint8_t> out) {
+  const bool streaming = out.size() >= costs().bulk_min_bytes;
+  if (streaming) {
+    AdvanceCycles(costs().bulk_startup);
+  }
   size_t done = 0;
   while (done < out.size()) {
     const Gva cur = va + done;
     const uint64_t page_off = cur & (sb::kPageSize - 1);
     const size_t chunk = std::min<size_t>(out.size() - done, sb::kPageSize - page_off);
     SB_ASSIGN_OR_RETURN(const Hpa hpa, Translate(cur, /*ifetch=*/false, /*write=*/false));
-    for (uint64_t line = hpa & ~63ULL; line < hpa + chunk; line += 64) {
-      ChargeAccess(line, /*ifetch=*/false, /*write=*/false);
-    }
+    ChargeLines(hpa, chunk, /*write=*/false, streaming);
     machine_->mem().Read(hpa, out.subspan(done, chunk));
     done += chunk;
   }
@@ -215,17 +241,81 @@ sb::Status Core::ReadVirt(Gva va, std::span<uint8_t> out) {
 }
 
 sb::Status Core::WriteVirt(Gva va, std::span<const uint8_t> in) {
+  const bool streaming = in.size() >= costs().bulk_min_bytes;
+  if (streaming) {
+    AdvanceCycles(costs().bulk_startup);
+  }
   size_t done = 0;
   while (done < in.size()) {
     const Gva cur = va + done;
     const uint64_t page_off = cur & (sb::kPageSize - 1);
     const size_t chunk = std::min<size_t>(in.size() - done, sb::kPageSize - page_off);
     SB_ASSIGN_OR_RETURN(const Hpa hpa, Translate(cur, /*ifetch=*/false, /*write=*/true));
-    for (uint64_t line = hpa & ~63ULL; line < hpa + chunk; line += 64) {
-      ChargeAccess(line, /*ifetch=*/false, /*write=*/true);
-    }
+    ChargeLines(hpa, chunk, /*write=*/true, streaming);
     machine_->mem().Write(hpa, in.subspan(done, chunk));
     done += chunk;
+  }
+  return sb::OkStatus();
+}
+
+sb::Status Core::CopyVirt(Gva dst_va, Gva src_va, uint64_t len) {
+  if (len == 0) {
+    return sb::OkStatus();
+  }
+  const bool streaming = len >= costs().bulk_min_bytes;
+  if (streaming) {
+    AdvanceCycles(costs().bulk_startup);
+  }
+  uint8_t bounce[sb::kPageSize];
+  uint64_t done = 0;
+  while (done < len) {
+    const Gva src = src_va + done;
+    const Gva dst = dst_va + done;
+    const uint64_t src_room = sb::kPageSize - (src & (sb::kPageSize - 1));
+    const uint64_t dst_room = sb::kPageSize - (dst & (sb::kPageSize - 1));
+    const size_t chunk =
+        static_cast<size_t>(std::min({len - done, src_room, dst_room}));
+    SB_ASSIGN_OR_RETURN(const Hpa src_hpa, Translate(src, /*ifetch=*/false, /*write=*/false));
+    SB_ASSIGN_OR_RETURN(const Hpa dst_hpa, Translate(dst, /*ifetch=*/false, /*write=*/true));
+    ChargeLines(src_hpa, chunk, /*write=*/false, streaming);
+    ChargeLines(dst_hpa, chunk, /*write=*/true, streaming);
+    machine_->mem().Read(src_hpa, std::span<uint8_t>(bounce, chunk));
+    machine_->mem().Write(dst_hpa, std::span<const uint8_t>(bounce, chunk));
+    done += chunk;
+  }
+  return sb::OkStatus();
+}
+
+sb::Status Core::CopyVirtSg(std::span<const CopySeg> segs) {
+  uint64_t total = 0;
+  for (const CopySeg& seg : segs) {
+    total += seg.len;
+  }
+  if (total == 0) {
+    return sb::OkStatus();
+  }
+  const bool streaming = total >= costs().bulk_min_bytes;
+  if (streaming) {
+    AdvanceCycles(costs().bulk_startup);
+  }
+  uint8_t bounce[sb::kPageSize];
+  for (const CopySeg& seg : segs) {
+    uint64_t done = 0;
+    while (done < seg.len) {
+      const Gva src = seg.src + done;
+      const Gva dst = seg.dst + done;
+      const uint64_t src_room = sb::kPageSize - (src & (sb::kPageSize - 1));
+      const uint64_t dst_room = sb::kPageSize - (dst & (sb::kPageSize - 1));
+      const size_t chunk =
+          static_cast<size_t>(std::min({seg.len - done, src_room, dst_room}));
+      SB_ASSIGN_OR_RETURN(const Hpa src_hpa, Translate(src, /*ifetch=*/false, /*write=*/false));
+      SB_ASSIGN_OR_RETURN(const Hpa dst_hpa, Translate(dst, /*ifetch=*/false, /*write=*/true));
+      ChargeLines(src_hpa, chunk, /*write=*/false, streaming);
+      ChargeLines(dst_hpa, chunk, /*write=*/true, streaming);
+      machine_->mem().Read(src_hpa, std::span<uint8_t>(bounce, chunk));
+      machine_->mem().Write(dst_hpa, std::span<const uint8_t>(bounce, chunk));
+      done += chunk;
+    }
   }
   return sb::OkStatus();
 }

@@ -90,6 +90,26 @@ class Core {
   sb::StatusOr<uint64_t> ReadVirtU64(Gva va);
   sb::Status WriteVirtU64(Gva va, uint64_t value);
 
+  // Bulk copy between two virtual ranges (rep movsb-style). Translates once
+  // per page chunk on each side, then charges the streaming bulk cost for
+  // every source and destination cache line. Transfers shorter than
+  // CostModel::bulk_min_bytes degenerate to the plain per-line charging, so
+  // small copies cost the same as a ReadVirt+WriteVirt pair minus the bounce
+  // buffer.
+  sb::Status CopyVirt(Gva dst_va, Gva src_va, uint64_t len);
+
+  // One scatter-gather segment for CopyVirtSg.
+  struct CopySeg {
+    Gva dst;
+    Gva src;
+    uint64_t len;
+  };
+
+  // Scatter-gather bulk copy: all segments share a single bulk_startup (one
+  // rep movsb setup amortized over the descriptor list), and streaming
+  // charging applies when the *total* length crosses the threshold.
+  sb::Status CopyVirtSg(std::span<const CopySeg> segs);
+
   // Touches [va, va+len) through the data path without moving bytes (models a
   // workload's footprint). FetchCode does the same through the i-side.
   sb::Status TouchData(Gva va, uint64_t len, bool write);
@@ -115,6 +135,17 @@ class Core {
 
  private:
   sb::StatusOr<Hpa> EptTranslateCharged(Gpa gpa, uint8_t need);
+
+  // Updates cache state and PMU counters for one line access and returns the
+  // hierarchy latency WITHOUT advancing the clock — the caller decides how
+  // much of that latency is exposed (all of it for demand accesses, an
+  // overlapped fraction for streaming bulk transfers).
+  uint64_t ProbeAccess(Hpa hpa, bool ifetch, bool write);
+
+  // Charges every cache line of [hpa, hpa + len): demand per-line cost when
+  // `streaming` is false (the seed ReadVirt/WriteVirt behaviour), amortized
+  // bulk_line cost with overlapped misses when true.
+  void ChargeLines(Hpa hpa, uint64_t len, bool write, bool streaming);
 
   int id_;
   Machine* machine_;

@@ -43,6 +43,18 @@ struct CostModel {
   // TLB hit adds no extra cost; a miss costs whatever the 1-D or 2-D page
   // walk's memory accesses cost through the cache hierarchy.
 
+  // Bulk-copy engine (rep movsb / ERMSB-style streaming). Transfers of at
+  // least `bulk_min_bytes` pay a one-time `bulk_startup` and then an
+  // amortized `bulk_line` per 64 B cache line (~32 B/cycle, Skylake ERMSB
+  // throughput). Misses are not fully hidden: the portion of the access
+  // latency beyond an L1 hit is divided by `bulk_miss_overlap`, modeling the
+  // hardware prefetcher overlapping several outstanding line fills. Accesses
+  // below the threshold keep the plain per-line load/store charging.
+  uint64_t bulk_startup = 30;
+  uint64_t bulk_line = 2;
+  uint64_t bulk_miss_overlap = 4;
+  uint64_t bulk_min_bytes = 256;
+
   // A VM exit / entry pair (hypervisor handled), for the exits that remain.
   uint64_t vm_exit_roundtrip = 1500;
 

@@ -11,6 +11,9 @@ HostPhysMem::HostPhysMem(uint64_t size_bytes) : size_(size_bytes) {
 uint8_t* HostPhysMem::FrameFor(Hpa addr) {
   SB_CHECK(Contains(addr)) << "HPA out of RAM: 0x" << std::hex << addr;
   const uint64_t frame = addr >> sb::kPageShift;
+  if (auto cit = contig_frames_.find(frame); cit != contig_frames_.end()) {
+    return cit->second;
+  }
   auto it = frames_.find(frame);
   if (it == frames_.end()) {
     auto storage = std::make_unique<uint8_t[]>(sb::kPageSize);
@@ -23,11 +26,66 @@ uint8_t* HostPhysMem::FrameFor(Hpa addr) {
 const uint8_t* HostPhysMem::FrameForRead(Hpa addr) const {
   SB_CHECK(Contains(addr)) << "HPA out of RAM: 0x" << std::hex << addr;
   const uint64_t frame = addr >> sb::kPageShift;
+  if (auto cit = contig_frames_.find(frame); cit != contig_frames_.end()) {
+    return cit->second;
+  }
   auto it = frames_.find(frame);
   if (it == frames_.end()) {
     return nullptr;  // Untouched frames read as zero.
   }
   return it->second.get();
+}
+
+void HostPhysMem::BackContiguous(Hpa base, uint64_t len) {
+  SB_CHECK(sb::IsPageAligned(base)) << "BackContiguous base must be page aligned";
+  SB_CHECK(Contains(base, len));
+  const uint64_t first = base >> sb::kPageShift;
+  const uint64_t count = sb::PageUp(len) >> sb::kPageShift;
+  if (ContiguousSpan(base, len) != nullptr) {
+    return;  // Already one region.
+  }
+  auto region = std::make_unique<ContigRegion>();
+  region->first_frame = first;
+  region->num_frames = count;
+  region->storage = std::make_unique<uint8_t[]>(count * sb::kPageSize);
+  std::memset(region->storage.get(), 0, count * sb::kPageSize);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t frame = first + i;
+    uint8_t* dst = region->storage.get() + i * sb::kPageSize;
+    // Preserve whatever was already materialized for this frame, then retire
+    // the old backing so the region's storage is authoritative.
+    if (auto cit = contig_frames_.find(frame); cit != contig_frames_.end()) {
+      std::memcpy(dst, cit->second, sb::kPageSize);
+      contig_frames_.erase(cit);
+    } else if (auto it = frames_.find(frame); it != frames_.end()) {
+      std::memcpy(dst, it->second.get(), sb::kPageSize);
+      frames_.erase(it);
+    }
+    contig_frames_[frame] = dst;
+  }
+  regions_.push_back(std::move(region));
+}
+
+uint8_t* HostPhysMem::ContiguousSpan(Hpa addr, uint64_t len) {
+  if (len == 0 || !Contains(addr, len)) {
+    return nullptr;
+  }
+  const uint64_t first = addr >> sb::kPageShift;
+  auto it = contig_frames_.find(first);
+  if (it == contig_frames_.end()) {
+    return nullptr;
+  }
+  // Find the region that owns the first frame and check the range fits.
+  for (const auto& region : regions_) {
+    if (first >= region->first_frame && first < region->first_frame + region->num_frames) {
+      const uint64_t region_end = (region->first_frame + region->num_frames) << sb::kPageShift;
+      if (addr + len <= region_end) {
+        return it->second + (addr & (sb::kPageSize - 1));
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
 }
 
 void HostPhysMem::Read(Hpa addr, std::span<uint8_t> out) const {

@@ -44,15 +44,36 @@ class HostPhysMem {
 
   void ZeroFrame(Hpa frame_base);
 
+  // Backs the page-aligned range [base, base + len) with one host-contiguous
+  // allocation so the guest range can be exposed to host code as a single
+  // std::span (zero-copy message views). Contents of already-materialized
+  // frames are preserved; the range reads back unchanged. Idempotent when
+  // the range is already inside one backing region.
+  void BackContiguous(Hpa base, uint64_t len);
+
+  // Host pointer for [addr, addr + len) when the whole range lies inside one
+  // BackContiguous region; nullptr otherwise (sparse frames are never
+  // host-contiguous across page boundaries).
+  uint8_t* ContiguousSpan(Hpa addr, uint64_t len);
+
   // Number of frames materialized so far (for tests / memory accounting).
-  size_t resident_frames() const { return frames_.size(); }
+  size_t resident_frames() const { return frames_.size() + contig_frames_.size(); }
 
  private:
+  struct ContigRegion {
+    uint64_t first_frame;
+    uint64_t num_frames;
+    std::unique_ptr<uint8_t[]> storage;
+  };
+
   uint8_t* FrameFor(Hpa addr);
   const uint8_t* FrameForRead(Hpa addr) const;
 
   uint64_t size_;
   mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> frames_;
+  // frame index -> host pointer into its region's storage (always resident).
+  std::unordered_map<uint64_t, uint8_t*> contig_frames_;
+  std::vector<std::unique_ptr<ContigRegion>> regions_;
 };
 
 // Bump-plus-freelist frame allocator over [base, base + size).

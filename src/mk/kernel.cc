@@ -355,7 +355,7 @@ sb::StatusOr<Message> Kernel::ServeLocal(hw::Core& core, Endpoint& ep, Process* 
   current_[static_cast<size_t>(core.id())] = ep.owner();
   if (!fits) {
     // Deliver the long message into the endpoint's receive buffer.
-    SB_RETURN_IF_ERROR(core.WriteVirt(ep.recv_buffer(), msg.data));
+    SB_RETURN_IF_ERROR(core.WriteVirt(ep.recv_buffer(), msg.payload()));
   }
   SyscallExit(core, bd);
 
@@ -416,7 +416,7 @@ sb::StatusOr<Message> Kernel::ServeCrossCore(hw::Core& caller_core, Endpoint& ep
     current_[static_cast<size_t>(server_core_id)] = ep.owner();
   }
   if (!fits) {
-    SB_RETURN_IF_ERROR(server_core.WriteVirt(ep.recv_buffer(), msg.data));
+    SB_RETURN_IF_ERROR(server_core.WriteVirt(ep.recv_buffer(), msg.payload()));
   }
   // Receive-side mode switch (the server thread returns from its recv call
   // and re-enters the kernel to reply).

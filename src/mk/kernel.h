@@ -76,6 +76,14 @@ struct CallEnv {
   hw::Core& core;
   Process& server;
   const Message& request;
+  // In-place reply support (SkyBridge zero-copy long-message path): when
+  // non-empty, the handler may build its reply payload directly into this
+  // host view of the connection's shared-buffer slice and return
+  // Message::Borrowed over the bytes it wrote — the bridge then skips the
+  // reply copy. `reply_buffer_va` is the same memory's guest VA (mapped at
+  // the same address in client and server). Empty for classic kernel IPC.
+  std::span<uint8_t> reply_buffer;
+  hw::Gva reply_buffer_va = 0;
 };
 
 using Handler = std::function<Message(CallEnv&)>;

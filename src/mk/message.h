@@ -1,12 +1,21 @@
 // IPC message: a tag word plus a byte payload. Payloads up to the profile's
 // register capacity travel in registers; larger ones go through memory
 // (kernel copies for classic IPC, per-thread shared buffers for SkyBridge).
+//
+// A message holds its payload in one of two modes:
+//   - owned: the bytes live in `data` (the classic mode, always safe);
+//   - borrowed: `view` points into memory the message does not own — a
+//     SkyBridge shared-buffer slice. Borrowed messages are views with the
+//     lifetime of that slice: they are valid until the next call on the same
+//     connection reuses the slice. Use payload() to read either mode and
+//     ToOwned() to detach a borrowed message from the buffer.
 
 #ifndef SRC_MK_MESSAGE_H_
 #define SRC_MK_MESSAGE_H_
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,6 +24,8 @@ namespace mk {
 struct Message {
   uint64_t tag = 0;
   std::vector<uint8_t> data;
+  // Non-owning payload view (borrowed mode). Empty span => owned mode.
+  std::span<const uint8_t> view;
   // Optional capability transfer (seL4-style grant). A message carrying a
   // capability cannot take the IPC fastpath ("no capabilities are
   // transferred" is one of the fastpath preconditions, Section 1).
@@ -30,8 +41,39 @@ struct Message {
     return Message(tag, std::vector<uint8_t>(s.begin(), s.end()));
   }
 
-  size_t size() const { return data.size(); }
-  std::string ToString() const { return std::string(data.begin(), data.end()); }
+  // Builds a borrowed message over externally owned bytes (shared-buffer
+  // slice). The caller guarantees the bytes outlive every read of the view.
+  static Message Borrowed(uint64_t tag, std::span<const uint8_t> payload) {
+    Message m(tag);
+    m.view = payload;
+    return m;
+  }
+
+  bool borrowed() const { return view.data() != nullptr; }
+
+  // The payload bytes regardless of mode. Prefer this over touching `data`
+  // directly — borrowed messages keep `data` empty.
+  std::span<const uint8_t> payload() const {
+    return borrowed() ? view : std::span<const uint8_t>(data);
+  }
+
+  // Detaches from any borrowed storage: returns an owned copy whose payload
+  // survives slice reuse. Owned messages copy through unchanged.
+  Message ToOwned() const {
+    Message m(tag);
+    const std::span<const uint8_t> p = payload();
+    m.data.assign(p.begin(), p.end());
+    m.has_cap_grant = has_cap_grant;
+    m.grant_endpoint = grant_endpoint;
+    m.grant_rights = grant_rights;
+    return m;
+  }
+
+  size_t size() const { return borrowed() ? view.size() : data.size(); }
+  std::string ToString() const {
+    const std::span<const uint8_t> p = payload();
+    return std::string(p.begin(), p.end());
+  }
 };
 
 }  // namespace mk

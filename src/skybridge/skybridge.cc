@@ -35,6 +35,8 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
   sb::telemetry::Registry& reg = kernel.machine().telemetry();
   metrics_.direct_calls = &reg.GetCounter("skybridge.ipc.direct_calls");
   metrics_.long_calls = &reg.GetCounter("skybridge.ipc.long_calls");
+  metrics_.inplace_calls = &reg.GetCounter("skybridge.ipc.inplace_calls");
+  metrics_.inplace_replies = &reg.GetCounter("skybridge.ipc.inplace_replies");
   metrics_.rejected_calls = &reg.GetCounter("skybridge.ipc.rejected_calls");
   metrics_.timeouts = &reg.GetCounter("skybridge.ipc.timeouts");
   metrics_.eptp_misses = &reg.GetCounter("skybridge.ipc.eptp_misses");
@@ -60,6 +62,8 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
 const SkyBridgeStats& SkyBridge::stats() const {
   stats_snapshot_.direct_calls = metrics_.direct_calls->Value();
   stats_snapshot_.long_calls = metrics_.long_calls->Value();
+  stats_snapshot_.inplace_calls = metrics_.inplace_calls->Value();
+  stats_snapshot_.inplace_replies = metrics_.inplace_replies->Value();
   stats_snapshot_.rejected_calls = metrics_.rejected_calls->Value();
   stats_snapshot_.timeouts = metrics_.timeouts->Value();
   stats_snapshot_.eptp_misses = metrics_.eptp_misses->Value();
@@ -414,14 +418,27 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
     return sb::Internal("rootkernel refused identity remap");
   }
 
-  // Shared buffer for long messages: same VA, same frames, both processes.
+  // Shared buffer region for long messages: same VA, same frames, both
+  // processes. The region is carved into per-connection slices (Section 6.3
+  // per-thread buffers): `buffer_slices` page-aligned slices, each with
+  // shared_buffer_bytes of capacity, so concurrent connections of this
+  // binding never alias one buffer.
+  const uint64_t slice_stride = sb::PageUp(config_.shared_buffer_bytes);
+  const uint64_t num_slices = std::max<uint64_t>(1, config_.buffer_slices);
+  const uint64_t region_bytes = slice_stride * num_slices;
   const hw::Gva buf_va = next_shared_buf_va_;
-  next_shared_buf_va_ += sb::PageUp(config_.shared_buffer_bytes);
+  next_shared_buf_va_ += region_bytes;
   SB_ASSIGN_OR_RETURN(const hw::Gpa buf_gpa,
                       client->address_space().MapAnonymous(
-                          buf_va, config_.shared_buffer_bytes, hw::PageFlags{}));
+                          buf_va, region_bytes, hw::PageFlags{}));
   SB_RETURN_IF_ERROR(server.process->address_space().MapRange(
-      buf_va, buf_gpa, sb::PageUp(config_.shared_buffer_bytes), hw::PageFlags{}));
+      buf_va, buf_gpa, region_bytes, hw::PageFlags{}));
+  // Give the region one host-contiguous backing so in-place messages can be
+  // exposed as a single span. Guest frames are identity-mapped by the base
+  // EPT (GPA == HPA), so the GPA range addresses host memory directly.
+  kernel_->machine().mem().BackContiguous(buf_gpa, region_bytes);
+  uint8_t* host_base = kernel_->machine().mem().ContiguousSpan(buf_gpa, region_bytes);
+  SB_CHECK(host_base != nullptr) << "shared buffer region not host-contiguous";
 
   // Calling key: random 8 bytes, written into the server's key table.
   const uint64_t key = key_rng_.Next();
@@ -438,6 +455,9 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
   binding->server_key = key;
   binding->shared_buf = buf_va;
   binding->key_slot = slot;
+  binding->slice_stride = slice_stride;
+  binding->num_slices = static_cast<uint32_t>(num_slices);
+  binding->host_base = host_base;
   binding->installed = false;
   Binding* b = AdoptBinding(std::move(binding));
 
@@ -485,9 +505,57 @@ void SkyBridge::ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd) {
   }
 }
 
+SkyBridge::SliceRef SkyBridge::SliceOf(const Binding& binding, const mk::Thread* caller) const {
+  SliceRef ref;
+  if (binding.shared_buf == 0) {
+    return ref;  // Chain bindings carry no buffer.
+  }
+  const uint64_t slices = binding.num_slices != 0 ? binding.num_slices : 1;
+  const uint64_t stride =
+      binding.slice_stride != 0 ? binding.slice_stride : sb::PageUp(config_.shared_buffer_bytes);
+  const uint64_t index = static_cast<uint64_t>(caller->tid()) % slices;
+  ref.va = binding.shared_buf + index * stride;
+  if (binding.host_base != nullptr) {
+    ref.host = std::span<uint8_t>(binding.host_base + index * stride,
+                                  static_cast<size_t>(config_.shared_buffer_bytes));
+  }
+  return ref;
+}
+
+sb::StatusOr<std::span<uint8_t>> SkyBridge::AcquireSendBuffer(mk::Thread* caller,
+                                                              ServerId server_id) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  Binding* perm = LookupRoute(caller, server_id);
+  if (perm == nullptr) {
+    metrics_.rejected_calls->Add();
+    return sb::PermissionDenied("client not registered to server");
+  }
+  const SliceRef slice = SliceOf(*perm, caller);
+  if (slice.host.empty()) {
+    return sb::FailedPrecondition("binding has no shared buffer");
+  }
+  return slice.host;
+}
+
 sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, ServerId server_id,
                                                       const mk::Message& msg,
                                                       mk::CostBreakdown* bd) {
+  return CallCommon(caller, server_id, &msg, 0, 0, /*in_place=*/false, bd);
+}
+
+sb::StatusOr<mk::Message> SkyBridge::DirectServerCallInPlace(mk::Thread* caller,
+                                                             ServerId server_id, uint64_t tag,
+                                                             uint64_t len,
+                                                             mk::CostBreakdown* bd) {
+  return CallCommon(caller, server_id, nullptr, tag, len, /*in_place=*/true, bd);
+}
+
+sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId server_id,
+                                                const mk::Message* msg_in, uint64_t inplace_tag,
+                                                uint64_t inplace_len, bool in_place,
+                                                mk::CostBreakdown* bd) {
   if (server_id >= servers_.size()) {
     return sb::NotFound("no such server");
   }
@@ -519,6 +587,25 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
                    << " " << sb::kv("reason", "unregistered");
     return sb::PermissionDenied("client not registered to server");
   }
+
+  // The caller's per-connection slice. Authorization (and the buffer) always
+  // come from the caller's own binding, even when a nested call routes the
+  // VMFUNC through a chain binding.
+  const SliceRef slice = SliceOf(*perm, caller);
+  mk::Message inplace_msg;
+  if (in_place) {
+    if (slice.host.empty()) {
+      return sb::FailedPrecondition("binding has no shared buffer");
+    }
+    if (inplace_len > config_.shared_buffer_bytes) {
+      metrics_.rejected_calls->Add();
+      return sb::OutOfRange("message exceeds shared buffer");
+    }
+    inplace_msg = mk::Message::Borrowed(
+        inplace_tag, std::span<const uint8_t>(slice.host.data(), inplace_len));
+    msg_in = &inplace_msg;
+  }
+  const mk::Message& msg = *msg_in;
 
   // Determine the live translation origin. A nested call (the caller is
   // itself a server currently entered via SkyBridge) keeps the original
@@ -577,16 +664,21 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
 
   // ---- Client-side trampoline ----
   ChargeTrampolineLeg(core, pbd);
-  const hw::Gva shared_buf = perm->shared_buf;
-  const bool long_msg = msg.size() > kernel_->profile().register_msg_capacity;
+  const bool long_msg = in_place || msg.size() > kernel_->profile().register_msg_capacity;
   if (long_msg) {
     metrics_.long_calls->Add();
-    const uint64_t before = core.cycles();
-    if (msg.size() > config_.shared_buffer_bytes || shared_buf == 0) {
+    if (msg.size() > config_.shared_buffer_bytes || slice.va == 0) {
+      metrics_.rejected_calls->Add();
       return sb::OutOfRange("message exceeds shared buffer");
     }
-    SB_RETURN_IF_ERROR(core.WriteVirt(shared_buf, msg.data));
-    pbd->copy += core.cycles() - before;
+    if (in_place) {
+      // The client already built the payload in its slice: no request copy.
+      metrics_.inplace_calls->Add();
+    } else {
+      const uint64_t before = core.cycles();
+      SB_RETURN_IF_ERROR(core.WriteVirt(slice.va, msg.payload()));
+      pbd->copy += core.cycles() - before;
+    }
   }
   // The client's per-call key; the server must echo it on return.
   const uint64_t client_key = key_rng_.Next();
@@ -648,20 +740,55 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
   const uint64_t handler_start = core.cycles();
   SB_TRACE_EVENT(TraceEventType::kHandlerEnter, core.cycles(), core.id(),
                  server.process->pid());
-  mk::CallEnv env{*kernel_, core, *server.process, msg};
+  // Handler request view: in the default modes a long request is served as a
+  // borrowed view over the slice — the handler reads the shared buffer, not
+  // a copied-out vector. The legacy two-copy ablation keeps the owned copy.
+  mk::Message borrowed_req;
+  const mk::Message* handler_req = &msg;
+  if (long_msg && !config_.legacy_two_copy && !slice.host.empty()) {
+    borrowed_req = mk::Message::Borrowed(
+        msg.tag, std::span<const uint8_t>(slice.host.data(), msg.size()));
+    handler_req = &borrowed_req;
+  }
+  mk::CallEnv env{*kernel_, core, *server.process, *handler_req};
+  if (!config_.legacy_two_copy && !slice.host.empty()) {
+    // Offer the slice for in-place reply construction (zero-copy replies).
+    env.reply_buffer = slice.host;
+    env.reply_buffer_va = slice.va;
+  }
   mk::Message reply = server.handler(env);
   const bool timed_out = core.cycles() - handler_start > config_.timeout_cycles;
   SB_TRACE_EVENT(TraceEventType::kHandlerExit, core.cycles(), core.id(), server.process->pid(),
                  timed_out ? 1 : 0);
 
-  const bool long_reply = reply.size() > kernel_->profile().register_msg_capacity;
+  // A borrowed reply whose bytes already live inside this connection's slice
+  // was built in place: the reply copy is skipped entirely.
+  bool reply_in_place = false;
+  if (!slice.host.empty() && reply.borrowed() && !reply.view.empty()) {
+    const uint8_t* base = slice.host.data();
+    const uint8_t* p = reply.view.data();
+    reply_in_place = p >= base && p + reply.view.size() <= base + slice.host.size();
+  }
+  const bool long_reply =
+      reply_in_place || reply.size() > kernel_->profile().register_msg_capacity;
   if (long_reply && !timed_out) {
-    const uint64_t before = core.cycles();
-    if (reply.size() > config_.shared_buffer_bytes || shared_buf == 0) {
+    if (reply.size() > config_.shared_buffer_bytes || slice.va == 0) {
+      // Reject — but only after the return gate. Bailing out here would
+      // leave the core in the server's EPT view with the client resumed.
+      metrics_.rejected_calls->Add();
+      SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
+                     server.process->pid());
+      SB_RETURN_IF_ERROR(return_to_entry());
+      record_phases();
       return sb::OutOfRange("reply exceeds shared buffer");
     }
-    SB_RETURN_IF_ERROR(core.WriteVirt(shared_buf, reply.data));
-    pbd->copy += core.cycles() - before;
+    if (reply_in_place) {
+      metrics_.inplace_replies->Add();
+    } else {
+      const uint64_t before = core.cycles();
+      SB_RETURN_IF_ERROR(core.WriteVirt(slice.va, reply.payload()));
+      pbd->copy += core.cycles() - before;
+    }
   }
 
   // ---- Return gate ----
@@ -672,10 +799,24 @@ sb::StatusOr<mk::Message> SkyBridge::DirectServerCall(mk::Thread* caller, Server
     (void)client_key;
   }
   if (long_reply && !timed_out) {
-    const uint64_t before = core.cycles();
-    std::vector<uint8_t> out(reply.size());
-    SB_RETURN_IF_ERROR(core.ReadVirt(shared_buf, out));
-    pbd->copy += core.cycles() - before;
+    if (config_.legacy_two_copy || slice.host.empty()) {
+      // Two-copy ablation: charged read-out, and the returned message
+      // carries the bytes read from the buffer — the simulated dataflow
+      // matches the modeled cost.
+      const uint64_t before = core.cycles();
+      std::vector<uint8_t> out(reply.size());
+      SB_RETURN_IF_ERROR(core.ReadVirt(slice.va, out));
+      pbd->copy += core.cycles() - before;
+      reply.view = std::span<const uint8_t>();
+      reply.data = std::move(out);
+    } else if (!reply_in_place) {
+      // One-copy: the reply bytes live in the slice after the server-side
+      // write; hand the client a borrowed view instead of copying them out.
+      const size_t n = reply.size();
+      reply.data.clear();
+      reply.view = std::span<const uint8_t>(slice.host.data(), n);
+    }
+    // reply_in_place: the view already points into the slice — zero copies.
   }
   if (timed_out) {
     metrics_.timeouts->Add();

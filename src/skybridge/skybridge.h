@@ -50,6 +50,17 @@ struct SkyBridgeConfig {
   size_t eptp_capacity = hw::kEptpListCapacity;
   // Per-(binding, connection) shared buffer for long messages.
   uint64_t shared_buffer_bytes = 64 * 1024;
+  // Connection slices carved out of each binding's buffer region (paper
+  // Section 6.3 per-thread buffers): thread t uses slice t % buffer_slices,
+  // each slice holding shared_buffer_bytes, so concurrent connections of one
+  // binding stop aliasing a single buffer.
+  uint64_t buffer_slices = 4;
+  // Ablation switch: model the legacy two-copy long path (client WriteVirt
+  // in, server WriteVirt reply, client ReadVirt out into the returned
+  // message). Off by default — the handler gets a borrowed view over the
+  // slice and the client consumes the reply straight from the buffer, which
+  // is the paper's one-copy claim; pair with the in-place API for zero-copy.
+  bool legacy_two_copy = false;
   // Enforce calling-key checks (ablation switch).
   bool calling_keys = true;
   // Rewrite process binaries at registration (ablation switch; disabling is
@@ -66,7 +77,9 @@ struct SkyBridgeConfig {
 struct SkyBridgeStats {
   uint64_t direct_calls = 0;
   uint64_t long_calls = 0;       // Used the shared buffer.
-  uint64_t rejected_calls = 0;   // Calling-key or binding failures.
+  uint64_t inplace_calls = 0;    // Request built in place (no request copy).
+  uint64_t inplace_replies = 0;  // Reply built in place (no reply copy).
+  uint64_t rejected_calls = 0;   // Calling-key, binding or capacity failures.
   uint64_t timeouts = 0;
   uint64_t eptp_misses = 0;      // Binding had been LRU-evicted; reinstalled.
   uint64_t rewritten_vmfuncs = 0;
@@ -104,6 +117,24 @@ class SkyBridge {
                                              const mk::Message& msg,
                                              mk::CostBreakdown* bd = nullptr);
 
+  // ---- In-place long-message API (zero-copy path) ----
+  // Returns a host-writable view of the caller's per-connection slice of the
+  // binding's shared buffer. The client builds its payload directly in the
+  // span — no staging vector — then issues DirectServerCallInPlace with the
+  // number of bytes written. The span stays valid until the next call or
+  // acquire on the same connection reuses the slice; there is no explicit
+  // release.
+  sb::StatusOr<std::span<uint8_t>> AcquireSendBuffer(mk::Thread* caller, ServerId server_id);
+
+  // Calls `server_id` with the `len` payload bytes previously written into
+  // the acquired slice. No request copy is charged (the bytes are already in
+  // the shared buffer); the handler receives a borrowed view, may build its
+  // reply in env.reply_buffer (same slice) and return Message::Borrowed —
+  // then no reply copy is charged either and the roundtrip moves zero bytes.
+  sb::StatusOr<mk::Message> DirectServerCallInPlace(mk::Thread* caller, ServerId server_id,
+                                                    uint64_t tag, uint64_t len,
+                                                    mk::CostBreakdown* bd = nullptr);
+
   // Simulates a malicious caller that skips registration / forges a key;
   // returns the error the legitimate path produces (for the security tests).
   sb::StatusOr<mk::Message> CallWithForgedKey(mk::Thread* caller, ServerId server_id,
@@ -139,8 +170,17 @@ class SkyBridge {
     ServerId server;
     uint64_t ept_id;          // Rootkernel EPT id.
     uint64_t server_key;      // Client -> server calling key.
-    hw::Gva shared_buf;       // Mapped at the same VA in both processes.
+    hw::Gva shared_buf;       // Region base, mapped at the same VA in both.
     uint64_t key_slot;        // Index in the server's calling-key table.
+    // ---- Buffer carving (long-message path) ----
+    // The region is num_slices page-aligned slices of slice_stride bytes;
+    // connection (thread) t owns slice t % num_slices, each with
+    // shared_buffer_bytes of capacity. host_base is the host-contiguous view
+    // of the whole region (nullptr for chain bindings, which carry no
+    // buffer), enabling borrowed message views without simulated copies.
+    uint64_t slice_stride = 0;
+    uint32_t num_slices = 0;
+    uint8_t* host_base = nullptr;
     bool installed = true;    // Currently on the client's EPTP list.
     // Chain bindings support nested calls (A -> B -> C): the EPT maps A's
     // CR3 to C's page tables, while authorization/keys come from the B -> C
@@ -181,8 +221,26 @@ class SkyBridge {
     size_t size_ = 0;
   };
 
+  // The caller's per-connection slice of a binding's buffer region: its
+  // guest VA (same in client and server) and, when the region has contiguous
+  // host backing, the host view used for borrowed messages. Both empty/0 for
+  // bufferless (chain) bindings.
+  struct SliceRef {
+    hw::Gva va = 0;
+    std::span<uint8_t> host;
+  };
+
   sb::Status EnsureProcessPrepared(mk::Process* process);
   sb::Status RewriteProcessImage(mk::Process* process);
+  SliceRef SliceOf(const Binding& binding, const mk::Thread* caller) const;
+  // Shared body of DirectServerCall / DirectServerCallInPlace. When
+  // `in_place` is set, `msg_in` is ignored and the request is a borrowed
+  // view of `inplace_len` bytes the client already wrote into its slice —
+  // the request copy is skipped.
+  sb::StatusOr<mk::Message> CallCommon(mk::Thread* caller, ServerId server_id,
+                                       const mk::Message* msg_in, uint64_t inplace_tag,
+                                       uint64_t inplace_len, bool in_place,
+                                       mk::CostBreakdown* bd);
   // O(1) index lookup (slow path of the lookup; no linear scans).
   Binding* FindBinding(mk::Process* client, ServerId server);
   // Per-thread last-route cache in front of FindBinding; maintains the
@@ -216,6 +274,8 @@ class SkyBridge {
   struct Metrics {
     sb::telemetry::Counter* direct_calls;
     sb::telemetry::Counter* long_calls;
+    sb::telemetry::Counter* inplace_calls;
+    sb::telemetry::Counter* inplace_replies;
     sb::telemetry::Counter* rejected_calls;
     sb::telemetry::Counter* timeouts;
     sb::telemetry::Counter* eptp_misses;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/logging.h"
 #include "src/hw/cache.h"
 #include "src/hw/ept.h"
 #include "src/hw/machine.h"
@@ -539,6 +540,127 @@ TEST_F(CoreTranslationTest, VmfuncDoesNotFlushTlb) {
   ASSERT_TRUE(core.Vmfunc(0, 0).ok());
   ASSERT_TRUE(core.ReadVirtU64(va).ok());
   EXPECT_EQ(core.pmu().dtlb_miss, misses);
+}
+
+// ---- Contiguous backing (shared-buffer regions) ----
+
+TEST(HostPhysMem, BackContiguousPreservesExistingContents) {
+  HostPhysMem mem(64 * kMiB);
+  mem.WriteU64(0x10008, 0x1122334455667788ULL);  // Materialize a sparse frame.
+  mem.BackContiguous(0x10000, 4 * kPageSize);
+  EXPECT_EQ(mem.ReadU64(0x10008), 0x1122334455667788ULL);  // Absorbed, not lost.
+  EXPECT_EQ(mem.ReadU64(0x12000), 0u);  // Fresh pages read zero.
+}
+
+TEST(HostPhysMem, ContiguousSpanCoversRegionAndRejectsOverrun) {
+  HostPhysMem mem(64 * kMiB);
+  mem.BackContiguous(0x20000, 4 * kPageSize);
+  uint8_t* base = mem.ContiguousSpan(0x20000, 4 * kPageSize);
+  ASSERT_NE(base, nullptr);
+  // The host pointer aliases guest-physical loads/stores across page bounds.
+  base[kPageSize + 5] = 0xcd;
+  std::vector<uint8_t> out(1);
+  mem.Read(0x20000 + kPageSize + 5, out);
+  EXPECT_EQ(out[0], 0xcd);
+  uint8_t* off = mem.ContiguousSpan(0x20000 + kPageSize, kPageSize);
+  EXPECT_EQ(off, base + kPageSize);
+  EXPECT_EQ(mem.ContiguousSpan(0x20000 + kPageSize, 4 * kPageSize), nullptr);  // Overrun.
+  EXPECT_EQ(mem.ContiguousSpan(0x50000, kPageSize), nullptr);  // Unbacked.
+}
+
+// ---- Bulk-copy engine ----
+
+class BulkCopyTest : public ::testing::Test {
+ protected:
+  BulkCopyTest()
+      : machine_(MachineConfig{1, 2 * kGiB}), guest_frames_(16 * kMiB, 512 * kMiB) {
+    auto as = AddressSpace::Create(machine_.mem(), guest_frames_, 1);
+    SB_CHECK(as.ok());
+    as_ = std::move(*as);
+    SB_CHECK(as_->MapAnonymous(kSrcVa, kLen, PageFlags{}).ok());
+    SB_CHECK(as_->MapAnonymous(kDstVa, kLen, PageFlags{}).ok());
+    machine_.core(0).WriteCr3(as_->root_gpa(), 1, false);
+  }
+
+  static constexpr Gva kSrcVa = 0x400000;
+  static constexpr Gva kDstVa = 0x600000;
+  static constexpr uint64_t kLen = 64 * 1024;
+
+  Machine machine_;
+  FrameAllocator guest_frames_;
+  std::unique_ptr<AddressSpace> as_;
+};
+
+TEST_F(BulkCopyTest, CopyVirtMovesBytesAcrossPages) {
+  Core& core = machine_.core(0);
+  std::vector<uint8_t> pattern(10000);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<uint8_t>(i * 13 + 1);
+  }
+  // Unaligned start, crossing three pages.
+  ASSERT_TRUE(core.WriteVirt(kSrcVa + 123, pattern).ok());
+  ASSERT_TRUE(core.CopyVirt(kDstVa + 45, kSrcVa + 123, pattern.size()).ok());
+  std::vector<uint8_t> out(pattern.size());
+  ASSERT_TRUE(core.ReadVirt(kDstVa + 45, out).ok());
+  EXPECT_EQ(out, pattern);
+}
+
+TEST_F(BulkCopyTest, CopyVirtCheaperThanReadPlusWrite) {
+  Core& core = machine_.core(0);
+  std::vector<uint8_t> data(16 * 1024, 0xee);
+  ASSERT_TRUE(core.WriteVirt(kSrcVa, data).ok());
+  // Warm both ranges and the TLB.
+  ASSERT_TRUE(core.CopyVirt(kDstVa, kSrcVa, data.size()).ok());
+  std::vector<uint8_t> bounce(data.size());
+  ASSERT_TRUE(core.ReadVirt(kSrcVa, bounce).ok());
+  ASSERT_TRUE(core.WriteVirt(kDstVa, bounce).ok());
+
+  uint64_t start = core.cycles();
+  ASSERT_TRUE(core.ReadVirt(kSrcVa, bounce).ok());
+  ASSERT_TRUE(core.WriteVirt(kDstVa, bounce).ok());
+  const uint64_t read_write = core.cycles() - start;
+
+  start = core.cycles();
+  ASSERT_TRUE(core.CopyVirt(kDstVa, kSrcVa, data.size()).ok());
+  const uint64_t copy = core.cycles() - start;
+
+  EXPECT_LT(copy, read_write);  // One startup, touches both streams once.
+  EXPECT_GT(copy, 0u);
+}
+
+TEST_F(BulkCopyTest, SmallAccessesKeepSeedCosting) {
+  Core& core = machine_.core(0);
+  const uint64_t small = machine_.costs().bulk_min_bytes - 1;
+  std::vector<uint8_t> data(small, 0x11);
+  ASSERT_TRUE(core.WriteVirt(kSrcVa, data).ok());  // Warm.
+  std::vector<uint8_t> out(small);
+  ASSERT_TRUE(core.ReadVirt(kSrcVa, out).ok());    // Warm.
+
+  const uint64_t start = core.cycles();
+  ASSERT_TRUE(core.ReadVirt(kSrcVa, out).ok());
+  const uint64_t cost = core.cycles() - start;
+  // Warm per-line charging, no streaming startup: lines * l1_hit.
+  const uint64_t lines = (small + 63) / 64;
+  EXPECT_EQ(cost, lines * machine_.costs().l1_hit);
+}
+
+TEST_F(BulkCopyTest, CopyVirtSgMatchesSequentialCopies) {
+  Core& core = machine_.core(0);
+  std::vector<uint8_t> a(3000, 0xaa);
+  std::vector<uint8_t> b(5000, 0xbb);
+  ASSERT_TRUE(core.WriteVirt(kSrcVa, a).ok());
+  ASSERT_TRUE(core.WriteVirt(kSrcVa + 8192, b).ok());
+  const Core::CopySeg segs[] = {
+      {kDstVa, kSrcVa, a.size()},
+      {kDstVa + 8192, kSrcVa + 8192, b.size()},
+  };
+  ASSERT_TRUE(core.CopyVirtSg(segs).ok());
+  std::vector<uint8_t> out_a(a.size());
+  std::vector<uint8_t> out_b(b.size());
+  ASSERT_TRUE(core.ReadVirt(kDstVa, out_a).ok());
+  ASSERT_TRUE(core.ReadVirt(kDstVa + 8192, out_b).ok());
+  EXPECT_EQ(out_a, a);
+  EXPECT_EQ(out_b, b);
 }
 
 TEST(Machine, IpiCountsPerCore) {
