@@ -219,7 +219,9 @@ BENCHMARK(BM_VmfuncScanSerial);
 
 void BM_VmfuncScanParallel(benchmark::State& state) {
   const std::vector<uint8_t> image = ScanImage();
-  sb::ThreadPool pool;
+  // Fixed pool size: never hardware_concurrency, so the reported fan-out is
+  // identical on a 2-vCPU CI runner and a workstation.
+  sb::ThreadPool pool(4);
   x86::ScanOptions options;
   options.pool = &pool;
   for (auto _ : state) {

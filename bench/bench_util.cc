@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/base/faultpoint.h"
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/base/units.h"
@@ -77,10 +78,17 @@ std::string Humanize(double v) {
 
 JsonReporter::JsonReporter(std::string bench_name, int argc, char** argv)
     : bench_name_(std::move(bench_name)) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+  for (int i = 1; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
       path_ = argv[i + 1];
-      break;
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      // Arm fault points for this bench run, e.g.
+      //   --faults=seed=42,skybridge.handler.crash:p=0.01
+      const sb::Status armed = sb::fault::ArmFromSpec(argv[i] + 9);
+      SB_CHECK(armed.ok()) << "bad --faults spec: " << armed.ToString();
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--faults") == 0) {
+      const sb::Status armed = sb::fault::ArmFromSpec(argv[i + 1]);
+      SB_CHECK(armed.ok()) << "bad --faults spec: " << armed.ToString();
     }
   }
 }

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Line-coverage summary for the core subsystems (src/skybridge, src/x86).
+# Configures an instrumented build tree (-DSB_COVERAGE=ON), runs the tier-1
+# suite (stress excluded), then reports with the best available tool:
+# lcov, gcovr, or raw gcov.
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-coverage}
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$BUILD_DIR" -S . -DSB_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -LE stress
+
+if command -v lcov >/dev/null 2>&1; then
+  # Newer lcov versions need mismatch errors downgraded for gcc headers.
+  lcov --capture --directory "$BUILD_DIR" --output-file "$BUILD_DIR/coverage.info" \
+       --quiet --ignore-errors mismatch,negative,unused 2>/dev/null ||
+    lcov --capture --directory "$BUILD_DIR" --output-file "$BUILD_DIR/coverage.info" --quiet
+  lcov --extract "$BUILD_DIR/coverage.info" "*/src/skybridge/*" "*/src/x86/*" \
+       --output-file "$BUILD_DIR/coverage.core.info" --quiet \
+       --ignore-errors unused 2>/dev/null ||
+    lcov --extract "$BUILD_DIR/coverage.info" "*/src/skybridge/*" "*/src/x86/*" \
+         --output-file "$BUILD_DIR/coverage.core.info" --quiet
+  echo "== line coverage: src/skybridge + src/x86 =="
+  lcov --list "$BUILD_DIR/coverage.core.info"
+elif command -v gcovr >/dev/null 2>&1; then
+  echo "== line coverage: src/skybridge + src/x86 (gcovr) =="
+  gcovr -r . "$BUILD_DIR" --filter 'src/skybridge/' --filter 'src/x86/' --print-summary
+else
+  echo "lcov/gcovr not installed; raw gcov per-file summaries:"
+  for dir in skybridge x86; do
+    find "$BUILD_DIR" -name '*.gcda' -path "*${dir}*" -exec gcov -n {} + 2>/dev/null |
+      grep -B1 "Lines executed" | grep -A1 "src/${dir}" || true
+  done
+fi

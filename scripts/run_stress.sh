@@ -1,0 +1,43 @@
+#!/bin/sh
+# Nightly stress driver: runs the seeded fault-injection stress suite
+# (tests/stress_fault_test, ctest label `stress`) across a fixed seed
+# matrix. Every failure leaves a replay artifact — the failing seed's
+# Chrome-trace dump plus its counter fingerprint — in the artifact dir.
+#
+# Overrides:
+#   SB_STRESS_SEEDS="1 2 3"      seed matrix (space-separated)
+#   SB_STRESS_EVENTS=96          events per thread per scenario
+#   SB_STRESS_ARTIFACT_DIR=dir   where failing-seed replays are written
+#   BUILD_DIR=build              build tree to use
+#
+# Reproduce one failing seed by hand (see TESTING.md):
+#   SB_STRESS_SEED=<seed> ./build/tests/stress_fault_test
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+if [ ! -x "$BUILD_DIR/tests/stress_fault_test" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" --target stress_fault_test
+fi
+
+SEEDS=${SB_STRESS_SEEDS:-"1 2 3 4 5 6 7 8 0x5eedb41d6e55"}
+EVENTS=${SB_STRESS_EVENTS:-48}
+ARTIFACTS=${SB_STRESS_ARTIFACT_DIR:-stress_artifacts}
+mkdir -p "$ARTIFACTS"
+
+fail=0
+for seed in $SEEDS; do
+  echo "== stress seed=$seed events=$EVENTS =="
+  if ! SB_STRESS_SEED="$seed" SB_STRESS_EVENTS="$EVENTS" \
+       SB_STRESS_ARTIFACT_DIR="$ARTIFACTS" \
+       "$BUILD_DIR/tests/stress_fault_test"; then
+    echo "FAILED: seed $seed (replay artifact in $ARTIFACTS/)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "stress matrix clean: seeds [$SEEDS], $EVENTS events/thread"
+fi
+exit $fail

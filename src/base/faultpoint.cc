@@ -1,0 +1,188 @@
+#include "src/base/faultpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "src/base/rng.h"
+
+namespace sb::fault {
+namespace {
+
+struct PointState {
+  FaultSpec spec;
+  Rng rng;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  // Ordered map: ArmedPoints() output is independent of arming order.
+  std::map<std::string, PointState, std::less<>> points;
+  uint64_t seed = 0x5eedfa17ULL;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;  // Leaked: used from atexit paths.
+  return *registry;
+}
+
+// FNV-1a, so a point's Rng stream depends on its name (and the global seed)
+// but never on arming order.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_faults_enabled{false};
+
+bool ShouldFireSlow(std::string_view point) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(point);
+  if (it == reg.points.end()) {
+    return false;
+  }
+  PointState& state = it->second;
+  ++state.hits;
+  if (state.fires >= state.spec.max_fires) {
+    return false;
+  }
+  bool fire = false;
+  if (state.spec.nth_hit != 0) {
+    fire = state.hits == state.spec.nth_hit;
+  } else {
+    fire = state.rng.NextDouble() < state.spec.probability;
+  }
+  if (fire) {
+    ++state.fires;
+  }
+  return fire;
+}
+
+}  // namespace internal
+
+void Arm(std::string_view point, const FaultSpec& spec) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  PointState state;
+  state.spec = spec;
+  state.rng = Rng(reg.seed ^ HashName(point));
+  reg.points.insert_or_assign(std::string(point), std::move(state));
+  internal::g_faults_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Disarm(std::string_view point) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(point);
+  if (it != reg.points.end()) {
+    reg.points.erase(it);
+  }
+  if (reg.points.empty()) {
+    internal::g_faults_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.clear();
+  internal::g_faults_enabled.store(false, std::memory_order_relaxed);
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.seed = seed;
+}
+
+PointStats StatsFor(std::string_view point) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(point);
+  if (it == reg.points.end()) {
+    return {};
+  }
+  return {it->second.hits, it->second.fires};
+}
+
+std::vector<std::string> ArmedPoints() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> names;
+  names.reserve(reg.points.size());
+  for (const auto& [name, state] : reg.points) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+sb::Status ArmFromSpec(std::string_view spec) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) {
+      comma = spec.size();
+    }
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      if (pos > spec.size()) {
+        break;
+      }
+      continue;
+    }
+    if (entry.substr(0, 5) == "seed=") {
+      char* end = nullptr;
+      const std::string value(entry.substr(5));
+      const uint64_t seed = std::strtoull(value.c_str(), &end, 0);
+      if (end == nullptr || *end != '\0' || value.empty()) {
+        return sb::InvalidArgument("bad fault seed: " + std::string(entry));
+      }
+      SetSeed(seed);
+      continue;
+    }
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 || colon + 1 >= entry.size()) {
+      return sb::InvalidArgument("bad fault entry (want point:trigger): " + std::string(entry));
+    }
+    const std::string_view point = entry.substr(0, colon);
+    const std::string_view trigger = entry.substr(colon + 1);
+    FaultSpec fs;
+    if (trigger == "always") {
+      fs.probability = 1.0;
+    } else if (trigger.substr(0, 2) == "p=") {
+      char* end = nullptr;
+      const std::string value(trigger.substr(2));
+      fs.probability = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || value.empty() || fs.probability < 0.0 ||
+          fs.probability > 1.0) {
+        return sb::InvalidArgument("bad fault probability: " + std::string(entry));
+      }
+    } else if (trigger.substr(0, 2) == "n=") {
+      char* end = nullptr;
+      const std::string value(trigger.substr(2));
+      fs.nth_hit = std::strtoull(value.c_str(), &end, 0);
+      if (end == nullptr || *end != '\0' || value.empty() || fs.nth_hit == 0) {
+        return sb::InvalidArgument("bad fault hit count: " + std::string(entry));
+      }
+    } else {
+      return sb::InvalidArgument("bad fault trigger (want p=, n= or always): " +
+                                 std::string(entry));
+    }
+    Arm(point, fs);
+  }
+  return sb::OkStatus();
+}
+
+}  // namespace sb::fault

@@ -1,0 +1,93 @@
+// Deterministic, named fault-injection points.
+//
+// Recovery code is only as good as its test coverage, and the failure half of
+// the state space never fires on its own in a simulator. SB_FAULT_POINT
+// plants a named hook at each interesting failure site:
+//
+//   if (SB_FAULT_POINT("skybridge.call.pre_vmfunc")) { /* injected fault */ }
+//
+// Like SB_TRACE_EVENT, the macro is compiled in but branch-disabled: while no
+// point is armed it costs one relaxed atomic load and a predictable branch —
+// nothing allocates, no simulated cycles move. Tests (and benches, via the
+// --faults= flag parsed by bench::JsonReporter) arm points by name with a
+// trigger:
+//
+//   fault::SetSeed(42);
+//   fault::Arm("skybridge.handler.crash", {.nth_hit = 3});     // 3rd hit fires
+//   fault::Arm("skybridge.gate.reply_corrupt", {.probability = 0.05});
+//
+// All randomness is a per-point sb::Rng seeded from the global seed XOR a
+// hash of the point name, so fire patterns depend only on (seed, per-point
+// hit sequence) — never on arming order, host time, or thread scheduling.
+
+#ifndef SRC_BASE_FAULTPOINT_H_
+#define SRC_BASE_FAULTPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace sb::fault {
+
+// When a point fires is decided per hit:
+//  - nth_hit != 0: fires on exactly that (1-based) hit and never again.
+//  - nth_hit == 0: fires with `probability` per hit, drawn from the point's
+//    deterministic Rng.
+// `max_fires` caps the total fires either way.
+struct FaultSpec {
+  double probability = 1.0;
+  uint64_t nth_hit = 0;
+  uint64_t max_fires = ~0ULL;
+};
+
+// Arms `point`; re-arming replaces the spec and resets the point's hit/fire
+// counters and Rng stream.
+void Arm(std::string_view point, const FaultSpec& spec = {});
+void Disarm(std::string_view point);
+void DisarmAll();
+
+// Reseeds every *subsequently armed* point's Rng stream (armed points keep
+// the stream they were armed with; re-arm to pick up the new seed).
+void SetSeed(uint64_t seed);
+
+struct PointStats {
+  uint64_t hits = 0;   // Times execution reached the point while armed.
+  uint64_t fires = 0;  // Times the point returned true.
+};
+// Zeroes for a point that is not armed.
+PointStats StatsFor(std::string_view point);
+std::vector<std::string> ArmedPoints();
+
+// Parses and applies a comma-separated arming spec, the --faults= syntax:
+//
+//   seed=42,skybridge.handler.crash:n=3,skybridge.gate.reply_corrupt:p=0.05
+//
+// entry := "seed=" uint64
+//        | point ":" ("p=" float | "n=" uint64 | "always")
+//
+// A `seed=` entry applies to the entries after it. Returns InvalidArgument
+// (arming nothing further) on a malformed entry.
+sb::Status ArmFromSpec(std::string_view spec);
+
+namespace internal {
+extern std::atomic<bool> g_faults_enabled;  // True iff >= 1 point armed.
+bool ShouldFireSlow(std::string_view point);
+}  // namespace internal
+
+// Compiled in, branch-disabled: one relaxed load when nothing is armed.
+inline bool FaultPointHit(std::string_view point) {
+  if (internal::g_faults_enabled.load(std::memory_order_relaxed)) [[unlikely]] {
+    return internal::ShouldFireSlow(point);
+  }
+  return false;
+}
+
+}  // namespace sb::fault
+
+#define SB_FAULT_POINT(point) (::sb::fault::FaultPointHit(point))
+
+#endif  // SRC_BASE_FAULTPOINT_H_

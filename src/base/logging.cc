@@ -35,6 +35,8 @@ CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
   return g_check_failure_hook.exchange(hook);
 }
 
+CheckFailureHook GetCheckFailureHook() { return g_check_failure_hook.load(); }
+
 namespace log_internal {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {

@@ -24,6 +24,9 @@ LogSeverity MinLogSeverity();
 // Passing nullptr clears it. Returns the previously installed hook.
 using CheckFailureHook = void (*)();
 CheckFailureHook SetCheckFailureHook(CheckFailureHook hook);
+// The currently installed hook (nullptr if none) — for tests that need to
+// save/restore or assert on the fatal-path wiring.
+CheckFailureHook GetCheckFailureHook();
 
 // Structured key=value field for grep-able logs. Streams as `key=value`, with
 // string values quoted:

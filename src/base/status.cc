@@ -28,6 +28,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "UNIMPLEMENTED";
     case ErrorCode::kTimeout:
       return "TIMEOUT";
+    case ErrorCode::kAborted:
+      return "ABORTED";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,7 @@ enum class ErrorCode : uint8_t {
   kInternal,
   kUnimplemented,
   kTimeout,
+  kAborted,
 };
 
 // Human-readable name for an error code ("OK", "NOT_FOUND", ...).
@@ -85,6 +86,7 @@ inline Status Unimplemented(std::string msg = "") {
 inline Status TimeoutError(std::string msg = "") {
   return Status(ErrorCode::kTimeout, std::move(msg));
 }
+inline Status Aborted(std::string msg = "") { return Status(ErrorCode::kAborted, std::move(msg)); }
 
 // A value of type T or a Status explaining why there is none.
 template <typename T>

@@ -113,6 +113,12 @@ const char* TraceEventName(TraceEventType type) {
       return "ept_install";
     case TraceEventType::kEptEvict:
       return "ept_evict";
+    case TraceEventType::kCallAborted:
+      return "call_aborted";
+    case TraceEventType::kBindingRevoked:
+      return "binding_revoked";
+    case TraceEventType::kStaleSlotRetry:
+      return "stale_slot_retry";
   }
   return "unknown";
 }
@@ -202,12 +208,20 @@ void TraceDump(std::ostream& out, size_t max_records) {
   out << "--- end trace ---" << std::endl;
 }
 
+namespace {
+
+void TraceCrashHook() { TraceDump(std::cerr); }
+
+}  // namespace
+
 void InstallTraceCrashDump() {
-  static bool installed = [] {
-    sb::SetCheckFailureHook(+[] { TraceDump(std::cerr); });
-    return true;
-  }();
-  (void)installed;
+  // Only claim the hook slot while it is free (or already ours): a custom
+  // hook a test installed must not be clobbered, and after the fatal path
+  // self-clears the slot — or a test resets it — the next call re-registers.
+  const sb::CheckFailureHook current = sb::GetCheckFailureHook();
+  if (current == nullptr) {
+    sb::SetCheckFailureHook(&TraceCrashHook);
+  }
 }
 
 }  // namespace sb::telemetry

@@ -50,6 +50,11 @@ enum class TraceEventType : uint8_t {
   kVmcall,         // Hypercall into the Rootkernel. arg0=hypercall nr.
   kEptInstall,     // Rootkernel created/installed a binding EPT. arg0=server pid.
   kEptEvict,       // EPTP list slot evicted. arg0=server pid, arg1=slot.
+  kCallAborted,    // Server crashed mid-handler; rootkernel-mediated abort.
+                   //   arg0=client pid, arg1=server pid.
+  kBindingRevoked,  // Binding revoked. arg0=client pid, arg1=server id.
+  kStaleSlotRetry,  // Cached EPTP slot went stale pre-VMFUNC; slowpath re-arm.
+                    //   arg0=server pid, arg1=attempt.
 };
 
 const char* TraceEventName(TraceEventType type);
@@ -111,7 +116,10 @@ std::string TraceChromeJson(const std::vector<TraceRecord>& records);
 void TraceDump(std::ostream& out, size_t max_records = 64);
 
 // Registers an SB_CHECK-failure hook that dumps the flight recorder to
-// stderr before the process aborts. Idempotent.
+// stderr before the process aborts. Idempotent, and re-installable: if the
+// hook was cleared (the fatal path self-resets it; tests may too), calling
+// this again re-registers it. A different hook someone else installed is
+// left alone.
 void InstallTraceCrashDump();
 
 }  // namespace sb::telemetry

@@ -3,6 +3,7 @@
 #include "src/base/logging.h"
 #include "src/base/telemetry/trace.h"
 #include "src/base/units.h"
+#include "src/mk/scheduler.h"
 
 namespace mk {
 namespace {
@@ -197,6 +198,42 @@ sb::Status Kernel::ContextSwitchTo(hw::Core& core, Process* process, CostBreakdo
     core.vmcs().active_index = 0;
   }
   return sb::OkStatus();
+}
+
+void Kernel::RegisterScheduler(int core_id, Scheduler* scheduler) {
+  if (core_id < 0) {
+    return;
+  }
+  if (schedulers_.size() <= static_cast<size_t>(core_id)) {
+    schedulers_.resize(static_cast<size_t>(core_id) + 1, nullptr);
+  }
+  schedulers_[static_cast<size_t>(core_id)] = scheduler;
+}
+
+void Kernel::UnregisterScheduler(int core_id, Scheduler* scheduler) {
+  if (core_id < 0 || schedulers_.size() <= static_cast<size_t>(core_id)) {
+    return;
+  }
+  if (schedulers_[static_cast<size_t>(core_id)] == scheduler) {
+    schedulers_[static_cast<size_t>(core_id)] = nullptr;
+  }
+}
+
+mk::Scheduler* Kernel::scheduler(int core_id) const {
+  if (core_id < 0 || schedulers_.size() <= static_cast<size_t>(core_id)) {
+    return nullptr;
+  }
+  return schedulers_[static_cast<size_t>(core_id)];
+}
+
+void Kernel::FinishAbortedCall(hw::Core& core, Thread* caller, CostBreakdown* bd) {
+  // The unwind runs on the kernel path: entry, make the caller runnable
+  // again (its synchronous call will never return normally), exit.
+  SyscallEnter(core, bd);
+  if (Scheduler* sched = scheduler(core.id()); sched != nullptr) {
+    sched->UnblockAborted(caller, /*priority=*/0);
+  }
+  SyscallExit(core, bd);
 }
 
 sb::StatusOr<uint64_t> Kernel::CurrentIdentity(hw::Core& core) {

@@ -67,6 +67,7 @@ struct CostBreakdown {
 };
 
 class Kernel;
+class Scheduler;
 
 // Execution environment handed to an endpoint handler. The handler runs in
 // the *server's* address space on `core`; all memory access goes through the
@@ -165,6 +166,22 @@ class Kernel {
   sb::Status ContextSwitchTo(hw::Core& core, Process* process, CostBreakdown* bd = nullptr);
   Process* current_process(int core_id) const { return current_[static_cast<size_t>(core_id)]; }
 
+  // ---- Scheduler registry ----
+  // Schedulers self-register at construction so kernel-initiated wakeups
+  // (e.g. unblocking the caller of an aborted SkyBridge call) can reach the
+  // core's ready queue. Kernels without schedulers (most benches) simply have
+  // no entry and the wakeup is a no-op.
+  void RegisterScheduler(int core_id, Scheduler* scheduler);
+  void UnregisterScheduler(int core_id, Scheduler* scheduler);
+  Scheduler* scheduler(int core_id) const;
+
+  // ---- Abort unwind (SkyBridge crash recovery, DESIGN.md section 10) ----
+  // The Subkernel's half of the abort protocol: after the Rootkernel has
+  // forced the core back to the caller's EPT view and the trampoline frame
+  // has been popped, the kernel completes the unwind on the syscall path and
+  // makes the aborted caller runnable again through the core's scheduler.
+  void FinishAbortedCall(hw::Core& core, Thread* caller, CostBreakdown* bd = nullptr);
+
   // Reads the identity page (Section 4.2): which process does the hardware
   // translation context say is running? Requires the identity VA mapping.
   sb::StatusOr<uint64_t> CurrentIdentity(hw::Core& core);
@@ -217,6 +234,7 @@ class Kernel {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<Process*> current_;
+  std::vector<Scheduler*> schedulers_;  // Indexed by core id; sparse.
   // Pre-computed warm-cache cost of the kernel footprint touches, subtracted
   // from the calibrated logic constants to avoid double counting.
   uint64_t warm_footprint_cycles_ = 0;

@@ -13,6 +13,32 @@ constexpr uint64_t kDispatchCycles = 150;
 
 }  // namespace
 
+Scheduler::Scheduler(Kernel* kernel, int core_id) : kernel_(kernel), core_id_(core_id) {
+  if (kernel_ != nullptr) {
+    kernel_->RegisterScheduler(core_id_, this);
+  }
+}
+
+Scheduler::~Scheduler() {
+  if (kernel_ != nullptr) {
+    kernel_->UnregisterScheduler(core_id_, this);
+  }
+}
+
+void Scheduler::UnblockAborted(Thread* thread, int priority) {
+  if (thread == nullptr || priority < 0 || priority >= kNumPriorities) {
+    return;
+  }
+  ++abort_unblocks_;
+  kernel_->machine().telemetry().GetCounter("mk.sched.abort_unblocks").Add();
+  if (IsQueued(thread)) {
+    return;  // Already runnable; the abort wakeup is idempotent.
+  }
+  // Front of the queue: the aborted caller resumes ahead of round-robin
+  // peers, mirroring the direct-switch bias of the fastpath.
+  ready_[static_cast<size_t>(priority)].push_front(thread);
+}
+
 sb::Status Scheduler::Enqueue(Thread* thread, int priority) {
   if (priority < 0 || priority >= kNumPriorities) {
     return sb::InvalidArgument("bad priority");

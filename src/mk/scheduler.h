@@ -23,7 +23,10 @@ inline constexpr int kNumPriorities = 4;  // 0 = highest.
 
 class Scheduler {
  public:
-  Scheduler(Kernel* kernel, int core_id) : kernel_(kernel), core_id_(core_id) {}
+  // Registers with the kernel's scheduler registry so kernel-initiated
+  // wakeups (aborted-call unblocks) can find this core's ready queue.
+  Scheduler(Kernel* kernel, int core_id);
+  ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -31,6 +34,10 @@ class Scheduler {
   // Makes a thread runnable at `priority`. Enqueueing an already-queued
   // thread is an error (threads are queued at most once).
   sb::Status Enqueue(Thread* thread, int priority);
+  // Wakes the caller of an aborted synchronous call (SkyBridge crash
+  // recovery): front-of-queue enqueue at `priority`, idempotent — an
+  // already-runnable thread is left where it is.
+  void UnblockAborted(Thread* thread, int priority);
   // Removes a blocked thread from the ready queue (no-op if absent).
   void Dequeue(Thread* thread);
   bool IsQueued(const Thread* thread) const;
@@ -44,6 +51,7 @@ class Scheduler {
 
   uint64_t dispatches() const { return dispatches_; }
   uint64_t process_switches() const { return process_switches_; }
+  uint64_t abort_unblocks() const { return abort_unblocks_; }
 
  private:
   Kernel* kernel_;
@@ -51,6 +59,7 @@ class Scheduler {
   std::array<std::deque<Thread*>, kNumPriorities> ready_;
   uint64_t dispatches_ = 0;
   uint64_t process_switches_ = 0;
+  uint64_t abort_unblocks_ = 0;
   // Registry mirrors (mk.sched.*), bound on first Schedule().
   sb::telemetry::Counter* metric_dispatches_ = nullptr;
   sb::telemetry::Counter* metric_process_switches_ = nullptr;

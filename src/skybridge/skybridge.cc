@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/faultpoint.h"
 #include "src/base/logging.h"
 #include "src/base/telemetry/trace.h"
 #include "src/base/units.h"
@@ -18,6 +19,8 @@ constexpr uint64_t kKeySlotBytes = 16;  // {key, client pid}
 // stack install) accounts for ~20 of those when warm, so the flat charge is
 // the remainder — the measured roundtrip lands on 2 x (134 + 64) = 396.
 constexpr uint64_t kTrampolineLegCycles = 44;
+// Base backoff before a stale-slot slowpath re-arm; doubles per attempt.
+constexpr uint64_t kStaleBackoffCycles = 32;
 
 using sb::telemetry::TraceEventType;
 
@@ -28,6 +31,7 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
       config_(config),
       key_rng_(config.key_seed),
       trampoline_(BuildTrampoline()),
+      scan_pool_(config.scan_pool_threads),
       next_shared_buf_va_(mk::kSharedBufVa) {
   SB_CHECK(kernel.rootkernel() != nullptr)
       << "SkyBridge requires a kernel booted with the Rootkernel";
@@ -46,6 +50,11 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
   metrics_.lookup_misses = &reg.GetCounter("skybridge.lookup.misses");
   metrics_.scan_pages = &reg.GetCounter("skybridge.rewrite.scan_pages");
   metrics_.scan_threads = &reg.GetGauge("skybridge.rewrite.scan_threads");
+  metrics_.aborted_calls = &reg.GetCounter("skybridge.ipc.aborted_calls");
+  metrics_.gate_rejections = &reg.GetCounter("skybridge.ipc.gate_rejections");
+  metrics_.stale_slot_retries = &reg.GetCounter("skybridge.ipc.stale_slot_retries");
+  metrics_.revoked_rejections = &reg.GetCounter("skybridge.ipc.revoked_rejections");
+  metrics_.bindings_revoked = &reg.GetCounter("skybridge.bindings.revoked");
   metrics_.phase_vmfunc = &reg.GetHistogram("skybridge.phase.vmfunc");
   metrics_.phase_trampoline = &reg.GetHistogram("skybridge.phase.trampoline");
   metrics_.phase_copy = &reg.GetHistogram("skybridge.phase.copy");
@@ -73,6 +82,11 @@ const SkyBridgeStats& SkyBridge::stats() const {
   stats_snapshot_.binding_lookup_misses = metrics_.lookup_misses->Value();
   stats_snapshot_.scan_pages = metrics_.scan_pages->Value();
   stats_snapshot_.scan_threads = metrics_.scan_threads->Value();
+  stats_snapshot_.aborted_calls = metrics_.aborted_calls->Value();
+  stats_snapshot_.gate_rejections = metrics_.gate_rejections->Value();
+  stats_snapshot_.stale_slot_retries = metrics_.stale_slot_retries->Value();
+  stats_snapshot_.revoked_rejections = metrics_.revoked_rejections->Value();
+  stats_snapshot_.bindings_revoked = metrics_.bindings_revoked->Value();
   return stats_snapshot_;
 }
 
@@ -345,7 +359,7 @@ sb::Status SkyBridge::InstallBinding(hw::Core& core, Binding& binding, uint64_t 
     // walking the intrusive list from its cold end.
     Binding* victim = nullptr;
     for (Binding* b = binding.lru_owner->lru_tail; b != nullptr; b = b->lru_prev) {
-      if (b->installed && b != &binding && b->ept_id != pinned_ept) {
+      if (b->installed && b != &binding && b->ept_id != pinned_ept && b->in_flight == 0) {
         victim = b;
         break;
       }
@@ -390,8 +404,27 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
     return sb::NotFound("no such server");
   }
   ServerEntry& server = servers_[server_id];
-  if (FindBinding(client, server_id) != nullptr) {
-    return sb::AlreadyExists("client already registered to this server");
+  if (Binding* existing = FindBinding(client, server_id); existing != nullptr) {
+    if (!existing->revoked) {
+      return sb::AlreadyExists("client already registered to this server");
+    }
+    // Revival: the record persisted through revocation (bindings are never
+    // destroyed). Re-registration issues a fresh calling key and reinstalls
+    // the EPT entry; the buffer region and EPT id are reused as-is.
+    hw::Core& core = kernel_->machine().core(0);
+    kernel_->SyscallEnter(core, nullptr);
+    const uint64_t key = key_rng_.Next();
+    const hw::GuestWalk table = server.process->address_space().WalkVa(mk::kCallingKeyTableVa);
+    SB_CHECK(table.ok);
+    kernel_->machine().mem().WriteU64(table.gpa + existing->key_slot * kKeySlotBytes, key);
+    existing->server_key = key;
+    existing->revoked = false;
+    sb::Status install = sb::OkStatus();
+    if (!existing->installed) {
+      install = InstallBinding(core, *existing, /*pinned_ept=*/0);
+    }
+    kernel_->SyscallExit(core, nullptr);
+    return install;
   }
   if (server.next_connection >= static_cast<uint64_t>(server.max_connections)) {
     return sb::ResourceExhausted("server connection limit reached");
@@ -532,6 +565,11 @@ sb::StatusOr<std::span<uint8_t>> SkyBridge::AcquireSendBuffer(mk::Thread* caller
     metrics_.rejected_calls->Add();
     return sb::PermissionDenied("client not registered to server");
   }
+  if (perm->revoked) {
+    metrics_.revoked_rejections->Add();
+    metrics_.rejected_calls->Add();
+    return sb::PermissionDenied("binding revoked");
+  }
   const SliceRef slice = SliceOf(*perm, caller);
   if (slice.host.empty()) {
     return sb::FailedPrecondition("binding has no shared buffer");
@@ -587,6 +625,18 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
                    << " " << sb::kv("reason", "unregistered");
     return sb::PermissionDenied("client not registered to server");
   }
+  if (perm->revoked) {
+    // Revoked bindings refuse new entries; in-flight calls already past this
+    // gate drain normally (the sweep waits for them).
+    metrics_.revoked_rejections->Add();
+    metrics_.rejected_calls->Add();
+    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
+                   server.process->pid());
+    SB_LOG(kDebug) << "call rejected " << sb::kv("client", proc->pid())
+                   << " " << sb::kv("server", server.process->pid())
+                   << " " << sb::kv("reason", "revoked");
+    return sb::PermissionDenied("binding revoked");
+  }
 
   // The caller's per-connection slice. Authorization (and the buffer) always
   // come from the caller's own binding, even when a nested call routes the
@@ -627,6 +677,37 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
   if (nested) {
     SB_ASSIGN_OR_RETURN(route, GetOrCreateChainBinding(core, origin, server_id));
   }
+
+  // In-flight accounting brackets the call on every exit path (both the
+  // authorizing binding and the routed one when they differ). Revocation
+  // never reshapes an EPTP list under a live call — it defers to this
+  // guard's drain.
+  struct DrainGuard {
+    SkyBridge* sky = nullptr;
+    Binding* a = nullptr;
+    Binding* b = nullptr;
+    void Begin(SkyBridge* s, Binding* perm, Binding* route) {
+      sky = s;
+      a = perm;
+      b = route != perm ? route : nullptr;
+      ++a->in_flight;
+      ++a->lru_owner->inflight;
+      if (b != nullptr) {
+        ++b->in_flight;
+        ++b->lru_owner->inflight;
+      }
+    }
+    ~DrainGuard() {
+      if (sky == nullptr) {
+        return;
+      }
+      if (b != nullptr) {
+        sky->FinishCall(*b);
+      }
+      sky->FinishCall(*a);
+    }
+  } drain_guard;
+  drain_guard.Begin(this, perm, route);
 
   // The EPT active at entry: we must return to it (slot 0 for a top-level
   // call, the enclosing binding's EPT for a nested one).
@@ -683,8 +764,43 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
   // The client's per-call key; the server must echo it on return.
   const uint64_t client_key = key_rng_.Next();
 
-  // The binding's slot is cached and centrally maintained; no EPTP scan.
-  SB_CHECK(route->eptp_slot != kNoEptpSlot) << "installed binding without a cached slot";
+  // The binding's slot is cached and centrally maintained; no EPTP scan on
+  // the hit path. A concurrent registration can still LRU-evict the binding
+  // between lookup and this point (the pre_vmfunc fault injects exactly
+  // that): detect the stale slot and re-arm via the slowpath with bounded
+  // exponential backoff instead of dying on the old SB_CHECK.
+  for (uint64_t attempt = 0;; ++attempt) {
+    if (SB_FAULT_POINT(kFaultPreVmfunc)) {
+      FaultEvict(core, *route);
+    }
+    if (route->installed && route->eptp_slot != kNoEptpSlot) {
+      break;
+    }
+    if (attempt >= config_.max_stale_slot_retries) {
+      metrics_.rejected_calls->Add();
+      SB_LOG(kDebug) << "stale-slot retries exhausted " << sb::kv("client", origin->pid())
+                     << " " << sb::kv("server", server.process->pid());
+      const size_t entry_slot = EptpSlotOfId(origin_ids, entry_ept);
+      core.vmcs().active_index =
+          entry_ept != 0 && entry_slot != kSlotNotFound ? entry_slot : 0;
+      return sb::Unavailable("EPTP slot evicted repeatedly before VMFUNC");
+    }
+    metrics_.stale_slot_retries->Add();
+    SB_TRACE_EVENT(TraceEventType::kStaleSlotRetry, core.cycles(), core.id(),
+                   server.process->pid(), attempt);
+    core.AdvanceCycles(kStaleBackoffCycles << attempt);
+    kernel_->SyscallEnter(core, pbd);
+    const sb::Status rearm = InstallBinding(core, *route, entry_ept);
+    kernel_->SyscallExit(core, pbd);
+    SB_RETURN_IF_ERROR(rearm);
+    const size_t entry_slot = EptpSlotOfId(origin_ids, entry_ept);
+    if (entry_ept != 0 && entry_slot != kSlotNotFound) {
+      core.vmcs().active_index = entry_slot;
+      return_index = entry_slot;
+    } else {
+      return_index = 0;
+    }
+  }
   const uint64_t before_vmfunc = core.cycles();
   SB_RETURN_IF_ERROR(core.Vmfunc(0, route->eptp_slot));
   pbd->vmfunc += core.cycles() - before_vmfunc;
@@ -756,7 +872,33 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
     env.reply_buffer = slice.host;
     env.reply_buffer_va = slice.va;
   }
+  if (SB_FAULT_POINT(kFaultHandlerCrash)) {
+    // The server thread dies mid-handler, stranding the client in the
+    // server's address space. The Rootkernel mediates the abort: restore the
+    // client's entry view, pop the trampoline frame, wake the blocked caller
+    // and surface Aborted instead of a wedged call.
+    metrics_.aborted_calls->Add();
+    SB_TRACE_EVENT(TraceEventType::kCallAborted, core.cycles(), core.id(), proc->pid(),
+                   server.process->pid());
+    SB_LOG(kDebug) << "handler crash " << sb::kv("client", proc->pid())
+                   << " " << sb::kv("server", server.process->pid());
+    const uint64_t abort_start = core.cycles();
+    if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kAbortToView),
+                    static_cast<uint64_t>(return_index)) == vmm::kHypercallError) {
+      return sb::Internal("rootkernel refused the abort view restore");
+    }
+    pbd->others += core.cycles() - abort_start;
+    ChargeTrampolineLeg(core, pbd);  // The popped frame's restore leg.
+    kernel_->FinishAbortedCall(core, caller, pbd);
+    record_phases();
+    return sb::Aborted("server thread crashed mid-handler; call aborted");
+  }
   mk::Message reply = server.handler(env);
+  if (SB_FAULT_POINT(kFaultRevokeInflight)) {
+    // Revocation racing a live call: this reply still returns; the EPTP
+    // surgery defers to the drain and subsequent calls are refused.
+    (void)RevokeBinding(proc, server_id);
+  }
   const bool timed_out = core.cycles() - handler_start > config_.timeout_cycles;
   SB_TRACE_EVENT(TraceEventType::kHandlerExit, core.cycles(), core.id(), server.process->pid(),
                  timed_out ? 1 : 0);
@@ -769,12 +911,36 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
     const uint8_t* p = reply.view.data();
     reply_in_place = p >= base && p + reply.view.size() <= base + slice.host.size();
   }
+  // Return-gate integrity: a borrowed reply that straddles the slice
+  // boundary is a corrupt descriptor — the server scribbled the pointer or
+  // the length. Detected structurally here, or injected by
+  // gate.reply_corrupt; either way the reply is rejected after the EPT view
+  // is restored, never delivered.
+  bool reply_corrupt = SB_FAULT_POINT(kFaultReplyCorrupt);
+  if (!reply_corrupt && !slice.host.empty() && reply.borrowed() && !reply.view.empty() &&
+      !reply_in_place) {
+    const uint8_t* base = slice.host.data();
+    const uint8_t* p = reply.view.data();
+    reply_corrupt = p < base + slice.host.size() && p + reply.view.size() > base;
+  }
+  if (reply_corrupt && !timed_out) {
+    metrics_.gate_rejections->Add();
+    metrics_.rejected_calls->Add();
+    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
+                   server.process->pid());
+    SB_LOG(kDebug) << "reply rejected at the return gate " << sb::kv("client", proc->pid())
+                   << " " << sb::kv("server", server.process->pid());
+    SB_RETURN_IF_ERROR(return_to_entry());
+    record_phases();
+    return sb::OutOfRange("corrupt reply rejected at the return gate");
+  }
   const bool long_reply =
       reply_in_place || reply.size() > kernel_->profile().register_msg_capacity;
   if (long_reply && !timed_out) {
     if (reply.size() > config_.shared_buffer_bytes || slice.va == 0) {
       // Reject — but only after the return gate. Bailing out here would
       // leave the core in the server's EPT view with the client resumed.
+      metrics_.gate_rejections->Add();
       metrics_.rejected_calls->Add();
       SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
                      server.process->pid());
@@ -850,6 +1016,155 @@ sb::StatusOr<mk::Message> SkyBridge::CallWithForgedKey(mk::Thread* caller, Serve
   auto result = DirectServerCall(caller, server_id, msg);
   binding->server_key = real_key;
   return result;
+}
+
+sb::Status SkyBridge::RevokeBinding(mk::Process* client, ServerId server_id) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  Binding* binding = FindBinding(client, server_id);
+  if (binding == nullptr) {
+    return sb::NotFound("client not registered to server");
+  }
+  if (!binding->revoked) {
+    binding->revoked = true;
+    ++route_generation_;  // Drop every thread's cached route.
+    metrics_.bindings_revoked->Add();
+    hw::Core& core = kernel_->machine().core(0);
+    SB_TRACE_EVENT(TraceEventType::kBindingRevoked, core.cycles(), core.id(), client->pid(),
+                   server_id);
+    SB_LOG(kDebug) << "binding revoked " << sb::kv("client", client->pid())
+                   << " " << sb::kv("server", server_id);
+  }
+  SweepRevoked(client);
+  return sb::OkStatus();
+}
+
+void SkyBridge::FinishCall(Binding& binding) {
+  if (binding.in_flight > 0) {
+    --binding.in_flight;
+  }
+  ClientState* state = binding.lru_owner;
+  if (state == nullptr) {
+    return;
+  }
+  if (state->inflight > 0) {
+    --state->inflight;
+  }
+  if (state->inflight == 0 && state->pending_revocations) {
+    SweepRevoked(binding.client);
+  }
+}
+
+void SkyBridge::SweepRevoked(mk::Process* client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return;
+  }
+  ClientState& state = it->second;
+  if (state.inflight > 0) {
+    // Never reshape the EPTP list under a live call: the last drain of this
+    // client re-runs the sweep.
+    state.pending_revocations = true;
+    return;
+  }
+  state.pending_revocations = false;
+  auto& ids = client->eptp_list_ids();
+  bool removed = false;
+  for (Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
+    if (!b->revoked || !b->installed) {
+      continue;
+    }
+    ids.erase(std::remove(ids.begin(), ids.end(), b->ept_id), ids.end());
+    b->installed = false;
+    b->eptp_slot = kNoEptpSlot;
+    removed = true;
+  }
+  if (!removed) {
+    return;
+  }
+  RefreshEptpSlots(client);
+  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
+    if (kernel_->current_process(i) == client) {
+      (void)kernel_->ContextSwitchTo(kernel_->machine().core(i), client);
+    }
+  }
+}
+
+void SkyBridge::FaultEvict(hw::Core& core, Binding& binding) {
+  if (!binding.installed) {
+    return;
+  }
+  SB_TRACE_EVENT(TraceEventType::kEptEvict, core.cycles(), core.id(), binding.server,
+                 binding.eptp_slot);
+  auto& ids = binding.client->eptp_list_ids();
+  ids.erase(std::remove(ids.begin(), ids.end(), binding.ept_id), ids.end());
+  binding.installed = false;
+  binding.eptp_slot = kNoEptpSlot;
+  RefreshEptpSlots(binding.client);
+  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
+    if (kernel_->current_process(i) == binding.client) {
+      (void)kernel_->ContextSwitchTo(kernel_->machine().core(i), binding.client);
+    }
+  }
+}
+
+sb::Status SkyBridge::CheckInvariants() const {
+  for (const auto& entry : clients_) {
+    mk::Process* client = entry.first;
+    const ClientState& state = entry.second;
+    size_t chain = 0;
+    uint64_t inflight_sum = 0;
+    const Binding* prev = nullptr;
+    for (const Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
+      if (++chain > bindings_.size()) {
+        return sb::Internal("LRU cycle detected");
+      }
+      if (b->lru_prev != prev) {
+        return sb::Internal("LRU prev link broken");
+      }
+      if (b->lru_owner != &state) {
+        return sb::Internal("LRU owner mismatch");
+      }
+      if (b->client != client) {
+        return sb::Internal("binding threaded onto the wrong client's LRU list");
+      }
+      inflight_sum += b->in_flight;
+      prev = b;
+    }
+    if (state.lru_tail != prev) {
+      return sb::Internal("LRU tail does not terminate the chain");
+    }
+    if (inflight_sum != state.inflight) {
+      return sb::Internal("per-client in-flight sum out of sync");
+    }
+    const auto& ids = client->eptp_list_ids();
+    if (ids.size() > config_.eptp_capacity) {
+      return sb::Internal("EPTP list exceeds the configured capacity");
+    }
+    for (const Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
+      if (b->installed) {
+        if (b->eptp_slot == kNoEptpSlot || b->eptp_slot >= ids.size() ||
+            ids[b->eptp_slot] != b->ept_id) {
+          return sb::Internal("installed binding's cached slot disagrees with the EPTP list");
+        }
+      } else if (b->eptp_slot != kNoEptpSlot) {
+        return sb::Internal("evicted binding still caches a slot");
+      }
+      if (b->revoked && b->installed && state.inflight == 0) {
+        return sb::Internal("drained revoked binding still installed");
+      }
+    }
+  }
+  return sb::OkStatus();
+}
+
+uint64_t SkyBridge::InFlightCalls() const {
+  uint64_t total = 0;
+  for (const auto& entry : clients_) {
+    total += entry.second.inflight;
+  }
+  return total;
 }
 
 sb::StatusOr<size_t> SkyBridge::InstalledBindings(mk::Process* client) const {

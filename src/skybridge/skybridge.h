@@ -44,6 +44,29 @@ namespace skybridge {
 
 using ServerId = uint64_t;
 
+// ---- Fault-point catalog (src/base/faultpoint.h, DESIGN.md section 10) ----
+// Each point has a tested recovery path; arming one must never turn into an
+// SB_CHECK death.
+//
+// The caller's cached EPTP slot is evicted between route lookup and VMFUNC
+// (a concurrent registration LRU-evicted the binding). Recovery: detect the
+// stale slot, re-arm via the slowpath with bounded backoff; the call retries
+// transparently or fails Unavailable after max_stale_slot_retries.
+inline constexpr const char kFaultPreVmfunc[] = "skybridge.call.pre_vmfunc";
+// The server thread crashes mid-handler, stranding the client in the
+// server's address space. Recovery: Rootkernel-mediated abort (kAbortToView)
+// restores the client's EPT view, the trampoline frame is popped, the kernel
+// unblocks the caller and the call returns Status::Aborted.
+inline constexpr const char kFaultHandlerCrash[] = "skybridge.handler.crash";
+// The server scribbles the reply descriptor so the reply escapes the
+// caller's shared-buffer slice. Recovery: the return gate rejects the reply
+// — after the EPT view is restored — with a gate_rejections metric.
+inline constexpr const char kFaultReplyCorrupt[] = "skybridge.gate.reply_corrupt";
+// The caller's binding is revoked while its call is in flight. Recovery:
+// the in-flight call drains normally; EPTP-list surgery is deferred to the
+// drain and new calls are refused with PermissionDenied.
+inline constexpr const char kFaultRevokeInflight[] = "skybridge.call.revoke_inflight";
+
 struct SkyBridgeConfig {
   // Maximum EPTP list slots a client may occupy (hardware limit 512). The
   // library LRU-evicts bindings beyond this (paper Section 10 future work).
@@ -69,6 +92,15 @@ struct SkyBridgeConfig {
   // DoS defence: force return to the client if a handler runs longer.
   uint64_t timeout_cycles = 1ULL << 32;
   uint64_t key_seed = 0x5eedULL;
+  // Worker threads for the registration-scan pool. A fixed count — never
+  // derived from std::thread::hardware_concurrency — so scan fan-out (and
+  // the scan_threads gauge tests assert on) matches between a 2-vCPU CI
+  // runner and a large workstation.
+  int scan_pool_threads = 4;
+  // Bounded backoff for re-arming a binding whose cached EPTP slot went
+  // stale between lookup and VMFUNC (concurrent eviction). After this many
+  // slowpath re-installs the call fails Unavailable.
+  uint64_t max_stale_slot_retries = 3;
 };
 
 // Point-in-time snapshot of the library's counters. The live values are
@@ -91,6 +123,12 @@ struct SkyBridgeStats {
   // Registration-scan accounting (the parallel slow path).
   uint64_t scan_pages = 0;    // Code-page chunks scanned across rewrites.
   uint64_t scan_threads = 0;  // Widest fan-out any scan used.
+  // ---- Fault model & recovery (DESIGN.md section 10) ----
+  uint64_t aborted_calls = 0;      // Server crashed mid-handler; rootkernel abort.
+  uint64_t gate_rejections = 0;    // Replies rejected at the return gate.
+  uint64_t stale_slot_retries = 0; // Pre-VMFUNC stale-slot slowpath re-arms.
+  uint64_t revoked_rejections = 0; // Calls refused on a revoked binding.
+  uint64_t bindings_revoked = 0;   // RevokeBinding transitions.
 };
 
 class SkyBridge {
@@ -146,6 +184,25 @@ class SkyBridge {
   const SkyBridgeConfig& config() const { return config_; }
   mk::Kernel& kernel() { return *kernel_; }
 
+  // ---- Revocation (fault model, DESIGN.md section 10) ----
+  // Revokes the (client, server) binding: new calls and buffer acquisitions
+  // are refused with PermissionDenied, every thread's cached route drops,
+  // and the binding's EPTP-list entry is removed — immediately if the client
+  // has no calls in flight, otherwise deferred until the client drains (the
+  // EPTP list is never reshaped under a live call). Re-registering the pair
+  // later revives the binding with a fresh calling key.
+  sb::Status RevokeBinding(mk::Process* client, ServerId server_id);
+
+  // Structural invariants the stress runner asserts between events: LRU
+  // list consistency, cached-slot/EPTP-list agreement, per-client capacity,
+  // revoked bindings uninstalled once drained, in-flight accounting.
+  // Returns the first violated invariant.
+  sb::Status CheckInvariants() const;
+
+  // Calls currently between entry and return across all bindings. Zero at
+  // quiesce; a nonzero value with no call on the stack is a leaked slice.
+  uint64_t InFlightCalls() const;
+
   // Number of EPTP slots currently installed for a client (tests).
   sb::StatusOr<size_t> InstalledBindings(mk::Process* client) const;
 
@@ -182,6 +239,13 @@ class SkyBridge {
     uint32_t num_slices = 0;
     uint8_t* host_base = nullptr;
     bool installed = true;    // Currently on the client's EPTP list.
+    // Revoked bindings refuse new calls; their EPTP entry is removed when
+    // the client drains. The record itself persists ("bindings are never
+    // destroyed") and re-registration revives it.
+    bool revoked = false;
+    // Calls currently between entry and return on this binding. The EPTP
+    // list is never reshaped while the owning client has calls in flight.
+    uint64_t in_flight = 0;
     // Chain bindings support nested calls (A -> B -> C): the EPT maps A's
     // CR3 to C's page tables, while authorization/keys come from the B -> C
     // registration (Section 4.2: "the Rootkernel also writes all processes'
@@ -202,6 +266,8 @@ class SkyBridge {
   struct ClientState {
     Binding* lru_head = nullptr;  // Most recently used.
     Binding* lru_tail = nullptr;  // Eviction candidate end.
+    uint64_t inflight = 0;        // Sum of in_flight over this client's bindings.
+    bool pending_revocations = false;  // Sweep deferred until inflight drains.
   };
 
   // Open-addressed hash index over (client, server) -> Binding*: linear
@@ -263,6 +329,16 @@ class SkyBridge {
   sb::Status InstallBinding(hw::Core& core, Binding& binding, uint64_t pinned_ept);
   // O(1) move-to-front on the client's intrusive LRU list.
   void TouchLru(Binding& binding);
+  // Call drain accounting: decrements the in-flight counts taken at call
+  // entry and runs any revocation sweep the drain unblocked.
+  void FinishCall(Binding& binding);
+  // Uninstalls every drained revoked binding of `client` (EPTP-list erase +
+  // central slot refresh + reinstall on live cores); defers itself while the
+  // client still has calls in flight.
+  void SweepRevoked(mk::Process* client);
+  // Fault-injection helper: evicts `binding` exactly as a concurrent
+  // InstallBinding LRU pass would, leaving the caller's cached slot stale.
+  void FaultEvict(hw::Core& core, Binding& binding);
 
   // The trampoline leg costs: 64 cycles of save/restore + stack install per
   // direction (Section 6.3) plus the i-side traffic of the trampoline page.
@@ -285,6 +361,12 @@ class SkyBridge {
     sb::telemetry::Counter* lookup_misses;
     sb::telemetry::Counter* scan_pages;
     sb::telemetry::Gauge* scan_threads;
+    // Fault model & recovery.
+    sb::telemetry::Counter* aborted_calls;
+    sb::telemetry::Counter* gate_rejections;
+    sb::telemetry::Counter* stale_slot_retries;
+    sb::telemetry::Counter* revoked_rejections;
+    sb::telemetry::Counter* bindings_revoked;
     // Per-phase latency histograms fed from CostBreakdown deltas.
     sb::telemetry::LatencyHistogram* phase_vmfunc;
     sb::telemetry::LatencyHistogram* phase_trampoline;

@@ -1,5 +1,6 @@
 #include "src/vmm/rootkernel.h"
 
+#include "src/base/faultpoint.h"
 #include "src/base/logging.h"
 #include "src/base/telemetry/trace.h"
 #include "src/base/units.h"
@@ -17,6 +18,7 @@ Rootkernel::Rootkernel(hw::Machine& machine, const RootkernelConfig& config, hw:
   metrics_.exits_ept_violation = &reg.GetCounter("vmm.exits.ept_violation");
   metrics_.epts_created = &reg.GetCounter("vmm.ept.created");
   metrics_.identity_remaps = &reg.GetCounter("vmm.ept.identity_remaps");
+  metrics_.aborts = &reg.GetCounter("vmm.aborts");
   metrics_.ept_pages = &reg.GetGauge("vmm.ept.pages");
 }
 
@@ -88,6 +90,9 @@ sb::StatusOr<uint64_t> Rootkernel::CreateProcessEpt() {
 }
 
 sb::StatusOr<uint64_t> Rootkernel::CreateBindingEpt(hw::Gpa client_cr3, hw::Gpa server_cr3) {
+  if (SB_FAULT_POINT(kFaultBindingEptRefused)) {
+    return sb::ResourceExhausted("rootkernel EPT pool exhausted (injected)");
+  }
   if (!sb::IsPageAligned(client_cr3) || !sb::IsPageAligned(server_cr3)) {
     return sb::InvalidArgument("CR3 values must be page aligned");
   }
@@ -174,6 +179,15 @@ uint64_t Rootkernel::HandleVmcall(hw::Core& core, const hw::VmExitInfo& info) {
       }
       core.vmcs().eptp_list.push_back(e);
       return core.vmcs().eptp_list.size() - 1;
+    }
+    case Hypercall::kAbortToView: {
+      if (info.arg1 >= core.vmcs().eptp_list.size()) {
+        return kHypercallError;
+      }
+      core.vmcs().active_index = static_cast<size_t>(info.arg1);
+      ++aborts_;
+      metrics_.aborts->Add();
+      return 0;
     }
     case Hypercall::kPing:
       return kPingValue;

@@ -35,10 +35,20 @@ enum class Hypercall : uint64_t {
   kEptpListClear = 4,       // () -> 0                (current core)
   kEptpListAppend = 5,      // (ept_id) -> slot index (current core)
   kPing = 6,                // () -> kPingValue
+  // Abort protocol (DESIGN.md section 10): after a server-thread crash the
+  // client is stranded in the server's EPT view; the Subkernel asks the
+  // Rootkernel to force the core back to the caller's entry view. The index
+  // is validated against the live EPTP list exactly like a VMFUNC operand.
+  kAbortToView = 7,         // (eptp index) -> 0      (current core)
 };
 
 inline constexpr uint64_t kPingValue = 0x5b5b5b5bULL;
 inline constexpr uint64_t kHypercallError = ~0ULL;
+
+// Fault point (src/base/faultpoint.h): the Rootkernel refuses a binding-EPT
+// creation, as a resource-exhausted hypervisor would. Recovery: registration
+// fails cleanly with Internal and leaves no partial binding behind.
+inline constexpr const char kFaultBindingEptRefused[] = "vmm.rootkernel.binding_ept_refused";
 
 struct RootkernelConfig {
   uint64_t reserved_bytes = 100ULL * 1024 * 1024;  // Paper: 100 MB.
@@ -82,6 +92,9 @@ class Rootkernel {
   uint64_t exits_total() const { return exits_cpuid_ + exits_vmcall_ + exits_ept_violation_; }
   void ResetExitCounters();
 
+  // Rootkernel-mediated call aborts served (kAbortToView).
+  uint64_t aborts() const { return aborts_; }
+
   // Rough footprint accounting: the paper's Rootkernel is ~1.5 KLoC. Ours
   // reports the number of EPT table pages it holds.
   size_t ept_pages_allocated() const { return frames_.allocated_frames(); }
@@ -102,6 +115,7 @@ class Rootkernel {
   uint64_t exits_cpuid_ = 0;
   uint64_t exits_vmcall_ = 0;
   uint64_t exits_ept_violation_ = 0;
+  uint64_t aborts_ = 0;
   // Registry mirrors (vmm.*) on the machine's telemetry; plain counters and
   // a Set-at-update gauge, never providers — the Rootkernel can die before
   // the machine, and a provider lambda would dangle.
@@ -111,6 +125,7 @@ class Rootkernel {
     sb::telemetry::Counter* exits_ept_violation;
     sb::telemetry::Counter* epts_created;
     sb::telemetry::Counter* identity_remaps;
+    sb::telemetry::Counter* aborts;
     sb::telemetry::Gauge* ept_pages;
   };
   Metrics metrics_;

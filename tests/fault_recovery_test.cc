@@ -1,0 +1,382 @@
+// Crash-safe IPC recovery tests: every fault point in the SkyBridge catalog
+// is armed, the injected failure observed as a non-OK Status (never an
+// SB_CHECK death), and the bridge verified healthy afterwards — EPT view
+// restored, invariants intact, subsequent calls succeed.
+
+#include "src/skybridge/skybridge.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/faultpoint.h"
+#include "src/base/telemetry/trace.h"
+#include "src/mk/scheduler.h"
+#include "src/vmm/rootkernel.h"
+
+namespace skybridge {
+namespace {
+
+using mk::CallEnv;
+using mk::Handler;
+using mk::Message;
+using sb::ErrorCode;
+using sb::kGiB;
+
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sb::fault::DisarmAll(); }
+  void TearDown() override {
+    sb::fault::DisarmAll();
+    sb::telemetry::SetTraceEnabled(false);
+    sb::telemetry::TraceClear();
+  }
+
+  void Boot(SkyBridgeConfig config = {}) {
+    sky_.reset();
+    kernel_.reset();
+    machine_.reset();
+    hw::MachineConfig mc;
+    mc.num_cores = 4;
+    mc.ram_bytes = 4 * kGiB;
+    machine_ = std::make_unique<hw::Machine>(mc);
+    kernel_ = std::make_unique<mk::Kernel>(*machine_, mk::Sel4Profile());
+    ASSERT_TRUE(kernel_->Boot().ok());
+    sky_ = std::make_unique<SkyBridge>(*kernel_, config);
+  }
+
+  struct Pair {
+    mk::Process* client;
+    mk::Process* server;
+    mk::Thread* thread;
+    ServerId sid;
+  };
+
+  Pair MakePair(Handler handler, int connections = 8) {
+    Pair p;
+    p.client = kernel_->CreateProcess("client").value();
+    p.server = kernel_->CreateProcess("server").value();
+    p.sid = sky_->RegisterServer(p.server, connections, std::move(handler)).value();
+    SB_CHECK(sky_->RegisterClient(p.client, p.sid).ok());
+    p.thread = p.client->AddThread(0);
+    SB_CHECK(kernel_->ContextSwitchTo(machine_->core(0), p.client).ok());
+    return p;
+  }
+
+  // The bridge is healthy: invariants hold, nothing in flight, and the core
+  // is back in the client's own EPT view (slot 0).
+  void ExpectHealthy() {
+    const sb::Status invariants = sky_->CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << invariants.ToString();
+    EXPECT_EQ(sky_->InFlightCalls(), 0u);
+    EXPECT_EQ(machine_->core(0).vmcs().active_index, 0u);
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<mk::Kernel> kernel_;
+  std::unique_ptr<SkyBridge> sky_;
+};
+
+Handler EchoHandler() {
+  return [](CallEnv& env) { return env.request; };
+}
+
+// ---- skybridge.handler.crash: Rootkernel-mediated abort ----
+
+TEST_F(FaultRecoveryTest, HandlerCrashAbortsAndRecovers) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
+
+  sb::fault::Arm(kFaultHandlerCrash);
+  auto crashed = sky_->DirectServerCall(p.thread, p.sid, Message(2));
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_EQ(crashed.status().code(), ErrorCode::kAborted);
+  ExpectHealthy();
+  // The abort went through the Rootkernel's hypercall, not around it.
+  EXPECT_EQ(kernel_->rootkernel()->aborts(), 1u);
+  EXPECT_EQ(machine_->telemetry().GetCounter("vmm.aborts").Value(), 1u);
+  EXPECT_EQ(sky_->stats().aborted_calls, 1u);
+
+  // Disarmed, the very next call succeeds on the same binding.
+  sb::fault::DisarmAll();
+  auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(3));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, 3u);
+  ExpectHealthy();
+}
+
+TEST_F(FaultRecoveryTest, HandlerCrashEmitsAbortTraceEvent) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  sb::fault::Arm(kFaultHandlerCrash);
+  sb::telemetry::TraceClear();
+  sb::telemetry::SetTraceEnabled(true);
+  ASSERT_FALSE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  sb::telemetry::SetTraceEnabled(false);
+  bool saw_abort = false;
+  for (const auto& r : sb::telemetry::TraceSnapshot()) {
+    if (r.type == sb::telemetry::TraceEventType::kCallAborted) {
+      saw_abort = true;
+      EXPECT_EQ(r.arg0, static_cast<uint64_t>(p.client->pid()));
+      EXPECT_EQ(r.arg1, static_cast<uint64_t>(p.server->pid()));
+    }
+  }
+  EXPECT_TRUE(saw_abort);
+}
+
+TEST_F(FaultRecoveryTest, NestedHandlerCrashAbortsInnerCallOnly) {
+  // client -> middle -> backend; the backend handler crashes. The inner call
+  // aborts back into the middle's entry view; the outer call completes.
+  Boot();
+  auto* backend = kernel_->CreateProcess("backend").value();
+  const ServerId backend_sid =
+      sky_->RegisterServer(backend, 4, [](CallEnv& env) { return env.request; }).value();
+
+  auto* middle = kernel_->CreateProcess("middle").value();
+  mk::Thread* middle_thread = middle->AddThread(0);
+  SkyBridge* sky = sky_.get();
+  sb::Status inner_status = sb::OkStatus();
+  const ServerId middle_sid =
+      sky_->RegisterServer(middle, 4,
+                           [sky, middle_thread, backend_sid, &inner_status](CallEnv& env) {
+                             auto inner =
+                                 sky->DirectServerCall(middle_thread, backend_sid, Message(7));
+                             inner_status = inner.status();
+                             return Message(inner.ok() ? 1 : 2);
+                           })
+          .value();
+  ASSERT_TRUE(sky_->RegisterClient(middle, backend_sid).ok());
+
+  auto* client = kernel_->CreateProcess("client").value();
+  mk::Thread* t = client->AddThread(0);
+  ASSERT_TRUE(sky_->RegisterClient(client, middle_sid).ok());
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+
+  // Warm both hops, then crash only the second handler invocation of the
+  // next roundtrip — that is the backend's (the middle enters first).
+  auto warm = sky_->DirectServerCall(t, middle_sid, Message(0));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_TRUE(inner_status.ok());
+
+  sb::fault::FaultSpec spec;
+  spec.nth_hit = 2;
+  sb::fault::Arm(kFaultHandlerCrash, spec);
+  auto reply = sky_->DirectServerCall(t, middle_sid, Message(0));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, 2u);  // The middle observed the inner abort.
+  EXPECT_EQ(inner_status.code(), ErrorCode::kAborted);
+  EXPECT_EQ(sky_->stats().aborted_calls, 1u);
+  ExpectHealthy();
+}
+
+TEST_F(FaultRecoveryTest, AbortUnblocksTheCallerViaTheScheduler) {
+  Boot();
+  mk::Scheduler scheduler(kernel_.get(), 0);
+  Pair p = MakePair(EchoHandler());
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+
+  sb::fault::Arm(kFaultHandlerCrash);
+  ASSERT_FALSE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  // The aborted caller was made runnable again, at the front of its queue.
+  EXPECT_EQ(scheduler.abort_unblocks(), 1u);
+  EXPECT_TRUE(scheduler.IsQueued(p.thread));
+  EXPECT_EQ(machine_->telemetry().GetCounter("mk.sched.abort_unblocks").Value(), 1u);
+
+  // The wakeup is idempotent: a second abort does not double-queue.
+  ASSERT_FALSE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  EXPECT_EQ(scheduler.abort_unblocks(), 2u);
+  EXPECT_EQ(scheduler.ready_count(), 1u);
+}
+
+// ---- skybridge.call.pre_vmfunc: stale EPTP slot between lookup and VMFUNC ----
+
+TEST_F(FaultRecoveryTest, StaleSlotRearmsTransparently) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
+
+  sb::fault::FaultSpec spec;
+  spec.nth_hit = 1;  // Evict exactly once, right before the VMFUNC.
+  sb::fault::Arm(kFaultPreVmfunc, spec);
+  auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(2));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();  // Recovered in-line.
+  EXPECT_EQ(reply->tag, 2u);
+  EXPECT_EQ(sky_->stats().stale_slot_retries, 1u);
+  ExpectHealthy();
+}
+
+TEST_F(FaultRecoveryTest, StaleSlotRetriesAreBoundedThenUnavailable) {
+  SkyBridgeConfig config;
+  config.max_stale_slot_retries = 3;
+  Boot(config);
+  Pair p = MakePair(EchoHandler());
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
+
+  sb::fault::Arm(kFaultPreVmfunc);  // Evict on every attempt: never recovers.
+  auto starved = sky_->DirectServerCall(p.thread, p.sid, Message(2));
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(sky_->stats().stale_slot_retries, 3u);
+  ExpectHealthy();
+
+  // Disarmed, the evicted binding reinstalls through the ordinary miss path.
+  sb::fault::DisarmAll();
+  auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(3));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_GE(sky_->stats().eptp_misses, 1u);
+  ExpectHealthy();
+}
+
+// ---- skybridge.gate.reply_corrupt: return-gate rejection ----
+
+TEST_F(FaultRecoveryTest, InjectedCorruptReplyRejectedAtTheGate) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
+
+  sb::fault::Arm(kFaultReplyCorrupt);
+  auto corrupt = sky_->DirectServerCall(p.thread, p.sid, Message(2));
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(sky_->stats().gate_rejections, 1u);
+  ExpectHealthy();
+
+  sb::fault::DisarmAll();
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(3)).ok());
+}
+
+TEST_F(FaultRecoveryTest, BorrowedReplyEscapingTheSliceIsStructurallyRejected) {
+  // No fault armed: the server "scribbles the descriptor" so its borrowed
+  // reply straddles the slice boundary. The gate detects it structurally.
+  Boot();
+  Handler overflowing = [](CallEnv& env) {
+    SB_CHECK(!env.reply_buffer.empty());
+    Message reply = Message::Borrowed(
+        9, std::span<const uint8_t>(env.reply_buffer.data() + env.reply_buffer.size() - 8, 16));
+    return reply;
+  };
+  Pair p = MakePair(overflowing);
+  auto escaped = sky_->DirectServerCall(p.thread, p.sid, Message(1));
+  ASSERT_FALSE(escaped.ok());
+  EXPECT_EQ(escaped.status().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(sky_->stats().gate_rejections, 1u);
+  ExpectHealthy();
+}
+
+// ---- skybridge.call.revoke_inflight + RevokeBinding semantics ----
+
+TEST_F(FaultRecoveryTest, RevokedBindingRefusesCallsUntilReRegistered) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
+  ASSERT_EQ(sky_->InstalledBindings(p.client).value(), 1u);
+
+  ASSERT_TRUE(sky_->RevokeBinding(p.client, p.sid).ok());
+  EXPECT_EQ(sky_->stats().bindings_revoked, 1u);
+  // No calls in flight: the EPTP entry is removed immediately.
+  EXPECT_EQ(sky_->InstalledBindings(p.client).value(), 0u);
+  ExpectHealthy();
+
+  auto refused = sky_->DirectServerCall(p.thread, p.sid, Message(2));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_FALSE(sky_->AcquireSendBuffer(p.thread, p.sid).ok());
+  EXPECT_GE(sky_->stats().revoked_rejections, 2u);
+
+  // Re-registration revives the binding with a fresh key; calls flow again.
+  ASSERT_TRUE(sky_->RegisterClient(p.client, p.sid).ok());
+  auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(3));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, 3u);
+  ExpectHealthy();
+}
+
+TEST_F(FaultRecoveryTest, RevocationDuringFlightDrainsThenSweeps) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
+
+  sb::fault::FaultSpec spec;
+  spec.nth_hit = 1;
+  sb::fault::Arm(kFaultRevokeInflight, spec);
+  // The call that races the revocation still completes (it is past the entry
+  // gate); the EPTP surgery waits for the drain.
+  auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(2));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, 2u);
+  EXPECT_EQ(sky_->stats().bindings_revoked, 1u);
+  // Drained: the sweep ran, the entry is gone, invariants hold.
+  EXPECT_EQ(sky_->InstalledBindings(p.client).value(), 0u);
+  ExpectHealthy();
+
+  auto refused = sky_->DirectServerCall(p.thread, p.sid, Message(3));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(FaultRecoveryTest, RevokeUnknownBindingIsNotFound) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  auto* stranger = kernel_->CreateProcess("stranger").value();
+  EXPECT_EQ(sky_->RevokeBinding(stranger, p.sid).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(sky_->RevokeBinding(p.client, p.sid + 100).code(), ErrorCode::kNotFound);
+  // Revoking twice is idempotent.
+  ASSERT_TRUE(sky_->RevokeBinding(p.client, p.sid).ok());
+  ASSERT_TRUE(sky_->RevokeBinding(p.client, p.sid).ok());
+  EXPECT_EQ(sky_->stats().bindings_revoked, 1u);
+}
+
+// ---- vmm.rootkernel.binding_ept_refused: registration-time exhaustion ----
+
+TEST_F(FaultRecoveryTest, RootkernelRefusingBindingEptFailsRegistrationCleanly) {
+  Boot();
+  auto* server = kernel_->CreateProcess("server").value();
+  auto* client = kernel_->CreateProcess("client").value();
+  const ServerId sid = sky_->RegisterServer(server, 4, EchoHandler()).value();
+
+  sb::fault::Arm(vmm::kFaultBindingEptRefused);
+  const sb::Status refused = sky_->RegisterClient(client, sid);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), ErrorCode::kInternal);
+  const sb::Status invariants = sky_->CheckInvariants();
+  EXPECT_TRUE(invariants.ok()) << invariants.ToString();
+
+  // Disarmed, the same registration succeeds and the pair is usable.
+  sb::fault::DisarmAll();
+  ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  mk::Thread* thread = client->AddThread(0);
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+  ASSERT_TRUE(sky_->DirectServerCall(thread, sid, Message(1)).ok());
+}
+
+// ---- The whole catalog is survivable ----
+
+TEST_F(FaultRecoveryTest, EveryCatalogPointRecoversWithoutDeath) {
+  Boot();
+  Pair p = MakePair(EchoHandler());
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+
+  const char* points[] = {kFaultPreVmfunc, kFaultHandlerCrash, kFaultReplyCorrupt,
+                          kFaultRevokeInflight};
+  for (const char* point : points) {
+    sb::fault::FaultSpec spec;
+    spec.nth_hit = 1;
+    sb::fault::Arm(point, spec);
+    // Armed: the call either recovers transparently or fails with a status;
+    // either way no SB_CHECK fires and the bridge stays healthy.
+    (void)sky_->DirectServerCall(p.thread, p.sid, Message(1));
+    EXPECT_GE(sb::fault::StatsFor(point).fires, 1u) << point;
+    sb::fault::DisarmAll();
+    const sb::Status invariants = sky_->CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << point << ": " << invariants.ToString();
+    EXPECT_EQ(sky_->InFlightCalls(), 0u) << point;
+    // After revoke_inflight the binding needs reviving; for the other points
+    // this is a harmless AlreadyExists.
+    (void)sky_->RegisterClient(p.client, p.sid);
+    auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(2));
+    ASSERT_TRUE(reply.ok()) << point << ": " << reply.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace skybridge

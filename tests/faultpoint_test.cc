@@ -1,0 +1,175 @@
+// Unit tests for the named, seed-driven fault-injection points
+// (src/base/faultpoint.h): trigger modes, determinism, and the --faults=
+// spec parser.
+
+#include "src/base/faultpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace sb::fault {
+namespace {
+
+constexpr char kPoint[] = "test.faultpoint.alpha";
+constexpr char kOther[] = "test.faultpoint.beta";
+
+class FaultPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FaultPointTest, DisabledPointNeverFiresAndCountsNothing) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(SB_FAULT_POINT(kPoint));
+  }
+  const PointStats stats = StatsFor(kPoint);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.fires, 0u);
+  EXPECT_TRUE(ArmedPoints().empty());
+}
+
+TEST_F(FaultPointTest, ArmedPointOnlyAffectsItself) {
+  Arm(kPoint);  // Default spec: probability 1 — fires on every hit.
+  EXPECT_TRUE(SB_FAULT_POINT(kPoint));
+  EXPECT_FALSE(SB_FAULT_POINT(kOther));
+  EXPECT_EQ(StatsFor(kPoint).fires, 1u);
+  EXPECT_EQ(StatsFor(kOther).hits, 0u);
+}
+
+TEST_F(FaultPointTest, NthHitFiresExactlyOnce) {
+  FaultSpec spec;
+  spec.nth_hit = 3;
+  Arm(kPoint, spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(SB_FAULT_POINT(kPoint));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+  const PointStats stats = StatsFor(kPoint);
+  EXPECT_EQ(stats.hits, 6u);
+  EXPECT_EQ(stats.fires, 1u);
+}
+
+TEST_F(FaultPointTest, MaxFiresCapsProbabilityMode) {
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.max_fires = 2;
+  Arm(kPoint, spec);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    fires += SB_FAULT_POINT(kPoint) ? 1 : 0;
+  }
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(StatsFor(kPoint).hits, 10u);
+}
+
+TEST_F(FaultPointTest, ProbabilityStreamIsSeedDeterministic) {
+  FaultSpec spec;
+  spec.probability = 0.3;
+  auto draw_pattern = [&] {
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) {
+      pattern.push_back(SB_FAULT_POINT(kPoint));
+    }
+    return pattern;
+  };
+  SetSeed(1234);
+  Arm(kPoint, spec);
+  const std::vector<bool> first = draw_pattern();
+  SetSeed(1234);
+  Arm(kPoint, spec);  // Re-arm resets the Rng stream.
+  EXPECT_EQ(draw_pattern(), first);
+  // A different seed produces a different pattern (overwhelmingly likely
+  // over 200 draws at p=0.3).
+  SetSeed(99);
+  Arm(kPoint, spec);
+  EXPECT_NE(draw_pattern(), first);
+  // The fire rate is in the right ballpark.
+  const auto fires = static_cast<size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 20u);
+  EXPECT_LT(fires, 120u);
+}
+
+TEST_F(FaultPointTest, StreamsAreIndependentPerPoint) {
+  FaultSpec spec;
+  spec.probability = 0.5;
+  SetSeed(7);
+  Arm(kPoint, spec);
+  Arm(kOther, spec);
+  std::vector<bool> a;
+  std::vector<bool> b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(SB_FAULT_POINT(kPoint));
+    b.push_back(SB_FAULT_POINT(kOther));
+  }
+  // Same seed, but the per-point name hash decorrelates the streams.
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultPointTest, DisarmStopsFiringAndClearsStats) {
+  Arm(kPoint);
+  EXPECT_TRUE(SB_FAULT_POINT(kPoint));
+  Disarm(kPoint);
+  EXPECT_FALSE(SB_FAULT_POINT(kPoint));
+  EXPECT_EQ(StatsFor(kPoint).hits, 0u);
+  EXPECT_TRUE(ArmedPoints().empty());
+}
+
+TEST_F(FaultPointTest, DisarmAllClearsEverything) {
+  Arm(kPoint);
+  Arm(kOther);
+  EXPECT_EQ(ArmedPoints().size(), 2u);
+  DisarmAll();
+  EXPECT_TRUE(ArmedPoints().empty());
+  EXPECT_FALSE(SB_FAULT_POINT(kPoint));
+  EXPECT_FALSE(SB_FAULT_POINT(kOther));
+}
+
+TEST_F(FaultPointTest, ArmFromSpecParsesAllEntryForms) {
+  ASSERT_TRUE(ArmFromSpec("seed=42,test.faultpoint.alpha:n=2,test.faultpoint.beta:p=0.25,"
+                          "test.faultpoint.gamma:always")
+                  .ok());
+  const std::vector<std::string> armed = ArmedPoints();
+  EXPECT_EQ(armed.size(), 3u);
+  EXPECT_NE(std::find(armed.begin(), armed.end(), kPoint), armed.end());
+  // nth_hit=2: second hit fires.
+  EXPECT_FALSE(SB_FAULT_POINT(kPoint));
+  EXPECT_TRUE(SB_FAULT_POINT(kPoint));
+  // always: every hit fires.
+  EXPECT_TRUE(SB_FAULT_POINT("test.faultpoint.gamma"));
+  EXPECT_TRUE(SB_FAULT_POINT("test.faultpoint.gamma"));
+}
+
+TEST_F(FaultPointTest, ArmFromSpecRejectsMalformedEntries) {
+  EXPECT_FALSE(ArmFromSpec("no-colon-no-seed").ok());
+  EXPECT_FALSE(ArmFromSpec("p:p=1.5").ok());     // Probability out of range.
+  EXPECT_FALSE(ArmFromSpec("p:p=nope").ok());    // Not a float.
+  EXPECT_FALSE(ArmFromSpec("p:n=0").ok());       // nth must be nonzero.
+  EXPECT_FALSE(ArmFromSpec("seed=abc").ok());    // Not an integer.
+  EXPECT_FALSE(ArmFromSpec("p:q=1").ok());       // Unknown trigger.
+  EXPECT_FALSE(ArmFromSpec(":p=1").ok());        // Empty point name.
+}
+
+TEST_F(FaultPointTest, ArmFromSpecSeedMatchesSetSeed) {
+  FaultSpec spec;
+  spec.probability = 0.4;
+  auto draw = [&] {
+    std::vector<bool> pattern;
+    for (int i = 0; i < 100; ++i) {
+      pattern.push_back(SB_FAULT_POINT(kPoint));
+    }
+    return pattern;
+  };
+  SetSeed(777);
+  Arm(kPoint, spec);
+  const std::vector<bool> via_api = draw();
+  DisarmAll();
+  ASSERT_TRUE(ArmFromSpec("seed=777,test.faultpoint.alpha:p=0.4").ok());
+  EXPECT_EQ(draw(), via_api);
+}
+
+}  // namespace
+}  // namespace sb::fault

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -378,6 +379,102 @@ TEST_F(SkyBridgeTraceTest, RegistryCountsMatchStatsSnapshot) {
   EXPECT_LE(total.Percentile(99), 2 * total.Max());
   // The machine-level VMFUNC gauge saw the two switches per call.
   EXPECT_GE(reg.GetGauge("hw.core.vmfuncs").Value(), 10u);
+}
+
+// ---- The fatal path: SB_CHECK failure dumps the flight recorder ----
+
+// Capture-less marker hook (CheckFailureHook is a plain function pointer).
+void MarkerHook() { std::fputs("HOOK-RAN\n", stderr); }
+
+// A hook that itself dies: the fatal path must not re-enter it.
+void SelfFailingHook() {
+  std::fputs("HOOK-RAN\n", stderr);
+  SB_CHECK(false) << "nested-fatal";
+}
+
+// Saves and restores the process-global hook so these tests compose with
+// the SkyBridge fixtures (which install the trace dump hook on first boot).
+class CheckFailureHookTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = SetCheckFailureHook(nullptr); }
+  void TearDown() override {
+    SetCheckFailureHook(saved_);
+    SetTraceEnabled(false);
+    TraceClear();
+  }
+
+  CheckFailureHook saved_ = nullptr;
+};
+
+TEST_F(CheckFailureHookTest, SetAndGetRoundTrip) {
+  EXPECT_EQ(GetCheckFailureHook(), nullptr);
+  EXPECT_EQ(SetCheckFailureHook(&MarkerHook), nullptr);
+  EXPECT_EQ(GetCheckFailureHook(), &MarkerHook);
+  // Set returns the previous hook; nullptr clears.
+  EXPECT_EQ(SetCheckFailureHook(nullptr), &MarkerHook);
+  EXPECT_EQ(GetCheckFailureHook(), nullptr);
+}
+
+TEST_F(CheckFailureHookTest, InstallTraceCrashDumpClaimsOnlyTheFreeSlot) {
+  // A custom hook is never clobbered.
+  SetCheckFailureHook(&MarkerHook);
+  InstallTraceCrashDump();
+  EXPECT_EQ(GetCheckFailureHook(), &MarkerHook);
+
+  // With the slot free, the trace dump registers; a second install is a
+  // no-op (idempotent re-registration after the fatal path self-clears).
+  SetCheckFailureHook(nullptr);
+  InstallTraceCrashDump();
+  const CheckFailureHook installed = GetCheckFailureHook();
+  ASSERT_NE(installed, nullptr);
+  EXPECT_NE(installed, &MarkerHook);
+  InstallTraceCrashDump();
+  EXPECT_EQ(GetCheckFailureHook(), installed);
+}
+
+using CheckFailureHookDeathTest = CheckFailureHookTest;
+
+TEST_F(CheckFailureHookDeathTest, FatalCheckDumpsTheFlightRecorder) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SetTraceEnabled(true);
+        TraceClear();
+        SB_TRACE_EVENT(TraceEventType::kCallStart, 100, 0, 7, 8);
+        SB_TRACE_EVENT(TraceEventType::kCallEnd, 200, 0, 7, 8);
+        SetCheckFailureHook(nullptr);
+        InstallTraceCrashDump();
+        SB_CHECK(false) << "flight-recorder-test";
+      },
+      "flight-recorder-test[^\r]*\r?\n[^\r]*trace flight recorder \\(2 of 2 events\\)");
+}
+
+TEST_F(CheckFailureHookDeathTest, DumpNamesTheRecordedEvents) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SetTraceEnabled(true);
+        TraceClear();
+        SB_TRACE_EVENT(TraceEventType::kCallAborted, 42, 1, 3, 4);
+        SetCheckFailureHook(nullptr);
+        InstallTraceCrashDump();
+        SB_CHECK(false) << "boom";
+      },
+      "seq=0 cycles=42 core=1 call_aborted arg0=3 arg1=4");
+}
+
+TEST_F(CheckFailureHookDeathTest, HookRunsExactlyOnceEvenWhenItFailsACheck) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The fatal path exchanges the hook slot to nullptr before calling it, so
+  // the nested SB_CHECK inside the hook aborts directly instead of
+  // recursing. One marker, then the nested message, then death — a re-entry
+  // would hang or overflow the stack and never match.
+  EXPECT_DEATH(
+      {
+        SetCheckFailureHook(&SelfFailingHook);
+        SB_CHECK(false) << "outer-fatal";
+      },
+      "outer-fatal[^\r]*\r?\nHOOK-RAN\r?\n[^\r]*nested-fatal");
 }
 
 }  // namespace
