@@ -181,6 +181,11 @@ sb::StatusOr<CapSlot> Kernel::GrantEndpointCap(Process* to, uint64_t endpoint_id
 }
 
 sb::Status Kernel::ContextSwitchTo(hw::Core& core, Process* process, CostBreakdown* bd) {
+  return ContextSwitchInternal(core, process, bd, EptpInstallReason::kDispatch);
+}
+
+sb::Status Kernel::ContextSwitchInternal(hw::Core& core, Process* process, CostBreakdown* bd,
+                                         EptpInstallReason reason) {
   SwitchAddressSpace(core, process, bd);
   current_[static_cast<size_t>(core.id())] = process;
   if (rootkernel_ != nullptr && !process->eptp_list_ids().empty()) {
@@ -196,8 +201,38 @@ sb::Status Kernel::ContextSwitchTo(hw::Core& core, Process* process, CostBreakdo
       }
     }
     core.vmcs().active_index = 0;
+    if (eptp_install_hook_) {
+      eptp_install_hook_(core, process, reason);
+    }
   }
   return sb::OkStatus();
+}
+
+sb::Status Kernel::MigrateThread(Thread* thread, int dest_core, CostBreakdown* bd,
+                                 bool eager_install) {
+  if (thread == nullptr) {
+    return sb::InvalidArgument("no thread to migrate");
+  }
+  if (dest_core < 0 || dest_core >= machine_->num_cores()) {
+    return sb::InvalidArgument("destination core out of range");
+  }
+  if (thread->core_id() == dest_core) {
+    return sb::OkStatus();
+  }
+  thread->set_core_id(dest_core);
+  if (!eager_install) {
+    // Lazy mode: the next call finds the destination core running another
+    // process (dispatch switch) or a stale EPTP slot (retry fallback) and
+    // recovers there.
+    return sb::OkStatus();
+  }
+  // Eager mode: dispatch the process on the destination core now, so its
+  // EPTP list is installed before the first post-migration call.
+  if (current_process(dest_core) == thread->process()) {
+    return sb::OkStatus();  // Already live (and installed) on the destination.
+  }
+  hw::Core& core = machine_->core(dest_core);
+  return ContextSwitchInternal(core, thread->process(), bd, EptpInstallReason::kMigration);
 }
 
 void Kernel::RegisterScheduler(int core_id, Scheduler* scheduler) {

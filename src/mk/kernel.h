@@ -166,6 +166,25 @@ class Kernel {
   sb::Status ContextSwitchTo(hw::Core& core, Process* process, CostBreakdown* bd = nullptr);
   Process* current_process(int core_id) const { return current_[static_cast<size_t>(core_id)]; }
 
+  // Why an EPTP list was (re)installed on a core: the ordinary dispatch
+  // tail, or an eager re-install on a thread's new core after MigrateThread.
+  enum class EptpInstallReason { kDispatch, kMigration };
+  // Observer fired after every virtualized context switch installs a
+  // process's EPTP list (SkyBridge counts eager migration installs against
+  // the lazy stale-slot fallback). One hook; nullptr uninstalls.
+  using EptpInstallHook = std::function<void(hw::Core&, Process*, EptpInstallReason)>;
+  void SetEptpInstallHook(EptpInstallHook hook) { eptp_install_hook_ = std::move(hook); }
+
+  // ---- Thread migration (per-core control plane, DESIGN.md section 11) ----
+  // Moves `thread` to `dest_core`. With `eager_install` (the default) the
+  // scheduler hook semantics apply: the thread's process is dispatched on
+  // the destination core immediately, re-installing its EPTP list there so
+  // the first post-migration call pays no stale-slot recovery. With it
+  // false, only the thread's core id moves — the next call recovers lazily
+  // through the dispatch switch / stale-slot retry fallback.
+  sb::Status MigrateThread(Thread* thread, int dest_core, CostBreakdown* bd = nullptr,
+                           bool eager_install = true);
+
   // ---- Scheduler registry ----
   // Schedulers self-register at construction so kernel-initiated wakeups
   // (e.g. unblocking the caller of an aborted SkyBridge call) can reach the
@@ -215,6 +234,8 @@ class Kernel {
 
  private:
   sb::Status SetupKernelAddressSpace();
+  sb::Status ContextSwitchInternal(hw::Core& core, Process* process, CostBreakdown* bd,
+                                   EptpInstallReason reason);
   void TouchKernelEntry(hw::Core& core);
   void ChargeCopies(hw::Core& core, const Message& msg, int copies, CostBreakdown* bd);
   sb::StatusOr<Message> ServeLocal(hw::Core& core, Endpoint& ep, Process* caller_proc,
@@ -251,6 +272,7 @@ class Kernel {
     sb::telemetry::Counter* context_switches;
   };
   Metrics metrics_;
+  EptpInstallHook eptp_install_hook_;
   CapSlot last_granted_slot_ = ~0u;
   bool booted_ = false;
 };

@@ -58,6 +58,9 @@ class SimThread {
 
   const std::string& name() const { return name_; }
   hw::Core& core() { return *core_; }
+  // Re-pins the thread to another simulated core (migration benches). Takes
+  // effect at the next Step(); the thread's virtual time carries over.
+  void set_core(hw::Core* core) { core_ = core; }
   uint64_t now() const { return now_; }
   void set_now(uint64_t t) { now_ = t; }
   bool done() const { return done_; }

@@ -1,0 +1,58 @@
+#include "src/skybridge/buffers.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/units.h"
+
+namespace skybridge {
+
+BufferPool::BufferPool(mk::Kernel& kernel, const SkyBridgeConfig& config)
+    : kernel_(&kernel), config_(&config), next_va_(mk::kSharedBufVa) {}
+
+sb::StatusOr<BufferPool::Region> BufferPool::CreateRegion(mk::Process* client,
+                                                          mk::Process* server) {
+  // Shared buffer region for long messages: same VA, same frames, both
+  // processes. The region is carved into per-connection slices (Section 6.3
+  // per-thread buffers): `buffer_slices` page-aligned slices, each with
+  // shared_buffer_bytes of capacity, so concurrent connections of this
+  // binding never alias one buffer.
+  Region region;
+  region.slice_stride = sb::PageUp(config_->shared_buffer_bytes);
+  const uint64_t num_slices = std::max<uint64_t>(1, config_->buffer_slices);
+  region.num_slices = static_cast<uint32_t>(num_slices);
+  const uint64_t region_bytes = region.slice_stride * num_slices;
+  region.va = next_va_;
+  next_va_ += region_bytes;
+  SB_ASSIGN_OR_RETURN(const hw::Gpa buf_gpa,
+                      client->address_space().MapAnonymous(
+                          region.va, region_bytes, hw::PageFlags{}));
+  SB_RETURN_IF_ERROR(server->address_space().MapRange(
+      region.va, buf_gpa, region_bytes, hw::PageFlags{}));
+  // Give the region one host-contiguous backing so in-place messages can be
+  // exposed as a single span. Guest frames are identity-mapped by the base
+  // EPT (GPA == HPA), so the GPA range addresses host memory directly.
+  kernel_->machine().mem().BackContiguous(buf_gpa, region_bytes);
+  region.host_base = kernel_->machine().mem().ContiguousSpan(buf_gpa, region_bytes);
+  SB_CHECK(region.host_base != nullptr) << "shared buffer region not host-contiguous";
+  return region;
+}
+
+SliceRef BufferPool::SliceOf(const Binding& binding, const mk::Thread* caller) const {
+  SliceRef ref;
+  if (binding.shared_buf == 0) {
+    return ref;  // Chain bindings carry no buffer.
+  }
+  const uint64_t slices = binding.num_slices != 0 ? binding.num_slices : 1;
+  const uint64_t stride = binding.slice_stride != 0 ? binding.slice_stride
+                                                    : sb::PageUp(config_->shared_buffer_bytes);
+  const uint64_t index = static_cast<uint64_t>(caller->tid()) % slices;
+  ref.va = binding.shared_buf + index * stride;
+  if (binding.host_base != nullptr) {
+    ref.host = std::span<uint8_t>(binding.host_base + index * stride,
+                                  static_cast<size_t>(config_->shared_buffer_bytes));
+  }
+  return ref;
+}
+
+}  // namespace skybridge

@@ -1,0 +1,61 @@
+// Shared-buffer plane: per-binding buffer regions carved into
+// per-connection slices (paper Section 6.3 per-thread buffers), and the
+// slice resolution the in-place zero-copy API builds on.
+//
+// Region layout is fixed at registration; steady-state calls only *read*
+// binding fields and compute a slice offset from the caller's tid, so slice
+// resolution is safe under concurrent calls on different cores.
+
+#ifndef SRC_SKYBRIDGE_BUFFERS_H_
+#define SRC_SKYBRIDGE_BUFFERS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/base/status.h"
+#include "src/mk/kernel.h"
+#include "src/skybridge/config.h"
+#include "src/skybridge/routing.h"
+
+namespace skybridge {
+
+// The caller's per-connection slice of a binding's buffer region: its
+// guest VA (same in client and server) and, when the region has contiguous
+// host backing, the host view used for borrowed messages. Both empty/0 for
+// bufferless (chain) bindings.
+struct SliceRef {
+  hw::Gva va = 0;
+  std::span<uint8_t> host;
+};
+
+class BufferPool {
+ public:
+  BufferPool(mk::Kernel& kernel, const SkyBridgeConfig& config);
+
+  // A freshly mapped shared-buffer region: base VA (same in both address
+  // spaces), its slice geometry, and the host-contiguous view.
+  struct Region {
+    hw::Gva va = 0;
+    uint64_t slice_stride = 0;
+    uint32_t num_slices = 0;
+    uint8_t* host_base = nullptr;
+  };
+
+  // Registration-time (slow path): maps a region at the same VA in client
+  // and server, gives it one host-contiguous backing and carves it into
+  // `buffer_slices` page-aligned slices of shared_buffer_bytes capacity.
+  sb::StatusOr<Region> CreateRegion(mk::Process* client, mk::Process* server);
+
+  // The caller's slice of `binding`'s region (thread t -> slice
+  // t % num_slices). Empty for bufferless (chain) bindings.
+  SliceRef SliceOf(const Binding& binding, const mk::Thread* caller) const;
+
+ private:
+  mk::Kernel* kernel_;
+  const SkyBridgeConfig* config_;
+  hw::Gva next_va_;
+};
+
+}  // namespace skybridge
+
+#endif  // SRC_SKYBRIDGE_BUFFERS_H_

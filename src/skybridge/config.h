@@ -1,0 +1,86 @@
+// SkyBridge library-wide types shared by the control-plane modules
+// (routing, gate, buffers) and the public facade in skybridge.h.
+//
+// Kept free of any module dependency so routing.h / gate.h / buffers.h can
+// include it without cycling back into skybridge.h.
+
+#ifndef SRC_SKYBRIDGE_CONFIG_H_
+#define SRC_SKYBRIDGE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/hw/vmcs.h"
+
+namespace skybridge {
+
+using ServerId = uint64_t;
+
+// ---- Gate-frame layout constants (registration writes, the gate reads) ----
+// Per-connection server stack size (Section 4.4).
+inline constexpr uint64_t kServerStackBytes = 64 * 1024;
+// Calling-key table entry: {key, client pid}.
+inline constexpr uint64_t kKeySlotBytes = 16;
+
+// ---- Fault-point catalog (src/base/faultpoint.h, DESIGN.md section 10) ----
+// Each point has a tested recovery path; arming one must never turn into an
+// SB_CHECK death.
+//
+// The caller's cached EPTP slot is evicted between route lookup and VMFUNC
+// (a concurrent registration LRU-evicted the binding). Recovery: detect the
+// stale slot, re-arm via the slowpath with bounded backoff; the call retries
+// transparently or fails Unavailable after max_stale_slot_retries.
+inline constexpr const char kFaultPreVmfunc[] = "skybridge.call.pre_vmfunc";
+// The server thread crashes mid-handler, stranding the client in the
+// server's address space. Recovery: Rootkernel-mediated abort (kAbortToView)
+// restores the client's EPT view, the trampoline frame is popped, the kernel
+// unblocks the caller and the call returns Status::Aborted.
+inline constexpr const char kFaultHandlerCrash[] = "skybridge.handler.crash";
+// The server scribbles the reply descriptor so the reply escapes the
+// caller's shared-buffer slice. Recovery: the return gate rejects the reply
+// — after the EPT view is restored — with a gate_rejections metric.
+inline constexpr const char kFaultReplyCorrupt[] = "skybridge.gate.reply_corrupt";
+// The caller's binding is revoked while its call is in flight. Recovery:
+// the in-flight call drains normally; EPTP-list surgery is deferred to the
+// drain and new calls are refused with PermissionDenied.
+inline constexpr const char kFaultRevokeInflight[] = "skybridge.call.revoke_inflight";
+
+struct SkyBridgeConfig {
+  // Maximum EPTP list slots a client may occupy (hardware limit 512). The
+  // library LRU-evicts bindings beyond this (paper Section 10 future work).
+  size_t eptp_capacity = hw::kEptpListCapacity;
+  // Per-(binding, connection) shared buffer for long messages.
+  uint64_t shared_buffer_bytes = 64 * 1024;
+  // Connection slices carved out of each binding's buffer region (paper
+  // Section 6.3 per-thread buffers): thread t uses slice t % buffer_slices,
+  // each slice holding shared_buffer_bytes, so concurrent connections of one
+  // binding stop aliasing a single buffer.
+  uint64_t buffer_slices = 4;
+  // Ablation switch: model the legacy two-copy long path (client WriteVirt
+  // in, server WriteVirt reply, client ReadVirt out into the returned
+  // message). Off by default — the handler gets a borrowed view over the
+  // slice and the client consumes the reply straight from the buffer, which
+  // is the paper's one-copy claim; pair with the in-place API for zero-copy.
+  bool legacy_two_copy = false;
+  // Enforce calling-key checks (ablation switch).
+  bool calling_keys = true;
+  // Rewrite process binaries at registration (ablation switch; disabling is
+  // insecure and exists only to measure the cost).
+  bool rewrite_binaries = true;
+  // DoS defence: force return to the client if a handler runs longer.
+  uint64_t timeout_cycles = 1ULL << 32;
+  uint64_t key_seed = 0x5eedULL;
+  // Worker threads for the registration-scan pool. A fixed count — never
+  // derived from std::thread::hardware_concurrency — so scan fan-out (and
+  // the scan_threads gauge tests assert on) matches between a 2-vCPU CI
+  // runner and a large workstation.
+  int scan_pool_threads = 4;
+  // Bounded backoff for re-arming a binding whose cached EPTP slot went
+  // stale between lookup and VMFUNC (concurrent eviction). After this many
+  // slowpath re-installs the call fails Unavailable.
+  uint64_t max_stale_slot_retries = 3;
+};
+
+}  // namespace skybridge
+
+#endif  // SRC_SKYBRIDGE_CONFIG_H_

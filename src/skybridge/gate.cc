@@ -1,0 +1,148 @@
+#include "src/skybridge/gate.h"
+
+#include "src/base/faultpoint.h"
+#include "src/base/logging.h"
+#include "src/base/telemetry/trace.h"
+#include "src/vmm/rootkernel.h"
+
+namespace skybridge {
+namespace {
+
+// Section 6.3: the non-VMFUNC trampoline work costs 64 cycles per direction.
+// The charged memory traffic (trampoline i-fetch, calling-key table read,
+// stack install) accounts for ~20 of those when warm, so the flat charge is
+// the remainder — the measured roundtrip lands on 2 x (134 + 64) = 396.
+constexpr uint64_t kTrampolineLegCycles = 44;
+
+using sb::telemetry::TraceEventType;
+
+}  // namespace
+
+Gate::Gate(mk::Kernel& kernel, const SkyBridgeConfig& config)
+    : kernel_(&kernel), config_(&config) {
+  sb::telemetry::Registry& reg = kernel.machine().telemetry();
+  aborted_calls_ = &reg.GetCounter("skybridge.ipc.aborted_calls");
+  phase_vmfunc_ = &reg.GetHistogram("skybridge.phase.vmfunc");
+  phase_trampoline_ = &reg.GetHistogram("skybridge.phase.trampoline");
+  phase_copy_ = &reg.GetHistogram("skybridge.phase.copy");
+  phase_syscall_ = &reg.GetHistogram("skybridge.phase.syscall");
+  phase_total_ = &reg.GetHistogram("skybridge.phase.total");
+}
+
+void Gate::ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd) const {
+  core.AdvanceCycles(kTrampolineLegCycles);
+  (void)core.FetchCode(mk::kTrampolineVa, 128);
+  if (bd != nullptr) {
+    bd->others += kTrampolineLegCycles;
+  }
+}
+
+sb::Status Gate::EnterServer(CallContext& ctx) const {
+  hw::Core& core = *ctx.core;
+  const uint64_t before = core.cycles();
+  SB_RETURN_IF_ERROR(core.Vmfunc(0, ctx.route->eptp_slot));
+  ctx.pbd->vmfunc += core.cycles() - before;
+  SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), ctx.route->eptp_slot);
+  return sb::OkStatus();
+}
+
+sb::Status Gate::ReturnToEntry(CallContext& ctx) const {
+  hw::Core& core = *ctx.core;
+  const uint64_t t0 = core.cycles();
+  SB_RETURN_IF_ERROR(core.Vmfunc(0, static_cast<uint32_t>(ctx.return_index)));
+  ctx.pbd->vmfunc += core.cycles() - t0;
+  SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), ctx.return_index);
+  ChargeTrampolineLeg(core, ctx.pbd);
+  return sb::OkStatus();
+}
+
+bool Gate::CheckCallingKey(CallContext& ctx) const {
+  if (!config_->calling_keys) {
+    return true;
+  }
+  hw::Core& core = *ctx.core;
+  const hw::Gva slot_va = mk::kCallingKeyTableVa + ctx.perm->key_slot * kKeySlotBytes;
+  auto stored = core.ReadVirtU64(slot_va);
+  if (!stored.ok()) {
+    return false;
+  }
+  core.AdvanceCycles(8);  // Compare + branch.
+  return *stored == ctx.perm->server_key;
+}
+
+void Gate::VerifyReturnKey(CallContext& ctx) const {
+  if (!config_->calling_keys) {
+    return;
+  }
+  // The client verifies the echoed per-call key (illegal-return defence).
+  ctx.core->AdvanceCycles(8);
+  (void)ctx.client_key;
+}
+
+sb::Status Gate::AbortServerCrash(CallContext& ctx) const {
+  hw::Core& core = *ctx.core;
+  // The server thread dies mid-handler, stranding the client in the
+  // server's address space. The Rootkernel mediates the abort: restore the
+  // client's entry view, pop the trampoline frame, wake the blocked caller
+  // and surface Aborted instead of a wedged call.
+  aborted_calls_->Add();
+  SB_TRACE_EVENT(TraceEventType::kCallAborted, core.cycles(), core.id(), ctx.proc->pid(),
+                 ctx.server->process->pid());
+  SB_LOG(kDebug) << "handler crash " << sb::kv("client", ctx.proc->pid())
+                 << " " << sb::kv("server", ctx.server->process->pid());
+  const uint64_t abort_start = core.cycles();
+  if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kAbortToView),
+                  static_cast<uint64_t>(ctx.return_index)) == vmm::kHypercallError) {
+    return sb::Internal("rootkernel refused the abort view restore");
+  }
+  ctx.pbd->others += core.cycles() - abort_start;
+  ChargeTrampolineLeg(core, ctx.pbd);  // The popped frame's restore leg.
+  kernel_->FinishAbortedCall(core, ctx.caller, ctx.pbd);
+  RecordPhases(ctx);
+  return sb::Aborted("server thread crashed mid-handler; call aborted");
+}
+
+Gate::ReplyVerdict Gate::ClassifyReply(const CallContext& ctx, const mk::Message& reply) const {
+  ReplyVerdict verdict;
+  // A borrowed reply whose bytes already live inside this connection's slice
+  // was built in place: the reply copy is skipped entirely.
+  if (!ctx.slice.host.empty() && reply.borrowed() && !reply.view.empty()) {
+    const uint8_t* base = ctx.slice.host.data();
+    const uint8_t* p = reply.view.data();
+    verdict.in_place = p >= base && p + reply.view.size() <= base + ctx.slice.host.size();
+  }
+  // Return-gate integrity: a borrowed reply that straddles the slice
+  // boundary is a corrupt descriptor — the server scribbled the pointer or
+  // the length. Detected structurally here, or injected by
+  // gate.reply_corrupt; either way the reply is rejected after the EPT view
+  // is restored, never delivered.
+  verdict.corrupt = SB_FAULT_POINT(kFaultReplyCorrupt);
+  if (!verdict.corrupt && !ctx.slice.host.empty() && reply.borrowed() && !reply.view.empty() &&
+      !verdict.in_place) {
+    const uint8_t* base = ctx.slice.host.data();
+    const uint8_t* p = reply.view.data();
+    verdict.corrupt = p < base + ctx.slice.host.size() && p + reply.view.size() > base;
+  }
+  return verdict;
+}
+
+void Gate::RecordPhases(const CallContext& ctx) const {
+  phase_vmfunc_->Record(ctx.pbd->vmfunc - ctx.bd_before.vmfunc);
+  phase_trampoline_->Record(ctx.pbd->others - ctx.bd_before.others);
+  phase_copy_->Record(ctx.pbd->copy - ctx.bd_before.copy);
+  phase_syscall_->Record(ctx.pbd->syscall_sysret - ctx.bd_before.syscall_sysret);
+  phase_total_->Record(ctx.core->cycles() - ctx.start_cycles);
+}
+
+uint64_t Gate::PerCallKey(const mk::Thread& caller, uint64_t cycles) {
+  uint64_t x = (static_cast<uint64_t>(caller.tid()) << 32) ^ cycles ^
+               (reinterpret_cast<uintptr_t>(&caller) * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace skybridge

@@ -1,0 +1,120 @@
+// Gate plane: the VMFUNC entry/return legs, trampoline cost model,
+// calling-key check, abort/unwind for a crashed handler, return-gate reply
+// validation and per-call phase attribution.
+//
+// One typed CallContext threads the per-call state through the pipeline —
+// every field lives on the caller's stack, so the gate itself holds no
+// per-call mutable state and concurrent calls on different simulated cores
+// only share the (sharded, atomic) telemetry handles.
+
+#ifndef SRC_SKYBRIDGE_GATE_H_
+#define SRC_SKYBRIDGE_GATE_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/base/telemetry/metrics.h"
+#include "src/mk/kernel.h"
+#include "src/skybridge/buffers.h"
+#include "src/skybridge/config.h"
+#include "src/skybridge/routing.h"
+
+namespace skybridge {
+
+// Per-call state, built up stage by stage by the DirectServerCall pipeline
+// (resolve route -> prepare request -> arm gate -> server side -> return
+// gate). Replaces the tangle of locals the call body used to carry.
+struct CallContext {
+  // ---- Call identity (fixed at entry) ----
+  mk::Thread* caller = nullptr;
+  ServerId server_id = 0;
+  ServerEntry* server = nullptr;
+  mk::Process* proc = nullptr;    // caller->process()
+  hw::Core* core = nullptr;       // The caller's core for the whole call.
+
+  // ---- Routing ----
+  Binding* perm = nullptr;    // Authorizing binding (caller's registration).
+  Binding* route = nullptr;   // Routed binding (chain binding when nested).
+  mk::Process* origin = nullptr;  // Process whose CR3 is live at VMFUNC time.
+  bool nested = false;
+
+  // ---- Request staging ----
+  SliceRef slice;             // Caller's per-connection buffer slice.
+  const mk::Message* request = nullptr;
+  mk::Message inplace_msg;    // Storage when the request is a borrowed view.
+  bool in_place = false;
+  bool long_msg = false;
+
+  // ---- Gate frame ----
+  uint64_t entry_ept = 0;     // EPT active at entry; we must return to it.
+  size_t return_index = 0;    // EPTP slot the return VMFUNC targets.
+  uint64_t client_key = 0;    // Per-call key the server echoes on return.
+  uint64_t handler_start = 0;
+  bool timed_out = false;
+
+  // ---- Phase attribution ----
+  // Deltas against bd_before feed the per-phase histograms; pbd points at
+  // the caller's breakdown when one was passed, else at local_bd.
+  mk::CostBreakdown local_bd;
+  mk::CostBreakdown* pbd = nullptr;
+  mk::CostBreakdown bd_before;
+  uint64_t start_cycles = 0;
+};
+
+class Gate {
+ public:
+  Gate(mk::Kernel& kernel, const SkyBridgeConfig& config);
+
+  // The trampoline leg costs: 64 cycles of save/restore + stack install per
+  // direction (Section 6.3) plus the i-side traffic of the trampoline page.
+  void ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd) const;
+
+  // Entry leg: VMFUNC into the routed binding's EPT view.
+  sb::Status EnterServer(CallContext& ctx) const;
+
+  // Return leg: VMFUNC back to the entry view + the restore trampoline leg.
+  sb::Status ReturnToEntry(CallContext& ctx) const;
+
+  // Server-side calling-key check against the key table (Section 4.4).
+  // True when keys are disabled or the presented key matches.
+  bool CheckCallingKey(CallContext& ctx) const;
+
+  // Client-side echo verification of the per-call key (illegal-return
+  // defence); charges the compare.
+  void VerifyReturnKey(CallContext& ctx) const;
+
+  // Unwind for a handler that died mid-call: Rootkernel-mediated view
+  // restore (kAbortToView), popped-frame trampoline leg, kernel unwind.
+  // Returns the Aborted status the call surfaces (Internal if the
+  // Rootkernel refuses the restore).
+  sb::Status AbortServerCrash(CallContext& ctx) const;
+
+  // Return-gate structural validation of a borrowed reply descriptor.
+  struct ReplyVerdict {
+    bool in_place = false;  // Reply bytes already live inside the slice.
+    bool corrupt = false;   // Descriptor escapes / straddles the slice.
+  };
+  ReplyVerdict ClassifyReply(const CallContext& ctx, const mk::Message& reply) const;
+
+  // Folds this call's phase deltas into the per-phase histograms at exit.
+  void RecordPhases(const CallContext& ctx) const;
+
+  // Per-call client key (the server must echo it on return). A pure
+  // splitmix64 mix of the caller identity and the entry cycle — call-local,
+  // so concurrent calls on different cores draw keys without sharing an RNG.
+  static uint64_t PerCallKey(const mk::Thread& caller, uint64_t cycles);
+
+ private:
+  mk::Kernel* kernel_;
+  const SkyBridgeConfig* config_;
+  sb::telemetry::Counter* aborted_calls_;
+  sb::telemetry::LatencyHistogram* phase_vmfunc_;
+  sb::telemetry::LatencyHistogram* phase_trampoline_;
+  sb::telemetry::LatencyHistogram* phase_copy_;
+  sb::telemetry::LatencyHistogram* phase_syscall_;
+  sb::telemetry::LatencyHistogram* phase_total_;
+};
+
+}  // namespace skybridge
+
+#endif  // SRC_SKYBRIDGE_GATE_H_

@@ -1,0 +1,238 @@
+// SkyBridge registration: the kernel- and Rootkernel-mediated slow path.
+// Code-page scanning/rewriting (Section 5), trampoline/key-table/stack/
+// buffer mapping, binding-EPT creation and the lazy chain bindings nested
+// calls use. Nothing here runs on the call fast path (skybridge.cc).
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/units.h"
+#include "src/skybridge/skybridge.h"
+#include "src/vmm/rootkernel.h"
+#include "src/x86/rewriter.h"
+#include "src/x86/scanner.h"
+
+namespace skybridge {
+
+sb::Status SkyBridge::RewriteProcessImage(mk::Process* process) {
+  if (process->code_rewritten() || !config_.rewrite_binaries) {
+    return sb::OkStatus();
+  }
+  x86::RewriteConfig rw;
+  rw.code_base = mk::kCodeVa;
+  rw.rewrite_page_base = mk::kRewritePageVa;
+  rw.scan_pool = &scan_pool_;
+  SB_ASSIGN_OR_RETURN(x86::RewriteResult result,
+                      x86::RewriteVmfunc(process->code_image(), rw));
+  metrics_.rewritten_vmfuncs->Add(
+      static_cast<uint64_t>(result.stats.nop_replaced + result.stats.windows_relocated));
+  metrics_.scan_pages->Add(result.stats.scan_pages);
+  metrics_.scan_threads->SetMax(result.stats.scan_threads);
+  SB_LOG(kDebug) << "rewrite " << sb::kv("pid", process->pid())
+                 << " " << sb::kv("scan_pages", result.stats.scan_pages)
+                 << " " << sb::kv("scan_threads", result.stats.scan_threads);
+
+  // Write the rewritten image back over the process's code pages.
+  const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
+  SB_CHECK(code_walk.ok);
+  kernel_->machine().mem().Write(code_walk.gpa, result.code);
+  process->set_code_image(std::move(result.code));
+
+  // Map and fill the rewrite page (the deliberately-unmapped second page).
+  if (!result.rewrite_page.empty()) {
+    hw::PageFlags flags;
+    flags.writable = false;
+    SB_ASSIGN_OR_RETURN(
+        const hw::Gpa rw_gpa,
+        process->address_space().MapAnonymous(
+            mk::kRewritePageVa, sb::PageUp(result.rewrite_page.size()), flags));
+    kernel_->machine().mem().Write(rw_gpa, result.rewrite_page);
+  }
+  process->set_code_rewritten(true);
+  metrics_.processes_rewritten->Add();
+  return sb::OkStatus();
+}
+
+sb::Status SkyBridge::UpdateProcessCode(mk::Process* process, std::vector<uint8_t> new_image) {
+  if (new_image.size() > mk::kCodeSize) {
+    return sb::InvalidArgument("code image larger than the code window");
+  }
+  // The generation phase: code pages are writable and non-executable; the
+  // new bytes land in place.
+  const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
+  if (!code_walk.ok) {
+    return sb::FailedPrecondition("process has no code mapping");
+  }
+  kernel_->machine().mem().Write(code_walk.gpa, new_image);
+  process->set_code_image(std::move(new_image));
+  // Remap executable: the Subkernel rescans before the pages may run again.
+  process->set_code_rewritten(false);
+  // Drop any previous rewrite page so the rescan can lay out fresh snippets.
+  for (hw::Gva va = mk::kRewritePageVa;
+       process->address_space().WalkVa(va).ok && va < mk::kRewritePageVa + 16 * sb::kPageSize;
+       va += sb::kPageSize) {
+    SB_RETURN_IF_ERROR(process->address_space().Unmap(va));
+  }
+  return RewriteProcessImage(process);
+}
+
+sb::Status SkyBridge::EnsureProcessPrepared(mk::Process* process) {
+  SB_RETURN_IF_ERROR(RewriteProcessImage(process));
+  // Trampoline page (exec-only for users, shared frame).
+  if (!process->address_space().WalkVa(mk::kTrampolineVa).ok) {
+    hw::PageFlags flags;
+    flags.writable = false;
+    SB_RETURN_IF_ERROR(process->address_space().MapRange(
+        mk::kTrampolineVa, trampoline_gpa_, sb::kPageSize, flags));
+  }
+  // Per-process calling-key table page.
+  if (!process->address_space().WalkVa(mk::kCallingKeyTableVa).ok) {
+    SB_RETURN_IF_ERROR(
+        process->address_space()
+            .MapAnonymous(mk::kCallingKeyTableVa, sb::kPageSize, hw::PageFlags{})
+            .status());
+  }
+  return sb::OkStatus();
+}
+
+sb::StatusOr<ServerId> SkyBridge::RegisterServer(mk::Process* server, int max_connections,
+                                                 mk::Handler handler) {
+  if (max_connections <= 0 || max_connections > 256) {
+    return sb::InvalidArgument("connection count out of range");
+  }
+  SB_RETURN_IF_ERROR(EnsureProcessPrepared(server));
+
+  const ServerId id = servers_.size();
+  // Per-connection server stacks (Section 4.4: the stack count bounds the
+  // concurrency the server supports).
+  const hw::Gva stacks_va = mk::kServerStacksVa + id * 256 * kServerStackBytes;
+  SB_RETURN_IF_ERROR(server->address_space()
+                         .MapAnonymous(stacks_va,
+                                       static_cast<uint64_t>(max_connections) * kServerStackBytes,
+                                       hw::PageFlags{})
+                         .status());
+
+  ServerEntry entry;
+  entry.id = id;
+  entry.process = server;
+  entry.handler = std::move(handler);
+  entry.max_connections = max_connections;
+  entry.handler_va = mk::kCodeVa + 0x100;
+  servers_.push_back(std::move(entry));
+  return id;
+}
+
+sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  ServerEntry& server = servers_[server_id];
+  if (Binding* existing = routes_.Find(client, server_id); existing != nullptr) {
+    if (!existing->revoked) {
+      return sb::AlreadyExists("client already registered to this server");
+    }
+    // Revival: the record persisted through revocation (bindings are never
+    // destroyed). Re-registration issues a fresh calling key and reinstalls
+    // the EPT entry; the buffer region and EPT id are reused as-is.
+    hw::Core& core = kernel_->machine().core(0);
+    kernel_->SyscallEnter(core, nullptr);
+    const uint64_t key = key_rng_.Next();
+    const hw::GuestWalk table = server.process->address_space().WalkVa(mk::kCallingKeyTableVa);
+    SB_CHECK(table.ok);
+    kernel_->machine().mem().WriteU64(table.gpa + existing->key_slot * kKeySlotBytes, key);
+    existing->server_key = key;
+    existing->revoked = false;
+    sb::Status install = sb::OkStatus();
+    if (!existing->installed) {
+      install = routes_.Install(core, *existing, /*pinned_ept=*/0);
+    }
+    kernel_->SyscallExit(core, nullptr);
+    return install;
+  }
+  if (server.next_connection >= static_cast<uint64_t>(server.max_connections)) {
+    return sb::ResourceExhausted("server connection limit reached");
+  }
+  SB_RETURN_IF_ERROR(EnsureProcessPrepared(client));
+
+  hw::Core& core = kernel_->machine().core(0);
+  // Registration is a syscall: charge the kernel path.
+  kernel_->SyscallEnter(core, nullptr);
+
+  // The Rootkernel derives the binding EPT: shallow copy of the base EPT
+  // with the client's CR3 GPA remapped to the server's page-table root and
+  // the identity GPA remapped to the server's identity frame.
+  const uint64_t ept_id =
+      core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kCreateBindingEpt), client->cr3(),
+                  server.process->cr3());
+  if (ept_id == vmm::kHypercallError) {
+    kernel_->SyscallExit(core, nullptr);
+    return sb::Internal("rootkernel refused binding EPT");
+  }
+  if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kRemapIdentityPage), ept_id,
+                  kernel_->identity_gpa(), server.process->identity_frame()) != 0) {
+    kernel_->SyscallExit(core, nullptr);
+    return sb::Internal("rootkernel refused identity remap");
+  }
+
+  // Shared buffer region for long messages, carved into per-connection
+  // slices (buffers.cc owns the geometry).
+  SB_ASSIGN_OR_RETURN(const BufferPool::Region region,
+                      buffers_.CreateRegion(client, server.process));
+
+  // Calling key: random 8 bytes, written into the server's key table.
+  const uint64_t key = key_rng_.Next();
+  const uint64_t slot = server.next_connection++;
+  const hw::GuestWalk table = server.process->address_space().WalkVa(mk::kCallingKeyTableVa);
+  SB_CHECK(table.ok);
+  kernel_->machine().mem().WriteU64(table.gpa + slot * kKeySlotBytes, key);
+  kernel_->machine().mem().WriteU64(table.gpa + slot * kKeySlotBytes + 8, client->pid());
+
+  auto binding = std::make_unique<Binding>();
+  binding->client = client;
+  binding->server = server_id;
+  binding->ept_id = ept_id;
+  binding->server_key = key;
+  binding->shared_buf = region.va;
+  binding->key_slot = slot;
+  binding->slice_stride = region.slice_stride;
+  binding->num_slices = region.num_slices;
+  binding->host_base = region.host_base;
+  binding->installed = false;
+  Binding* b = routes_.Adopt(std::move(binding));
+
+  const sb::Status install = routes_.Install(core, *b, /*pinned_ept=*/0);
+  kernel_->SyscallExit(core, nullptr);
+  return install;
+}
+
+sb::StatusOr<Binding*> SkyBridge::GetOrCreateChainBinding(hw::Core& core, mk::Process* origin,
+                                                          ServerId server_id) {
+  Binding* existing = routes_.Find(origin, server_id);
+  if (existing != nullptr) {
+    return existing;
+  }
+  // Lazy chain setup: kernel + Rootkernel mediated (slow path).
+  ServerEntry& server = servers_[server_id];
+  const uint64_t ept_id =
+      core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kCreateBindingEpt), origin->cr3(),
+                  server.process->cr3());
+  if (ept_id == vmm::kHypercallError) {
+    return sb::Internal("rootkernel refused chain binding EPT");
+  }
+  if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kRemapIdentityPage), ept_id,
+                  kernel_->identity_gpa(), server.process->identity_frame()) != 0) {
+    return sb::Internal("rootkernel refused identity remap");
+  }
+  auto binding = std::make_unique<Binding>();
+  binding->client = origin;
+  binding->server = server_id;
+  binding->ept_id = ept_id;
+  binding->server_key = 0;
+  binding->shared_buf = 0;
+  binding->key_slot = 0;
+  binding->installed = false;
+  binding->chain = true;
+  return routes_.Adopt(std::move(binding));
+}
+
+}  // namespace skybridge

@@ -1,0 +1,380 @@
+#include "src/skybridge/routing.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/telemetry/trace.h"
+
+namespace skybridge {
+
+using sb::telemetry::TraceEventType;
+
+size_t BindingIndex::Hash(const mk::Process* client, ServerId server) {
+  // splitmix64 finalizer over the pointer/id mix: cheap and well spread for
+  // linear probing.
+  uint64_t x = reinterpret_cast<uintptr_t>(client) ^ (server * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x);
+}
+
+Binding* BindingIndex::Find(const mk::Process* client, ServerId server) const {
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = Hash(client, server) & mask;; i = (i + 1) & mask) {
+    Binding* b = slots_[i];
+    if (b == nullptr) {
+      return nullptr;
+    }
+    if (b->client == client && b->server == server) {
+      return b;
+    }
+  }
+}
+
+void BindingIndex::Insert(Binding* binding) {
+  if ((size_ + 1) * 4 > slots_.size() * 3) {  // Keep load factor under 3/4.
+    Grow();
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t i = Hash(binding->client, binding->server) & mask;
+  while (slots_[i] != nullptr) {
+    i = (i + 1) & mask;
+  }
+  slots_[i] = binding;
+  ++size_;
+}
+
+void BindingIndex::Grow() {
+  std::vector<Binding*> old = std::move(slots_);
+  slots_.assign(old.size() * 2, nullptr);
+  const size_t mask = slots_.size() - 1;
+  for (Binding* b : old) {
+    if (b == nullptr) {
+      continue;
+    }
+    size_t i = Hash(b->client, b->server) & mask;
+    while (slots_[i] != nullptr) {
+      i = (i + 1) & mask;
+    }
+    slots_[i] = b;
+  }
+}
+
+RouteTable::RouteTable(mk::Kernel& kernel, const SkyBridgeConfig& config)
+    : kernel_(&kernel), config_(&config) {
+  sb::telemetry::Registry& reg = kernel.machine().telemetry();
+  lookup_hits_ = &reg.GetCounter("skybridge.lookup.hits");
+  lookup_misses_ = &reg.GetCounter("skybridge.lookup.misses");
+  bindings_revoked_ = &reg.GetCounter("skybridge.bindings.revoked");
+}
+
+Binding* RouteTable::Find(const mk::Process* client, ServerId server) const {
+  return index_.Find(client, server);
+}
+
+Binding* RouteTable::Lookup(mk::Thread* caller, ServerId server) {
+  hw::Core& core = kernel_->machine().core(caller->core_id());
+  mk::Thread::RouteCache& cache = caller->route_cache();
+  if (cache.generation == generation() && cache.key == server && cache.route != nullptr) {
+    Binding* cached = static_cast<Binding*>(cache.route);
+    if (cached->client == caller->process()) {
+      lookup_hits_->Add();
+      SB_TRACE_EVENT(TraceEventType::kLookupHit, core.cycles(), core.id(),
+                     caller->process()->pid(), server);
+      return cached;
+    }
+  }
+  lookup_misses_->Add();
+  Binding* binding = index_.Find(caller->process(), server);
+  SB_TRACE_EVENT(binding != nullptr ? TraceEventType::kLookupHit : TraceEventType::kLookupMiss,
+                 core.cycles(), core.id(), caller->process()->pid(), server);
+  if (binding != nullptr) {
+    cache.key = server;
+    cache.route = binding;
+    cache.generation = generation();
+  }
+  return binding;
+}
+
+Binding* RouteTable::Adopt(std::unique_ptr<Binding> binding) {
+  Binding* b = binding.get();
+  ClientState& state = clients_[b->client];  // Node pointers are stable.
+  b->lru_owner = &state;
+  b->lru_next = state.lru_head;
+  if (state.lru_head != nullptr) {
+    state.lru_head->lru_prev = b;
+  }
+  state.lru_head = b;
+  if (state.lru_tail == nullptr) {
+    state.lru_tail = b;
+  }
+  index_.Insert(b);
+  bindings_.push_back(std::move(binding));
+  return b;
+}
+
+void RouteTable::Touch(Binding& binding) {
+  ClientState& state = *binding.lru_owner;
+  if (state.lru_head == &binding) {
+    return;
+  }
+  // Unlink, then relink at the head — pure pointer surgery, no traversal.
+  if (binding.lru_prev != nullptr) {
+    binding.lru_prev->lru_next = binding.lru_next;
+  }
+  if (binding.lru_next != nullptr) {
+    binding.lru_next->lru_prev = binding.lru_prev;
+  }
+  if (state.lru_tail == &binding) {
+    state.lru_tail = binding.lru_prev;
+  }
+  binding.lru_prev = nullptr;
+  binding.lru_next = state.lru_head;
+  state.lru_head->lru_prev = &binding;
+  state.lru_head = &binding;
+}
+
+size_t RouteTable::EptpSlotOfId(const std::vector<uint64_t>& ids, uint64_t ept_id) {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == ept_id) {
+      return i;
+    }
+  }
+  return kSlotNotFound;
+}
+
+void RouteTable::RefreshEptpSlots(mk::Process* client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return;
+  }
+  const auto& ids = client->eptp_list_ids();
+  std::unordered_map<uint64_t, uint32_t> slot_of;
+  slot_of.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    slot_of.emplace(ids[i], static_cast<uint32_t>(i));
+  }
+  for (Binding* b = it->second.lru_head; b != nullptr; b = b->lru_next) {
+    if (!b->installed) {
+      b->eptp_slot = kNoEptpSlot;
+      continue;
+    }
+    auto found = slot_of.find(b->ept_id);
+    SB_CHECK(found != slot_of.end()) << "installed binding missing from the EPTP list";
+    b->eptp_slot = found->second;
+  }
+}
+
+sb::Status RouteTable::Install(hw::Core& core, Binding& binding, uint64_t pinned_ept) {
+  auto& ids = binding.client->eptp_list_ids();
+  bool reshuffled = false;
+  // Slot 0 is the client's own EPT; bindings occupy the rest.
+  while (ids.size() + 1 > config_->eptp_capacity) {
+    // Evict the least-recently-used installed binding (paper Section 10),
+    // walking the intrusive list from its cold end.
+    Binding* victim = nullptr;
+    for (Binding* b = binding.lru_owner->lru_tail; b != nullptr; b = b->lru_prev) {
+      if (b->installed && b != &binding && b->ept_id != pinned_ept && b->in_flight == 0) {
+        victim = b;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      return sb::ResourceExhausted("EPTP list full and nothing evictable");
+    }
+    SB_TRACE_EVENT(TraceEventType::kEptEvict, core.cycles(), core.id(), victim->server,
+                   victim->eptp_slot);
+    SB_LOG(kDebug) << "eptp evict " << sb::kv("client", binding.client->pid())
+                   << " " << sb::kv("server", victim->server)
+                   << " " << sb::kv("slot", victim->eptp_slot);
+    victim->installed = false;
+    victim->eptp_slot = kNoEptpSlot;
+    ids.erase(std::remove(ids.begin(), ids.end(), victim->ept_id), ids.end());
+    reshuffled = true;  // Later slots shifted down; caches are now stale.
+  }
+  const size_t existing = EptpSlotOfId(ids, binding.ept_id);
+  if (existing == kSlotNotFound) {
+    ids.push_back(binding.ept_id);
+    binding.eptp_slot = static_cast<uint32_t>(ids.size() - 1);
+  } else {
+    binding.eptp_slot = static_cast<uint32_t>(existing);
+  }
+  binding.installed = true;
+  if (reshuffled) {
+    // Central invalidation point: recompute every cached slot for this
+    // client so no binding carries a stale index.
+    RefreshEptpSlots(binding.client);
+  }
+  // Reinstall the EPTP list on every core currently running this client.
+  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
+    if (kernel_->current_process(i) == binding.client) {
+      SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(kernel_->machine().core(i), binding.client));
+    }
+  }
+  return sb::OkStatus();
+}
+
+sb::Status RouteTable::Revoke(mk::Process* client, ServerId server) {
+  Binding* binding = Find(client, server);
+  if (binding == nullptr) {
+    return sb::NotFound("client not registered to server");
+  }
+  if (!binding->revoked) {
+    binding->revoked = true;
+    generation_.fetch_add(1, std::memory_order_relaxed);  // Drop cached routes.
+    bindings_revoked_->Add();
+    hw::Core& core = kernel_->machine().core(0);
+    SB_TRACE_EVENT(TraceEventType::kBindingRevoked, core.cycles(), core.id(), client->pid(),
+                   server);
+    SB_LOG(kDebug) << "binding revoked " << sb::kv("client", client->pid())
+                   << " " << sb::kv("server", server);
+  }
+  SweepRevoked(client);
+  return sb::OkStatus();
+}
+
+void RouteTable::FinishCall(Binding& binding) {
+  if (binding.in_flight > 0) {
+    --binding.in_flight;
+  }
+  ClientState* state = binding.lru_owner;
+  if (state == nullptr) {
+    return;
+  }
+  if (state->inflight > 0) {
+    --state->inflight;
+  }
+  if (state->inflight == 0 && state->pending_revocations) {
+    SweepRevoked(binding.client);
+  }
+}
+
+void RouteTable::SweepRevoked(mk::Process* client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    return;
+  }
+  ClientState& state = it->second;
+  if (state.inflight > 0) {
+    // Never reshape the EPTP list under a live call: the last drain of this
+    // client re-runs the sweep.
+    state.pending_revocations = true;
+    return;
+  }
+  state.pending_revocations = false;
+  auto& ids = client->eptp_list_ids();
+  bool removed = false;
+  for (Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
+    if (!b->revoked || !b->installed) {
+      continue;
+    }
+    ids.erase(std::remove(ids.begin(), ids.end(), b->ept_id), ids.end());
+    b->installed = false;
+    b->eptp_slot = kNoEptpSlot;
+    removed = true;
+  }
+  if (!removed) {
+    return;
+  }
+  RefreshEptpSlots(client);
+  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
+    if (kernel_->current_process(i) == client) {
+      (void)kernel_->ContextSwitchTo(kernel_->machine().core(i), client);
+    }
+  }
+}
+
+void RouteTable::FaultEvict(hw::Core& core, Binding& binding) {
+  if (!binding.installed) {
+    return;
+  }
+  SB_TRACE_EVENT(TraceEventType::kEptEvict, core.cycles(), core.id(), binding.server,
+                 binding.eptp_slot);
+  auto& ids = binding.client->eptp_list_ids();
+  ids.erase(std::remove(ids.begin(), ids.end(), binding.ept_id), ids.end());
+  binding.installed = false;
+  binding.eptp_slot = kNoEptpSlot;
+  RefreshEptpSlots(binding.client);
+  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
+    if (kernel_->current_process(i) == binding.client) {
+      (void)kernel_->ContextSwitchTo(kernel_->machine().core(i), binding.client);
+    }
+  }
+}
+
+sb::Status RouteTable::CheckInvariants() const {
+  for (const auto& entry : clients_) {
+    mk::Process* client = entry.first;
+    const ClientState& state = entry.second;
+    size_t chain = 0;
+    uint64_t inflight_sum = 0;
+    const Binding* prev = nullptr;
+    for (const Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
+      if (++chain > bindings_.size()) {
+        return sb::Internal("LRU cycle detected");
+      }
+      if (b->lru_prev != prev) {
+        return sb::Internal("LRU prev link broken");
+      }
+      if (b->lru_owner != &state) {
+        return sb::Internal("LRU owner mismatch");
+      }
+      if (b->client != client) {
+        return sb::Internal("binding threaded onto the wrong client's LRU list");
+      }
+      inflight_sum += b->in_flight;
+      prev = b;
+    }
+    if (state.lru_tail != prev) {
+      return sb::Internal("LRU tail does not terminate the chain");
+    }
+    if (inflight_sum != state.inflight) {
+      return sb::Internal("per-client in-flight sum out of sync");
+    }
+    const auto& ids = client->eptp_list_ids();
+    if (ids.size() > config_->eptp_capacity) {
+      return sb::Internal("EPTP list exceeds the configured capacity");
+    }
+    for (const Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
+      if (b->installed) {
+        if (b->eptp_slot == kNoEptpSlot || b->eptp_slot >= ids.size() ||
+            ids[b->eptp_slot] != b->ept_id) {
+          return sb::Internal("installed binding's cached slot disagrees with the EPTP list");
+        }
+      } else if (b->eptp_slot != kNoEptpSlot) {
+        return sb::Internal("evicted binding still caches a slot");
+      }
+      if (b->revoked && b->installed && state.inflight == 0) {
+        return sb::Internal("drained revoked binding still installed");
+      }
+    }
+  }
+  return sb::OkStatus();
+}
+
+uint64_t RouteTable::InFlightCalls() const {
+  uint64_t total = 0;
+  for (const auto& entry : clients_) {
+    total += entry.second.inflight;
+  }
+  return total;
+}
+
+sb::StatusOr<size_t> RouteTable::InstalledBindings(const mk::Process* client) const {
+  size_t count = 0;
+  auto it = clients_.find(const_cast<mk::Process*>(client));
+  if (it == clients_.end()) {
+    return count;
+  }
+  for (const Binding* b = it->second.lru_head; b != nullptr; b = b->lru_next) {
+    if (b->installed) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace skybridge

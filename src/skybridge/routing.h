@@ -1,0 +1,212 @@
+// Route control plane: binding records, the (client, server) hash index,
+// the per-thread last-route cache front end, intrusive per-client LRU lists
+// and the EPTP-slot caches — everything DirectServerCall consults to turn a
+// ServerId into an armed EPTP slot.
+//
+// Concurrency model (DESIGN.md section 11): the route table is read-mostly.
+// Steady-state calls on different cores touch only per-thread state (the
+// RouteCache embedded in mk::Thread), per-binding state of *their own*
+// disjoint binding (in-flight counters, LRU head check) and sharded
+// telemetry counters — no shared mutable word. Mutation (registration,
+// revocation, eviction, fault injection) is the sanctioned slow path and is
+// serialized by the caller. Revocation publishes through `generation()`, an
+// epoch every per-thread cache entry is stamped with: bumping it drops every
+// thread's cached Binding* at once without touching the threads.
+
+#ifndef SRC_SKYBRIDGE_ROUTING_H_
+#define SRC_SKYBRIDGE_ROUTING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/telemetry/metrics.h"
+#include "src/mk/kernel.h"
+#include "src/skybridge/config.h"
+
+namespace skybridge {
+
+// Sentinel for "binding not on the client's EPTP list".
+inline constexpr uint32_t kNoEptpSlot = 0xffffffffu;
+inline constexpr size_t kSlotNotFound = static_cast<size_t>(-1);
+
+struct ServerEntry {
+  ServerId id;
+  mk::Process* process;
+  mk::Handler handler;
+  int max_connections;
+  hw::Gva handler_va;  // "function address" in the server's function list.
+  uint64_t next_connection = 0;
+};
+
+struct ClientState;
+
+struct Binding {
+  mk::Process* client;      // The process whose CR3 is live when used.
+  ServerId server;
+  uint64_t ept_id;          // Rootkernel EPT id.
+  uint64_t server_key;      // Client -> server calling key.
+  hw::Gva shared_buf;       // Region base, mapped at the same VA in both.
+  uint64_t key_slot;        // Index in the server's calling-key table.
+  // ---- Buffer carving (long-message path) ----
+  // The region is num_slices page-aligned slices of slice_stride bytes;
+  // connection (thread) t owns slice t % num_slices, each with
+  // shared_buffer_bytes of capacity. host_base is the host-contiguous view
+  // of the whole region (nullptr for chain bindings, which carry no
+  // buffer), enabling borrowed message views without simulated copies.
+  uint64_t slice_stride = 0;
+  uint32_t num_slices = 0;
+  uint8_t* host_base = nullptr;
+  bool installed = true;    // Currently on the client's EPTP list.
+  // Revoked bindings refuse new calls; their EPTP entry is removed when
+  // the client drains. The record itself persists ("bindings are never
+  // destroyed") and re-registration revives it.
+  bool revoked = false;
+  // Calls currently between entry and return on this binding. The EPTP
+  // list is never reshaped while the owning client has calls in flight.
+  uint64_t in_flight = 0;
+  // Chain bindings support nested calls (A -> B -> C): the EPT maps A's
+  // CR3 to C's page tables, while authorization/keys come from the B -> C
+  // registration (Section 4.2: "the Rootkernel also writes all processes'
+  // EPTPs that the server depends on into the client's EPTP list").
+  bool chain = false;
+  // ---- Fast-path state ----
+  // Cached index of `ept_id` on the client's EPTP list; kNoEptpSlot while
+  // evicted. Maintained centrally by Install/RefreshEptpSlots so
+  // DirectServerCall never scans the list.
+  uint32_t eptp_slot = kNoEptpSlot;
+  // Intrusive per-client LRU links (head = most recently used).
+  Binding* lru_prev = nullptr;
+  Binding* lru_next = nullptr;
+  ClientState* lru_owner = nullptr;
+};
+
+// Per-client fast-path state: the intrusive LRU list heads.
+struct ClientState {
+  Binding* lru_head = nullptr;  // Most recently used.
+  Binding* lru_tail = nullptr;  // Eviction candidate end.
+  uint64_t inflight = 0;        // Sum of in_flight over this client's bindings.
+  bool pending_revocations = false;  // Sweep deferred until inflight drains.
+};
+
+// Open-addressed hash index over (client, server) -> Binding*: linear
+// probing, power-of-two capacity. Bindings are never destroyed, so there
+// are no tombstones and lookups stop at the first empty slot.
+class BindingIndex {
+ public:
+  BindingIndex() : slots_(kInitialSlots, nullptr) {}
+  Binding* Find(const mk::Process* client, ServerId server) const;
+  void Insert(Binding* binding);
+
+ private:
+  static constexpr size_t kInitialSlots = 64;
+  static size_t Hash(const mk::Process* client, ServerId server);
+  void Grow();
+  std::vector<Binding*> slots_;
+  size_t size_ = 0;
+};
+
+class RouteTable {
+ public:
+  RouteTable(mk::Kernel& kernel, const SkyBridgeConfig& config);
+
+  // O(1) index lookup (slow path of the lookup; no linear scans).
+  Binding* Find(const mk::Process* client, ServerId server) const;
+  // Per-thread last-route cache in front of Find; maintains the
+  // binding_lookup_hits/misses counters.
+  Binding* Lookup(mk::Thread* caller, ServerId server);
+  // Registers a freshly created binding: index insert + LRU front.
+  Binding* Adopt(std::unique_ptr<Binding> binding);
+  // O(1) move-to-front on the client's intrusive LRU list.
+  void Touch(Binding& binding);
+  // LRU maintenance: make room for / reinstall a binding. `pinned_ept` is
+  // never evicted (the EPT we must return to).
+  sb::Status Install(hw::Core& core, Binding& binding, uint64_t pinned_ept);
+  // Recomputes every cached eptp_slot for `client` after the EPTP list
+  // changed shape — the central invalidation point for the slot caches.
+  void RefreshEptpSlots(mk::Process* client);
+  // Call drain accounting: decrements the in-flight counts taken at call
+  // entry and runs any revocation sweep the drain unblocked.
+  void FinishCall(Binding& binding);
+  // Marks the (client, server) binding revoked (idempotent), bumps the
+  // route epoch so every thread's cached route drops, and sweeps. NotFound
+  // when the pair was never registered.
+  sb::Status Revoke(mk::Process* client, ServerId server);
+  // Uninstalls every drained revoked binding of `client` (EPTP-list erase +
+  // central slot refresh + reinstall on live cores); defers itself while the
+  // client still has calls in flight.
+  void SweepRevoked(mk::Process* client);
+  // Fault-injection helper: evicts `binding` exactly as a concurrent
+  // Install LRU pass would, leaving the caller's cached slot stale.
+  void FaultEvict(hw::Core& core, Binding& binding);
+  // Index of `ept_id` on an EPTP list, or kSlotNotFound. Only used on the
+  // slow path (entry-slot restore after a reinstall reshuffles the list).
+  static size_t EptpSlotOfId(const std::vector<uint64_t>& ids, uint64_t ept_id);
+
+  // Structural invariants the stress runner asserts between events: LRU
+  // list consistency, cached-slot/EPTP-list agreement, per-client capacity,
+  // revoked bindings uninstalled once drained, in-flight accounting.
+  sb::Status CheckInvariants() const;
+  uint64_t InFlightCalls() const;
+  sb::StatusOr<size_t> InstalledBindings(const mk::Process* client) const;
+
+  // The route-cache invalidation epoch (relaxed; see the header comment).
+  uint64_t generation() const { return generation_.load(std::memory_order_relaxed); }
+
+ private:
+  mk::Kernel* kernel_;
+  const SkyBridgeConfig* config_;
+  std::vector<std::unique_ptr<Binding>> bindings_;  // Ownership only.
+  BindingIndex index_;                              // (client, server) -> binding.
+  std::unordered_map<mk::Process*, ClientState> clients_;  // Stable nodes.
+  // Epoch for the per-thread route caches. Bindings are never destroyed, so
+  // this only moves on revocation (and any future removal path); bumping it
+  // invalidates every thread's cached Binding* at once.
+  std::atomic<uint64_t> generation_{1};
+  sb::telemetry::Counter* lookup_hits_;
+  sb::telemetry::Counter* lookup_misses_;
+  sb::telemetry::Counter* bindings_revoked_;
+};
+
+// In-flight accounting bracketing a call on every exit path (both the
+// authorizing binding and the routed one when they differ). Revocation
+// never reshapes an EPTP list under a live call — it defers to this
+// guard's drain.
+class InFlightGuard {
+ public:
+  InFlightGuard() = default;
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+  void Begin(RouteTable* table, Binding* perm, Binding* route) {
+    table_ = table;
+    a_ = perm;
+    b_ = route != perm ? route : nullptr;
+    ++a_->in_flight;
+    ++a_->lru_owner->inflight;
+    if (b_ != nullptr) {
+      ++b_->in_flight;
+      ++b_->lru_owner->inflight;
+    }
+  }
+  ~InFlightGuard() {
+    if (table_ == nullptr) {
+      return;
+    }
+    if (b_ != nullptr) {
+      table_->FinishCall(*b_);
+    }
+    table_->FinishCall(*a_);
+  }
+
+ private:
+  RouteTable* table_ = nullptr;
+  Binding* a_ = nullptr;
+  Binding* b_ = nullptr;
+};
+
+}  // namespace skybridge
+
+#endif  // SRC_SKYBRIDGE_ROUTING_H_

@@ -1,24 +1,16 @@
-#include "src/skybridge/skybridge.h"
+// SkyBridge facade: wires the routing/gate/buffers modules together and
+// drives the DirectServerCall pipeline. Registration (the kernel-mediated
+// slow path) lives in registration.cc.
 
-#include <algorithm>
+#include "src/skybridge/skybridge.h"
 
 #include "src/base/faultpoint.h"
 #include "src/base/logging.h"
 #include "src/base/telemetry/trace.h"
-#include "src/base/units.h"
-#include "src/x86/rewriter.h"
-#include "src/x86/scanner.h"
 
 namespace skybridge {
 namespace {
 
-constexpr uint64_t kServerStackBytes = 64 * sb::kKiB;
-constexpr uint64_t kKeySlotBytes = 16;  // {key, client pid}
-// Section 6.3: the non-VMFUNC trampoline work costs 64 cycles per direction.
-// The charged memory traffic (trampoline i-fetch, calling-key table read,
-// stack install) accounts for ~20 of those when warm, so the flat charge is
-// the remainder — the measured roundtrip lands on 2 x (134 + 64) = 396.
-constexpr uint64_t kTrampolineLegCycles = 44;
 // Base backoff before a stale-slot slowpath re-arm; doubles per attempt.
 constexpr uint64_t kStaleBackoffCycles = 32;
 
@@ -31,8 +23,10 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
       config_(config),
       key_rng_(config.key_seed),
       trampoline_(BuildTrampoline()),
-      scan_pool_(config.scan_pool_threads),
-      next_shared_buf_va_(mk::kSharedBufVa) {
+      routes_(kernel, config_),
+      buffers_(kernel, config_),
+      gate_(kernel, config_),
+      scan_pool_(config.scan_pool_threads) {
   SB_CHECK(kernel.rootkernel() != nullptr)
       << "SkyBridge requires a kernel booted with the Rootkernel";
   SB_CHECK(config_.eptp_capacity >= 2 && config_.eptp_capacity <= hw::kEptpListCapacity);
@@ -55,12 +49,16 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
   metrics_.stale_slot_retries = &reg.GetCounter("skybridge.ipc.stale_slot_retries");
   metrics_.revoked_rejections = &reg.GetCounter("skybridge.ipc.revoked_rejections");
   metrics_.bindings_revoked = &reg.GetCounter("skybridge.bindings.revoked");
-  metrics_.phase_vmfunc = &reg.GetHistogram("skybridge.phase.vmfunc");
-  metrics_.phase_trampoline = &reg.GetHistogram("skybridge.phase.trampoline");
-  metrics_.phase_copy = &reg.GetHistogram("skybridge.phase.copy");
-  metrics_.phase_syscall = &reg.GetHistogram("skybridge.phase.syscall");
-  metrics_.phase_total = &reg.GetHistogram("skybridge.phase.total");
+  metrics_.migration_installs = &reg.GetCounter("skybridge.eptp.migration_installs");
   sb::telemetry::InstallTraceCrashDump();
+  // Count the scheduler hook's eager EPTP re-installs on thread migration
+  // (versus the lazy stale-slot fallback, counted by stale_slot_retries).
+  kernel.SetEptpInstallHook(
+      [this](hw::Core&, mk::Process*, mk::Kernel::EptpInstallReason reason) {
+        if (reason == mk::Kernel::EptpInstallReason::kMigration) {
+          metrics_.migration_installs->Add();
+        }
+      });
   // One shared trampoline code frame for all processes.
   auto frame = kernel.guest_frames().Alloc(kernel.machine().mem());
   SB_CHECK(frame.ok());
@@ -68,491 +66,35 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
   kernel.machine().mem().Write(trampoline_gpa_, trampoline_.code);
 }
 
+SkyBridge::~SkyBridge() {
+  // The hook captures `this`; never let it outlive the bridge.
+  kernel_->SetEptpInstallHook(nullptr);
+}
+
 const SkyBridgeStats& SkyBridge::stats() const {
-  stats_snapshot_.direct_calls = metrics_.direct_calls->Value();
-  stats_snapshot_.long_calls = metrics_.long_calls->Value();
-  stats_snapshot_.inplace_calls = metrics_.inplace_calls->Value();
-  stats_snapshot_.inplace_replies = metrics_.inplace_replies->Value();
-  stats_snapshot_.rejected_calls = metrics_.rejected_calls->Value();
-  stats_snapshot_.timeouts = metrics_.timeouts->Value();
-  stats_snapshot_.eptp_misses = metrics_.eptp_misses->Value();
-  stats_snapshot_.rewritten_vmfuncs = metrics_.rewritten_vmfuncs->Value();
-  stats_snapshot_.processes_rewritten = metrics_.processes_rewritten->Value();
-  stats_snapshot_.binding_lookup_hits = metrics_.lookup_hits->Value();
-  stats_snapshot_.binding_lookup_misses = metrics_.lookup_misses->Value();
-  stats_snapshot_.scan_pages = metrics_.scan_pages->Value();
-  stats_snapshot_.scan_threads = metrics_.scan_threads->Value();
-  stats_snapshot_.aborted_calls = metrics_.aborted_calls->Value();
-  stats_snapshot_.gate_rejections = metrics_.gate_rejections->Value();
-  stats_snapshot_.stale_slot_retries = metrics_.stale_slot_retries->Value();
-  stats_snapshot_.revoked_rejections = metrics_.revoked_rejections->Value();
-  stats_snapshot_.bindings_revoked = metrics_.bindings_revoked->Value();
-  return stats_snapshot_;
-}
-
-sb::Status SkyBridge::RewriteProcessImage(mk::Process* process) {
-  if (process->code_rewritten() || !config_.rewrite_binaries) {
-    return sb::OkStatus();
-  }
-  x86::RewriteConfig rw;
-  rw.code_base = mk::kCodeVa;
-  rw.rewrite_page_base = mk::kRewritePageVa;
-  rw.scan_pool = &scan_pool_;
-  SB_ASSIGN_OR_RETURN(x86::RewriteResult result,
-                      x86::RewriteVmfunc(process->code_image(), rw));
-  metrics_.rewritten_vmfuncs->Add(
-      static_cast<uint64_t>(result.stats.nop_replaced + result.stats.windows_relocated));
-  metrics_.scan_pages->Add(result.stats.scan_pages);
-  metrics_.scan_threads->SetMax(result.stats.scan_threads);
-  SB_LOG(kDebug) << "rewrite " << sb::kv("pid", process->pid())
-                 << " " << sb::kv("scan_pages", result.stats.scan_pages)
-                 << " " << sb::kv("scan_threads", result.stats.scan_threads);
-
-  // Write the rewritten image back over the process's code pages.
-  const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
-  SB_CHECK(code_walk.ok);
-  kernel_->machine().mem().Write(code_walk.gpa, result.code);
-  process->set_code_image(std::move(result.code));
-
-  // Map and fill the rewrite page (the deliberately-unmapped second page).
-  if (!result.rewrite_page.empty()) {
-    hw::PageFlags flags;
-    flags.writable = false;
-    SB_ASSIGN_OR_RETURN(
-        const hw::Gpa rw_gpa,
-        process->address_space().MapAnonymous(
-            mk::kRewritePageVa, sb::PageUp(result.rewrite_page.size()), flags));
-    kernel_->machine().mem().Write(rw_gpa, result.rewrite_page);
-  }
-  process->set_code_rewritten(true);
-  metrics_.processes_rewritten->Add();
-  return sb::OkStatus();
-}
-
-sb::Status SkyBridge::UpdateProcessCode(mk::Process* process, std::vector<uint8_t> new_image) {
-  if (new_image.size() > mk::kCodeSize) {
-    return sb::InvalidArgument("code image larger than the code window");
-  }
-  // The generation phase: code pages are writable and non-executable; the
-  // new bytes land in place.
-  const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
-  if (!code_walk.ok) {
-    return sb::FailedPrecondition("process has no code mapping");
-  }
-  kernel_->machine().mem().Write(code_walk.gpa, new_image);
-  process->set_code_image(std::move(new_image));
-  // Remap executable: the Subkernel rescans before the pages may run again.
-  process->set_code_rewritten(false);
-  // Drop any previous rewrite page so the rescan can lay out fresh snippets.
-  for (hw::Gva va = mk::kRewritePageVa;
-       process->address_space().WalkVa(va).ok && va < mk::kRewritePageVa + 16 * sb::kPageSize;
-       va += sb::kPageSize) {
-    SB_RETURN_IF_ERROR(process->address_space().Unmap(va));
-  }
-  return RewriteProcessImage(process);
-}
-
-sb::Status SkyBridge::EnsureProcessPrepared(mk::Process* process) {
-  SB_RETURN_IF_ERROR(RewriteProcessImage(process));
-  // Trampoline page (exec-only for users, shared frame).
-  if (!process->address_space().WalkVa(mk::kTrampolineVa).ok) {
-    hw::PageFlags flags;
-    flags.writable = false;
-    SB_RETURN_IF_ERROR(process->address_space().MapRange(
-        mk::kTrampolineVa, trampoline_gpa_, sb::kPageSize, flags));
-  }
-  // Per-process calling-key table page.
-  if (!process->address_space().WalkVa(mk::kCallingKeyTableVa).ok) {
-    SB_RETURN_IF_ERROR(
-        process->address_space()
-            .MapAnonymous(mk::kCallingKeyTableVa, sb::kPageSize, hw::PageFlags{})
-            .status());
-  }
-  return sb::OkStatus();
-}
-
-sb::StatusOr<ServerId> SkyBridge::RegisterServer(mk::Process* server, int max_connections,
-                                                 mk::Handler handler) {
-  if (max_connections <= 0 || max_connections > 256) {
-    return sb::InvalidArgument("connection count out of range");
-  }
-  SB_RETURN_IF_ERROR(EnsureProcessPrepared(server));
-
-  const ServerId id = servers_.size();
-  // Per-connection server stacks (Section 4.4: the stack count bounds the
-  // concurrency the server supports).
-  const hw::Gva stacks_va = mk::kServerStacksVa + id * 256 * kServerStackBytes;
-  SB_RETURN_IF_ERROR(server->address_space()
-                         .MapAnonymous(stacks_va,
-                                       static_cast<uint64_t>(max_connections) * kServerStackBytes,
-                                       hw::PageFlags{})
-                         .status());
-
-  ServerEntry entry;
-  entry.id = id;
-  entry.process = server;
-  entry.handler = std::move(handler);
-  entry.max_connections = max_connections;
-  entry.handler_va = mk::kCodeVa + 0x100;
-  servers_.push_back(std::move(entry));
-  return id;
-}
-
-size_t SkyBridge::BindingIndex::Hash(const mk::Process* client, ServerId server) {
-  // splitmix64 finalizer over the pointer/id mix: cheap and well spread for
-  // linear probing.
-  uint64_t x = reinterpret_cast<uintptr_t>(client) ^ (server * 0x9e3779b97f4a7c15ULL);
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return static_cast<size_t>(x);
-}
-
-SkyBridge::Binding* SkyBridge::BindingIndex::Find(const mk::Process* client,
-                                                 ServerId server) const {
-  const size_t mask = slots_.size() - 1;
-  for (size_t i = Hash(client, server) & mask;; i = (i + 1) & mask) {
-    Binding* b = slots_[i];
-    if (b == nullptr) {
-      return nullptr;
-    }
-    if (b->client == client && b->server == server) {
-      return b;
-    }
-  }
-}
-
-void SkyBridge::BindingIndex::Insert(Binding* binding) {
-  if ((size_ + 1) * 4 > slots_.size() * 3) {  // Keep load factor under 3/4.
-    Grow();
-  }
-  const size_t mask = slots_.size() - 1;
-  size_t i = Hash(binding->client, binding->server) & mask;
-  while (slots_[i] != nullptr) {
-    i = (i + 1) & mask;
-  }
-  slots_[i] = binding;
-  ++size_;
-}
-
-void SkyBridge::BindingIndex::Grow() {
-  std::vector<Binding*> old = std::move(slots_);
-  slots_.assign(old.size() * 2, nullptr);
-  const size_t mask = slots_.size() - 1;
-  for (Binding* b : old) {
-    if (b == nullptr) {
-      continue;
-    }
-    size_t i = Hash(b->client, b->server) & mask;
-    while (slots_[i] != nullptr) {
-      i = (i + 1) & mask;
-    }
-    slots_[i] = b;
-  }
-}
-
-SkyBridge::Binding* SkyBridge::FindBinding(mk::Process* client, ServerId server) {
-  return binding_index_.Find(client, server);
-}
-
-SkyBridge::Binding* SkyBridge::LookupRoute(mk::Thread* caller, ServerId server) {
-  hw::Core& core = kernel_->machine().core(caller->core_id());
-  mk::Thread::RouteCache& cache = caller->route_cache();
-  if (cache.generation == route_generation_ && cache.key == server && cache.route != nullptr) {
-    Binding* cached = static_cast<Binding*>(cache.route);
-    if (cached->client == caller->process()) {
-      metrics_.lookup_hits->Add();
-      SB_TRACE_EVENT(TraceEventType::kLookupHit, core.cycles(), core.id(),
-                     caller->process()->pid(), server);
-      return cached;
-    }
-  }
-  metrics_.lookup_misses->Add();
-  Binding* binding = binding_index_.Find(caller->process(), server);
-  SB_TRACE_EVENT(binding != nullptr ? TraceEventType::kLookupHit : TraceEventType::kLookupMiss,
-                 core.cycles(), core.id(), caller->process()->pid(), server);
-  if (binding != nullptr) {
-    cache.key = server;
-    cache.route = binding;
-    cache.generation = route_generation_;
-  }
-  return binding;
-}
-
-SkyBridge::Binding* SkyBridge::AdoptBinding(std::unique_ptr<Binding> binding) {
-  Binding* b = binding.get();
-  ClientState& state = clients_[b->client];  // Node pointers are stable.
-  b->lru_owner = &state;
-  b->lru_next = state.lru_head;
-  if (state.lru_head != nullptr) {
-    state.lru_head->lru_prev = b;
-  }
-  state.lru_head = b;
-  if (state.lru_tail == nullptr) {
-    state.lru_tail = b;
-  }
-  binding_index_.Insert(b);
-  bindings_.push_back(std::move(binding));
-  return b;
-}
-
-void SkyBridge::TouchLru(Binding& binding) {
-  ClientState& state = *binding.lru_owner;
-  if (state.lru_head == &binding) {
-    return;
-  }
-  // Unlink, then relink at the head — pure pointer surgery, no traversal.
-  if (binding.lru_prev != nullptr) {
-    binding.lru_prev->lru_next = binding.lru_next;
-  }
-  if (binding.lru_next != nullptr) {
-    binding.lru_next->lru_prev = binding.lru_prev;
-  }
-  if (state.lru_tail == &binding) {
-    state.lru_tail = binding.lru_prev;
-  }
-  binding.lru_prev = nullptr;
-  binding.lru_next = state.lru_head;
-  state.lru_head->lru_prev = &binding;
-  state.lru_head = &binding;
-}
-
-size_t SkyBridge::EptpSlotOfId(const std::vector<uint64_t>& ids, uint64_t ept_id) {
-  for (size_t i = 0; i < ids.size(); ++i) {
-    if (ids[i] == ept_id) {
-      return i;
-    }
-  }
-  return kSlotNotFound;
-}
-
-void SkyBridge::RefreshEptpSlots(mk::Process* client) {
-  auto it = clients_.find(client);
-  if (it == clients_.end()) {
-    return;
-  }
-  const auto& ids = client->eptp_list_ids();
-  std::unordered_map<uint64_t, uint32_t> slot_of;
-  slot_of.reserve(ids.size());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    slot_of.emplace(ids[i], static_cast<uint32_t>(i));
-  }
-  for (Binding* b = it->second.lru_head; b != nullptr; b = b->lru_next) {
-    if (!b->installed) {
-      b->eptp_slot = kNoEptpSlot;
-      continue;
-    }
-    auto found = slot_of.find(b->ept_id);
-    SB_CHECK(found != slot_of.end()) << "installed binding missing from the EPTP list";
-    b->eptp_slot = found->second;
-  }
-}
-
-sb::Status SkyBridge::InstallBinding(hw::Core& core, Binding& binding, uint64_t pinned_ept) {
-  auto& ids = binding.client->eptp_list_ids();
-  bool reshuffled = false;
-  // Slot 0 is the client's own EPT; bindings occupy the rest.
-  while (ids.size() + 1 > config_.eptp_capacity) {
-    // Evict the least-recently-used installed binding (paper Section 10),
-    // walking the intrusive list from its cold end.
-    Binding* victim = nullptr;
-    for (Binding* b = binding.lru_owner->lru_tail; b != nullptr; b = b->lru_prev) {
-      if (b->installed && b != &binding && b->ept_id != pinned_ept && b->in_flight == 0) {
-        victim = b;
-        break;
-      }
-    }
-    if (victim == nullptr) {
-      return sb::ResourceExhausted("EPTP list full and nothing evictable");
-    }
-    SB_TRACE_EVENT(TraceEventType::kEptEvict, core.cycles(), core.id(), victim->server,
-                   victim->eptp_slot);
-    SB_LOG(kDebug) << "eptp evict " << sb::kv("client", binding.client->pid())
-                   << " " << sb::kv("server", victim->server)
-                   << " " << sb::kv("slot", victim->eptp_slot);
-    victim->installed = false;
-    victim->eptp_slot = kNoEptpSlot;
-    ids.erase(std::remove(ids.begin(), ids.end(), victim->ept_id), ids.end());
-    reshuffled = true;  // Later slots shifted down; caches are now stale.
-  }
-  const size_t existing = EptpSlotOfId(ids, binding.ept_id);
-  if (existing == kSlotNotFound) {
-    ids.push_back(binding.ept_id);
-    binding.eptp_slot = static_cast<uint32_t>(ids.size() - 1);
-  } else {
-    binding.eptp_slot = static_cast<uint32_t>(existing);
-  }
-  binding.installed = true;
-  if (reshuffled) {
-    // Central invalidation point: recompute every cached slot for this
-    // client so no binding carries a stale index.
-    RefreshEptpSlots(binding.client);
-  }
-  // Reinstall the EPTP list on every core currently running this client.
-  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
-    if (kernel_->current_process(i) == binding.client) {
-      SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(kernel_->machine().core(i), binding.client));
-    }
-  }
-  return sb::OkStatus();
-}
-
-sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
-  if (server_id >= servers_.size()) {
-    return sb::NotFound("no such server");
-  }
-  ServerEntry& server = servers_[server_id];
-  if (Binding* existing = FindBinding(client, server_id); existing != nullptr) {
-    if (!existing->revoked) {
-      return sb::AlreadyExists("client already registered to this server");
-    }
-    // Revival: the record persisted through revocation (bindings are never
-    // destroyed). Re-registration issues a fresh calling key and reinstalls
-    // the EPT entry; the buffer region and EPT id are reused as-is.
-    hw::Core& core = kernel_->machine().core(0);
-    kernel_->SyscallEnter(core, nullptr);
-    const uint64_t key = key_rng_.Next();
-    const hw::GuestWalk table = server.process->address_space().WalkVa(mk::kCallingKeyTableVa);
-    SB_CHECK(table.ok);
-    kernel_->machine().mem().WriteU64(table.gpa + existing->key_slot * kKeySlotBytes, key);
-    existing->server_key = key;
-    existing->revoked = false;
-    sb::Status install = sb::OkStatus();
-    if (!existing->installed) {
-      install = InstallBinding(core, *existing, /*pinned_ept=*/0);
-    }
-    kernel_->SyscallExit(core, nullptr);
-    return install;
-  }
-  if (server.next_connection >= static_cast<uint64_t>(server.max_connections)) {
-    return sb::ResourceExhausted("server connection limit reached");
-  }
-  SB_RETURN_IF_ERROR(EnsureProcessPrepared(client));
-
-  hw::Core& core = kernel_->machine().core(0);
-  // Registration is a syscall: charge the kernel path.
-  kernel_->SyscallEnter(core, nullptr);
-
-  // The Rootkernel derives the binding EPT: shallow copy of the base EPT
-  // with the client's CR3 GPA remapped to the server's page-table root and
-  // the identity GPA remapped to the server's identity frame.
-  const uint64_t ept_id =
-      core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kCreateBindingEpt), client->cr3(),
-                  server.process->cr3());
-  if (ept_id == vmm::kHypercallError) {
-    kernel_->SyscallExit(core, nullptr);
-    return sb::Internal("rootkernel refused binding EPT");
-  }
-  if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kRemapIdentityPage), ept_id,
-                  kernel_->identity_gpa(), server.process->identity_frame()) != 0) {
-    kernel_->SyscallExit(core, nullptr);
-    return sb::Internal("rootkernel refused identity remap");
-  }
-
-  // Shared buffer region for long messages: same VA, same frames, both
-  // processes. The region is carved into per-connection slices (Section 6.3
-  // per-thread buffers): `buffer_slices` page-aligned slices, each with
-  // shared_buffer_bytes of capacity, so concurrent connections of this
-  // binding never alias one buffer.
-  const uint64_t slice_stride = sb::PageUp(config_.shared_buffer_bytes);
-  const uint64_t num_slices = std::max<uint64_t>(1, config_.buffer_slices);
-  const uint64_t region_bytes = slice_stride * num_slices;
-  const hw::Gva buf_va = next_shared_buf_va_;
-  next_shared_buf_va_ += region_bytes;
-  SB_ASSIGN_OR_RETURN(const hw::Gpa buf_gpa,
-                      client->address_space().MapAnonymous(
-                          buf_va, region_bytes, hw::PageFlags{}));
-  SB_RETURN_IF_ERROR(server.process->address_space().MapRange(
-      buf_va, buf_gpa, region_bytes, hw::PageFlags{}));
-  // Give the region one host-contiguous backing so in-place messages can be
-  // exposed as a single span. Guest frames are identity-mapped by the base
-  // EPT (GPA == HPA), so the GPA range addresses host memory directly.
-  kernel_->machine().mem().BackContiguous(buf_gpa, region_bytes);
-  uint8_t* host_base = kernel_->machine().mem().ContiguousSpan(buf_gpa, region_bytes);
-  SB_CHECK(host_base != nullptr) << "shared buffer region not host-contiguous";
-
-  // Calling key: random 8 bytes, written into the server's key table.
-  const uint64_t key = key_rng_.Next();
-  const uint64_t slot = server.next_connection++;
-  const hw::GuestWalk table = server.process->address_space().WalkVa(mk::kCallingKeyTableVa);
-  SB_CHECK(table.ok);
-  kernel_->machine().mem().WriteU64(table.gpa + slot * kKeySlotBytes, key);
-  kernel_->machine().mem().WriteU64(table.gpa + slot * kKeySlotBytes + 8, client->pid());
-
-  auto binding = std::make_unique<Binding>();
-  binding->client = client;
-  binding->server = server_id;
-  binding->ept_id = ept_id;
-  binding->server_key = key;
-  binding->shared_buf = buf_va;
-  binding->key_slot = slot;
-  binding->slice_stride = slice_stride;
-  binding->num_slices = static_cast<uint32_t>(num_slices);
-  binding->host_base = host_base;
-  binding->installed = false;
-  Binding* b = AdoptBinding(std::move(binding));
-
-  const sb::Status install = InstallBinding(core, *b, /*pinned_ept=*/0);
-  kernel_->SyscallExit(core, nullptr);
-  return install;
-}
-
-sb::StatusOr<SkyBridge::Binding*> SkyBridge::GetOrCreateChainBinding(hw::Core& core,
-                                                                     mk::Process* origin,
-                                                                     ServerId server_id) {
-  Binding* existing = FindBinding(origin, server_id);
-  if (existing != nullptr) {
-    return existing;
-  }
-  // Lazy chain setup: kernel + Rootkernel mediated (slow path).
-  ServerEntry& server = servers_[server_id];
-  const uint64_t ept_id =
-      core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kCreateBindingEpt), origin->cr3(),
-                  server.process->cr3());
-  if (ept_id == vmm::kHypercallError) {
-    return sb::Internal("rootkernel refused chain binding EPT");
-  }
-  if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kRemapIdentityPage), ept_id,
-                  kernel_->identity_gpa(), server.process->identity_frame()) != 0) {
-    return sb::Internal("rootkernel refused identity remap");
-  }
-  auto binding = std::make_unique<Binding>();
-  binding->client = origin;
-  binding->server = server_id;
-  binding->ept_id = ept_id;
-  binding->server_key = 0;
-  binding->shared_buf = 0;
-  binding->key_slot = 0;
-  binding->installed = false;
-  binding->chain = true;
-  return AdoptBinding(std::move(binding));
-}
-
-void SkyBridge::ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd) {
-  core.AdvanceCycles(kTrampolineLegCycles);
-  (void)core.FetchCode(mk::kTrampolineVa, 128);
-  if (bd != nullptr) {
-    bd->others += kTrampolineLegCycles;
-  }
-}
-
-SkyBridge::SliceRef SkyBridge::SliceOf(const Binding& binding, const mk::Thread* caller) const {
-  SliceRef ref;
-  if (binding.shared_buf == 0) {
-    return ref;  // Chain bindings carry no buffer.
-  }
-  const uint64_t slices = binding.num_slices != 0 ? binding.num_slices : 1;
-  const uint64_t stride =
-      binding.slice_stride != 0 ? binding.slice_stride : sb::PageUp(config_.shared_buffer_bytes);
-  const uint64_t index = static_cast<uint64_t>(caller->tid()) % slices;
-  ref.va = binding.shared_buf + index * stride;
-  if (binding.host_base != nullptr) {
-    ref.host = std::span<uint8_t>(binding.host_base + index * stride,
-                                  static_cast<size_t>(config_.shared_buffer_bytes));
-  }
-  return ref;
+  // One atomic read per field into a thread-local snapshot; see the header
+  // for the (documented) cross-counter consistency rule.
+  thread_local SkyBridgeStats snapshot;
+  snapshot.direct_calls = metrics_.direct_calls->Value();
+  snapshot.long_calls = metrics_.long_calls->Value();
+  snapshot.inplace_calls = metrics_.inplace_calls->Value();
+  snapshot.inplace_replies = metrics_.inplace_replies->Value();
+  snapshot.rejected_calls = metrics_.rejected_calls->Value();
+  snapshot.timeouts = metrics_.timeouts->Value();
+  snapshot.eptp_misses = metrics_.eptp_misses->Value();
+  snapshot.rewritten_vmfuncs = metrics_.rewritten_vmfuncs->Value();
+  snapshot.processes_rewritten = metrics_.processes_rewritten->Value();
+  snapshot.binding_lookup_hits = metrics_.lookup_hits->Value();
+  snapshot.binding_lookup_misses = metrics_.lookup_misses->Value();
+  snapshot.scan_pages = metrics_.scan_pages->Value();
+  snapshot.scan_threads = metrics_.scan_threads->Value();
+  snapshot.aborted_calls = metrics_.aborted_calls->Value();
+  snapshot.gate_rejections = metrics_.gate_rejections->Value();
+  snapshot.stale_slot_retries = metrics_.stale_slot_retries->Value();
+  snapshot.revoked_rejections = metrics_.revoked_rejections->Value();
+  snapshot.bindings_revoked = metrics_.bindings_revoked->Value();
+  snapshot.migration_installs = metrics_.migration_installs->Value();
+  return snapshot;
 }
 
 sb::StatusOr<std::span<uint8_t>> SkyBridge::AcquireSendBuffer(mk::Thread* caller,
@@ -560,7 +102,7 @@ sb::StatusOr<std::span<uint8_t>> SkyBridge::AcquireSendBuffer(mk::Thread* caller
   if (server_id >= servers_.size()) {
     return sb::NotFound("no such server");
   }
-  Binding* perm = LookupRoute(caller, server_id);
+  Binding* perm = routes_.Lookup(caller, server_id);
   if (perm == nullptr) {
     metrics_.rejected_calls->Add();
     return sb::PermissionDenied("client not registered to server");
@@ -570,7 +112,7 @@ sb::StatusOr<std::span<uint8_t>> SkyBridge::AcquireSendBuffer(mk::Thread* caller
     metrics_.rejected_calls->Add();
     return sb::PermissionDenied("binding revoked");
   }
-  const SliceRef slice = SliceOf(*perm, caller);
+  const SliceRef slice = buffers_.SliceOf(*perm, caller);
   if (slice.host.empty()) {
     return sb::FailedPrecondition("binding has no shared buffer");
   }
@@ -597,172 +139,169 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
   if (server_id >= servers_.size()) {
     return sb::NotFound("no such server");
   }
-  ServerEntry& server = servers_[server_id];
-  mk::Process* proc = caller->process();
-  hw::Core& core = kernel_->machine().core(caller->core_id());
-
+  CallContext ctx;
+  ctx.caller = caller;
+  ctx.server_id = server_id;
+  ctx.server = &servers_[server_id];
+  ctx.proc = caller->process();
+  ctx.core = &kernel_->machine().core(caller->core_id());
+  ctx.in_place = in_place;
   // Phase attribution: always measured, even when the caller did not ask for
   // a breakdown — the per-phase histograms are fed from the deltas. The
   // local breakdown records only; it charges no cycles.
-  mk::CostBreakdown local_bd;
-  mk::CostBreakdown* pbd = bd != nullptr ? bd : &local_bd;
-  const mk::CostBreakdown bd_before = *pbd;
-  const uint64_t call_start_cycles = core.cycles();
-  SB_TRACE_EVENT(TraceEventType::kCallStart, core.cycles(), core.id(), proc->pid(),
-                 server.process->pid());
+  ctx.pbd = bd != nullptr ? bd : &ctx.local_bd;
+  ctx.bd_before = *ctx.pbd;
+  ctx.start_cycles = ctx.core->cycles();
+  SB_TRACE_EVENT(TraceEventType::kCallStart, ctx.core->cycles(), ctx.core->id(),
+                 ctx.proc->pid(), ctx.server->process->pid());
 
+  SB_RETURN_IF_ERROR(ResolveRoute(ctx));
+  SB_RETURN_IF_ERROR(PrepareRequest(ctx, msg_in, inplace_tag, inplace_len, in_place));
+  SB_RETURN_IF_ERROR(BindOrigin(ctx));
+  // In-flight brackets every exit path below (guard destructs at return).
+  InFlightGuard guard;
+  guard.Begin(&routes_, ctx.perm, ctx.route);
+  SB_RETURN_IF_ERROR(ArmGate(ctx));
+  SB_RETURN_IF_ERROR(gate_.EnterServer(ctx));
+  return ServeAndReturn(ctx);
+}
+
+sb::Status SkyBridge::ResolveRoute(CallContext& ctx) {
+  hw::Core& core = *ctx.core;
   // Authorization comes from the caller's own registration. The lookup is
   // O(1): per-thread last-route cache, then the (client, server) hash index.
-  Binding* perm = LookupRoute(caller, server_id);
-  if (perm == nullptr) {
+  ctx.perm = routes_.Lookup(ctx.caller, ctx.server_id);
+  if (ctx.perm == nullptr) {
     // Unregistered caller: the trampoline has no binding EPT to switch to;
     // the attempt is rejected and the kernel notified.
     metrics_.rejected_calls->Add();
-    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
-                   server.process->pid());
-    SB_LOG(kDebug) << "call rejected " << sb::kv("client", proc->pid())
-                   << " " << sb::kv("server", server.process->pid())
+    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), ctx.proc->pid(),
+                   ctx.server->process->pid());
+    SB_LOG(kDebug) << "call rejected " << sb::kv("client", ctx.proc->pid())
+                   << " " << sb::kv("server", ctx.server->process->pid())
                    << " " << sb::kv("reason", "unregistered");
     return sb::PermissionDenied("client not registered to server");
   }
-  if (perm->revoked) {
+  if (ctx.perm->revoked) {
     // Revoked bindings refuse new entries; in-flight calls already past this
     // gate drain normally (the sweep waits for them).
     metrics_.revoked_rejections->Add();
     metrics_.rejected_calls->Add();
-    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
-                   server.process->pid());
-    SB_LOG(kDebug) << "call rejected " << sb::kv("client", proc->pid())
-                   << " " << sb::kv("server", server.process->pid())
+    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), ctx.proc->pid(),
+                   ctx.server->process->pid());
+    SB_LOG(kDebug) << "call rejected " << sb::kv("client", ctx.proc->pid())
+                   << " " << sb::kv("server", ctx.server->process->pid())
                    << " " << sb::kv("reason", "revoked");
     return sb::PermissionDenied("binding revoked");
   }
+  return sb::OkStatus();
+}
 
+sb::Status SkyBridge::PrepareRequest(CallContext& ctx, const mk::Message* msg_in,
+                                     uint64_t inplace_tag, uint64_t inplace_len,
+                                     bool in_place) {
   // The caller's per-connection slice. Authorization (and the buffer) always
   // come from the caller's own binding, even when a nested call routes the
   // VMFUNC through a chain binding.
-  const SliceRef slice = SliceOf(*perm, caller);
-  mk::Message inplace_msg;
+  ctx.slice = buffers_.SliceOf(*ctx.perm, ctx.caller);
   if (in_place) {
-    if (slice.host.empty()) {
+    if (ctx.slice.host.empty()) {
       return sb::FailedPrecondition("binding has no shared buffer");
     }
     if (inplace_len > config_.shared_buffer_bytes) {
       metrics_.rejected_calls->Add();
       return sb::OutOfRange("message exceeds shared buffer");
     }
-    inplace_msg = mk::Message::Borrowed(
-        inplace_tag, std::span<const uint8_t>(slice.host.data(), inplace_len));
-    msg_in = &inplace_msg;
+    // The request is a borrowed view of bytes the client already wrote into
+    // its slice — the request copy is skipped.
+    ctx.inplace_msg = mk::Message::Borrowed(
+        inplace_tag, std::span<const uint8_t>(ctx.slice.host.data(), inplace_len));
+    ctx.request = &ctx.inplace_msg;
+  } else {
+    ctx.request = msg_in;
   }
-  const mk::Message& msg = *msg_in;
+  return sb::OkStatus();
+}
 
+sb::Status SkyBridge::BindOrigin(CallContext& ctx) {
+  hw::Core& core = *ctx.core;
   // Determine the live translation origin. A nested call (the caller is
   // itself a server currently entered via SkyBridge) keeps the original
   // client's CR3 live, so the EPT must map *that* CR3 to the target.
-  mk::Process* origin = kernel_->current_process(core.id());
-  bool nested = false;
-  if (origin != proc) {
+  ctx.origin = kernel_->current_process(core.id());
+  if (ctx.origin != ctx.proc) {
     auto identity = kernel_->CurrentIdentity(core);
-    if (identity.ok() && *identity == proc->pid()) {
-      nested = true;  // Entered via a prior VMFUNC; origin's CR3 is live.
+    if (identity.ok() && *identity == ctx.proc->pid()) {
+      ctx.nested = true;  // Entered via a prior VMFUNC; origin's CR3 is live.
     } else {
       // Plain scheduling mismatch: dispatch the caller.
-      SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(core, proc, pbd));
-      origin = proc;
+      SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(core, ctx.proc, ctx.pbd));
+      ctx.origin = ctx.proc;
     }
   }
-
-  Binding* route = perm;
-  if (nested) {
-    SB_ASSIGN_OR_RETURN(route, GetOrCreateChainBinding(core, origin, server_id));
+  ctx.route = ctx.perm;
+  if (ctx.nested) {
+    SB_ASSIGN_OR_RETURN(ctx.route, GetOrCreateChainBinding(core, ctx.origin, ctx.server_id));
   }
+  return sb::OkStatus();
+}
 
-  // In-flight accounting brackets the call on every exit path (both the
-  // authorizing binding and the routed one when they differ). Revocation
-  // never reshapes an EPTP list under a live call — it defers to this
-  // guard's drain.
-  struct DrainGuard {
-    SkyBridge* sky = nullptr;
-    Binding* a = nullptr;
-    Binding* b = nullptr;
-    void Begin(SkyBridge* s, Binding* perm, Binding* route) {
-      sky = s;
-      a = perm;
-      b = route != perm ? route : nullptr;
-      ++a->in_flight;
-      ++a->lru_owner->inflight;
-      if (b != nullptr) {
-        ++b->in_flight;
-        ++b->lru_owner->inflight;
-      }
-    }
-    ~DrainGuard() {
-      if (sky == nullptr) {
-        return;
-      }
-      if (b != nullptr) {
-        sky->FinishCall(*b);
-      }
-      sky->FinishCall(*a);
-    }
-  } drain_guard;
-  drain_guard.Begin(this, perm, route);
-
+sb::Status SkyBridge::ArmGate(CallContext& ctx) {
+  hw::Core& core = *ctx.core;
   // The EPT active at entry: we must return to it (slot 0 for a top-level
   // call, the enclosing binding's EPT for a nested one).
-  const auto& origin_ids = origin->eptp_list_ids();
+  const auto& origin_ids = ctx.origin->eptp_list_ids();
   const size_t entry_index = core.vmcs().active_index;
   SB_CHECK(entry_index < origin_ids.size() || entry_index == 0);
-  const uint64_t entry_ept = entry_index < origin_ids.size() ? origin_ids[entry_index] : 0;
+  ctx.entry_ept = entry_index < origin_ids.size() ? origin_ids[entry_index] : 0;
 
   // On the hit path the EPTP list is untouched, so the return slot is simply
   // the slot we entered on — no scan.
-  size_t return_index = entry_ept != 0 ? entry_index : 0;
-  if (!route->installed) {
+  ctx.return_index = ctx.entry_ept != 0 ? entry_index : 0;
+  if (!ctx.route->installed) {
     // LRU-evicted earlier (or a fresh chain binding): install it.
     metrics_.eptp_misses->Add();
     SB_TRACE_EVENT(TraceEventType::kEptpMiss, core.cycles(), core.id(),
-                   server.process->pid());
-    SB_LOG(kDebug) << "eptp miss " << sb::kv("client", origin->pid())
-                   << " " << sb::kv("server", server.process->pid());
-    kernel_->SyscallEnter(core, pbd);
-    SB_RETURN_IF_ERROR(InstallBinding(core, *route, entry_ept));
-    kernel_->SyscallExit(core, pbd);
+                   ctx.server->process->pid());
+    SB_LOG(kDebug) << "eptp miss " << sb::kv("client", ctx.origin->pid())
+                   << " " << sb::kv("server", ctx.server->process->pid());
+    kernel_->SyscallEnter(core, ctx.pbd);
+    SB_RETURN_IF_ERROR(routes_.Install(core, *ctx.route, ctx.entry_ept));
+    kernel_->SyscallExit(core, ctx.pbd);
     SB_TRACE_EVENT(TraceEventType::kEptpReinstall, core.cycles(), core.id(),
-                   server.process->pid(), route->eptp_slot);
+                   ctx.server->process->pid(), ctx.route->eptp_slot);
     // Reinstallation may have shuffled slots; restore the entry view index
     // (one scan, on the sanctioned slow path only).
-    const size_t entry_slot = EptpSlotOfId(origin_ids, entry_ept);
+    const size_t entry_slot = RouteTable::EptpSlotOfId(origin_ids, ctx.entry_ept);
     if (entry_slot != kSlotNotFound) {
       core.vmcs().active_index = entry_slot;
-      return_index = entry_slot;
+      ctx.return_index = entry_slot;
     } else {
-      return_index = 0;
+      ctx.return_index = 0;
     }
   }
-  TouchLru(*route);
+  routes_.Touch(*ctx.route);
 
   // ---- Client-side trampoline ----
-  ChargeTrampolineLeg(core, pbd);
-  const bool long_msg = in_place || msg.size() > kernel_->profile().register_msg_capacity;
-  if (long_msg) {
+  gate_.ChargeTrampolineLeg(core, ctx.pbd);
+  ctx.long_msg = ctx.in_place || ctx.request->size() > kernel_->profile().register_msg_capacity;
+  if (ctx.long_msg) {
     metrics_.long_calls->Add();
-    if (msg.size() > config_.shared_buffer_bytes || slice.va == 0) {
+    if (ctx.request->size() > config_.shared_buffer_bytes || ctx.slice.va == 0) {
       metrics_.rejected_calls->Add();
       return sb::OutOfRange("message exceeds shared buffer");
     }
-    if (in_place) {
+    if (ctx.in_place) {
       // The client already built the payload in its slice: no request copy.
       metrics_.inplace_calls->Add();
     } else {
       const uint64_t before = core.cycles();
-      SB_RETURN_IF_ERROR(core.WriteVirt(slice.va, msg.payload()));
-      pbd->copy += core.cycles() - before;
+      SB_RETURN_IF_ERROR(core.WriteVirt(ctx.slice.va, ctx.request->payload()));
+      ctx.pbd->copy += core.cycles() - before;
     }
   }
   // The client's per-call key; the server must echo it on return.
-  const uint64_t client_key = key_rng_.Next();
+  ctx.client_key = Gate::PerCallKey(*ctx.caller, core.cycles());
 
   // The binding's slot is cached and centrally maintained; no EPTP scan on
   // the hit path. A concurrent registration can still LRU-evict the binding
@@ -771,89 +310,63 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
   // exponential backoff instead of dying on the old SB_CHECK.
   for (uint64_t attempt = 0;; ++attempt) {
     if (SB_FAULT_POINT(kFaultPreVmfunc)) {
-      FaultEvict(core, *route);
+      routes_.FaultEvict(core, *ctx.route);
     }
-    if (route->installed && route->eptp_slot != kNoEptpSlot) {
+    if (ctx.route->installed && ctx.route->eptp_slot != kNoEptpSlot) {
       break;
     }
     if (attempt >= config_.max_stale_slot_retries) {
       metrics_.rejected_calls->Add();
-      SB_LOG(kDebug) << "stale-slot retries exhausted " << sb::kv("client", origin->pid())
-                     << " " << sb::kv("server", server.process->pid());
-      const size_t entry_slot = EptpSlotOfId(origin_ids, entry_ept);
+      SB_LOG(kDebug) << "stale-slot retries exhausted " << sb::kv("client", ctx.origin->pid())
+                     << " " << sb::kv("server", ctx.server->process->pid());
+      const size_t entry_slot = RouteTable::EptpSlotOfId(origin_ids, ctx.entry_ept);
       core.vmcs().active_index =
-          entry_ept != 0 && entry_slot != kSlotNotFound ? entry_slot : 0;
+          ctx.entry_ept != 0 && entry_slot != kSlotNotFound ? entry_slot : 0;
       return sb::Unavailable("EPTP slot evicted repeatedly before VMFUNC");
     }
     metrics_.stale_slot_retries->Add();
     SB_TRACE_EVENT(TraceEventType::kStaleSlotRetry, core.cycles(), core.id(),
-                   server.process->pid(), attempt);
+                   ctx.server->process->pid(), attempt);
     core.AdvanceCycles(kStaleBackoffCycles << attempt);
-    kernel_->SyscallEnter(core, pbd);
-    const sb::Status rearm = InstallBinding(core, *route, entry_ept);
-    kernel_->SyscallExit(core, pbd);
+    kernel_->SyscallEnter(core, ctx.pbd);
+    const sb::Status rearm = routes_.Install(core, *ctx.route, ctx.entry_ept);
+    kernel_->SyscallExit(core, ctx.pbd);
     SB_RETURN_IF_ERROR(rearm);
-    const size_t entry_slot = EptpSlotOfId(origin_ids, entry_ept);
-    if (entry_ept != 0 && entry_slot != kSlotNotFound) {
+    const size_t entry_slot = RouteTable::EptpSlotOfId(origin_ids, ctx.entry_ept);
+    if (ctx.entry_ept != 0 && entry_slot != kSlotNotFound) {
       core.vmcs().active_index = entry_slot;
-      return_index = entry_slot;
+      ctx.return_index = entry_slot;
     } else {
-      return_index = 0;
+      ctx.return_index = 0;
     }
   }
-  const uint64_t before_vmfunc = core.cycles();
-  SB_RETURN_IF_ERROR(core.Vmfunc(0, route->eptp_slot));
-  pbd->vmfunc += core.cycles() - before_vmfunc;
-  SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), route->eptp_slot);
+  return sb::OkStatus();
+}
 
-  auto return_to_entry = [&]() -> sb::Status {
-    const uint64_t t0 = core.cycles();
-    SB_RETURN_IF_ERROR(core.Vmfunc(0, static_cast<uint32_t>(return_index)));
-    pbd->vmfunc += core.cycles() - t0;
-    SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), return_index);
-    ChargeTrampolineLeg(core, pbd);
-    return sb::OkStatus();
-  };
-
-  // Fold this call's phase deltas into the per-phase histograms at exit.
-  auto record_phases = [&]() {
-    metrics_.phase_vmfunc->Record(pbd->vmfunc - bd_before.vmfunc);
-    metrics_.phase_trampoline->Record(pbd->others - bd_before.others);
-    metrics_.phase_copy->Record(pbd->copy - bd_before.copy);
-    metrics_.phase_syscall->Record(pbd->syscall_sysret - bd_before.syscall_sysret);
-    metrics_.phase_total->Record(core.cycles() - call_start_cycles);
-  };
+sb::StatusOr<mk::Message> SkyBridge::ServeAndReturn(CallContext& ctx) {
+  hw::Core& core = *ctx.core;
+  ServerEntry& server = *ctx.server;
+  const mk::Message& msg = *ctx.request;
 
   // ---- Server side (server address space, same core, no kernel) ----
   // Calling-key check against the server's table (Section 4.4).
-  bool key_ok = true;
-  if (config_.calling_keys) {
-    const hw::Gva slot_va = mk::kCallingKeyTableVa + perm->key_slot * kKeySlotBytes;
-    auto stored = core.ReadVirtU64(slot_va);
-    if (!stored.ok()) {
-      key_ok = false;
-    } else {
-      core.AdvanceCycles(8);  // Compare + branch.
-      key_ok = (*stored == perm->server_key);
-    }
-  }
-  if (!key_ok) {
+  if (!gate_.CheckCallingKey(ctx)) {
     metrics_.rejected_calls->Add();
-    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
+    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), ctx.proc->pid(),
                    server.process->pid());
-    SB_LOG(kDebug) << "call rejected " << sb::kv("client", proc->pid())
+    SB_LOG(kDebug) << "call rejected " << sb::kv("client", ctx.proc->pid())
                    << " " << sb::kv("server", server.process->pid())
                    << " " << sb::kv("reason", "calling_key");
-    SB_RETURN_IF_ERROR(return_to_entry());
+    SB_RETURN_IF_ERROR(gate_.ReturnToEntry(ctx));
     return sb::PermissionDenied("calling key rejected");
   }
 
   // Install the per-connection server stack.
-  const hw::Gva stack_va = mk::kServerStacksVa + server_id * 256 * kServerStackBytes +
-                           perm->key_slot * kServerStackBytes;
+  const hw::Gva stack_va = mk::kServerStacksVa + ctx.server_id * 256 * kServerStackBytes +
+                           ctx.perm->key_slot * kServerStackBytes;
   (void)core.TouchData(stack_va + kServerStackBytes - 64, 64, true);
 
-  const uint64_t handler_start = core.cycles();
+  ctx.handler_start = core.cycles();
   SB_TRACE_EVENT(TraceEventType::kHandlerEnter, core.cycles(), core.id(),
                  server.process->pid());
   // Handler request view: in the default modes a long request is served as a
@@ -861,142 +374,101 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
   // a copied-out vector. The legacy two-copy ablation keeps the owned copy.
   mk::Message borrowed_req;
   const mk::Message* handler_req = &msg;
-  if (long_msg && !config_.legacy_two_copy && !slice.host.empty()) {
+  if (ctx.long_msg && !config_.legacy_two_copy && !ctx.slice.host.empty()) {
     borrowed_req = mk::Message::Borrowed(
-        msg.tag, std::span<const uint8_t>(slice.host.data(), msg.size()));
+        msg.tag, std::span<const uint8_t>(ctx.slice.host.data(), msg.size()));
     handler_req = &borrowed_req;
   }
   mk::CallEnv env{*kernel_, core, *server.process, *handler_req};
-  if (!config_.legacy_two_copy && !slice.host.empty()) {
+  if (!config_.legacy_two_copy && !ctx.slice.host.empty()) {
     // Offer the slice for in-place reply construction (zero-copy replies).
-    env.reply_buffer = slice.host;
-    env.reply_buffer_va = slice.va;
+    env.reply_buffer = ctx.slice.host;
+    env.reply_buffer_va = ctx.slice.va;
   }
   if (SB_FAULT_POINT(kFaultHandlerCrash)) {
-    // The server thread dies mid-handler, stranding the client in the
-    // server's address space. The Rootkernel mediates the abort: restore the
-    // client's entry view, pop the trampoline frame, wake the blocked caller
-    // and surface Aborted instead of a wedged call.
-    metrics_.aborted_calls->Add();
-    SB_TRACE_EVENT(TraceEventType::kCallAborted, core.cycles(), core.id(), proc->pid(),
-                   server.process->pid());
-    SB_LOG(kDebug) << "handler crash " << sb::kv("client", proc->pid())
-                   << " " << sb::kv("server", server.process->pid());
-    const uint64_t abort_start = core.cycles();
-    if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kAbortToView),
-                    static_cast<uint64_t>(return_index)) == vmm::kHypercallError) {
-      return sb::Internal("rootkernel refused the abort view restore");
-    }
-    pbd->others += core.cycles() - abort_start;
-    ChargeTrampolineLeg(core, pbd);  // The popped frame's restore leg.
-    kernel_->FinishAbortedCall(core, caller, pbd);
-    record_phases();
-    return sb::Aborted("server thread crashed mid-handler; call aborted");
+    return gate_.AbortServerCrash(ctx);
   }
   mk::Message reply = server.handler(env);
   if (SB_FAULT_POINT(kFaultRevokeInflight)) {
     // Revocation racing a live call: this reply still returns; the EPTP
     // surgery defers to the drain and subsequent calls are refused.
-    (void)RevokeBinding(proc, server_id);
+    (void)RevokeBinding(ctx.proc, ctx.server_id);
   }
-  const bool timed_out = core.cycles() - handler_start > config_.timeout_cycles;
+  ctx.timed_out = core.cycles() - ctx.handler_start > config_.timeout_cycles;
   SB_TRACE_EVENT(TraceEventType::kHandlerExit, core.cycles(), core.id(), server.process->pid(),
-                 timed_out ? 1 : 0);
+                 ctx.timed_out ? 1 : 0);
 
-  // A borrowed reply whose bytes already live inside this connection's slice
-  // was built in place: the reply copy is skipped entirely.
-  bool reply_in_place = false;
-  if (!slice.host.empty() && reply.borrowed() && !reply.view.empty()) {
-    const uint8_t* base = slice.host.data();
-    const uint8_t* p = reply.view.data();
-    reply_in_place = p >= base && p + reply.view.size() <= base + slice.host.size();
-  }
-  // Return-gate integrity: a borrowed reply that straddles the slice
-  // boundary is a corrupt descriptor — the server scribbled the pointer or
-  // the length. Detected structurally here, or injected by
-  // gate.reply_corrupt; either way the reply is rejected after the EPT view
-  // is restored, never delivered.
-  bool reply_corrupt = SB_FAULT_POINT(kFaultReplyCorrupt);
-  if (!reply_corrupt && !slice.host.empty() && reply.borrowed() && !reply.view.empty() &&
-      !reply_in_place) {
-    const uint8_t* base = slice.host.data();
-    const uint8_t* p = reply.view.data();
-    reply_corrupt = p < base + slice.host.size() && p + reply.view.size() > base;
-  }
-  if (reply_corrupt && !timed_out) {
+  const Gate::ReplyVerdict verdict = gate_.ClassifyReply(ctx, reply);
+  if (verdict.corrupt && !ctx.timed_out) {
     metrics_.gate_rejections->Add();
     metrics_.rejected_calls->Add();
-    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
+    SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), ctx.proc->pid(),
                    server.process->pid());
-    SB_LOG(kDebug) << "reply rejected at the return gate " << sb::kv("client", proc->pid())
+    SB_LOG(kDebug) << "reply rejected at the return gate " << sb::kv("client", ctx.proc->pid())
                    << " " << sb::kv("server", server.process->pid());
-    SB_RETURN_IF_ERROR(return_to_entry());
-    record_phases();
+    SB_RETURN_IF_ERROR(gate_.ReturnToEntry(ctx));
+    gate_.RecordPhases(ctx);
     return sb::OutOfRange("corrupt reply rejected at the return gate");
   }
   const bool long_reply =
-      reply_in_place || reply.size() > kernel_->profile().register_msg_capacity;
-  if (long_reply && !timed_out) {
-    if (reply.size() > config_.shared_buffer_bytes || slice.va == 0) {
+      verdict.in_place || reply.size() > kernel_->profile().register_msg_capacity;
+  if (long_reply && !ctx.timed_out) {
+    if (reply.size() > config_.shared_buffer_bytes || ctx.slice.va == 0) {
       // Reject — but only after the return gate. Bailing out here would
       // leave the core in the server's EPT view with the client resumed.
       metrics_.gate_rejections->Add();
       metrics_.rejected_calls->Add();
-      SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), proc->pid(),
+      SB_TRACE_EVENT(TraceEventType::kRejected, core.cycles(), core.id(), ctx.proc->pid(),
                      server.process->pid());
-      SB_RETURN_IF_ERROR(return_to_entry());
-      record_phases();
+      SB_RETURN_IF_ERROR(gate_.ReturnToEntry(ctx));
+      gate_.RecordPhases(ctx);
       return sb::OutOfRange("reply exceeds shared buffer");
     }
-    if (reply_in_place) {
+    if (verdict.in_place) {
       metrics_.inplace_replies->Add();
     } else {
       const uint64_t before = core.cycles();
-      SB_RETURN_IF_ERROR(core.WriteVirt(slice.va, reply.payload()));
-      pbd->copy += core.cycles() - before;
+      SB_RETURN_IF_ERROR(core.WriteVirt(ctx.slice.va, reply.payload()));
+      ctx.pbd->copy += core.cycles() - before;
     }
   }
 
   // ---- Return gate ----
-  SB_RETURN_IF_ERROR(return_to_entry());
-  if (config_.calling_keys) {
-    // The client verifies the echoed per-call key (illegal-return defence).
-    core.AdvanceCycles(8);
-    (void)client_key;
-  }
-  if (long_reply && !timed_out) {
-    if (config_.legacy_two_copy || slice.host.empty()) {
+  SB_RETURN_IF_ERROR(gate_.ReturnToEntry(ctx));
+  gate_.VerifyReturnKey(ctx);
+  if (long_reply && !ctx.timed_out) {
+    if (config_.legacy_two_copy || ctx.slice.host.empty()) {
       // Two-copy ablation: charged read-out, and the returned message
       // carries the bytes read from the buffer — the simulated dataflow
       // matches the modeled cost.
       const uint64_t before = core.cycles();
       std::vector<uint8_t> out(reply.size());
-      SB_RETURN_IF_ERROR(core.ReadVirt(slice.va, out));
-      pbd->copy += core.cycles() - before;
+      SB_RETURN_IF_ERROR(core.ReadVirt(ctx.slice.va, out));
+      ctx.pbd->copy += core.cycles() - before;
       reply.view = std::span<const uint8_t>();
       reply.data = std::move(out);
-    } else if (!reply_in_place) {
+    } else if (!verdict.in_place) {
       // One-copy: the reply bytes live in the slice after the server-side
       // write; hand the client a borrowed view instead of copying them out.
       const size_t n = reply.size();
       reply.data.clear();
-      reply.view = std::span<const uint8_t>(slice.host.data(), n);
+      reply.view = std::span<const uint8_t>(ctx.slice.host.data(), n);
     }
-    // reply_in_place: the view already points into the slice — zero copies.
+    // verdict.in_place: the view already points into the slice — zero copies.
   }
-  if (timed_out) {
+  if (ctx.timed_out) {
     metrics_.timeouts->Add();
     SB_TRACE_EVENT(TraceEventType::kTimeout, core.cycles(), core.id(),
                    server.process->pid());
-    SB_LOG(kDebug) << "call timeout " << sb::kv("client", proc->pid())
+    SB_LOG(kDebug) << "call timeout " << sb::kv("client", ctx.proc->pid())
                    << " " << sb::kv("server", server.process->pid());
-    record_phases();
+    gate_.RecordPhases(ctx);
     return sb::TimeoutError("server handler exceeded the SkyBridge timeout");
   }
   metrics_.direct_calls->Add();
-  SB_TRACE_EVENT(TraceEventType::kCallEnd, core.cycles(), core.id(), proc->pid(),
+  SB_TRACE_EVENT(TraceEventType::kCallEnd, core.cycles(), core.id(), ctx.proc->pid(),
                  server.process->pid());
-  record_phases();
+  gate_.RecordPhases(ctx);
   return reply;
 }
 
@@ -1006,7 +478,7 @@ sb::StatusOr<mk::Message> SkyBridge::CallWithForgedKey(mk::Thread* caller, Serve
   if (server_id >= servers_.size()) {
     return sb::NotFound("no such server");
   }
-  Binding* binding = FindBinding(caller->process(), server_id);
+  Binding* binding = routes_.Find(caller->process(), server_id);
   if (binding == nullptr) {
     metrics_.rejected_calls->Add();
     return sb::PermissionDenied("client not registered to server");
@@ -1022,163 +494,20 @@ sb::Status SkyBridge::RevokeBinding(mk::Process* client, ServerId server_id) {
   if (server_id >= servers_.size()) {
     return sb::NotFound("no such server");
   }
-  Binding* binding = FindBinding(client, server_id);
-  if (binding == nullptr) {
-    return sb::NotFound("client not registered to server");
-  }
-  if (!binding->revoked) {
-    binding->revoked = true;
-    ++route_generation_;  // Drop every thread's cached route.
-    metrics_.bindings_revoked->Add();
-    hw::Core& core = kernel_->machine().core(0);
-    SB_TRACE_EVENT(TraceEventType::kBindingRevoked, core.cycles(), core.id(), client->pid(),
-                   server_id);
-    SB_LOG(kDebug) << "binding revoked " << sb::kv("client", client->pid())
-                   << " " << sb::kv("server", server_id);
-  }
-  SweepRevoked(client);
-  return sb::OkStatus();
-}
-
-void SkyBridge::FinishCall(Binding& binding) {
-  if (binding.in_flight > 0) {
-    --binding.in_flight;
-  }
-  ClientState* state = binding.lru_owner;
-  if (state == nullptr) {
-    return;
-  }
-  if (state->inflight > 0) {
-    --state->inflight;
-  }
-  if (state->inflight == 0 && state->pending_revocations) {
-    SweepRevoked(binding.client);
-  }
-}
-
-void SkyBridge::SweepRevoked(mk::Process* client) {
-  auto it = clients_.find(client);
-  if (it == clients_.end()) {
-    return;
-  }
-  ClientState& state = it->second;
-  if (state.inflight > 0) {
-    // Never reshape the EPTP list under a live call: the last drain of this
-    // client re-runs the sweep.
-    state.pending_revocations = true;
-    return;
-  }
-  state.pending_revocations = false;
-  auto& ids = client->eptp_list_ids();
-  bool removed = false;
-  for (Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
-    if (!b->revoked || !b->installed) {
-      continue;
-    }
-    ids.erase(std::remove(ids.begin(), ids.end(), b->ept_id), ids.end());
-    b->installed = false;
-    b->eptp_slot = kNoEptpSlot;
-    removed = true;
-  }
-  if (!removed) {
-    return;
-  }
-  RefreshEptpSlots(client);
-  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
-    if (kernel_->current_process(i) == client) {
-      (void)kernel_->ContextSwitchTo(kernel_->machine().core(i), client);
-    }
-  }
-}
-
-void SkyBridge::FaultEvict(hw::Core& core, Binding& binding) {
-  if (!binding.installed) {
-    return;
-  }
-  SB_TRACE_EVENT(TraceEventType::kEptEvict, core.cycles(), core.id(), binding.server,
-                 binding.eptp_slot);
-  auto& ids = binding.client->eptp_list_ids();
-  ids.erase(std::remove(ids.begin(), ids.end(), binding.ept_id), ids.end());
-  binding.installed = false;
-  binding.eptp_slot = kNoEptpSlot;
-  RefreshEptpSlots(binding.client);
-  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
-    if (kernel_->current_process(i) == binding.client) {
-      (void)kernel_->ContextSwitchTo(kernel_->machine().core(i), binding.client);
-    }
-  }
+  return routes_.Revoke(client, server_id);
 }
 
 sb::Status SkyBridge::CheckInvariants() const {
-  for (const auto& entry : clients_) {
-    mk::Process* client = entry.first;
-    const ClientState& state = entry.second;
-    size_t chain = 0;
-    uint64_t inflight_sum = 0;
-    const Binding* prev = nullptr;
-    for (const Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
-      if (++chain > bindings_.size()) {
-        return sb::Internal("LRU cycle detected");
-      }
-      if (b->lru_prev != prev) {
-        return sb::Internal("LRU prev link broken");
-      }
-      if (b->lru_owner != &state) {
-        return sb::Internal("LRU owner mismatch");
-      }
-      if (b->client != client) {
-        return sb::Internal("binding threaded onto the wrong client's LRU list");
-      }
-      inflight_sum += b->in_flight;
-      prev = b;
-    }
-    if (state.lru_tail != prev) {
-      return sb::Internal("LRU tail does not terminate the chain");
-    }
-    if (inflight_sum != state.inflight) {
-      return sb::Internal("per-client in-flight sum out of sync");
-    }
-    const auto& ids = client->eptp_list_ids();
-    if (ids.size() > config_.eptp_capacity) {
-      return sb::Internal("EPTP list exceeds the configured capacity");
-    }
-    for (const Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
-      if (b->installed) {
-        if (b->eptp_slot == kNoEptpSlot || b->eptp_slot >= ids.size() ||
-            ids[b->eptp_slot] != b->ept_id) {
-          return sb::Internal("installed binding's cached slot disagrees with the EPTP list");
-        }
-      } else if (b->eptp_slot != kNoEptpSlot) {
-        return sb::Internal("evicted binding still caches a slot");
-      }
-      if (b->revoked && b->installed && state.inflight == 0) {
-        return sb::Internal("drained revoked binding still installed");
-      }
-    }
-  }
-  return sb::OkStatus();
+  SB_RETURN_IF_ERROR(routes_.CheckInvariants());
+  // The Rootkernel's per-core EPTP mirrors must agree with the VMCS state
+  // the library's installs produced.
+  return kernel_->rootkernel()->CheckInvariants();
 }
 
-uint64_t SkyBridge::InFlightCalls() const {
-  uint64_t total = 0;
-  for (const auto& entry : clients_) {
-    total += entry.second.inflight;
-  }
-  return total;
-}
+uint64_t SkyBridge::InFlightCalls() const { return routes_.InFlightCalls(); }
 
 sb::StatusOr<size_t> SkyBridge::InstalledBindings(mk::Process* client) const {
-  size_t count = 0;
-  auto it = clients_.find(client);
-  if (it == clients_.end()) {
-    return count;
-  }
-  for (const Binding* b = it->second.lru_head; b != nullptr; b = b->lru_next) {
-    if (b->installed) {
-      ++count;
-    }
-  }
-  return count;
+  return routes_.InstalledBindings(client);
 }
 
 }  // namespace skybridge

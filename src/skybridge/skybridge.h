@@ -17,20 +17,26 @@
 // key and jumps to the registered handler — 2 x (134 + 64) = 396 cycles of
 // direct cost per roundtrip.
 //
-// The call path is O(1) in the number of registered bindings: lookups go
-// through a per-thread last-route cache backed by an open-addressed hash
-// index keyed on (client, server); LRU maintenance uses intrusive prev/next
-// links embedded in the Binding; and each installed binding caches its EPTP
-// list slot, invalidated centrally whenever InstallBinding reshuffles the
-// list. Registration — the sanctioned slow path — fans its code-page scans
-// out over a thread pool instead.
+// The control plane is decomposed into per-concern modules, and this class
+// is the facade that drives one typed CallContext through them:
+//
+//   routing.h  — binding records, (client, server) hash index, per-thread
+//                last-route cache, intrusive LRU, EPTP-slot caches; the
+//                read-mostly route table (epoch-versioned for revocation).
+//   gate.h     — VMFUNC entry/return legs, trampoline cost model, calling
+//                keys, abort/unwind, return-gate reply validation, phases.
+//   buffers.h  — shared-buffer regions and per-connection slice carving.
+//
+// Steady-state calls on different simulated cores share no mutable word
+// (DESIGN.md section 11): lookups hit per-thread caches, in-flight counters
+// live on the caller's own binding, and telemetry is sharded — so N disjoint
+// (client, server) pairs on N cores scale without serializing.
 
 #ifndef SRC_SKYBRIDGE_SKYBRIDGE_H_
 #define SRC_SKYBRIDGE_SKYBRIDGE_H_
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -38,70 +44,13 @@
 #include "src/base/telemetry/metrics.h"
 #include "src/base/thread_pool.h"
 #include "src/mk/kernel.h"
+#include "src/skybridge/buffers.h"
+#include "src/skybridge/config.h"
+#include "src/skybridge/gate.h"
+#include "src/skybridge/routing.h"
 #include "src/skybridge/trampoline.h"
 
 namespace skybridge {
-
-using ServerId = uint64_t;
-
-// ---- Fault-point catalog (src/base/faultpoint.h, DESIGN.md section 10) ----
-// Each point has a tested recovery path; arming one must never turn into an
-// SB_CHECK death.
-//
-// The caller's cached EPTP slot is evicted between route lookup and VMFUNC
-// (a concurrent registration LRU-evicted the binding). Recovery: detect the
-// stale slot, re-arm via the slowpath with bounded backoff; the call retries
-// transparently or fails Unavailable after max_stale_slot_retries.
-inline constexpr const char kFaultPreVmfunc[] = "skybridge.call.pre_vmfunc";
-// The server thread crashes mid-handler, stranding the client in the
-// server's address space. Recovery: Rootkernel-mediated abort (kAbortToView)
-// restores the client's EPT view, the trampoline frame is popped, the kernel
-// unblocks the caller and the call returns Status::Aborted.
-inline constexpr const char kFaultHandlerCrash[] = "skybridge.handler.crash";
-// The server scribbles the reply descriptor so the reply escapes the
-// caller's shared-buffer slice. Recovery: the return gate rejects the reply
-// — after the EPT view is restored — with a gate_rejections metric.
-inline constexpr const char kFaultReplyCorrupt[] = "skybridge.gate.reply_corrupt";
-// The caller's binding is revoked while its call is in flight. Recovery:
-// the in-flight call drains normally; EPTP-list surgery is deferred to the
-// drain and new calls are refused with PermissionDenied.
-inline constexpr const char kFaultRevokeInflight[] = "skybridge.call.revoke_inflight";
-
-struct SkyBridgeConfig {
-  // Maximum EPTP list slots a client may occupy (hardware limit 512). The
-  // library LRU-evicts bindings beyond this (paper Section 10 future work).
-  size_t eptp_capacity = hw::kEptpListCapacity;
-  // Per-(binding, connection) shared buffer for long messages.
-  uint64_t shared_buffer_bytes = 64 * 1024;
-  // Connection slices carved out of each binding's buffer region (paper
-  // Section 6.3 per-thread buffers): thread t uses slice t % buffer_slices,
-  // each slice holding shared_buffer_bytes, so concurrent connections of one
-  // binding stop aliasing a single buffer.
-  uint64_t buffer_slices = 4;
-  // Ablation switch: model the legacy two-copy long path (client WriteVirt
-  // in, server WriteVirt reply, client ReadVirt out into the returned
-  // message). Off by default — the handler gets a borrowed view over the
-  // slice and the client consumes the reply straight from the buffer, which
-  // is the paper's one-copy claim; pair with the in-place API for zero-copy.
-  bool legacy_two_copy = false;
-  // Enforce calling-key checks (ablation switch).
-  bool calling_keys = true;
-  // Rewrite process binaries at registration (ablation switch; disabling is
-  // insecure and exists only to measure the cost).
-  bool rewrite_binaries = true;
-  // DoS defence: force return to the client if a handler runs longer.
-  uint64_t timeout_cycles = 1ULL << 32;
-  uint64_t key_seed = 0x5eedULL;
-  // Worker threads for the registration-scan pool. A fixed count — never
-  // derived from std::thread::hardware_concurrency — so scan fan-out (and
-  // the scan_threads gauge tests assert on) matches between a 2-vCPU CI
-  // runner and a large workstation.
-  int scan_pool_threads = 4;
-  // Bounded backoff for re-arming a binding whose cached EPTP slot went
-  // stale between lookup and VMFUNC (concurrent eviction). After this many
-  // slowpath re-installs the call fails Unavailable.
-  uint64_t max_stale_slot_retries = 3;
-};
 
 // Point-in-time snapshot of the library's counters. The live values are
 // telemetry registry metrics (skybridge.* on the machine's registry); this
@@ -129,12 +78,17 @@ struct SkyBridgeStats {
   uint64_t stale_slot_retries = 0; // Pre-VMFUNC stale-slot slowpath re-arms.
   uint64_t revoked_rejections = 0; // Calls refused on a revoked binding.
   uint64_t bindings_revoked = 0;   // RevokeBinding transitions.
+  // ---- Per-core control plane (DESIGN.md section 11) ----
+  // EPTP lists eagerly re-installed by the scheduler hook when a thread
+  // migrated cores (vs. the lazy stale_slot_retries fallback).
+  uint64_t migration_installs = 0;
 };
 
 class SkyBridge {
  public:
   // Requires a kernel booted with the Rootkernel.
   explicit SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config = {});
+  ~SkyBridge();
 
   // ---- Registration (paper Figure 4) ----
   sb::StatusOr<ServerId> RegisterServer(mk::Process* server, int max_connections,
@@ -178,8 +132,16 @@ class SkyBridge {
   sb::StatusOr<mk::Message> CallWithForgedKey(mk::Thread* caller, ServerId server_id,
                                               const mk::Message& msg, uint64_t forged_key);
 
-  // Folds the registry-backed counters into the snapshot struct. The
-  // returned reference stays valid until the next stats() call.
+  // Folds the registry-backed counters into the snapshot struct.
+  //
+  // Consistency rule: safe to call concurrently with calls on other
+  // threads. Each field is one atomic per-counter read, so every field is
+  // individually monotonic and exact at its read point, but the snapshot is
+  // NOT a consistent cut across counters — a call racing the fold may be
+  // reflected in direct_calls and not yet in binding_lookup_hits (or vice
+  // versa; fields are read in declaration order). The returned reference is
+  // thread-local: it stays valid, and stable, until the same thread calls
+  // stats() again.
   const SkyBridgeStats& stats() const;
   const SkyBridgeConfig& config() const { return config_; }
   mk::Kernel& kernel() { return *kernel_; }
@@ -195,8 +157,8 @@ class SkyBridge {
 
   // Structural invariants the stress runner asserts between events: LRU
   // list consistency, cached-slot/EPTP-list agreement, per-client capacity,
-  // revoked bindings uninstalled once drained, in-flight accounting.
-  // Returns the first violated invariant.
+  // revoked bindings uninstalled once drained, in-flight accounting, and
+  // the Rootkernel's per-core EPTP mirrors. Returns the first violation.
   sb::Status CheckInvariants() const;
 
   // Calls currently between entry and return across all bindings. Zero at
@@ -207,146 +169,43 @@ class SkyBridge {
   sb::StatusOr<size_t> InstalledBindings(mk::Process* client) const;
 
  private:
-  struct ServerEntry {
-    ServerId id;
-    mk::Process* process;
-    mk::Handler handler;
-    int max_connections;
-    hw::Gva handler_va;  // "function address" in the server's function list.
-    uint64_t next_connection = 0;
-  };
-
-  // Sentinel for "binding not on the client's EPTP list".
-  static constexpr uint32_t kNoEptpSlot = 0xffffffffu;
-  static constexpr size_t kSlotNotFound = static_cast<size_t>(-1);
-
-  struct ClientState;
-
-  struct Binding {
-    mk::Process* client;      // The process whose CR3 is live when used.
-    ServerId server;
-    uint64_t ept_id;          // Rootkernel EPT id.
-    uint64_t server_key;      // Client -> server calling key.
-    hw::Gva shared_buf;       // Region base, mapped at the same VA in both.
-    uint64_t key_slot;        // Index in the server's calling-key table.
-    // ---- Buffer carving (long-message path) ----
-    // The region is num_slices page-aligned slices of slice_stride bytes;
-    // connection (thread) t owns slice t % num_slices, each with
-    // shared_buffer_bytes of capacity. host_base is the host-contiguous view
-    // of the whole region (nullptr for chain bindings, which carry no
-    // buffer), enabling borrowed message views without simulated copies.
-    uint64_t slice_stride = 0;
-    uint32_t num_slices = 0;
-    uint8_t* host_base = nullptr;
-    bool installed = true;    // Currently on the client's EPTP list.
-    // Revoked bindings refuse new calls; their EPTP entry is removed when
-    // the client drains. The record itself persists ("bindings are never
-    // destroyed") and re-registration revives it.
-    bool revoked = false;
-    // Calls currently between entry and return on this binding. The EPTP
-    // list is never reshaped while the owning client has calls in flight.
-    uint64_t in_flight = 0;
-    // Chain bindings support nested calls (A -> B -> C): the EPT maps A's
-    // CR3 to C's page tables, while authorization/keys come from the B -> C
-    // registration (Section 4.2: "the Rootkernel also writes all processes'
-    // EPTPs that the server depends on into the client's EPTP list").
-    bool chain = false;
-    // ---- Fast-path state ----
-    // Cached index of `ept_id` on the client's EPTP list; kNoEptpSlot while
-    // evicted. Maintained centrally by InstallBinding/RefreshEptpSlots so
-    // DirectServerCall never scans the list.
-    uint32_t eptp_slot = kNoEptpSlot;
-    // Intrusive per-client LRU links (head = most recently used).
-    Binding* lru_prev = nullptr;
-    Binding* lru_next = nullptr;
-    ClientState* lru_owner = nullptr;
-  };
-
-  // Per-client fast-path state: the intrusive LRU list heads.
-  struct ClientState {
-    Binding* lru_head = nullptr;  // Most recently used.
-    Binding* lru_tail = nullptr;  // Eviction candidate end.
-    uint64_t inflight = 0;        // Sum of in_flight over this client's bindings.
-    bool pending_revocations = false;  // Sweep deferred until inflight drains.
-  };
-
-  // Open-addressed hash index over (client, server) -> Binding*: linear
-  // probing, power-of-two capacity. Bindings are never destroyed, so there
-  // are no tombstones and lookups stop at the first empty slot.
-  class BindingIndex {
-   public:
-    BindingIndex() : slots_(kInitialSlots, nullptr) {}
-    Binding* Find(const mk::Process* client, ServerId server) const;
-    void Insert(Binding* binding);
-
-   private:
-    static constexpr size_t kInitialSlots = 64;
-    static size_t Hash(const mk::Process* client, ServerId server);
-    void Grow();
-    std::vector<Binding*> slots_;
-    size_t size_ = 0;
-  };
-
-  // The caller's per-connection slice of a binding's buffer region: its
-  // guest VA (same in client and server) and, when the region has contiguous
-  // host backing, the host view used for borrowed messages. Both empty/0 for
-  // bufferless (chain) bindings.
-  struct SliceRef {
-    hw::Gva va = 0;
-    std::span<uint8_t> host;
-  };
-
   sb::Status EnsureProcessPrepared(mk::Process* process);
   sb::Status RewriteProcessImage(mk::Process* process);
-  SliceRef SliceOf(const Binding& binding, const mk::Thread* caller) const;
-  // Shared body of DirectServerCall / DirectServerCallInPlace. When
-  // `in_place` is set, `msg_in` is ignored and the request is a borrowed
-  // view of `inplace_len` bytes the client already wrote into its slice —
-  // the request copy is skipped.
-  sb::StatusOr<mk::Message> CallCommon(mk::Thread* caller, ServerId server_id,
-                                       const mk::Message* msg_in, uint64_t inplace_tag,
-                                       uint64_t inplace_len, bool in_place,
-                                       mk::CostBreakdown* bd);
-  // O(1) index lookup (slow path of the lookup; no linear scans).
-  Binding* FindBinding(mk::Process* client, ServerId server);
-  // Per-thread last-route cache in front of FindBinding; maintains the
-  // binding_lookup_hits/misses counters.
-  Binding* LookupRoute(mk::Thread* caller, ServerId server);
-  // Registers a freshly created binding: index insert + LRU front.
-  Binding* AdoptBinding(std::unique_ptr<Binding> binding);
   // Lazily creates the chain binding (origin's CR3 -> target server) used by
   // nested calls; kernel- and Rootkernel-mediated.
   sb::StatusOr<Binding*> GetOrCreateChainBinding(hw::Core& core, mk::Process* origin,
                                                  ServerId server_id);
-  // Index of `ept_id` on an EPTP list, or kSlotNotFound. Only used on the
-  // slow path (entry-slot restore after a reinstall reshuffles the list).
-  static size_t EptpSlotOfId(const std::vector<uint64_t>& ids, uint64_t ept_id);
-  // Recomputes every cached eptp_slot for `client` after the EPTP list
-  // changed shape — the central invalidation point for the slot caches.
-  void RefreshEptpSlots(mk::Process* client);
-  // LRU maintenance: make room for / reinstall a binding. `pinned_ept` is
-  // never evicted (the EPT we must return to).
-  sb::Status InstallBinding(hw::Core& core, Binding& binding, uint64_t pinned_ept);
-  // O(1) move-to-front on the client's intrusive LRU list.
-  void TouchLru(Binding& binding);
-  // Call drain accounting: decrements the in-flight counts taken at call
-  // entry and runs any revocation sweep the drain unblocked.
-  void FinishCall(Binding& binding);
-  // Uninstalls every drained revoked binding of `client` (EPTP-list erase +
-  // central slot refresh + reinstall on live cores); defers itself while the
-  // client still has calls in flight.
-  void SweepRevoked(mk::Process* client);
-  // Fault-injection helper: evicts `binding` exactly as a concurrent
-  // InstallBinding LRU pass would, leaving the caller's cached slot stale.
-  void FaultEvict(hw::Core& core, Binding& binding);
 
-  // The trampoline leg costs: 64 cycles of save/restore + stack install per
-  // direction (Section 6.3) plus the i-side traffic of the trampoline page.
-  void ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd);
+  // ---- The call pipeline (shared by DirectServerCall / ...InPlace) ----
+  // CallCommon builds a CallContext and drives it through the stages below;
+  // the fault-recovery and gate logic lives once, in the shared pipeline.
+  sb::StatusOr<mk::Message> CallCommon(mk::Thread* caller, ServerId server_id,
+                                       const mk::Message* msg_in, uint64_t inplace_tag,
+                                       uint64_t inplace_len, bool in_place,
+                                       mk::CostBreakdown* bd);
+  // Stage 1 — authorization: resolve the caller's binding through the
+  // per-thread cache / hash index; reject unregistered or revoked pairs.
+  sb::Status ResolveRoute(CallContext& ctx);
+  // Stage 2 — request staging: slice resolution and (for the in-place API)
+  // the borrowed request view over bytes already in the slice.
+  sb::Status PrepareRequest(CallContext& ctx, const mk::Message* msg_in,
+                            uint64_t inplace_tag, uint64_t inplace_len, bool in_place);
+  // Stage 3 — origin binding: detect nested calls (chain binding) or
+  // dispatch the caller onto its core.
+  sb::Status BindOrigin(CallContext& ctx);
+  // Stage 4 — arm the gate: entry-EPT capture, reinstall-if-evicted, LRU
+  // touch, client trampoline leg + request copy, per-call key, stale-slot
+  // retry loop. Leaves the route armed for the entry VMFUNC.
+  sb::Status ArmGate(CallContext& ctx);
+  // Stage 5 — server side + return gate: key check, handler, reply
+  // validation and materialization, return VMFUNC.
+  sb::StatusOr<mk::Message> ServeAndReturn(CallContext& ctx);
 
   // Live counters on the machine's telemetry registry (skybridge.*). Handles
   // are registered once in the constructor; the hot path only does relaxed
-  // sharded adds. `metrics_.scan_threads` is a high-water gauge.
+  // sharded adds. `metrics_.scan_threads` is a high-water gauge. The
+  // routing/gate modules hold their own handles to the same registry
+  // entries (GetCounter returns one shared instance per name).
   struct Metrics {
     sb::telemetry::Counter* direct_calls;
     sb::telemetry::Counter* long_calls;
@@ -367,32 +226,24 @@ class SkyBridge {
     sb::telemetry::Counter* stale_slot_retries;
     sb::telemetry::Counter* revoked_rejections;
     sb::telemetry::Counter* bindings_revoked;
-    // Per-phase latency histograms fed from CostBreakdown deltas.
-    sb::telemetry::LatencyHistogram* phase_vmfunc;
-    sb::telemetry::LatencyHistogram* phase_trampoline;
-    sb::telemetry::LatencyHistogram* phase_copy;
-    sb::telemetry::LatencyHistogram* phase_syscall;
-    sb::telemetry::LatencyHistogram* phase_total;
+    // Per-core control plane.
+    sb::telemetry::Counter* migration_installs;
   };
 
   mk::Kernel* kernel_;
   SkyBridgeConfig config_;
   Metrics metrics_;
-  mutable SkyBridgeStats stats_snapshot_;
+  // Registration-time key stream (calling keys). Slow path only: per-call
+  // keys come from Gate::PerCallKey so the hot path shares no RNG state.
   sb::Rng key_rng_;
   TrampolineLayout trampoline_;
   hw::Gpa trampoline_gpa_ = 0;  // Shared trampoline code frame.
   std::vector<ServerEntry> servers_;
-  std::vector<std::unique_ptr<Binding>> bindings_;  // Ownership only.
-  BindingIndex binding_index_;                      // (client, server) -> binding.
-  std::unordered_map<mk::Process*, ClientState> clients_;  // Stable nodes.
-  // Epoch for the per-thread route caches. Bindings are never destroyed
-  // today, so this only moves if a future path removes one; bump it there to
-  // invalidate every thread's cached Binding* at once.
-  uint64_t route_generation_ = 1;
+  RouteTable routes_;
+  BufferPool buffers_;
+  Gate gate_;
   // Fans out the registration-time code-page scans (slow path only).
   sb::ThreadPool scan_pool_;
-  hw::Gva next_shared_buf_va_ = 0;
 };
 
 }  // namespace skybridge

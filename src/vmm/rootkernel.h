@@ -95,6 +95,28 @@ class Rootkernel {
   // Rootkernel-mediated call aborts served (kAbortToView).
   uint64_t aborts() const { return aborts_; }
 
+  // ---- Per-core EPTP-list control state (DESIGN.md section 11) ----
+  // The EPTP-list VMCALL ABI is implicitly "current core"; this materializes
+  // that as an explicit per-core mirror of what the Rootkernel has programmed
+  // into each core's VMCS EPTP list, plus per-core install accounting. The
+  // mirror is the hypervisor's own bookkeeping — CheckInvariants() proves it
+  // never drifts from the hardware (VMCS) state.
+  struct CoreEptpState {
+    std::vector<uint64_t> slot_ids;  // EPT id per slot; mirrors vmcs().eptp_list.
+    uint64_t list_installs = 0;      // kEptpListClear transitions (one per install).
+    uint64_t appends = 0;            // kEptpListAppend slots programmed.
+    uint64_t aborts = 0;             // kAbortToView view restores on this core.
+  };
+  const CoreEptpState& core_eptp_state(int core_id) const {
+    return core_eptp_[static_cast<size_t>(core_id)];
+  }
+
+  // Verifies every non-root core's mirror against the live VMCS: same
+  // length, every slot id resolves to the Ept* in that VMCS slot, and the
+  // active view index points inside the installed list. Returns the first
+  // violation.
+  sb::Status CheckInvariants() const;
+
   // Rough footprint accounting: the paper's Rootkernel is ~1.5 KLoC. Ours
   // reports the number of EPT table pages it holds.
   size_t ept_pages_allocated() const { return frames_.allocated_frames(); }
@@ -112,6 +134,7 @@ class Rootkernel {
   hw::FrameAllocator frames_;
   hw::Ept* base_ept_ = nullptr;
   std::vector<std::unique_ptr<hw::Ept>> epts_;  // id -> EPT (0 is the base).
+  std::vector<CoreEptpState> core_eptp_;  // Indexed by core id.
   uint64_t exits_cpuid_ = 0;
   uint64_t exits_vmcall_ = 0;
   uint64_t exits_ept_violation_ = 0;

@@ -1,0 +1,262 @@
+// Cross-core control-plane tests (DESIGN.md section 11): thread migration
+// racing in-flight calls, revocation racing migration, eager-vs-lazy EPTP
+// re-install parity, and true host-thread concurrency over disjoint pairs
+// (the ThreadSanitizer target) including the stats() consistency rule.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/skybridge/skybridge.h"
+
+namespace skybridge {
+namespace {
+
+using mk::CallEnv;
+using mk::Handler;
+using mk::Message;
+using sb::kGiB;
+
+hw::MachineConfig SmpMachine() {
+  hw::MachineConfig config;
+  config.num_cores = 8;
+  config.ram_bytes = 4 * kGiB;
+  return config;
+}
+
+class SkyBridgeSmpTest : public ::testing::Test {
+ protected:
+  void Boot(SkyBridgeConfig config = {}) {
+    sky_.reset();
+    kernel_.reset();
+    machine_.reset();
+    machine_ = std::make_unique<hw::Machine>(SmpMachine());
+    kernel_ = std::make_unique<mk::Kernel>(*machine_, mk::Sel4Profile());
+    ASSERT_TRUE(kernel_->Boot().ok());
+    sky_ = std::make_unique<SkyBridge>(*kernel_, config);
+  }
+
+  struct Pair {
+    mk::Process* client;
+    mk::Process* server;
+    mk::Thread* thread;
+    ServerId sid;
+  };
+
+  Pair MakePair(Handler handler, int core, const std::string& tag = "") {
+    Pair p;
+    p.client = kernel_->CreateProcess("client" + tag).value();
+    p.server = kernel_->CreateProcess("server" + tag).value();
+    p.sid = sky_->RegisterServer(p.server, /*max_connections=*/8, std::move(handler)).value();
+    SB_CHECK(sky_->RegisterClient(p.client, p.sid).ok());
+    p.thread = p.client->AddThread(core);
+    SB_CHECK(kernel_->ContextSwitchTo(machine_->core(core), p.client).ok());
+    return p;
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<mk::Kernel> kernel_;
+  std::unique_ptr<SkyBridge> sky_;
+  // Filled after MakePair so handlers (captured at registration) can reach
+  // the calling thread / binding of the pair they serve.
+  mk::Thread* roamer_ = nullptr;
+  mk::Process* roamer_client_ = nullptr;
+  ServerId roamer_sid_ = 0;
+};
+
+Handler EchoHandler() {
+  return [](CallEnv& env) { return env.request; };
+}
+
+// A call is mid-handler when the scheduler migrates its thread to another
+// core. The in-flight call must complete on the core it entered on, and the
+// next call must run (with the binding installed) on the new core.
+TEST_F(SkyBridgeSmpTest, MigrateWhileInFlight) {
+  Boot();
+  Pair p = MakePair(
+      [this](CallEnv& env) {
+        if (env.request.tag == 42) {
+          // Mid-handler migration: the scheduler moves the calling thread.
+          SB_CHECK(kernel_->MigrateThread(roamer_, /*dest_core=*/3, nullptr,
+                                          /*eager_install=*/true)
+                       .ok());
+        }
+        return env.request;
+      },
+      /*core=*/0);
+  roamer_ = p.thread;
+
+  // Warm call, then the migrating call.
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  const uint64_t installs_before = sky_->stats().migration_installs;
+  auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(42));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, 42u);
+  EXPECT_EQ(p.thread->core_id(), 3);
+  EXPECT_EQ(sky_->stats().migration_installs, installs_before + 1);
+  ASSERT_TRUE(sky_->CheckInvariants().ok()) << sky_->CheckInvariants().ToString();
+
+  // The next call runs on the new core without re-dispatch or stale retries.
+  const uint64_t retries_before = sky_->stats().stale_slot_retries;
+  auto after = sky_->DirectServerCall(p.thread, p.sid, Message(7));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(kernel_->current_process(3), p.client);
+  EXPECT_EQ(sky_->stats().stale_slot_retries, retries_before);
+  ASSERT_TRUE(sky_->CheckInvariants().ok());
+}
+
+// Revocation lands while the binding's call is both in flight AND migrating:
+// the in-flight reply still returns, the EPTP surgery defers to the drain,
+// and afterwards new calls are refused until re-registration revives the
+// binding — on the thread's new core.
+TEST_F(SkyBridgeSmpTest, RevokeDuringMigration) {
+  Boot();
+  Pair p = MakePair(
+      [this](CallEnv& env) {
+        if (env.request.tag == 42) {
+          SB_CHECK(kernel_->MigrateThread(roamer_, /*dest_core=*/2, nullptr,
+                                          /*eager_install=*/true)
+                       .ok());
+          SB_CHECK(sky_->RevokeBinding(roamer_client_, roamer_sid_).ok());
+        }
+        return env.request;
+      },
+      /*core=*/0);
+  roamer_ = p.thread;
+  roamer_client_ = p.client;
+  roamer_sid_ = p.sid;
+
+  ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  // The in-flight call drains normally despite the mid-flight revoke+migrate.
+  auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(42));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(sky_->InFlightCalls(), 0u);
+  ASSERT_TRUE(sky_->CheckInvariants().ok()) << sky_->CheckInvariants().ToString();
+  // Drained: the revocation swept the binding out of the EPTP list.
+  EXPECT_EQ(sky_->InstalledBindings(p.client).value(), 0u);
+
+  // New calls are refused on the new core.
+  auto refused = sky_->DirectServerCall(p.thread, p.sid, Message(1));
+  EXPECT_EQ(refused.status().code(), sb::ErrorCode::kPermissionDenied);
+
+  // Revival re-keys and reinstalls; the thread keeps calling from core 2.
+  ASSERT_TRUE(sky_->RegisterClient(p.client, p.sid).ok());
+  auto revived = sky_->DirectServerCall(p.thread, p.sid, Message(9));
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ(revived->tag, 9u);
+  ASSERT_TRUE(sky_->CheckInvariants().ok());
+}
+
+// Eager-install and lazy-retry migration must produce identical call results
+// and identical control-plane state; only the install accounting may differ
+// (eager counts migration_installs, lazy recovers via dispatch on the next
+// call).
+TEST_F(SkyBridgeSmpTest, EagerAndLazyMigrationConverge) {
+  struct WorldResult {
+    std::vector<uint64_t> tags;
+    SkyBridgeStats stats;
+    size_t installed;
+  };
+  auto run = [&](bool eager) -> WorldResult {
+    Boot();
+    Pair p = MakePair(EchoHandler(), /*core=*/0);
+    mk::Process* other = kernel_->CreateProcess("other").value();
+    WorldResult r;
+    for (uint64_t i = 0; i < 64; ++i) {
+      if (i != 0 && i % 8 == 0) {
+        const int dest = (p.thread->core_id() + 1) % machine_->num_cores();
+        // Another process ran on the destination since the last visit.
+        SB_CHECK(kernel_->ContextSwitchTo(machine_->core(dest), other).ok());
+        SB_CHECK(kernel_->MigrateThread(p.thread, dest, nullptr, eager).ok());
+      }
+      auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(i));
+      SB_CHECK(reply.ok()) << reply.status().ToString();
+      r.tags.push_back(reply->tag);
+    }
+    SB_CHECK(sky_->CheckInvariants().ok()) << sky_->CheckInvariants().ToString();
+    r.stats = sky_->stats();
+    r.installed = sky_->InstalledBindings(p.client).value();
+    return r;
+  };
+
+  const WorldResult eager = run(/*eager=*/true);
+  const WorldResult lazy = run(/*eager=*/false);
+  EXPECT_EQ(eager.tags, lazy.tags);
+  EXPECT_EQ(eager.installed, lazy.installed);
+  EXPECT_EQ(eager.stats.direct_calls, lazy.stats.direct_calls);
+  EXPECT_EQ(eager.stats.rejected_calls, lazy.stats.rejected_calls);
+  EXPECT_EQ(eager.stats.stale_slot_retries, lazy.stats.stale_slot_retries);
+  EXPECT_EQ(eager.stats.eptp_misses, lazy.stats.eptp_misses);
+  // The one sanctioned difference: where the post-migration install ran.
+  EXPECT_GT(eager.stats.migration_installs, 0u);
+  EXPECT_EQ(lazy.stats.migration_installs, 0u);
+}
+
+// The ThreadSanitizer target: disjoint (client, server) pairs hammered from
+// real host threads, one per simulated core, with a concurrent stats()
+// reader. Steady-state calls share no mutable control-plane word, so this
+// must be race-free; the reader checks the documented stats() consistency
+// rule (per-field monotonicity, thread-local snapshot identity).
+TEST_F(SkyBridgeSmpTest, ConcurrentDisjointPairsAndStatsSnapshot) {
+  Boot();
+  constexpr int kPairs = 4;
+  constexpr uint64_t kCallsPerPair = 2000;
+  std::vector<Pair> pairs;
+  for (int i = 0; i < kPairs; ++i) {
+    pairs.push_back(MakePair(EchoHandler(), /*core=*/i, std::to_string(i)));
+  }
+  // Pre-warm on the owning core so every slow path (rewrite, dispatch, index
+  // fill, EPTP install) runs before host threads exist.
+  for (const Pair& p : pairs) {
+    ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  }
+  const uint64_t warm_calls = sky_->stats().direct_calls;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    const SkyBridgeStats* last_addr = nullptr;
+    uint64_t last_calls = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const SkyBridgeStats& s = sky_->stats();
+      // Thread-local snapshot: same address every time on this thread.
+      if (last_addr != nullptr) {
+        ASSERT_EQ(&s, last_addr);
+      }
+      last_addr = &s;
+      // Per-field monotonicity under concurrent mutation.
+      ASSERT_GE(s.direct_calls, last_calls);
+      ASSERT_LE(s.direct_calls, warm_calls + kPairs * kCallsPerPair);
+      ASSERT_EQ(s.rejected_calls, 0u);
+      last_calls = s.direct_calls;
+    }
+  });
+
+  std::vector<std::thread> callers;
+  for (int i = 0; i < kPairs; ++i) {
+    callers.emplace_back([&, i] {
+      const Pair& p = pairs[static_cast<size_t>(i)];
+      for (uint64_t n = 0; n < kCallsPerPair; ++n) {
+        auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(n));
+        ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+        ASSERT_EQ(reply->tag, n);
+      }
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Quiesced: exact counts, and the caller-thread snapshot agrees.
+  const SkyBridgeStats& s = sky_->stats();
+  EXPECT_EQ(s.direct_calls, warm_calls + kPairs * kCallsPerPair);
+  EXPECT_EQ(s.rejected_calls, 0u);
+  EXPECT_EQ(sky_->InFlightCalls(), 0u);
+  ASSERT_TRUE(sky_->CheckInvariants().ok()) << sky_->CheckInvariants().ToString();
+}
+
+}  // namespace
+}  // namespace skybridge
