@@ -1,0 +1,176 @@
+// Batch-depth sweep (DESIGN.md section 13): how much of the VMFUNC
+// crossing does the submission/completion ring amortize?
+//
+// Echo: null-message ping-pong through SubmitCall x depth + one FlushBatch
+// + PollCompletion x depth, swept over depths 1..64, against the
+// DirectServerCall baseline. KV: batched gets through the Figure-1 pipeline
+// (client -> encrypt crosses once per batch; encrypt -> kv stays one nested
+// call per get, so the kv sweep bounds what batching one hop of a
+// compute-heavy pipeline buys).
+//
+// Self-checks printed at the end (CI gates them from the --json output):
+//   echo speedup at depth 16 >= 3x over depth 1
+//   depth-1 batch within 5% of DirectServerCall
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+
+namespace {
+
+constexpr int kWarmup = 64;
+constexpr int kEchoOps = 16384;  // Per depth; divisible by every depth below.
+constexpr int kKvQueries = 1024;
+constexpr int kDepths[] = {1, 2, 4, 8, 16, 32, 64};
+
+struct EchoWorld {
+  bench::World world;
+  skybridge::ServerId sid = 0;
+  mk::Thread* thread = nullptr;
+};
+
+EchoWorld MakeEchoWorld() {
+  EchoWorld ew;
+  ew.world = bench::MakeWorld(mk::Sel4Profile(), true, true);
+  auto* client = ew.world.kernel->CreateProcess("client").value();
+  auto* server = ew.world.kernel->CreateProcess("server").value();
+  ew.sid = ew.world.sky->RegisterServer(server, 8, [](mk::CallEnv& env) { return env.request; })
+               .value();
+  SB_CHECK(ew.world.sky->RegisterClient(client, ew.sid).ok());
+  ew.thread = client->AddThread(0);
+  SB_CHECK(ew.world.kernel->ContextSwitchTo(ew.world.machine->core(0), client).ok());
+  return ew;
+}
+
+// One batched echo round: depth submissions, one flush, depth polls.
+void EchoRound(skybridge::SkyBridge& sky, mk::Thread* thread, skybridge::ServerId sid,
+               int depth) {
+  uint64_t first_token = 0;
+  for (int i = 0; i < depth; ++i) {
+    auto token = sky.SubmitCall(thread, sid, mk::Message(0));
+    SB_CHECK(token.ok()) << token.status().ToString();
+    if (i == 0) {
+      first_token = *token;
+    }
+  }
+  SB_CHECK(sky.FlushBatch(thread, sid).ok());
+  for (int i = 0; i < depth; ++i) {
+    SB_CHECK(sky.PollCompletion(thread, sid, first_token + i).ok());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("bench_batch_depth", argc, argv);
+
+  // ---- Echo: DirectServerCall baseline ----
+  EchoWorld ew = MakeEchoWorld();
+  skybridge::SkyBridge& sky = *ew.world.sky;
+  hw::Core& core = ew.world.machine->core(0);
+  for (int i = 0; i < kWarmup; ++i) {
+    SB_CHECK(sky.DirectServerCall(ew.thread, ew.sid, mk::Message(0)).ok());
+  }
+  uint64_t start = core.cycles();
+  for (int i = 0; i < kEchoOps; ++i) {
+    SB_CHECK(sky.DirectServerCall(ew.thread, ew.sid, mk::Message(0)).ok());
+  }
+  const double direct_cpo = static_cast<double>(core.cycles() - start) / kEchoOps;
+  reporter.Add("batch.echo.direct_cycles_per_op", direct_cpo);
+
+  // ---- Echo: depth sweep (same world; the ring wraps across rounds) ----
+  sb::Table echo_table({"depth", "cycles/op", "Mops/s", "vs direct", "vs depth 1"});
+  EchoRound(sky, ew.thread, ew.sid, 1);  // Carve the ring + warm the path.
+  for (int i = 0; i < kWarmup; ++i) {
+    EchoRound(sky, ew.thread, ew.sid, 1);
+  }
+  double depth1_cpo = 0;
+  double depth16_cpo = 0;
+  for (const int depth : kDepths) {
+    for (int i = 0; i < kWarmup / depth + 1; ++i) {
+      EchoRound(sky, ew.thread, ew.sid, depth);
+    }
+    start = core.cycles();
+    for (int round = 0; round < kEchoOps / depth; ++round) {
+      EchoRound(sky, ew.thread, ew.sid, depth);
+    }
+    const double cpo = static_cast<double>(core.cycles() - start) / kEchoOps;
+    if (depth == 1) {
+      depth1_cpo = cpo;
+    }
+    if (depth == 16) {
+      depth16_cpo = cpo;
+    }
+    reporter.Add("batch.echo.depth" + std::to_string(depth) + ".cycles_per_op", cpo);
+    char mops[32];
+    std::snprintf(mops, sizeof(mops), "%.1f", bench::OpsPerSecond(cpo) / 1e6);
+    char vs_direct[32];
+    std::snprintf(vs_direct, sizeof(vs_direct), "%.2fx", direct_cpo / cpo);
+    char vs_d1[32];
+    std::snprintf(vs_d1, sizeof(vs_d1), "%.2fx", depth1_cpo / cpo);
+    echo_table.AddRow({std::to_string(depth), std::to_string(static_cast<uint64_t>(cpo)),
+                       mops, vs_direct, vs_d1});
+  }
+  const double echo_speedup_16 = depth1_cpo / depth16_cpo;
+  const double depth1_overhead = depth1_cpo / direct_cpo;
+  reporter.Add("batch.echo.speedup_16", echo_speedup_16);
+  reporter.Add("batch.echo.depth1_overhead", depth1_overhead);
+
+  std::printf("Batched echo, depth sweep (direct call: %.0f cycles/op)\n", direct_cpo);
+  echo_table.Print();
+
+  // ---- KV: batched gets through the Figure-1 pipeline ----
+  bench::KvWorld kvw = bench::MakeKvWorld(apps::KvWiring::kSkyBridge);
+  apps::KvPipeline& pipeline = *kvw.pipeline;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back("key-" + std::to_string(i));
+    SB_CHECK(pipeline.Insert(keys.back(), std::string(64, 'v')).ok());
+  }
+  sb::Table kv_table({"depth", "cycles/get", "vs depth 1"});
+  double kv_depth1_cpo = 0;
+  double kv_depth16_cpo = 0;
+  hw::Core& kv_core = pipeline.client_core();
+  for (const int depth : kDepths) {
+    std::vector<std::string> group;
+    for (int i = 0; i < depth; ++i) {
+      group.push_back(keys[static_cast<size_t>(i) % keys.size()]);
+    }
+    for (int i = 0; i < 4; ++i) {
+      (void)pipeline.QueryBatch(group);  // Warm.
+    }
+    start = kv_core.cycles();
+    for (int round = 0; round < kKvQueries / depth; ++round) {
+      const auto results = pipeline.QueryBatch(group);
+      for (const auto& r : results) {
+        SB_CHECK(r.ok()) << r.status().ToString();
+      }
+    }
+    const double cpo =
+        static_cast<double>(kv_core.cycles() - start) / (kKvQueries / depth * depth);
+    if (depth == 1) {
+      kv_depth1_cpo = cpo;
+    }
+    if (depth == 16) {
+      kv_depth16_cpo = cpo;
+    }
+    reporter.Add("batch.kv.depth" + std::to_string(depth) + ".cycles_per_op", cpo);
+    char vs_d1[32];
+    std::snprintf(vs_d1, sizeof(vs_d1), "%.2fx", kv_depth1_cpo / cpo);
+    kv_table.AddRow({std::to_string(depth), std::to_string(static_cast<uint64_t>(cpo)), vs_d1});
+  }
+  reporter.Add("batch.kv.speedup_16", kv_depth1_cpo / kv_depth16_cpo);
+
+  std::printf("\nBatched KV gets (client->encrypt crossing amortized; encrypt->kv nested)\n");
+  kv_table.Print();
+
+  // ---- Self-checks ----
+  std::printf("\necho speedup @16: %.2fx (bound: >= 3x)   depth-1 overhead: %.1f%% "
+              "(bound: <= 5%%)\n",
+              echo_speedup_16, (depth1_overhead - 1.0) * 100.0);
+  reporter.AddRegistry(ew.world.machine->telemetry());
+  return 0;
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Diffs two merged BENCH_results.json files (see merge_bench_json.py).
+
+Usage: diff_bench.py <baseline.json> <current.json> [--threshold PCT]
+
+Prints every cycles/op-style metric whose relative change exceeds the
+threshold (default 2%), plus metrics that appear or disappear. Exit code is
+always 0: this is a trend report for humans reading the CI log, not a gate —
+the per-bench self-checks and the smoke-step asserts do the gating.
+"""
+
+import argparse
+import json
+import sys
+
+# Series worth trending: anything measured in cycles or ops. Schema keys,
+# counts and booleans are skipped.
+SUFFIXES = ("cycles_per_op", "cycles_per_get", "cycles", "ops_per_sec",
+            "speedup_16", "speedup_8c", "overhead")
+
+
+def series(merged):
+    out = {}
+    for bench, obj in merged.items():
+        for key, value in obj.get("metrics", {}).items():
+            if isinstance(value, (int, float)) and key.endswith(SUFFIXES):
+                out[f"{bench}:{key}"] = float(value)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="report changes beyond this percentage")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = series(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"diff_bench: no usable baseline ({e}); nothing to diff")
+        return 0
+    with open(args.current) as f:
+        cur = series(json.load(f))
+
+    moved = []
+    for key in sorted(base.keys() & cur.keys()):
+        b, c = base[key], cur[key]
+        if b == 0:
+            continue
+        pct = 100.0 * (c - b) / b
+        if abs(pct) >= args.threshold:
+            moved.append((pct, key, b, c))
+
+    added = sorted(cur.keys() - base.keys())
+    removed = sorted(base.keys() - cur.keys())
+
+    if not moved and not added and not removed:
+        print(f"diff_bench: {len(cur)} series, all within "
+              f"{args.threshold:g}% of baseline")
+        return 0
+
+    for pct, key, b, c in sorted(moved, key=lambda m: -abs(m[0])):
+        print(f"  {pct:+7.1f}%  {key}: {b:g} -> {c:g}")
+    for key in added:
+        print(f"  [new]     {key}: {cur[key]:g}")
+    for key in removed:
+        print(f"  [gone]    {key}: was {base[key]:g}")
+    print(f"diff_bench: {len(moved)} moved, {len(added)} new, "
+          f"{len(removed)} gone (of {len(cur)} series; threshold "
+          f"{args.threshold:g}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -340,4 +340,44 @@ sb::StatusOr<std::string> KvPipeline::Query(const std::string& key) {
   return reply.ToString();
 }
 
+std::vector<sb::StatusOr<std::string>> KvPipeline::QueryBatch(std::span<const std::string> keys) {
+  std::vector<sb::StatusOr<std::string>> out;
+  out.reserve(keys.size());
+  if (wiring_ != KvWiring::kSkyBridge) {
+    for (const std::string& key : keys) {
+      out.push_back(Query(key));
+    }
+    return out;
+  }
+  // One submission per key into the client->encrypt ring, one flush for the
+  // lot. The encrypt handler runs per entry inside the drain and forwards
+  // each get to the kv store as the usual nested call.
+  hw::Core& core = client_core();
+  std::vector<mk::Message> msgs;
+  msgs.reserve(keys.size());
+  for (const std::string& key : keys) {
+    core.AdvanceCycles(kClientLogicCycles);
+    (void)core.TouchData(mk::kHeapVa + 0x1000, std::max<uint64_t>(EncodedSize(key, ""), 64),
+                         true);
+    msgs.push_back(EncodeRequest(kOpQuery, key, ""));
+  }
+  auto results = sky_->CallBatch(client_thread_, encrypt_sid_, msgs);
+  if (!results.ok()) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      out.push_back(results.status());
+    }
+    return out;
+  }
+  for (skybridge::SkyBridge::BatchEntryResult& r : *results) {
+    if (!r.status.ok()) {
+      out.push_back(r.status);
+    } else if (r.reply.tag != 1) {
+      out.push_back(sb::NotFound("no such key"));
+    } else {
+      out.push_back(r.reply.ToString());
+    }
+  }
+  return out;
+}
+
 }  // namespace apps

@@ -62,6 +62,12 @@ class KvPipeline {
   sb::Status Insert(const std::string& key, const std::string& value);
   sb::StatusOr<std::string> Query(const std::string& key);
 
+  // Batched gets (DESIGN.md section 13): on the SkyBridge wiring the whole
+  // batch of queries crosses client -> encrypt in ONE flushed ring (the
+  // encrypt server still forwards each get nested to the kv store); other
+  // wirings fall back to per-key Query. Per-key outcomes, in order.
+  std::vector<sb::StatusOr<std::string>> QueryBatch(std::span<const std::string> keys);
+
   // Client core (where latency is measured).
   hw::Core& client_core();
 

@@ -1,7 +1,9 @@
 #include "src/apps/sqlite_stack.h"
 
-#include "src/base/logging.h"
+#include <algorithm>
 #include <cstring>
+
+#include "src/base/logging.h"
 
 #include "src/base/units.h"
 
@@ -96,7 +98,13 @@ sb::Status SqliteStack::Setup(const SqliteStackConfig& config) {
   kernel_ = std::make_unique<mk::Kernel>(*machine_, mk::ProfileFor(config.kernel), options);
   SB_RETURN_IF_ERROR(kernel_->Boot());
   if (config.boot_rootkernel && config.transport == StackTransport::kSkyBridge) {
-    sky_ = std::make_unique<skybridge::SkyBridge>(*kernel_);
+    // Every client thread is its own connection and the slice allocator
+    // refuses to alias slices, so provision one per thread.
+    skybridge::SkyBridgeConfig sky_config;
+    sky_config.buffer_slices =
+        std::max<uint64_t>(sky_config.buffer_slices,
+                           static_cast<uint64_t>(config.num_client_threads));
+    sky_ = std::make_unique<skybridge::SkyBridge>(*kernel_, sky_config);
   } else if (config.transport == StackTransport::kSkyBridge) {
     return sb::InvalidArgument("SkyBridge transport requires the Rootkernel");
   }

@@ -3,6 +3,7 @@
 #include "src/base/logging.h"
 #include "src/base/telemetry/trace.h"
 #include "src/base/units.h"
+#include "src/mk/notification.h"
 #include "src/mk/scheduler.h"
 
 namespace mk {
@@ -170,6 +171,11 @@ Endpoint* Kernel::endpoint(uint64_t id) {
     return nullptr;
   }
   return endpoints_[id].get();
+}
+
+Notification* Kernel::CreateNotification() {
+  notifications_.push_back(std::make_unique<Notification>(this, notifications_.size()));
+  return notifications_.back().get();
 }
 
 sb::StatusOr<CapSlot> Kernel::GrantEndpointCap(Process* to, uint64_t endpoint_id,

@@ -67,6 +67,7 @@ struct CostBreakdown {
 };
 
 class Kernel;
+class Notification;
 class Scheduler;
 
 // Execution environment handed to an endpoint handler. The handler runs in
@@ -159,6 +160,12 @@ class Kernel {
                                          std::vector<int> server_cores);
   Endpoint* endpoint(uint64_t id);
   sb::StatusOr<CapSlot> GrantEndpointCap(Process* to, uint64_t endpoint_id, uint32_t rights);
+
+  // ---- Notifications ----
+  // Creates a kernel-owned notification object (Section 8 async primitive;
+  // also the parking path for SkyBridge batch completions). Lives as long
+  // as the kernel.
+  Notification* CreateNotification();
 
   // ---- Context switching ----
   // Switches `core` to `process` (CR3 write + EPTP list install when
@@ -254,6 +261,7 @@ class Kernel {
   uint64_t next_pid_ = 1;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<Notification>> notifications_;
   std::vector<Process*> current_;
   std::vector<Scheduler*> schedulers_;  // Indexed by core id; sparse.
   // Pre-computed warm-cache cost of the kernel footprint touches, subtracted

@@ -1,11 +1,32 @@
 #include "src/skybridge/buffers.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/base/logging.h"
 #include "src/base/units.h"
 
 namespace skybridge {
+
+uint32_t BatchRingView::LoadU32(uint64_t off) const {
+  uint32_t v = 0;
+  std::memcpy(&v, base + off, sizeof(v));
+  return v;
+}
+
+void BatchRingView::StoreU32(uint64_t off, uint32_t v) const {
+  std::memcpy(base + off, &v, sizeof(v));
+}
+
+uint64_t BatchRingView::LoadU64(uint64_t off) const {
+  uint64_t v = 0;
+  std::memcpy(&v, base + off, sizeof(v));
+  return v;
+}
+
+void BatchRingView::StoreU64(uint64_t off, uint64_t v) const {
+  std::memcpy(base + off, &v, sizeof(v));
+}
 
 BufferPool::BufferPool(mk::Kernel& kernel, const SkyBridgeConfig& config)
     : kernel_(&kernel), config_(&config), next_va_(mk::kSharedBufVa) {}
@@ -38,21 +59,78 @@ sb::StatusOr<BufferPool::Region> BufferPool::CreateRegion(mk::Process* client,
   return region;
 }
 
-SliceRef BufferPool::SliceOf(const Binding& binding, const mk::Thread* caller) const {
+SliceRef BufferPool::SliceAt(const Binding& binding, uint32_t index) const {
   SliceRef ref;
-  if (binding.shared_buf == 0) {
-    return ref;  // Chain bindings carry no buffer.
-  }
-  const uint64_t slices = binding.num_slices != 0 ? binding.num_slices : 1;
   const uint64_t stride = binding.slice_stride != 0 ? binding.slice_stride
                                                     : sb::PageUp(config_->shared_buffer_bytes);
-  const uint64_t index = static_cast<uint64_t>(caller->tid()) % slices;
   ref.va = binding.shared_buf + index * stride;
   if (binding.host_base != nullptr) {
     ref.host = std::span<uint8_t>(binding.host_base + index * stride,
                                   static_cast<size_t>(config_->shared_buffer_bytes));
   }
   return ref;
+}
+
+sb::StatusOr<SliceRef> BufferPool::AcquireSlice(Binding& binding,
+                                                const mk::Thread* caller) const {
+  if (binding.shared_buf == 0) {
+    return sb::FailedPrecondition("binding has no shared buffer");
+  }
+  if (!binding.slices_carved) {
+    // First touch of the region: populate the free list so slices hand out
+    // in ascending order (LIFO list built high-to-low).
+    const uint32_t slices = std::max<uint32_t>(1, binding.num_slices);
+    binding.free_slices.reserve(slices);
+    for (uint32_t i = slices; i-- > 0;) {
+      binding.free_slices.push_back(i);
+    }
+    binding.slices_carved = true;
+  }
+  const auto assigned = binding.slice_of_tid.find(caller->tid());
+  if (assigned != binding.slice_of_tid.end()) {
+    return SliceAt(binding, assigned->second);
+  }
+  if (binding.free_slices.empty()) {
+    return sb::ResourceExhausted("connection slices exhausted for this binding");
+  }
+  const uint32_t index = binding.free_slices.back();
+  binding.free_slices.pop_back();
+  binding.slice_of_tid.emplace(caller->tid(), index);
+  return SliceAt(binding, index);
+}
+
+SliceRef BufferPool::SliceOf(const Binding& binding, const mk::Thread* caller) const {
+  if (binding.shared_buf == 0) {
+    return SliceRef{};  // Chain bindings carry no buffer.
+  }
+  const auto assigned = binding.slice_of_tid.find(caller->tid());
+  if (assigned == binding.slice_of_tid.end()) {
+    return SliceRef{};
+  }
+  return SliceAt(binding, assigned->second);
+}
+
+sb::StatusOr<BatchRingView> BufferPool::CarveRing(Binding& binding,
+                                                  const mk::Thread* caller) const {
+  SB_ASSIGN_OR_RETURN(const SliceRef slice, AcquireSlice(binding, caller));
+  if (slice.host.empty()) {
+    return sb::FailedPrecondition("slice has no host-contiguous backing");
+  }
+  const uint32_t entries = std::max<uint32_t>(1, config_->batch_ring_entries);
+  const uint64_t fixed = BatchRingView::kHeaderBytes +
+                         static_cast<uint64_t>(entries) * BatchRingView::kDescBytes;
+  if (fixed + entries >= slice.host.size()) {
+    return sb::InvalidArgument("slice too small for the configured batch ring");
+  }
+  BatchRingView ring;
+  ring.base = slice.host.data();
+  ring.va = slice.va;
+  ring.entries = entries;
+  ring.payload_cap = static_cast<uint32_t>((slice.host.size() - fixed) / entries);
+  // Fresh ring: zero the header and every descriptor's status word so no
+  // stale completion from a previous carving is visible.
+  std::memset(ring.base, 0, fixed);
+  return ring;
 }
 
 }  // namespace skybridge

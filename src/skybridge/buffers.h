@@ -1,10 +1,16 @@
 // Shared-buffer plane: per-binding buffer regions carved into
-// per-connection slices (paper Section 6.3 per-thread buffers), and the
-// slice resolution the in-place zero-copy API builds on.
+// per-connection slices (paper Section 6.3 per-thread buffers), the slice
+// resolution the in-place zero-copy API builds on, and the batch
+// submission/completion ring geometry carved from a slice (DESIGN.md
+// section 13).
 //
-// Region layout is fixed at registration; steady-state calls only *read*
-// binding fields and compute a slice offset from the caller's tid, so slice
-// resolution is safe under concurrent calls on different cores.
+// Region layout is fixed at registration. Slice ownership is handed out by
+// a per-binding free-list allocator: a connection (thread) acquires a slice
+// on first use and keeps it, with explicit exhaustion when more live
+// connections than slices exist — the old `tid % num_slices` mapping let
+// two threads silently share (and corrupt the ordering of) one slice.
+// Steady-state calls only read the established assignment, so slice
+// resolution stays safe under concurrent calls on different cores.
 
 #ifndef SRC_SKYBRIDGE_BUFFERS_H_
 #define SRC_SKYBRIDGE_BUFFERS_H_
@@ -28,6 +34,62 @@ struct SliceRef {
   std::span<uint8_t> host;
 };
 
+// A submission/completion ring carved from one per-connection slice
+// (DESIGN.md section 13). Layout, from the slice base:
+//
+//   [ header 64 B | descriptor[entries] 64 B each | payload arena ]
+//
+// The header holds the ring indices (sq_tail published by the client,
+// sq_head consumed by the server); each descriptor is one cache line of
+// {token, tag, reply_tag, req_len, reply_len, status}; entry slot
+// token % entries owns the fixed payload_cap-byte span at
+// arena + slot * payload_cap, used for the request bytes on submit and
+// reused for the reply bytes on completion. Completion is posted by
+// writing the reply fields and then the nonzero status word (the ring's
+// "phase bit") — never by a per-call return crossing.
+struct BatchRingView {
+  static constexpr uint64_t kHeaderBytes = 64;
+  static constexpr uint64_t kDescBytes = 64;
+  // Header field offsets (u32 each).
+  static constexpr uint64_t kSqTailOff = 0;
+  static constexpr uint64_t kSqHeadOff = 8;
+  // Descriptor field offsets.
+  static constexpr uint64_t kDescToken = 0;     // u64
+  static constexpr uint64_t kDescTag = 8;       // u64
+  static constexpr uint64_t kDescReplyTag = 16; // u64
+  static constexpr uint64_t kDescReqLen = 24;   // u32
+  static constexpr uint64_t kDescReplyLen = 28; // u32
+  static constexpr uint64_t kDescStatus = 32;   // u32: 0 pending, else 1+code
+
+  uint8_t* base = nullptr;   // Host view of the slice.
+  hw::Gva va = 0;            // Guest VA of the slice (same in both spaces).
+  uint32_t entries = 0;      // Ring size (power of two).
+  uint32_t payload_cap = 0;  // Per-entry payload arena capacity.
+
+  bool valid() const { return base != nullptr && entries != 0; }
+  uint32_t Slot(uint64_t token) const { return static_cast<uint32_t>(token % entries); }
+  uint64_t DescOff(uint64_t token) const { return kHeaderBytes + Slot(token) * kDescBytes; }
+  uint64_t ArenaOff(uint64_t token) const {
+    return kHeaderBytes + entries * kDescBytes +
+           static_cast<uint64_t>(Slot(token)) * payload_cap;
+  }
+  std::span<uint8_t> Payload(uint64_t token) const {
+    return std::span<uint8_t>(base + ArenaOff(token), payload_cap);
+  }
+  hw::Gva PayloadVa(uint64_t token) const { return va + ArenaOff(token); }
+
+  // Raw field access through the shared host view. Memory-ordering rules
+  // (DESIGN.md section 13): the producer writes payload + descriptor fields
+  // first and publishes with the index/status store; the consumer reads the
+  // index/status first and the fields after. In the simulator all accesses
+  // run in virtual time on one host thread per connection, so plain
+  // loads/stores implement the protocol.
+  uint32_t LoadU32(uint64_t off) const;
+  void StoreU32(uint64_t off, uint32_t v) const;
+  uint64_t LoadU64(uint64_t off) const;
+  void StoreU64(uint64_t off, uint64_t v) const;
+};
+
 class BufferPool {
  public:
   BufferPool(mk::Kernel& kernel, const SkyBridgeConfig& config);
@@ -46,11 +108,27 @@ class BufferPool {
   // `buffer_slices` page-aligned slices of shared_buffer_bytes capacity.
   sb::StatusOr<Region> CreateRegion(mk::Process* client, mk::Process* server);
 
-  // The caller's slice of `binding`'s region (thread t -> slice
-  // t % num_slices). Empty for bufferless (chain) bindings.
+  // The caller's slice of `binding`'s region: returns the established
+  // assignment, or takes the next slice off the binding's free list on the
+  // connection's first use. ResourceExhausted when more live connections
+  // than slices contend for the region — explicit, instead of the silent
+  // sharing `tid % num_slices` produced. FailedPrecondition for bufferless
+  // (chain) bindings.
+  sb::StatusOr<SliceRef> AcquireSlice(Binding& binding, const mk::Thread* caller) const;
+
+  // Read-only resolution of an already-acquired slice; empty SliceRef when
+  // the connection never acquired one (or the binding has no buffer).
   SliceRef SliceOf(const Binding& binding, const mk::Thread* caller) const;
 
+  // Carves the caller's slice into a submission/completion ring with
+  // `batch_ring_entries` descriptors and an evenly divided payload arena.
+  // Same exhaustion rules as AcquireSlice; InvalidArgument when the slice
+  // is too small for the configured ring.
+  sb::StatusOr<BatchRingView> CarveRing(Binding& binding, const mk::Thread* caller) const;
+
  private:
+  SliceRef SliceAt(const Binding& binding, uint32_t index) const;
+
   mk::Kernel* kernel_;
   const SkyBridgeConfig* config_;
   hw::Gva next_va_;

@@ -52,9 +52,9 @@ struct SkyBridgeConfig {
   // Per-(binding, connection) shared buffer for long messages.
   uint64_t shared_buffer_bytes = 64 * 1024;
   // Connection slices carved out of each binding's buffer region (paper
-  // Section 6.3 per-thread buffers): thread t uses slice t % buffer_slices,
-  // each slice holding shared_buffer_bytes, so concurrent connections of one
-  // binding stop aliasing a single buffer.
+  // Section 6.3 per-thread buffers): each connection (thread) is handed its
+  // own shared_buffer_bytes slice by the binding's free-list allocator, with
+  // explicit ResourceExhausted once more live connections than slices exist.
   uint64_t buffer_slices = 4;
   // Ablation switch: model the legacy two-copy long path (client WriteVirt
   // in, server WriteVirt reply, client ReadVirt out into the returned
@@ -79,6 +79,18 @@ struct SkyBridgeConfig {
   // stale between lookup and VMFUNC (concurrent eviction). After this many
   // slowpath re-installs the call fails Unavailable.
   uint64_t max_stale_slot_retries = 3;
+  // ---- Batched + asynchronous IPC (DESIGN.md section 13) ----
+  // Submission/completion ring entries carved from a connection's slice
+  // (power of two). The remainder of the slice is the per-entry payload
+  // arena, so each entry carries up to
+  // (slice - header - entries * desc) / entries payload bytes.
+  uint32_t batch_ring_entries = 64;
+  // Adaptive drain bound: after draining the submission ring, the server
+  // re-polls it up to this many further rounds for entries that arrived
+  // while it was draining (the client keeps producing on its own core in
+  // real hardware), amortizing their crossing too. 1 = drain exactly what
+  // was pending at VMFUNC time.
+  uint32_t max_drain_rounds = 4;
 };
 
 }  // namespace skybridge

@@ -14,7 +14,15 @@ namespace {
 // the remainder — the measured roundtrip lands on 2 x (134 + 64) = 396.
 constexpr uint64_t kTrampolineLegCycles = 44;
 
+// Batch drain (DESIGN.md section 13): per-entry ring work on the server
+// side — descriptor read, completion-status publish, sq_head advance. Kept
+// small so a depth-1 flush stays within a few percent of DirectServerCall.
+constexpr uint64_t kDrainEntryCycles = 4;
+
 using sb::telemetry::TraceEventType;
+
+// Completion status word: 0 = pending, else 1 + ErrorCode so kOk posts as 1.
+uint32_t StatusWord(sb::ErrorCode code) { return 1u + static_cast<uint32_t>(code); }
 
 }  // namespace
 
@@ -22,6 +30,8 @@ Gate::Gate(mk::Kernel& kernel, const SkyBridgeConfig& config)
     : kernel_(&kernel), config_(&config) {
   sb::telemetry::Registry& reg = kernel.machine().telemetry();
   aborted_calls_ = &reg.GetCounter("skybridge.ipc.aborted_calls");
+  gate_rejections_ = &reg.GetCounter("skybridge.ipc.gate_rejections");
+  phase_drain_ = &reg.GetHistogram("skybridge.phase.drain");
   phase_vmfunc_ = &reg.GetHistogram("skybridge.phase.vmfunc");
   phase_trampoline_ = &reg.GetHistogram("skybridge.phase.trampoline");
   phase_copy_ = &reg.GetHistogram("skybridge.phase.copy");
@@ -124,6 +134,106 @@ Gate::ReplyVerdict Gate::ClassifyReply(const CallContext& ctx, const mk::Message
     verdict.corrupt = p < base + ctx.slice.host.size() && p + reply.view.size() > base;
   }
   return verdict;
+}
+
+Gate::DrainOutcome Gate::DrainBatch(CallContext& ctx, const BatchRingView& ring,
+                                    const std::function<void()>& refill) const {
+  hw::Core& core = *ctx.core;
+  ServerEntry& server = *ctx.server;
+  DrainOutcome out;
+  const uint64_t drain_start = core.cycles();
+  // One server stack install per crossing — not per entry; that is the
+  // point of the batch.
+  const hw::Gva stack_va = mk::kServerStacksVa + ctx.server_id * 256 * kServerStackBytes +
+                           ctx.perm->key_slot * kServerStackBytes;
+  (void)core.TouchData(stack_va + kServerStackBytes - 64, 64, true);
+
+  uint64_t sq_head = ring.LoadU64(BatchRingView::kSqHeadOff);
+  uint32_t rounds_left = std::max<uint32_t>(1, config_->max_drain_rounds);
+  while (rounds_left-- > 0) {
+    // Re-poll the doorbell: submissions that arrived during the previous
+    // round drain on this crossing too (adaptive drain).
+    const uint64_t sq_tail = ring.LoadU64(BatchRingView::kSqTailOff);
+    if (sq_head == sq_tail) {
+      break;
+    }
+    ++out.rounds;
+    while (sq_head != sq_tail) {
+      const uint64_t token = sq_head;
+      const uint64_t desc = ring.DescOff(token);
+      core.AdvanceCycles(kDrainEntryCycles);
+      (void)core.TouchData(ring.va + desc, BatchRingView::kDescBytes, true);
+      const uint64_t tag = ring.LoadU64(desc + BatchRingView::kDescTag);
+      const uint32_t req_len = ring.LoadU32(desc + BatchRingView::kDescReqLen);
+      const std::span<uint8_t> payload = ring.Payload(token);
+      const mk::Message request = mk::Message::Borrowed(
+          tag, std::span<const uint8_t>(payload.data(), req_len));
+
+      if (SB_FAULT_POINT(kFaultHandlerCrash)) {
+        // Server thread dies on this entry: post its Aborted completion,
+        // leave the rest of the ring untouched (a later flush drains them)
+        // and tell the facade to abort the crossing.
+        ring.StoreU64(desc + BatchRingView::kDescReplyTag, 0);
+        ring.StoreU32(desc + BatchRingView::kDescReplyLen, 0);
+        ring.StoreU32(desc + BatchRingView::kDescStatus, StatusWord(sb::ErrorCode::kAborted));
+        ring.StoreU64(BatchRingView::kSqHeadOff, ++sq_head);
+        ++out.completed;
+        out.crashed = true;
+        phase_drain_->Record(core.cycles() - drain_start);
+        return out;
+      }
+
+      mk::CallEnv env{*kernel_, core, *server.process, request};
+      env.reply_buffer = payload;
+      env.reply_buffer_va = ring.PayloadVa(token);
+      SB_TRACE_EVENT(TraceEventType::kHandlerEnter, core.cycles(), core.id(),
+                     server.process->pid());
+      mk::Message reply = server.handler(env);
+      SB_TRACE_EVENT(TraceEventType::kHandlerExit, core.cycles(), core.id(),
+                     server.process->pid(), 0);
+
+      // Per-entry return gate: the reply must live within (or fit into) the
+      // ENTRY's payload span. A borrowed descriptor that escapes it is
+      // corrupt, exactly like the single-call return gate — the entry is
+      // rejected, the batch continues.
+      sb::ErrorCode code = sb::ErrorCode::kOk;
+      uint32_t reply_len = 0;
+      bool in_place = false;
+      bool corrupt = SB_FAULT_POINT(kFaultReplyCorrupt);
+      if (!corrupt && reply.borrowed() && !reply.view.empty()) {
+        const uint8_t* base = payload.data();
+        const uint8_t* p = reply.view.data();
+        in_place = p >= base && p + reply.view.size() <= base + payload.size();
+        corrupt = !in_place && !ctx.slice.host.empty() &&
+                  p < ctx.slice.host.data() + ctx.slice.host.size() &&
+                  p + reply.view.size() > ctx.slice.host.data();
+      }
+      if (corrupt || reply.size() > payload.size()) {
+        code = sb::ErrorCode::kOutOfRange;
+        gate_rejections_->Add();
+      } else {
+        reply_len = static_cast<uint32_t>(reply.size());
+        if (!in_place && reply_len > 0) {
+          // Completion posting: owned reply bytes land in the entry's span.
+          const uint64_t before = core.cycles();
+          (void)core.WriteVirt(ring.PayloadVa(token), reply.payload());
+          ctx.pbd->copy += core.cycles() - before;
+        }
+      }
+      ring.StoreU64(desc + BatchRingView::kDescReplyTag, reply.tag);
+      ring.StoreU32(desc + BatchRingView::kDescReplyLen, reply_len);
+      // Publish order: reply fields first, status word last (the ring's
+      // phase bit; see DESIGN.md section 13 for the ordering rules).
+      ring.StoreU32(desc + BatchRingView::kDescStatus, StatusWord(code));
+      ring.StoreU64(BatchRingView::kSqHeadOff, ++sq_head);
+      ++out.completed;
+    }
+    if (rounds_left > 0 && refill) {
+      refill();
+    }
+  }
+  phase_drain_->Record(core.cycles() - drain_start);
+  return out;
 }
 
 void Gate::RecordPhases(const CallContext& ctx) const {

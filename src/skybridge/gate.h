@@ -11,6 +11,7 @@
 #define SRC_SKYBRIDGE_GATE_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/base/status.h"
 #include "src/base/telemetry/metrics.h"
@@ -96,6 +97,23 @@ class Gate {
   };
   ReplyVerdict ClassifyReply(const CallContext& ctx, const mk::Message& reply) const;
 
+  // ---- Batch-dispatch leg (DESIGN.md section 13) ----
+  // Runs server-side between the entry and return VMFUNCs of a FlushBatch
+  // crossing: drains every pending submission in the ring, invoking the
+  // handler per entry and posting each completion (reply bytes in the
+  // entry's payload span, then the nonzero status word) without a per-call
+  // return crossing. After each round it invokes `refill` — submissions
+  // that arrived while the server drained (the client's core keeps
+  // producing in real hardware) — and keeps draining while new entries
+  // appear, bounded by config.max_drain_rounds (adaptive drain).
+  struct DrainOutcome {
+    uint32_t completed = 0;  // Completions posted this crossing.
+    uint32_t rounds = 0;     // Drain rounds that processed >= 1 entry.
+    bool crashed = false;    // Handler died mid-drain; crossing must abort.
+  };
+  DrainOutcome DrainBatch(CallContext& ctx, const BatchRingView& ring,
+                          const std::function<void()>& refill) const;
+
   // Folds this call's phase deltas into the per-phase histograms at exit.
   void RecordPhases(const CallContext& ctx) const;
 
@@ -108,6 +126,8 @@ class Gate {
   mk::Kernel* kernel_;
   const SkyBridgeConfig* config_;
   sb::telemetry::Counter* aborted_calls_;
+  sb::telemetry::Counter* gate_rejections_;
+  sb::telemetry::LatencyHistogram* phase_drain_;
   sb::telemetry::LatencyHistogram* phase_vmfunc_;
   sb::telemetry::LatencyHistogram* phase_trampoline_;
   sb::telemetry::LatencyHistogram* phase_copy_;

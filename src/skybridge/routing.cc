@@ -350,6 +350,29 @@ sb::Status RouteTable::CheckInvariants() const {
       if (b->revoked && b->installed && state.inflight == 0) {
         return sb::Internal("drained revoked binding still installed");
       }
+      if (b->queued_submissions > config_->batch_ring_entries) {
+        return sb::Internal("queued batch submissions exceed the ring geometry");
+      }
+      if (b->slices_carved) {
+        // Free-list slice allocator: every slice is either free or owned by
+        // exactly one connection, and owners never alias.
+        if (b->slice_of_tid.size() + b->free_slices.size() != b->num_slices) {
+          return sb::Internal("slice free list out of sync with assignments");
+        }
+        std::vector<bool> seen(b->num_slices, false);
+        for (const auto& [tid, slice] : b->slice_of_tid) {
+          if (slice >= b->num_slices || seen[slice]) {
+            return sb::Internal("two connections share one buffer slice");
+          }
+          seen[slice] = true;
+        }
+        for (const uint32_t slice : b->free_slices) {
+          if (slice >= b->num_slices || seen[slice]) {
+            return sb::Internal("free slice also assigned to a connection");
+          }
+          seen[slice] = true;
+        }
+      }
     }
   }
   return sb::OkStatus();
@@ -359,6 +382,14 @@ uint64_t RouteTable::InFlightCalls() const {
   uint64_t total = 0;
   for (const auto& entry : clients_) {
     total += entry.second.inflight;
+  }
+  return total;
+}
+
+uint64_t RouteTable::QueuedSubmissions() const {
+  uint64_t total = 0;
+  for (const auto& binding : bindings_) {
+    total += binding->queued_submissions;
   }
   return total;
 }

@@ -52,14 +52,24 @@ struct Binding {
   hw::Gva shared_buf;       // Region base, mapped at the same VA in both.
   uint64_t key_slot;        // Index in the server's calling-key table.
   // ---- Buffer carving (long-message path) ----
-  // The region is num_slices page-aligned slices of slice_stride bytes;
-  // connection (thread) t owns slice t % num_slices, each with
-  // shared_buffer_bytes of capacity. host_base is the host-contiguous view
-  // of the whole region (nullptr for chain bindings, which carry no
-  // buffer), enabling borrowed message views without simulated copies.
+  // The region is num_slices page-aligned slices of slice_stride bytes,
+  // each with shared_buffer_bytes of capacity. host_base is the
+  // host-contiguous view of the whole region (nullptr for chain bindings,
+  // which carry no buffer), enabling borrowed message views without
+  // simulated copies. Slices are handed to connections by a free-list
+  // allocator (BufferPool::AcquireSlice): thread t gets the next free
+  // slice on first use and keeps it, so two threads never silently share
+  // one slice (the old t % num_slices mapping aliased them).
   uint64_t slice_stride = 0;
   uint32_t num_slices = 0;
   uint8_t* host_base = nullptr;
+  std::unordered_map<int, uint32_t> slice_of_tid;  // tid -> owned slice.
+  std::vector<uint32_t> free_slices;               // LIFO free list.
+  bool slices_carved = false;                      // free_slices populated.
+  // Batched IPC: submissions sitting in this binding's rings that have not
+  // had a completion posted yet (DESIGN.md section 13). Bounded by the ring
+  // geometry; drained by FlushBatch / the adaptive drain leg.
+  uint64_t queued_submissions = 0;
   bool installed = true;    // Currently on the client's EPTP list.
   // Revoked bindings refuse new calls; their EPTP entry is removed when
   // the client drains. The record itself persists ("bindings are never
@@ -151,6 +161,10 @@ class RouteTable {
   // revoked bindings uninstalled once drained, in-flight accounting.
   sb::Status CheckInvariants() const;
   uint64_t InFlightCalls() const;
+  // Batch submissions enqueued across all bindings with no completion
+  // posted yet. Zero at quiesce (every submitted entry was flushed or
+  // failed); nonzero with no ring holding entries is leaked accounting.
+  uint64_t QueuedSubmissions() const;
   sb::StatusOr<size_t> InstalledBindings(const mk::Process* client) const;
 
   // The route-cache invalidation epoch (relaxed; see the header comment).

@@ -7,6 +7,7 @@
 #include "src/base/faultpoint.h"
 #include "src/base/logging.h"
 #include "src/base/telemetry/trace.h"
+#include "src/mk/notification.h"
 
 namespace skybridge {
 namespace {
@@ -50,6 +51,10 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
   metrics_.revoked_rejections = &reg.GetCounter("skybridge.ipc.revoked_rejections");
   metrics_.bindings_revoked = &reg.GetCounter("skybridge.bindings.revoked");
   metrics_.migration_installs = &reg.GetCounter("skybridge.eptp.migration_installs");
+  metrics_.batched_calls = &reg.GetCounter("skybridge.ipc.batched_calls");
+  metrics_.batch_flushes = &reg.GetCounter("skybridge.ipc.batch_flushes");
+  metrics_.drain_rounds = &reg.GetCounter("skybridge.ipc.drain_rounds");
+  metrics_.ring_depth = &reg.GetGauge("skybridge.batch.ring_depth");
   sb::telemetry::InstallTraceCrashDump();
   // Count the scheduler hook's eager EPTP re-installs on thread migration
   // (versus the lazy stale-slot fallback, counted by stale_slot_retries).
@@ -94,6 +99,9 @@ const SkyBridgeStats& SkyBridge::stats() const {
   snapshot.revoked_rejections = metrics_.revoked_rejections->Value();
   snapshot.bindings_revoked = metrics_.bindings_revoked->Value();
   snapshot.migration_installs = metrics_.migration_installs->Value();
+  snapshot.batched_calls = metrics_.batched_calls->Value();
+  snapshot.batch_flushes = metrics_.batch_flushes->Value();
+  snapshot.batch_drain_rounds = metrics_.drain_rounds->Value();
   return snapshot;
 }
 
@@ -112,7 +120,7 @@ sb::StatusOr<std::span<uint8_t>> SkyBridge::AcquireSendBuffer(mk::Thread* caller
     metrics_.rejected_calls->Add();
     return sb::PermissionDenied("binding revoked");
   }
-  const SliceRef slice = buffers_.SliceOf(*perm, caller);
+  SB_ASSIGN_OR_RETURN(const SliceRef slice, buffers_.AcquireSlice(*perm, caller));
   if (slice.host.empty()) {
     return sb::FailedPrecondition("binding has no shared buffer");
   }
@@ -202,8 +210,18 @@ sb::Status SkyBridge::PrepareRequest(CallContext& ctx, const mk::Message* msg_in
                                      bool in_place) {
   // The caller's per-connection slice. Authorization (and the buffer) always
   // come from the caller's own binding, even when a nested call routes the
-  // VMFUNC through a chain binding.
-  ctx.slice = buffers_.SliceOf(*ctx.perm, ctx.caller);
+  // VMFUNC through a chain binding. Slice ownership comes from the binding's
+  // free-list allocator: exhaustion (more live connections than slices) is an
+  // explicit error, never a silently shared slice.
+  auto slice_or = buffers_.AcquireSlice(*ctx.perm, ctx.caller);
+  if (slice_or.ok()) {
+    ctx.slice = *slice_or;
+  } else if (slice_or.status().code() == sb::ErrorCode::kResourceExhausted) {
+    metrics_.rejected_calls->Add();
+    return slice_or.status();
+  }
+  // Other acquisition failures (bufferless binding) leave the slice empty:
+  // register-size messages never touch it.
   if (in_place) {
     if (ctx.slice.host.empty()) {
       return sb::FailedPrecondition("binding has no shared buffer");
@@ -470,6 +488,327 @@ sb::StatusOr<mk::Message> SkyBridge::ServeAndReturn(CallContext& ctx) {
                  server.process->pid());
   gate_.RecordPhases(ctx);
   return reply;
+}
+
+// ---- Batched + asynchronous IPC (DESIGN.md section 13) ----
+
+sb::StatusOr<SkyBridge::BatchConn*> SkyBridge::GetBatchConn(mk::Thread* caller,
+                                                            ServerId server_id) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  Binding* perm = routes_.Lookup(caller, server_id);
+  if (perm == nullptr) {
+    metrics_.rejected_calls->Add();
+    return sb::PermissionDenied("client not registered to server");
+  }
+  if (perm->revoked) {
+    metrics_.revoked_rejections->Add();
+    metrics_.rejected_calls->Add();
+    return sb::PermissionDenied("binding revoked");
+  }
+  if (BatchConn* conn = FindBatchConn(perm, caller->tid())) {
+    return conn;
+  }
+  // First use of the batch API on this connection (slow path): acquire the
+  // connection's slice and carve the ring from it.
+  SB_ASSIGN_OR_RETURN(const SliceRef slice, buffers_.AcquireSlice(*perm, caller));
+  SB_ASSIGN_OR_RETURN(const BatchRingView ring, buffers_.CarveRing(*perm, caller));
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  BatchConn& conn = batch_conns_[{perm, caller->tid()}];
+  if (conn.binding == nullptr) {
+    conn.binding = perm;
+    conn.slice = slice;
+    conn.ring = ring;
+    conn.busy.assign(ring.entries, 0);
+    conn.notify = kernel_->CreateNotification();
+  }
+  return &conn;
+}
+
+SkyBridge::BatchConn* SkyBridge::FindBatchConn(const Binding* perm, int tid) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  auto it = batch_conns_.find({perm, tid});
+  return it != batch_conns_.end() ? &it->second : nullptr;
+}
+
+sb::StatusOr<uint64_t> SkyBridge::SubmitCall(mk::Thread* caller, ServerId server_id,
+                                             const mk::Message& msg) {
+  SB_ASSIGN_OR_RETURN(BatchConn * conn, GetBatchConn(caller, server_id));
+  const BatchRingView& ring = conn->ring;
+  if (msg.size() > ring.payload_cap) {
+    metrics_.rejected_calls->Add();
+    return sb::OutOfRange("message exceeds the ring's per-entry capacity");
+  }
+  const uint32_t slot = ring.Slot(conn->sq_tail);
+  if (conn->busy[slot] != 0) {
+    return sb::ResourceExhausted("batch ring full");
+  }
+  hw::Core& core = kernel_->machine().core(caller->core_id());
+  const uint64_t token = conn->sq_tail++;
+  // Client-side submit: payload into the entry's span, then the descriptor
+  // line, then the published tail. No crossing, no syscall.
+  if (msg.size() > 0) {
+    SB_RETURN_IF_ERROR(core.WriteVirt(ring.PayloadVa(token), msg.payload()));
+  }
+  const uint64_t desc = ring.DescOff(token);
+  (void)core.TouchData(ring.va + desc, BatchRingView::kDescBytes, true);
+  ring.StoreU64(desc + BatchRingView::kDescToken, token);
+  ring.StoreU64(desc + BatchRingView::kDescTag, msg.tag);
+  ring.StoreU64(desc + BatchRingView::kDescReplyTag, 0);
+  ring.StoreU32(desc + BatchRingView::kDescReqLen, static_cast<uint32_t>(msg.size()));
+  ring.StoreU32(desc + BatchRingView::kDescReplyLen, 0);
+  ring.StoreU32(desc + BatchRingView::kDescStatus, 0);
+  ring.StoreU64(BatchRingView::kSqTailOff, conn->sq_tail);
+  conn->busy[slot] = 1;
+  ++conn->binding->queued_submissions;
+  metrics_.batched_calls->Add();
+  return token;
+}
+
+sb::StatusOr<mk::Message> SkyBridge::PollCompletion(mk::Thread* caller, ServerId server_id,
+                                                    uint64_t token) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  Binding* perm = routes_.Lookup(caller, server_id);
+  if (perm == nullptr) {
+    return sb::PermissionDenied("client not registered to server");
+  }
+  BatchConn* conn = FindBatchConn(perm, caller->tid());
+  if (conn == nullptr) {
+    return sb::NotFound("no batch connection for this caller");
+  }
+  const BatchRingView& ring = conn->ring;
+  if (token >= conn->sq_tail) {
+    return sb::InvalidArgument("token was never submitted");
+  }
+  const uint64_t desc = ring.DescOff(token);
+  hw::Core& core = kernel_->machine().core(caller->core_id());
+  (void)core.TouchData(ring.va + desc, BatchRingView::kDescBytes, false);
+  if (ring.LoadU64(desc + BatchRingView::kDescToken) != token) {
+    return sb::InvalidArgument("completion already consumed (slot recycled)");
+  }
+  const uint32_t status_word = ring.LoadU32(desc + BatchRingView::kDescStatus);
+  if (status_word == 0) {
+    return sb::Unavailable("completion pending; flush the batch");
+  }
+  const uint64_t reply_tag = ring.LoadU64(desc + BatchRingView::kDescReplyTag);
+  const uint32_t reply_len = ring.LoadU32(desc + BatchRingView::kDescReplyLen);
+  // Reap: clobber the descriptor's token (a second poll of the same token
+  // is an explicit error, not a stale replay) and free the slot.
+  ring.StoreU64(desc + BatchRingView::kDescToken, ~0ULL);
+  conn->busy[ring.Slot(token)] = 0;
+  const auto code = static_cast<sb::ErrorCode>(status_word - 1);
+  if (code != sb::ErrorCode::kOk) {
+    return sb::Status(code, "batched call failed");
+  }
+  // Like the in-place API, the reply is a borrowed view of the entry's
+  // payload span — valid until the slot is resubmitted.
+  return mk::Message::Borrowed(
+      reply_tag, std::span<const uint8_t>(ring.Payload(token).data(), reply_len));
+}
+
+void SkyBridge::FailPendingClientSide(BatchConn& conn, sb::ErrorCode code) {
+  const BatchRingView& ring = conn.ring;
+  const uint32_t word = 1u + static_cast<uint32_t>(code);
+  uint64_t head = ring.LoadU64(BatchRingView::kSqHeadOff);
+  while (head != conn.sq_tail) {
+    const uint64_t desc = ring.DescOff(head);
+    ring.StoreU64(desc + BatchRingView::kDescReplyTag, 0);
+    ring.StoreU32(desc + BatchRingView::kDescReplyLen, 0);
+    ring.StoreU32(desc + BatchRingView::kDescStatus, word);
+    ring.StoreU64(BatchRingView::kSqHeadOff, ++head);
+    --conn.binding->queued_submissions;
+  }
+}
+
+sb::Status SkyBridge::FlushBatch(mk::Thread* caller, ServerId server_id,
+                                 mk::CostBreakdown* bd) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  Binding* perm = routes_.Lookup(caller, server_id);
+  if (perm == nullptr) {
+    metrics_.rejected_calls->Add();
+    return sb::PermissionDenied("client not registered to server");
+  }
+  BatchConn* conn = FindBatchConn(perm, caller->tid());
+  if (conn == nullptr) {
+    return sb::OkStatus();  // Nothing was ever submitted.
+  }
+  const BatchRingView& ring = conn->ring;
+  const uint64_t pending = conn->sq_tail - ring.LoadU64(BatchRingView::kSqHeadOff);
+  if (pending == 0) {
+    return sb::OkStatus();
+  }
+  hw::Core& core = kernel_->machine().core(caller->core_id());
+  if (perm->revoked) {
+    // Revoked binding: no crossing. The pending entries complete client-side
+    // with PermissionDenied so pollers see a per-entry verdict, not a hang.
+    metrics_.revoked_rejections->Add();
+    metrics_.rejected_calls->Add();
+    FailPendingClientSide(*conn, sb::ErrorCode::kPermissionDenied);
+    if (conn->wait_armed) {
+      conn->wait_armed = false;
+      (void)conn->notify->Signal(core, 1);
+    }
+    return sb::OkStatus();
+  }
+  metrics_.ring_depth->SetMax(pending);
+
+  CallContext ctx;
+  ctx.caller = caller;
+  ctx.server_id = server_id;
+  ctx.server = &servers_[server_id];
+  ctx.proc = caller->process();
+  ctx.core = &core;
+  ctx.pbd = bd != nullptr ? bd : &ctx.local_bd;
+  ctx.bd_before = *ctx.pbd;
+  ctx.start_cycles = core.cycles();
+  SB_TRACE_EVENT(TraceEventType::kCallStart, core.cycles(), core.id(), ctx.proc->pid(),
+                 ctx.server->process->pid());
+  SB_RETURN_IF_ERROR(ResolveRoute(ctx));
+  ctx.slice = conn->slice;
+  // The flush itself carries no payload — the requests are already in the
+  // ring. An empty request keeps ArmGate on the register-size path.
+  const mk::Message flush_msg;
+  ctx.request = &flush_msg;
+  SB_RETURN_IF_ERROR(BindOrigin(ctx));
+  InFlightGuard guard;
+  guard.Begin(&routes_, ctx.perm, ctx.route);
+  SB_RETURN_IF_ERROR(ArmGate(ctx));
+  SB_RETURN_IF_ERROR(gate_.EnterServer(ctx));
+
+  // ---- Server side: the batch-dispatch leg ----
+  if (!gate_.CheckCallingKey(ctx)) {
+    metrics_.rejected_calls->Add();
+    SB_RETURN_IF_ERROR(gate_.ReturnToEntry(ctx));
+    return sb::PermissionDenied("calling key rejected");
+  }
+  const Gate::DrainOutcome outcome = gate_.DrainBatch(ctx, ring, batch_refill_);
+  metrics_.batch_flushes->Add();
+  metrics_.drain_rounds->Add(outcome.rounds);
+  perm->queued_submissions -= outcome.completed;
+  if (SB_FAULT_POINT(kFaultRevokeInflight)) {
+    // Revocation racing a live flush: this crossing's completions stand;
+    // subsequent submits and flushes are refused.
+    (void)RevokeBinding(ctx.proc, ctx.server_id);
+  }
+  if (outcome.crashed) {
+    // Handler died mid-drain. Entries it completed (including the Aborted
+    // one) are posted; untouched entries stay pending for the next flush.
+    const sb::Status abort = gate_.AbortServerCrash(ctx);
+    if (conn->wait_armed && outcome.completed > 0) {
+      conn->wait_armed = false;
+      (void)conn->notify->Signal(core, 1);
+    }
+    return abort;
+  }
+  SB_RETURN_IF_ERROR(gate_.ReturnToEntry(ctx));
+  gate_.VerifyReturnKey(ctx);
+  gate_.RecordPhases(ctx);
+  SB_TRACE_EVENT(TraceEventType::kCallEnd, core.cycles(), core.id(), ctx.proc->pid(),
+                 ctx.server->process->pid());
+  if (conn->wait_armed && outcome.completed > 0) {
+    // Completion notification: one Signal per crossing, only when a waiter
+    // parked — the poll-only fast path never pays the syscall.
+    conn->wait_armed = false;
+    (void)conn->notify->Signal(core, 1);
+  }
+  return sb::OkStatus();
+}
+
+sb::StatusOr<mk::Message> SkyBridge::WaitCompletion(mk::Thread* caller, ServerId server_id,
+                                                    uint64_t token, mk::CostBreakdown* bd) {
+  // Progress argument: every iteration either resolves the poll, flushes
+  // (posting >= 1 completion, or Aborted with the crashed entry posted), or
+  // parks on the notification; the bound only guards against a pathological
+  // fault schedule crashing every crossing.
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    auto reply = PollCompletion(caller, server_id, token);
+    if (reply.ok() || reply.status().code() != sb::ErrorCode::kUnavailable) {
+      return reply;
+    }
+    const sb::Status flushed = FlushBatch(caller, server_id, bd);
+    if (flushed.code() == sb::ErrorCode::kAborted) {
+      continue;  // Crash mid-drain: re-poll; our entry may need another flush.
+    }
+    SB_RETURN_IF_ERROR(flushed);
+    auto after = PollCompletion(caller, server_id, token);
+    if (after.ok() || after.status().code() != sb::ErrorCode::kUnavailable) {
+      return after;
+    }
+    // Still pending with nothing left to flush here: park on the kernel
+    // notification path until a concurrent flush posts completions.
+    Binding* perm = routes_.Lookup(caller, server_id);
+    BatchConn* conn = perm != nullptr ? FindBatchConn(perm, caller->tid()) : nullptr;
+    if (conn == nullptr) {
+      return sb::Internal("batch connection vanished under a waiter");
+    }
+    conn->wait_armed = true;
+    hw::Core& core = kernel_->machine().core(caller->core_id());
+    auto badges = conn->notify->Wait(core);
+    if (!badges.ok()) {
+      conn->wait_armed = false;
+      return sb::Unavailable("completion pending and no flush in flight");
+    }
+  }
+  return sb::Internal("WaitCompletion did not converge");
+}
+
+sb::StatusOr<std::vector<SkyBridge::BatchEntryResult>> SkyBridge::CallBatch(
+    mk::Thread* caller, ServerId server_id, std::span<const mk::Message> msgs,
+    mk::CostBreakdown* bd) {
+  std::vector<BatchEntryResult> out(msgs.size());
+  size_t i = 0;
+  while (i < msgs.size()) {
+    // Submit until the ring fills (or input runs out), then flush the chunk.
+    std::vector<std::pair<size_t, uint64_t>> chunk;  // msg index -> token
+    while (i < msgs.size()) {
+      auto token = SubmitCall(caller, server_id, msgs[i]);
+      if (!token.ok()) {
+        if (token.status().code() == sb::ErrorCode::kResourceExhausted && !chunk.empty()) {
+          break;  // Ring full: flush what we have, resubmit this one after.
+        }
+        out[i].status = token.status();  // Per-entry submit failure.
+        ++i;
+        continue;
+      }
+      chunk.emplace_back(i, *token);
+      ++i;
+    }
+    if (chunk.empty()) {
+      continue;
+    }
+    sb::Status flushed = FlushBatch(caller, server_id, bd);
+    for (auto& [idx, token] : chunk) {
+      for (int attempt = 0;; ++attempt) {
+        auto reply = PollCompletion(caller, server_id, token);
+        if (reply.ok()) {
+          // Own the reply: the next chunk recycles the slot it borrows from.
+          out[idx].status = sb::OkStatus();
+          out[idx].reply = reply->ToOwned();
+          break;
+        }
+        if (reply.status().code() != sb::ErrorCode::kUnavailable) {
+          out[idx].status = reply.status();
+          break;
+        }
+        // Untouched by a crashed crossing: flush again.
+        flushed = FlushBatch(caller, server_id, bd);
+        if (!flushed.ok() && flushed.code() != sb::ErrorCode::kAborted) {
+          out[idx].status = flushed;
+          break;
+        }
+        if (attempt >= 64) {
+          out[idx].status = sb::Internal("batched entry never completed");
+          break;
+        }
+      }
+    }
+  }
+  return out;
 }
 
 sb::StatusOr<mk::Message> SkyBridge::CallWithForgedKey(mk::Thread* caller, ServerId server_id,

@@ -36,7 +36,12 @@
 #define SRC_SKYBRIDGE_SKYBRIDGE_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -82,6 +87,10 @@ struct SkyBridgeStats {
   // EPTP lists eagerly re-installed by the scheduler hook when a thread
   // migrated cores (vs. the lazy stale_slot_retries fallback).
   uint64_t migration_installs = 0;
+  // ---- Batched + asynchronous IPC (DESIGN.md section 13) ----
+  uint64_t batched_calls = 0;      // Requests submitted into batch rings.
+  uint64_t batch_flushes = 0;      // FlushBatch crossings that drained >= 1.
+  uint64_t batch_drain_rounds = 0; // Server drain rounds across all flushes.
 };
 
 class SkyBridge {
@@ -126,6 +135,67 @@ class SkyBridge {
   sb::StatusOr<mk::Message> DirectServerCallInPlace(mk::Thread* caller, ServerId server_id,
                                                     uint64_t tag, uint64_t len,
                                                     mk::CostBreakdown* bd = nullptr);
+
+  // ---- Batched + asynchronous IPC (DESIGN.md section 13) ----
+  // A submission/completion ring carved from the caller's per-connection
+  // slice amortizes the VMFUNC crossing: the client enqueues N requests,
+  // one FlushBatch crossing drains them all server-side, and completions
+  // post back into the ring without per-call return crossings.
+  //
+  // SubmitCall enqueues one request and returns its token (no crossing).
+  // Errors: ResourceExhausted when the ring is full (slot of the next token
+  // still holds an uncollected completion), OutOfRange when the payload
+  // exceeds the ring's per-entry capacity, PermissionDenied for
+  // unregistered/revoked pairs.
+  sb::StatusOr<uint64_t> SubmitCall(mk::Thread* caller, ServerId server_id,
+                                    const mk::Message& msg);
+
+  // Non-blocking completion check for `token`. Unavailable while the entry
+  // is still pending (submit not yet flushed, or left untouched by a
+  // crashed crossing); the entry's own error (Aborted for a handler crash,
+  // OutOfRange for a reply rejected at the per-entry return gate,
+  // PermissionDenied for a revoked-binding flush) once posted. A successful
+  // poll frees the entry's slot; like the in-place API, the returned reply
+  // is a borrowed view of the entry's payload span, valid until the slot is
+  // resubmitted.
+  sb::StatusOr<mk::Message> PollCompletion(mk::Thread* caller, ServerId server_id,
+                                           uint64_t token);
+
+  // Blocking completion wait: flushes the connection's pending submissions
+  // if `token` is not yet complete, and otherwise parks on the kernel
+  // notification path (mk::Notification) until a concurrent flush posts the
+  // completion.
+  sb::StatusOr<mk::Message> WaitCompletion(mk::Thread* caller, ServerId server_id,
+                                           uint64_t token, mk::CostBreakdown* bd = nullptr);
+
+  // Drains every pending submission of the caller's connection in ONE
+  // VMFUNC crossing (the batch-dispatch leg). With submissions arriving
+  // during the drain (SetBatchRefill), the server keeps draining up to
+  // config.max_drain_rounds rounds before returning. No-op when nothing is
+  // pending. Aborted when the handler crashed mid-drain — completions
+  // already posted stay posted, untouched entries complete on the next
+  // flush. On a revoked binding, posts PermissionDenied completions
+  // client-side without crossing.
+  sb::Status FlushBatch(mk::Thread* caller, ServerId server_id,
+                        mk::CostBreakdown* bd = nullptr);
+
+  // Synchronous convenience: submit all of `msgs` (flushing in ring-sized
+  // chunks when needed), flush, and collect every completion. Per-entry
+  // outcomes come back in order; replies are owned (detached from the ring,
+  // which CallBatch recycles across chunks).
+  struct BatchEntryResult {
+    sb::Status status;
+    mk::Message reply;  // Valid when status.ok().
+  };
+  sb::StatusOr<std::vector<BatchEntryResult>> CallBatch(mk::Thread* caller, ServerId server_id,
+                                                        std::span<const mk::Message> msgs,
+                                                        mk::CostBreakdown* bd = nullptr);
+
+  // Hook invoked between server drain rounds — models the client core
+  // producing new submissions while the server drains (the adaptive-drain
+  // experiment). Null disables (the default: one round drains what was
+  // pending at entry).
+  void SetBatchRefill(std::function<void()> refill) { batch_refill_ = std::move(refill); }
 
   // Simulates a malicious caller that skips registration / forges a key;
   // returns the error the legitimate path produces (for the security tests).
@@ -228,7 +298,36 @@ class SkyBridge {
     sb::telemetry::Counter* bindings_revoked;
     // Per-core control plane.
     sb::telemetry::Counter* migration_installs;
+    // Batched + async IPC.
+    sb::telemetry::Counter* batched_calls;
+    sb::telemetry::Counter* batch_flushes;
+    sb::telemetry::Counter* drain_rounds;
+    sb::telemetry::Gauge* ring_depth;  // High-water pending depth at flush.
   };
+
+  // ---- Batch-ring connection state (host-side bookkeeping) ----
+  // One per (binding, thread) connection that uses the batch API; the ring
+  // itself lives in the connection's shared-buffer slice, this records the
+  // host mirrors that never cross the EPT boundary.
+  struct BatchConn {
+    Binding* binding = nullptr;
+    SliceRef slice;
+    BatchRingView ring;
+    uint64_t sq_tail = 0;           // Next token; mirrors the shared header.
+    std::vector<uint8_t> busy;      // Slot submitted and not yet reaped.
+    mk::Notification* notify = nullptr;  // Completion parking (WaitCompletion).
+    bool wait_armed = false;        // A waiter parked; flush signals it.
+  };
+  // Resolves (and on first use creates, carving the ring) the caller's
+  // batch connection to `server_id`. Refuses revoked bindings — used on the
+  // submit path only.
+  sb::StatusOr<BatchConn*> GetBatchConn(mk::Thread* caller, ServerId server_id);
+  // Lookup without the revoked check (completions already in the ring stay
+  // readable after revocation; the revoked flush posts through this too).
+  BatchConn* FindBatchConn(const Binding* perm, int tid);
+  // Posts PermissionDenied completions client-side for every pending entry
+  // (revoked-binding flush: no crossing).
+  void FailPendingClientSide(BatchConn& conn, sb::ErrorCode code);
 
   mk::Kernel* kernel_;
   SkyBridgeConfig config_;
@@ -244,6 +343,14 @@ class SkyBridge {
   Gate gate_;
   // Fans out the registration-time code-page scans (slow path only).
   sb::ThreadPool scan_pool_;
+  // Batch connections, keyed by (binding, tid). std::map keeps BatchConn
+  // addresses stable across inserts; the mutex guards map shape only —
+  // steady-state submit/poll/flush on an established connection touch only
+  // that connection's own state (one host thread per connection, like the
+  // slice it is carved from).
+  std::map<std::pair<const Binding*, int>, BatchConn> batch_conns_;
+  mutable std::mutex batch_mu_;
+  std::function<void()> batch_refill_;
 };
 
 }  // namespace skybridge

@@ -214,10 +214,20 @@ TEST_F(SkyBridgeSmpTest, ConcurrentDisjointPairsAndStatsSnapshot) {
   }
   const uint64_t warm_calls = sky_->stats().direct_calls;
 
+  // Every kBatchEvery direct calls, each caller also pushes one batch of
+  // kBatchDepth through its submission ring, so the batch counters mutate
+  // concurrently with the reader below.
+  constexpr uint64_t kBatchEvery = 100;
+  constexpr uint64_t kBatchDepth = 4;
+  constexpr uint64_t kBatchesPerPair = kCallsPerPair / kBatchEvery;
+
   std::atomic<bool> stop{false};
   std::thread reader([&] {
     const SkyBridgeStats* last_addr = nullptr;
     uint64_t last_calls = 0;
+    uint64_t last_batched = 0;
+    uint64_t last_flushes = 0;
+    uint64_t last_rounds = 0;
     while (!stop.load(std::memory_order_acquire)) {
       const SkyBridgeStats& s = sky_->stats();
       // Thread-local snapshot: same address every time on this thread.
@@ -229,7 +239,17 @@ TEST_F(SkyBridgeSmpTest, ConcurrentDisjointPairsAndStatsSnapshot) {
       ASSERT_GE(s.direct_calls, last_calls);
       ASSERT_LE(s.direct_calls, warm_calls + kPairs * kCallsPerPair);
       ASSERT_EQ(s.rejected_calls, 0u);
+      ASSERT_GE(s.batched_calls, last_batched);
+      ASSERT_LE(s.batched_calls, kPairs * kBatchesPerPair * kBatchDepth);
+      ASSERT_GE(s.batch_flushes, last_flushes);
+      ASSERT_GE(s.batch_drain_rounds, last_rounds);
+      // Each flush drains at least one round; rounds never outrun entries.
+      ASSERT_GE(s.batch_drain_rounds, s.batch_flushes);
+      ASSERT_LE(s.batch_flushes, s.batched_calls);
       last_calls = s.direct_calls;
+      last_batched = s.batched_calls;
+      last_flushes = s.batch_flushes;
+      last_rounds = s.batch_drain_rounds;
     }
   });
 
@@ -241,6 +261,15 @@ TEST_F(SkyBridgeSmpTest, ConcurrentDisjointPairsAndStatsSnapshot) {
         auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(n));
         ASSERT_TRUE(reply.ok()) << reply.status().ToString();
         ASSERT_EQ(reply->tag, n);
+        if ((n + 1) % kBatchEvery == 0) {
+          std::vector<Message> msgs(kBatchDepth, Message(n));
+          auto batched = sky_->CallBatch(p.thread, p.sid, msgs);
+          ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+          for (const auto& entry : *batched) {
+            ASSERT_TRUE(entry.status.ok()) << entry.status.ToString();
+            ASSERT_EQ(entry.reply.tag, n);
+          }
+        }
       }
     });
   }
@@ -254,6 +283,9 @@ TEST_F(SkyBridgeSmpTest, ConcurrentDisjointPairsAndStatsSnapshot) {
   const SkyBridgeStats& s = sky_->stats();
   EXPECT_EQ(s.direct_calls, warm_calls + kPairs * kCallsPerPair);
   EXPECT_EQ(s.rejected_calls, 0u);
+  EXPECT_EQ(s.batched_calls, kPairs * kBatchesPerPair * kBatchDepth);
+  EXPECT_EQ(s.batch_flushes, kPairs * kBatchesPerPair);
+  EXPECT_GE(s.batch_drain_rounds, s.batch_flushes);
   EXPECT_EQ(sky_->InFlightCalls(), 0u);
   ASSERT_TRUE(sky_->CheckInvariants().ok()) << sky_->CheckInvariants().ToString();
 }

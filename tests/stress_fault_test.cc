@@ -156,8 +156,10 @@ class StressScenario {
     SB_CHECK(sky_->RegisterClient(client_, fs_sid_).ok());
     echo_thread_ = client_->AddThread(1);
     fs_thread_ = client_->AddThread(2);
+    batch_thread_ = client_->AddThread(3);
     SB_CHECK(kernel_->ContextSwitchTo(machine_->core(1), client_).ok());
     SB_CHECK(kernel_->ContextSwitchTo(machine_->core(2), client_).ok());
+    SB_CHECK(kernel_->ContextSwitchTo(machine_->core(3), client_).ok());
 
     // The Figure 1 kv pipeline (client -> encrypt -> kv store), SkyBridge
     // wiring, client on core 0.
@@ -341,6 +343,60 @@ class StressScenario {
                          return ++n < events_;
                        });
 
+    // batch: submission/completion rings over the echo server. A crash
+    // mid-drain leaves the tail of the ring pending (reaped next event);
+    // revocation fails the pending entries client-side without a crossing.
+    executor.AddThread(
+        "batch", 3,
+        [this, after_event, rng = sb::Rng(seed_ ^ 0xba7cULL), n = uint64_t{0},
+         outstanding = std::vector<uint64_t>{}](sim::SimThread& t) mutable {
+          auto reregister = [&] {
+            // A fresh binding means a fresh ring; old tokens are dead.
+            outstanding.clear();
+            EXPECT_TRUE(sky_->RegisterClient(client_, echo_sid_).ok());
+          };
+          const uint64_t depth = 1 + rng.Below(4);
+          for (uint64_t i = 0; i < depth; ++i) {
+            Message msg(rng.Next());
+            if (rng.OneIn(2)) {
+              msg.data.assign(1 + rng.Below(256), static_cast<uint8_t>(rng.Next()));
+            }
+            auto token = sky_->SubmitCall(batch_thread_, echo_sid_, msg);
+            if (token.ok()) {
+              outstanding.push_back(*token);
+            } else if (token.status().code() == ErrorCode::kPermissionDenied) {
+              reregister();
+              break;
+            }
+          }
+          const sb::Status flushed = sky_->FlushBatch(batch_thread_, echo_sid_);
+          std::vector<uint64_t> still_pending;
+          for (const uint64_t token : outstanding) {
+            const sb::Status polled =
+                sky_->PollCompletion(batch_thread_, echo_sid_, token).status();
+            switch (polled.code()) {
+              case ErrorCode::kOk:
+              case ErrorCode::kAborted:           // Crash hit this entry.
+              case ErrorCode::kOutOfRange:        // Reply rejected per-entry.
+                break;
+              case ErrorCode::kUnavailable:       // Untouched after a crash.
+                still_pending.push_back(token);
+                break;
+              case ErrorCode::kPermissionDenied:  // Binding revoked.
+                break;
+              default:
+                ADD_FAILURE() << "batch poll: " << polled.ToString();
+                break;
+            }
+          }
+          outstanding = std::move(still_pending);
+          if (flushed.code() == ErrorCode::kPermissionDenied) {
+            reregister();
+          }
+          after_event(t, flushed);
+          return ++n < events_;
+        });
+
     executor.RunToCompletion();
     for (const char* point : {kFaultPreVmfunc, kFaultHandlerCrash, kFaultReplyCorrupt,
                               kFaultRevokeInflight}) {
@@ -408,6 +464,8 @@ class StressScenario {
         << " stale_slot_retries=" << s.stale_slot_retries
         << " revoked_rejections=" << s.revoked_rejections
         << " bindings_revoked=" << s.bindings_revoked
+        << " batched_calls=" << s.batched_calls << " batch_flushes=" << s.batch_flushes
+        << " batch_drain_rounds=" << s.batch_drain_rounds
         << " rootkernel_aborts=" << kernel_->rootkernel()->aborts()
         << " kv_inserts=" << kv_->stats().inserts << " kv_queries=" << kv_->stats().queries
         << " sqlite_stale_retries=" << sqlite_stale_retries_;
@@ -432,6 +490,7 @@ class StressScenario {
   mk::Process* client_ = nullptr;
   mk::Thread* echo_thread_ = nullptr;
   mk::Thread* fs_thread_ = nullptr;
+  mk::Thread* batch_thread_ = nullptr;
   ServerId echo_sid_ = 0;
   ServerId fs_sid_ = 0;
   uint64_t sqlite_stale_retries_ = 0;
