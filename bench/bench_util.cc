@@ -109,6 +109,10 @@ void JsonReporter::Add(const std::string& name, uint64_t value) {
   metrics_.emplace_back(name, std::to_string(value));
 }
 
+void JsonReporter::Stamp(const std::string& key, const std::string& json_literal) {
+  stamps_.emplace_back(key, json_literal);
+}
+
 void JsonReporter::AddRegistry(const sb::telemetry::Registry& registry) {
   registry_json_ = registry.SnapshotJson();
 }
@@ -127,7 +131,11 @@ void JsonReporter::Write() {
     SB_LOG(kError) << "cannot write bench JSON to " << path_;
     return;
   }
-  out << "{\"bench\":\"" << bench_name_ << "\",\"metrics\":{";
+  out << "{\"bench\":\"" << bench_name_ << "\",";
+  for (const auto& [key, literal] : stamps_) {
+    out << "\"" << key << "\":" << literal << ",";
+  }
+  out << "\"metrics\":{";
   for (size_t i = 0; i < metrics_.size(); ++i) {
     if (i > 0) {
       out << ",";

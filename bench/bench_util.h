@@ -68,6 +68,10 @@ class JsonReporter {
 
   void Add(const std::string& name, double value);
   void Add(const std::string& name, uint64_t value);
+  // Adds a top-level field next to "bench"/"metrics" — provenance that makes
+  // the merged BENCH_results.json record self-describing (generator seed,
+  // offered loads...). `json_literal` is written verbatim, so quote strings.
+  void Stamp(const std::string& key, const std::string& json_literal);
   // Attaches a snapshot of the registry (replaces any previous snapshot).
   void AddRegistry(const sb::telemetry::Registry& registry);
   // Same, from a pre-rendered Registry::SnapshotJson() string — for benches
@@ -81,6 +85,7 @@ class JsonReporter {
   std::string bench_name_;
   std::string path_;
   std::vector<std::pair<std::string, std::string>> metrics_;  // name -> JSON literal.
+  std::vector<std::pair<std::string, std::string>> stamps_;   // Top-level fields.
   std::string registry_json_;
   bool written_ = false;
 };

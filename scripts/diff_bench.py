@@ -18,12 +18,18 @@ import sys
 SUFFIXES = ("cycles_per_op", "cycles_per_get", "cycles", "ops_per_sec",
             "speedup_16", "speedup_8c", "overhead")
 
+# Tail-latency series from the open-loop sweep: flagged separately when p99
+# or p99.9 regresses by more than 10% (still non-gating — queueing tails are
+# noisier than closed-loop means, so this is a "look here" marker).
+TAIL_SUFFIXES = (".p99", ".p999")
+TAIL_THRESHOLD = 10.0
 
-def series(merged):
+
+def series(merged, suffixes=SUFFIXES):
     out = {}
     for bench, obj in merged.items():
         for key, value in obj.get("metrics", {}).items():
-            if isinstance(value, (int, float)) and key.endswith(SUFFIXES):
+            if isinstance(value, (int, float)) and key.endswith(suffixes):
                 out[f"{bench}:{key}"] = float(value)
     return out
 
@@ -38,12 +44,32 @@ def main() -> int:
 
     try:
         with open(args.baseline) as f:
-            base = series(json.load(f))
+            base_merged = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"diff_bench: no usable baseline ({e}); nothing to diff")
         return 0
     with open(args.current) as f:
-        cur = series(json.load(f))
+        cur_merged = json.load(f)
+    base = series(base_merged)
+    cur = series(cur_merged)
+
+    # Tail-latency regressions first: a grown p99/p99.9 is the open-loop
+    # sweep's whole reason to exist.
+    base_tail = series(base_merged, TAIL_SUFFIXES)
+    cur_tail = series(cur_merged, TAIL_SUFFIXES)
+    regressed = []
+    for key in sorted(base_tail.keys() & cur_tail.keys()):
+        b, c = base_tail[key], cur_tail[key]
+        if b == 0:
+            continue
+        pct = 100.0 * (c - b) / b
+        if pct >= TAIL_THRESHOLD:
+            regressed.append((pct, key, b, c))
+    if regressed:
+        print(f"P99 REGRESSION ({len(regressed)} tail series grew >= "
+              f"{TAIL_THRESHOLD:g}%; non-gating):")
+        for pct, key, b, c in sorted(regressed, key=lambda m: -m[0]):
+            print(f"  {pct:+7.1f}%  {key}: {b:g} -> {c:g}")
 
     moved = []
     for key in sorted(base.keys() & cur.keys()):

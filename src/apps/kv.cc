@@ -380,4 +380,33 @@ std::vector<sb::StatusOr<std::string>> KvPipeline::QueryBatch(std::span<const st
   return out;
 }
 
+sb::StatusOr<uint64_t> KvPipeline::SubmitQuery(const std::string& key) {
+  if (wiring_ != KvWiring::kSkyBridge) {
+    return sb::Unimplemented("batched queries need the SkyBridge wiring");
+  }
+  hw::Core& core = client_core();
+  core.AdvanceCycles(kClientLogicCycles);
+  (void)core.TouchData(mk::kHeapVa + 0x1000, std::max<uint64_t>(EncodedSize(key, ""), 64), true);
+  return sky_->SubmitCall(client_thread_, encrypt_sid_, EncodeRequest(kOpQuery, key, ""));
+}
+
+sb::Status KvPipeline::FlushQueries() {
+  if (wiring_ != KvWiring::kSkyBridge) {
+    return sb::Unimplemented("batched queries need the SkyBridge wiring");
+  }
+  return sky_->FlushBatch(client_thread_, encrypt_sid_);
+}
+
+sb::StatusOr<std::string> KvPipeline::PollQuery(uint64_t token) {
+  if (wiring_ != KvWiring::kSkyBridge) {
+    return sb::Unimplemented("batched queries need the SkyBridge wiring");
+  }
+  SB_ASSIGN_OR_RETURN(const mk::Message reply,
+                      sky_->PollCompletion(client_thread_, encrypt_sid_, token));
+  if (reply.tag != 1) {
+    return sb::NotFound("no such key");
+  }
+  return reply.ToString();
+}
+
 }  // namespace apps

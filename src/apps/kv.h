@@ -68,6 +68,16 @@ class KvPipeline {
   // wirings fall back to per-key Query. Per-key outcomes, in order.
   std::vector<sb::StatusOr<std::string>> QueryBatch(std::span<const std::string> keys);
 
+  // Open-loop async gets (the load generator's batched mode, DESIGN.md
+  // section 14): SubmitQuery enqueues one get into the client->encrypt ring
+  // and returns its token; FlushQueries drains the pending submissions in
+  // one crossing; PollQuery reaps one completion (Unavailable while the
+  // entry is still pending). kSkyBridge wiring only — other wirings return
+  // Unimplemented from SubmitQuery so callers fall back to sync Query.
+  sb::StatusOr<uint64_t> SubmitQuery(const std::string& key);
+  sb::Status FlushQueries();
+  sb::StatusOr<std::string> PollQuery(uint64_t token);
+
   // Client core (where latency is measured).
   hw::Core& client_core();
 

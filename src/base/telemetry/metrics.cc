@@ -8,17 +8,36 @@
 namespace sb::telemetry {
 namespace {
 
-// Representative value for a populated bucket: its geometric-ish midpoint.
-// Bucket 0 holds zeros; bucket i (i >= 1) holds [2^(i-1), 2^i).
+// Log-linear bucket index: values below kSubBuckets map exactly; above
+// that, the top 4 bits after the leading bit pick one of 16 linear
+// sub-buckets within the value's octave. Octaves past kMaxTrackedBits all
+// collapse into the +Inf overflow bucket.
+size_t BucketIndex(uint64_t v) {
+  if (v < LatencyHistogram::kSubBuckets) {
+    return static_cast<size_t>(v);
+  }
+  const size_t w = static_cast<size_t>(std::bit_width(v));  // >= 5 here.
+  if (w > LatencyHistogram::kMaxTrackedBits) {
+    return LatencyHistogram::kOverflowBucket;
+  }
+  const size_t sub = static_cast<size_t>((v >> (w - 5)) & 15);
+  return LatencyHistogram::kSubBuckets * (w - 4) + sub;
+}
+
+// Representative value for a populated bucket: the midpoint of its
+// [lo, lo + width) range (exact for the linear region, <= 1/32 relative
+// error elsewhere). The overflow bucket has no finite representative.
 uint64_t BucketRepresentative(size_t bucket) {
-  if (bucket == 0) {
-    return 0;
+  if (bucket < LatencyHistogram::kSubBuckets) {
+    return bucket;
   }
-  if (bucket >= 64) {
-    return ~uint64_t{0};
+  if (bucket >= LatencyHistogram::kOverflowBucket) {
+    return LatencyHistogram::kOverflowValue;
   }
-  const uint64_t lo = uint64_t{1} << (bucket - 1);
-  return lo + lo / 2;
+  const size_t w = bucket / LatencyHistogram::kSubBuckets + 4;
+  const uint64_t sub = bucket % LatencyHistogram::kSubBuckets;
+  const uint64_t lo = (16 + sub) << (w - 5);
+  return lo + (uint64_t{1} << (w - 5)) / 2;
 }
 
 void AppendJsonNumber(std::ostringstream& out, double v) {
@@ -33,7 +52,7 @@ void AppendJsonNumber(std::ostringstream& out, double v) {
 
 void LatencyHistogram::Record(uint64_t v) {
   Shard& s = shards_[ThreadShardIndex()];
-  const size_t bucket = static_cast<size_t>(std::bit_width(v));
+  const size_t bucket = BucketIndex(v);
   s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   s.sum.fetch_add(v, std::memory_order_relaxed);
   uint64_t cur = s.max.load(std::memory_order_relaxed);
@@ -83,6 +102,14 @@ uint64_t LatencyHistogram::Max() const {
   return max;
 }
 
+uint64_t LatencyHistogram::OverflowCount() const {
+  uint64_t overflow = 0;
+  for (const Shard& s : shards_) {
+    overflow += s.buckets[kOverflowBucket].load(std::memory_order_relaxed);
+  }
+  return overflow;
+}
+
 uint64_t LatencyHistogram::Percentile(double p) const {
   std::array<uint64_t, kBuckets> buckets;
   uint64_t count = 0;
@@ -99,10 +126,24 @@ uint64_t LatencyHistogram::Percentile(double p) const {
   for (size_t i = 0; i < kBuckets; ++i) {
     seen += buckets[i];
     if (seen >= rank) {
+      if (i == kOverflowBucket) {
+        return kOverflowValue;  // Over-range tail: +Inf, not a clamped max.
+      }
       return std::min(BucketRepresentative(i), Max());
     }
   }
   return Max();
+}
+
+uint64_t LatencyHistogram::Digest() const {
+  std::array<uint64_t, kBuckets> buckets;
+  uint64_t count = 0;
+  Fold(buckets, count);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const uint64_t b : buckets) {
+    h = (h ^ b) * 0x100000001b3ULL;
+  }
+  return h;
 }
 
 Counter& Registry::GetCounter(std::string_view name) {
@@ -161,7 +202,10 @@ std::vector<MetricValue> Registry::Snapshot() const {
     v.p50 = h->Percentile(50);
     v.p90 = h->Percentile(90);
     v.p99 = h->Percentile(99);
+    v.p999 = h->Percentile(99.9);
+    v.p9999 = h->Percentile(99.99);
     v.max = h->Max();
+    v.overflow = h->OverflowCount();
     out.push_back(std::move(v));
   }
   return out;
@@ -182,7 +226,8 @@ std::string Registry::SnapshotJson() const {
       out << "{\"count\":" << m.count << ",\"mean\":";
       AppendJsonNumber(out, m.mean);
       out << ",\"p50\":" << m.p50 << ",\"p90\":" << m.p90 << ",\"p99\":" << m.p99
-          << ",\"max\":" << m.max << "}";
+          << ",\"p999\":" << m.p999 << ",\"p9999\":" << m.p9999 << ",\"max\":" << m.max
+          << ",\"overflow\":" << m.overflow << "}";
     } else {
       out << m.value;
     }

@@ -111,12 +111,26 @@ class Gauge {
   Provider provider_;
 };
 
-// Power-of-two-bucketed histogram for cycle counts: bucket i holds values
-// with bit width i (bucket 0 holds zeros), so the relative error of a
-// percentile is bounded by 2x. Sharded like Counter.
+// HDR-style log-linear histogram for cycle counts: values below 16 record
+// exactly; above that, each power-of-two range splits into 16 linear
+// sub-buckets, so the relative error of a percentile is bounded by 1/32
+// (instead of the 2x a pure power-of-two bucketing gives). Tracked range
+// ends at 2^48 cycles (~ a simulated day at GHz rates); anything beyond
+// lands in a distinct +Inf overflow bucket rather than silently clamping
+// into the top finite bucket. Sharded like Counter.
 class LatencyHistogram {
  public:
-  static constexpr size_t kBuckets = 65;  // bit_width(v) in [0, 64].
+  static constexpr size_t kSubBuckets = 16;       // Linear splits per octave.
+  static constexpr size_t kMaxTrackedBits = 48;   // bit_width of the last finite octave.
+  // Indices [0, 16) hold values 0..15 exactly; each octave w in [5, 48]
+  // contributes 16 sub-buckets at [16*(w-4), 16*(w-3)); the final index is
+  // the +Inf overflow bucket.
+  static constexpr size_t kOverflowBucket = kSubBuckets * (kMaxTrackedBits - 3);
+  static constexpr size_t kBuckets = kOverflowBucket + 1;
+  // Percentile() result when the rank lands in the overflow bucket: a
+  // sentinel, deliberately not clamped to Max(), so over-range tails are
+  // visible as +Inf instead of masquerading as the largest finite sample.
+  static constexpr uint64_t kOverflowValue = ~uint64_t{0};
 
   explicit LatencyHistogram(std::string name) : name_(std::move(name)) {}
   LatencyHistogram(const LatencyHistogram&) = delete;
@@ -129,10 +143,17 @@ class LatencyHistogram {
   uint64_t Count() const;
   double Mean() const;
   uint64_t Max() const;
+  // Samples recorded beyond the tracked range (the +Inf bucket).
+  uint64_t OverflowCount() const;
   // Approximate percentile from bucket midpoints, clamped to the observed
-  // max. p <= 0 returns the smallest populated bucket's representative;
-  // p >= 100 the largest. Returns 0 when empty.
+  // max — except when the rank falls into the +Inf bucket, which returns
+  // kOverflowValue. p <= 0 returns the smallest populated bucket's
+  // representative; p >= 100 the largest. Returns 0 when empty.
   uint64_t Percentile(double p) const;
+  // FNV-1a over the folded bucket counts: a deterministic fingerprint of the
+  // full distribution (not just the summary percentiles), used by replay /
+  // determinism tests to compare two runs' histograms exactly.
+  uint64_t Digest() const;
 
  private:
   struct alignas(64) Shard {
@@ -158,7 +179,10 @@ struct MetricValue {
   uint64_t p50 = 0;
   uint64_t p90 = 0;
   uint64_t p99 = 0;
+  uint64_t p999 = 0;
+  uint64_t p9999 = 0;
   uint64_t max = 0;
+  uint64_t overflow = 0;  // Samples in the +Inf bucket.
 };
 
 // Owns the named metrics. Get* registers on first use and returns the same
@@ -178,7 +202,8 @@ class Registry {
   std::vector<MetricValue> Snapshot() const;
 
   // JSON object mapping metric name to value (counters/gauges) or to a
-  // {count, mean, p50, p90, p99, max} object (histograms).
+  // {count, mean, p50, p90, p99, p999, p9999, max, overflow} object
+  // (histograms).
   std::string SnapshotJson() const;
 
  private:

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/base/logging.h"
+#include "src/base/telemetry/span.h"
 
 namespace sb::telemetry {
 namespace internal {
@@ -119,6 +120,24 @@ const char* TraceEventName(TraceEventType type) {
       return "binding_revoked";
     case TraceEventType::kStaleSlotRetry:
       return "stale_slot_retry";
+    case TraceEventType::kBatchEnqueue:
+      return "batch_enqueue";
+    case TraceEventType::kBatchFlushStart:
+      return "batch_flush_start";
+    case TraceEventType::kBatchFlushEnd:
+      return "batch_flush_end";
+    case TraceEventType::kBatchDrain:
+      return "batch_drain";
+    case TraceEventType::kBatchPoll:
+      return "batch_poll";
+    case TraceEventType::kSpanArrival:
+      return "span_arrival";
+    case TraceEventType::kSpanVmfunc:
+      return "span_vmfunc";
+    case TraceEventType::kSpanReturn:
+      return "span_return";
+    case TraceEventType::kSloBreach:
+      return "slo_breach";
   }
   return "unknown";
 }
@@ -170,6 +189,9 @@ void TraceClear() {
     ring->head.store(0, std::memory_order_release);
   }
   g_trace_seq.store(0, std::memory_order_relaxed);
+  // Call ids restart with the sequence: a replayed scenario must allocate
+  // the same ids, or trace fingerprints diverge across identical runs.
+  internal::ResetCallIds();
 }
 
 std::string TraceChromeJson(const std::vector<TraceRecord>& records) {

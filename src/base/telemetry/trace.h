@@ -55,6 +55,21 @@ enum class TraceEventType : uint8_t {
   kBindingRevoked,  // Binding revoked. arg0=client pid, arg1=server id.
   kStaleSlotRetry,  // Cached EPTP slot went stale pre-VMFUNC; slowpath re-arm.
                     //   arg0=server pid, arg1=attempt.
+  // ---- Batch lifecycle + per-call spans (DESIGN.md section 14) ----
+  // Every span event carries the 64-bit call id in arg0 (span.h allocates
+  // ids; BuildSpans groups records by them).
+  kBatchEnqueue,     // SubmitCall queued an entry. arg0=call id, arg1=token.
+  kBatchFlushStart,  // FlushBatch crossing entered. arg0=crossing call id,
+                     //   arg1=pending entries.
+  kBatchFlushEnd,    // FlushBatch crossing returned. arg0=crossing call id,
+                     //   arg1=completions posted.
+  kBatchDrain,       // Server drained one ring entry. arg0=call id, arg1=token.
+  kBatchPoll,        // PollCompletion reaped an entry. arg0=call id, arg1=token.
+  kSpanArrival,      // Open-loop intended arrival (ts = intended cycle, which
+                     //   may precede the issue cycle). arg0=call id, arg1=key.
+  kSpanVmfunc,       // Entry VMFUNC attributed to a call. arg0=call id, arg1=slot.
+  kSpanReturn,       // Return VMFUNC attributed to a call. arg0=call id, arg1=slot.
+  kSloBreach,        // SLO window violated. arg0=spec index, arg1=observed cycles.
 };
 
 const char* TraceEventName(TraceEventType type);

@@ -41,7 +41,7 @@ struct SliceRef {
 //
 // The header holds the ring indices (sq_tail published by the client,
 // sq_head consumed by the server); each descriptor is one cache line of
-// {token, tag, reply_tag, req_len, reply_len, status}; entry slot
+// {token, tag, reply_tag, req_len, reply_len, status, call_id}; entry slot
 // token % entries owns the fixed payload_cap-byte span at
 // arena + slot * payload_cap, used for the request bytes on submit and
 // reused for the reply bytes on completion. Completion is posted by
@@ -60,6 +60,10 @@ struct BatchRingView {
   static constexpr uint64_t kDescReqLen = 24;   // u32
   static constexpr uint64_t kDescReplyLen = 28; // u32
   static constexpr uint64_t kDescStatus = 32;   // u32: 0 pending, else 1+code
+  // Span-tracing call id (span.h): rides the descriptor so the server-side
+  // drain and the final poll attribute their trace events to the submitting
+  // call without any host-side side table.
+  static constexpr uint64_t kDescCallId = 40;   // u64
 
   uint8_t* base = nullptr;   // Host view of the slice.
   hw::Gva va = 0;            // Guest VA of the slice (same in both spaces).

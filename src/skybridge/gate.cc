@@ -53,6 +53,8 @@ sb::Status Gate::EnterServer(CallContext& ctx) const {
   SB_RETURN_IF_ERROR(core.Vmfunc(0, ctx.route->eptp_slot));
   ctx.pbd->vmfunc += core.cycles() - before;
   SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), ctx.route->eptp_slot);
+  SB_TRACE_EVENT(TraceEventType::kSpanVmfunc, core.cycles(), core.id(), ctx.call_id,
+                 ctx.route->eptp_slot);
   return sb::OkStatus();
 }
 
@@ -62,6 +64,8 @@ sb::Status Gate::ReturnToEntry(CallContext& ctx) const {
   SB_RETURN_IF_ERROR(core.Vmfunc(0, static_cast<uint32_t>(ctx.return_index)));
   ctx.pbd->vmfunc += core.cycles() - t0;
   SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), ctx.return_index);
+  SB_TRACE_EVENT(TraceEventType::kSpanReturn, core.cycles(), core.id(), ctx.call_id,
+                 ctx.return_index);
   ChargeTrampolineLeg(core, ctx.pbd);
   return sb::OkStatus();
 }
@@ -168,6 +172,8 @@ Gate::DrainOutcome Gate::DrainBatch(CallContext& ctx, const BatchRingView& ring,
       const std::span<uint8_t> payload = ring.Payload(token);
       const mk::Message request = mk::Message::Borrowed(
           tag, std::span<const uint8_t>(payload.data(), req_len));
+      SB_TRACE_EVENT(TraceEventType::kBatchDrain, core.cycles(), core.id(),
+                     ring.LoadU64(desc + BatchRingView::kDescCallId), token);
 
       if (SB_FAULT_POINT(kFaultHandlerCrash)) {
         // Server thread dies on this entry: post its Aborted completion,

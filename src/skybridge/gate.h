@@ -32,6 +32,10 @@ struct CallContext {
   ServerEntry* server = nullptr;
   mk::Process* proc = nullptr;    // caller->process()
   hw::Core* core = nullptr;       // The caller's core for the whole call.
+  // Span-tracing id (span.h): the sync call's own id, or for a FlushBatch
+  // the crossing id its drained entries correlate to. Always allocated at
+  // pipeline entry; only surfaces in traces while tracing is enabled.
+  uint64_t call_id = 0;
 
   // ---- Routing ----
   Binding* perm = nullptr;    // Authorizing binding (caller's registration).

@@ -6,6 +6,7 @@
 
 #include "src/base/faultpoint.h"
 #include "src/base/logging.h"
+#include "src/base/telemetry/span.h"
 #include "src/base/telemetry/trace.h"
 #include "src/mk/notification.h"
 
@@ -160,6 +161,7 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
   ctx.pbd = bd != nullptr ? bd : &ctx.local_bd;
   ctx.bd_before = *ctx.pbd;
   ctx.start_cycles = ctx.core->cycles();
+  ctx.call_id = sb::telemetry::TakeCallId();
   SB_TRACE_EVENT(TraceEventType::kCallStart, ctx.core->cycles(), ctx.core->id(),
                  ctx.proc->pid(), ctx.server->process->pid());
 
@@ -546,6 +548,7 @@ sb::StatusOr<uint64_t> SkyBridge::SubmitCall(mk::Thread* caller, ServerId server
   }
   hw::Core& core = kernel_->machine().core(caller->core_id());
   const uint64_t token = conn->sq_tail++;
+  const uint64_t call_id = sb::telemetry::TakeCallId();
   // Client-side submit: payload into the entry's span, then the descriptor
   // line, then the published tail. No crossing, no syscall.
   if (msg.size() > 0) {
@@ -559,10 +562,12 @@ sb::StatusOr<uint64_t> SkyBridge::SubmitCall(mk::Thread* caller, ServerId server
   ring.StoreU32(desc + BatchRingView::kDescReqLen, static_cast<uint32_t>(msg.size()));
   ring.StoreU32(desc + BatchRingView::kDescReplyLen, 0);
   ring.StoreU32(desc + BatchRingView::kDescStatus, 0);
+  ring.StoreU64(desc + BatchRingView::kDescCallId, call_id);
   ring.StoreU64(BatchRingView::kSqTailOff, conn->sq_tail);
   conn->busy[slot] = 1;
   ++conn->binding->queued_submissions;
   metrics_.batched_calls->Add();
+  SB_TRACE_EVENT(TraceEventType::kBatchEnqueue, core.cycles(), core.id(), call_id, token);
   return token;
 }
 
@@ -595,6 +600,8 @@ sb::StatusOr<mk::Message> SkyBridge::PollCompletion(mk::Thread* caller, ServerId
   }
   const uint64_t reply_tag = ring.LoadU64(desc + BatchRingView::kDescReplyTag);
   const uint32_t reply_len = ring.LoadU32(desc + BatchRingView::kDescReplyLen);
+  SB_TRACE_EVENT(TraceEventType::kBatchPoll, core.cycles(), core.id(),
+                 ring.LoadU64(desc + BatchRingView::kDescCallId), token);
   // Reap: clobber the descriptor's token (a second poll of the same token
   // is an explicit error, not a stale replay) and free the slot.
   ring.StoreU64(desc + BatchRingView::kDescToken, ~0ULL);
@@ -666,8 +673,11 @@ sb::Status SkyBridge::FlushBatch(mk::Thread* caller, ServerId server_id,
   ctx.pbd = bd != nullptr ? bd : &ctx.local_bd;
   ctx.bd_before = *ctx.pbd;
   ctx.start_cycles = core.cycles();
+  ctx.call_id = sb::telemetry::TakeCallId();
   SB_TRACE_EVENT(TraceEventType::kCallStart, core.cycles(), core.id(), ctx.proc->pid(),
                  ctx.server->process->pid());
+  SB_TRACE_EVENT(TraceEventType::kBatchFlushStart, core.cycles(), core.id(), ctx.call_id,
+                 pending);
   SB_RETURN_IF_ERROR(ResolveRoute(ctx));
   ctx.slice = conn->slice;
   // The flush itself carries no payload — the requests are already in the
@@ -698,6 +708,8 @@ sb::Status SkyBridge::FlushBatch(mk::Thread* caller, ServerId server_id,
   if (outcome.crashed) {
     // Handler died mid-drain. Entries it completed (including the Aborted
     // one) are posted; untouched entries stay pending for the next flush.
+    SB_TRACE_EVENT(TraceEventType::kBatchFlushEnd, core.cycles(), core.id(), ctx.call_id,
+                   outcome.completed);
     const sb::Status abort = gate_.AbortServerCrash(ctx);
     if (conn->wait_armed && outcome.completed > 0) {
       conn->wait_armed = false;
@@ -708,6 +720,8 @@ sb::Status SkyBridge::FlushBatch(mk::Thread* caller, ServerId server_id,
   SB_RETURN_IF_ERROR(gate_.ReturnToEntry(ctx));
   gate_.VerifyReturnKey(ctx);
   gate_.RecordPhases(ctx);
+  SB_TRACE_EVENT(TraceEventType::kBatchFlushEnd, core.cycles(), core.id(), ctx.call_id,
+                 outcome.completed);
   SB_TRACE_EVENT(TraceEventType::kCallEnd, core.cycles(), core.id(), ctx.proc->pid(),
                  ctx.server->process->pid());
   if (conn->wait_armed && outcome.completed > 0) {

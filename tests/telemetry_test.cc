@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/base/telemetry/span.h"
 #include "src/base/telemetry/trace.h"
 #include "src/skybridge/skybridge.h"
 
@@ -109,6 +110,48 @@ TEST(LatencyHistogram, PercentilesOrderedAndClampedToMax) {
   EXPECT_LE(p100, 1000u);  // Clamped to the observed max, not the bucket top.
   EXPECT_GE(p50, 250u);    // 2x-error bound around the true 500.
   EXPECT_LE(p50, 1000u);
+}
+
+TEST(LatencyHistogram, TailPercentilesResolveSixteenthOctaves) {
+  LatencyHistogram h("test.hist");
+  // 99.9% of samples at ~1000, a 0.1% tail at 100x: the tail percentiles
+  // must separate the two populations, and the 16-sub-bucket octaves keep
+  // the body representative within 1/16 relative error (not the 2x a pure
+  // power-of-two histogram allows).
+  for (int i = 0; i < 9992; ++i) {
+    h.Record(1000);
+  }
+  for (int i = 0; i < 8; ++i) {
+    h.Record(100000);
+  }
+  EXPECT_GE(h.Percentile(50), 992u);
+  EXPECT_LE(h.Percentile(50), 1063u);  // 1000 * 17/16.
+  EXPECT_LE(h.Percentile(99.9), 1063u);    // p99.9 still in the body...
+  EXPECT_GE(h.Percentile(99.99), 90000u);  // ...p99.99 sees the 0.1% tail.
+  EXPECT_EQ(h.OverflowCount(), 0u);
+}
+
+TEST(LatencyHistogram, OverflowBucketIsDistinctPlusInf) {
+  LatencyHistogram h("test.hist");
+  const uint64_t digest_before = h.Digest();
+  for (int i = 0; i < 99; ++i) {
+    h.Record(400);
+  }
+  h.Record(uint64_t{1} << 50);  // Past the 48-bit tracked range.
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_EQ(h.OverflowCount(), 1u);
+  // The body is unperturbed, and a percentile landing in the overflow
+  // bucket reports +Inf instead of a made-up clamped value.
+  EXPECT_LT(h.Percentile(50), 1000u);
+  EXPECT_EQ(h.Percentile(100), LatencyHistogram::kOverflowValue);
+  EXPECT_EQ(h.Max(), uint64_t{1} << 50);
+  EXPECT_NE(h.Digest(), digest_before);
+
+  // The largest tracked value is NOT overflow.
+  LatencyHistogram g("test.hist");
+  g.Record((uint64_t{1} << 48) - 1);
+  EXPECT_EQ(g.OverflowCount(), 0u);
+  EXPECT_NE(g.Percentile(100), LatencyHistogram::kOverflowValue);
 }
 
 TEST(Registry, SameNameReturnsSameMetric) {
@@ -379,6 +422,135 @@ TEST_F(SkyBridgeTraceTest, RegistryCountsMatchStatsSnapshot) {
   EXPECT_LE(total.Percentile(99), 2 * total.Max());
   // The machine-level VMFUNC gauge saw the two switches per call.
   EXPECT_GE(reg.GetGauge("hw.core.vmfuncs").Value(), 10u);
+}
+
+// Index of the first record of `type` with arg0 == `id` at or after `from`;
+// fails if absent.
+size_t IndexOfCall(const std::vector<TraceRecord>& records, TraceEventType type, uint64_t id,
+                   size_t from = 0) {
+  for (size_t i = from; i < records.size(); ++i) {
+    if (records[i].type == type && records[i].arg0 == id) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "event " << TraceEventName(type) << " for call " << id
+                << " not found from index " << from;
+  return records.size();
+}
+
+TEST_F(SkyBridgeTraceTest, BatchEventsCarryTokenThroughThePipeline) {
+  ASSERT_TRUE(sky_->DirectServerCall(thread_, sid_, mk::Message(1)).ok());  // Warm binding.
+  TraceClear();
+  SetTraceEnabled(true);
+  const auto t0 = sky_->SubmitCall(thread_, sid_, mk::Message(10));
+  const auto t1 = sky_->SubmitCall(thread_, sid_, mk::Message(11));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(sky_->FlushBatch(thread_, sid_).ok());
+  ASSERT_TRUE(sky_->PollCompletion(thread_, sid_, *t0).ok());
+  ASSERT_TRUE(sky_->PollCompletion(thread_, sid_, *t1).ok());
+  SetTraceEnabled(false);
+
+  const std::vector<TraceRecord> records = TraceSnapshot();
+  // The first enqueue names the op by (call id, ring token); the same pair
+  // reappears at drain (inside the crossing) and at poll.
+  const size_t enq = IndexOf(records, TraceEventType::kBatchEnqueue);
+  ASSERT_LT(enq, records.size());
+  const uint64_t call_id = records[enq].arg0;
+  ASSERT_NE(call_id, 0u);
+  EXPECT_EQ(records[enq].arg1, *t0);
+  const size_t drain = IndexOfCall(records, TraceEventType::kBatchDrain, call_id, enq);
+  const size_t poll = IndexOfCall(records, TraceEventType::kBatchPoll, call_id, drain);
+  ASSERT_LT(poll, records.size());
+  EXPECT_EQ(records[drain].arg1, *t0);
+  EXPECT_EQ(records[poll].arg1, *t0);
+
+  // Both submissions drained inside ONE flush window, which reports the
+  // pending and completed counts.
+  const size_t fstart = IndexOf(records, TraceEventType::kBatchFlushStart);
+  const size_t fend = IndexOf(records, TraceEventType::kBatchFlushEnd, fstart);
+  ASSERT_LT(fend, records.size());
+  EXPECT_LT(fstart, drain);
+  EXPECT_LT(drain, fend);
+  EXPECT_EQ(records[fstart].arg1, 2u);  // Pending at flush.
+  EXPECT_EQ(records[fend].arg1, 2u);    // Completed by the crossing.
+  // The two calls got distinct ids.
+  const size_t enq2 = IndexOf(records, TraceEventType::kBatchEnqueue, enq + 1);
+  ASSERT_LT(enq2, records.size());
+  EXPECT_NE(records[enq2].arg0, call_id);
+  EXPECT_EQ(records[enq2].arg1, *t1);
+}
+
+// The section 14 acceptance test: a batched call's full span tree — arrival,
+// enqueue, flush, vmfunc, drain, return, poll — reconstructs from the Chrome
+// trace export alone, keyed by call id, with the crossing's legs inherited.
+TEST_F(SkyBridgeTraceTest, BatchedSpanTreeReconstructsFromChromeExport) {
+  ASSERT_TRUE(sky_->DirectServerCall(thread_, sid_, mk::Message(1)).ok());
+  TraceClear();
+  SetTraceEnabled(true);
+  // The load generator's arrival hook, inlined: allocate the id at the
+  // intended arrival and park it for the next submission to adopt.
+  const uint64_t call_id = AllocCallId();
+  TraceEmit(TraceEventType::kSpanArrival, machine_->core(0).cycles(), 0, call_id, 42);
+  SetPendingCallId(call_id);
+  const auto t0 = sky_->SubmitCall(thread_, sid_, mk::Message(42));
+  const auto t1 = sky_->SubmitCall(thread_, sid_, mk::Message(43));  // Same crossing.
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(sky_->FlushBatch(thread_, sid_).ok());
+  ASSERT_TRUE(sky_->PollCompletion(thread_, sid_, *t0).ok());
+  ASSERT_TRUE(sky_->PollCompletion(thread_, sid_, *t1).ok());
+  SetTraceEnabled(false);
+
+  // Round-trip through the export: JSON out, records back, spans up.
+  const std::string json = TraceChromeJson(TraceSnapshot());
+  const std::vector<TraceRecord> parsed = ParseChromeTrace(json);
+  ASSERT_FALSE(parsed.empty());
+  const std::vector<CallSpan> spans = BuildSpans(parsed);
+  const CallSpan* span = nullptr;
+  for (const CallSpan& s : spans) {
+    if (s.call_id == call_id) {
+      span = &s;
+    }
+  }
+  ASSERT_NE(span, nullptr);
+
+  for (const SpanPhase phase :
+       {SpanPhase::kArrival, SpanPhase::kEnqueue, SpanPhase::kFlush, SpanPhase::kVmfunc,
+        SpanPhase::kDrain, SpanPhase::kReturn, SpanPhase::kPoll}) {
+    EXPECT_NE(span->Find(phase), nullptr) << SpanPhaseName(phase);
+  }
+  // Client-side phases are the span's own; the crossing's legs are marked
+  // inherited and point back to the crossing id.
+  ASSERT_NE(span->Find(SpanPhase::kEnqueue), nullptr);
+  ASSERT_NE(span->Find(SpanPhase::kVmfunc), nullptr);
+  EXPECT_FALSE(span->Find(SpanPhase::kEnqueue)->inherited);
+  EXPECT_TRUE(span->Find(SpanPhase::kVmfunc)->inherited);
+  EXPECT_NE(span->crossing_id, 0u);
+  EXPECT_NE(span->crossing_id, call_id);
+
+  // Phases in pipeline order (global seq ordering survives the round-trip).
+  const SpanPhase order[] = {SpanPhase::kArrival, SpanPhase::kEnqueue, SpanPhase::kFlush,
+                             SpanPhase::kVmfunc,  SpanPhase::kDrain,   SpanPhase::kReturn,
+                             SpanPhase::kPoll};
+  for (size_t i = 1; i < std::size(order); ++i) {
+    const SpanEvent* prev = span->Find(order[i - 1]);
+    const SpanEvent* cur = span->Find(order[i]);
+    ASSERT_NE(prev, nullptr);
+    ASSERT_NE(cur, nullptr);
+    EXPECT_LT(prev->seq, cur->seq) << SpanPhaseName(order[i]);
+  }
+  EXPECT_GT(span->TotalCycles(), 0u);
+
+  // The batchmate correlates to the SAME crossing: N spans, one vmfunc.
+  bool found_mate = false;
+  for (const CallSpan& s : spans) {
+    if (s.call_id != call_id && s.crossing_id != 0) {
+      EXPECT_EQ(s.crossing_id, span->crossing_id);
+      found_mate = true;
+    }
+  }
+  EXPECT_TRUE(found_mate);
 }
 
 // ---- The fatal path: SB_CHECK failure dumps the flight recorder ----
