@@ -39,6 +39,10 @@ for b in build/bench/*; do
     # The open-loop sweep stamps its JSON with the generator seed and
     # offered loads; pin the seed so BENCH_results.json is reproducible.
     "$b" --seed 42 --events 4096 --json "bench_json/$name.json"
+  elif [ "$name" = "bench_scaling_mesh" ]; then
+    # 16,384-binding mesh: 11 full world builds; cap the per-config zipfian
+    # run so the whole sweep stays under a minute, and pin the seed.
+    "$b" --seed 42 --events 4096 --json "bench_json/$name.json"
   else
     "$b" --json "bench_json/$name.json"
   fi

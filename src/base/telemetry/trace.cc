@@ -138,6 +138,8 @@ const char* TraceEventName(TraceEventType type) {
       return "span_return";
     case TraceEventType::kSloBreach:
       return "slo_breach";
+    case TraceEventType::kSlotFault:
+      return "slot_fault";
   }
   return "unknown";
 }

@@ -70,6 +70,9 @@ enum class TraceEventType : uint8_t {
   kSpanVmfunc,       // Entry VMFUNC attributed to a call. arg0=call id, arg1=slot.
   kSpanReturn,       // Return VMFUNC attributed to a call. arg0=call id, arg1=slot.
   kSloBreach,        // SLO window violated. arg0=spec index, arg1=observed cycles.
+  kSlotFault,        // Routed binding not resident in the core's EPTP slot
+                     //   working set; the slot-fault slow path re-installed
+                     //   it (DESIGN.md section 15). arg0=ept id, arg1=slot.
 };
 
 const char* TraceEventName(TraceEventType type);

@@ -194,21 +194,31 @@ sb::Status Kernel::ContextSwitchInternal(hw::Core& core, Process* process, CostB
                                          EptpInstallReason reason) {
   SwitchAddressSpace(core, process, bd);
   current_[static_cast<size_t>(core.id())] = process;
-  if (rootkernel_ != nullptr && !process->eptp_list_ids().empty()) {
-    // Install the process's EPTP list (Section 4.2): VMCALLs to the
-    // Rootkernel; charged as real VM exits.
-    if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListClear)) != 0) {
-      return sb::Internal("EPTP list clear failed");
-    }
-    for (const uint64_t ept_id : process->eptp_list_ids()) {
-      if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListAppend), ept_id) ==
-          vmm::kHypercallError) {
-        return sb::Internal("EPTP list append failed");
+  if (rootkernel_ != nullptr) {
+    if (eptp_installer_) {
+      // Delegated install (DESIGN.md section 15): the slot-virtualization
+      // layer makes the process's view resident in its per-core working set
+      // instead of reprogramming the whole list.
+      SB_RETURN_IF_ERROR(eptp_installer_(core, process, reason));
+      if (eptp_install_hook_) {
+        eptp_install_hook_(core, process, reason);
       }
-    }
-    core.vmcs().active_index = 0;
-    if (eptp_install_hook_) {
-      eptp_install_hook_(core, process, reason);
+    } else if (!process->eptp_list_ids().empty()) {
+      // Legacy path: install the process's full EPTP list (Section 4.2):
+      // VMCALLs to the Rootkernel; charged as real VM exits.
+      if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListClear)) != 0) {
+        return sb::Internal("EPTP list clear failed");
+      }
+      for (const uint64_t ept_id : process->eptp_list_ids()) {
+        if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListAppend), ept_id) ==
+            vmm::kHypercallError) {
+          return sb::Internal("EPTP list append failed");
+        }
+      }
+      core.vmcs().active_index = 0;
+      if (eptp_install_hook_) {
+        eptp_install_hook_(core, process, reason);
+      }
     }
   }
   return sb::OkStatus();

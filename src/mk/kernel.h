@@ -182,6 +182,16 @@ class Kernel {
   using EptpInstallHook = std::function<void(hw::Core&, Process*, EptpInstallReason)>;
   void SetEptpInstallHook(EptpInstallHook hook) { eptp_install_hook_ = std::move(hook); }
 
+  // Delegated EPTP install (DESIGN.md section 15): when set, the dispatch
+  // tail hands the whole list-programming step to this installer instead of
+  // the legacy clear+append of the process's full eptp_list_ids — SkyBridge
+  // plugs its per-core slot working set in here, so a context switch only
+  // makes the process's own view resident and points the active index at
+  // it. The observer hook above still fires after the installer. nullptr
+  // restores the legacy path.
+  using EptpInstaller = std::function<sb::Status(hw::Core&, Process*, EptpInstallReason)>;
+  void SetEptpInstaller(EptpInstaller installer) { eptp_installer_ = std::move(installer); }
+
   // ---- Thread migration (per-core control plane, DESIGN.md section 11) ----
   // Moves `thread` to `dest_core`. With `eager_install` (the default) the
   // scheduler hook semantics apply: the thread's process is dispatched on
@@ -281,6 +291,7 @@ class Kernel {
   };
   Metrics metrics_;
   EptpInstallHook eptp_install_hook_;
+  EptpInstaller eptp_installer_;
   CapSlot last_granted_slot_ = ~0u;
   bool booted_ = false;
 };

@@ -44,11 +44,33 @@ inline constexpr const char kFaultReplyCorrupt[] = "skybridge.gate.reply_corrupt
 // the in-flight call drains normally; EPTP-list surgery is deferred to the
 // drain and new calls are refused with PermissionDenied.
 inline constexpr const char kFaultRevokeInflight[] = "skybridge.call.revoke_inflight";
+// The Rootkernel refuses the kEptpListReplace/kEptpListAppend that would
+// make a faulted binding resident (slot-virtualization install failure,
+// DESIGN.md section 15). Recovery: the slot fault fails cleanly with
+// Unavailable; residency state is untouched and the next call retries.
+inline constexpr const char kFaultSlotInstall[] = "skybridge.eptp.slot_install_failed";
 
 struct SkyBridgeConfig {
   // Maximum EPTP list slots a client may occupy (hardware limit 512). The
   // library LRU-evicts bindings beyond this (paper Section 10 future work).
   size_t eptp_capacity = hw::kEptpListCapacity;
+  // ---- EPTP slot virtualization (DESIGN.md section 15) ----
+  // Per-core slot working set: how many EPTP-list slots each core may hold
+  // resident at once (clamped to the hardware list capacity). Bindings
+  // beyond this fault in on demand, evicting the per-core LRU victim via an
+  // in-place kEptpListReplace — the "millions of bindings from 512 slots"
+  // oversubscription story.
+  size_t eptp_working_set = hw::kEptpListCapacity;
+  // Binding consolidation: N clients of one server share a single binding
+  // EPT (per-client CR3 remaps added with kAddCr3Remap; calling keys and
+  // buffer slices stay per-client), collapsing slot pressure from
+  // O(clients x servers) to O(servers). Off = one EPT per binding (the
+  // pre-section-15 shape; the mesh bench's >=10k-EPT ablation).
+  bool consolidate_bindings = true;
+  // Ablation switch: pick slot-fault victims by LRU (true) or naive
+  // round-robin over evictable slots (false). Exists to measure what
+  // recency tracking buys under zipfian routing.
+  bool lru_slot_eviction = true;
   // Per-(binding, connection) shared buffer for long messages.
   uint64_t shared_buffer_bytes = 64 * 1024;
   // Connection slices carved out of each binding's buffer region (paper

@@ -31,6 +31,7 @@ Gate::Gate(mk::Kernel& kernel, const SkyBridgeConfig& config)
   sb::telemetry::Registry& reg = kernel.machine().telemetry();
   aborted_calls_ = &reg.GetCounter("skybridge.ipc.aborted_calls");
   gate_rejections_ = &reg.GetCounter("skybridge.ipc.gate_rejections");
+  phase_slot_fault_ = &reg.GetHistogram("skybridge.phase.slot_fault");
   phase_drain_ = &reg.GetHistogram("skybridge.phase.drain");
   phase_vmfunc_ = &reg.GetHistogram("skybridge.phase.vmfunc");
   phase_trampoline_ = &reg.GetHistogram("skybridge.phase.trampoline");
@@ -50,11 +51,11 @@ void Gate::ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd) const {
 sb::Status Gate::EnterServer(CallContext& ctx) const {
   hw::Core& core = *ctx.core;
   const uint64_t before = core.cycles();
-  SB_RETURN_IF_ERROR(core.Vmfunc(0, ctx.route->eptp_slot));
+  SB_RETURN_IF_ERROR(core.Vmfunc(0, ctx.route_slot));
   ctx.pbd->vmfunc += core.cycles() - before;
-  SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), ctx.route->eptp_slot);
+  SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), ctx.route_slot);
   SB_TRACE_EVENT(TraceEventType::kSpanVmfunc, core.cycles(), core.id(), ctx.call_id,
-                 ctx.route->eptp_slot);
+                 ctx.route_slot);
   return sb::OkStatus();
 }
 
@@ -249,6 +250,8 @@ void Gate::RecordPhases(const CallContext& ctx) const {
   phase_syscall_->Record(ctx.pbd->syscall_sysret - ctx.bd_before.syscall_sysret);
   phase_total_->Record(ctx.core->cycles() - ctx.start_cycles);
 }
+
+void Gate::RecordSlotFault(uint64_t cycles) const { phase_slot_fault_->Record(cycles); }
 
 uint64_t Gate::PerCallKey(const mk::Thread& caller, uint64_t cycles) {
   uint64_t x = (static_cast<uint64_t>(caller.tid()) << 32) ^ cycles ^

@@ -53,6 +53,11 @@ struct CallContext {
   // ---- Gate frame ----
   uint64_t entry_ept = 0;     // EPT active at entry; we must return to it.
   size_t return_index = 0;    // EPTP slot the return VMFUNC targets.
+  uint32_t route_slot = 0;    // Per-core slot the entry VMFUNC targets.
+  // Pins the entry + routed slots for the life of the call (slot faults on
+  // other bindings may evict anything else, never these). Owned by the call
+  // body; armed after the retry loop settles the slots.
+  SlotPinGuard* pins = nullptr;
   uint64_t client_key = 0;    // Per-call key the server echoes on return.
   uint64_t handler_start = 0;
   bool timed_out = false;
@@ -121,6 +126,10 @@ class Gate {
   // Folds this call's phase deltas into the per-phase histograms at exit.
   void RecordPhases(const CallContext& ctx) const;
 
+  // Slot-fault slow-path latency (DESIGN.md section 15): cycles spent
+  // making a non-resident binding resident before the entry VMFUNC.
+  void RecordSlotFault(uint64_t cycles) const;
+
   // Per-call client key (the server must echo it on return). A pure
   // splitmix64 mix of the caller identity and the entry cycle — call-local,
   // so concurrent calls on different cores draw keys without sharing an RNG.
@@ -131,6 +140,7 @@ class Gate {
   const SkyBridgeConfig* config_;
   sb::telemetry::Counter* aborted_calls_;
   sb::telemetry::Counter* gate_rejections_;
+  sb::telemetry::LatencyHistogram* phase_slot_fault_;
   sb::telemetry::LatencyHistogram* phase_drain_;
   sb::telemetry::LatencyHistogram* phase_vmfunc_;
   sb::telemetry::LatencyHistogram* phase_trampoline_;

@@ -140,8 +140,18 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
     const hw::GuestWalk table = server.process->address_space().WalkVa(mk::kCallingKeyTableVa);
     SB_CHECK(table.ok);
     kernel_->machine().mem().WriteU64(table.gpa + existing->key_slot * kKeySlotBytes, key);
+    kernel_->machine().mem().WriteU64(table.gpa + existing->key_slot * kKeySlotBytes + 8,
+                                      client->pid());
     existing->server_key = key;
     existing->revoked = false;
+    // A swept consolidated binding had its CR3 translation restored to
+    // identity by the revocation scrub: re-add the remap into the shared EPT.
+    if (config_.consolidate_bindings && !existing->chain &&
+        existing->ept_id == server.shared_ept_id) {
+      core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kAddCr3Remap), existing->ept_id,
+                  client->cr3(), server.process->cr3());
+    }
+    existing->swept = false;
     sb::Status install = sb::OkStatus();
     if (!existing->installed) {
       install = routes_.Install(core, *existing, /*pinned_ept=*/0);
@@ -158,20 +168,35 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
   // Registration is a syscall: charge the kernel path.
   kernel_->SyscallEnter(core, nullptr);
 
-  // The Rootkernel derives the binding EPT: shallow copy of the base EPT
-  // with the client's CR3 GPA remapped to the server's page-table root and
-  // the identity GPA remapped to the server's identity frame.
-  const uint64_t ept_id =
-      core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kCreateBindingEpt), client->cr3(),
-                  server.process->cr3());
-  if (ept_id == vmm::kHypercallError) {
-    kernel_->SyscallExit(core, nullptr);
-    return sb::Internal("rootkernel refused binding EPT");
-  }
-  if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kRemapIdentityPage), ept_id,
-                  kernel_->identity_gpa(), server.process->identity_frame()) != 0) {
-    kernel_->SyscallExit(core, nullptr);
-    return sb::Internal("rootkernel refused identity remap");
+  // Binding-EPT consolidation (DESIGN.md section 15): all direct clients of
+  // one server share a single binding EPT — each client only adds its own
+  // CR3 remap to it — collapsing O(clients x servers) EPTs to O(servers).
+  // Without consolidation every pair gets its own shallow copy of the base
+  // EPT with the client's CR3 GPA remapped to the server's page-table root
+  // and the identity GPA remapped to the server's identity frame.
+  uint64_t ept_id = 0;
+  if (config_.consolidate_bindings && server.shared_ept_id != 0) {
+    ept_id = server.shared_ept_id;
+    if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kAddCr3Remap), ept_id,
+                    client->cr3(), server.process->cr3()) != 0) {
+      kernel_->SyscallExit(core, nullptr);
+      return sb::Internal("rootkernel refused CR3 remap into the shared EPT");
+    }
+  } else {
+    ept_id = core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kCreateBindingEpt),
+                         client->cr3(), server.process->cr3());
+    if (ept_id == vmm::kHypercallError) {
+      kernel_->SyscallExit(core, nullptr);
+      return sb::Internal("rootkernel refused binding EPT");
+    }
+    if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kRemapIdentityPage), ept_id,
+                    kernel_->identity_gpa(), server.process->identity_frame()) != 0) {
+      kernel_->SyscallExit(core, nullptr);
+      return sb::Internal("rootkernel refused identity remap");
+    }
+    if (config_.consolidate_bindings) {
+      server.shared_ept_id = ept_id;
+    }
   }
 
   // Shared buffer region for long messages, carved into per-connection

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "src/base/faultpoint.h"
 #include "src/base/logging.h"
 #include "src/base/telemetry/trace.h"
+#include "src/vmm/rootkernel.h"
 
 namespace skybridge {
 
@@ -69,6 +71,33 @@ RouteTable::RouteTable(mk::Kernel& kernel, const SkyBridgeConfig& config)
   lookup_hits_ = &reg.GetCounter("skybridge.lookup.hits");
   lookup_misses_ = &reg.GetCounter("skybridge.lookup.misses");
   bindings_revoked_ = &reg.GetCounter("skybridge.bindings.revoked");
+  slot_installs_ = &reg.GetCounter("skybridge.eptp.slot_installs");
+  slot_evictions_ = &reg.GetCounter("skybridge.eptp.slot_evictions");
+  budget_ = std::min(config.eptp_working_set, static_cast<size_t>(hw::kEptpListCapacity));
+  if (budget_ < 2) {
+    budget_ = 2;  // Base view + at least one cacheable slot.
+  }
+  core_cache_.resize(static_cast<size_t>(kernel.machine().num_cores()));
+  if (kernel.rootkernel() == nullptr) {
+    return;
+  }
+  // Normalize every core to the known boot shape: slot 0 = base EPT, active
+  // view = base. From here on, residency only ever appends or replaces in
+  // place — the list never reshuffles.
+  for (int i = 0; i < kernel.machine().num_cores(); ++i) {
+    hw::Core& core = kernel.machine().core(i);
+    SB_CHECK(core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListClear)) == 0)
+        << "EPTP list clear failed during route-table init";
+    SB_CHECK(core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListAppend), 0) !=
+             vmm::kHypercallError)
+        << "base-EPT append failed during route-table init";
+    CoreSlotCache& cache = core_cache_[static_cast<size_t>(i)];
+    cache.ids.assign(1, 0);
+    cache.slot_of = {{0, 0}};
+    cache.lru_prev.assign(1, kNoEptpSlot);
+    cache.lru_next.assign(1, kNoEptpSlot);
+    cache.pins.assign(1, 0);
+  }
 }
 
 Binding* RouteTable::Find(const mk::Process* client, ServerId server) const {
@@ -112,6 +141,7 @@ Binding* RouteTable::Adopt(std::unique_ptr<Binding> binding) {
     state.lru_tail = b;
   }
   index_.Insert(b);
+  by_ept_[b->ept_id].push_back(b);
   bindings_.push_back(std::move(binding));
   return b;
 }
@@ -146,35 +176,14 @@ size_t RouteTable::EptpSlotOfId(const std::vector<uint64_t>& ids, uint64_t ept_i
   return kSlotNotFound;
 }
 
-void RouteTable::RefreshEptpSlots(mk::Process* client) {
-  auto it = clients_.find(client);
-  if (it == clients_.end()) {
-    return;
-  }
-  const auto& ids = client->eptp_list_ids();
-  std::unordered_map<uint64_t, uint32_t> slot_of;
-  slot_of.reserve(ids.size());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    slot_of.emplace(ids[i], static_cast<uint32_t>(i));
-  }
-  for (Binding* b = it->second.lru_head; b != nullptr; b = b->lru_next) {
-    if (!b->installed) {
-      b->eptp_slot = kNoEptpSlot;
-      continue;
-    }
-    auto found = slot_of.find(b->ept_id);
-    SB_CHECK(found != slot_of.end()) << "installed binding missing from the EPTP list";
-    b->eptp_slot = found->second;
-  }
-}
-
 sb::Status RouteTable::Install(hw::Core& core, Binding& binding, uint64_t pinned_ept) {
   auto& ids = binding.client->eptp_list_ids();
-  bool reshuffled = false;
   // Slot 0 is the client's own EPT; bindings occupy the rest.
   while (ids.size() + 1 > config_->eptp_capacity) {
     // Evict the least-recently-used installed binding (paper Section 10),
-    // walking the intrusive list from its cold end.
+    // walking the intrusive list from its cold end. Residency is left
+    // alone: the per-core slot caches notice on their own timescale (an
+    // un-installed binding fails the ArmGate installed check first).
     Binding* victim = nullptr;
     for (Binding* b = binding.lru_owner->lru_tail; b != nullptr; b = b->lru_prev) {
       if (b->installed && b != &binding && b->ept_id != pinned_ept && b->in_flight == 0) {
@@ -183,38 +192,226 @@ sb::Status RouteTable::Install(hw::Core& core, Binding& binding, uint64_t pinned
       }
     }
     if (victim == nullptr) {
-      return sb::ResourceExhausted("EPTP list full and nothing evictable");
+      return sb::ResourceExhausted("EPTP working set full and nothing evictable");
     }
     SB_TRACE_EVENT(TraceEventType::kEptEvict, core.cycles(), core.id(), victim->server,
-                   victim->eptp_slot);
+                   ResidentSlot(core.id(), victim->ept_id));
     SB_LOG(kDebug) << "eptp evict " << sb::kv("client", binding.client->pid())
-                   << " " << sb::kv("server", victim->server)
-                   << " " << sb::kv("slot", victim->eptp_slot);
+                   << " " << sb::kv("server", victim->server);
     victim->installed = false;
-    victim->eptp_slot = kNoEptpSlot;
     ids.erase(std::remove(ids.begin(), ids.end(), victim->ept_id), ids.end());
-    reshuffled = true;  // Later slots shifted down; caches are now stale.
   }
-  const size_t existing = EptpSlotOfId(ids, binding.ept_id);
-  if (existing == kSlotNotFound) {
+  if (EptpSlotOfId(ids, binding.ept_id) == kSlotNotFound) {
     ids.push_back(binding.ept_id);
-    binding.eptp_slot = static_cast<uint32_t>(ids.size() - 1);
-  } else {
-    binding.eptp_slot = static_cast<uint32_t>(existing);
   }
   binding.installed = true;
-  if (reshuffled) {
-    // Central invalidation point: recompute every cached slot for this
-    // client so no binding carries a stale index.
-    RefreshEptpSlots(binding.client);
+  return sb::OkStatus();
+}
+
+void RouteTable::LruUnlink(CoreSlotCache& cache, uint32_t slot) {
+  if (cache.lru_prev[slot] != kNoEptpSlot) {
+    cache.lru_next[cache.lru_prev[slot]] = cache.lru_next[slot];
+  } else {
+    cache.lru_head = cache.lru_next[slot];
   }
-  // Reinstall the EPTP list on every core currently running this client.
-  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
-    if (kernel_->current_process(i) == binding.client) {
-      SB_RETURN_IF_ERROR(kernel_->ContextSwitchTo(kernel_->machine().core(i), binding.client));
+  if (cache.lru_next[slot] != kNoEptpSlot) {
+    cache.lru_prev[cache.lru_next[slot]] = cache.lru_prev[slot];
+  } else {
+    cache.lru_tail = cache.lru_prev[slot];
+  }
+  cache.lru_prev[slot] = kNoEptpSlot;
+  cache.lru_next[slot] = kNoEptpSlot;
+}
+
+void RouteTable::LruPushFront(CoreSlotCache& cache, uint32_t slot) {
+  cache.lru_prev[slot] = kNoEptpSlot;
+  cache.lru_next[slot] = cache.lru_head;
+  if (cache.lru_head != kNoEptpSlot) {
+    cache.lru_prev[cache.lru_head] = slot;
+  } else {
+    cache.lru_tail = slot;
+  }
+  cache.lru_head = slot;
+}
+
+void RouteTable::LruTouch(CoreSlotCache& cache, uint32_t slot) {
+  if (cache.lru_head == slot) {
+    return;
+  }
+  LruUnlink(cache, slot);
+  LruPushFront(cache, slot);
+}
+
+uint32_t RouteTable::PickVictim(const hw::Core& core, CoreSlotCache& cache) const {
+  const uint32_t active = static_cast<uint32_t>(core.vmcs().active_index);
+  if (config_->lru_slot_eviction) {
+    for (uint32_t s = cache.lru_tail; s != kNoEptpSlot; s = cache.lru_prev[s]) {
+      if (s != active && cache.pins[s] == 0) {
+        return s;
+      }
+    }
+    return kNoEptpSlot;
+  }
+  // Naive ablation: round-robin over occupied slots >= 1, recency-blind.
+  const uint32_t n = static_cast<uint32_t>(cache.ids.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t s = cache.rr_cursor;
+    cache.rr_cursor = (cache.rr_cursor + 1 >= n) ? 1 : cache.rr_cursor + 1;
+    if (s == 0 || s >= n || cache.ids[s] == 0) {
+      continue;
+    }
+    if (s != active && cache.pins[s] == 0) {
+      return s;
     }
   }
+  return kNoEptpSlot;
+}
+
+sb::StatusOr<uint32_t> RouteTable::EnsureResident(hw::Core& core, uint64_t ept_id,
+                                                  bool faultable) {
+  CoreSlotCache& cache = core_cache_[static_cast<size_t>(core.id())];
+  auto it = cache.slot_of.find(ept_id);
+  if (it != cache.slot_of.end()) {
+    if (it->second != 0) {
+      LruTouch(cache, it->second);
+    }
+    return it->second;
+  }
+  if (faultable && SB_FAULT_POINT(kFaultSlotInstall)) {
+    return sb::Unavailable("rootkernel refused the slot install");
+  }
+  uint32_t slot = kNoEptpSlot;
+  if (!cache.free_slots.empty()) {
+    // Reuse a freed slot in place; nothing else moves.
+    slot = cache.free_slots.back();
+    if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListReplace), slot, ept_id) ==
+        vmm::kHypercallError) {
+      return sb::Internal("EPTP slot replace refused on a free slot");
+    }
+    cache.free_slots.pop_back();
+    cache.ids[slot] = ept_id;
+  } else if (cache.ids.size() < budget_) {
+    // Grow the list while under the working-set budget.
+    const uint64_t appended =
+        core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListAppend), ept_id);
+    if (appended == vmm::kHypercallError) {
+      return sb::Internal("EPTP list append refused");
+    }
+    slot = static_cast<uint32_t>(appended);
+    SB_CHECK(slot == cache.ids.size()) << "rootkernel append slot disagrees with the cache";
+    cache.ids.push_back(ept_id);
+    cache.lru_prev.push_back(kNoEptpSlot);
+    cache.lru_next.push_back(kNoEptpSlot);
+    cache.pins.push_back(0);
+  } else {
+    // Budget exhausted: evict a victim and take its slot in place.
+    const uint32_t victim = PickVictim(core, cache);
+    if (victim == kNoEptpSlot) {
+      return sb::ResourceExhausted("every EPTP slot is pinned or active");
+    }
+    SB_TRACE_EVENT(TraceEventType::kEptEvict, core.cycles(), core.id(), cache.ids[victim],
+                   victim);
+    if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListReplace), victim, ept_id) ==
+        vmm::kHypercallError) {
+      return sb::Internal("EPTP slot replace refused");
+    }
+    slot_evictions_->Add();
+    cache.slot_of.erase(cache.ids[victim]);
+    LruUnlink(cache, victim);
+    cache.ids[victim] = ept_id;
+    slot = victim;
+  }
+  cache.slot_of.emplace(ept_id, slot);
+  LruPushFront(cache, slot);
+  slot_installs_->Add();
+  SB_TRACE_EVENT(TraceEventType::kEptInstall, core.cycles(), core.id(), ept_id, slot);
+  return slot;
+}
+
+sb::Status RouteTable::InstallProcessView(hw::Core& core, mk::Process* process, bool eager) {
+  process_ept_ids_.insert(process->ept_id());
+  SB_ASSIGN_OR_RETURN(const uint32_t slot, EnsureResident(core, process->ept_id(), false));
+  core.vmcs().active_index = slot;
+  if (!eager) {
+    return sb::OkStatus();
+  }
+  // Migration prefetch: warm the destination core with the client's
+  // installed bindings, most recently used first, but only into spare
+  // capacity — prefetch never evicts what the core already runs hot.
+  CoreSlotCache& cache = core_cache_[static_cast<size_t>(core.id())];
+  auto it = clients_.find(process);
+  if (it == clients_.end()) {
+    return sb::OkStatus();
+  }
+  for (Binding* b = it->second.lru_head; b != nullptr; b = b->lru_next) {
+    if (!b->installed || b->revoked) {
+      continue;
+    }
+    if (cache.slot_of.find(b->ept_id) != cache.slot_of.end()) {
+      continue;
+    }
+    if (cache.free_slots.empty() && cache.ids.size() >= budget_) {
+      break;
+    }
+    SB_RETURN_IF_ERROR(EnsureResident(core, b->ept_id, false).status());
+  }
   return sb::OkStatus();
+}
+
+void RouteTable::EvictResidency(hw::Core& core, uint64_t ept_id) {
+  CoreSlotCache& cache = core_cache_[static_cast<size_t>(core.id())];
+  auto it = cache.slot_of.find(ept_id);
+  if (it == cache.slot_of.end() || it->second == 0) {
+    return;
+  }
+  const uint32_t slot = it->second;
+  if (cache.pins[slot] > 0 || slot == core.vmcs().active_index) {
+    // Eviction ordering rule: a slot a live call depends on (or the active
+    // view) keeps its translation; callers treat residual residency as
+    // benign and retry later.
+    return;
+  }
+  if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kEptpListReplace), slot, 0) ==
+      vmm::kHypercallError) {
+    return;
+  }
+  SB_TRACE_EVENT(TraceEventType::kEptEvict, core.cycles(), core.id(), ept_id, slot);
+  slot_evictions_->Add();
+  LruUnlink(cache, slot);
+  cache.slot_of.erase(it);
+  cache.ids[slot] = 0;
+  cache.free_slots.push_back(slot);
+}
+
+void RouteTable::EvictResidencyEverywhere(uint64_t ept_id) {
+  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
+    EvictResidency(kernel_->machine().core(i), ept_id);
+  }
+}
+
+uint32_t RouteTable::ResidentSlot(int core_id, uint64_t ept_id) const {
+  const CoreSlotCache& cache = core_cache_[static_cast<size_t>(core_id)];
+  auto it = cache.slot_of.find(ept_id);
+  return it != cache.slot_of.end() ? it->second : kNoEptpSlot;
+}
+
+uint64_t RouteTable::EptIdAtSlot(int core_id, uint32_t slot) const {
+  const CoreSlotCache& cache = core_cache_[static_cast<size_t>(core_id)];
+  return slot < cache.ids.size() ? cache.ids[slot] : 0;
+}
+
+void RouteTable::PinSlot(int core_id, uint32_t slot) {
+  CoreSlotCache& cache = core_cache_[static_cast<size_t>(core_id)];
+  if (slot < cache.pins.size()) {
+    ++cache.pins[slot];
+  }
+}
+
+void RouteTable::UnpinSlot(int core_id, uint32_t slot) {
+  CoreSlotCache& cache = core_cache_[static_cast<size_t>(core_id)];
+  if (slot < cache.pins.size() && cache.pins[slot] > 0) {
+    --cache.pins[slot];
+  }
 }
 
 sb::Status RouteTable::Revoke(mk::Process* client, ServerId server) {
@@ -224,6 +421,7 @@ sb::Status RouteTable::Revoke(mk::Process* client, ServerId server) {
   }
   if (!binding->revoked) {
     binding->revoked = true;
+    binding->swept = false;
     generation_.fetch_add(1, std::memory_order_relaxed);  // Drop cached routes.
     bindings_revoked_->Add();
     hw::Core& core = kernel_->machine().core(0);
@@ -259,30 +457,42 @@ void RouteTable::SweepRevoked(mk::Process* client) {
   }
   ClientState& state = it->second;
   if (state.inflight > 0) {
-    // Never reshape the EPTP list under a live call: the last drain of this
-    // client re-runs the sweep.
+    // Never scrub under a live call: the server-side reply still translates
+    // through the binding EPT. The last drain of this client re-runs the
+    // sweep.
     state.pending_revocations = true;
     return;
   }
   state.pending_revocations = false;
   auto& ids = client->eptp_list_ids();
-  bool removed = false;
   for (Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
-    if (!b->revoked || !b->installed) {
+    if (!b->revoked || b->swept) {
       continue;
     }
-    ids.erase(std::remove(ids.begin(), ids.end(), b->ept_id), ids.end());
-    b->installed = false;
-    b->eptp_slot = kNoEptpSlot;
-    removed = true;
-  }
-  if (!removed) {
-    return;
-  }
-  RefreshEptpSlots(client);
-  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
-    if (kernel_->current_process(i) == client) {
-      (void)kernel_->ContextSwitchTo(kernel_->machine().core(i), client);
+    if (b->installed) {
+      ids.erase(std::remove(ids.begin(), ids.end(), b->ept_id), ids.end());
+      b->installed = false;
+    }
+    if (revoke_scrub_) {
+      // Facade teardown: zero the calling-key slot; under consolidation,
+      // restore the client's CR3 translation inside the shared EPT.
+      revoke_scrub_(*b);
+    }
+    b->swept = true;
+    // Drop residency everywhere once no sibling still translates through
+    // the EPT (consolidated siblings of other clients keep it resident).
+    bool sibling_holds = false;
+    auto siblings = by_ept_.find(b->ept_id);
+    if (siblings != by_ept_.end()) {
+      for (Binding* s : siblings->second) {
+        if (s != b && !(s->revoked && s->swept)) {
+          sibling_holds = true;
+          break;
+        }
+      }
+    }
+    if (!sibling_holds) {
+      EvictResidencyEverywhere(b->ept_id);
     }
   }
 }
@@ -292,17 +502,24 @@ void RouteTable::FaultEvict(hw::Core& core, Binding& binding) {
     return;
   }
   SB_TRACE_EVENT(TraceEventType::kEptEvict, core.cycles(), core.id(), binding.server,
-                 binding.eptp_slot);
+                 ResidentSlot(core.id(), binding.ept_id));
   auto& ids = binding.client->eptp_list_ids();
   ids.erase(std::remove(ids.begin(), ids.end(), binding.ept_id), ids.end());
   binding.installed = false;
-  binding.eptp_slot = kNoEptpSlot;
-  RefreshEptpSlots(binding.client);
-  for (int i = 0; i < kernel_->machine().num_cores(); ++i) {
-    if (kernel_->current_process(i) == binding.client) {
-      (void)kernel_->ContextSwitchTo(kernel_->machine().core(i), binding.client);
+  // Drop this core's residency too, so the retry leg exercises the full
+  // re-install path (skips pinned/active slots, exactly like a concurrent
+  // eviction would have to).
+  EvictResidency(core, binding.ept_id);
+}
+
+std::vector<mk::Process*> RouteTable::ClientsOfServer(ServerId server) const {
+  std::vector<mk::Process*> out;
+  for (const auto& binding : bindings_) {
+    if (binding->server == server && !binding->revoked) {
+      out.push_back(binding->client);
     }
   }
+  return out;
 }
 
 sb::Status RouteTable::CheckInvariants() const {
@@ -336,19 +553,24 @@ sb::Status RouteTable::CheckInvariants() const {
     }
     const auto& ids = client->eptp_list_ids();
     if (ids.size() > config_->eptp_capacity) {
-      return sb::Internal("EPTP list exceeds the configured capacity");
+      return sb::Internal("client working set exceeds the configured capacity");
     }
     for (const Binding* b = state.lru_head; b != nullptr; b = b->lru_next) {
-      if (b->installed) {
-        if (b->eptp_slot == kNoEptpSlot || b->eptp_slot >= ids.size() ||
-            ids[b->eptp_slot] != b->ept_id) {
-          return sb::Internal("installed binding's cached slot disagrees with the EPTP list");
-        }
-      } else if (b->eptp_slot != kNoEptpSlot) {
-        return sb::Internal("evicted binding still caches a slot");
+      const bool on_list = EptpSlotOfId(ids, b->ept_id) != kSlotNotFound;
+      if (b->installed && !on_list) {
+        return sb::Internal("installed binding missing from the client working set");
+      }
+      if (!b->installed && on_list) {
+        // Consolidated siblings of the *same* client cannot share an id
+        // (one binding per (client, server)), so an uninstalled binding's
+        // id must be gone from its client's list.
+        return sb::Internal("evicted binding still on the client working set");
       }
       if (b->revoked && b->installed && state.inflight == 0) {
         return sb::Internal("drained revoked binding still installed");
+      }
+      if (b->revoked && b->swept && b->installed) {
+        return sb::Internal("swept binding still installed");
       }
       if (b->queued_submissions > config_->batch_ring_entries) {
         return sb::Internal("queued batch submissions exceed the ring geometry");
@@ -372,6 +594,101 @@ sb::Status RouteTable::CheckInvariants() const {
           }
           seen[slice] = true;
         }
+      }
+    }
+  }
+  // ---- Per-core residency cross-check (DESIGN.md section 15) ----
+  if (kernel_->rootkernel() == nullptr) {
+    return sb::OkStatus();
+  }
+  for (int c = 0; c < kernel_->machine().num_cores(); ++c) {
+    const CoreSlotCache& cache = core_cache_[static_cast<size_t>(c)];
+    if (cache.ids.empty()) {
+      continue;  // Core never initialized (no rootkernel at table birth).
+    }
+    const auto& mirror = kernel_->rootkernel()->core_eptp_state(c).slot_ids;
+    if (cache.ids != mirror) {
+      return sb::Internal("per-core slot cache disagrees with the rootkernel mirror");
+    }
+    if (cache.ids[0] != 0) {
+      return sb::Internal("slot 0 no longer holds the base EPT");
+    }
+    if (cache.ids.size() > budget_ ||
+        cache.lru_prev.size() != cache.ids.size() ||
+        cache.lru_next.size() != cache.ids.size() || cache.pins.size() != cache.ids.size()) {
+      return sb::Internal("slot cache shape out of bounds");
+    }
+    std::vector<bool> free_slot(cache.ids.size(), false);
+    for (const uint32_t s : cache.free_slots) {
+      if (s == 0 || s >= cache.ids.size() || free_slot[s]) {
+        return sb::Internal("free-slot list corrupt");
+      }
+      if (cache.ids[s] != 0) {
+        return sb::Internal("free slot does not hold the base EPT placeholder");
+      }
+      if (cache.pins[s] != 0) {
+        return sb::Internal("free slot still pinned");
+      }
+      free_slot[s] = true;
+    }
+    // The LRU chain covers exactly the occupied slots >= 1, and slot_of is
+    // their exact inverse.
+    size_t occupied = 0;
+    for (uint32_t s = 1; s < cache.ids.size(); ++s) {
+      if (cache.ids[s] == 0) {
+        if (!free_slot[s]) {
+          return sb::Internal("empty slot missing from the free list");
+        }
+        continue;
+      }
+      ++occupied;
+      auto it = cache.slot_of.find(cache.ids[s]);
+      if (it == cache.slot_of.end() || it->second != s) {
+        return sb::Internal("slot_of inverse map out of sync");
+      }
+    }
+    if (cache.slot_of.size() != occupied + 1) {  // +1 for the base entry.
+      return sb::Internal("slot_of carries ids not on the list");
+    }
+    size_t linked = 0;
+    uint32_t prev_slot = kNoEptpSlot;
+    for (uint32_t s = cache.lru_head; s != kNoEptpSlot; s = cache.lru_next[s]) {
+      if (++linked > cache.ids.size()) {
+        return sb::Internal("slot LRU cycle detected");
+      }
+      if (s == 0 || s >= cache.ids.size() || cache.ids[s] == 0) {
+        return sb::Internal("slot LRU links a free or base slot");
+      }
+      if (cache.lru_prev[s] != prev_slot) {
+        return sb::Internal("slot LRU prev link broken");
+      }
+      prev_slot = s;
+    }
+    if (cache.lru_tail != prev_slot) {
+      return sb::Internal("slot LRU tail does not terminate the chain");
+    }
+    if (linked != occupied) {
+      return sb::Internal("slot LRU chain does not cover the occupied slots");
+    }
+    // Every resident non-process EPT maps back to at least one live binding
+    // (satellite: resident slot <-> live, non-revoked binding).
+    for (uint32_t s = 1; s < cache.ids.size(); ++s) {
+      const uint64_t id = cache.ids[s];
+      if (id == 0 || process_ept_ids_.count(id) != 0) {
+        continue;
+      }
+      auto holders = by_ept_.find(id);
+      bool live = false;
+      if (holders != by_ept_.end()) {
+        for (const Binding* b : holders->second) {
+          if (!(b->revoked && b->swept)) {
+            live = true;
+            break;
+          }
+        }
+      }
+      if (!live) {
+        return sb::Internal("resident slot maps to no live binding");
       }
     }
   }

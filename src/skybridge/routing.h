@@ -1,25 +1,40 @@
 // Route control plane: binding records, the (client, server) hash index,
 // the per-thread last-route cache front end, intrusive per-client LRU lists
-// and the EPTP-slot caches — everything DirectServerCall consults to turn a
-// ServerId into an armed EPTP slot.
+// and the per-core EPTP slot caches — everything DirectServerCall consults
+// to turn a ServerId into an armed EPTP slot.
 //
 // Concurrency model (DESIGN.md section 11): the route table is read-mostly.
 // Steady-state calls on different cores touch only per-thread state (the
 // RouteCache embedded in mk::Thread), per-binding state of *their own*
-// disjoint binding (in-flight counters, LRU head check) and sharded
-// telemetry counters — no shared mutable word. Mutation (registration,
-// revocation, eviction, fault injection) is the sanctioned slow path and is
-// serialized by the caller. Revocation publishes through `generation()`, an
-// epoch every per-thread cache entry is stamped with: bumping it drops every
-// thread's cached Binding* at once without touching the threads.
+// disjoint binding (in-flight counters, LRU head check), *their own* core's
+// slot cache and sharded telemetry counters — no shared mutable word.
+// Mutation (registration, revocation, eviction, fault injection) is the
+// sanctioned slow path and is serialized by the caller. Revocation publishes
+// through `generation()`, an epoch every per-thread cache entry is stamped
+// with: bumping it drops every thread's cached Binding* at once without
+// touching the threads.
+//
+// Slot virtualization (DESIGN.md section 15): the hardware EPTP list holds
+// at most hw::kEptpListCapacity views per core, but the table may carry tens
+// of thousands of bindings. Each core runs a bounded slot working set
+// (CoreSlotCache): slot 0 permanently holds the base EPT, every other slot
+// is an LRU-managed cache entry over EPT ids. A call whose binding is not
+// resident takes the slot-fault slow path in ArmGate, which calls
+// EnsureResident to evict the per-core LRU victim via an in-place
+// kEptpListReplace (freed slots never reshuffle their neighbours, so every
+// other cached index stays valid — the per-core answer to the PR 1 central
+// invalidation, which predated per-core mirrors and could leave core B
+// stale after an eviction on core A).
 
 #ifndef SRC_SKYBRIDGE_ROUTING_H_
 #define SRC_SKYBRIDGE_ROUTING_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/base/status.h"
@@ -40,6 +55,11 @@ struct ServerEntry {
   int max_connections;
   hw::Gva handler_va;  // "function address" in the server's function list.
   uint64_t next_connection = 0;
+  // Binding consolidation (config.consolidate_bindings): the one binding EPT
+  // every client of this server shares — later clients add their own CR3
+  // remap via kAddCr3Remap instead of shallow-copying a fresh EPT. 0 until
+  // the first client registers.
+  uint64_t shared_ept_id = 0;
 };
 
 struct ClientState;
@@ -47,7 +67,7 @@ struct ClientState;
 struct Binding {
   mk::Process* client;      // The process whose CR3 is live when used.
   ServerId server;
-  uint64_t ept_id;          // Rootkernel EPT id.
+  uint64_t ept_id;          // Rootkernel EPT id (shared under consolidation).
   uint64_t server_key;      // Client -> server calling key.
   hw::Gva shared_buf;       // Region base, mapped at the same VA in both.
   uint64_t key_slot;        // Index in the server's calling-key table.
@@ -70,24 +90,25 @@ struct Binding {
   // had a completion posted yet (DESIGN.md section 13). Bounded by the ring
   // geometry; drained by FlushBatch / the adaptive drain leg.
   uint64_t queued_submissions = 0;
-  bool installed = true;    // Currently on the client's EPTP list.
-  // Revoked bindings refuse new calls; their EPTP entry is removed when
-  // the client drains. The record itself persists ("bindings are never
+  bool installed = true;    // In the client's logical working set.
+  // Revoked bindings refuse new calls; their working-set entry is removed
+  // when the client drains. The record itself persists ("bindings are never
   // destroyed") and re-registration revives it.
   bool revoked = false;
-  // Calls currently between entry and return on this binding. The EPTP
-  // list is never reshaped while the owning client has calls in flight.
+  // Revocation scrub done (key slot zeroed, consolidation remap restored,
+  // residency dropped where no sibling holds the EPT). Runs at sweep time —
+  // after the client drains — never at Revoke time, so an in-flight call's
+  // reply still translates through the binding EPT. Cleared on revival.
+  bool swept = false;
+  // Calls currently between entry and return on this binding. Working-set
+  // state is never reshaped while the owning client has calls in flight.
   uint64_t in_flight = 0;
   // Chain bindings support nested calls (A -> B -> C): the EPT maps A's
   // CR3 to C's page tables, while authorization/keys come from the B -> C
   // registration (Section 4.2: "the Rootkernel also writes all processes'
-  // EPTPs that the server depends on into the client's EPTP list").
+  // EPTPs that the server depends on into the client's EPTP list"). Chain
+  // EPTs are never consolidated (their CR3 remap pairs are per-chain).
   bool chain = false;
-  // ---- Fast-path state ----
-  // Cached index of `ept_id` on the client's EPTP list; kNoEptpSlot while
-  // evicted. Maintained centrally by Install/RefreshEptpSlots so
-  // DirectServerCall never scans the list.
-  uint32_t eptp_slot = kNoEptpSlot;
   // Intrusive per-client LRU links (head = most recently used).
   Binding* lru_prev = nullptr;
   Binding* lru_next = nullptr;
@@ -100,6 +121,30 @@ struct ClientState {
   Binding* lru_tail = nullptr;  // Eviction candidate end.
   uint64_t inflight = 0;        // Sum of in_flight over this client's bindings.
   bool pending_revocations = false;  // Sweep deferred until inflight drains.
+};
+
+// Per-core EPTP slot working set (DESIGN.md section 15). Slot 0 permanently
+// holds the base EPT and is never evicted, pinned or LRU-linked; slots
+// [1, budget) cache EPT ids with intrusive slot-index LRU links (head =
+// most recently used). Freed slots are kEptpListReplace'd back to the base
+// EPT (id 0) and parked on the free list, so the list never shrinks or
+// reshuffles and every cached index for a *different* slot stays valid.
+struct CoreSlotCache {
+  std::vector<uint64_t> ids;  // slot -> EPT id; 0 = base EPT / freed slot.
+  std::unordered_map<uint64_t, uint32_t> slot_of;  // EPT id -> slot.
+  // Intrusive LRU over slot indices (kNoEptpSlot = null link). Maintained
+  // in both eviction modes; only victim *choice* differs under the naive
+  // ablation.
+  std::vector<uint32_t> lru_prev;
+  std::vector<uint32_t> lru_next;
+  uint32_t lru_head = kNoEptpSlot;  // Most recently used.
+  uint32_t lru_tail = kNoEptpSlot;  // Eviction candidate end.
+  // Slots a live call depends on (entry view + routed view). Pinned slots
+  // are never evicted: eviction ordering rule "a slot with a call between
+  // entry and return keeps its translation".
+  std::vector<uint32_t> pins;
+  std::vector<uint32_t> free_slots;  // Freed slots holding the base EPT.
+  uint32_t rr_cursor = 1;  // Naive-ablation round-robin victim cursor.
 };
 
 // Open-addressed hash index over (client, server) -> Binding*: linear
@@ -121,6 +166,11 @@ class BindingIndex {
 
 class RouteTable {
  public:
+  // Per-binding teardown hook SweepRevoked invokes once per revoked binding
+  // when the client drains (the facade zeroes the calling-key slot and
+  // restores the consolidation CR3 remap).
+  using RevokeScrub = std::function<void(Binding&)>;
+
   RouteTable(mk::Kernel& kernel, const SkyBridgeConfig& config);
 
   // O(1) index lookup (slow path of the lookup; no linear scans).
@@ -132,12 +182,11 @@ class RouteTable {
   Binding* Adopt(std::unique_ptr<Binding> binding);
   // O(1) move-to-front on the client's intrusive LRU list.
   void Touch(Binding& binding);
-  // LRU maintenance: make room for / reinstall a binding. `pinned_ept` is
-  // never evicted (the EPT we must return to).
+  // Client-level working-set maintenance: make room for / reinstall a
+  // binding in the client's logical eptp_list_ids set (bounded by
+  // eptp_capacity). `pinned_ept` is never evicted (the EPT we must return
+  // to). Residency is per-core and separate — see EnsureResident.
   sb::Status Install(hw::Core& core, Binding& binding, uint64_t pinned_ept);
-  // Recomputes every cached eptp_slot for `client` after the EPTP list
-  // changed shape — the central invalidation point for the slot caches.
-  void RefreshEptpSlots(mk::Process* client);
   // Call drain accounting: decrements the in-flight counts taken at call
   // entry and runs any revocation sweep the drain unblocked.
   void FinishCall(Binding& binding);
@@ -145,20 +194,56 @@ class RouteTable {
   // route epoch so every thread's cached route drops, and sweeps. NotFound
   // when the pair was never registered.
   sb::Status Revoke(mk::Process* client, ServerId server);
-  // Uninstalls every drained revoked binding of `client` (EPTP-list erase +
-  // central slot refresh + reinstall on live cores); defers itself while the
-  // client still has calls in flight.
+  // Scrubs every drained revoked binding of `client`: working-set removal,
+  // the facade's RevokeScrub (key zeroing + consolidation remap restore),
+  // and residency teardown on every core once no sibling binding still
+  // holds the shared EPT. Defers itself while the client has calls in
+  // flight.
   void SweepRevoked(mk::Process* client);
   // Fault-injection helper: evicts `binding` exactly as a concurrent
-  // Install LRU pass would, leaving the caller's cached slot stale.
+  // eviction would (working set + this core's residency), leaving the
+  // caller's armed route stale.
   void FaultEvict(hw::Core& core, Binding& binding);
-  // Index of `ept_id` on an EPTP list, or kSlotNotFound. Only used on the
-  // slow path (entry-slot restore after a reinstall reshuffles the list).
+  // Index of `ept_id` in an id list, or kSlotNotFound.
   static size_t EptpSlotOfId(const std::vector<uint64_t>& ids, uint64_t ept_id);
 
+  // ---- Per-core slot residency (DESIGN.md section 15) ----
+  // Returns the slot `ept_id` occupies on this core, making it resident if
+  // needed: free slot reuse, then append while under budget, then LRU (or
+  // round-robin under the ablation) victim eviction via kEptpListReplace.
+  // Touches the slot to the LRU head on hit. `faultable` arms the
+  // kFaultSlotInstall point (the ArmGate slot-fault leg); dispatch-driven
+  // installs pass false so a context switch can't be fault-injected.
+  sb::StatusOr<uint32_t> EnsureResident(hw::Core& core, uint64_t ept_id, bool faultable);
+  // Context-switch hook body: makes `process`'s own EPT resident and points
+  // the core's active view at it. Eager (migration) additionally prefetches
+  // the client's installed bindings into *free* capacity — prefetch never
+  // evicts a warmer core's working set.
+  sb::Status InstallProcessView(hw::Core& core, mk::Process* process, bool eager);
+  // Drops `ept_id`'s residency on one core / every core. Skips pinned and
+  // active slots (an in-flight call keeps its views; the eviction ordering
+  // rule again) — callers treat residual residency as benign.
+  void EvictResidency(hw::Core& core, uint64_t ept_id);
+  void EvictResidencyEverywhere(uint64_t ept_id);
+  // Slot `ept_id` occupies on `core_id`, or kNoEptpSlot (no LRU touch).
+  uint32_t ResidentSlot(int core_id, uint64_t ept_id) const;
+  // EPT id in `slot` on `core_id` (0 = base EPT / freed / out of range).
+  uint64_t EptIdAtSlot(int core_id, uint32_t slot) const;
+  // Pin accounting for slots a live call depends on (see SlotPinGuard).
+  void PinSlot(int core_id, uint32_t slot);
+  void UnpinSlot(int core_id, uint32_t slot);
+
+  // Registers the facade's per-binding revocation scrub (see RevokeScrub).
+  void SetRevokeScrub(RevokeScrub scrub) { revoke_scrub_ = std::move(scrub); }
+  // Every client with a live (non-revoked) binding to `server`, chain
+  // origins included. Drives SkyBridge::RevokeServer.
+  std::vector<mk::Process*> ClientsOfServer(ServerId server) const;
+
   // Structural invariants the stress runner asserts between events: LRU
-  // list consistency, cached-slot/EPTP-list agreement, per-client capacity,
-  // revoked bindings uninstalled once drained, in-flight accounting.
+  // list consistency, working-set/ids agreement, per-client capacity,
+  // revoked bindings scrubbed once drained, in-flight accounting, and the
+  // per-core residency cross-check against the Rootkernel's CoreEptpState
+  // mirrors (every resident slot maps to a live EPT holder and vice versa).
   sb::Status CheckInvariants() const;
   uint64_t InFlightCalls() const;
   // Batch submissions enqueued across all bindings with no completion
@@ -171,11 +256,31 @@ class RouteTable {
   uint64_t generation() const { return generation_.load(std::memory_order_relaxed); }
 
  private:
+  // Slot-index LRU surgery over a core's cache (slot must be linked /
+  // unlinked respectively).
+  static void LruUnlink(CoreSlotCache& cache, uint32_t slot);
+  static void LruPushFront(CoreSlotCache& cache, uint32_t slot);
+  static void LruTouch(CoreSlotCache& cache, uint32_t slot);
+  // Victim slot for an eviction on `core`, or kNoEptpSlot when every
+  // candidate is pinned or active: LRU tail walk, or round-robin under the
+  // naive ablation (config.lru_slot_eviction = false).
+  uint32_t PickVictim(const hw::Core& core, CoreSlotCache& cache) const;
+
   mk::Kernel* kernel_;
   const SkyBridgeConfig* config_;
   std::vector<std::unique_ptr<Binding>> bindings_;  // Ownership only.
   BindingIndex index_;                              // (client, server) -> binding.
   std::unordered_map<mk::Process*, ClientState> clients_;  // Stable nodes.
+  // EPT id -> every binding translating through it. Singleton lists without
+  // consolidation; the shared-EPT sibling set with it. Drives the "last
+  // holder drops residency" rule in SweepRevoked and the invariant sweep.
+  std::unordered_map<uint64_t, std::vector<Binding*>> by_ept_;
+  // Per-process own-EPT ids seen by InstallProcessView — resident ids in
+  // this set are process views, not bindings, for the invariant cross-check.
+  std::unordered_set<uint64_t> process_ept_ids_;
+  std::vector<CoreSlotCache> core_cache_;  // Indexed by core id.
+  size_t budget_;  // min(config.eptp_working_set, hw list capacity).
+  RevokeScrub revoke_scrub_;
   // Epoch for the per-thread route caches. Bindings are never destroyed, so
   // this only moves on revocation (and any future removal path); bumping it
   // invalidates every thread's cached Binding* at once.
@@ -183,11 +288,13 @@ class RouteTable {
   sb::telemetry::Counter* lookup_hits_;
   sb::telemetry::Counter* lookup_misses_;
   sb::telemetry::Counter* bindings_revoked_;
+  sb::telemetry::Counter* slot_installs_;
+  sb::telemetry::Counter* slot_evictions_;
 };
 
 // In-flight accounting bracketing a call on every exit path (both the
 // authorizing binding and the routed one when they differ). Revocation
-// never reshapes an EPTP list under a live call — it defers to this
+// never reshapes working-set state under a live call — it defers to this
 // guard's drain.
 class InFlightGuard {
  public:
@@ -219,6 +326,43 @@ class InFlightGuard {
   RouteTable* table_ = nullptr;
   Binding* a_ = nullptr;
   Binding* b_ = nullptr;
+};
+
+// Pins the two slots a live call translates through (entry view + routed
+// view) on the call's core, so no slot fault or eviction sweep can replace
+// them mid-call. Declared *after* the InFlightGuard in call scope: the
+// destructor order releases pins first, so the drain-triggered revocation
+// sweep the guard runs sees the slots unpinned.
+class SlotPinGuard {
+ public:
+  SlotPinGuard() = default;
+  SlotPinGuard(const SlotPinGuard&) = delete;
+  SlotPinGuard& operator=(const SlotPinGuard&) = delete;
+  void Pin(RouteTable* table, int core_id, uint32_t entry_slot, uint32_t route_slot) {
+    table_ = table;
+    core_id_ = core_id;
+    entry_ = entry_slot;
+    route_ = route_slot;
+    // Symmetric increments even when the slots coincide (nested-call legs
+    // re-enter the same view); Release mirrors them exactly.
+    table_->PinSlot(core_id_, entry_);
+    table_->PinSlot(core_id_, route_);
+  }
+  void Release() {
+    if (table_ == nullptr) {
+      return;
+    }
+    table_->UnpinSlot(core_id_, route_);
+    table_->UnpinSlot(core_id_, entry_);
+    table_ = nullptr;
+  }
+  ~SlotPinGuard() { Release(); }
+
+ private:
+  RouteTable* table_ = nullptr;
+  int core_id_ = 0;
+  uint32_t entry_ = kNoEptpSlot;
+  uint32_t route_ = kNoEptpSlot;
 };
 
 }  // namespace skybridge

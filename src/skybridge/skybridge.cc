@@ -9,6 +9,7 @@
 #include "src/base/telemetry/span.h"
 #include "src/base/telemetry/trace.h"
 #include "src/mk/notification.h"
+#include "src/vmm/rootkernel.h"
 
 namespace skybridge {
 namespace {
@@ -32,6 +33,9 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
   SB_CHECK(kernel.rootkernel() != nullptr)
       << "SkyBridge requires a kernel booted with the Rootkernel";
   SB_CHECK(config_.eptp_capacity >= 2 && config_.eptp_capacity <= hw::kEptpListCapacity);
+  SB_CHECK(config_.eptp_working_set >= 4 &&
+           config_.eptp_working_set <= hw::kEptpListCapacity)
+      << "eptp_working_set must fit the hardware EPTP list";
   sb::telemetry::Registry& reg = kernel.machine().telemetry();
   metrics_.direct_calls = &reg.GetCounter("skybridge.ipc.direct_calls");
   metrics_.long_calls = &reg.GetCounter("skybridge.ipc.long_calls");
@@ -51,6 +55,7 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
   metrics_.stale_slot_retries = &reg.GetCounter("skybridge.ipc.stale_slot_retries");
   metrics_.revoked_rejections = &reg.GetCounter("skybridge.ipc.revoked_rejections");
   metrics_.bindings_revoked = &reg.GetCounter("skybridge.bindings.revoked");
+  metrics_.slot_faults = &reg.GetCounter("skybridge.eptp.slot_faults");
   metrics_.migration_installs = &reg.GetCounter("skybridge.eptp.migration_installs");
   metrics_.batched_calls = &reg.GetCounter("skybridge.ipc.batched_calls");
   metrics_.batch_flushes = &reg.GetCounter("skybridge.ipc.batch_flushes");
@@ -65,6 +70,39 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
           metrics_.migration_installs->Add();
         }
       });
+  // Dispatch installs go through the slot virtualizer (DESIGN.md section 15):
+  // the kernel no longer rebuilds the EPTP list on context switch; the route
+  // table makes the incoming process's working set resident instead.
+  kernel.SetEptpInstaller(
+      [this](hw::Core& core, mk::Process* process, mk::Kernel::EptpInstallReason reason) {
+        return routes_.InstallProcessView(
+            core, process, reason == mk::Kernel::EptpInstallReason::kMigration);
+      });
+  // Deferred revocation scrub: runs once per binding when its last in-flight
+  // call drains. Zeroes the server-side calling-key slot and, for a binding
+  // consolidated onto the server's shared EPT, restores the client's CR3
+  // translation to identity so a stale VMFUNC can no longer reach the
+  // server's page tables through it.
+  routes_.SetRevokeScrub([this](Binding& binding) {
+    if (binding.chain) {
+      // Chain bindings share key slot 0 and carry no real key; zeroing it
+      // would clobber a live client's key word.
+      return;
+    }
+    ServerEntry& server = servers_[binding.server];
+    const hw::GuestWalk table =
+        server.process->address_space().WalkVa(mk::kCallingKeyTableVa);
+    if (table.ok) {
+      hw::HostPhysMem& mem = kernel_->machine().mem();
+      mem.WriteU64(table.gpa + binding.key_slot * kKeySlotBytes, 0);
+      mem.WriteU64(table.gpa + binding.key_slot * kKeySlotBytes + 8, 0);
+    }
+    if (config_.consolidate_bindings && binding.ept_id == server.shared_ept_id) {
+      hw::Core& core = kernel_->machine().core(0);
+      core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kAddCr3Remap), binding.ept_id,
+                  binding.client->cr3(), binding.client->cr3());
+    }
+  });
   // One shared trampoline code frame for all processes.
   auto frame = kernel.guest_frames().Alloc(kernel.machine().mem());
   SB_CHECK(frame.ok());
@@ -73,8 +111,9 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
 }
 
 SkyBridge::~SkyBridge() {
-  // The hook captures `this`; never let it outlive the bridge.
+  // The hooks capture `this`; never let them outlive the bridge.
   kernel_->SetEptpInstallHook(nullptr);
+  kernel_->SetEptpInstaller(nullptr);
 }
 
 const SkyBridgeStats& SkyBridge::stats() const {
@@ -99,6 +138,7 @@ const SkyBridgeStats& SkyBridge::stats() const {
   snapshot.stale_slot_retries = metrics_.stale_slot_retries->Value();
   snapshot.revoked_rejections = metrics_.revoked_rejections->Value();
   snapshot.bindings_revoked = metrics_.bindings_revoked->Value();
+  snapshot.slot_faults = metrics_.slot_faults->Value();
   snapshot.migration_installs = metrics_.migration_installs->Value();
   snapshot.batched_calls = metrics_.batched_calls->Value();
   snapshot.batch_flushes = metrics_.batch_flushes->Value();
@@ -171,6 +211,10 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
   // In-flight brackets every exit path below (guard destructs at return).
   InFlightGuard guard;
   guard.Begin(&routes_, ctx.perm, ctx.route);
+  // Slot pins release before the in-flight guard ends the call (declaration
+  // order), so a drain-triggered sweep sees the slots unpinned.
+  SlotPinGuard pins;
+  ctx.pins = &pins;
   SB_RETURN_IF_ERROR(ArmGate(ctx));
   SB_RETURN_IF_ERROR(gate_.EnterServer(ctx));
   return ServeAndReturn(ctx);
@@ -268,16 +312,14 @@ sb::Status SkyBridge::BindOrigin(CallContext& ctx) {
 
 sb::Status SkyBridge::ArmGate(CallContext& ctx) {
   hw::Core& core = *ctx.core;
-  // The EPT active at entry: we must return to it (slot 0 for a top-level
-  // call, the enclosing binding's EPT for a nested one).
-  const auto& origin_ids = ctx.origin->eptp_list_ids();
+  // The EPT active at entry: we must return to it (the caller's own view for
+  // a top-level call, the enclosing binding's EPT for a nested one). Freed
+  // slots are replaced in place (kEptpListReplace) and never reshuffle their
+  // neighbours, so the return slot is simply the slot we entered on — always.
   const size_t entry_index = core.vmcs().active_index;
-  SB_CHECK(entry_index < origin_ids.size() || entry_index == 0);
-  ctx.entry_ept = entry_index < origin_ids.size() ? origin_ids[entry_index] : 0;
+  ctx.entry_ept = routes_.EptIdAtSlot(core.id(), static_cast<uint32_t>(entry_index));
+  ctx.return_index = entry_index;
 
-  // On the hit path the EPTP list is untouched, so the return slot is simply
-  // the slot we entered on — no scan.
-  ctx.return_index = ctx.entry_ept != 0 ? entry_index : 0;
   if (!ctx.route->installed) {
     // LRU-evicted earlier (or a fresh chain binding): install it.
     metrics_.eptp_misses->Add();
@@ -289,18 +331,32 @@ sb::Status SkyBridge::ArmGate(CallContext& ctx) {
     SB_RETURN_IF_ERROR(routes_.Install(core, *ctx.route, ctx.entry_ept));
     kernel_->SyscallExit(core, ctx.pbd);
     SB_TRACE_EVENT(TraceEventType::kEptpReinstall, core.cycles(), core.id(),
-                   ctx.server->process->pid(), ctx.route->eptp_slot);
-    // Reinstallation may have shuffled slots; restore the entry view index
-    // (one scan, on the sanctioned slow path only).
-    const size_t entry_slot = RouteTable::EptpSlotOfId(origin_ids, ctx.entry_ept);
-    if (entry_slot != kSlotNotFound) {
-      core.vmcs().active_index = entry_slot;
-      ctx.return_index = entry_slot;
-    } else {
-      ctx.return_index = 0;
-    }
+                   ctx.server->process->pid(), 0);
   }
   routes_.Touch(*ctx.route);
+
+  // Slot-fault slow path (DESIGN.md section 15): the binding is authorized
+  // and installed, but its EPT is not resident in this core's bounded slot
+  // working set. Evict the LRU victim, replace the freed slot in place, and
+  // retry — hot bindings stay resident and never take this path.
+  if (routes_.ResidentSlot(core.id(), ctx.route->ept_id) == kNoEptpSlot) {
+    metrics_.slot_faults->Add();
+    const uint64_t fault_start = core.cycles();
+    kernel_->SyscallEnter(core, ctx.pbd);
+    const auto slot_or =
+        routes_.EnsureResident(core, ctx.route->ept_id, /*faultable=*/true);
+    kernel_->SyscallExit(core, ctx.pbd);
+    gate_.RecordSlotFault(core.cycles() - fault_start);
+    if (!slot_or.ok()) {
+      metrics_.rejected_calls->Add();
+      return slot_or.status();
+    }
+    SB_TRACE_EVENT(TraceEventType::kSlotFault, core.cycles(), core.id(), ctx.route->ept_id,
+                   *slot_or);
+  } else {
+    // Hit: refresh slot recency so the hot set survives faults elsewhere.
+    (void)routes_.EnsureResident(core, ctx.route->ept_id, /*faultable=*/false);
+  }
 
   // ---- Client-side trampoline ----
   gate_.ChargeTrampolineLeg(core, ctx.pbd);
@@ -323,25 +379,28 @@ sb::Status SkyBridge::ArmGate(CallContext& ctx) {
   // The client's per-call key; the server must echo it on return.
   ctx.client_key = Gate::PerCallKey(*ctx.caller, core.cycles());
 
-  // The binding's slot is cached and centrally maintained; no EPTP scan on
-  // the hit path. A concurrent registration can still LRU-evict the binding
-  // between lookup and this point (the pre_vmfunc fault injects exactly
-  // that): detect the stale slot and re-arm via the slowpath with bounded
+  // The binding's residency is centrally maintained; no EPTP scan on the hit
+  // path. A concurrent registration can still LRU-evict the binding between
+  // lookup and this point (the pre_vmfunc fault injects exactly that):
+  // detect the stale slot and re-arm via the slowpath with bounded
   // exponential backoff instead of dying on the old SB_CHECK.
   for (uint64_t attempt = 0;; ++attempt) {
     if (SB_FAULT_POINT(kFaultPreVmfunc)) {
       routes_.FaultEvict(core, *ctx.route);
     }
-    if (ctx.route->installed && ctx.route->eptp_slot != kNoEptpSlot) {
-      break;
+    if (ctx.route->installed) {
+      const uint32_t slot = routes_.ResidentSlot(core.id(), ctx.route->ept_id);
+      if (slot != kNoEptpSlot) {
+        ctx.route_slot = slot;
+        break;
+      }
     }
     if (attempt >= config_.max_stale_slot_retries) {
       metrics_.rejected_calls->Add();
       SB_LOG(kDebug) << "stale-slot retries exhausted " << sb::kv("client", ctx.origin->pid())
                      << " " << sb::kv("server", ctx.server->process->pid());
-      const size_t entry_slot = RouteTable::EptpSlotOfId(origin_ids, ctx.entry_ept);
-      core.vmcs().active_index =
-          ctx.entry_ept != 0 && entry_slot != kSlotNotFound ? entry_slot : 0;
+      // The entry slot never moved (in-place replacement): restore it.
+      core.vmcs().active_index = ctx.return_index;
       return sb::Unavailable("EPTP slot evicted repeatedly before VMFUNC");
     }
     metrics_.stale_slot_retries->Add();
@@ -349,16 +408,18 @@ sb::Status SkyBridge::ArmGate(CallContext& ctx) {
                    ctx.server->process->pid(), attempt);
     core.AdvanceCycles(kStaleBackoffCycles << attempt);
     kernel_->SyscallEnter(core, ctx.pbd);
-    const sb::Status rearm = routes_.Install(core, *ctx.route, ctx.entry_ept);
+    sb::Status rearm = routes_.Install(core, *ctx.route, ctx.entry_ept);
+    if (rearm.ok()) {
+      rearm = routes_.EnsureResident(core, ctx.route->ept_id, /*faultable=*/false).status();
+    }
     kernel_->SyscallExit(core, ctx.pbd);
     SB_RETURN_IF_ERROR(rearm);
-    const size_t entry_slot = RouteTable::EptpSlotOfId(origin_ids, ctx.entry_ept);
-    if (ctx.entry_ept != 0 && entry_slot != kSlotNotFound) {
-      core.vmcs().active_index = entry_slot;
-      ctx.return_index = entry_slot;
-    } else {
-      ctx.return_index = 0;
-    }
+  }
+  // Pin both gate slots for the life of the call: slot faults taken by other
+  // calls (including nested ones on this core) may evict anything else.
+  if (ctx.pins != nullptr) {
+    ctx.pins->Pin(&routes_, core.id(), static_cast<uint32_t>(ctx.return_index),
+                  ctx.route_slot);
   }
   return sb::OkStatus();
 }
@@ -687,6 +748,8 @@ sb::Status SkyBridge::FlushBatch(mk::Thread* caller, ServerId server_id,
   SB_RETURN_IF_ERROR(BindOrigin(ctx));
   InFlightGuard guard;
   guard.Begin(&routes_, ctx.perm, ctx.route);
+  SlotPinGuard pins;
+  ctx.pins = &pins;
   SB_RETURN_IF_ERROR(ArmGate(ctx));
   SB_RETURN_IF_ERROR(gate_.EnterServer(ctx));
 
@@ -850,6 +913,19 @@ sb::Status SkyBridge::RevokeBinding(mk::Process* client, ServerId server_id) {
   return routes_.Revoke(client, server_id);
 }
 
+sb::Status SkyBridge::RevokeServer(ServerId server_id) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  // Revoke every live client binding; each drains independently. Under
+  // consolidation they all share one EPT, and the last sibling to drain
+  // drops its residency on every core (see RouteTable::SweepRevoked).
+  for (mk::Process* client : routes_.ClientsOfServer(server_id)) {
+    SB_RETURN_IF_ERROR(routes_.Revoke(client, server_id));
+  }
+  return sb::OkStatus();
+}
+
 sb::Status SkyBridge::CheckInvariants() const {
   SB_RETURN_IF_ERROR(routes_.CheckInvariants());
   // The Rootkernel's per-core EPTP mirrors must agree with the VMCS state
@@ -861,6 +937,15 @@ uint64_t SkyBridge::InFlightCalls() const { return routes_.InFlightCalls(); }
 
 sb::StatusOr<size_t> SkyBridge::InstalledBindings(mk::Process* client) const {
   return routes_.InstalledBindings(client);
+}
+
+uint32_t SkyBridge::ResidentBindingSlot(mk::Process* client, ServerId server_id,
+                                        uint32_t core_id) const {
+  const Binding* binding = routes_.Find(client, server_id);
+  if (binding == nullptr) {
+    return kNoEptpSlot;
+  }
+  return routes_.ResidentSlot(static_cast<int>(core_id), binding->ept_id);
 }
 
 }  // namespace skybridge

@@ -83,6 +83,11 @@ struct SkyBridgeStats {
   uint64_t stale_slot_retries = 0; // Pre-VMFUNC stale-slot slowpath re-arms.
   uint64_t revoked_rejections = 0; // Calls refused on a revoked binding.
   uint64_t bindings_revoked = 0;   // RevokeBinding transitions.
+  // ---- EPTP slot virtualization (DESIGN.md section 15) ----
+  // Calls whose routed binding was not resident in the core's slot working
+  // set; the slot-fault slow path made it resident (evicting the per-core
+  // LRU victim when the budget was full) before the entry VMFUNC.
+  uint64_t slot_faults = 0;
   // ---- Per-core control plane (DESIGN.md section 11) ----
   // EPTP lists eagerly re-installed by the scheduler hook when a thread
   // migrated cores (vs. the lazy stale_slot_retries fallback).
@@ -225,6 +230,13 @@ class SkyBridge {
   // later revives the binding with a fresh calling key.
   sb::Status RevokeBinding(mk::Process* client, ServerId server_id);
 
+  // Revokes every live client binding of `server_id` (chain origins
+  // included): under consolidation this drains the whole shared-EPT sibling
+  // set, and the last drained sibling drops the EPT's residency on every
+  // core. NotFound for an unknown server id; ok (no-op) when the server has
+  // no live clients.
+  sb::Status RevokeServer(ServerId server_id);
+
   // Structural invariants the stress runner asserts between events: LRU
   // list consistency, cached-slot/EPTP-list agreement, per-client capacity,
   // revoked bindings uninstalled once drained, in-flight accounting, and
@@ -237,6 +249,12 @@ class SkyBridge {
 
   // Number of EPTP slots currently installed for a client (tests).
   sb::StatusOr<size_t> InstalledBindings(mk::Process* client) const;
+
+  // The per-core EPTP slot currently holding the (client, server) binding's
+  // EPT, or kNoEptpSlot when the binding is unknown or not resident on that
+  // core (tests/benches: slot indices are virtualized, never architectural).
+  uint32_t ResidentBindingSlot(mk::Process* client, ServerId server_id,
+                               uint32_t core_id) const;
 
  private:
   sb::Status EnsureProcessPrepared(mk::Process* process);
@@ -296,6 +314,8 @@ class SkyBridge {
     sb::telemetry::Counter* stale_slot_retries;
     sb::telemetry::Counter* revoked_rejections;
     sb::telemetry::Counter* bindings_revoked;
+    // EPTP slot virtualization.
+    sb::telemetry::Counter* slot_faults;
     // Per-core control plane.
     sb::telemetry::Counter* migration_installs;
     // Batched + async IPC.

@@ -19,7 +19,10 @@ TrampolineLayout BuildTrampoline() {
   a.PushR(Reg::kR13);
   a.PushR(Reg::kR14);
   a.PushR(Reg::kR15);
-  // rdi = server id, rsi = calling key, rdx = message tag, rcx = EPTP index.
+  // rdi = server id, rsi = calling key, rdx = message tag, rcx = EPTP index,
+  // r8 = return EPTP index (the caller's own slot — slot indices are
+  // virtualized by the working-set manager, so the return target is dynamic
+  // and handed to the stub at dispatch, never a constant).
   // VMFUNC leaf 0 expects eax = 0, ecx = index.
   a.MovRI32(Reg::kRax, 0);
   layout.call_gate_offset = a.size();
@@ -30,8 +33,8 @@ TrampolineLayout BuildTrampoline() {
   a.Nops(4);  // Handler dispatch (indirect call) placeholder.
 
   // ---- return path ----
-  // Top-level returns go back to EPTP slot 0 (the client's own EPT).
-  a.MovRI32(Reg::kRcx, 0);
+  // Top-level returns go back to the caller's own slot carried in r8.
+  a.MovRR64(Reg::kRcx, Reg::kR8);
   a.MovRI32(Reg::kRax, 0);
   layout.return_gate_offset = a.size();
   a.Vmfunc();

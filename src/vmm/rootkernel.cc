@@ -124,6 +124,38 @@ sb::Status Rootkernel::RemapIdentityPage(uint64_t ept_id, hw::Gpa identity_gpa,
   return e->RemapGpaPage(identity_gpa, target);
 }
 
+sb::Status Rootkernel::AddCr3Remap(uint64_t ept_id, hw::Gpa cr3_gpa, hw::Gpa target_cr3) {
+  // Same refusal point as CreateBindingEpt: under binding consolidation the
+  // per-client slow-path hypercall is this remap, not a fresh EPT copy.
+  if (SB_FAULT_POINT(kFaultBindingEptRefused)) {
+    return sb::ResourceExhausted("rootkernel EPT pool exhausted (injected)");
+  }
+  hw::Ept* e = ept(ept_id);
+  if (e == nullptr) {
+    return sb::NotFound("no such EPT");
+  }
+  if (ept_id == 0) {
+    return sb::InvalidArgument("cannot remap CR3 pages inside the base EPT");
+  }
+  if (!sb::IsPageAligned(cr3_gpa) || !sb::IsPageAligned(target_cr3)) {
+    return sb::InvalidArgument("CR3 values must be page aligned");
+  }
+  if (cr3_gpa >= guest_limit_ || target_cr3 >= guest_limit_) {
+    return sb::OutOfRange("CR3 outside guest memory");
+  }
+  metrics_.identity_remaps->Add();
+  return e->RemapGpaPage(cr3_gpa, target_cr3);
+}
+
+uint64_t Rootkernel::ActiveEptId(int core_id) const {
+  const CoreEptpState& state = core_eptp_[static_cast<size_t>(core_id)];
+  const size_t index = machine_->core(core_id).vmcs().active_index;
+  if (index >= state.slot_ids.size()) {
+    return kNoActiveEpt;
+  }
+  return state.slot_ids[index];
+}
+
 sb::Status Rootkernel::CheckInvariants() const {
   if (core_eptp_.size() != static_cast<size_t>(machine_->num_cores())) {
     return sb::Internal("per-core EPTP mirror not sized to the machine");
@@ -216,6 +248,22 @@ uint64_t Rootkernel::HandleVmcall(hw::Core& core, const hw::VmExitInfo& info) {
       ++state.appends;
       core.vmcs().eptp_list.push_back(e);
       return core.vmcs().eptp_list.size() - 1;
+    }
+    case Hypercall::kEptpListReplace: {
+      const size_t slot = static_cast<size_t>(info.arg1);
+      hw::Ept* e = ept(info.arg2);
+      if (e == nullptr || slot >= core.vmcs().eptp_list.size() ||
+          slot == core.vmcs().active_index) {
+        return kHypercallError;
+      }
+      CoreEptpState& state = core_eptp_[static_cast<size_t>(core.id())];
+      state.slot_ids[slot] = info.arg2;
+      ++state.replaces;
+      core.vmcs().eptp_list[slot] = e;
+      return slot;
+    }
+    case Hypercall::kAddCr3Remap: {
+      return AddCr3Remap(info.arg1, info.arg2, info.arg3).ok() ? 0 : kHypercallError;
     }
     case Hypercall::kAbortToView: {
       if (info.arg1 >= core.vmcs().eptp_list.size()) {

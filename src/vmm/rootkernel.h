@@ -40,6 +40,17 @@ enum class Hypercall : uint64_t {
   // Rootkernel to force the core back to the caller's entry view. The index
   // is validated against the live EPTP list exactly like a VMFUNC operand.
   kAbortToView = 7,         // (eptp index) -> 0      (current core)
+  // Slot virtualization (DESIGN.md section 15): replace one EPTP-list slot
+  // in place. Unlike erase+append this never reshuffles later slots, so the
+  // guest's cached indices for every other slot stay valid. The active view
+  // slot cannot be replaced (the guest would be translating through a view
+  // that vanishes under it).
+  kEptpListReplace = 8,     // (slot, ept_id) -> slot (current core)
+  // Binding consolidation: remap one more client CR3 GPA inside an existing
+  // binding EPT, so N clients of one server share a single EPT instead of N
+  // shallow copies. Also used in reverse (target = the client's own CR3) to
+  // restore the identity translation when a consolidated client is revoked.
+  kAddCr3Remap = 9,         // (ept_id, cr3_gpa, target_cr3) -> 0
 };
 
 inline constexpr uint64_t kPingValue = 0x5b5b5b5bULL;
@@ -83,7 +94,10 @@ class Rootkernel {
   sb::StatusOr<uint64_t> CreateProcessEpt();
   sb::StatusOr<uint64_t> CreateBindingEpt(hw::Gpa client_cr3, hw::Gpa server_cr3);
   sb::Status RemapIdentityPage(uint64_t ept_id, hw::Gpa identity_gpa, hw::Hpa target);
+  sb::Status AddCr3Remap(uint64_t ept_id, hw::Gpa cr3_gpa, hw::Gpa target_cr3);
   hw::Ept* ept(uint64_t ept_id);
+  // Number of EPTs derived so far (ids are dense, 0 = base).
+  size_t ept_count() const { return epts_.size(); }
 
   // ---- Exit statistics (Table 5) ----
   uint64_t exits_cpuid() const { return exits_cpuid_; }
@@ -105,11 +119,19 @@ class Rootkernel {
     std::vector<uint64_t> slot_ids;  // EPT id per slot; mirrors vmcs().eptp_list.
     uint64_t list_installs = 0;      // kEptpListClear transitions (one per install).
     uint64_t appends = 0;            // kEptpListAppend slots programmed.
+    uint64_t replaces = 0;           // kEptpListReplace in-place slot swaps.
     uint64_t aborts = 0;             // kAbortToView view restores on this core.
   };
   const CoreEptpState& core_eptp_state(int core_id) const {
     return core_eptp_[static_cast<size_t>(core_id)];
   }
+
+  // The EPT id the core's active view translates through right now, per the
+  // per-core mirror (kNoActiveEpt when the list is empty / index is out of
+  // range). Tests use this to assert "the core is back in process P's own
+  // view" without caring which slot P's EPT happens to occupy.
+  static constexpr uint64_t kNoActiveEpt = ~0ULL;
+  uint64_t ActiveEptId(int core_id) const;
 
   // Verifies every non-root core's mirror against the live VMCS: same
   // length, every slot id resolves to the Ept* in that VMCS slot, and the

@@ -62,12 +62,15 @@ class FaultRecoveryTest : public ::testing::Test {
   }
 
   // The bridge is healthy: invariants hold, nothing in flight, and the core
-  // is back in the client's own EPT view (slot 0).
+  // is back in the current process's own EPT view (whatever slot the working
+  // set virtualizer parked it in — slot indices are no longer architectural).
   void ExpectHealthy() {
     const sb::Status invariants = sky_->CheckInvariants();
     EXPECT_TRUE(invariants.ok()) << invariants.ToString();
     EXPECT_EQ(sky_->InFlightCalls(), 0u);
-    EXPECT_EQ(machine_->core(0).vmcs().active_index, 0u);
+    mk::Process* current = kernel_->current_process(0);
+    ASSERT_NE(current, nullptr);
+    EXPECT_EQ(kernel_->rootkernel()->ActiveEptId(0), current->ept_id());
   }
 
   std::unique_ptr<hw::Machine> machine_;

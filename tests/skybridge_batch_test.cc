@@ -12,6 +12,7 @@
 
 #include "src/base/faultpoint.h"
 #include "src/base/telemetry/trace.h"
+#include "src/vmm/rootkernel.h"
 
 namespace skybridge {
 namespace {
@@ -66,7 +67,9 @@ class BatchTest : public ::testing::Test {
     const sb::Status invariants = sky_->CheckInvariants();
     EXPECT_TRUE(invariants.ok()) << invariants.ToString();
     EXPECT_EQ(sky_->InFlightCalls(), 0u);
-    EXPECT_EQ(machine_->core(0).vmcs().active_index, 0u);
+    mk::Process* current = kernel_->current_process(0);
+    ASSERT_NE(current, nullptr);
+    EXPECT_EQ(kernel_->rootkernel()->ActiveEptId(0), current->ept_id());
   }
 
   std::unique_ptr<hw::Machine> machine_;

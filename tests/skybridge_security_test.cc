@@ -231,15 +231,24 @@ TEST_F(SecurityTest, LiteralTrampolineBytesExecuteTheSwitch) {
   ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
   ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
   hw::Core& core = machine_->core(0);
+  // Warm-up call: faults the binding's EPT into this core's slot working set
+  // so the stub below can target its (virtualized) slot index.
+  mk::Thread* warmup = client->AddThread(0);
+  ASSERT_TRUE(sky_->DirectServerCall(warmup, sid, Message(0)).ok());
+  const uint32_t binding_slot = sky_->ResidentBindingSlot(client, sid, 0);
+  ASSERT_NE(binding_slot, kNoEptpSlot);
   core.SetMode(hw::CpuMode::kUser);
 
   // Set up guest registers like the user-level stub would: stack in the
-  // client, EPTP index of the binding in rcx (slot 1: own EPT is slot 0),
-  // sentinel return address on the stack.
+  // client, EPTP index of the binding in rcx, sentinel return address on
+  // the stack.
   GuestRegs regs;
   regs.rip = mk::kTrampolineVa;
   regs.reg(x86::Reg::kRsp) = mk::kStackTopVa - 64;
-  regs.reg(x86::Reg::kRcx) = 1;
+  regs.reg(x86::Reg::kRcx) = binding_slot;
+  // The return slot (the caller's own view) rides in r8; the kernel hands it
+  // to the stub at dispatch since slot indices are virtualized.
+  regs.reg(x86::Reg::kR8) = core.vmcs().active_index;
   regs.reg(x86::Reg::kRsp) -= 8;
   ASSERT_TRUE(core.WriteVirtU64(regs.reg(x86::Reg::kRsp), kGuestReturnSentinel).ok());
 

@@ -290,5 +290,77 @@ TEST_F(SkyBridgeSmpTest, ConcurrentDisjointPairsAndStatsSnapshot) {
   ASSERT_TRUE(sky_->CheckInvariants().ok()) << sky_->CheckInvariants().ToString();
 }
 
+// Consolidation under true concurrency (DESIGN.md section 15): eight clients
+// on eight cores all translate through ONE shared server EPT, but steady-state
+// calls touch only their own core's slot cache, their own binding's in-flight
+// counter and their own buffer slice — so the siblings may hammer the shared
+// view from concurrent host threads (the ThreadSanitizer target). Afterwards,
+// revoking one sibling leaves the others served, and revoking the server
+// drains the shared EPT's residency on every core.
+TEST_F(SkyBridgeSmpTest, ConsolidatedSiblingsCallConcurrentlyAcrossCores) {
+  Boot();
+  constexpr int kSiblings = 8;
+  constexpr uint64_t kCallsEach = 2000;
+  auto* server = kernel_->CreateProcess("shared-server").value();
+  const ServerId sid =
+      sky_->RegisterServer(server, /*max_connections=*/kSiblings, EchoHandler()).value();
+  const size_t epts_before = kernel_->rootkernel()->ept_count();
+
+  std::vector<mk::Process*> clients;
+  std::vector<mk::Thread*> threads;
+  for (int i = 0; i < kSiblings; ++i) {
+    auto* c = kernel_->CreateProcess("sibling" + std::to_string(i)).value();
+    ASSERT_TRUE(sky_->RegisterClient(c, sid).ok());
+    clients.push_back(c);
+    threads.push_back(c->AddThread(i));
+    ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(i), c).ok());
+    // Pre-warm on the owning core so every slow path (rewrite, slice carve,
+    // per-core EPTP install) runs before host threads exist.
+    ASSERT_TRUE(sky_->DirectServerCall(threads.back(), sid, Message(7)).ok());
+  }
+  // One process-view EPT per client plus exactly ONE shared binding EPT.
+  EXPECT_EQ(kernel_->rootkernel()->ept_count(), epts_before + kSiblings + 1);
+
+  std::vector<std::thread> callers;
+  for (int i = 0; i < kSiblings; ++i) {
+    callers.emplace_back([&, i] {
+      for (uint64_t n = 0; n < kCallsEach; ++n) {
+        const uint64_t tag = static_cast<uint64_t>(i) * kCallsEach + n;
+        auto reply = sky_->DirectServerCall(threads[static_cast<size_t>(i)], sid, Message(tag));
+        ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+        ASSERT_EQ(reply->tag, tag);  // Distinct slices: no cross-sibling bleed.
+      }
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(sky_->InFlightCalls(), 0u);
+  EXPECT_EQ(sky_->stats().rejected_calls, 0u);
+  ASSERT_TRUE(sky_->CheckInvariants().ok()) << sky_->CheckInvariants().ToString();
+
+  // The shared slot survives the storm: every sibling resolves to the same
+  // resident slot on its own core's list.
+  for (int i = 0; i < kSiblings; ++i) {
+    EXPECT_NE(sky_->ResidentBindingSlot(clients[static_cast<size_t>(i)], sid,
+                                        static_cast<uint32_t>(i)),
+              kNoEptpSlot);
+  }
+
+  // Sibling revoke isolation, then server revoke drains every core.
+  ASSERT_TRUE(sky_->RevokeBinding(clients[0], sid).ok());
+  EXPECT_EQ(sky_->DirectServerCall(threads[0], sid, Message(1)).status().code(),
+            sb::ErrorCode::kPermissionDenied);
+  auto still = sky_->DirectServerCall(threads[1], sid, Message(2));
+  ASSERT_TRUE(still.ok()) << still.status().ToString();
+  ASSERT_TRUE(sky_->RevokeServer(sid).ok());
+  for (int i = 0; i < kSiblings; ++i) {
+    EXPECT_EQ(sky_->ResidentBindingSlot(clients[static_cast<size_t>(i)], sid,
+                                        static_cast<uint32_t>(i)),
+              kNoEptpSlot);
+  }
+  ASSERT_TRUE(sky_->CheckInvariants().ok()) << sky_->CheckInvariants().ToString();
+}
+
 }  // namespace
 }  // namespace skybridge

@@ -90,8 +90,9 @@ fsys::BlockTransport RamTransport(fsys::RamDisk* disk) {
 }
 
 // The full SkyBridge fault catalog plus the rootkernel registration fault.
-const char* const kCatalog[] = {kFaultPreVmfunc, kFaultHandlerCrash, kFaultReplyCorrupt,
-                                kFaultRevokeInflight, vmm::kFaultBindingEptRefused};
+const char* const kCatalog[] = {kFaultPreVmfunc,      kFaultHandlerCrash,
+                                kFaultReplyCorrupt,   kFaultRevokeInflight,
+                                kFaultSlotInstall,    vmm::kFaultBindingEptRefused};
 
 struct ScenarioResult {
   std::string trace_json;  // Chrome-trace replay of the whole run.
@@ -114,6 +115,7 @@ class StressScenario {
     BuildWorld();
     SweepCatalog();
     RandomizedInterleavings();
+    SlotThrashPhase();
     SqlitePhase();
 
     sb::fault::DisarmAll();
@@ -219,6 +221,26 @@ class StressScenario {
     EXPECT_TRUE(call(7).ok());
     ExpectHealthy("revoke_inflight");
 
+    // Rootkernel refuses the slot install on a slot fault: the call surfaces
+    // Unavailable and the next attempt faults the slot in cleanly. Uses a
+    // fresh server so the target EPT cannot already be resident (under
+    // consolidation the echo server's shared EPT is installed on every core
+    // by the earlier legs, which would skip the faultable install).
+    auto* slot_server = kernel_->CreateProcess("stress-slot-server").value();
+    const ServerId slot_sid =
+        sky_->RegisterServer(slot_server, 4, [](CallEnv& env) { return env.request; }).value();
+    auto* slot_client = kernel_->CreateProcess("stress-slot-client").value();
+    SB_CHECK(sky_->RegisterClient(slot_client, slot_sid).ok());
+    mk::Thread* slot_thread = slot_client->AddThread(1);
+    SB_CHECK(kernel_->ContextSwitchTo(machine_->core(1), slot_client).ok());
+    arm_first_hit(kFaultSlotInstall);
+    EXPECT_EQ(sky_->DirectServerCall(slot_thread, slot_sid, Message(8)).status().code(),
+              ErrorCode::kUnavailable);
+    RecordFires(kFaultSlotInstall);
+    sb::fault::DisarmAll();
+    EXPECT_TRUE(sky_->DirectServerCall(slot_thread, slot_sid, Message(9)).ok());
+    ExpectHealthy("slot_install");
+
     // Rootkernel refuses the binding EPT at registration time.
     arm_first_hit(vmm::kFaultBindingEptRefused);
     auto* late = kernel_->CreateProcess("stress-late-client").value();
@@ -252,8 +274,11 @@ class StressScenario {
     auto after_event = [this](sim::SimThread& t, const sb::Status& status) {
       EXPECT_TRUE(IsAllowedOutcome(status)) << t.name() << ": " << status.ToString();
       // The caller is back in its own EPT view — never stranded in the
-      // server's (slot 0 is always the process's own EPT).
-      EXPECT_EQ(t.core().vmcs().active_index, 0u) << t.name();
+      // server's (slot indices are virtualized; compare EPT ids).
+      mk::Process* current = kernel_->current_process(t.core().id());
+      ASSERT_NE(current, nullptr) << t.name();
+      EXPECT_EQ(kernel_->rootkernel()->ActiveEptId(t.core().id()), current->ept_id())
+          << t.name();
       const sb::Status invariants = sky_->CheckInvariants();
       EXPECT_TRUE(invariants.ok()) << t.name() << ": " << invariants.ToString();
       EXPECT_EQ(sky_->InFlightCalls(), 0u) << t.name();
@@ -406,7 +431,64 @@ class StressScenario {
     ExpectHealthy("randomized");
   }
 
-  // Phase 3: the Section 6.5 sqlite stack with only the transparent
+  // Phase 3: slot-thrash mix (DESIGN.md section 15) — far more bindings than
+  // EPTP slots in a tight working set, with slot-install refusals and
+  // pre-VMFUNC evictions injected. Every call must land an allowed outcome
+  // and the per-core slot invariants must hold after every event. Runs in
+  // its own world so the tiny working set does not perturb the main
+  // scenario's counters.
+  void SlotThrashPhase() {
+    sb::fault::DisarmAll();
+    hw::MachineConfig mc;
+    mc.num_cores = 2;
+    mc.ram_bytes = 2 * kGiB;
+    hw::Machine machine(mc);
+    mk::Kernel kernel(machine, mk::Sel4Profile());
+    SB_CHECK(kernel.Boot().ok());
+    SkyBridgeConfig config;
+    config.eptp_working_set = 4;  // Base + 3 usable slots, 8 bindings: thrash.
+    SkyBridge sky(kernel, config);
+
+    constexpr int kServers = 8;
+    std::vector<ServerId> sids;
+    for (int i = 0; i < kServers; ++i) {
+      auto* server = kernel.CreateProcess("thrash-server" + std::to_string(i)).value();
+      sids.push_back(
+          sky.RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value());
+    }
+    auto* client = kernel.CreateProcess("thrash-client").value();
+    for (const ServerId sid : sids) {
+      SB_CHECK(sky.RegisterClient(client, sid).ok());
+    }
+    mk::Thread* thread = client->AddThread(0);
+    SB_CHECK(kernel.ContextSwitchTo(machine.core(0), client).ok());
+
+    sb::fault::SetSeed(seed_ ^ 0x510f7a5bULL);
+    sb::fault::FaultSpec spec;
+    spec.probability = 0.05;
+    sb::fault::Arm(kFaultSlotInstall, spec);
+    sb::fault::Arm(kFaultPreVmfunc, spec);
+
+    sb::Rng rng(seed_ ^ 0x7a5bULL);
+    for (uint64_t i = 0; i < events_; ++i) {
+      const ServerId sid = sids[rng.Below(kServers)];
+      auto reply = sky.DirectServerCall(thread, sid, Message(i));
+      EXPECT_TRUE(IsAllowedOutcome(reply.status())) << reply.status().ToString();
+      if (reply.ok()) {
+        EXPECT_EQ(reply->tag, i);
+      }
+      const sb::Status invariants = sky.CheckInvariants();
+      EXPECT_TRUE(invariants.ok()) << invariants.ToString();
+      EXPECT_EQ(sky.InFlightCalls(), 0u);
+    }
+    thrash_slot_faults_ = sky.stats().slot_faults;
+    EXPECT_GT(thrash_slot_faults_, 0u);
+    RecordFires(kFaultSlotInstall);
+    RecordFires(kFaultPreVmfunc);
+    sb::fault::DisarmAll();
+  }
+
+  // Phase 4: the Section 6.5 sqlite stack with only the transparent
   // stale-slot fault armed (the deeper stacks treat I/O failure as fatal by
   // design, so opaque faults stay off here). Every op must still succeed —
   // recovery is invisible to the application.
@@ -468,7 +550,9 @@ class StressScenario {
         << " batch_drain_rounds=" << s.batch_drain_rounds
         << " rootkernel_aborts=" << kernel_->rootkernel()->aborts()
         << " kv_inserts=" << kv_->stats().inserts << " kv_queries=" << kv_->stats().queries
-        << " sqlite_stale_retries=" << sqlite_stale_retries_;
+        << " sqlite_stale_retries=" << sqlite_stale_retries_
+        << " slot_faults=" << sky_->stats().slot_faults
+        << " thrash_slot_faults=" << thrash_slot_faults_;
     for (const auto& [point, fires] : fires_) {
       out << " fires[" << point << "]=" << fires;
     }
@@ -494,6 +578,7 @@ class StressScenario {
   ServerId echo_sid_ = 0;
   ServerId fs_sid_ = 0;
   uint64_t sqlite_stale_retries_ = 0;
+  uint64_t thrash_slot_faults_ = 0;
 
   std::map<std::string, uint64_t> fires_;
 };
