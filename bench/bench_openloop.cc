@@ -52,17 +52,36 @@ struct EchoWorld {
   mk::Thread* thread = nullptr;
 };
 
-EchoWorld MakeEchoWorld() {
+EchoWorld MakeEchoWorld(
+    skybridge::CrossingBackendKind backend = skybridge::CrossingBackendKind::kEptp) {
   EchoWorld ew;
   ew.world = bench::MakeWorld(mk::Sel4Profile(), true, true);
   auto* client = ew.world.kernel->CreateProcess("client").value();
   auto* server = ew.world.kernel->CreateProcess("server").value();
-  ew.sid = ew.world.sky->RegisterServer(server, 8, [](mk::CallEnv& env) { return env.request; })
+  ew.sid = ew.world.sky
+               ->RegisterServer(server, 8, [](mk::CallEnv& env) { return env.request; },
+                                backend)
                .value();
   SB_CHECK(ew.world.sky->RegisterClient(client, ew.sid).ok());
   ew.thread = client->AddThread(0);
   SB_CHECK(ew.world.kernel->ContextSwitchTo(ew.world.machine->core(0), client).ok());
   return ew;
+}
+
+sim::LoadTarget MakeEchoTarget(EchoWorld& ew) {
+  skybridge::SkyBridge& sky = *ew.world.sky;
+  sim::LoadTarget target;
+  target.sync_call = [&ew, &sky](uint32_t, uint64_t key) {
+    return sky.DirectServerCall(ew.thread, ew.sid, mk::Message(key)).status();
+  };
+  target.submit = [&ew, &sky](uint32_t, uint64_t key) {
+    return sky.SubmitCall(ew.thread, ew.sid, mk::Message(key));
+  };
+  target.flush = [&ew, &sky](uint32_t) { return sky.FlushBatch(ew.thread, ew.sid); };
+  target.poll = [&ew, &sky](uint32_t, uint64_t token) {
+    return sky.PollCompletion(ew.thread, ew.sid, token).status();
+  };
+  return target;
 }
 
 // Closed-loop cycles/op of the sync path: back-to-back calls, no think time.
@@ -172,23 +191,32 @@ int main(int argc, char** argv) {
 
   // ---- Echo: one VMFUNC round trip per op ----
   EchoWorld ew = MakeEchoWorld();
-  skybridge::SkyBridge& sky = *ew.world.sky;
-  sim::LoadTarget echo_target;
-  echo_target.sync_call = [&](uint32_t, uint64_t key) {
-    return sky.DirectServerCall(ew.thread, ew.sid, mk::Message(key)).status();
-  };
-  echo_target.submit = [&](uint32_t, uint64_t key) {
-    return sky.SubmitCall(ew.thread, ew.sid, mk::Message(key));
-  };
-  echo_target.flush = [&](uint32_t) { return sky.FlushBatch(ew.thread, ew.sid); };
-  echo_target.poll = [&](uint32_t, uint64_t token) {
-    return sky.PollCompletion(ew.thread, ew.sid, token).status();
-  };
+  sim::LoadTarget echo_target = MakeEchoTarget(ew);
   const double echo_cpo = MeasureSaturation(
       [&](uint64_t key) { return echo_target.sync_call(0, key); },
       ew.world.machine->core(0), 2048, 1024);
   const SweepResult echo = SweepStack(reporter, "echo", *ew.world.machine, 0, 1024, g_events,
                                       echo_cpo, echo_target);
+
+  // ---- Echo on the other crossing backends (DESIGN.md section 16): the
+  // open-loop shape must hold whether the crossing is WRPKRU or a syscall,
+  // just with a different saturation point. The legacy "echo" stack stays
+  // EPTP so trend lines are continuous. ----
+  EchoWorld ew_mpk = MakeEchoWorld(skybridge::CrossingBackendKind::kMpk);
+  sim::LoadTarget mpk_target = MakeEchoTarget(ew_mpk);
+  const double mpk_cpo = MeasureSaturation(
+      [&](uint64_t key) { return mpk_target.sync_call(0, key); },
+      ew_mpk.world.machine->core(0), 2048, 1024);
+  const SweepResult echo_mpk = SweepStack(reporter, "echo_mpk", *ew_mpk.world.machine, 0, 1024,
+                                          g_events, mpk_cpo, mpk_target);
+
+  EchoWorld ew_sys = MakeEchoWorld(skybridge::CrossingBackendKind::kSyscall);
+  sim::LoadTarget sys_target = MakeEchoTarget(ew_sys);
+  const double sys_cpo = MeasureSaturation(
+      [&](uint64_t key) { return sys_target.sync_call(0, key); },
+      ew_sys.world.machine->core(0), 2048, 1024);
+  const SweepResult echo_syscall = SweepStack(reporter, "echo_syscall", *ew_sys.world.machine,
+                                              0, 1024, g_events, sys_cpo, sys_target);
 
   // ---- Fault rerun: echo at 0.5x with the recovery catalog armed ----
   // kFaultRevokeInflight stays out: revocation is permanent, so arming it
@@ -278,7 +306,7 @@ int main(int argc, char** argv) {
 
   // ---- Self-checks ----
   uint64_t breaches_at_half = 0;
-  for (const auto* sweep : {&echo, &kv, &sql}) {
+  for (const auto* sweep : {&echo, &echo_mpk, &echo_syscall, &kv, &sql}) {
     for (const char* mode : {"sync", "batched"}) {
       breaches_at_half += sweep->points.at({mode, kHalfLoad}).slo_breaches;
     }

@@ -52,6 +52,41 @@ uint64_t MeasureNoOpSyscall(mk::Kernel& kernel, hw::Core& core) {
   return (core.cycles() - start) / kIters;
 }
 
+uint64_t MeasureWrpkru(hw::Core& core) {
+  const int kIters = 1000;
+  const uint64_t start = core.cycles();
+  for (int i = 0; i < kIters; ++i) {
+    core.Wrpkru(i % 2 == 0 ? 0xfffffffcu : 0xfffffff0u);
+  }
+  return (core.cycles() - start) / kIters;
+}
+
+// Warm crossing cost of one echo roundtrip on the given backend (DESIGN.md
+// section 16) — the number the conformance suite holds semantics constant
+// across while this table shows the cost diverge.
+uint64_t MeasureCrossing(skybridge::CrossingBackendKind backend) {
+  bench::World world = bench::MakeWorld(mk::Sel4Profile(), true, true, 2);
+  auto* server = world.kernel->CreateProcess("bench-server").value();
+  const skybridge::ServerId sid =
+      world.sky
+          ->RegisterServer(server, 4, [](mk::CallEnv& env) { return env.request; }, backend)
+          .value();
+  auto* client = world.kernel->CreateProcess("bench-client").value();
+  SB_CHECK(world.sky->RegisterClient(client, sid).ok());
+  mk::Thread* thread = client->AddThread(0);
+  hw::Core& core = world.machine->core(0);
+  SB_CHECK(world.kernel->ContextSwitchTo(core, client).ok());
+  const int kIters = 1000;
+  for (int i = 0; i < 32; ++i) {
+    SB_CHECK(world.sky->DirectServerCall(thread, sid, mk::Message(1)).ok());
+  }
+  const uint64_t start = core.cycles();
+  for (int i = 0; i < kIters; ++i) {
+    SB_CHECK(world.sky->DirectServerCall(thread, sid, mk::Message(1)).ok());
+  }
+  return (core.cycles() - start) / kIters;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,6 +98,7 @@ int main(int argc, char** argv) {
   bench::World world = bench::MakeWorld(mk::Sel4Profile(), true, false);
   const uint64_t cr3 = MeasureCr3Write(*world.machine, *world.kernel);
   const uint64_t vmfunc = MeasureVmfunc(*world.machine, *world.kernel);
+  const uint64_t wrpkru = MeasureWrpkru(world.machine->core(4));
   const uint64_t noop_plain = MeasureNoOpSyscall(*world.kernel, world.machine->core(3));
 
   mk::KernelProfile kpti_profile = mk::Sel4Profile();
@@ -74,6 +110,7 @@ int main(int argc, char** argv) {
   reporter.Add("noop_syscall_kpti.cycles", noop_kpti);
   reporter.Add("noop_syscall.cycles", noop_plain);
   reporter.Add("vmfunc.cycles", vmfunc);
+  reporter.Add("wrpkru.cycles", wrpkru);
   reporter.AddRegistry(world.machine->telemetry());
 
   sb::Table table({"Instruction or Operation", "Cycles (measured)", "Cycles (paper)"});
@@ -81,6 +118,7 @@ int main(int argc, char** argv) {
   table.AddRow({"no-op system call w/ KPTI", sb::Table::Int(noop_kpti), "431"});
   table.AddRow({"no-op system call w/o KPTI", sb::Table::Int(noop_plain), "181"});
   table.AddRow({"VMFUNC", sb::Table::Int(vmfunc), "134"});
+  table.AddRow({"WRPKRU", sb::Table::Int(wrpkru), "~20 (EPK literature)"});
   table.Print();
 
   std::printf("\n== Section 2.1.1: mode-switch instruction costs (cycles) ==\n");
@@ -94,5 +132,33 @@ int main(int argc, char** argv) {
 
   std::printf("\nfastest one-way IPC composition: 82 + 2x26 + 75 + 186 + 98 = %d (paper: 493)\n",
               82 + 2 * 26 + 75 + 186 + 98);
+
+  // ---- Crossing backends (DESIGN.md section 16): one warm echo roundtrip ----
+  const uint64_t cross_eptp = MeasureCrossing(skybridge::CrossingBackendKind::kEptp);
+  const uint64_t cross_mpk = MeasureCrossing(skybridge::CrossingBackendKind::kMpk);
+  const uint64_t cross_syscall = MeasureCrossing(skybridge::CrossingBackendKind::kSyscall);
+  reporter.Add("crossing_eptp.cycles_per_call", cross_eptp);
+  reporter.Add("crossing_mpk.cycles_per_call", cross_mpk);
+  reporter.Add("crossing_syscall.cycles_per_call", cross_syscall);
+
+  std::printf("\n== Crossing backends: warm echo roundtrip (cycles/call) ==\n");
+  sb::Table crossings({"Backend", "Cycles/call", "Switch primitive"});
+  crossings.AddRow({"mpk", sb::Table::Int(cross_mpk), "2x WRPKRU"});
+  crossings.AddRow({"eptp", sb::Table::Int(cross_eptp), "2x VMFUNC"});
+  crossings.AddRow({"syscall", sb::Table::Int(cross_syscall), "SYSCALL/SYSRET + CR3"});
+  crossings.Print();
+
+  // Self-check: the whole point of the backend axis is this cost ordering.
+  if (!(cross_mpk < cross_eptp && cross_eptp < cross_syscall)) {
+    std::printf("FAIL: expected crossing order mpk < eptp < syscall, got %llu / %llu / %llu\n",
+                static_cast<unsigned long long>(cross_mpk),
+                static_cast<unsigned long long>(cross_eptp),
+                static_cast<unsigned long long>(cross_syscall));
+    return 1;
+  }
+  std::printf("crossing order ok: mpk (%llu) < eptp (%llu) < syscall (%llu)\n",
+              static_cast<unsigned long long>(cross_mpk),
+              static_cast<unsigned long long>(cross_eptp),
+              static_cast<unsigned long long>(cross_syscall));
   return 0;
 }

@@ -15,8 +15,9 @@ import sys
 
 # Series worth trending: anything measured in cycles or ops. Schema keys,
 # counts and booleans are skipped.
-SUFFIXES = ("cycles_per_op", "cycles_per_get", "cycles", "ops_per_sec",
-            "speedup_16", "speedup_8c", "overhead", "slot_fault_rate")
+SUFFIXES = ("cycles_per_op", "cycles_per_get", "cycles_per_call", "cycles",
+            "ops_per_sec", "speedup_16", "speedup_8c", "overhead",
+            "slot_fault_rate")
 
 # Tail-latency series from the open-loop sweep: flagged separately when p99
 # or p99.9 regresses by more than 10% (still non-gating — queueing tails are

@@ -75,6 +75,14 @@ sb::Status Core::Vmfunc(uint32_t leaf, uint32_t index) {
   return sb::OkStatus();
 }
 
+void Core::Wrpkru(uint32_t pkru) {
+  // WRPKRU is unprivileged and works identically in root and non-root mode:
+  // no VM exit, no TLB flush, no pipeline drain beyond the charged cost.
+  AdvanceCycles(costs().wrpkru);
+  ++pmu_.wrpkrus;
+  pkru_ = pkru;
+}
+
 uint64_t Core::Vmcall(uint64_t code, uint64_t arg0, uint64_t arg1, uint64_t arg2) {
   VmExitInfo info{VmExitReason::kVmcall, code, arg0, arg1, arg2};
   return machine_->DeliverVmExit(*this, info);

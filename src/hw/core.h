@@ -78,6 +78,13 @@ class Core {
   // Invalid leaves/indices cause a VM exit to the Rootkernel.
   sb::Status Vmfunc(uint32_t leaf, uint32_t index);
 
+  // ---- WRPKRU (protection-key rights register write) ----
+  // Unprivileged: any user-mode code can rewrite PKRU, which is exactly the
+  // weaker isolation envelope the MPK crossing backend models. Charges the
+  // architectural cost and records the new rights register.
+  void Wrpkru(uint32_t pkru);
+  uint32_t pkru() const { return pkru_; }
+
   // ---- VMCALL (hypercall to the Rootkernel) ----
   uint64_t Vmcall(uint64_t code, uint64_t arg0 = 0, uint64_t arg1 = 0, uint64_t arg2 = 0);
 
@@ -154,6 +161,7 @@ class Core {
   bool nonroot_ = false;
   Gpa cr3_ = 0;
   uint16_t pcid_ = 0;
+  uint32_t pkru_ = 0;
   Vmcs vmcs_;
   Cache l1i_;
   Cache l1d_;

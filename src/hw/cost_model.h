@@ -23,6 +23,11 @@ struct CostModel {
   // EPTP switching via VMFUNC with VPID enabled (Table 2): no TLB flush.
   uint64_t vmfunc = 134;
 
+  // Protection-key register write (WRPKRU). Unprivileged, no TLB or pipeline
+  // flush; the ERIM / intra-container MPK literature measures it at ~11-26
+  // cycles on Skylake.
+  uint64_t wrpkru = 20;
+
   // Inter-processor interrupt, send-to-delivery (Section 2.1.3).
   uint64_t ipi = 1913;
 

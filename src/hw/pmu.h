@@ -19,6 +19,7 @@ struct PmuCounters {
   uint64_t vm_exits = 0;
   uint64_t ipis_sent = 0;
   uint64_t vmfuncs = 0;
+  uint64_t wrpkrus = 0;
   uint64_t cr3_writes = 0;
   uint64_t syscalls = 0;
 
@@ -34,6 +35,7 @@ struct PmuCounters {
     d.vm_exits = vm_exits - rhs.vm_exits;
     d.ipis_sent = ipis_sent - rhs.ipis_sent;
     d.vmfuncs = vmfuncs - rhs.vmfuncs;
+    d.wrpkrus = wrpkrus - rhs.wrpkrus;
     d.cr3_writes = cr3_writes - rhs.cr3_writes;
     d.syscalls = syscalls - rhs.syscalls;
     return d;

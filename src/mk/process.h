@@ -29,6 +29,11 @@ inline constexpr hw::Gva kHeapVa = 0x10000000;
 inline constexpr hw::Gva kStackTopVa = 0x7ffe00000000;
 inline constexpr uint64_t kStackSize = 64 * 1024;
 inline constexpr hw::Gva kTrampolineVa = 0x700000000000;       // SkyBridge code page.
+// MPK-backend trampoline variant (WRPKRU gates instead of VMFUNC), one page
+// above the VMFUNC trampoline. Both pages are shared frames mapped read-only
+// into every prepared process; each is the sole legal site of its gate
+// instruction.
+inline constexpr hw::Gva kMpkTrampolineVa = 0x700000001000;
 // Each server id owns a 16 MiB stack stride (256 connections x 64 KiB), so
 // the regions below are spaced far enough apart that hundreds of servers /
 // bindings never collide (stacks get 32 GiB of VA; buffers grow upward from

@@ -9,12 +9,54 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/hw/vmcs.h"
 
 namespace skybridge {
 
 using ServerId = uint64_t;
+
+// ---- Crossing backends (DESIGN.md section 16) ----
+// The domain-switch primitive a binding crosses on. Selected per binding at
+// registration time; the default comes from config.crossing_backend.
+enum class CrossingBackendKind : uint8_t {
+  kEptp = 0,     // VMFUNC EPTP switch — the paper's design (~134 cycles/leg).
+  kMpk = 1,      // WRPKRU protection-key switch (~20 cycles/leg, weaker
+                 // isolation: PKRU is unprivileged and forgeable).
+  kSyscall = 2,  // seL4-style kernel fastpath (syscall + CR3 switch + sysret).
+};
+
+inline constexpr int kNumCrossingBackends = 3;
+
+inline constexpr const char* CrossingBackendName(CrossingBackendKind kind) {
+  switch (kind) {
+    case CrossingBackendKind::kEptp:
+      return "eptp";
+    case CrossingBackendKind::kMpk:
+      return "mpk";
+    case CrossingBackendKind::kSyscall:
+      return "syscall";
+  }
+  return "unknown";
+}
+
+// Default backend for new worlds: the SB_CROSSING_BACKEND environment
+// variable ({eptp, mpk, syscall}; anything else falls back to eptp) so the CI
+// backend matrix can steer whole test binaries without code changes.
+inline CrossingBackendKind DefaultCrossingBackend() {
+  const char* env = std::getenv("SB_CROSSING_BACKEND");
+  if (env != nullptr) {
+    if (std::strcmp(env, "mpk") == 0) {
+      return CrossingBackendKind::kMpk;
+    }
+    if (std::strcmp(env, "syscall") == 0) {
+      return CrossingBackendKind::kSyscall;
+    }
+  }
+  return CrossingBackendKind::kEptp;
+}
 
 // ---- Gate-frame layout constants (registration writes, the gate reads) ----
 // Per-connection server stack size (Section 4.4).
@@ -51,6 +93,9 @@ inline constexpr const char kFaultRevokeInflight[] = "skybridge.call.revoke_infl
 inline constexpr const char kFaultSlotInstall[] = "skybridge.eptp.slot_install_failed";
 
 struct SkyBridgeConfig {
+  // Crossing backend for bindings whose registration does not name one
+  // explicitly (RegisterServer's backend parameter). See CrossingBackendKind.
+  CrossingBackendKind crossing_backend = DefaultCrossingBackend();
   // Maximum EPTP list slots a client may occupy (hardware limit 512). The
   // library LRU-evicts bindings beyond this (paper Section 10 future work).
   size_t eptp_capacity = hw::kEptpListCapacity;

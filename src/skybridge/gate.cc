@@ -28,6 +28,9 @@ uint32_t StatusWord(sb::ErrorCode code) { return 1u + static_cast<uint32_t>(code
 
 Gate::Gate(mk::Kernel& kernel, const SkyBridgeConfig& config)
     : kernel_(&kernel), config_(&config) {
+  for (int k = 0; k < kNumCrossingBackends; ++k) {
+    backends_[k] = MakeCrossingBackend(static_cast<CrossingBackendKind>(k), kernel, config);
+  }
   sb::telemetry::Registry& reg = kernel.machine().telemetry();
   aborted_calls_ = &reg.GetCounter("skybridge.ipc.aborted_calls");
   gate_rejections_ = &reg.GetCounter("skybridge.ipc.gate_rejections");
@@ -41,33 +44,32 @@ Gate::Gate(mk::Kernel& kernel, const SkyBridgeConfig& config)
 }
 
 void Gate::ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd) const {
+  ChargeTrampolineLeg(core, bd, mk::kTrampolineVa);
+}
+
+void Gate::ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd,
+                               hw::Gva trampoline_va) const {
   core.AdvanceCycles(kTrampolineLegCycles);
-  (void)core.FetchCode(mk::kTrampolineVa, 128);
+  (void)core.FetchCode(trampoline_va, 128);
   if (bd != nullptr) {
     bd->others += kTrampolineLegCycles;
   }
 }
 
 sb::Status Gate::EnterServer(CallContext& ctx) const {
-  hw::Core& core = *ctx.core;
-  const uint64_t before = core.cycles();
-  SB_RETURN_IF_ERROR(core.Vmfunc(0, ctx.route_slot));
-  ctx.pbd->vmfunc += core.cycles() - before;
-  SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), ctx.route_slot);
-  SB_TRACE_EVENT(TraceEventType::kSpanVmfunc, core.cycles(), core.id(), ctx.call_id,
-                 ctx.route_slot);
+  const uint64_t before = ctx.core->cycles();
+  SB_RETURN_IF_ERROR(ctx.backend->Enter(ctx));
+  ctx.backend->RecordEnter(ctx.core->cycles() - before);
   return sb::OkStatus();
 }
 
 sb::Status Gate::ReturnToEntry(CallContext& ctx) const {
-  hw::Core& core = *ctx.core;
-  const uint64_t t0 = core.cycles();
-  SB_RETURN_IF_ERROR(core.Vmfunc(0, static_cast<uint32_t>(ctx.return_index)));
-  ctx.pbd->vmfunc += core.cycles() - t0;
-  SB_TRACE_EVENT(TraceEventType::kVmfuncSwitch, core.cycles(), core.id(), ctx.return_index);
-  SB_TRACE_EVENT(TraceEventType::kSpanReturn, core.cycles(), core.id(), ctx.call_id,
-                 ctx.return_index);
-  ChargeTrampolineLeg(core, ctx.pbd);
+  const uint64_t before = ctx.core->cycles();
+  SB_RETURN_IF_ERROR(ctx.backend->Return(ctx));
+  if (ctx.backend->caps().uses_trampoline) {
+    ChargeTrampolineLeg(*ctx.core, ctx.pbd, ctx.backend->trampoline_va());
+  }
+  ctx.backend->RecordReturn(ctx.core->cycles() - before);
   return sb::OkStatus();
 }
 
@@ -97,21 +99,20 @@ void Gate::VerifyReturnKey(CallContext& ctx) const {
 sb::Status Gate::AbortServerCrash(CallContext& ctx) const {
   hw::Core& core = *ctx.core;
   // The server thread dies mid-handler, stranding the client in the
-  // server's address space. The Rootkernel mediates the abort: restore the
-  // client's entry view, pop the trampoline frame, wake the blocked caller
-  // and surface Aborted instead of a wedged call.
+  // server's domain. The backend restores the entry domain (Rootkernel
+  // kAbortToView for view-switch backends, a kernel reschedule for the
+  // syscall fastpath), then the frame pop and caller wakeup are common.
   aborted_calls_->Add();
+  ctx.backend->RecordAbort();
   SB_TRACE_EVENT(TraceEventType::kCallAborted, core.cycles(), core.id(), ctx.proc->pid(),
                  ctx.server->process->pid());
   SB_LOG(kDebug) << "handler crash " << sb::kv("client", ctx.proc->pid())
                  << " " << sb::kv("server", ctx.server->process->pid());
-  const uint64_t abort_start = core.cycles();
-  if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kAbortToView),
-                  static_cast<uint64_t>(ctx.return_index)) == vmm::kHypercallError) {
-    return sb::Internal("rootkernel refused the abort view restore");
+  SB_RETURN_IF_ERROR(ctx.backend->Abort(ctx));
+  if (ctx.backend->caps().uses_trampoline) {
+    // The popped frame's restore leg.
+    ChargeTrampolineLeg(core, ctx.pbd, ctx.backend->trampoline_va());
   }
-  ctx.pbd->others += core.cycles() - abort_start;
-  ChargeTrampolineLeg(core, ctx.pbd);  // The popped frame's restore leg.
   kernel_->FinishAbortedCall(core, ctx.caller, ctx.pbd);
   RecordPhases(ctx);
   return sb::Aborted("server thread crashed mid-handler; call aborted");

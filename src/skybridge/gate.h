@@ -1,6 +1,10 @@
-// Gate plane: the VMFUNC entry/return legs, trampoline cost model,
+// Gate plane: the crossing entry/return legs, trampoline cost model,
 // calling-key check, abort/unwind for a crashed handler, return-gate reply
 // validation and per-call phase attribution.
+//
+// The domain-switch legs themselves are pluggable (backend.h): the gate owns
+// one CrossingBackend instance per kind and dispatches each call through the
+// backend its routed binding was registered with.
 //
 // One typed CallContext threads the per-call state through the pipeline —
 // every field lives on the caller's stack, so the gate itself holds no
@@ -12,10 +16,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "src/base/status.h"
 #include "src/base/telemetry/metrics.h"
 #include "src/mk/kernel.h"
+#include "src/skybridge/backend.h"
 #include "src/skybridge/buffers.h"
 #include "src/skybridge/config.h"
 #include "src/skybridge/routing.h"
@@ -42,6 +48,9 @@ struct CallContext {
   Binding* route = nullptr;   // Routed binding (chain binding when nested).
   mk::Process* origin = nullptr;  // Process whose CR3 is live at VMFUNC time.
   bool nested = false;
+  // The crossing backend this call's server was registered with; resolved
+  // with the route and never null past ResolveRoute.
+  const CrossingBackend* backend = nullptr;
 
   // ---- Request staging ----
   SliceRef slice;             // Caller's per-connection buffer slice.
@@ -75,14 +84,24 @@ class Gate {
  public:
   Gate(mk::Kernel& kernel, const SkyBridgeConfig& config);
 
+  // The shared backend instance for `kind` (one per kind, owned here).
+  const CrossingBackend& backend(CrossingBackendKind kind) const {
+    return *backends_[static_cast<size_t>(kind)];
+  }
+
   // The trampoline leg costs: 64 cycles of save/restore + stack install per
   // direction (Section 6.3) plus the i-side traffic of the trampoline page.
+  // The two-argument form charges the EPTP trampoline; pass the backend's
+  // trampoline_va() for other view-switch backends.
   void ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd) const;
+  void ChargeTrampolineLeg(hw::Core& core, mk::CostBreakdown* bd, hw::Gva trampoline_va) const;
 
-  // Entry leg: VMFUNC into the routed binding's EPT view.
+  // Entry leg: cross into the routed binding's server domain via the call's
+  // backend (VMFUNC / WRPKRU / kernel fastpath).
   sb::Status EnterServer(CallContext& ctx) const;
 
-  // Return leg: VMFUNC back to the entry view + the restore trampoline leg.
+  // Return leg: cross back to the entry domain + the restore trampoline leg
+  // (for backends that have one).
   sb::Status ReturnToEntry(CallContext& ctx) const;
 
   // Server-side calling-key check against the key table (Section 4.4).
@@ -138,6 +157,7 @@ class Gate {
  private:
   mk::Kernel* kernel_;
   const SkyBridgeConfig* config_;
+  std::unique_ptr<CrossingBackend> backends_[kNumCrossingBackends];
   sb::telemetry::Counter* aborted_calls_;
   sb::telemetry::Counter* gate_rejections_;
   sb::telemetry::LatencyHistogram* phase_slot_fault_;

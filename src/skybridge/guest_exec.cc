@@ -80,6 +80,20 @@ sb::Status GuestExecutor::Step(GuestRegs& regs, bool* done) {
       SB_RETURN_IF_ERROR(core_->Vmfunc(leaf, index));
       break;
     }
+    case x86::Mnemonic::kWrpkru: {
+      // The MPK gate: new PKRU rights in eax; ecx carries the domain index
+      // the simulator uses to flip the active view (see MpkBackend::Enter —
+      // WRPKRU itself is unprivileged and performs no validation).
+      const uint32_t pkru = static_cast<uint32_t>(regs.reg(x86::Reg::kRax));
+      const uint32_t index = static_cast<uint32_t>(regs.reg(x86::Reg::kRcx));
+      core_->Wrpkru(pkru);
+      if (index >= core_->vmcs().eptp_list.size() ||
+          core_->vmcs().eptp_list[index] == nullptr) {
+        return sb::InvalidArgument("WRPKRU gate with invalid domain index");
+      }
+      core_->vmcs().active_index = index;
+      break;
+    }
     case x86::Mnemonic::kJmpRel: {
       const int64_t disp = static_cast<int64_t>(
           static_cast<int32_t>(ReadLittle(bytes, insn.imm_off, insn.imm_len)

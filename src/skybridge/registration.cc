@@ -14,14 +14,36 @@
 
 namespace skybridge {
 
-sb::Status SkyBridge::RewriteProcessImage(mk::Process* process) {
-  if (process->code_rewritten() || !config_.rewrite_binaries) {
+namespace {
+
+// Which bit of the per-process rewritten_patterns_ mask a backend's gate
+// pattern occupies (kSyscall has no pattern: needs_rewrite is false).
+uint8_t PatternBit(CrossingBackendKind backend) {
+  return backend == CrossingBackendKind::kMpk ? 0x2 : 0x1;
+}
+
+}  // namespace
+
+sb::Status SkyBridge::RewriteProcessImage(mk::Process* process, CrossingBackendKind backend) {
+  if (!config_.rewrite_binaries || backend == CrossingBackendKind::kSyscall) {
+    return sb::OkStatus();
+  }
+  uint8_t& mask = rewritten_patterns_[process];
+  const uint8_t bit = PatternBit(backend);
+  if ((mask & bit) != 0) {
     return sb::OkStatus();
   }
   x86::RewriteConfig rw;
   rw.code_base = mk::kCodeVa;
-  rw.rewrite_page_base = mk::kRewritePageVa;
+  // Each pattern owns a fixed 16-page snippet window — VMFUNC at window 0,
+  // WRPKRU at window 1 — so a process prepared for both EPTP and MPK keeps
+  // both rewrite pages mapped, at addresses stable across re-rewrites.
+  rw.rewrite_page_base =
+      mk::kRewritePageVa +
+      (backend == CrossingBackendKind::kMpk ? 16 * sb::kPageSize : 0);
   rw.scan_pool = &scan_pool_;
+  rw.pattern =
+      backend == CrossingBackendKind::kMpk ? x86::kWrpkruBytes : x86::kVmfuncBytes;
   SB_ASSIGN_OR_RETURN(x86::RewriteResult result,
                       x86::RewriteVmfunc(process->code_image(), rw));
   metrics_.rewritten_vmfuncs->Add(
@@ -29,6 +51,7 @@ sb::Status SkyBridge::RewriteProcessImage(mk::Process* process) {
   metrics_.scan_pages->Add(result.stats.scan_pages);
   metrics_.scan_threads->SetMax(result.stats.scan_threads);
   SB_LOG(kDebug) << "rewrite " << sb::kv("pid", process->pid())
+                 << " " << sb::kv("pattern", CrossingBackendName(backend))
                  << " " << sb::kv("scan_pages", result.stats.scan_pages)
                  << " " << sb::kv("scan_threads", result.stats.scan_threads);
 
@@ -45,11 +68,14 @@ sb::Status SkyBridge::RewriteProcessImage(mk::Process* process) {
     SB_ASSIGN_OR_RETURN(
         const hw::Gpa rw_gpa,
         process->address_space().MapAnonymous(
-            mk::kRewritePageVa, sb::PageUp(result.rewrite_page.size()), flags));
+            rw.rewrite_page_base, sb::PageUp(result.rewrite_page.size()), flags));
     kernel_->machine().mem().Write(rw_gpa, result.rewrite_page);
   }
-  process->set_code_rewritten(true);
-  metrics_.processes_rewritten->Add();
+  mask |= bit;
+  if (!process->code_rewritten()) {
+    process->set_code_rewritten(true);
+    metrics_.processes_rewritten->Add();
+  }
   return sb::OkStatus();
 }
 
@@ -67,25 +93,54 @@ sb::Status SkyBridge::UpdateProcessCode(mk::Process* process, std::vector<uint8_
   process->set_code_image(std::move(new_image));
   // Remap executable: the Subkernel rescans before the pages may run again.
   process->set_code_rewritten(false);
-  // Drop any previous rewrite page so the rescan can lay out fresh snippets.
-  for (hw::Gva va = mk::kRewritePageVa;
-       process->address_space().WalkVa(va).ok && va < mk::kRewritePageVa + 16 * sb::kPageSize;
+  const uint8_t prepared = rewritten_patterns_[process];
+  rewritten_patterns_[process] = 0;
+  // Drop any previous rewrite pages so the rescan can lay out fresh
+  // snippets. Sweep both fixed windows (VMFUNC at 0, WRPKRU at 1) — either
+  // may be sparsely mapped depending on which patterns the old image hit.
+  for (hw::Gva va = mk::kRewritePageVa; va < mk::kRewritePageVa + 32 * sb::kPageSize;
        va += sb::kPageSize) {
-    SB_RETURN_IF_ERROR(process->address_space().Unmap(va));
+    if (process->address_space().WalkVa(va).ok) {
+      SB_RETURN_IF_ERROR(process->address_space().Unmap(va));
+    }
   }
-  return RewriteProcessImage(process);
+  // Re-run every pattern pass the process had been prepared with; a process
+  // never prepared (or prepared for kSyscall only) gets the VMFUNC pass, the
+  // historical W^X contract.
+  if (prepared == 0 || (prepared & PatternBit(CrossingBackendKind::kEptp)) != 0) {
+    SB_RETURN_IF_ERROR(RewriteProcessImage(process, CrossingBackendKind::kEptp));
+  }
+  if ((prepared & PatternBit(CrossingBackendKind::kMpk)) != 0) {
+    SB_RETURN_IF_ERROR(RewriteProcessImage(process, CrossingBackendKind::kMpk));
+  }
+  return sb::OkStatus();
 }
 
-sb::Status SkyBridge::EnsureProcessPrepared(mk::Process* process) {
-  SB_RETURN_IF_ERROR(RewriteProcessImage(process));
-  // Trampoline page (exec-only for users, shared frame).
-  if (!process->address_space().WalkVa(mk::kTrampolineVa).ok) {
+sb::Status SkyBridge::EnsureProcessPrepared(mk::Process* process, CrossingBackendKind backend) {
+  const CrossingBackend& be = gate_.backend(backend);
+  if (be.caps().needs_rewrite) {
+    // Every view-slot process gets the VMFUNC scrub (its EPTP list entries
+    // are reachable by a planted 0f 01 d4 regardless of backend); MPK
+    // additionally scrubs WRPKRU so only its trampoline can switch keys.
+    if (be.caps().uses_view_slots) {
+      SB_RETURN_IF_ERROR(RewriteProcessImage(process, CrossingBackendKind::kEptp));
+    }
+    if (backend != CrossingBackendKind::kEptp) {
+      SB_RETURN_IF_ERROR(RewriteProcessImage(process, backend));
+    }
+  }
+  // Trampoline page (exec-only for users, shared frame). Each view-switch
+  // backend maps its own variant; kSyscall maps none.
+  if (be.caps().uses_trampoline &&
+      !process->address_space().WalkVa(be.trampoline_va()).ok) {
     hw::PageFlags flags;
     flags.writable = false;
+    const hw::Gpa tramp_gpa =
+        backend == CrossingBackendKind::kMpk ? mpk_trampoline_gpa_ : trampoline_gpa_;
     SB_RETURN_IF_ERROR(process->address_space().MapRange(
-        mk::kTrampolineVa, trampoline_gpa_, sb::kPageSize, flags));
+        be.trampoline_va(), tramp_gpa, sb::kPageSize, flags));
   }
-  // Per-process calling-key table page.
+  // Per-process calling-key table page (all backends check calling keys).
   if (!process->address_space().WalkVa(mk::kCallingKeyTableVa).ok) {
     SB_RETURN_IF_ERROR(
         process->address_space()
@@ -97,10 +152,16 @@ sb::Status SkyBridge::EnsureProcessPrepared(mk::Process* process) {
 
 sb::StatusOr<ServerId> SkyBridge::RegisterServer(mk::Process* server, int max_connections,
                                                  mk::Handler handler) {
+  return RegisterServer(server, max_connections, std::move(handler), config_.crossing_backend);
+}
+
+sb::StatusOr<ServerId> SkyBridge::RegisterServer(mk::Process* server, int max_connections,
+                                                 mk::Handler handler,
+                                                 CrossingBackendKind backend) {
   if (max_connections <= 0 || max_connections > 256) {
     return sb::InvalidArgument("connection count out of range");
   }
-  SB_RETURN_IF_ERROR(EnsureProcessPrepared(server));
+  SB_RETURN_IF_ERROR(EnsureProcessPrepared(server, backend));
 
   const ServerId id = servers_.size();
   // Per-connection server stacks (Section 4.4: the stack count bounds the
@@ -118,6 +179,7 @@ sb::StatusOr<ServerId> SkyBridge::RegisterServer(mk::Process* server, int max_co
   entry.handler = std::move(handler);
   entry.max_connections = max_connections;
   entry.handler_va = mk::kCodeVa + 0x100;
+  entry.backend = backend;
   servers_.push_back(std::move(entry));
   return id;
 }
@@ -153,7 +215,7 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
     }
     existing->swept = false;
     sb::Status install = sb::OkStatus();
-    if (!existing->installed) {
+    if (!existing->installed && gate_.backend(server.backend).caps().uses_view_slots) {
       install = routes_.Install(core, *existing, /*pinned_ept=*/0);
     }
     kernel_->SyscallExit(core, nullptr);
@@ -162,7 +224,7 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
   if (server.next_connection >= static_cast<uint64_t>(server.max_connections)) {
     return sb::ResourceExhausted("server connection limit reached");
   }
-  SB_RETURN_IF_ERROR(EnsureProcessPrepared(client));
+  SB_RETURN_IF_ERROR(EnsureProcessPrepared(client, server.backend));
 
   hw::Core& core = kernel_->machine().core(0);
   // Registration is a syscall: charge the kernel path.
@@ -217,6 +279,10 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
   binding->server = server_id;
   binding->ept_id = ept_id;
   binding->server_key = key;
+  binding->backend = server.backend;
+  if (server.backend == CrossingBackendKind::kMpk) {
+    binding->pkey = static_cast<uint8_t>(1 + (next_pkey_++ % 15));
+  }
   binding->shared_buf = region.va;
   binding->key_slot = slot;
   binding->slice_stride = region.slice_stride;
@@ -225,7 +291,12 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
   binding->installed = false;
   Binding* b = routes_.Adopt(std::move(binding));
 
-  const sb::Status install = routes_.Install(core, *b, /*pinned_ept=*/0);
+  // kSyscall bindings never occupy an EPTP slot: the kernel fastpath
+  // switches CR3 directly, so there is nothing to install.
+  sb::Status install = sb::OkStatus();
+  if (gate_.backend(server.backend).caps().uses_view_slots) {
+    install = routes_.Install(core, *b, /*pinned_ept=*/0);
+  }
   kernel_->SyscallExit(core, nullptr);
   return install;
 }
@@ -253,6 +324,10 @@ sb::StatusOr<Binding*> SkyBridge::GetOrCreateChainBinding(hw::Core& core, mk::Pr
   binding->server = server_id;
   binding->ept_id = ept_id;
   binding->server_key = 0;
+  binding->backend = server.backend;
+  if (server.backend == CrossingBackendKind::kMpk) {
+    binding->pkey = static_cast<uint8_t>(1 + (next_pkey_++ % 15));
+  }
   binding->shared_buf = 0;
   binding->key_slot = 0;
   binding->installed = false;

@@ -54,6 +54,10 @@ struct ServerEntry {
   mk::Handler handler;
   int max_connections;
   hw::Gva handler_va;  // "function address" in the server's function list.
+  // The crossing backend every binding of this server uses (DESIGN.md
+  // section 16). Fixed at RegisterServer; clients and chain bindings
+  // inherit it.
+  CrossingBackendKind backend = CrossingBackendKind::kEptp;
   uint64_t next_connection = 0;
   // Binding consolidation (config.consolidate_bindings): the one binding EPT
   // every client of this server shares — later clients add their own CR3
@@ -69,6 +73,11 @@ struct Binding {
   ServerId server;
   uint64_t ept_id;          // Rootkernel EPT id (shared under consolidation).
   uint64_t server_key;      // Client -> server calling key.
+  // Crossing backend, inherited from the server entry at registration.
+  CrossingBackendKind backend = CrossingBackendKind::kEptp;
+  // MPK backend only: the protection key guarding the server domain this
+  // binding crosses into (1..15, round-robin allocated; 0 = unset).
+  uint8_t pkey = 0;
   hw::Gva shared_buf;       // Region base, mapped at the same VA in both.
   uint64_t key_slot;        // Index in the server's calling-key table.
   // ---- Buffer carving (long-message path) ----

@@ -108,6 +108,13 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
   SB_CHECK(frame.ok());
   trampoline_gpa_ = *frame;
   kernel.machine().mem().Write(trampoline_gpa_, trampoline_.code);
+  // The MPK variant (WRPKRU gates) shares one frame the same way; processes
+  // map it at mk::kMpkTrampolineVa only when they touch an MPK binding.
+  mpk_trampoline_ = BuildTrampoline(CrossingBackendKind::kMpk);
+  auto mpk_frame = kernel.guest_frames().Alloc(kernel.machine().mem());
+  SB_CHECK(mpk_frame.ok());
+  mpk_trampoline_gpa_ = *mpk_frame;
+  kernel.machine().mem().Write(mpk_trampoline_gpa_, mpk_trampoline_.code);
 }
 
 SkyBridge::~SkyBridge() {
@@ -248,6 +255,9 @@ sb::Status SkyBridge::ResolveRoute(CallContext& ctx) {
                    << " " << sb::kv("reason", "revoked");
     return sb::PermissionDenied("binding revoked");
   }
+  // The crossing backend is a property of the server's registration; every
+  // stage past this point dispatches through it.
+  ctx.backend = &gate_.backend(ctx.server->backend);
   return sb::OkStatus();
 }
 
@@ -312,54 +322,63 @@ sb::Status SkyBridge::BindOrigin(CallContext& ctx) {
 
 sb::Status SkyBridge::ArmGate(CallContext& ctx) {
   hw::Core& core = *ctx.core;
-  // The EPT active at entry: we must return to it (the caller's own view for
-  // a top-level call, the enclosing binding's EPT for a nested one). Freed
-  // slots are replaced in place (kEptpListReplace) and never reshuffle their
-  // neighbours, so the return slot is simply the slot we entered on — always.
-  const size_t entry_index = core.vmcs().active_index;
-  ctx.entry_ept = routes_.EptIdAtSlot(core.id(), static_cast<uint32_t>(entry_index));
-  ctx.return_index = entry_index;
+  // The EPTP-slot machinery below only applies to view-switch backends
+  // (EPTP, MPK). The kernel-fastpath backend has no slots to arm: its legs
+  // trap into the kernel and switch CR3 directly.
+  const bool view_slots = ctx.backend->caps().uses_view_slots;
+  if (view_slots) {
+    // The EPT active at entry: we must return to it (the caller's own view
+    // for a top-level call, the enclosing binding's EPT for a nested one).
+    // Freed slots are replaced in place (kEptpListReplace) and never
+    // reshuffle their neighbours, so the return slot is simply the slot we
+    // entered on — always.
+    const size_t entry_index = core.vmcs().active_index;
+    ctx.entry_ept = routes_.EptIdAtSlot(core.id(), static_cast<uint32_t>(entry_index));
+    ctx.return_index = entry_index;
 
-  if (!ctx.route->installed) {
-    // LRU-evicted earlier (or a fresh chain binding): install it.
-    metrics_.eptp_misses->Add();
-    SB_TRACE_EVENT(TraceEventType::kEptpMiss, core.cycles(), core.id(),
-                   ctx.server->process->pid());
-    SB_LOG(kDebug) << "eptp miss " << sb::kv("client", ctx.origin->pid())
-                   << " " << sb::kv("server", ctx.server->process->pid());
-    kernel_->SyscallEnter(core, ctx.pbd);
-    SB_RETURN_IF_ERROR(routes_.Install(core, *ctx.route, ctx.entry_ept));
-    kernel_->SyscallExit(core, ctx.pbd);
-    SB_TRACE_EVENT(TraceEventType::kEptpReinstall, core.cycles(), core.id(),
-                   ctx.server->process->pid(), 0);
-  }
-  routes_.Touch(*ctx.route);
-
-  // Slot-fault slow path (DESIGN.md section 15): the binding is authorized
-  // and installed, but its EPT is not resident in this core's bounded slot
-  // working set. Evict the LRU victim, replace the freed slot in place, and
-  // retry — hot bindings stay resident and never take this path.
-  if (routes_.ResidentSlot(core.id(), ctx.route->ept_id) == kNoEptpSlot) {
-    metrics_.slot_faults->Add();
-    const uint64_t fault_start = core.cycles();
-    kernel_->SyscallEnter(core, ctx.pbd);
-    const auto slot_or =
-        routes_.EnsureResident(core, ctx.route->ept_id, /*faultable=*/true);
-    kernel_->SyscallExit(core, ctx.pbd);
-    gate_.RecordSlotFault(core.cycles() - fault_start);
-    if (!slot_or.ok()) {
-      metrics_.rejected_calls->Add();
-      return slot_or.status();
+    if (!ctx.route->installed) {
+      // LRU-evicted earlier (or a fresh chain binding): install it.
+      metrics_.eptp_misses->Add();
+      SB_TRACE_EVENT(TraceEventType::kEptpMiss, core.cycles(), core.id(),
+                     ctx.server->process->pid());
+      SB_LOG(kDebug) << "eptp miss " << sb::kv("client", ctx.origin->pid())
+                     << " " << sb::kv("server", ctx.server->process->pid());
+      kernel_->SyscallEnter(core, ctx.pbd);
+      SB_RETURN_IF_ERROR(routes_.Install(core, *ctx.route, ctx.entry_ept));
+      kernel_->SyscallExit(core, ctx.pbd);
+      SB_TRACE_EVENT(TraceEventType::kEptpReinstall, core.cycles(), core.id(),
+                     ctx.server->process->pid(), 0);
     }
-    SB_TRACE_EVENT(TraceEventType::kSlotFault, core.cycles(), core.id(), ctx.route->ept_id,
-                   *slot_or);
-  } else {
-    // Hit: refresh slot recency so the hot set survives faults elsewhere.
-    (void)routes_.EnsureResident(core, ctx.route->ept_id, /*faultable=*/false);
+    routes_.Touch(*ctx.route);
+
+    // Slot-fault slow path (DESIGN.md section 15): the binding is authorized
+    // and installed, but its EPT is not resident in this core's bounded slot
+    // working set. Evict the LRU victim, replace the freed slot in place, and
+    // retry — hot bindings stay resident and never take this path.
+    if (routes_.ResidentSlot(core.id(), ctx.route->ept_id) == kNoEptpSlot) {
+      metrics_.slot_faults->Add();
+      const uint64_t fault_start = core.cycles();
+      kernel_->SyscallEnter(core, ctx.pbd);
+      const auto slot_or =
+          routes_.EnsureResident(core, ctx.route->ept_id, /*faultable=*/true);
+      kernel_->SyscallExit(core, ctx.pbd);
+      gate_.RecordSlotFault(core.cycles() - fault_start);
+      if (!slot_or.ok()) {
+        metrics_.rejected_calls->Add();
+        return slot_or.status();
+      }
+      SB_TRACE_EVENT(TraceEventType::kSlotFault, core.cycles(), core.id(), ctx.route->ept_id,
+                     *slot_or);
+    } else {
+      // Hit: refresh slot recency so the hot set survives faults elsewhere.
+      (void)routes_.EnsureResident(core, ctx.route->ept_id, /*faultable=*/false);
+    }
   }
 
-  // ---- Client-side trampoline ----
-  gate_.ChargeTrampolineLeg(core, ctx.pbd);
+  // ---- Client-side trampoline (view-switch backends only) ----
+  if (ctx.backend->caps().uses_trampoline) {
+    gate_.ChargeTrampolineLeg(core, ctx.pbd, ctx.backend->trampoline_va());
+  }
   ctx.long_msg = ctx.in_place || ctx.request->size() > kernel_->profile().register_msg_capacity;
   if (ctx.long_msg) {
     metrics_.long_calls->Add();
@@ -379,6 +398,9 @@ sb::Status SkyBridge::ArmGate(CallContext& ctx) {
   // The client's per-call key; the server must echo it on return.
   ctx.client_key = Gate::PerCallKey(*ctx.caller, core.cycles());
 
+  if (!view_slots) {
+    return sb::OkStatus();
+  }
   // The binding's residency is centrally maintained; no EPTP scan on the hit
   // path. A concurrent registration can still LRU-evict the binding between
   // lookup and this point (the pre_vmfunc fault injects exactly that):
@@ -904,6 +926,39 @@ sb::StatusOr<mk::Message> SkyBridge::CallWithForgedKey(mk::Thread* caller, Serve
   auto result = DirectServerCall(caller, server_id, msg);
   binding->server_key = real_key;
   return result;
+}
+
+sb::StatusOr<uint64_t> SkyBridge::ProbeCrossDomainRead(mk::Thread* caller, ServerId server_id,
+                                                       hw::Gva va) {
+  if (server_id >= servers_.size()) {
+    return sb::NotFound("no such server");
+  }
+  ServerEntry& server = servers_[server_id];
+  hw::Core& core = kernel_->machine().core(caller->core_id());
+  const CrossingBackend& backend = gate_.backend(server.backend);
+  if (backend.caps().isolates_memory) {
+    // EPTP: a forged VMFUNC can only name list slots the Rootkernel
+    // populated, and none of them maps the server's pages for this attacker
+    // — the hypervisor's view switch is the reference monitor. Syscall: the
+    // kernel validates the capability on every crossing. Either way the
+    // probe dies before the dereference.
+    metrics_.rejected_calls->Add();
+    return sb::PermissionDenied("cross-domain read blocked by the crossing backend");
+  }
+  // MPK: WRPKRU is unprivileged and the server's pages live in the shared
+  // address space — the attacker forges PKRU (all keys readable) and
+  // dereferences through the server's mapping. No trampoline, no calling
+  // key, no kernel. This is the backend's documented weaker isolation
+  // envelope (DESIGN.md section 16), pinned by the security tests.
+  const uint32_t saved_pkru = core.pkru();
+  core.Wrpkru(0);  // Grant every protection key.
+  const hw::GuestWalk walk = server.process->address_space().WalkVa(va);
+  sb::StatusOr<uint64_t> stolen =
+      walk.ok ? sb::StatusOr<uint64_t>(kernel_->machine().mem().ReadU64(walk.gpa))
+              : sb::StatusOr<uint64_t>(sb::InvalidArgument("server va unmapped"));
+  core.Wrpkru(saved_pkru);
+  kernel_->machine().telemetry().GetCounter("skybridge.crossing.mpk.cross_domain_probes").Add();
+  return stolen;
 }
 
 sb::Status SkyBridge::RevokeBinding(mk::Process* client, ServerId server_id) {

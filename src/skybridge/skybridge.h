@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -105,8 +106,13 @@ class SkyBridge {
   ~SkyBridge();
 
   // ---- Registration (paper Figure 4) ----
+  // `backend` fixes the crossing backend for every binding of this server
+  // (DESIGN.md section 16); by default the config's crossing_backend. The
+  // kSyscall backend skips rewriting and trampoline mapping entirely.
   sb::StatusOr<ServerId> RegisterServer(mk::Process* server, int max_connections,
                                         mk::Handler handler);
+  sb::StatusOr<ServerId> RegisterServer(mk::Process* server, int max_connections,
+                                        mk::Handler handler, CrossingBackendKind backend);
   sb::Status RegisterClient(mk::Process* client, ServerId server_id);
 
   // ---- Dynamic code (paper Section 9, W^X) ----
@@ -207,6 +213,18 @@ class SkyBridge {
   sb::StatusOr<mk::Message> CallWithForgedKey(mk::Thread* caller, ServerId server_id,
                                               const mk::Message& msg, uint64_t forged_key);
 
+  // Simulates a malicious client trying to read server memory at `va`
+  // WITHOUT authorization: forge the crossing primitive by hand (no
+  // trampoline, no calling key) and dereference through the server's
+  // tables. On the MPK backend this SUCCEEDS — WRPKRU is unprivileged and
+  // the shared mapping is reachable once PKRU is forged — returning the
+  // stolen word; that is the backend's documented weaker isolation envelope,
+  // pinned by the security tests. On EPTP the hypervisor validates the view
+  // switch and on syscall the kernel validates the capability, so both
+  // return PermissionDenied.
+  sb::StatusOr<uint64_t> ProbeCrossDomainRead(mk::Thread* caller, ServerId server_id,
+                                              hw::Gva va);
+
   // Folds the registry-backed counters into the snapshot struct.
   //
   // Consistency rule: safe to call concurrently with calls on other
@@ -257,8 +275,8 @@ class SkyBridge {
                                uint32_t core_id) const;
 
  private:
-  sb::Status EnsureProcessPrepared(mk::Process* process);
-  sb::Status RewriteProcessImage(mk::Process* process);
+  sb::Status EnsureProcessPrepared(mk::Process* process, CrossingBackendKind backend);
+  sb::Status RewriteProcessImage(mk::Process* process, CrossingBackendKind backend);
   // Lazily creates the chain binding (origin's CR3 -> target server) used by
   // nested calls; kernel- and Rootkernel-mediated.
   sb::StatusOr<Binding*> GetOrCreateChainBinding(hw::Core& core, mk::Process* origin,
@@ -357,6 +375,18 @@ class SkyBridge {
   sb::Rng key_rng_;
   TrampolineLayout trampoline_;
   hw::Gpa trampoline_gpa_ = 0;  // Shared trampoline code frame.
+  // MPK-backend trampoline variant (WRPKRU gates), mapped at
+  // mk::kMpkTrampolineVa alongside the VMFUNC one.
+  TrampolineLayout mpk_trampoline_;
+  hw::Gpa mpk_trampoline_gpa_ = 0;
+  // Which gate patterns have been scrubbed from each prepared process:
+  // bit 0 = VMFUNC (EPTP backend), bit 1 = WRPKRU (MPK backend). A process
+  // serving/calling both backends gets both passes; UpdateProcessCode
+  // re-runs every prepared pass on the new image.
+  std::unordered_map<const mk::Process*, uint8_t> rewritten_patterns_;
+  // Round-robin MPK protection-key allocator (keys 1..15; key 0 is the
+  // default domain).
+  uint8_t next_pkey_ = 0;
   std::vector<ServerEntry> servers_;
   RouteTable routes_;
   BufferPool buffers_;

@@ -7,9 +7,17 @@ namespace skybridge {
 using x86::Assembler;
 using x86::Reg;
 
-TrampolineLayout BuildTrampoline() {
+TrampolineLayout BuildTrampoline(CrossingBackendKind backend) {
   TrampolineLayout layout;
   Assembler a;
+
+  const auto emit_gate = [&](Assembler& asmr) {
+    if (backend == CrossingBackendKind::kMpk) {
+      asmr.Wrpkru();
+    } else {
+      asmr.Vmfunc();
+    }
+  };
 
   // ---- direct_server_call entry ----
   // Save callee-saved registers the server side may clobber.
@@ -23,10 +31,12 @@ TrampolineLayout BuildTrampoline() {
   // r8 = return EPTP index (the caller's own slot — slot indices are
   // virtualized by the working-set manager, so the return target is dynamic
   // and handed to the stub at dispatch, never a constant).
-  // VMFUNC leaf 0 expects eax = 0, ecx = index.
+  // VMFUNC leaf 0 expects eax = 0, ecx = index. The MPK gate reuses the same
+  // register discipline: WRPKRU takes the new PKRU rights in eax (0 = grant)
+  // with ecx still carrying the domain index for the simulator's view flip.
   a.MovRI32(Reg::kRax, 0);
   layout.call_gate_offset = a.size();
-  a.Vmfunc();
+  emit_gate(a);
   // Now executing with the server's page tables: install the server stack
   // (rbp-based frame) and call the registered handler via the function list.
   a.MovRR64(Reg::kRbp, Reg::kRsp);
@@ -37,7 +47,7 @@ TrampolineLayout BuildTrampoline() {
   a.MovRR64(Reg::kRcx, Reg::kR8);
   a.MovRI32(Reg::kRax, 0);
   layout.return_gate_offset = a.size();
-  a.Vmfunc();
+  emit_gate(a);
   a.PopR(Reg::kR15);
   a.PopR(Reg::kR14);
   a.PopR(Reg::kR13);

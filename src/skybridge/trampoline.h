@@ -4,6 +4,10 @@
 // process at kTrampolineVa. It is the only page allowed to contain the
 // VMFUNC instruction: the binary rewriter removes every other occurrence, so
 // the trampoline's entry is the only gate into another address space.
+//
+// The MPK crossing backend has its own variant at kMpkTrampolineVa whose two
+// gates are WRPKRU instead of VMFUNC — identical frame discipline, different
+// (and cheaper) crossing primitive.
 
 #ifndef SRC_SKYBRIDGE_TRAMPOLINE_H_
 #define SRC_SKYBRIDGE_TRAMPOLINE_H_
@@ -12,18 +16,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/skybridge/config.h"
+
 namespace skybridge {
 
-// Byte offsets of the two VMFUNC gates within the trampoline page.
+// Byte offsets of the two gates within the trampoline page.
 struct TrampolineLayout {
   std::vector<uint8_t> code;
-  size_t call_gate_offset = 0;    // direct_server_call: VMFUNC to the server.
-  size_t return_gate_offset = 0;  // server return: VMFUNC back to the client.
+  size_t call_gate_offset = 0;    // direct_server_call: gate to the server.
+  size_t return_gate_offset = 0;  // server return: gate back to the client.
 };
 
-// Assembles the trampoline (register save/restore, VMFUNC, stack install,
-// indirect call into the registered handler).
-TrampolineLayout BuildTrampoline();
+// Assembles the trampoline (register save/restore, gate instruction, stack
+// install, indirect call into the registered handler). The backend picks the
+// gate primitive: VMFUNC for kEptp, WRPKRU for kMpk. The kSyscall backend
+// has no trampoline (the kernel is the gate).
+TrampolineLayout BuildTrampoline(
+    CrossingBackendKind backend = CrossingBackendKind::kEptp);
 
 }  // namespace skybridge
 

@@ -66,6 +66,7 @@ void Assembler::Int3() { bytes_.push_back(0xcc); }
 void Assembler::Hlt() { bytes_.push_back(0xf4); }
 void Assembler::Ret() { bytes_.push_back(0xc3); }
 void Assembler::Vmfunc() { Raw({0x0f, 0x01, 0xd4}); }
+void Assembler::Wrpkru() { Raw({0x0f, 0x01, 0xef}); }
 void Assembler::Syscall() { Raw({0x0f, 0x05}); }
 
 void Assembler::PushR(Reg r) {

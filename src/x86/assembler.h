@@ -30,6 +30,7 @@ class Assembler {
   void Hlt();
   void Ret();
   void Vmfunc();  // 0F 01 D4
+  void Wrpkru();  // 0F 01 EF
   void Syscall();
 
   void PushR(Reg r);

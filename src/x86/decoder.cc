@@ -311,6 +311,9 @@ Mnemonic Classify(const Insn& insn, std::span<const uint8_t> code, size_t opcode
     if (op2 == 0x01 && insn.modrm == 0xd4) {
       return Mnemonic::kVmfunc;
     }
+    if (op2 == 0x01 && insn.modrm == 0xef) {
+      return Mnemonic::kWrpkru;
+    }
     if (op2 == 0x05) {
       return Mnemonic::kSyscall;
     }

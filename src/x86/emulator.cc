@@ -492,6 +492,11 @@ bool Emulator::Step(StopInfo& info) {
       ++info.steps;
       return false;
     }
+    case Mnemonic::kWrpkru:
+      // PKRU is not part of the emulator's architectural state; the rights
+      // write has no effect on the register file, so a stray WRPKRU behaves
+      // like a NOP here — which is exactly what the rewriter replaces it with.
+      break;
     case Mnemonic::kHlt: {
       info.reason = StopReason::kHlt;
       info.rip = insn_addr;

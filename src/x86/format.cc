@@ -118,6 +118,8 @@ std::string FormatInsn(std::span<const uint8_t> bytes, const Insn& insn) {
       return "nop";
     case Mnemonic::kVmfunc:
       return "vmfunc";
+    case Mnemonic::kWrpkru:
+      return "wrpkru";
     case Mnemonic::kSyscall:
       return "syscall";
     case Mnemonic::kRet:

@@ -67,6 +67,7 @@ enum class Mnemonic : uint8_t {
   kCallRel,  // E8
   kRet,      // C3
   kVmfunc,   // 0F 01 D4
+  kWrpkru,   // 0F 01 EF
   kSyscall,  // 0F 05
   kInt3,     // CC
   kHlt,      // F4
@@ -111,15 +112,16 @@ struct Insn {
   bool is_rip_relative() const { return has_modrm && modrm_mod() == 0 && (modrm & 7) == 5; }
 };
 
-// Where a 0F 01 D4 byte triple falls relative to decoded instructions.
+// Where a gate byte triple (0F 01 D4 for VMFUNC, 0F 01 EF for WRPKRU) falls
+// relative to decoded instructions.
 enum class VmfuncOverlap : uint8_t {
-  kIsVmfunc,      // C1: the instruction *is* VMFUNC.
+  kIsVmfunc,      // C1: the instruction *is* the gate instruction itself.
   kSpans,         // C2: the triple spans two or more instructions.
   kInModrm,       // C3: 0x0F is this instruction's ModRM byte.
   kInSib,         // C3: 0x0F is this instruction's SIB byte.
   kInDisp,        // C3: 0x0F starts inside the displacement.
   kInImm,         // C3: 0x0F starts inside the immediate.
-  kInOpcode,      // C3: inside a multi-byte opcode (only VMFUNC qualifies).
+  kInOpcode,      // C3: inside a multi-byte opcode (VMFUNC/WRPKRU qualify).
   kUndecodable,   // Byte stream did not decode; treated conservatively.
 };
 

@@ -28,8 +28,10 @@ uint64_t ReadLittle(std::span<const uint8_t> bytes, size_t off, unsigned len) {
   return v;
 }
 
-bool ContainsPattern(std::span<const uint8_t> bytes) {
-  return !FindVmfuncBytes(bytes).empty();
+bool ContainsPattern(std::span<const uint8_t> bytes, const uint8_t* pattern) {
+  ScanOptions options;
+  options.pattern = pattern;
+  return !FindVmfuncBytes(bytes, options).empty();
 }
 
 // ---- Memory-operand parsing and generic re-encoding ----
@@ -803,7 +805,7 @@ sb::Status HandleHit(std::vector<uint8_t>& code, std::vector<uint8_t>& page,
     probe.insert(probe.end(), page.end() - static_cast<long>(ctx), page.end());
     probe.insert(probe.end(), static_cast<size_t>(pad), kNopByte);
     probe.insert(probe.end(), snippet.begin(), snippet.end());
-    if (ContainsPattern(probe)) {
+    if (ContainsPattern(probe, config.pattern)) {
       continue;
     }
     // Build the patched code window: JMP snippet + NOP fill.
@@ -828,7 +830,7 @@ sb::Status HandleHit(std::vector<uint8_t>& code, std::vector<uint8_t>& page,
     code_probe.insert(code_probe.end(), patch.begin(), patch.end());
     code_probe.insert(code_probe.end(), code.begin() + static_cast<long>(end),
                       code.begin() + static_cast<long>(hi));
-    if (ContainsPattern(code_probe)) {
+    if (ContainsPattern(code_probe, config.pattern)) {
       continue;
     }
     // Commit.
@@ -853,13 +855,14 @@ sb::StatusOr<RewriteResult> RewriteVmfunc(std::span<const uint8_t> code,
   ScanOptions scan_options;
   scan_options.pool = config.scan_pool;
   scan_options.stats = &scan_stats;
+  scan_options.pattern = config.pattern;
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     const std::vector<VmfuncHit> hits = ScanForVmfunc(result.code, scan_options);
     result.stats.scan_pages = scan_stats.pages;
     result.stats.scan_threads = scan_stats.threads;
     if (hits.empty()) {
-      if (ContainsPattern(result.rewrite_page)) {
+      if (ContainsPattern(result.rewrite_page, config.pattern)) {
         return sb::Internal("rewrite page contains the pattern after rewriting");
       }
       return result;

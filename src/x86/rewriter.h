@@ -55,6 +55,10 @@ struct RewriteConfig {
   // Optional pool for the per-code-page chunked pattern scans. The rewrite
   // output is byte-identical with or without it (deterministic merge order).
   sb::ThreadPool* scan_pool = nullptr;
+  // The gate-instruction triple this pass scrubs: kVmfuncBytes for the EPTP
+  // backend, kWrpkruBytes for the MPK backend (same 0F 01 /r shape, so every
+  // Table 3 rewrite case applies unchanged).
+  const uint8_t* pattern = kVmfuncBytes;
 };
 
 struct RewriteStats {

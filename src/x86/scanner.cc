@@ -13,16 +13,16 @@ namespace {
 // between 0x0F candidates. The caller guarantees limit + 2 <= code.size(),
 // so reading the two trailing bytes of a straddling candidate is safe.
 void ScanRange(std::span<const uint8_t> code, size_t begin, size_t limit,
-               std::vector<size_t>& out) {
+               const uint8_t* pattern, std::vector<size_t>& out) {
   const uint8_t* base = code.data();
   size_t i = begin;
   while (i < limit) {
-    const void* p = std::memchr(base + i, kVmfuncBytes[0], limit - i);
+    const void* p = std::memchr(base + i, pattern[0], limit - i);
     if (p == nullptr) {
       return;
     }
     const size_t off = static_cast<size_t>(static_cast<const uint8_t*>(p) - base);
-    if (base[off + 1] == kVmfuncBytes[1] && base[off + 2] == kVmfuncBytes[2]) {
+    if (base[off + 1] == pattern[1] && base[off + 2] == pattern[2]) {
       out.push_back(off);
     }
     i = off + 1;
@@ -46,8 +46,9 @@ std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code, const ScanOpt
   if (options.stats != nullptr) {
     options.stats->AddPages(num_chunks);
   }
+  const uint8_t* pattern = options.pattern == nullptr ? kVmfuncBytes : options.pattern;
   if (options.pool == nullptr || num_chunks < 2) {
-    ScanRange(code, 0, search_end, offsets);
+    ScanRange(code, 0, search_end, pattern, offsets);
     if (options.stats != nullptr) {
       options.stats->MaxThreads(1);
     }
@@ -61,7 +62,7 @@ std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code, const ScanOpt
     const size_t begin = c * chunk;
     const size_t limit = std::min((c + 1) * chunk, search_end);
     if (begin < limit) {
-      ScanRange(code, begin, limit, buckets[c]);
+      ScanRange(code, begin, limit, pattern, buckets[c]);
     }
   });
   if (options.stats != nullptr) {
@@ -105,7 +106,12 @@ std::vector<VmfuncHit> ScanForVmfunc(std::span<const uint8_t> code, const ScanOp
       continue;
     }
     const size_t rel = off - insn_start;  // Field offsets are insn-relative.
-    if (insn.mnemonic == Mnemonic::kVmfunc && rel == insn.opcode_off) {
+    // Which gate mnemonic counts as "the pattern is the instruction itself"
+    // depends on the triple being scanned (0F 01 D4 vs 0F 01 EF).
+    const Mnemonic gate = (options.pattern != nullptr && options.pattern[2] == kWrpkruBytes[2])
+                              ? Mnemonic::kWrpkru
+                              : Mnemonic::kVmfunc;
+    if (insn.mnemonic == gate && rel == insn.opcode_off) {
       hit.overlap = VmfuncOverlap::kIsVmfunc;
     } else if (insn.has_modrm && rel == insn.modrm_off) {
       hit.overlap = VmfuncOverlap::kInModrm;

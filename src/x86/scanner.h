@@ -32,6 +32,10 @@ class ThreadPool;
 namespace x86 {
 
 inline constexpr uint8_t kVmfuncBytes[3] = {0x0f, 0x01, 0xd4};
+// The other scrubbed gate primitive: WRPKRU, used by the MPK crossing
+// backend. Same three-byte 0F 01 /r shape, so scan and rewrite machinery is
+// shared — ScanOptions::pattern selects which triple a pass looks for.
+inline constexpr uint8_t kWrpkruBytes[3] = {0x0f, 0x01, 0xef};
 
 struct VmfuncHit {
   size_t pattern_off = 0;  // Offset of the 0x0F byte.
@@ -59,9 +63,12 @@ struct ScanOptions {
   sb::ThreadPool* pool = nullptr;  // nullptr => serial scan.
   size_t chunk_bytes = 4096;       // Fan-out granularity (one code page).
   ScanStats* stats = nullptr;      // Optional accounting sink.
+  // The three-byte gate pattern this pass hunts: kVmfuncBytes (default) or
+  // kWrpkruBytes. Must point at three bytes starting with 0x0F.
+  const uint8_t* pattern = kVmfuncBytes;
 };
 
-// Returns the raw offsets of every 0F 01 D4 triple (no decoding), in
+// Returns the raw offsets of every pattern triple (no decoding), in
 // ascending offset order.
 std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code);
 std::vector<size_t> FindVmfuncBytes(std::span<const uint8_t> code, const ScanOptions& options);

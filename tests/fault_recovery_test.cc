@@ -2,6 +2,11 @@
 // is armed, the injected failure observed as a non-OK Status (never an
 // SB_CHECK death), and the bridge verified healthy afterwards — EPT view
 // restored, invariants intact, subsequent calls succeed.
+//
+// Parameterized over the crossing backend (DESIGN.md section 16). Abort
+// recovery is Rootkernel-mediated on the view-switch backends (EPTP, MPK)
+// and a plain kernel reschedule on kSyscall; the stale-slot catalog points
+// only exist where view slots do.
 
 #include "src/skybridge/skybridge.h"
 
@@ -21,7 +26,7 @@ using mk::Message;
 using sb::ErrorCode;
 using sb::kGiB;
 
-class FaultRecoveryTest : public ::testing::Test {
+class FaultRecoveryTest : public ::testing::TestWithParam<CrossingBackendKind> {
  protected:
   void SetUp() override { sb::fault::DisarmAll(); }
   void TearDown() override {
@@ -31,6 +36,7 @@ class FaultRecoveryTest : public ::testing::Test {
   }
 
   void Boot(SkyBridgeConfig config = {}) {
+    config.crossing_backend = GetParam();
     sky_.reset();
     kernel_.reset();
     machine_.reset();
@@ -42,6 +48,13 @@ class FaultRecoveryTest : public ::testing::Test {
     ASSERT_TRUE(kernel_->Boot().ok());
     sky_ = std::make_unique<SkyBridge>(*kernel_, config);
   }
+
+  bool IsSyscall() const { return GetParam() == CrossingBackendKind::kSyscall; }
+  // kSyscall bindings never occupy EPTP slots; everything slot-shaped is 0.
+  uint64_t InstalledIfViewSlots(uint64_t n) const { return IsSyscall() ? 0u : n; }
+  // Aborts route through the Rootkernel hypercall on view-switch backends
+  // only; the kernel fastpath recovers with a plain reschedule.
+  uint64_t RootkernelAborts(uint64_t n) const { return IsSyscall() ? 0u : n; }
 
   struct Pair {
     mk::Process* client;
@@ -78,13 +91,21 @@ class FaultRecoveryTest : public ::testing::Test {
   std::unique_ptr<SkyBridge> sky_;
 };
 
+INSTANTIATE_TEST_SUITE_P(Backends, FaultRecoveryTest,
+                         ::testing::Values(CrossingBackendKind::kEptp,
+                                           CrossingBackendKind::kMpk,
+                                           CrossingBackendKind::kSyscall),
+                         [](const ::testing::TestParamInfo<CrossingBackendKind>& param_info) {
+                           return std::string(CrossingBackendName(param_info.param));
+                         });
+
 Handler EchoHandler() {
   return [](CallEnv& env) { return env.request; };
 }
 
-// ---- skybridge.handler.crash: Rootkernel-mediated abort ----
+// ---- skybridge.handler.crash: abort + recovery ----
 
-TEST_F(FaultRecoveryTest, HandlerCrashAbortsAndRecovers) {
+TEST_P(FaultRecoveryTest, HandlerCrashAbortsAndRecovers) {
   Boot();
   Pair p = MakePair(EchoHandler());
   ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
@@ -94,9 +115,10 @@ TEST_F(FaultRecoveryTest, HandlerCrashAbortsAndRecovers) {
   ASSERT_FALSE(crashed.ok());
   EXPECT_EQ(crashed.status().code(), ErrorCode::kAborted);
   ExpectHealthy();
-  // The abort went through the Rootkernel's hypercall, not around it.
-  EXPECT_EQ(kernel_->rootkernel()->aborts(), 1u);
-  EXPECT_EQ(machine_->telemetry().GetCounter("vmm.aborts").Value(), 1u);
+  // On view-switch backends the abort went through the Rootkernel's
+  // hypercall, not around it; the kernel fastpath never involves the VMM.
+  EXPECT_EQ(kernel_->rootkernel()->aborts(), RootkernelAborts(1));
+  EXPECT_EQ(machine_->telemetry().GetCounter("vmm.aborts").Value(), RootkernelAborts(1));
   EXPECT_EQ(sky_->stats().aborted_calls, 1u);
 
   // Disarmed, the very next call succeeds on the same binding.
@@ -107,7 +129,7 @@ TEST_F(FaultRecoveryTest, HandlerCrashAbortsAndRecovers) {
   ExpectHealthy();
 }
 
-TEST_F(FaultRecoveryTest, HandlerCrashEmitsAbortTraceEvent) {
+TEST_P(FaultRecoveryTest, HandlerCrashEmitsAbortTraceEvent) {
   Boot();
   Pair p = MakePair(EchoHandler());
   ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
@@ -127,7 +149,7 @@ TEST_F(FaultRecoveryTest, HandlerCrashEmitsAbortTraceEvent) {
   EXPECT_TRUE(saw_abort);
 }
 
-TEST_F(FaultRecoveryTest, NestedHandlerCrashAbortsInnerCallOnly) {
+TEST_P(FaultRecoveryTest, NestedHandlerCrashAbortsInnerCallOnly) {
   // client -> middle -> backend; the backend handler crashes. The inner call
   // aborts back into the middle's entry view; the outer call completes.
   Boot();
@@ -172,7 +194,7 @@ TEST_F(FaultRecoveryTest, NestedHandlerCrashAbortsInnerCallOnly) {
   ExpectHealthy();
 }
 
-TEST_F(FaultRecoveryTest, AbortUnblocksTheCallerViaTheScheduler) {
+TEST_P(FaultRecoveryTest, AbortUnblocksTheCallerViaTheScheduler) {
   Boot();
   mk::Scheduler scheduler(kernel_.get(), 0);
   Pair p = MakePair(EchoHandler());
@@ -193,7 +215,10 @@ TEST_F(FaultRecoveryTest, AbortUnblocksTheCallerViaTheScheduler) {
 
 // ---- skybridge.call.pre_vmfunc: stale EPTP slot between lookup and VMFUNC ----
 
-TEST_F(FaultRecoveryTest, StaleSlotRearmsTransparently) {
+TEST_P(FaultRecoveryTest, StaleSlotRearmsTransparently) {
+  if (IsSyscall()) {
+    GTEST_SKIP() << "kSyscall has no view slots to go stale";
+  }
   Boot();
   Pair p = MakePair(EchoHandler());
   ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
@@ -208,7 +233,10 @@ TEST_F(FaultRecoveryTest, StaleSlotRearmsTransparently) {
   ExpectHealthy();
 }
 
-TEST_F(FaultRecoveryTest, StaleSlotRetriesAreBoundedThenUnavailable) {
+TEST_P(FaultRecoveryTest, StaleSlotRetriesAreBoundedThenUnavailable) {
+  if (IsSyscall()) {
+    GTEST_SKIP() << "kSyscall has no view slots to go stale";
+  }
   SkyBridgeConfig config;
   config.max_stale_slot_retries = 3;
   Boot(config);
@@ -232,7 +260,7 @@ TEST_F(FaultRecoveryTest, StaleSlotRetriesAreBoundedThenUnavailable) {
 
 // ---- skybridge.gate.reply_corrupt: return-gate rejection ----
 
-TEST_F(FaultRecoveryTest, InjectedCorruptReplyRejectedAtTheGate) {
+TEST_P(FaultRecoveryTest, InjectedCorruptReplyRejectedAtTheGate) {
   Boot();
   Pair p = MakePair(EchoHandler());
   ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
@@ -248,7 +276,7 @@ TEST_F(FaultRecoveryTest, InjectedCorruptReplyRejectedAtTheGate) {
   ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(3)).ok());
 }
 
-TEST_F(FaultRecoveryTest, BorrowedReplyEscapingTheSliceIsStructurallyRejected) {
+TEST_P(FaultRecoveryTest, BorrowedReplyEscapingTheSliceIsStructurallyRejected) {
   // No fault armed: the server "scribbles the descriptor" so its borrowed
   // reply straddles the slice boundary. The gate detects it structurally.
   Boot();
@@ -268,15 +296,15 @@ TEST_F(FaultRecoveryTest, BorrowedReplyEscapingTheSliceIsStructurallyRejected) {
 
 // ---- skybridge.call.revoke_inflight + RevokeBinding semantics ----
 
-TEST_F(FaultRecoveryTest, RevokedBindingRefusesCallsUntilReRegistered) {
+TEST_P(FaultRecoveryTest, RevokedBindingRefusesCallsUntilReRegistered) {
   Boot();
   Pair p = MakePair(EchoHandler());
   ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
-  ASSERT_EQ(sky_->InstalledBindings(p.client).value(), 1u);
+  ASSERT_EQ(sky_->InstalledBindings(p.client).value(), InstalledIfViewSlots(1));
 
   ASSERT_TRUE(sky_->RevokeBinding(p.client, p.sid).ok());
   EXPECT_EQ(sky_->stats().bindings_revoked, 1u);
-  // No calls in flight: the EPTP entry is removed immediately.
+  // No calls in flight: the EPTP entry (if any) is removed immediately.
   EXPECT_EQ(sky_->InstalledBindings(p.client).value(), 0u);
   ExpectHealthy();
 
@@ -294,7 +322,7 @@ TEST_F(FaultRecoveryTest, RevokedBindingRefusesCallsUntilReRegistered) {
   ExpectHealthy();
 }
 
-TEST_F(FaultRecoveryTest, RevocationDuringFlightDrainsThenSweeps) {
+TEST_P(FaultRecoveryTest, RevocationDuringFlightDrainsThenSweeps) {
   Boot();
   Pair p = MakePair(EchoHandler());
   ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(1)).ok());
@@ -317,7 +345,7 @@ TEST_F(FaultRecoveryTest, RevocationDuringFlightDrainsThenSweeps) {
   EXPECT_EQ(refused.status().code(), ErrorCode::kPermissionDenied);
 }
 
-TEST_F(FaultRecoveryTest, RevokeUnknownBindingIsNotFound) {
+TEST_P(FaultRecoveryTest, RevokeUnknownBindingIsNotFound) {
   Boot();
   Pair p = MakePair(EchoHandler());
   auto* stranger = kernel_->CreateProcess("stranger").value();
@@ -331,7 +359,7 @@ TEST_F(FaultRecoveryTest, RevokeUnknownBindingIsNotFound) {
 
 // ---- vmm.rootkernel.binding_ept_refused: registration-time exhaustion ----
 
-TEST_F(FaultRecoveryTest, RootkernelRefusingBindingEptFailsRegistrationCleanly) {
+TEST_P(FaultRecoveryTest, RootkernelRefusingBindingEptFailsRegistrationCleanly) {
   Boot();
   auto* server = kernel_->CreateProcess("server").value();
   auto* client = kernel_->CreateProcess("client").value();
@@ -354,13 +382,16 @@ TEST_F(FaultRecoveryTest, RootkernelRefusingBindingEptFailsRegistrationCleanly) 
 
 // ---- The whole catalog is survivable ----
 
-TEST_F(FaultRecoveryTest, EveryCatalogPointRecoversWithoutDeath) {
+TEST_P(FaultRecoveryTest, EveryCatalogPointRecoversWithoutDeath) {
   Boot();
   Pair p = MakePair(EchoHandler());
   ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
 
-  const char* points[] = {kFaultPreVmfunc, kFaultHandlerCrash, kFaultReplyCorrupt,
-                          kFaultRevokeInflight};
+  std::vector<const char*> points = {kFaultHandlerCrash, kFaultReplyCorrupt,
+                                     kFaultRevokeInflight};
+  if (!IsSyscall()) {
+    points.push_back(kFaultPreVmfunc);  // Only view slots can go stale.
+  }
   for (const char* point : points) {
     sb::fault::FaultSpec spec;
     spec.nth_hit = 1;

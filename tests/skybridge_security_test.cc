@@ -1,6 +1,12 @@
 // Security-focused SkyBridge tests (paper Sections 4.4, 5, 7 and 9):
 // malicious EPT switching, the trampoline as the only gate, W^X dynamic code
 // rescanning, and isolation under the KPTI (Meltdown-mitigated) profile.
+//
+// Parameterized over the crossing backend (DESIGN.md section 16). The suite
+// pins the isolation matrix: the EPTP and kSyscall backends block
+// cross-domain reads outright, while MPK's user-forgeable PKRU permits them
+// — CrossDomainReadMatchesTheBackendIsolationMatrix demonstrates both the
+// hole and the fact that the other backends do not share it.
 
 #include <gtest/gtest.h>
 
@@ -18,7 +24,7 @@ using mk::CallEnv;
 using mk::Message;
 using sb::kGiB;
 
-class SecurityTest : public ::testing::Test {
+class SecurityTest : public ::testing::TestWithParam<CrossingBackendKind> {
  protected:
   void Boot(mk::KernelProfile profile = mk::Sel4Profile()) {
     sky_.reset();
@@ -30,7 +36,18 @@ class SecurityTest : public ::testing::Test {
     machine_ = std::make_unique<hw::Machine>(mc);
     kernel_ = std::make_unique<mk::Kernel>(*machine_, std::move(profile));
     ASSERT_TRUE(kernel_->Boot().ok());
-    sky_ = std::make_unique<SkyBridge>(*kernel_);
+    SkyBridgeConfig config;
+    config.crossing_backend = GetParam();
+    sky_ = std::make_unique<SkyBridge>(*kernel_, config);
+  }
+
+  bool IsEptp() const { return GetParam() == CrossingBackendKind::kEptp; }
+  bool IsMpk() const { return GetParam() == CrossingBackendKind::kMpk; }
+  bool IsSyscall() const { return GetParam() == CrossingBackendKind::kSyscall; }
+
+  // The backend's scrubbed gate triple (VMFUNC or WRPKRU).
+  const uint8_t* GatePattern() const {
+    return IsMpk() ? x86::kWrpkruBytes : x86::kVmfuncBytes;
   }
 
   std::unique_ptr<hw::Machine> machine_;
@@ -38,11 +55,25 @@ class SecurityTest : public ::testing::Test {
   std::unique_ptr<SkyBridge> sky_;
 };
 
-TEST_F(SecurityTest, TrampolineIsTheOnlyVmfuncGate) {
+INSTANTIATE_TEST_SUITE_P(Backends, SecurityTest,
+                         ::testing::Values(CrossingBackendKind::kEptp,
+                                           CrossingBackendKind::kMpk,
+                                           CrossingBackendKind::kSyscall),
+                         [](const ::testing::TestParamInfo<CrossingBackendKind>& param_info) {
+                           return std::string(CrossingBackendName(param_info.param));
+                         });
+
+TEST_P(SecurityTest, TrampolineIsTheOnlyGate) {
+  if (IsSyscall()) {
+    GTEST_SKIP() << "the kernel fastpath has no user-mode gate instruction";
+  }
   Boot();
-  // The trampoline page intentionally carries exactly two VMFUNC gates...
-  const TrampolineLayout trampoline = BuildTrampoline();
-  const auto hits = x86::ScanForVmfunc(trampoline.code);
+  // The backend's trampoline page intentionally carries exactly two gate
+  // instructions (VMFUNC for EPTP, WRPKRU for MPK)...
+  const TrampolineLayout trampoline = BuildTrampoline(GetParam());
+  x86::ScanOptions scan;
+  scan.pattern = GatePattern();
+  const auto hits = x86::ScanForVmfunc(trampoline.code, scan);
   ASSERT_EQ(hits.size(), 2u);
   EXPECT_EQ(hits[0].overlap, x86::VmfuncOverlap::kIsVmfunc);
   EXPECT_EQ(hits[1].overlap, x86::VmfuncOverlap::kIsVmfunc);
@@ -55,16 +86,20 @@ TEST_F(SecurityTest, TrampolineIsTheOnlyVmfuncGate) {
   x86::Assembler evil;
   evil.MovRI32(x86::Reg::kRcx, 1);
   evil.MovRI32(x86::Reg::kRax, 0);
-  evil.Vmfunc();  // Self-prepared gate.
+  if (IsMpk()) {
+    evil.Wrpkru();  // Self-prepared key switch.
+  } else {
+    evil.Vmfunc();  // Self-prepared gate.
+  }
   evil.Ret();
   auto* client = kernel_->CreateProcessWithImage("evil", evil.Take()).value();
   const ServerId sid =
       sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
   ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
-  EXPECT_TRUE(x86::ScanForVmfunc(client->code_image()).empty());
+  EXPECT_TRUE(x86::ScanForVmfunc(client->code_image(), scan).empty());
 }
 
-TEST_F(SecurityTest, MaliciousEptpIndexCausesVmExitAndNoSwitch) {
+TEST_P(SecurityTest, MaliciousEptpIndexCausesVmExitAndNoSwitch) {
   Boot();
   auto* server = kernel_->CreateProcess("server").value();
   auto* client = kernel_->CreateProcess("client").value();
@@ -74,7 +109,9 @@ TEST_F(SecurityTest, MaliciousEptpIndexCausesVmExitAndNoSwitch) {
   ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
 
   // A malicious process that somehow executes VMFUNC with an out-of-range
-  // index: the hardware exits to the Rootkernel and no switch happens.
+  // index: the hardware exits to the Rootkernel and no switch happens. This
+  // holds whatever backend the library runs — VMFUNC's microcode check is
+  // not the library's to disable.
   hw::Core& core = machine_->core(0);
   const size_t before_index = core.vmcs().active_index;
   kernel_->rootkernel()->ResetExitCounters();
@@ -83,9 +120,10 @@ TEST_F(SecurityTest, MaliciousEptpIndexCausesVmExitAndNoSwitch) {
   EXPECT_EQ(machine_->total_vm_exits(), 1u);
 }
 
-TEST_F(SecurityTest, VmfuncWithinListButUnregisteredServerStillRejected) {
+TEST_P(SecurityTest, CallToUnregisteredServerStillRejected) {
   // A client registered to server A cannot reach server B: its EPTP list
-  // simply has no binding EPT for B, and the library rejects the call.
+  // simply has no binding EPT for B (no binding at all on kSyscall), and the
+  // library rejects the call.
   Boot();
   auto* server_a = kernel_->CreateProcess("a").value();
   auto* server_b = kernel_->CreateProcess("b").value();
@@ -103,10 +141,11 @@ TEST_F(SecurityTest, VmfuncWithinListButUnregisteredServerStillRejected) {
             sb::ErrorCode::kPermissionDenied);
 }
 
-TEST_F(SecurityTest, WxDynamicCodeRescanOnUpdate) {
+TEST_P(SecurityTest, WxDynamicCodeRescanOnUpdate) {
   // Paper Section 9: JIT / live update. New code pages must be rescanned
-  // when remapped executable; a freshly planted VMFUNC is rewritten away
-  // and the process keeps working.
+  // when remapped executable; a freshly planted gate instruction is
+  // rewritten away and the process keeps working. A kSyscall-only process
+  // still gets the VMFUNC pass (the historical W^X contract).
   Boot();
   auto* server = kernel_->CreateProcess("server").value();
   auto* client = kernel_->CreateProcess("client").value();
@@ -121,41 +160,58 @@ TEST_F(SecurityTest, WxDynamicCodeRescanOnUpdate) {
   // The "JIT" emits new code containing a gate and an embedded pattern.
   x86::Assembler jit;
   jit.MovRI64(x86::Reg::kRax, 7);
-  jit.Vmfunc();
-  jit.OrRI(x86::Reg::kRbx, 0x00d4010f);
+  if (IsMpk()) {
+    jit.Wrpkru();
+    jit.OrRI(x86::Reg::kRbx, 0x00ef010f);
+  } else {
+    jit.Vmfunc();
+    jit.OrRI(x86::Reg::kRbx, 0x00d4010f);
+  }
   jit.Ret();
   ASSERT_TRUE(sky_->UpdateProcessCode(client, jit.Take()).ok());
 
-  EXPECT_TRUE(x86::FindVmfuncBytes(client->code_image()).empty());
+  x86::ScanOptions scan;
+  scan.pattern = GatePattern();
+  EXPECT_TRUE(x86::FindVmfuncBytes(client->code_image(), scan).empty());
   EXPECT_GE(sky_->stats().rewritten_vmfuncs, rewrites_before + 2);
-  // The rewrite page was (re)generated and the bindings still work.
-  EXPECT_TRUE(client->address_space().WalkVa(mk::kRewritePageVa).ok);
+  // The pattern's rewrite window was (re)generated and the bindings still
+  // work (VMFUNC snippets live at window 0, WRPKRU snippets at window 1).
+  const hw::Gva window = mk::kRewritePageVa + (IsMpk() ? 16 * sb::kPageSize : 0);
+  EXPECT_TRUE(client->address_space().WalkVa(window).ok);
   EXPECT_TRUE(sky_->DirectServerCall(t, sid, Message(2)).ok());
 }
 
-TEST_F(SecurityTest, RepeatedCodeUpdatesConverge) {
+TEST_P(SecurityTest, RepeatedCodeUpdatesConverge) {
   Boot();
   auto* server = kernel_->CreateProcess("server").value();
   auto* client = kernel_->CreateProcess("client").value();
   const ServerId sid =
       sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
   ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  x86::ScanOptions scan;
+  scan.pattern = GatePattern();
   for (int round = 0; round < 5; ++round) {
     x86::Assembler jit;
     jit.MovRI64(x86::Reg::kRax, static_cast<uint64_t>(round));
     if (round % 2 == 0) {
-      jit.Vmfunc();
+      if (IsMpk()) {
+        jit.Wrpkru();
+      } else {
+        jit.Vmfunc();
+      }
     }
-    jit.AddRI(x86::Reg::kRbx, 0x00d4010f);
+    jit.AddRI(x86::Reg::kRbx, IsMpk() ? 0x00ef010f : 0x00d4010f);
     jit.Ret();
     ASSERT_TRUE(sky_->UpdateProcessCode(client, jit.Take()).ok()) << round;
-    EXPECT_TRUE(x86::FindVmfuncBytes(client->code_image()).empty()) << round;
+    EXPECT_TRUE(x86::FindVmfuncBytes(client->code_image(), scan).empty()) << round;
   }
 }
 
-TEST_F(SecurityTest, IsolationHoldsUnderKpti) {
+TEST_P(SecurityTest, IsolationHoldsUnderKpti) {
   // Meltdown-mitigated profile: SkyBridge still works and processes stay in
-  // separate page tables (the paper's Meltdown defence argument).
+  // separate page tables (the paper's Meltdown defence argument). This holds
+  // on every backend — MPK's weakness is the forgeable PKRU, not the page
+  // tables, so a plain read through the client's tables still misses.
   mk::KernelProfile profile = mk::Sel4Profile();
   profile.kpti = true;
   Boot(profile);
@@ -178,7 +234,7 @@ TEST_F(SecurityTest, IsolationHoldsUnderKpti) {
   EXPECT_NE(client->cr3(), server->cr3());
 }
 
-TEST_F(SecurityTest, CallingKeysDifferPerBinding) {
+TEST_P(SecurityTest, CallingKeysDifferPerBinding) {
   // Two clients of the same server get distinct random keys: leaking one
   // key only exposes the leaker's slot (Section 4.4).
   Boot();
@@ -200,7 +256,7 @@ TEST_F(SecurityTest, CallingKeysDifferPerBinding) {
   EXPECT_NE(key1, key2);
 }
 
-TEST_F(SecurityTest, RefusingToUseSkyBridgeOnlyHurtsYourself) {
+TEST_P(SecurityTest, RefusingToUseSkyBridgeOnlyHurtsYourself) {
   // Section 7: a process that never registers simply cannot reach servers;
   // other processes are unaffected.
   Boot();
@@ -218,11 +274,76 @@ TEST_F(SecurityTest, RefusingToUseSkyBridgeOnlyHurtsYourself) {
   EXPECT_TRUE(sky_->DirectServerCall(tg, sid, Message(0)).ok());
 }
 
-TEST_F(SecurityTest, LiteralTrampolineBytesExecuteTheSwitch) {
+TEST_P(SecurityTest, CrossDomainReadMatchesTheBackendIsolationMatrix) {
+  // DESIGN.md section 16 isolation matrix, pinned in CI: a client forging
+  // the backend's unprivileged switch primitive can read server memory on
+  // MPK (WRPKRU is user-mode writable — PKRU is not a capability), while
+  // EPTP and the kernel fastpath refuse the same probe outright.
+  Boot();
+  constexpr uint64_t kSecret = 0xfeed'5eed'c0de'd00dULL;
+  auto* server = kernel_->CreateProcess("server").value();
+  const ServerId sid = sky_->RegisterServer(server, 4, [](CallEnv& env) {
+                             SB_CHECK(env.core.WriteVirtU64(mk::kHeapVa + 0x40, kSecret).ok());
+                             return env.request;
+                           }).value();
+  auto* client = kernel_->CreateProcess("client").value();
+  ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  mk::Thread* t = client->AddThread(0);
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+  // One legitimate call plants the secret in the server's heap.
+  ASSERT_TRUE(sky_->DirectServerCall(t, sid, Message(0)).ok());
+
+  auto stolen = sky_->ProbeCrossDomainRead(t, sid, mk::kHeapVa + 0x40);
+  if (IsMpk()) {
+    ASSERT_TRUE(stolen.ok()) << stolen.status().ToString();
+    EXPECT_EQ(*stolen, kSecret);
+  } else {
+    EXPECT_EQ(stolen.status().code(), sb::ErrorCode::kPermissionDenied);
+    EXPECT_GE(sky_->stats().rejected_calls, 1u);
+  }
+}
+
+TEST_P(SecurityTest, MpkForgeryExposesEvenTheCallingKeyTable) {
+  if (!IsMpk()) {
+    GTEST_SKIP() << "only the MPK backend has the forgeable-PKRU hole";
+  }
+  // The sharpest consequence of the weaker envelope: the server-side calling
+  // key table — the very credential gating the IPC path — is readable by a
+  // PKRU-forging client. (On EPTP the table lives behind the server's EPT;
+  // ProbeCrossDomainRead above shows that backend refusing.)
+  Boot();
+  auto* server = kernel_->CreateProcess("server").value();
+  const ServerId sid =
+      sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
+  auto* client = kernel_->CreateProcess("client").value();
+  ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  mk::Thread* t = client->AddThread(0);
+  ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+
+  const hw::GuestWalk table = server->address_space().WalkVa(mk::kCallingKeyTableVa);
+  ASSERT_TRUE(table.ok);
+  const uint64_t real_key = machine_->mem().ReadU64(table.gpa);
+  ASSERT_NE(real_key, 0u);
+
+  auto stolen = sky_->ProbeCrossDomainRead(t, sid, mk::kCallingKeyTableVa);
+  ASSERT_TRUE(stolen.ok()) << stolen.status().ToString();
+  EXPECT_EQ(*stolen, real_key);
+  // With the stolen key the client's own slot is all it can forge — but the
+  // point stands: MPK's confidentiality story is strictly weaker.
+  EXPECT_GT(machine_->telemetry()
+                .GetCounter("skybridge.crossing.mpk.cross_domain_probes")
+                .Value(),
+            0u);
+}
+
+TEST_P(SecurityTest, LiteralTrampolineBytesExecuteTheSwitch) {
+  if (IsSyscall()) {
+    GTEST_SKIP() << "the kernel fastpath has no trampoline page";
+  }
   // The deepest fidelity check in the repo: execute the *actual trampoline
   // code page* instruction by instruction through the simulated MMU, and
-  // watch the VMFUNC inside it switch the translation context to the server
-  // and back.
+  // watch the gate instruction inside it (VMFUNC or WRPKRU) switch the
+  // translation context to the server and back.
   Boot();
   auto* server = kernel_->CreateProcess("server").value();
   auto* client = kernel_->CreateProcess("client").value();
@@ -240,10 +361,11 @@ TEST_F(SecurityTest, LiteralTrampolineBytesExecuteTheSwitch) {
   core.SetMode(hw::CpuMode::kUser);
 
   // Set up guest registers like the user-level stub would: stack in the
-  // client, EPTP index of the binding in rcx, sentinel return address on
-  // the stack.
+  // client, view-slot index of the binding in rcx, sentinel return address
+  // on the stack.
+  const hw::Gva trampoline_va = IsMpk() ? mk::kMpkTrampolineVa : mk::kTrampolineVa;
   GuestRegs regs;
-  regs.rip = mk::kTrampolineVa;
+  regs.rip = trampoline_va;
   regs.reg(x86::Reg::kRsp) = mk::kStackTopVa - 64;
   regs.reg(x86::Reg::kRcx) = binding_slot;
   // The return slot (the caller's own view) rides in r8; the kernel hands it
@@ -255,6 +377,7 @@ TEST_F(SecurityTest, LiteralTrampolineBytesExecuteTheSwitch) {
   GuestExecutor exec(&core);
   kernel_->rootkernel()->ResetExitCounters();  // Count steady-state exits only.
   const uint64_t vmfuncs_before = core.pmu().vmfuncs;
+  const uint64_t wrpkrus_before = core.pmu().wrpkrus;
   bool saw_server_view = false;
   bool done = false;
   int steps = 0;
@@ -272,15 +395,22 @@ TEST_F(SecurityTest, LiteralTrampolineBytesExecuteTheSwitch) {
   }
   ASSERT_TRUE(done) << "trampoline did not return";
   EXPECT_TRUE(saw_server_view);
-  // Two VMFUNCs executed (call gate + return gate)...
-  EXPECT_EQ(core.pmu().vmfuncs - vmfuncs_before, 2u);
+  // Two gate instructions executed (call gate + return gate), of the
+  // backend's own kind only...
+  if (IsMpk()) {
+    EXPECT_EQ(core.pmu().wrpkrus - wrpkrus_before, 2u);
+    EXPECT_EQ(core.pmu().vmfuncs - vmfuncs_before, 0u);
+  } else {
+    EXPECT_EQ(core.pmu().vmfuncs - vmfuncs_before, 2u);
+    EXPECT_EQ(core.pmu().wrpkrus - wrpkrus_before, 0u);
+  }
   // ...and we ended back in the client's view with the stack balanced.
   EXPECT_EQ(*kernel_->CurrentIdentity(core), client->pid());
   EXPECT_EQ(regs.reg(x86::Reg::kRsp), mk::kStackTopVa - 64);
   EXPECT_EQ(machine_->total_vm_exits(), 0u);
 }
 
-TEST_F(SecurityTest, GuestExecutorRefusesUnknownInstructions) {
+TEST_P(SecurityTest, GuestExecutorRefusesUnknownInstructions) {
   Boot();
   auto* proc = kernel_->CreateProcess("p").value();
   ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), proc).ok());

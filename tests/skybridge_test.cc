@@ -1,6 +1,11 @@
 // SkyBridge integration tests: registration, the 396-cycle direct call, the
 // address-space switch, long IPC, and the Section 4.4 / Section 7 security
 // properties.
+//
+// The whole suite is parameterized over the crossing backend (DESIGN.md
+// section 16): every test runs against EPTP, MPK and the kernel-fastpath
+// baseline, skipping only the cases tied to a capability the backend lacks
+// (EPTP slot behaviour on kSyscall, which installs no view slots).
 
 #include "src/skybridge/skybridge.h"
 
@@ -24,9 +29,10 @@ hw::MachineConfig TestMachine() {
   return config;
 }
 
-class SkyBridgeTest : public ::testing::Test {
+class SkyBridgeTest : public ::testing::TestWithParam<CrossingBackendKind> {
  protected:
   void Boot(mk::KernelProfile profile = mk::Sel4Profile(), SkyBridgeConfig config = {}) {
+    config.crossing_backend = GetParam();
     sky_.reset();      // Tear down in dependency order before re-booting.
     kernel_.reset();
     machine_.reset();
@@ -35,6 +41,10 @@ class SkyBridgeTest : public ::testing::Test {
     ASSERT_TRUE(kernel_->Boot().ok());
     sky_ = std::make_unique<SkyBridge>(*kernel_, config);
   }
+
+  bool IsEptp() const { return GetParam() == CrossingBackendKind::kEptp; }
+  bool IsMpk() const { return GetParam() == CrossingBackendKind::kMpk; }
+  bool IsSyscall() const { return GetParam() == CrossingBackendKind::kSyscall; }
 
   struct Pair {
     mk::Process* client;
@@ -59,11 +69,19 @@ class SkyBridgeTest : public ::testing::Test {
   std::unique_ptr<SkyBridge> sky_;
 };
 
+INSTANTIATE_TEST_SUITE_P(Backends, SkyBridgeTest,
+                         ::testing::Values(CrossingBackendKind::kEptp,
+                                           CrossingBackendKind::kMpk,
+                                           CrossingBackendKind::kSyscall),
+                         [](const ::testing::TestParamInfo<CrossingBackendKind>& param_info) {
+                           return std::string(CrossingBackendName(param_info.param));
+                         });
+
 Handler EchoHandler() {
   return [](CallEnv& env) { return env.request; };
 }
 
-TEST_F(SkyBridgeTest, DirectCallRoundTrip) {
+TEST_P(SkyBridgeTest, DirectCallRoundTrip) {
   Boot();
   Pair p = MakePair(EchoHandler());
   auto reply = sky_->DirectServerCall(p.thread, p.sid, Message(42));
@@ -72,7 +90,7 @@ TEST_F(SkyBridgeTest, DirectCallRoundTrip) {
   EXPECT_EQ(sky_->stats().direct_calls, 1u);
 }
 
-TEST_F(SkyBridgeTest, WarmRoundtripNear396) {
+TEST_P(SkyBridgeTest, WarmRoundtripMatchesTheBackendCostModel) {
   Boot();
   Pair p = MakePair(EchoHandler());
   for (int i = 0; i < 100; ++i) {
@@ -85,15 +103,32 @@ TEST_F(SkyBridgeTest, WarmRoundtripNear396) {
     ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0), &bd).ok());
   }
   const uint64_t rt = (core.cycles() - start) / 100;
-  EXPECT_GE(rt, 396u);
-  EXPECT_LE(rt, 500u);  // 396 + warm key-table/trampoline traffic.
-  EXPECT_EQ(bd.vmfunc / 100, 2 * machine_->costs().vmfunc);
-  EXPECT_EQ(bd.syscall_sysret, 0u);   // No kernel involvement.
-  EXPECT_EQ(bd.context_switch, 0u);   // No CR3 write.
+  const hw::CostModel& costs = machine_->costs();
+  if (IsEptp()) {
+    EXPECT_GE(rt, 396u);
+    EXPECT_LE(rt, 500u);  // 396 + warm key-table/trampoline traffic.
+    EXPECT_EQ(bd.vmfunc / 100, 2 * costs.vmfunc);
+    EXPECT_EQ(bd.syscall_sysret, 0u);   // No kernel involvement.
+    EXPECT_EQ(bd.context_switch, 0u);   // No CR3 write.
+  } else if (IsMpk()) {
+    // WRPKRU (~20 cycles) replaces VMFUNC (~134): cheaper than the paper's
+    // roundtrip, still fully user-mode.
+    EXPECT_LT(rt, 396u);
+    EXPECT_EQ(bd.vmfunc / 100, 2 * costs.wrpkru);
+    EXPECT_EQ(bd.syscall_sysret, 0u);
+    EXPECT_EQ(bd.context_switch, 0u);
+  } else {
+    // The kernel fastpath traps and switches CR3 on every leg: no gate
+    // cycles, but strictly dearer than either user-mode switch.
+    EXPECT_GT(rt, 500u);
+    EXPECT_EQ(bd.vmfunc, 0u);
+    EXPECT_GT(bd.syscall_sysret, 0u);
+    EXPECT_GT(bd.context_switch, 0u);
+  }
   EXPECT_EQ(bd.ipi, 0u);
 }
 
-TEST_F(SkyBridgeTest, NoVmExitsInSteadyState) {
+TEST_P(SkyBridgeTest, NoVmExitsInSteadyState) {
   Boot();
   Pair p = MakePair(EchoHandler());
   ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
@@ -105,7 +140,7 @@ TEST_F(SkyBridgeTest, NoVmExitsInSteadyState) {
   EXPECT_EQ(machine_->total_vm_exits(), 0u);
 }
 
-TEST_F(SkyBridgeTest, HandlerRunsInServerAddressSpaceWithClientCr3) {
+TEST_P(SkyBridgeTest, HandlerRunsInServerAddressSpace) {
   Boot();
   uint64_t observed_cr3 = 0;
   uint64_t observed_identity = 0;
@@ -118,9 +153,15 @@ TEST_F(SkyBridgeTest, HandlerRunsInServerAddressSpaceWithClientCr3) {
   Pair p = MakePair(handler);
   ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
 
-  // The hardware CR3 still held the *client's* root during the handler...
-  EXPECT_EQ(observed_cr3, p.client->cr3());
-  // ...but the identity page (and thus the kernel's view) said "server".
+  if (IsSyscall()) {
+    // The kernel fastpath really switched CR3 to the server's root.
+    EXPECT_EQ(observed_cr3, p.server->cr3());
+  } else {
+    // The hardware CR3 still held the *client's* root during the handler;
+    // the view switch remapped it to the server's page tables.
+    EXPECT_EQ(observed_cr3, p.client->cr3());
+  }
+  // Either way the identity page (and thus the kernel's view) said "server".
   EXPECT_EQ(observed_identity, p.server->pid());
 
   // The handler's write landed in the server's heap, not the client's.
@@ -131,7 +172,7 @@ TEST_F(SkyBridgeTest, HandlerRunsInServerAddressSpaceWithClientCr3) {
   EXPECT_EQ(*core.ReadVirtU64(mk::kHeapVa + 0x200), 0u);
 }
 
-TEST_F(SkyBridgeTest, LongMessagesThroughSharedBuffer) {
+TEST_P(SkyBridgeTest, LongMessagesThroughSharedBuffer) {
   Boot();
   std::string seen;
   Handler handler = [&seen](CallEnv& env) {
@@ -149,7 +190,7 @@ TEST_F(SkyBridgeTest, LongMessagesThroughSharedBuffer) {
   EXPECT_EQ(sky_->stats().long_calls, 1u);
 }
 
-TEST_F(SkyBridgeTest, UnregisteredClientRejected) {
+TEST_P(SkyBridgeTest, UnregisteredClientRejected) {
   Boot();
   Pair p = MakePair(EchoHandler());
   auto* stranger = kernel_->CreateProcess("stranger").value();
@@ -159,7 +200,7 @@ TEST_F(SkyBridgeTest, UnregisteredClientRejected) {
   EXPECT_EQ(sky_->stats().rejected_calls, 1u);
 }
 
-TEST_F(SkyBridgeTest, ForgedCallingKeyRejected) {
+TEST_P(SkyBridgeTest, ForgedCallingKeyRejected) {
   Boot();
   Pair p = MakePair(EchoHandler());
   auto result = sky_->CallWithForgedKey(p.thread, p.sid, Message(0), 0x1234);
@@ -169,7 +210,7 @@ TEST_F(SkyBridgeTest, ForgedCallingKeyRejected) {
   EXPECT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
 }
 
-TEST_F(SkyBridgeTest, CallingKeyCheckCanBeDisabled) {
+TEST_P(SkyBridgeTest, CallingKeyCheckCanBeDisabled) {
   SkyBridgeConfig config;
   config.calling_keys = false;
   Boot(mk::Sel4Profile(), config);
@@ -178,35 +219,54 @@ TEST_F(SkyBridgeTest, CallingKeyCheckCanBeDisabled) {
   EXPECT_TRUE(sky_->CallWithForgedKey(p.thread, p.sid, Message(0), 0x1234).ok());
 }
 
-TEST_F(SkyBridgeTest, RegistrationRewritesPlantedVmfunc) {
+TEST_P(SkyBridgeTest, RegistrationRewritesPlantedGatePattern) {
   Boot();
-  // A client whose binary carries a self-prepared VMFUNC (the SeCage-style
-  // attack): registration must rewrite it away.
+  // A client whose binary carries a self-prepared gate instruction (the
+  // SeCage-style attack): registration must rewrite away the backend's own
+  // primitive — VMFUNC for EPTP, WRPKRU for MPK. The kernel fastpath has no
+  // user-mode gate, so kSyscall leaves the image untouched.
   x86::Assembler a;
   a.MovRI64(x86::Reg::kRax, 0);
-  a.Vmfunc();  // Malicious gate.
-  a.AddRI(x86::Reg::kRax, 0x00d4010f);  // And an embedded pattern.
+  if (IsMpk()) {
+    a.Wrpkru();  // Malicious key switch.
+    a.AddRI(x86::Reg::kRax, 0x00ef010f);  // And an embedded pattern.
+  } else {
+    a.Vmfunc();  // Malicious gate.
+    a.AddRI(x86::Reg::kRax, 0x00d4010f);  // And an embedded pattern.
+  }
   a.Ret();
   auto* evil = kernel_->CreateProcessWithImage("evil", a.Take()).value();
   auto* server = kernel_->CreateProcess("server").value();
   const ServerId sid = sky_->RegisterServer(server, 4, EchoHandler()).value();
   ASSERT_TRUE(sky_->RegisterClient(evil, sid).ok());
 
+  if (IsSyscall()) {
+    EXPECT_FALSE(evil->code_rewritten());
+    EXPECT_EQ(x86::FindVmfuncBytes(evil->code_image()).size(), 2u);
+    EXPECT_FALSE(evil->address_space().WalkVa(mk::kRewritePageVa).ok);
+    return;
+  }
   EXPECT_TRUE(evil->code_rewritten());
+  x86::ScanOptions options;
+  options.pattern = IsMpk() ? x86::kWrpkruBytes : x86::kVmfuncBytes;
+  EXPECT_TRUE(x86::FindVmfuncBytes(evil->code_image(), options).empty());
+  // The VMFUNC scrub runs for every view-slot backend, MPK included.
   EXPECT_TRUE(x86::FindVmfuncBytes(evil->code_image()).empty());
   EXPECT_GE(sky_->stats().rewritten_vmfuncs, 2u);
-  // The rewrite page got mapped at the paper's address.
-  EXPECT_TRUE(evil->address_space().WalkVa(mk::kRewritePageVa).ok);
+  // The rewrite window got mapped at the pattern's fixed address: VMFUNC
+  // snippets at window 0 (the paper's address), WRPKRU snippets at window 1.
+  const hw::Gva window = mk::kRewritePageVa + (IsMpk() ? 16 * sb::kPageSize : 0);
+  EXPECT_TRUE(evil->address_space().WalkVa(window).ok);
 }
 
-TEST_F(SkyBridgeTest, CleanBinariesAreLeftAlone) {
+TEST_P(SkyBridgeTest, CleanBinariesAreLeftAlone) {
   Boot();
   Pair p = MakePair(EchoHandler());
   EXPECT_TRUE(x86::FindVmfuncBytes(p.client->code_image()).empty());
   EXPECT_FALSE(p.client->address_space().WalkVa(mk::kRewritePageVa).ok);
 }
 
-TEST_F(SkyBridgeTest, TimeoutForcesReturn) {
+TEST_P(SkyBridgeTest, TimeoutForcesReturn) {
   SkyBridgeConfig config;
   config.timeout_cycles = 1000;
   Boot(mk::Sel4Profile(), config);
@@ -220,7 +280,7 @@ TEST_F(SkyBridgeTest, TimeoutForcesReturn) {
   EXPECT_EQ(sky_->stats().timeouts, 1u);
 }
 
-TEST_F(SkyBridgeTest, ConnectionLimitEnforced) {
+TEST_P(SkyBridgeTest, ConnectionLimitEnforced) {
   Boot();
   auto* server = kernel_->CreateProcess("server").value();
   const ServerId sid = sky_->RegisterServer(server, 2, EchoHandler()).value();
@@ -233,7 +293,7 @@ TEST_F(SkyBridgeTest, ConnectionLimitEnforced) {
             sb::ErrorCode::kResourceExhausted);
 }
 
-TEST_F(SkyBridgeTest, MultiServerFanOut) {
+TEST_P(SkyBridgeTest, MultiServerFanOut) {
   Boot();
   auto* client = kernel_->CreateProcess("client").value();
   mk::Thread* t = client->AddThread(0);
@@ -254,7 +314,10 @@ TEST_F(SkyBridgeTest, MultiServerFanOut) {
   }
 }
 
-TEST_F(SkyBridgeTest, EptpLruEvictionBeyondCapacity) {
+TEST_P(SkyBridgeTest, EptpLruEvictionBeyondCapacity) {
+  if (IsSyscall()) {
+    GTEST_SKIP() << "kSyscall bindings occupy no EPTP slots";
+  }
   SkyBridgeConfig config;
   config.eptp_capacity = 3;  // Own EPT + 2 bindings.
   Boot(mk::Sel4Profile(), config);
@@ -286,7 +349,7 @@ TEST_F(SkyBridgeTest, EptpLruEvictionBeyondCapacity) {
   EXPECT_EQ(*sky_->InstalledBindings(client), 2u);
 }
 
-TEST_F(SkyBridgeTest, RouteCacheServesRepeatCallsWithoutIndexLookups) {
+TEST_P(SkyBridgeTest, RouteCacheServesRepeatCallsWithoutIndexLookups) {
   Boot();
   Pair p = MakePair(EchoHandler());
   const uint64_t misses0 = sky_->stats().binding_lookup_misses;
@@ -308,7 +371,7 @@ TEST_F(SkyBridgeTest, RouteCacheServesRepeatCallsWithoutIndexLookups) {
   EXPECT_EQ(sky_->stats().binding_lookup_misses, misses0 + 2);
 }
 
-TEST_F(SkyBridgeTest, AlternatingServersFallBackToTheIndex) {
+TEST_P(SkyBridgeTest, AlternatingServersFallBackToTheIndex) {
   Boot();
   auto* client = kernel_->CreateProcess("client").value();
   mk::Thread* t = client->AddThread(0);
@@ -335,7 +398,10 @@ TEST_F(SkyBridgeTest, AlternatingServersFallBackToTheIndex) {
   EXPECT_EQ(sky_->stats().binding_lookup_misses, misses0 + 20);
 }
 
-TEST_F(SkyBridgeTest, EvictionReshuffleInvalidatesCachedSlots) {
+TEST_P(SkyBridgeTest, EvictionReshuffleInvalidatesCachedSlots) {
+  if (IsSyscall()) {
+    GTEST_SKIP() << "kSyscall bindings occupy no EPTP slots";
+  }
   // Regression test: evicting a binding shifts later EPTP slots down. The
   // surviving bindings' cached slot indices must be refreshed, or the next
   // call through a stale cache would VMFUNC into the wrong address space.
@@ -381,7 +447,10 @@ TEST_F(SkyBridgeTest, EvictionReshuffleInvalidatesCachedSlots) {
   EXPECT_EQ(sky_->stats().rejected_calls, 0u);
 }
 
-TEST_F(SkyBridgeTest, NestedCallEvictionSparesThePinnedEntryEpt) {
+TEST_P(SkyBridgeTest, NestedCallEvictionSparesThePinnedEntryEpt) {
+  if (IsSyscall()) {
+    GTEST_SKIP() << "kSyscall bindings occupy no EPTP slots";
+  }
   // During a nested call the enclosing binding's EPT is the one the inner
   // call must return through. When installing the inner chain binding forces
   // an eviction, the pinned entry EPT must be skipped even when it is the
@@ -437,15 +506,24 @@ TEST_F(SkyBridgeTest, NestedCallEvictionSparesThePinnedEntryEpt) {
   EXPECT_EQ(*installed, 2u);  // ...but the list never exceeds capacity.
 }
 
-TEST_F(SkyBridgeTest, RegistrationScanStatsAreRecorded) {
+TEST_P(SkyBridgeTest, RegistrationScanStatsAreRecorded) {
   Boot();
-  Pair p = MakePair(EchoHandler());
+  (void)MakePair(EchoHandler());
+  if (IsSyscall()) {
+    // No gate primitive to scrub: registration never scanned anything.
+    EXPECT_EQ(sky_->stats().scan_pages, 0u);
+    EXPECT_EQ(sky_->stats().scan_threads, 0u);
+    return;
+  }
   // Registration scanned both processes' code images chunk by chunk.
   EXPECT_GT(sky_->stats().scan_pages, 0u);
   EXPECT_GE(sky_->stats().scan_threads, 1u);
 }
 
-TEST_F(SkyBridgeTest, SkyBridgeBeatsKernelIpcOnEveryPersonality) {
+TEST_P(SkyBridgeTest, SkyBridgeBeatsKernelIpcOnEveryPersonality) {
+  if (IsSyscall()) {
+    GTEST_SKIP() << "the kSyscall backend IS the kernel IPC baseline";
+  }
   for (const mk::KernelKind kind :
        {mk::KernelKind::kSel4, mk::KernelKind::kFiasco, mk::KernelKind::kZircon}) {
     Boot(mk::ProfileFor(kind));
@@ -475,9 +553,11 @@ TEST_F(SkyBridgeTest, SkyBridgeBeatsKernelIpcOnEveryPersonality) {
   }
 }
 
-TEST_F(SkyBridgeTest, NestedDirectCallsAcrossThreeProcesses) {
+TEST_P(SkyBridgeTest, NestedDirectCallsAcrossThreeProcesses) {
   // client -> middle -> backend, both hops over SkyBridge (the SQLite-stack
-  // shape: app -> fs -> disk).
+  // shape: app -> fs -> disk). On kSyscall the kernel really switches
+  // current_process per leg, so the nest degenerates to plain calls — the
+  // reply arithmetic must come out identical regardless.
   Boot();
   auto* backend = kernel_->CreateProcess("backend").value();
   const ServerId backend_sid =

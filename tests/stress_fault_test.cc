@@ -98,6 +98,7 @@ struct ScenarioResult {
   std::string trace_json;  // Chrome-trace replay of the whole run.
   std::string counters;    // Deterministic counter fingerprint.
   std::map<std::string, uint64_t> fires;  // Per-point fire totals.
+  std::map<std::string, uint64_t> crossing_enters;  // Per-backend crossings.
 };
 
 // One complete stress scenario on a fresh world. Deterministic: everything
@@ -125,6 +126,15 @@ class StressScenario {
     result.trace_json = sb::telemetry::TraceChromeJson(sb::telemetry::TraceSnapshot());
     result.counters = CounterFingerprint();
     result.fires = fires_;
+    for (const CrossingBackendKind backend :
+         {CrossingBackendKind::kEptp, CrossingBackendKind::kMpk,
+          CrossingBackendKind::kSyscall}) {
+      const std::string name = CrossingBackendName(backend);
+      result.crossing_enters[name] =
+          machine_->telemetry()
+              .GetCounter("skybridge.crossing." + name + ".enters")
+              .Value();
+    }
     sb::telemetry::TraceClear();
     return result;
   }
@@ -137,24 +147,42 @@ class StressScenario {
     machine_ = std::make_unique<hw::Machine>(mc);
     kernel_ = std::make_unique<mk::Kernel>(*machine_, mk::Sel4Profile());
     SB_CHECK(kernel_->Boot().ok());
-    sky_ = std::make_unique<SkyBridge>(*kernel_);
+    // The backend mix is pinned explicitly per server below; the config
+    // default (kv pipeline, sweep helpers) stays kEptp regardless of the
+    // SB_CROSSING_BACKEND matrix so the fault sweep hits the slot paths.
+    SkyBridgeConfig config;
+    config.crossing_backend = CrossingBackendKind::kEptp;
+    sky_ = std::make_unique<SkyBridge>(*kernel_, config);
 
     // Echo server + client (cores 1 and 2 carry its threads; core 0 belongs
-    // to the kv pipeline below).
+    // to the kv pipeline below). The server population is deliberately
+    // mixed-backend (DESIGN.md section 16): echo pins EPTP, the fs hop runs
+    // over MPK, and a second echo server takes the kernel fastpath, so every
+    // stress phase exercises all three crossing paths side by side.
     echo_server_ = kernel_->CreateProcess("stress-echo-server").value();
-    echo_sid_ =
-        sky_->RegisterServer(echo_server_, 8, [](CallEnv& env) { return env.request; }).value();
+    echo_sid_ = sky_->RegisterServer(echo_server_, 8,
+                                     [](CallEnv& env) { return env.request; },
+                                     CrossingBackendKind::kEptp)
+                    .value();
+    sys_server_ = kernel_->CreateProcess("stress-sys-server").value();
+    sys_sid_ = sky_->RegisterServer(sys_server_, 8,
+                                    [](CallEnv& env) { return env.request; },
+                                    CrossingBackendKind::kSyscall)
+                   .value();
 
-    // xv6fs behind a SkyBridge RPC hop.
+    // xv6fs behind a SkyBridge RPC hop, crossing via MPK.
     disk_ = std::make_unique<fsys::RamDisk>(4096);
     fs_ = std::make_unique<fsys::Xv6Fs>(RamTransport(disk_.get()));
     SB_CHECK(fs_->Mkfs().ok());
     SB_CHECK(fs_->Mount().ok());
     fs_server_ = kernel_->CreateProcess("stress-fs-server").value();
-    fs_sid_ = sky_->RegisterServer(fs_server_, 8, fsys::MakeFsHandler(fs_.get())).value();
+    fs_sid_ = sky_->RegisterServer(fs_server_, 8, fsys::MakeFsHandler(fs_.get()),
+                                   CrossingBackendKind::kMpk)
+                  .value();
 
     client_ = kernel_->CreateProcess("stress-client").value();
     SB_CHECK(sky_->RegisterClient(client_, echo_sid_).ok());
+    SB_CHECK(sky_->RegisterClient(client_, sys_sid_).ok());
     SB_CHECK(sky_->RegisterClient(client_, fs_sid_).ok());
     echo_thread_ = client_->AddThread(1);
     fs_thread_ = client_->AddThread(2);
@@ -303,22 +331,24 @@ class StressScenario {
                        });
 
     // echo: variable payload sizes (registers, owned copies, and the
-    // long-message shared-buffer path); revives its binding when revoked.
+    // long-message shared-buffer path) over an alternating EPTP / kernel-
+    // fastpath server pair; revives whichever binding got revoked.
     executor.AddThread("echo", 1,
                        [this, after_event, rng = sb::Rng(seed_ ^ 0xec40ULL),
                         n = uint64_t{0}](sim::SimThread& t) mutable {
+                         const ServerId sid = rng.OneIn(3) ? sys_sid_ : echo_sid_;
                          Message msg(rng.Next());
                          const uint64_t size_class = rng.Below(3);
                          if (size_class > 0) {
                            msg.data.assign(size_class == 1 ? 16 : 2048,
                                            static_cast<uint8_t>(rng.Next()));
                          }
-                         auto reply = sky_->DirectServerCall(echo_thread_, echo_sid_, msg);
+                         auto reply = sky_->DirectServerCall(echo_thread_, sid, msg);
                          if (reply.ok()) {
                            EXPECT_EQ(reply->tag, msg.tag);
                            EXPECT_EQ(reply->payload().size(), msg.data.size());
                          } else if (reply.status().code() == ErrorCode::kPermissionDenied) {
-                           EXPECT_TRUE(sky_->RegisterClient(client_, echo_sid_).ok());
+                           EXPECT_TRUE(sky_->RegisterClient(client_, sid).ok());
                          }
                          after_event(t, reply.status());
                          return ++n < events_;
@@ -447,6 +477,7 @@ class StressScenario {
     SB_CHECK(kernel.Boot().ok());
     SkyBridgeConfig config;
     config.eptp_working_set = 4;  // Base + 3 usable slots, 8 bindings: thrash.
+    config.crossing_backend = CrossingBackendKind::kEptp;  // Slot mechanics.
     SkyBridge sky(kernel, config);
 
     constexpr int kServers = 8;
@@ -556,6 +587,19 @@ class StressScenario {
     for (const auto& [point, fires] : fires_) {
       out << " fires[" << point << "]=" << fires;
     }
+    // Per-backend crossing totals: the mixed-backend population must replay
+    // with the same number of crossings on every path.
+    for (const CrossingBackendKind backend :
+         {CrossingBackendKind::kEptp, CrossingBackendKind::kMpk,
+          CrossingBackendKind::kSyscall}) {
+      const std::string name = CrossingBackendName(backend);
+      for (const char* leg : {"enters", "returns", "aborts"}) {
+        out << " crossing[" << name << "." << leg << "]="
+            << machine_->telemetry()
+                   .GetCounter("skybridge.crossing." + name + "." + leg)
+                   .Value();
+      }
+    }
     return out.str();
   }
 
@@ -570,12 +614,14 @@ class StressScenario {
   std::unique_ptr<apps::KvPipeline> kv_;
 
   mk::Process* echo_server_ = nullptr;
+  mk::Process* sys_server_ = nullptr;
   mk::Process* fs_server_ = nullptr;
   mk::Process* client_ = nullptr;
   mk::Thread* echo_thread_ = nullptr;
   mk::Thread* fs_thread_ = nullptr;
   mk::Thread* batch_thread_ = nullptr;
   ServerId echo_sid_ = 0;
+  ServerId sys_sid_ = 0;
   ServerId fs_sid_ = 0;
   uint64_t sqlite_stale_retries_ = 0;
   uint64_t thrash_slot_faults_ = 0;
@@ -629,6 +675,12 @@ TEST_F(StressFaultTest, SeededRunSurvivesTheWholeCatalog) {
     ASSERT_NE(it, result.fires.end()) << point;
     EXPECT_GE(it->second, 1u) << point;
   }
+  // The mixed-backend population actually crossed on all three paths.
+  for (const char* backend : {"eptp", "mpk", "syscall"}) {
+    auto it = result.crossing_enters.find(backend);
+    ASSERT_NE(it, result.crossing_enters.end()) << backend;
+    EXPECT_GE(it->second, 1u) << backend << " never crossed in the stress mix";
+  }
   EXPECT_FALSE(result.trace_json.empty());
 }
 
@@ -640,6 +692,7 @@ TEST_F(StressFaultTest, SameSeedReplaysByteIdenticalTrace) {
   EXPECT_EQ(first.trace_json, second.trace_json);
   EXPECT_EQ(first.counters, second.counters);
   EXPECT_EQ(first.fires, second.fires);
+  EXPECT_EQ(first.crossing_enters, second.crossing_enters);
 }
 
 TEST_F(StressFaultTest, DifferentSeedsTakeDifferentPaths) {
