@@ -63,6 +63,13 @@ struct CostModel {
   // A VM exit / entry pair (hypervisor handled), for the exits that remain.
   uint64_t vm_exit_roundtrip = 1500;
 
+  // Registration rewrite pipeline. Scanning one 4 KiB code page for gate
+  // patterns (linear sweep + decode, bench_table6-calibrated per-page share
+  // of the full-image scan), versus replaying an already-computed rewrite
+  // from the content-hashed cache (hash + patch writes only).
+  uint64_t rewrite_scan_page = 12000;
+  uint64_t rewrite_cache_replay = 900;
+
   // Nominal core frequency used to convert cycles to seconds for throughput
   // numbers (ops/s), matching the i7-6700K's 4.0 GHz.
   double cycles_per_second = 4.0e9;

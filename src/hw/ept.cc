@@ -139,6 +139,25 @@ sb::Status Ept::RemapGpaPage(Gpa page_gpa, Hpa new_target) {
   return sb::OkStatus();
 }
 
+sb::Status Ept::SetGpaPageExec(Gpa page_gpa, bool exec) {
+  if (!sb::IsPageAligned(page_gpa)) {
+    return sb::InvalidArgument("SetGpaPageExec requires 4K alignment");
+  }
+  Hpa table = root_;
+  for (int level = 4; level > 1; --level) {
+    SB_ASSIGN_OR_RETURN(table, PrivatizeChild(table, IndexAt(page_gpa, level), level));
+  }
+  const Hpa leaf_addr = table + static_cast<uint64_t>(IndexAt(page_gpa, 1)) * 8;
+  const uint64_t entry = mem_->ReadU64(leaf_addr);
+  if ((entry & kEptRwx) == 0) {
+    return sb::NotFound("SetGpaPageExec on an unmapped GPA");
+  }
+  uint8_t perms = entry & kEptRwx;
+  perms = exec ? (perms | kEptExec) : (perms & ~kEptExec);
+  mem_->WriteU64(leaf_addr, MakeEntry(entry & kPfnMask, perms, /*large=*/false));
+  return sb::OkStatus();
+}
+
 sb::Status Ept::UnmapGpaPage(Gpa page_gpa) {
   if (!sb::IsPageAligned(page_gpa)) {
     return sb::InvalidArgument("UnmapGpaPage requires 4K alignment");

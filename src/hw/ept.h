@@ -68,6 +68,13 @@ class Ept {
   // Removes the translation for the 4 KiB page (subsequent walks fault).
   sb::Status UnmapGpaPage(Gpa page_gpa);
 
+  // Sets or clears the execute bit on the 4 KiB translation of `page_gpa`,
+  // cloning the path (and splitting large pages) like RemapGpaPage so shared
+  // subtrees in sibling EPTs keep their permissions. The translation target
+  // is preserved. This is the lazy-registration knob: a non-executable code
+  // page faults on first instruction fetch and is rewritten on demand.
+  sb::Status SetGpaPageExec(Gpa page_gpa, bool exec);
+
   // Structural walk. `need` is the permission mask the access requires.
   EptWalk Walk(Gpa gpa, uint8_t need) const;
 

@@ -46,6 +46,9 @@ Machine::Machine(const MachineConfig& config)
 uint64_t Machine::DeliverVmExit(Core& core, const VmExitInfo& info) {
   ++total_vm_exits_;
   ++core.pmu().vm_exits;
+  if (info.reason == VmExitReason::kEptExecViolation) {
+    ++core.pmu().exec_violations;
+  }
   core.AdvanceCycles(config_.costs.vm_exit_roundtrip);
   SB_CHECK(has_vm_exit_handler()) << "VM exit with no hypervisor installed (triple fault), reason="
                                   << static_cast<int>(info.reason);

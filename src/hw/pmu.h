@@ -17,6 +17,7 @@ struct PmuCounters {
   uint64_t dtlb_miss = 0;
   uint64_t mem_accesses = 0;
   uint64_t vm_exits = 0;
+  uint64_t exec_violations = 0;
   uint64_t ipis_sent = 0;
   uint64_t vmfuncs = 0;
   uint64_t wrpkrus = 0;
@@ -33,6 +34,7 @@ struct PmuCounters {
     d.dtlb_miss = dtlb_miss - rhs.dtlb_miss;
     d.mem_accesses = mem_accesses - rhs.mem_accesses;
     d.vm_exits = vm_exits - rhs.vm_exits;
+    d.exec_violations = exec_violations - rhs.exec_violations;
     d.ipis_sent = ipis_sent - rhs.ipis_sent;
     d.vmfuncs = vmfuncs - rhs.vmfuncs;
     d.wrpkrus = wrpkrus - rhs.wrpkrus;

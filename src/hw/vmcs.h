@@ -22,6 +22,10 @@ enum class VmExitReason : uint8_t {
   kCpuid,
   kVmcall,
   kEptViolation,
+  // Instruction fetch from a page whose EPT leaf lacks the execute bit.
+  // Distinguished from the generic data-access violation so the Rootkernel
+  // can route it into the lazy rewrite-on-first-execute slow path.
+  kEptExecViolation,
   kVmfuncInvalid,
   kTriplefault,
 };

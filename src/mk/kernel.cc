@@ -291,6 +291,31 @@ sb::StatusOr<uint64_t> Kernel::CurrentIdentity(hw::Core& core) {
   return core.ReadVirtU64(kIdentityVa);
 }
 
+sb::Status Kernel::RaiseExecFault(hw::Core& core, hw::Gpa gpa) {
+  hw::VmExitInfo info;
+  info.reason = hw::VmExitReason::kEptExecViolation;
+  info.qualification = gpa;
+  const uint64_t result = machine_->DeliverVmExit(core, info);
+  if (result == vmm::kHypercallError) {
+    return sb::Unavailable("exec fault unresolved");
+  }
+  return sb::OkStatus();
+}
+
+void Kernel::SetExecFaultHandler(ExecFaultHandler handler) {
+  if (rootkernel_ == nullptr) {
+    return;
+  }
+  if (!handler) {
+    rootkernel_->SetExecViolationHandler(nullptr);
+    return;
+  }
+  rootkernel_->SetExecViolationHandler(
+      [h = std::move(handler)](hw::Core& core, hw::Gpa gpa) -> uint64_t {
+        return h(core, gpa).ok() ? 0 : vmm::kHypercallError;
+      });
+}
+
 void Kernel::SyscallEnter(hw::Core& core, CostBreakdown* bd) {
   metrics_.syscall_entries->Add();
   SB_TRACE_EVENT(TraceEventType::kSyscallEnter, core.cycles(), core.id());

@@ -222,6 +222,20 @@ class Kernel {
   // translation context say is running? Requires the identity VA mapping.
   sb::StatusOr<uint64_t> CurrentIdentity(hw::Core& core);
 
+  // ---- Lazy registration exec faults (DESIGN.md section 17) ----
+  // Delivers an EPT exec-violation VM exit for `gpa` on `core` (charging the
+  // exit round trip and the PMU counter); the Rootkernel routes it into the
+  // installed exec-fault handler — SkyBridge's rewrite-on-first-execute slow
+  // path. Ok when the handler made the page executable; Unavailable when the
+  // fault stays unresolved (no handler, or the handler failed).
+  sb::Status RaiseExecFault(hw::Core& core, hw::Gpa gpa);
+
+  // Installs (or, with nullptr, clears) the exec-fault slow path on the
+  // booted Rootkernel. The handler returns ok once the faulting page has
+  // been rewritten and re-enabled for execution.
+  using ExecFaultHandler = std::function<sb::Status(hw::Core&, hw::Gpa)>;
+  void SetExecFaultHandler(ExecFaultHandler handler);
+
   // ---- The synchronous IPC path ----
   // Caller must be the current process on the caller thread's core. A
   // message carrying a capability grant (msg.has_cap_grant) is delivered via

@@ -58,6 +58,52 @@ inline CrossingBackendKind DefaultCrossingBackend() {
   return CrossingBackendKind::kEptp;
 }
 
+// ---- Registration modes (staged pipeline, DESIGN.md section 17) ----
+// How a process's code pages get their gate-pattern scrub:
+//   kEager    — scan/rewrite the whole image at registration (the paper's
+//               Section 5 behaviour; the default).
+//   kLazy     — leave code pages non-executable in the EPTs and rewrite one
+//               page per exec-violation fault (rewrite-on-first-execute).
+//   kSnapshot — restore post-rewrite state from a registration snapshot of
+//               an identical template image; falls back to an eager prepare
+//               (auto-captured into the snapshot library) on the first
+//               sighting of an image.
+enum class RegistrationMode : uint8_t {
+  kEager = 0,
+  kLazy = 1,
+  kSnapshot = 2,
+};
+
+inline constexpr int kNumRegistrationModes = 3;
+
+inline constexpr const char* RegistrationModeName(RegistrationMode mode) {
+  switch (mode) {
+    case RegistrationMode::kEager:
+      return "eager";
+    case RegistrationMode::kLazy:
+      return "lazy";
+    case RegistrationMode::kSnapshot:
+      return "snapshot";
+  }
+  return "unknown";
+}
+
+// Default registration mode: the SB_REGISTRATION_MODE environment variable
+// ({eager, lazy, snapshot}; anything else falls back to eager) so the CI
+// matrix can steer whole test binaries without code changes.
+inline RegistrationMode DefaultRegistrationMode() {
+  const char* env = std::getenv("SB_REGISTRATION_MODE");
+  if (env != nullptr) {
+    if (std::strcmp(env, "lazy") == 0) {
+      return RegistrationMode::kLazy;
+    }
+    if (std::strcmp(env, "snapshot") == 0) {
+      return RegistrationMode::kSnapshot;
+    }
+  }
+  return RegistrationMode::kEager;
+}
+
 // ---- Gate-frame layout constants (registration writes, the gate reads) ----
 // Per-connection server stack size (Section 4.4).
 inline constexpr uint64_t kServerStackBytes = 64 * 1024;
@@ -91,6 +137,11 @@ inline constexpr const char kFaultRevokeInflight[] = "skybridge.call.revoke_infl
 // DESIGN.md section 15). Recovery: the slot fault fails cleanly with
 // Unavailable; residency state is untouched and the next call retries.
 inline constexpr const char kFaultSlotInstall[] = "skybridge.eptp.slot_install_failed";
+// The lazy-registration exec-fault slow path fails mid-rewrite (the scan or
+// the EPT permission flip refuses). Recovery: bounded retry inside the
+// handler; after that the fault reports clean Unavailable, the page stays
+// non-executable, and the next call through it retries the whole slow path.
+inline constexpr const char kFaultExecScan[] = "skybridge.registration.exec_scan_failed";
 
 struct SkyBridgeConfig {
   // Crossing backend for bindings whose registration does not name one
@@ -134,6 +185,13 @@ struct SkyBridgeConfig {
   // Rewrite process binaries at registration (ablation switch; disabling is
   // insecure and exists only to measure the cost).
   bool rewrite_binaries = true;
+  // Staged registration pipeline mode (DESIGN.md section 17): eager scan at
+  // registration, rewrite-on-first-execute, or snapshot/restore.
+  RegistrationMode registration_mode = DefaultRegistrationMode();
+  // Budget for the content-hashed rewrite cache (entries ≈ distinct
+  // (page, backend) contents across live images). 0 disables caching —
+  // every page scan runs from scratch (the cold-start ablation baseline).
+  size_t rewrite_cache_entries = 4096;
   // DoS defence: force return to the client if a handler runs longer.
   uint64_t timeout_cycles = 1ULL << 32;
   uint64_t key_seed = 0x5eedULL;

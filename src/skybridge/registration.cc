@@ -2,13 +2,21 @@
 // Code-page scanning/rewriting (Section 5), trampoline/key-table/stack/
 // buffer mapping, binding-EPT creation and the lazy chain bindings nested
 // calls use. Nothing here runs on the call fast path (skybridge.cc).
+//
+// The scrub itself is a staged pipeline (DESIGN.md section 17): every page
+// flows through the content-hashed rewrite cache, and the registration mode
+// picks when pages flow — eagerly at registration, one page per
+// exec-violation fault (rewrite-on-first-execute), or never (restored from a
+// snapshot of an identical template).
 
 #include <algorithm>
 
+#include "src/base/faultpoint.h"
 #include "src/base/logging.h"
 #include "src/base/units.h"
 #include "src/skybridge/skybridge.h"
 #include "src/vmm/rootkernel.h"
+#include "src/x86/rewrite_cache.h"
 #include "src/x86/rewriter.h"
 #include "src/x86/scanner.h"
 
@@ -22,61 +30,213 @@ uint8_t PatternBit(CrossingBackendKind backend) {
   return backend == CrossingBackendKind::kMpk ? 0x2 : 0x1;
 }
 
+// Cache pattern id: 0 = VMFUNC (EPTP), 1 = WRPKRU (MPK).
+uint32_t PatternId(CrossingBackendKind backend) {
+  return backend == CrossingBackendKind::kMpk ? 1 : 0;
+}
+
+// Each pattern owns a fixed 16-page snippet window — VMFUNC at window 0,
+// WRPKRU at window 1 — and within a window code page p's snippets live in
+// their own sub-window page, so a page's rewrite is position-independent of
+// every other page's (the property the content-hashed cache and the lazy
+// per-page scrub rely on). Page 0's sub-window is the historical rewrite
+// page address.
+hw::Gva WindowVa(CrossingBackendKind backend, size_t page_index) {
+  return mk::kRewritePageVa +
+         (16 * PatternId(backend) + page_index) * sb::kPageSize;
+}
+
+size_t ImagePages(size_t image_bytes) {
+  const size_t pages = sb::PageUp(image_bytes) / sb::kPageSize;
+  return pages == 0 ? 1 : pages;
+}
+
+uint64_t AllPagesMask(size_t pages) {
+  return pages >= 64 ? ~0ULL : (1ULL << pages) - 1;
+}
+
+CrossingBackendKind BackendForBit(uint8_t bit) {
+  return bit == 0x2 ? CrossingBackendKind::kMpk : CrossingBackendKind::kEptp;
+}
+
 }  // namespace
+
+sb::StatusOr<SkyBridge::RegState*> SkyBridge::EnsureRegStateLocked(mk::Process* process) {
+  auto it = reg_states_.find(process);
+  if (it != reg_states_.end()) {
+    return &it->second;
+  }
+  const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
+  if (!code_walk.ok) {
+    return sb::FailedPrecondition("process has no code mapping");
+  }
+  RegState st;
+  st.pristine_image = process->code_image();
+  st.pristine_hash = x86::HashBytes(st.pristine_image);
+  st.image_pages = ImagePages(st.pristine_image.size());
+  st.page_gpas.resize(st.image_pages);
+  for (size_t p = 0; p < st.image_pages; ++p) {
+    st.page_gpas[p] = code_walk.gpa + p * sb::kPageSize;
+    gpa_to_page_[st.page_gpas[p]] = {process, p};
+  }
+  auto [nit, inserted] = reg_states_.emplace(process, std::move(st));
+  (void)inserted;
+  return &nit->second;
+}
+
+sb::Status SkyBridge::ScrubPagesLocked(mk::Process* process, RegState& st,
+                                       CrossingBackendKind backend, uint64_t page_mask,
+                                       hw::Core& core) {
+  const uint32_t pattern_id = PatternId(backend);
+  const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
+  SB_CHECK(code_walk.ok);
+  const hw::CostModel& costs = core.costs();
+  const bool cached = config_.rewrite_cache_entries > 0;
+  std::vector<uint8_t> image = process->code_image();
+  auto& keys = st.page_keys[pattern_id];
+  if (keys.size() < st.image_pages) {
+    keys.resize(st.image_pages);
+  }
+  for (size_t p = 0; p < st.image_pages; ++p) {
+    if (((page_mask >> p) & 1) == 0) {
+      continue;
+    }
+    x86::RewriteCacheKey key;
+    key.content_hash = x86::HashCodePage(image, p);
+    key.page_index = static_cast<uint32_t>(p);
+    key.pattern_id = pattern_id;
+    x86::PageRewrite pr;
+    bool replayed = false;
+    if (cached) {
+      if (std::optional<x86::PageRewrite> hit = rewrite_cache_.Lookup(key)) {
+        pr = *std::move(hit);
+        replayed = true;
+        metrics_.cache_hits->Add();
+        core.AdvanceCycles(costs.rewrite_cache_replay);
+      } else {
+        metrics_.cache_misses->Add();
+      }
+    }
+    if (!replayed) {
+      x86::RewriteConfig rw;
+      rw.code_base = mk::kCodeVa;
+      rw.rewrite_page_base = WindowVa(backend, p);
+      rw.rewrite_page_capacity = sb::kPageSize;
+      rw.scan_pool = &scan_pool_;
+      rw.pattern = backend == CrossingBackendKind::kMpk ? x86::kWrpkruBytes
+                                                        : x86::kVmfuncBytes;
+      SB_ASSIGN_OR_RETURN(pr, x86::RewriteVmfuncPage(image, p, rw));
+      core.AdvanceCycles(costs.rewrite_scan_page);
+      metrics_.pages_rescanned->Add();
+      metrics_.scan_pages->Add(pr.stats.scan_pages);
+      metrics_.scan_threads->SetMax(pr.stats.scan_threads);
+      if (cached) {
+        rewrite_cache_.Insert(key, pr);
+      }
+    }
+    // Only a page whose content actually changed retires its old entry —
+    // UpdateProcessCode re-runs this path and clean pages replay instead.
+    if (keys[p].content_hash != 0 && !(keys[p] == key)) {
+      rewrite_cache_.Invalidate(keys[p]);
+    }
+    keys[p] = key;
+    metrics_.rewritten_vmfuncs->Add(
+        static_cast<uint64_t>(pr.stats.nop_replaced + pr.stats.windows_relocated));
+    for (const x86::PagePatch& patch : pr.patches) {
+      if (patch.code_off + patch.bytes.size() > image.size()) {
+        return sb::Internal("page rewrite patch outside the image");
+      }
+      std::copy(patch.bytes.begin(), patch.bytes.end(), image.begin() + patch.code_off);
+    }
+    if (!pr.snippets.empty()) {
+      const hw::Gva wva = WindowVa(backend, p);
+      hw::Gpa wgpa = 0;
+      if (const hw::GuestWalk ww = process->address_space().WalkVa(wva); ww.ok) {
+        wgpa = ww.gpa;
+      } else {
+        hw::PageFlags flags;
+        flags.writable = false;
+        SB_ASSIGN_OR_RETURN(
+            wgpa, process->address_space().MapAnonymous(wva, sb::kPageSize, flags));
+      }
+      kernel_->machine().mem().Write(wgpa, pr.snippets);
+      st.window_pages[wva] = pr.snippets;
+    }
+  }
+  // Write the (partially) rewritten image back over the code pages.
+  kernel_->machine().mem().Write(code_walk.gpa, image);
+  process->set_code_image(std::move(image));
+  return sb::OkStatus();
+}
+
+sb::Status SkyBridge::EagerPassLocked(mk::Process* process, CrossingBackendKind backend) {
+  if (!config_.rewrite_binaries || backend == CrossingBackendKind::kSyscall) {
+    return sb::OkStatus();
+  }
+  const uint8_t bit = PatternBit(backend);
+  if ((rewritten_patterns_[process] & bit) != 0) {
+    return sb::OkStatus();
+  }
+  SB_ASSIGN_OR_RETURN(RegState * st, EnsureRegStateLocked(process));
+  hw::Core& core = kernel_->machine().core(0);
+  SB_RETURN_IF_ERROR(
+      ScrubPagesLocked(process, *st, backend, AllPagesMask(st->image_pages), core));
+  rewritten_patterns_[process] |= bit;
+  SB_LOG(kDebug) << "rewrite " << sb::kv("pid", process->pid()) << " "
+                 << sb::kv("pattern", CrossingBackendName(backend)) << " "
+                 << sb::kv("pages", st->image_pages);
+  if (st->nonexec_mask == 0 && !process->code_rewritten()) {
+    process->set_code_rewritten(true);
+    metrics_.processes_rewritten->Add();
+  }
+  return sb::OkStatus();
+}
+
+sb::Status SkyBridge::ArmLazyLocked(mk::Process* process, CrossingBackendKind backend) {
+  const uint8_t bit = PatternBit(backend);
+  if ((rewritten_patterns_[process] & bit) != 0) {
+    return sb::OkStatus();
+  }
+  SB_ASSIGN_OR_RETURN(RegState * st, EnsureRegStateLocked(process));
+  if (st->protect_epts.empty()) {
+    st->protect_epts.push_back(process->ept_id());
+  }
+  // Every code page goes (back to) non-executable in every enrolled EPT; the
+  // exec-fault slow path scrubs pages one by one as they first run. Arming a
+  // second pattern re-protects already-scrubbed pages so the fault re-scrubs
+  // them for the union of prepared patterns.
+  hw::Core& core = kernel_->machine().core(0);
+  const bool was_pending = st->nonexec_mask != 0;
+  for (size_t p = 0; p < st->image_pages; ++p) {
+    if (((st->nonexec_mask >> p) & 1) != 0) {
+      continue;  // Already protected.
+    }
+    for (uint64_t ept : st->protect_epts) {
+      if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kProtectGpaExec), ept,
+                      st->page_gpas[p], 0) != 0) {
+        return sb::Internal("rootkernel refused exec protection");
+      }
+    }
+  }
+  st->nonexec_mask = AllPagesMask(st->image_pages);
+  if (!was_pending && st->nonexec_mask != 0) {
+    lazy_pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  rewritten_patterns_[process] |= bit;
+  SB_LOG(kDebug) << "lazy-arm " << sb::kv("pid", process->pid()) << " "
+                 << sb::kv("pattern", CrossingBackendName(backend)) << " "
+                 << sb::kv("pages", st->image_pages);
+  return sb::OkStatus();
+}
 
 sb::Status SkyBridge::RewriteProcessImage(mk::Process* process, CrossingBackendKind backend) {
   if (!config_.rewrite_binaries || backend == CrossingBackendKind::kSyscall) {
     return sb::OkStatus();
   }
-  uint8_t& mask = rewritten_patterns_[process];
-  const uint8_t bit = PatternBit(backend);
-  if ((mask & bit) != 0) {
-    return sb::OkStatus();
+  if (config_.registration_mode == RegistrationMode::kLazy) {
+    return ArmLazyLocked(process, backend);
   }
-  x86::RewriteConfig rw;
-  rw.code_base = mk::kCodeVa;
-  // Each pattern owns a fixed 16-page snippet window — VMFUNC at window 0,
-  // WRPKRU at window 1 — so a process prepared for both EPTP and MPK keeps
-  // both rewrite pages mapped, at addresses stable across re-rewrites.
-  rw.rewrite_page_base =
-      mk::kRewritePageVa +
-      (backend == CrossingBackendKind::kMpk ? 16 * sb::kPageSize : 0);
-  rw.scan_pool = &scan_pool_;
-  rw.pattern =
-      backend == CrossingBackendKind::kMpk ? x86::kWrpkruBytes : x86::kVmfuncBytes;
-  SB_ASSIGN_OR_RETURN(x86::RewriteResult result,
-                      x86::RewriteVmfunc(process->code_image(), rw));
-  metrics_.rewritten_vmfuncs->Add(
-      static_cast<uint64_t>(result.stats.nop_replaced + result.stats.windows_relocated));
-  metrics_.scan_pages->Add(result.stats.scan_pages);
-  metrics_.scan_threads->SetMax(result.stats.scan_threads);
-  SB_LOG(kDebug) << "rewrite " << sb::kv("pid", process->pid())
-                 << " " << sb::kv("pattern", CrossingBackendName(backend))
-                 << " " << sb::kv("scan_pages", result.stats.scan_pages)
-                 << " " << sb::kv("scan_threads", result.stats.scan_threads);
-
-  // Write the rewritten image back over the process's code pages.
-  const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
-  SB_CHECK(code_walk.ok);
-  kernel_->machine().mem().Write(code_walk.gpa, result.code);
-  process->set_code_image(std::move(result.code));
-
-  // Map and fill the rewrite page (the deliberately-unmapped second page).
-  if (!result.rewrite_page.empty()) {
-    hw::PageFlags flags;
-    flags.writable = false;
-    SB_ASSIGN_OR_RETURN(
-        const hw::Gpa rw_gpa,
-        process->address_space().MapAnonymous(
-            rw.rewrite_page_base, sb::PageUp(result.rewrite_page.size()), flags));
-    kernel_->machine().mem().Write(rw_gpa, result.rewrite_page);
-  }
-  mask |= bit;
-  if (!process->code_rewritten()) {
-    process->set_code_rewritten(true);
-    metrics_.processes_rewritten->Add();
-  }
-  return sb::OkStatus();
+  return EagerPassLocked(process, backend);
 }
 
 sb::Status SkyBridge::UpdateProcessCode(mk::Process* process, std::vector<uint8_t> new_image) {
@@ -89,10 +249,52 @@ sb::Status SkyBridge::UpdateProcessCode(mk::Process* process, std::vector<uint8_
   if (!code_walk.ok) {
     return sb::FailedPrecondition("process has no code mapping");
   }
+  std::lock_guard<std::mutex> lock(reg_mu_);
   kernel_->machine().mem().Write(code_walk.gpa, new_image);
   process->set_code_image(std::move(new_image));
   // Remap executable: the Subkernel rescans before the pages may run again.
   process->set_code_rewritten(false);
+
+  if (auto rit = reg_states_.find(process); rit != reg_states_.end()) {
+    RegState& st = rit->second;
+    // Updates are always eager (the new code must be scrub-verified before
+    // it may run), so a lazy registration mid-flight lifts its exec
+    // protection here and the rescan below covers everything.
+    if (st.nonexec_mask != 0) {
+      hw::Core& core = kernel_->machine().core(0);
+      for (size_t p = 0; p < st.image_pages; ++p) {
+        if (((st.nonexec_mask >> p) & 1) == 0) {
+          continue;
+        }
+        for (uint64_t ept : st.protect_epts) {
+          core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kProtectGpaExec), ept,
+                      st.page_gpas[p], 1);
+        }
+      }
+      st.nonexec_mask = 0;
+      lazy_pending_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    // Re-pristine against the new image; page GPAs are position-stable.
+    // st.page_keys is deliberately retained: ScrubPagesLocked diffs each
+    // page's fresh key against it and invalidates exactly the dirtied
+    // pages' cache entries — clean pages replay from the cache.
+    st.pristine_image = process->code_image();
+    st.pristine_hash = x86::HashBytes(st.pristine_image);
+    const size_t new_pages = ImagePages(st.pristine_image.size());
+    if (new_pages != st.image_pages) {
+      for (size_t p = new_pages; p < st.image_pages; ++p) {
+        gpa_to_page_.erase(st.page_gpas[p]);
+      }
+      st.page_gpas.resize(new_pages);
+      for (size_t p = 0; p < new_pages; ++p) {
+        st.page_gpas[p] = code_walk.gpa + p * sb::kPageSize;
+        gpa_to_page_[st.page_gpas[p]] = {process, p};
+      }
+      st.image_pages = new_pages;
+    }
+    st.window_pages.clear();
+  }
+
   const uint8_t prepared = rewritten_patterns_[process];
   rewritten_patterns_[process] = 0;
   // Drop any previous rewrite pages so the rescan can lay out fresh
@@ -106,27 +308,58 @@ sb::Status SkyBridge::UpdateProcessCode(mk::Process* process, std::vector<uint8_
   }
   // Re-run every pattern pass the process had been prepared with; a process
   // never prepared (or prepared for kSyscall only) gets the VMFUNC pass, the
-  // historical W^X contract.
+  // historical W^X contract. Always eager, whatever the registration mode.
   if (prepared == 0 || (prepared & PatternBit(CrossingBackendKind::kEptp)) != 0) {
-    SB_RETURN_IF_ERROR(RewriteProcessImage(process, CrossingBackendKind::kEptp));
+    SB_RETURN_IF_ERROR(EagerPassLocked(process, CrossingBackendKind::kEptp));
   }
   if ((prepared & PatternBit(CrossingBackendKind::kMpk)) != 0) {
-    SB_RETURN_IF_ERROR(RewriteProcessImage(process, CrossingBackendKind::kMpk));
+    SB_RETURN_IF_ERROR(EagerPassLocked(process, CrossingBackendKind::kMpk));
   }
   return sb::OkStatus();
 }
 
 sb::Status SkyBridge::EnsureProcessPrepared(mk::Process* process, CrossingBackendKind backend) {
   const CrossingBackend& be = gate_.backend(backend);
-  if (be.caps().needs_rewrite) {
+  if (be.caps().needs_rewrite && config_.rewrite_binaries) {
     // Every view-slot process gets the VMFUNC scrub (its EPTP list entries
     // are reachable by a planted 0f 01 d4 regardless of backend); MPK
     // additionally scrubs WRPKRU so only its trampoline can switch keys.
+    uint8_t needed = 0;
     if (be.caps().uses_view_slots) {
-      SB_RETURN_IF_ERROR(RewriteProcessImage(process, CrossingBackendKind::kEptp));
+      needed |= PatternBit(CrossingBackendKind::kEptp);
     }
     if (backend != CrossingBackendKind::kEptp) {
-      SB_RETURN_IF_ERROR(RewriteProcessImage(process, backend));
+      needed |= PatternBit(backend);
+    }
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    const uint8_t have = rewritten_patterns_[process];
+    if ((needed & ~have) != 0) {
+      bool restored = false;
+      if (config_.registration_mode == RegistrationMode::kSnapshot && have == 0) {
+        // Near-instant cold start: an identical template was registered
+        // before — restore its post-rewrite state instead of scanning.
+        const uint64_t h = x86::HashBytes(process->code_image());
+        if (auto lib = snapshot_library_.find(h); lib != snapshot_library_.end() &&
+            (lib->second.prepared_mask & needed) == needed) {
+          SB_RETURN_IF_ERROR(RestoreLocked(process, lib->second));
+          restored = true;
+        }
+      }
+      if (!restored) {
+        for (uint8_t bit : {uint8_t{0x1}, uint8_t{0x2}}) {
+          if ((needed & bit) != 0) {
+            SB_RETURN_IF_ERROR(RewriteProcessImage(process, BackendForBit(bit)));
+          }
+        }
+        if (config_.registration_mode == RegistrationMode::kSnapshot) {
+          // First sighting of this template: auto-capture so the next clone
+          // restores.
+          sb::StatusOr<RegistrationSnapshot> snap = SnapshotLocked(process);
+          if (snap.ok()) {
+            snapshot_library_[snap->pristine_hash] = *std::move(snap);
+          }
+        }
+      }
     }
   }
   // Trampoline page (exec-only for users, shared frame). Each view-switch
@@ -147,6 +380,224 @@ sb::Status SkyBridge::EnsureProcessPrepared(mk::Process* process, CrossingBacken
             .MapAnonymous(mk::kCallingKeyTableVa, sb::kPageSize, hw::PageFlags{})
             .status());
   }
+  return sb::OkStatus();
+}
+
+// ---- Registration snapshot / restore (DESIGN.md section 17) ----
+
+sb::StatusOr<SkyBridge::RegistrationSnapshot> SkyBridge::SnapshotLocked(mk::Process* process) {
+  auto mit = rewritten_patterns_.find(process);
+  const uint8_t mask = mit == rewritten_patterns_.end() ? 0 : mit->second;
+  auto rit = reg_states_.find(process);
+  if (rit == reg_states_.end() || mask == 0) {
+    return sb::FailedPrecondition("process is not a prepared registration");
+  }
+  RegState& st = rit->second;
+  if (st.nonexec_mask != 0) {
+    return sb::FailedPrecondition(
+        "lazy rewrite incomplete: execute the image (or register eagerly) before capturing");
+  }
+  RegistrationSnapshot snap;
+  snap.pristine_hash = st.pristine_hash;
+  snap.prepared_mask = mask;
+  snap.code = process->code_image();
+  snap.window_pages.assign(st.window_pages.begin(), st.window_pages.end());
+  return snap;
+}
+
+sb::Status SkyBridge::RestoreLocked(mk::Process* process,
+                                    const RegistrationSnapshot& snapshot) {
+  if (auto mit = rewritten_patterns_.find(process);
+      mit != rewritten_patterns_.end() && mit->second != 0) {
+    return sb::FailedPrecondition("process already prepared; restore targets fresh clones");
+  }
+  if (snapshot.prepared_mask == 0 || snapshot.code.empty()) {
+    return sb::InvalidArgument("empty registration snapshot");
+  }
+  if (x86::HashBytes(process->code_image()) != snapshot.pristine_hash) {
+    return sb::FailedPrecondition("process image does not match the snapshot's template");
+  }
+  const hw::GuestWalk code_walk = process->address_space().WalkVa(mk::kCodeVa);
+  if (!code_walk.ok) {
+    return sb::FailedPrecondition("process has no code mapping");
+  }
+  SB_ASSIGN_OR_RETURN(RegState * st, EnsureRegStateLocked(process));
+  // A restore is bulk page copies — no scanning, no decoding.
+  uint64_t bytes = snapshot.code.size();
+  kernel_->machine().mem().Write(code_walk.gpa, snapshot.code);
+  process->set_code_image(snapshot.code);
+  for (const auto& [wva, page] : snapshot.window_pages) {
+    hw::Gpa wgpa = 0;
+    if (const hw::GuestWalk ww = process->address_space().WalkVa(wva); ww.ok) {
+      wgpa = ww.gpa;
+    } else {
+      hw::PageFlags flags;
+      flags.writable = false;
+      SB_ASSIGN_OR_RETURN(
+          wgpa, process->address_space().MapAnonymous(wva, sb::kPageSize, flags));
+    }
+    kernel_->machine().mem().Write(wgpa, page);
+    st->window_pages[wva] = page;
+    bytes += page.size();
+  }
+  hw::Core& core = kernel_->machine().core(0);
+  const hw::CostModel& costs = core.costs();
+  core.AdvanceCycles(costs.bulk_startup + (bytes / 64) * costs.bulk_line);
+  rewritten_patterns_[process] = snapshot.prepared_mask;
+  metrics_.snapshot_restores->Add();
+  if (!process->code_rewritten()) {
+    process->set_code_rewritten(true);
+    metrics_.processes_rewritten->Add();
+  }
+  return sb::OkStatus();
+}
+
+sb::StatusOr<SkyBridge::RegistrationSnapshot> SkyBridge::SnapshotRegistration(
+    mk::Process* process) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  return SnapshotLocked(process);
+}
+
+sb::Status SkyBridge::RestoreRegistration(mk::Process* process,
+                                          const RegistrationSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  return RestoreLocked(process, snapshot);
+}
+
+// ---- Rewrite-on-first-execute (DESIGN.md section 17) ----
+
+sb::Status SkyBridge::ProtectServerPagesInEpt(hw::Core& core, mk::Process* server,
+                                              uint64_t ept_id) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  auto it = reg_states_.find(server);
+  if (it == reg_states_.end() || it->second.nonexec_mask == 0) {
+    return sb::OkStatus();
+  }
+  RegState& st = it->second;
+  if (std::find(st.protect_epts.begin(), st.protect_epts.end(), ept_id) !=
+      st.protect_epts.end()) {
+    return sb::OkStatus();
+  }
+  for (size_t p = 0; p < st.image_pages; ++p) {
+    if (((st.nonexec_mask >> p) & 1) == 0) {
+      continue;
+    }
+    if (core.Vmcall(static_cast<uint64_t>(vmm::Hypercall::kProtectGpaExec), ept_id,
+                    st.page_gpas[p], 0) != 0) {
+      return sb::Internal("rootkernel refused exec protection in binding EPT");
+    }
+  }
+  st.protect_epts.push_back(ept_id);
+  return sb::OkStatus();
+}
+
+sb::Status SkyBridge::EnsureCallExecutable(CallContext& ctx) {
+  if (lazy_pending_.load(std::memory_order_relaxed) == 0) {
+    return sb::OkStatus();  // Steady state: one relaxed load, zero cycles.
+  }
+  hw::Core& core = *ctx.core;
+  // The client executes its call site; the server executes the handler entry
+  // plus the tag-dispatched code path of this request.
+  SB_RETURN_IF_ERROR(TouchExecPage(core, ctx.proc, 0));
+  mk::Process* server_proc = ctx.server->process;
+  const size_t handler_page =
+      static_cast<size_t>((ctx.server->handler_va - mk::kCodeVa) / sb::kPageSize);
+  SB_RETURN_IF_ERROR(TouchExecPage(core, server_proc, handler_page));
+  size_t tag_page = 0;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    auto it = reg_states_.find(server_proc);
+    if (it == reg_states_.end() || it->second.image_pages == 0) {
+      return sb::OkStatus();
+    }
+    tag_page = ctx.request->tag % it->second.image_pages;
+  }
+  return TouchExecPage(core, server_proc, tag_page);
+}
+
+sb::Status SkyBridge::TouchExecPage(hw::Core& core, mk::Process* process,
+                                    size_t page_index) {
+  hw::Gpa gpa = 0;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    auto it = reg_states_.find(process);
+    if (it == reg_states_.end()) {
+      return sb::OkStatus();
+    }
+    RegState& st = it->second;
+    if (page_index >= st.image_pages ||
+        ((st.nonexec_mask >> page_index) & 1) == 0) {
+      return sb::OkStatus();
+    }
+    gpa = st.page_gpas[page_index];
+  }
+  // Deliver the exec-violation exit with reg_mu_ released — the handler
+  // (HandleExecFault, via Rootkernel and mk) re-acquires it.
+  return kernel_->RaiseExecFault(core, gpa);
+}
+
+sb::Status SkyBridge::HandleExecFault(hw::Core& core, hw::Gpa gpa) {
+  const uint64_t t0 = core.cycles();
+  metrics_.exec_faults->Add();
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  auto it = gpa_to_page_.find(sb::PageDown(gpa));
+  if (it == gpa_to_page_.end()) {
+    return sb::NotFound("exec fault on an untracked page");
+  }
+  mk::Process* process = it->second.first;
+  const size_t page = it->second.second;
+  auto rit = reg_states_.find(process);
+  if (rit == reg_states_.end()) {
+    return sb::NotFound("exec fault on an unprepared process");
+  }
+  RegState& st = rit->second;
+  if (((st.nonexec_mask >> page) & 1) == 0) {
+    return sb::OkStatus();  // Raced: a concurrent fault already rewrote it.
+  }
+  auto mit = rewritten_patterns_.find(process);
+  const uint8_t prepared = mit == rewritten_patterns_.end() ? 0 : mit->second;
+  // Bounded retry around the scrub (the kFaultExecScan recovery contract):
+  // a failed attempt leaves the page non-executable and the next execution
+  // re-enters this slow path.
+  sb::Status status = sb::Unavailable("exec-fault rewrite not attempted");
+  for (uint64_t attempt = 0; attempt <= config_.max_stale_slot_retries; ++attempt) {
+    if (SB_FAULT_POINT(kFaultExecScan)) {
+      status = sb::Unavailable("exec-fault page scan failed");
+      continue;
+    }
+    status = sb::OkStatus();
+    for (uint8_t bit : {uint8_t{0x1}, uint8_t{0x2}}) {
+      if ((prepared & bit) == 0) {
+        continue;
+      }
+      status = ScrubPagesLocked(process, st, BackendForBit(bit), 1ULL << page, core);
+      if (!status.ok()) {
+        break;
+      }
+    }
+    if (status.ok()) {
+      break;
+    }
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  st.nonexec_mask &= ~(1ULL << page);
+  // We are already inside the Rootkernel's exit context: flip the permission
+  // directly, no nested hypercall.
+  vmm::Rootkernel* rk = kernel_->rootkernel();
+  for (uint64_t ept : st.protect_epts) {
+    SB_RETURN_IF_ERROR(rk->ProtectGpaExec(ept, st.page_gpas[page], true));
+  }
+  metrics_.lazy_rewrites->Add();
+  if (st.nonexec_mask == 0) {
+    lazy_pending_.fetch_sub(1, std::memory_order_relaxed);
+    if (!process->code_rewritten()) {
+      process->set_code_rewritten(true);
+      metrics_.processes_rewritten->Add();
+    }
+  }
+  phase_exec_fault_->Record(core.cycles() - t0);
   return sb::OkStatus();
 }
 
@@ -260,6 +711,13 @@ sb::Status SkyBridge::RegisterClient(mk::Process* client, ServerId server_id) {
       server.shared_ept_id = ept_id;
     }
   }
+  // Lazy registration: the server's still-unscrubbed pages must be
+  // non-executable through this binding EPT too, so the first call through
+  // it faults into the rewrite slow path instead of running unscanned code.
+  if (sb::Status ps = ProtectServerPagesInEpt(core, server.process, ept_id); !ps.ok()) {
+    kernel_->SyscallExit(core, nullptr);
+    return ps;
+  }
 
   // Shared buffer region for long messages, carved into per-connection
   // slices (buffers.cc owns the geometry).
@@ -319,6 +777,9 @@ sb::StatusOr<Binding*> SkyBridge::GetOrCreateChainBinding(hw::Core& core, mk::Pr
                   kernel_->identity_gpa(), server.process->identity_frame()) != 0) {
     return sb::Internal("rootkernel refused identity remap");
   }
+  // Same lazy-registration contract as direct bindings: unscrubbed server
+  // pages stay non-executable through the chain EPT.
+  SB_RETURN_IF_ERROR(ProtectServerPagesInEpt(core, server.process, ept_id));
   auto binding = std::make_unique<Binding>();
   binding->client = origin;
   binding->server = server_id;

@@ -29,7 +29,8 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
       routes_(kernel, config_),
       buffers_(kernel, config_),
       gate_(kernel, config_),
-      scan_pool_(config.scan_pool_threads) {
+      scan_pool_(config.scan_pool_threads),
+      rewrite_cache_(config.rewrite_cache_entries) {
   SB_CHECK(kernel.rootkernel() != nullptr)
       << "SkyBridge requires a kernel booted with the Rootkernel";
   SB_CHECK(config_.eptp_capacity >= 2 && config_.eptp_capacity <= hw::kEptpListCapacity);
@@ -61,7 +62,18 @@ SkyBridge::SkyBridge(mk::Kernel& kernel, SkyBridgeConfig config)
   metrics_.batch_flushes = &reg.GetCounter("skybridge.ipc.batch_flushes");
   metrics_.drain_rounds = &reg.GetCounter("skybridge.ipc.drain_rounds");
   metrics_.ring_depth = &reg.GetGauge("skybridge.batch.ring_depth");
+  metrics_.exec_faults = &reg.GetCounter("skybridge.registration.exec_faults");
+  metrics_.lazy_rewrites = &reg.GetCounter("skybridge.registration.lazy_rewrites");
+  metrics_.cache_hits = &reg.GetCounter("skybridge.registration.cache_hits");
+  metrics_.cache_misses = &reg.GetCounter("skybridge.registration.cache_misses");
+  metrics_.snapshot_restores = &reg.GetCounter("skybridge.registration.snapshot_restores");
+  metrics_.pages_rescanned = &reg.GetCounter("skybridge.registration.pages_rescanned");
+  phase_exec_fault_ = &reg.GetHistogram("skybridge.phase.exec_fault");
   sb::telemetry::InstallTraceCrashDump();
+  // Exec-violation exits (lazy registration's rewrite-on-first-execute) land
+  // here via Rootkernel -> mk fault delivery.
+  kernel.SetExecFaultHandler(
+      [this](hw::Core& core, hw::Gpa gpa) { return HandleExecFault(core, gpa); });
   // Count the scheduler hook's eager EPTP re-installs on thread migration
   // (versus the lazy stale-slot fallback, counted by stale_slot_retries).
   kernel.SetEptpInstallHook(
@@ -121,6 +133,7 @@ SkyBridge::~SkyBridge() {
   // The hooks capture `this`; never let them outlive the bridge.
   kernel_->SetEptpInstallHook(nullptr);
   kernel_->SetEptpInstaller(nullptr);
+  kernel_->SetExecFaultHandler(nullptr);
 }
 
 const SkyBridgeStats& SkyBridge::stats() const {
@@ -150,6 +163,12 @@ const SkyBridgeStats& SkyBridge::stats() const {
   snapshot.batched_calls = metrics_.batched_calls->Value();
   snapshot.batch_flushes = metrics_.batch_flushes->Value();
   snapshot.batch_drain_rounds = metrics_.drain_rounds->Value();
+  snapshot.exec_faults = metrics_.exec_faults->Value();
+  snapshot.lazy_rewrites = metrics_.lazy_rewrites->Value();
+  snapshot.cache_hits = metrics_.cache_hits->Value();
+  snapshot.cache_misses = metrics_.cache_misses->Value();
+  snapshot.snapshot_restores = metrics_.snapshot_restores->Value();
+  snapshot.pages_rescanned = metrics_.pages_rescanned->Value();
   return snapshot;
 }
 
@@ -215,6 +234,9 @@ sb::StatusOr<mk::Message> SkyBridge::CallCommon(mk::Thread* caller, ServerId ser
   SB_RETURN_IF_ERROR(ResolveRoute(ctx));
   SB_RETURN_IF_ERROR(PrepareRequest(ctx, msg_in, inplace_tag, inplace_len, in_place));
   SB_RETURN_IF_ERROR(BindOrigin(ctx));
+  // Lazy registration: pages this call is about to execute take their
+  // rewrite-on-first-execute fault here, before the crossing is armed.
+  SB_RETURN_IF_ERROR(EnsureCallExecutable(ctx));
   // In-flight brackets every exit path below (guard destructs at return).
   InFlightGuard guard;
   guard.Begin(&routes_, ctx.perm, ctx.route);
@@ -768,6 +790,9 @@ sb::Status SkyBridge::FlushBatch(mk::Thread* caller, ServerId server_id,
   const mk::Message flush_msg;
   ctx.request = &flush_msg;
   SB_RETURN_IF_ERROR(BindOrigin(ctx));
+  // Lazy registration: the drain executes the client's submit site and the
+  // server's handler entry — fault their pages in before crossing.
+  SB_RETURN_IF_ERROR(EnsureCallExecutable(ctx));
   InFlightGuard guard;
   guard.Begin(&routes_, ctx.perm, ctx.route);
   SlotPinGuard pins;

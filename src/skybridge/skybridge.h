@@ -35,6 +35,7 @@
 #ifndef SRC_SKYBRIDGE_SKYBRIDGE_H_
 #define SRC_SKYBRIDGE_SKYBRIDGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -55,6 +56,7 @@
 #include "src/skybridge/gate.h"
 #include "src/skybridge/routing.h"
 #include "src/skybridge/trampoline.h"
+#include "src/x86/rewrite_cache.h"
 
 namespace skybridge {
 
@@ -97,6 +99,14 @@ struct SkyBridgeStats {
   uint64_t batched_calls = 0;      // Requests submitted into batch rings.
   uint64_t batch_flushes = 0;      // FlushBatch crossings that drained >= 1.
   uint64_t batch_drain_rounds = 0; // Server drain rounds across all flushes.
+  // ---- Staged registration pipeline (DESIGN.md section 17) ----
+  uint64_t exec_faults = 0;        // Exec-violation exits taken (lazy mode).
+  uint64_t lazy_rewrites = 0;      // Pages rewritten by the exec-fault path.
+  uint64_t cache_hits = 0;         // Rewrite-cache page hits (replays).
+  uint64_t cache_misses = 0;       // Rewrite-cache page misses.
+  uint64_t snapshot_restores = 0;  // Registrations restored from a snapshot.
+  uint64_t pages_rescanned = 0;    // Pages scanned from scratch (cache misses
+                                   // plus cache-disabled scans).
 };
 
 class SkyBridge {
@@ -121,6 +131,33 @@ class SkyBridge {
   // update, then this call remaps them executable and *rescans/rewrites*
   // them so no new VMFUNC gate can appear.
   sb::Status UpdateProcessCode(mk::Process* process, std::vector<uint8_t> new_image);
+
+  // ---- Registration snapshot / restore (DESIGN.md section 17) ----
+  // Everything a fully-prepared registration derived from the code image:
+  // the post-rewrite code bytes, the populated snippet sub-window pages, and
+  // the pattern set they were scrubbed for. Keyed by the hash of the
+  // PRISTINE (pre-rewrite) image so a spawned worker cloned from the same
+  // template can restore without scanning a single page.
+  struct RegistrationSnapshot {
+    uint64_t pristine_hash = 0;  // FNV-1a of the pre-rewrite image.
+    uint8_t prepared_mask = 0;   // Pattern bits scrubbed (1=VMFUNC, 2=WRPKRU).
+    std::vector<uint8_t> code;   // Post-rewrite image.
+    // Snippet sub-window pages (va -> bytes), mapped read-only on restore.
+    std::vector<std::pair<hw::Gva, std::vector<uint8_t>>> window_pages;
+  };
+
+  // Captures the registration state of a fully-rewritten process.
+  // FailedPrecondition if the process was never prepared or still has
+  // non-executable pages awaiting their lazy rewrite (execute them, or
+  // register eagerly, before capturing).
+  sb::StatusOr<RegistrationSnapshot> SnapshotRegistration(mk::Process* process);
+
+  // Applies a snapshot to an unprepared process whose current image hashes
+  // to the snapshot's pristine_hash (an identical clone of the template).
+  // Charges only the bulk page copies — no scanning. FailedPrecondition on
+  // an already-prepared process or a pristine-hash mismatch.
+  sb::Status RestoreRegistration(mk::Process* process,
+                                 const RegistrationSnapshot& snapshot);
 
   // ---- The IPC itself ----
   // Executes the requested procedure in the server's address space on the
@@ -275,8 +312,62 @@ class SkyBridge {
                                uint32_t core_id) const;
 
  private:
+  // ---- Staged registration pipeline state (DESIGN.md section 17) ----
+  // Per prepared process. Guarded by reg_mu_ (slow path only: registration,
+  // code update, snapshot, exec-fault resolution).
+  struct RegState {
+    uint64_t pristine_hash = 0;           // Hash of the pre-rewrite image.
+    std::vector<uint8_t> pristine_image;  // Pre-rewrite bytes (update diff).
+    size_t image_pages = 0;
+    uint64_t nonexec_mask = 0;  // Bit p set: page p awaits its lazy rewrite.
+    std::vector<hw::Gpa> page_gpas;
+    // EPTs mirroring the non-exec bits: the process's own EPT plus every
+    // binding/chain EPT created while pages were still pending. A page's
+    // rewrite flips it executable in all of them.
+    std::vector<uint64_t> protect_epts;
+    // Snippet sub-window pages written so far (va -> bytes), accumulated for
+    // snapshot capture.
+    std::map<hw::Gva, std::vector<uint8_t>> window_pages;
+    // Cache key inserted per (pattern, page) by the last scrub — compared on
+    // UpdateProcessCode so only dirtied pages invalidate their entries.
+    std::map<uint32_t, std::vector<x86::RewriteCacheKey>> page_keys;
+  };
+
   sb::Status EnsureProcessPrepared(mk::Process* process, CrossingBackendKind backend);
+  // Mode dispatch: eager scrub, lazy arm, or (for UpdateProcessCode and the
+  // snapshot fallback) the unconditional eager pass. reg_mu_ held.
   sb::Status RewriteProcessImage(mk::Process* process, CrossingBackendKind backend);
+  sb::Status EagerPassLocked(mk::Process* process, CrossingBackendKind backend);
+  // Finds-or-creates the process's RegState (pristine capture, page GPAs,
+  // gpa_to_page_ index). reg_mu_ held.
+  sb::StatusOr<RegState*> EnsureRegStateLocked(mk::Process* process);
+  // The per-page scrub engine: runs every page in `page_mask` through the
+  // content-hashed rewrite cache for `backend`'s pattern, applies patches,
+  // maps/fills the per-page snippet sub-windows and writes the image back.
+  // Charges rewrite_scan_page or rewrite_cache_replay per page on `core`.
+  // reg_mu_ held.
+  sb::Status ScrubPagesLocked(mk::Process* process, RegState& st,
+                              CrossingBackendKind backend, uint64_t page_mask,
+                              hw::Core& core);
+  // Lazy mode: record RegState and drop exec from every code page in the
+  // process's own EPT instead of scanning. reg_mu_ held.
+  sb::Status ArmLazyLocked(mk::Process* process, CrossingBackendKind backend);
+  // Drops exec on the server's still-pending pages in a freshly created
+  // binding/chain EPT and enrolls it in protect_epts. No-op when the server
+  // has no pending pages.
+  sb::Status ProtectServerPagesInEpt(hw::Core& core, mk::Process* server,
+                                     uint64_t ept_id);
+  // reg_mu_-held bodies of the public snapshot API.
+  sb::StatusOr<RegistrationSnapshot> SnapshotLocked(mk::Process* process);
+  sb::Status RestoreLocked(mk::Process* process, const RegistrationSnapshot& snapshot);
+  // Hot-path guard: when any process still has non-executable pages, touch
+  // the pages this call is about to execute (client call site, server
+  // handler entry, the tag-dispatched code path) and deliver exec faults.
+  sb::Status EnsureCallExecutable(CallContext& ctx);
+  sb::Status TouchExecPage(hw::Core& core, mk::Process* process, size_t page_index);
+  // The exec-violation exit handler (Rootkernel -> mk -> here): rewrites the
+  // faulting page through the cache and flips it executable everywhere.
+  sb::Status HandleExecFault(hw::Core& core, hw::Gpa gpa);
   // Lazily creates the chain binding (origin's CR3 -> target server) used by
   // nested calls; kernel- and Rootkernel-mediated.
   sb::StatusOr<Binding*> GetOrCreateChainBinding(hw::Core& core, mk::Process* origin,
@@ -341,6 +432,13 @@ class SkyBridge {
     sb::telemetry::Counter* batch_flushes;
     sb::telemetry::Counter* drain_rounds;
     sb::telemetry::Gauge* ring_depth;  // High-water pending depth at flush.
+    // Staged registration pipeline.
+    sb::telemetry::Counter* exec_faults;
+    sb::telemetry::Counter* lazy_rewrites;
+    sb::telemetry::Counter* cache_hits;
+    sb::telemetry::Counter* cache_misses;
+    sb::telemetry::Counter* snapshot_restores;
+    sb::telemetry::Counter* pages_rescanned;
   };
 
   // ---- Batch-ring connection state (host-side bookkeeping) ----
@@ -384,6 +482,22 @@ class SkyBridge {
   // serving/calling both backends gets both passes; UpdateProcessCode
   // re-runs every prepared pass on the new image.
   std::unordered_map<const mk::Process*, uint8_t> rewritten_patterns_;
+  // ---- Staged registration pipeline (DESIGN.md section 17) ----
+  // Slow-path lock for registration state; never taken on the steady-state
+  // call path (EnsureCallExecutable bails on lazy_pending_ first).
+  mutable std::mutex reg_mu_;
+  std::unordered_map<const mk::Process*, RegState> reg_states_;
+  // Page-aligned code GPA -> (process, page index) for exec-fault routing.
+  std::unordered_map<uint64_t, std::pair<mk::Process*, size_t>> gpa_to_page_;
+  // Processes that still have >= 1 non-executable code page. Zero in eager /
+  // snapshot / drained-lazy steady state, making EnsureCallExecutable one
+  // relaxed load.
+  std::atomic<uint64_t> lazy_pending_{0};
+  x86::RewriteCache rewrite_cache_;
+  // Latency of the exec-fault slow path (fault delivery through rewrite).
+  sb::telemetry::LatencyHistogram* phase_exec_fault_ = nullptr;
+  // Snapshot library for kSnapshot mode, keyed by pristine image hash.
+  std::unordered_map<uint64_t, RegistrationSnapshot> snapshot_library_;
   // Round-robin MPK protection-key allocator (keys 1..15; key 0 is the
   // default domain).
   uint8_t next_pkey_ = 0;

@@ -16,6 +16,7 @@ Rootkernel::Rootkernel(hw::Machine& machine, const RootkernelConfig& config, hw:
   metrics_.exits_cpuid = &reg.GetCounter("vmm.exits.cpuid");
   metrics_.exits_vmcall = &reg.GetCounter("vmm.exits.vmcall");
   metrics_.exits_ept_violation = &reg.GetCounter("vmm.exits.ept_violation");
+  metrics_.exits_exec_violation = &reg.GetCounter("vmm.exits.exec_violation");
   metrics_.epts_created = &reg.GetCounter("vmm.ept.created");
   metrics_.identity_remaps = &reg.GetCounter("vmm.ept.identity_remaps");
   metrics_.aborts = &reg.GetCounter("vmm.aborts");
@@ -147,6 +148,23 @@ sb::Status Rootkernel::AddCr3Remap(uint64_t ept_id, hw::Gpa cr3_gpa, hw::Gpa tar
   return e->RemapGpaPage(cr3_gpa, target_cr3);
 }
 
+sb::Status Rootkernel::ProtectGpaExec(uint64_t ept_id, hw::Gpa page_gpa, bool exec) {
+  hw::Ept* e = ept(ept_id);
+  if (e == nullptr) {
+    return sb::NotFound("no such EPT");
+  }
+  if (ept_id == 0) {
+    return sb::InvalidArgument("cannot change exec permissions inside the base EPT");
+  }
+  if (!sb::IsPageAligned(page_gpa)) {
+    return sb::InvalidArgument("exec-protected page must be page aligned");
+  }
+  if (page_gpa >= guest_limit_) {
+    return sb::OutOfRange("exec-protected page outside guest memory");
+  }
+  return e->SetGpaPageExec(page_gpa, exec);
+}
+
 uint64_t Rootkernel::ActiveEptId(int core_id) const {
   const CoreEptpState& state = core_eptp_[static_cast<size_t>(core_id)];
   const size_t index = machine_->core(core_id).vmcs().active_index;
@@ -188,6 +206,7 @@ void Rootkernel::ResetExitCounters() {
   exits_cpuid_ = 0;
   exits_vmcall_ = 0;
   exits_ept_violation_ = 0;
+  exits_exec_violation_ = 0;
   machine_->ResetExitCounters();
 }
 
@@ -207,6 +226,13 @@ uint64_t Rootkernel::HandleExit(hw::Core& core, const hw::VmExitInfo& info) {
       ++exits_ept_violation_;
       metrics_.exits_ept_violation->Add();
       return HandleEptViolation(core, info);
+    case hw::VmExitReason::kEptExecViolation:
+      ++exits_exec_violation_;
+      metrics_.exits_exec_violation->Add();
+      if (!exec_violation_handler_) {
+        return kHypercallError;
+      }
+      return exec_violation_handler_(core, info.qualification);
     case hw::VmExitReason::kVmfuncInvalid:
       // A malformed VMFUNC from a guest: treated as a guest error; the
       // Rootkernel refuses to switch and resumes the guest.
@@ -264,6 +290,9 @@ uint64_t Rootkernel::HandleVmcall(hw::Core& core, const hw::VmExitInfo& info) {
     }
     case Hypercall::kAddCr3Remap: {
       return AddCr3Remap(info.arg1, info.arg2, info.arg3).ok() ? 0 : kHypercallError;
+    }
+    case Hypercall::kProtectGpaExec: {
+      return ProtectGpaExec(info.arg1, info.arg2, info.arg3 != 0).ok() ? 0 : kHypercallError;
     }
     case Hypercall::kAbortToView: {
       if (info.arg1 >= core.vmcs().eptp_list.size()) {

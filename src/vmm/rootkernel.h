@@ -18,6 +18,7 @@
 #define SRC_VMM_ROOTKERNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -51,6 +52,11 @@ enum class Hypercall : uint64_t {
   // shallow copies. Also used in reverse (target = the client's own CR3) to
   // restore the identity translation when a consolidated client is revoked.
   kAddCr3Remap = 9,         // (ept_id, cr3_gpa, target_cr3) -> 0
+  // Lazy registration (DESIGN.md section 17): set or clear the execute
+  // permission on one 4 KiB GPA page of an EPT. Registration leaves code
+  // pages non-executable; the first instruction fetch takes an exec
+  // violation and the page is scanned/rewritten on demand.
+  kProtectGpaExec = 10,     // (ept_id, page_gpa, exec 0|1) -> 0
 };
 
 inline constexpr uint64_t kPingValue = 0x5b5b5b5bULL;
@@ -95,6 +101,7 @@ class Rootkernel {
   sb::StatusOr<uint64_t> CreateBindingEpt(hw::Gpa client_cr3, hw::Gpa server_cr3);
   sb::Status RemapIdentityPage(uint64_t ept_id, hw::Gpa identity_gpa, hw::Hpa target);
   sb::Status AddCr3Remap(uint64_t ept_id, hw::Gpa cr3_gpa, hw::Gpa target_cr3);
+  sb::Status ProtectGpaExec(uint64_t ept_id, hw::Gpa page_gpa, bool exec);
   hw::Ept* ept(uint64_t ept_id);
   // Number of EPTs derived so far (ids are dense, 0 = base).
   size_t ept_count() const { return epts_.size(); }
@@ -103,8 +110,21 @@ class Rootkernel {
   uint64_t exits_cpuid() const { return exits_cpuid_; }
   uint64_t exits_vmcall() const { return exits_vmcall_; }
   uint64_t exits_ept_violation() const { return exits_ept_violation_; }
-  uint64_t exits_total() const { return exits_cpuid_ + exits_vmcall_ + exits_ept_violation_; }
+  uint64_t exits_exec_violation() const { return exits_exec_violation_; }
+  uint64_t exits_total() const {
+    return exits_cpuid_ + exits_vmcall_ + exits_ept_violation_ + exits_exec_violation_;
+  }
   void ResetExitCounters();
+
+  // ---- Exec-violation delegation (lazy registration slow path) ----
+  // Invoked on every kEptExecViolation exit with the faulting GPA. Returns 0
+  // when the handler resolved the fault (the page is now executable and the
+  // guest retries the fetch) or kHypercallError to report an unresolvable
+  // fault. Unset handler == every exec violation is fatal to the access.
+  using ExecViolationHandler = std::function<uint64_t(hw::Core&, hw::Gpa)>;
+  void SetExecViolationHandler(ExecViolationHandler handler) {
+    exec_violation_handler_ = std::move(handler);
+  }
 
   // Rootkernel-mediated call aborts served (kAbortToView).
   uint64_t aborts() const { return aborts_; }
@@ -160,7 +180,9 @@ class Rootkernel {
   uint64_t exits_cpuid_ = 0;
   uint64_t exits_vmcall_ = 0;
   uint64_t exits_ept_violation_ = 0;
+  uint64_t exits_exec_violation_ = 0;
   uint64_t aborts_ = 0;
+  ExecViolationHandler exec_violation_handler_;
   // Registry mirrors (vmm.*) on the machine's telemetry; plain counters and
   // a Set-at-update gauge, never providers — the Rootkernel can die before
   // the machine, and a provider lambda would dangle.
@@ -168,6 +190,7 @@ class Rootkernel {
     sb::telemetry::Counter* exits_cpuid;
     sb::telemetry::Counter* exits_vmcall;
     sb::telemetry::Counter* exits_ept_violation;
+    sb::telemetry::Counter* exits_exec_violation;
     sb::telemetry::Counter* epts_created;
     sb::telemetry::Counter* identity_remaps;
     sb::telemetry::Counter* aborts;

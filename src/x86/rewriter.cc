@@ -873,4 +873,56 @@ sb::StatusOr<RewriteResult> RewriteVmfunc(std::span<const uint8_t> code,
   return sb::Internal("rewriting did not converge");
 }
 
+sb::StatusOr<PageRewrite> RewriteVmfuncPage(std::span<const uint8_t> code, size_t page_index,
+                                            const RewriteConfig& config) {
+  constexpr size_t kCodePageBytes = 4096;
+  PageRewrite result;
+  std::vector<uint8_t> working(code.begin(), code.end());
+
+  ScanStats scan_stats;
+  ScanOptions scan_options;
+  scan_options.pool = config.scan_pool;
+  scan_options.stats = &scan_stats;
+  scan_options.pattern = config.pattern;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    const std::vector<VmfuncHit> hits = ScanForVmfunc(working, scan_options);
+    result.stats.scan_pages = scan_stats.pages;
+    result.stats.scan_threads = scan_stats.threads;
+    const VmfuncHit* owned = nullptr;
+    for (const VmfuncHit& hit : hits) {
+      if (hit.pattern_off / kCodePageBytes == page_index) {
+        owned = &hit;
+        break;
+      }
+    }
+    if (owned == nullptr) {
+      if (ContainsPattern(result.snippets, config.pattern)) {
+        return sb::Internal("rewrite sub-window contains the pattern after rewriting");
+      }
+      // Record the working-vs-input byte diff as replayable patches.
+      size_t i = 0;
+      while (i < working.size()) {
+        if (working[i] == code[i]) {
+          ++i;
+          continue;
+        }
+        size_t j = i;
+        while (j < working.size() && working[j] != code[j]) {
+          ++j;
+        }
+        PagePatch patch;
+        patch.code_off = i;
+        patch.bytes.assign(working.begin() + static_cast<long>(i),
+                           working.begin() + static_cast<long>(j));
+        result.patches.push_back(std::move(patch));
+        i = j;
+      }
+      return result;
+    }
+    SB_RETURN_IF_ERROR(HandleHit(working, result.snippets, config, *owned, result.stats));
+  }
+  return sb::Internal("rewriting did not converge");
+}
+
 }  // namespace x86

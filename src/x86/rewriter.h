@@ -79,6 +79,35 @@ struct RewriteResult {
 sb::StatusOr<RewriteResult> RewriteVmfunc(std::span<const uint8_t> code,
                                           const RewriteConfig& config);
 
+// ---- Per-page rewriting (staged registration, DESIGN.md section 17) ----
+
+// One committed edit to the code image: the bytes at [code_off,
+// code_off + bytes.size()) are replaced. Offsets are image-relative, so a
+// recorded rewrite replays verbatim onto any identical image.
+struct PagePatch {
+  size_t code_off = 0;
+  std::vector<uint8_t> bytes;
+};
+
+// Deterministic result of scrubbing the pattern occurrences owned by one
+// 4 KiB code page: in-image patches plus the snippet bytes for that page's
+// private rewrite-page sub-window (starting at config.rewrite_page_base).
+struct PageRewrite {
+  std::vector<PagePatch> patches;
+  std::vector<uint8_t> snippets;
+  RewriteStats stats;
+};
+
+// Rewrites only the hits whose pattern starts inside page `page_index` of
+// `code`. The whole image is scanned each pass — instruction classification
+// needs boundaries from the image start — but only hits owned by the page
+// are handled. `config.rewrite_page_base` / `rewrite_page_capacity` describe
+// the page's private snippet sub-window. Patches may spill a few bytes past
+// the page edge when a rewrite window straddles it, which is why the cache
+// key hashes the page plus boundary context.
+sb::StatusOr<PageRewrite> RewriteVmfuncPage(std::span<const uint8_t> code, size_t page_index,
+                                            const RewriteConfig& config);
+
 }  // namespace x86
 
 #endif  // SRC_X86_REWRITER_H_

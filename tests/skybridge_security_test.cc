@@ -96,6 +96,21 @@ TEST_P(SecurityTest, TrampolineIsTheOnlyGate) {
   const ServerId sid =
       sky_->RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
   ASSERT_TRUE(sky_->RegisterClient(client, sid).ok());
+  if (sky_->config().registration_mode == RegistrationMode::kLazy) {
+    // Staged registration: the pattern survives until first execution, but
+    // the page is non-executable in the EPT — the self-prepared gate still
+    // cannot run. The first call scrubs it before anything executes.
+    EXPECT_FALSE(x86::ScanForVmfunc(client->code_image(), scan).empty());
+    const hw::GuestWalk code_walk = client->address_space().WalkVa(mk::kCodeVa);
+    ASSERT_TRUE(code_walk.ok);
+    hw::Ept* ept = kernel_->rootkernel()->ept(client->ept_id());
+    ASSERT_NE(ept, nullptr);
+    EXPECT_FALSE(ept->Walk(code_walk.gpa, hw::kEptExec).ok);
+    mk::Thread* thread = client->AddThread(0);
+    ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), client).ok());
+    ASSERT_TRUE(sky_->DirectServerCall(thread, sid, Message(1)).ok());
+    EXPECT_TRUE(ept->Walk(code_walk.gpa, hw::kEptExec).ok);
+  }
   EXPECT_TRUE(x86::ScanForVmfunc(client->code_image(), scan).empty());
 }
 

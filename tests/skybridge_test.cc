@@ -246,9 +246,29 @@ TEST_P(SkyBridgeTest, RegistrationRewritesPlantedGatePattern) {
     EXPECT_FALSE(evil->address_space().WalkVa(mk::kRewritePageVa).ok);
     return;
   }
-  EXPECT_TRUE(evil->code_rewritten());
   x86::ScanOptions options;
   options.pattern = IsMpk() ? x86::kWrpkruBytes : x86::kVmfuncBytes;
+  if (sky_->config().registration_mode == RegistrationMode::kLazy) {
+    // Staged registration (DESIGN.md section 17): nothing is scanned yet —
+    // the planted gate is still in the image, but the code page is
+    // non-executable in the EPT, so it cannot run before the scrub.
+    EXPECT_FALSE(evil->code_rewritten());
+    EXPECT_FALSE(x86::FindVmfuncBytes(evil->code_image(), options).empty());
+    const hw::GuestWalk code_walk = evil->address_space().WalkVa(mk::kCodeVa);
+    ASSERT_TRUE(code_walk.ok);
+    hw::Ept* ept = kernel_->rootkernel()->ept(evil->ept_id());
+    ASSERT_NE(ept, nullptr);
+    EXPECT_FALSE(ept->Walk(code_walk.gpa, hw::kEptExec).ok);
+    // The first execution faults into the rewrite-on-first-execute slow
+    // path, which scrubs the page and flips it executable.
+    mk::Thread* thread = evil->AddThread(0);
+    ASSERT_TRUE(kernel_->ContextSwitchTo(machine_->core(0), evil).ok());
+    ASSERT_TRUE(sky_->DirectServerCall(thread, sid, Message(1)).ok());
+    EXPECT_GE(sky_->stats().exec_faults, 1u);
+    EXPECT_GE(sky_->stats().lazy_rewrites, 1u);
+    EXPECT_TRUE(ept->Walk(code_walk.gpa, hw::kEptExec).ok);
+  }
+  EXPECT_TRUE(evil->code_rewritten());
   EXPECT_TRUE(x86::FindVmfuncBytes(evil->code_image(), options).empty());
   // The VMFUNC scrub runs for every view-slot backend, MPK included.
   EXPECT_TRUE(x86::FindVmfuncBytes(evil->code_image()).empty());
@@ -508,14 +528,19 @@ TEST_P(SkyBridgeTest, NestedCallEvictionSparesThePinnedEntryEpt) {
 
 TEST_P(SkyBridgeTest, RegistrationScanStatsAreRecorded) {
   Boot();
-  (void)MakePair(EchoHandler());
+  Pair p = MakePair(EchoHandler());
   if (IsSyscall()) {
     // No gate primitive to scrub: registration never scanned anything.
     EXPECT_EQ(sky_->stats().scan_pages, 0u);
     EXPECT_EQ(sky_->stats().scan_threads, 0u);
     return;
   }
-  // Registration scanned both processes' code images chunk by chunk.
+  if (sky_->config().registration_mode == RegistrationMode::kLazy) {
+    // Staged registration defers every scan to first execution.
+    EXPECT_EQ(sky_->stats().scan_pages, 0u);
+    ASSERT_TRUE(sky_->DirectServerCall(p.thread, p.sid, Message(0)).ok());
+  }
+  // Registration (or the first call, under lazy) scanned the code pages.
   EXPECT_GT(sky_->stats().scan_pages, 0u);
   EXPECT_GE(sky_->stats().scan_threads, 1u);
 }

@@ -92,7 +92,8 @@ fsys::BlockTransport RamTransport(fsys::RamDisk* disk) {
 // The full SkyBridge fault catalog plus the rootkernel registration fault.
 const char* const kCatalog[] = {kFaultPreVmfunc,      kFaultHandlerCrash,
                                 kFaultReplyCorrupt,   kFaultRevokeInflight,
-                                kFaultSlotInstall,    vmm::kFaultBindingEptRefused};
+                                kFaultSlotInstall,    vmm::kFaultBindingEptRefused,
+                                kFaultExecScan};
 
 struct ScenarioResult {
   std::string trace_json;  // Chrome-trace replay of the whole run.
@@ -278,9 +279,69 @@ class StressScenario {
     EXPECT_TRUE(sky_->RegisterClient(late, echo_sid_).ok());
     ExpectHealthy("binding_ept_refused");
 
+    ExecScanSweep();
+
     for (const char* point : kCatalog) {
       EXPECT_GE(fires_[point], 1u) << point << " never fired in the sweep";
     }
+  }
+
+  // Phase 1b: the staged-registration scan fault (DESIGN.md section 17),
+  // driven in a dedicated lazy-mode world so the sweep exercises
+  // rewrite-on-first-execute regardless of the SB_REGISTRATION_MODE matrix.
+  void ExecScanSweep() {
+    sb::fault::DisarmAll();
+    sb::fault::SetSeed(seed_);
+    hw::MachineConfig mc;
+    mc.num_cores = 2;
+    mc.ram_bytes = 2 * kGiB;
+    hw::Machine machine(mc);
+    mk::Kernel kernel(machine, mk::Sel4Profile());
+    SB_CHECK(kernel.Boot().ok());
+    SkyBridgeConfig config;
+    config.crossing_backend = CrossingBackendKind::kEptp;
+    config.registration_mode = RegistrationMode::kLazy;
+    SkyBridge sky(kernel, config);
+    auto* server = kernel.CreateProcess("lazy-server").value();
+    const ServerId sid =
+        sky.RegisterServer(server, 4, [](CallEnv& env) { return env.request; }).value();
+    auto* client = kernel.CreateProcess("lazy-client").value();
+    SB_CHECK(sky.RegisterClient(client, sid).ok());
+    mk::Thread* thread = client->AddThread(0);
+    SB_CHECK(kernel.ContextSwitchTo(machine.core(0), client).ok());
+
+    // Persistent scan failure: the bounded retry drains and the first call
+    // surfaces clean Unavailable; nothing is left executable or armed.
+    sb::fault::Arm(kFaultExecScan);
+    EXPECT_EQ(sky.DirectServerCall(thread, sid, Message(1)).status().code(),
+              ErrorCode::kUnavailable);
+    RecordFires(kFaultExecScan);
+    const sb::Status invariants = sky.CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << invariants.ToString();
+    EXPECT_EQ(sky.InFlightCalls(), 0u);
+
+    // Fault cleared: the same call faults its pages in and succeeds.
+    sb::fault::DisarmAll();
+    EXPECT_TRUE(sky.DirectServerCall(thread, sid, Message(2)).ok());
+
+    // A single transient fire is absorbed by the in-fault retry: the caller
+    // never notices.
+    auto* late = kernel.CreateProcess("lazy-late").value();
+    SB_CHECK(sky.RegisterClient(late, sid).ok());
+    mk::Thread* late_thread = late->AddThread(1);
+    SB_CHECK(kernel.ContextSwitchTo(machine.core(1), late).ok());
+    sb::fault::FaultSpec once;
+    once.nth_hit = 1;
+    sb::fault::Arm(kFaultExecScan, once);
+    EXPECT_TRUE(sky.DirectServerCall(late_thread, sid, Message(3)).ok());
+    RecordFires(kFaultExecScan);
+    sb::fault::DisarmAll();
+
+    const SkyBridgeStats lazy = sky.stats();
+    lazy_exec_faults_ = lazy.exec_faults;
+    lazy_rewrites_ = lazy.lazy_rewrites;
+    lazy_cache_hits_ = lazy.cache_hits;
+    lazy_cache_misses_ = lazy.cache_misses;
   }
 
   // Phase 2: three concurrent virtual-time threads (kv pipeline, echo,
@@ -625,6 +686,10 @@ class StressScenario {
   ServerId fs_sid_ = 0;
   uint64_t sqlite_stale_retries_ = 0;
   uint64_t thrash_slot_faults_ = 0;
+  uint64_t lazy_exec_faults_ = 0;
+  uint64_t lazy_rewrites_ = 0;
+  uint64_t lazy_cache_hits_ = 0;
+  uint64_t lazy_cache_misses_ = 0;
 
   std::map<std::string, uint64_t> fires_;
 };

@@ -428,6 +428,75 @@ TEST_F(SkyBridgeTraceTest, RegistryCountsMatchStatsSnapshot) {
   EXPECT_GE(reg.GetGauge("hw.core.vmfuncs").Value(), 10u);
 }
 
+// The staged-registration counters (DESIGN.md section 17): a lazy-mode world
+// registers with every code page non-executable, so the first call exec-faults
+// the client and server pages in, each fault recorded by the
+// skybridge.registration.* counters and the exec-fault phase histogram.
+TEST(RegistrationTelemetry, LazyFirstCallFeedsTheRegistrationCounters) {
+  hw::MachineConfig mc;
+  mc.num_cores = 2;
+  mc.ram_bytes = 2ULL << 30;
+  hw::Machine machine(mc);
+  mk::Kernel kernel(machine, mk::Sel4Profile());
+  ASSERT_TRUE(kernel.Boot().ok());
+  skybridge::SkyBridgeConfig config;
+  config.crossing_backend = skybridge::CrossingBackendKind::kEptp;
+  config.registration_mode = skybridge::RegistrationMode::kLazy;
+  skybridge::SkyBridge sky(kernel, config);
+  mk::Process* client = kernel.CreateProcess("client").value();
+  mk::Process* server = kernel.CreateProcess("server").value();
+  const skybridge::ServerId sid =
+      sky.RegisterServer(server, 4, [](mk::CallEnv& env) { return env.request; }).value();
+  ASSERT_TRUE(sky.RegisterClient(client, sid).ok());
+  mk::Thread* thread = client->AddThread(0);
+  ASSERT_TRUE(kernel.ContextSwitchTo(machine.core(0), client).ok());
+
+  Registry& reg = machine.telemetry();
+  // Registration armed the pages but scanned nothing yet.
+  EXPECT_EQ(reg.GetCounter("skybridge.registration.exec_faults").Value(), 0u);
+  EXPECT_EQ(reg.GetCounter("skybridge.registration.lazy_rewrites").Value(), 0u);
+  EXPECT_EQ(reg.GetHistogram("skybridge.phase.exec_fault").Count(), 0u);
+
+  ASSERT_TRUE(sky.DirectServerCall(thread, sid, mk::Message(0)).ok());
+
+  // One fault each for the client's and the server's first code page.
+  EXPECT_GE(reg.GetCounter("skybridge.registration.exec_faults").Value(), 2u);
+  EXPECT_GE(reg.GetCounter("skybridge.registration.lazy_rewrites").Value(), 2u);
+  // The first page scanned cold; the second (identical default image)
+  // replayed from the content-hashed rewrite cache.
+  EXPECT_GE(reg.GetCounter("skybridge.registration.cache_misses").Value(), 1u);
+  EXPECT_GE(reg.GetCounter("skybridge.registration.cache_hits").Value(), 1u);
+  EXPECT_GE(reg.GetCounter("skybridge.registration.pages_rescanned").Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("skybridge.registration.snapshot_restores").Value(), 0u);
+  // Each fault's end-to-end resolution latency landed in the phase histogram.
+  LatencyHistogram& fault_phase = reg.GetHistogram("skybridge.phase.exec_fault");
+  EXPECT_GE(fault_phase.Count(), 2u);
+  EXPECT_GT(fault_phase.Max(), 0u);
+  // The rootkernel's VM-exit dispatcher saw the violations too.
+  EXPECT_GE(reg.GetCounter("vmm.exits.exec_violation").Value(), 2u);
+
+  // The stats() snapshot mirrors the registry names field for field.
+  const skybridge::SkyBridgeStats stats = sky.stats();
+  EXPECT_EQ(stats.exec_faults, reg.GetCounter("skybridge.registration.exec_faults").Value());
+  EXPECT_EQ(stats.lazy_rewrites,
+            reg.GetCounter("skybridge.registration.lazy_rewrites").Value());
+  EXPECT_EQ(stats.cache_hits, reg.GetCounter("skybridge.registration.cache_hits").Value());
+  EXPECT_EQ(stats.cache_misses,
+            reg.GetCounter("skybridge.registration.cache_misses").Value());
+  EXPECT_EQ(stats.snapshot_restores,
+            reg.GetCounter("skybridge.registration.snapshot_restores").Value());
+  EXPECT_EQ(stats.pages_rescanned,
+            reg.GetCounter("skybridge.registration.pages_rescanned").Value());
+
+  // Steady state: the fault path never fires again, the counters hold still.
+  const uint64_t faults = stats.exec_faults;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(sky.DirectServerCall(thread, sid, mk::Message(0)).ok());
+  }
+  EXPECT_EQ(reg.GetCounter("skybridge.registration.exec_faults").Value(), faults);
+  EXPECT_EQ(fault_phase.Count(), faults);
+}
+
 // Index of the first record of `type` with arg0 == `id` at or after `from`;
 // fails if absent.
 size_t IndexOfCall(const std::vector<TraceRecord>& records, TraceEventType type, uint64_t id,
